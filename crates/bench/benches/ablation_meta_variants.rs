@@ -1,0 +1,89 @@
+//! Ablation harness: design choices of the meta-learning component.
+//!
+//! DESIGN.md commits to first-order MAML (FOMAML) as the substitution for the
+//! paper's MAML implementation. This harness quantifies that choice by
+//! meta-training the same model with (a) FOMAML, (b) Reptile-style outer
+//! updates and (c) no meta-training at all (supervised only), then measuring
+//! how quickly each adapts to the held-out user/movement.
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::adaptation;
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::experiments::report;
+use fuse_core::finetune::{fine_tune, FineTuneScope};
+use fuse_core::meta::{MetaTrainer, MetaVariant};
+use fuse_core::model::build_mars_cnn;
+use fuse_core::Trainer;
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Ablation — meta-learning variants", &profile.name);
+
+    let result = (|| -> Result<(), fuse_core::FuseError> {
+        // Reuse the adaptation context for the datasets; retrain the offline
+        // models per variant below.
+        let context = adaptation::prepare(&profile)?;
+        let config = profile.finetune_config(FineTuneScope::AllLayers);
+        let mut rows = Vec::new();
+
+        let variants: Vec<(&str, Option<MetaVariant>)> = vec![
+            ("supervised (no meta)", None),
+            ("FOMAML (default)", Some(MetaVariant::Fomaml)),
+            ("Reptile", Some(MetaVariant::Reptile)),
+        ];
+
+        for (label, variant) in variants {
+            let mut model = match variant {
+                None => {
+                    let model = build_mars_cnn(&profile.model, profile.seed)?;
+                    let mut trainer = Trainer::new(model, profile.trainer)?;
+                    trainer.fit(&context.train, None)?;
+                    trainer.into_model()
+                }
+                Some(v) => {
+                    let model = build_mars_cnn(&profile.model, profile.seed.wrapping_add(1))?;
+                    let meta_config = fuse_core::MetaConfig { variant: v, ..profile.meta };
+                    let mut trainer = MetaTrainer::new(model, meta_config)?;
+                    trainer.train(&context.train)?;
+                    trainer.into_model()
+                }
+            };
+            let curve = fine_tune(
+                &mut model,
+                &context.finetune,
+                &context.new_eval,
+                &context.original_eval,
+                &config,
+            )?;
+            let e5 = 5.min(curve.epochs());
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.1}", curve.new_error_at(0).average_cm()),
+                format!("{:.1}", curve.new_error_at(e5).average_cm()),
+                format!("{:.1}", curve.new_error_at(curve.epochs()).average_cm()),
+                format!("{:.1}", curve.original_error_at(curve.epochs()).average_cm()),
+            ]);
+        }
+
+        println!(
+            "{}",
+            report::format_table(
+                "Ablation: adaptation behaviour per meta-learning variant (MAE on new data, cm)",
+                &["Variant", "0 epochs", "5 epochs", "final", "original @ final"],
+                &rows,
+            )
+        );
+        report::write_csv(
+            "ablation_meta_variants",
+            &["variant", "new_0_epochs_cm", "new_5_epochs_cm", "new_final_cm", "original_final_cm"],
+            &rows,
+        )
+        .map(|p| println!("wrote {}", p.display()))?;
+        Ok(())
+    })();
+
+    if let Err(e) = result {
+        eprintln!("ablation experiment failed: {e}");
+    }
+    finish_experiment("ablation_meta_variants", timer);
+}

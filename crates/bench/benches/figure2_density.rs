@@ -1,0 +1,24 @@
+//! Figure 2 harness: information content of single-frame vs multi-frame
+//! mmWave point clouds (the quantitative claim behind the paper's
+//! visual comparison).
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::figure2;
+use fuse_core::experiments::profile::ExperimentProfile;
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Figure 2 — point-cloud information content", &profile.name);
+
+    match figure2::run(&profile) {
+        Ok(result) => {
+            println!("{}", result.render_table());
+            match result.write_csv() {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+        Err(e) => eprintln!("figure 2 experiment failed: {e}"),
+    }
+    finish_experiment("figure2_density", timer);
+}

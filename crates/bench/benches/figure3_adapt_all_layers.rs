@@ -1,0 +1,33 @@
+//! Figure 3 harness: baseline vs FUSE adaptation to an unseen user/movement,
+//! fine-tuning **all layers**. Prints the per-epoch MAE series for the new
+//! and original data and writes `target/experiment-results/figure3.csv`.
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::experiments::{figure3};
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Figure 3 — adaptation, all layers", &profile.name);
+
+    match figure3::run(&profile) {
+        Ok(result) => {
+            println!("{}", figure3::render(&result));
+            let epochs = 5.min(result.fuse.epochs());
+            println!(
+                "After {epochs} fine-tuning epochs: baseline new-data MAE {:.1} cm, FUSE new-data MAE {:.1} cm",
+                result.baseline.new_error_at(epochs).average_cm(),
+                result.fuse.new_error_at(epochs).average_cm()
+            );
+            if let Some(speedup) = result.adaptation_speedup(epochs) {
+                println!("Adaptation speed-up over the baseline: {speedup:.1}x (paper reports ~4x)");
+            }
+            match result.write_csv("figure3") {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+        Err(e) => eprintln!("figure 3 experiment failed: {e}"),
+    }
+    finish_experiment("figure3_adapt_all_layers", timer);
+}

@@ -1,0 +1,30 @@
+//! Figure 4 harness: baseline vs FUSE adaptation to an unseen user/movement,
+//! fine-tuning **only the last fully-connected layer**. Prints the per-epoch
+//! MAE series and writes `target/experiment-results/figure4.csv`.
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::figure4;
+use fuse_core::experiments::profile::ExperimentProfile;
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Figure 4 — adaptation, last layer only", &profile.name);
+
+    match figure4::run(&profile) {
+        Ok(result) => {
+            println!("{}", figure4::render(&result));
+            let epochs = 5.min(result.fuse.epochs());
+            println!(
+                "After {epochs} fine-tuning epochs: baseline new-data MAE {:.1} cm, FUSE new-data MAE {:.1} cm",
+                result.baseline.new_error_at(epochs).average_cm(),
+                result.fuse.new_error_at(epochs).average_cm()
+            );
+            match result.write_csv("figure4") {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+        Err(e) => eprintln!("figure 4 experiment failed: {e}"),
+    }
+    finish_experiment("figure4_adapt_last_layer", timer);
+}

@@ -1,0 +1,112 @@
+//! Latency bench: per-stage and end-to-end timing of the deployed FUSE
+//! pipeline against the 100 ms frame budget of the 10 Hz radar (the paper's
+//! "fast, low computational requirement" claim, §1/§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fuse_core::prelude::*;
+use fuse_dataset::FrameFusion;
+use fuse_radar::{
+    AdcCube, FastScatterModel, PointCloudFrame, PointCloudGenerator, RadarConfig, RangeDopplerMap,
+    Scatterer, Scene,
+};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+use fuse_tensor::Tensor;
+
+fn human_scene(frame: usize) -> Scene {
+    let animator = MovementAnimator::new(Subject::profile(1), Movement::Squat, 10.0).with_seed(5);
+    let samples = animator.sample_frames_with_velocities(0.0, frame + 2);
+    let (skeleton, velocities) = &samples[frame + 1];
+    body_surface_points(skeleton, velocities, 4)
+        .iter()
+        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+        .collect()
+}
+
+fn frame_history(n: usize) -> Vec<PointCloudFrame> {
+    let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..n).map(|i| model.sample(&human_scene(i), i as u64)).collect()
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let scene = human_scene(0);
+    let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    c.bench_function("acquire_point_cloud_fast_model", |b| {
+        b.iter(|| black_box(model.sample(black_box(&scene), 7)))
+    });
+
+    // The full FMCW chain on the reduced test configuration (the reference
+    // signal path a real device would execute in hardware).
+    let full = PointCloudGenerator::new(RadarConfig::test_small());
+    c.bench_function("acquire_point_cloud_full_fmcw_chain", |b| {
+        b.iter(|| black_box(full.generate(black_box(&scene), 7).expect("signal chain succeeds")))
+    });
+}
+
+fn bench_signal_chain_stages(c: &mut Criterion) {
+    let config = RadarConfig::test_small();
+    let scene = human_scene(0);
+    let cube = AdcCube::synthesize(&config, &scene, 3).expect("cube synthesis succeeds");
+    c.bench_function("range_doppler_processing", |b| {
+        b.iter(|| black_box(RangeDopplerMap::from_cube(black_box(&cube)).expect("fft succeeds")))
+    });
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let history = frame_history(5);
+    let fusion = FrameFusion::default();
+    let builder = FeatureMapBuilder::default();
+    c.bench_function("fusion_plus_feature_map", |b| {
+        b.iter(|| {
+            let points = fusion.fused_points_owned(black_box(&history), 4);
+            black_box(builder.build(&points, None).expect("feature map builds"))
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut model = build_mars_cnn(&ModelConfig::default(), 1).expect("model builds");
+    let input = Tensor::randn(&[1, 5, 8, 8], 1.0, 2);
+    c.bench_function("cnn_inference_single_frame", |b| {
+        b.iter(|| black_box(model.forward(black_box(&input), false).expect("forward succeeds")))
+    });
+
+    let batch = Tensor::randn(&[32, 5, 8, 8], 1.0, 3);
+    c.bench_function("cnn_inference_batch32", |b| {
+        b.iter(|| black_box(model.forward(black_box(&batch), false).expect("forward succeeds")))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    let fusion = FrameFusion::default();
+    let builder = FeatureMapBuilder::default();
+    let mut model = build_mars_cnn(&ModelConfig::default(), 4).expect("model builds");
+    let scene = human_scene(1);
+    let mut history = frame_history(3);
+
+    c.bench_function("end_to_end_frame_budget_100ms", |b| {
+        b.iter(|| {
+            let frame = scatter.sample(black_box(&scene), 9);
+            history.push(frame);
+            if history.len() > 3 {
+                history.remove(0);
+            }
+            let points = fusion.fused_points_owned(&history, history.len() - 1);
+            let features = builder.build(&points, None).expect("feature map builds");
+            let input = Tensor::stack(&[features]).expect("stack succeeds");
+            black_box(model.forward(&input, false).expect("forward succeeds"))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_acquisition,
+    bench_signal_chain_stages,
+    bench_preprocessing,
+    bench_inference,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the numerical kernels underneath the FUSE pipeline:
+//! GEMM, im2col convolution, FFT and CFAR. These bound the cost of every
+//! higher-level experiment and document where the CPU time goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fuse_radar::{cfar_ca_1d, fft_inplace, CfarConfig, Complex32};
+use fuse_tensor::{conv2d_forward, linalg, Conv2dSpec, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|i| (i % 17) as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 * 0.2).collect();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                linalg::gemm(black_box(&a), black_box(&b), &mut out, n, n, n);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_layer_gemm(c: &mut Criterion) {
+    // The dominant cost of the MARS CNN: the 2048 -> 512 fully-connected layer.
+    let batch = 64usize;
+    let input: Vec<f32> = (0..batch * 2048).map(|i| (i % 7) as f32 * 0.01).collect();
+    let weight: Vec<f32> = (0..512 * 2048).map(|i| (i % 11) as f32 * 0.001).collect();
+    let mut out = vec![0.0f32; batch * 512];
+    c.bench_function("fc_2048x512_batch64", |b| {
+        b.iter(|| {
+            linalg::gemm_a_bt(black_box(&input), black_box(&weight), &mut out, batch, 2048, 512);
+            black_box(&out);
+        })
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let spec = Conv2dSpec::same(5, 16, 3);
+    let input = Tensor::randn(&[32, 5, 8, 8], 1.0, 1);
+    let weight = Tensor::randn(&[16, 5, 3, 3], 0.5, 2);
+    let bias = Tensor::zeros(&[16]);
+    c.bench_function("conv2d_5to16_8x8_batch32", |b| {
+        b.iter(|| {
+            black_box(
+                conv2d_forward(black_box(&input), &weight, &bias, &spec).expect("conv succeeds"),
+            )
+        })
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[64usize, 256, 1024] {
+        let data: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new((i as f32 * 0.31).sin(), (i as f32 * 0.17).cos())).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut buf = data.clone();
+                fft_inplace(&mut buf).expect("power-of-two length");
+                black_box(buf);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfar(c: &mut Criterion) {
+    let mut profile = vec![1.0f32; 512];
+    profile[100] = 40.0;
+    profile[300] = 25.0;
+    let config = CfarConfig::default();
+    c.bench_function("cfar_ca_1d_512", |b| {
+        b.iter(|| black_box(cfar_ca_1d(black_box(&profile), &config).expect("valid window")))
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_linear_layer_gemm, bench_conv2d, bench_fft, bench_cfar);
+criterion_main!(benches);

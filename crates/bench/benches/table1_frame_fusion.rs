@@ -1,0 +1,35 @@
+//! Table 1 harness: MAE of the baseline model under different frame-fusion
+//! settings (single frame, fuse 3 frames, fuse 5 frames).
+//!
+//! Prints the same rows as Table 1 of the paper and writes
+//! `target/experiment-results/table1.csv`.
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::experiments::table1;
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Table 1 — multi-frame fusion ablation", &profile.name);
+
+    match table1::run(&profile) {
+        Ok(result) => {
+            println!("{}", result.render_table());
+            match (result.average_for(1), result.average_for(3)) {
+                (Some(single), Some(fused3)) => {
+                    let reduction = 100.0 * (single - fused3) / single;
+                    println!(
+                        "Fusing 3 frames changes the average MAE from {single:.1} cm to {fused3:.1} cm ({reduction:+.0} % vs single frame; the paper reports -34 %).",
+                    );
+                }
+                _ => println!("warning: missing fusion settings in the result"),
+            }
+            match result.write_csv() {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+        }
+        Err(e) => eprintln!("table 1 experiment failed: {e}"),
+    }
+    finish_experiment("table1_frame_fusion", timer);
+}

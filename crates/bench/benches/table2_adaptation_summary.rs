@@ -1,0 +1,30 @@
+//! Table 2 harness: MAE comparison between the baseline and FUSE at
+//! 5 epochs, the intersection epoch, and the final epoch, for both
+//! fine-tuning scopes. This harness prepares the adaptation context once and
+//! runs both scopes, so it also regenerates the Figure 3 and Figure 4 series
+//! in a single pass.
+
+use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::experiments::{figure3, figure4, table2};
+
+fn main() {
+    let profile = ExperimentProfile::from_env();
+    let timer = start_experiment("Table 2 — adaptation summary (both scopes)", &profile.name);
+
+    match table2::run(&profile) {
+        Ok((table, all_layers, last_layer)) => {
+            println!("{}", figure3::render(&all_layers));
+            println!("{}", figure4::render(&last_layer));
+            println!("{}", table.render_table());
+            match table.write_csv() {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write CSV: {e}"),
+            }
+            all_layers.write_csv("figure3").ok();
+            last_layer.write_csv("figure4").ok();
+        }
+        Err(e) => eprintln!("table 2 experiment failed: {e}"),
+    }
+    finish_experiment("table2_adaptation_summary", timer);
+}

@@ -1,0 +1,52 @@
+//! # fuse-bench
+//!
+//! Benchmark and experiment harness that regenerates every table and figure
+//! of the FUSE paper's evaluation section (see `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results).
+//!
+//! The benches come in two flavours:
+//!
+//! * **Experiment harnesses** (`table1_frame_fusion`, `figure2_density`,
+//!   `figure3_adapt_all_layers`, `figure4_adapt_last_layer`,
+//!   `table2_adaptation_summary`, `ablation_meta_variants`) run the
+//!   corresponding experiment once at the selected
+//!   [`fuse_core::experiments::profile::ExperimentProfile`] scale, print the
+//!   same rows/series the paper reports and write CSVs under
+//!   `target/experiment-results/`.
+//! * **Timing benches** (`latency_pipeline`, `micro_kernels`) use Criterion to
+//!   measure the deployed pipeline latency (the paper's "fast"/edge claim)
+//!   and the throughput of the core numerical kernels.
+//!
+//! Run everything with `cargo bench --workspace`; set
+//! `FUSE_FULL_EXPERIMENT=1` for paper-scale runs.
+
+use std::time::Instant;
+
+/// Prints a standard banner for an experiment harness, including the active
+/// profile, and returns a timer started at the call.
+pub fn start_experiment(name: &str, profile_name: &str) -> Instant {
+    println!();
+    println!("================================================================");
+    println!("FUSE experiment harness: {name}");
+    println!("profile: {profile_name} (set FUSE_FULL_EXPERIMENT=1 for paper scale)");
+    println!("================================================================");
+    Instant::now()
+}
+
+/// Prints the elapsed wall-clock time of an experiment harness.
+pub fn finish_experiment(name: &str, started: Instant) {
+    println!("[{name}] completed in {:.1} s", started.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_helpers_do_not_panic() {
+        let t = start_experiment("unit-test", "bench");
+        finish_experiment("unit-test", t);
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+}

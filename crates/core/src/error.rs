@@ -1,0 +1,99 @@
+//! Error type for the FUSE framework.
+
+use std::error::Error;
+use std::fmt;
+
+use fuse_dataset::DatasetError;
+use fuse_nn::NnError;
+use fuse_radar::RadarError;
+use fuse_tensor::TensorError;
+
+/// Error returned by the FUSE training, fine-tuning and experiment code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuseError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Dataset(DatasetError),
+    /// A radar-simulation operation failed.
+    Radar(RadarError),
+    /// A training or experiment configuration is invalid.
+    InvalidConfig(String),
+    /// An experiment could not produce a result (e.g. empty evaluation set).
+    Experiment(String),
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FuseError::Nn(e) => write!(f, "neural network error: {e}"),
+            FuseError::Dataset(e) => write!(f, "dataset error: {e}"),
+            FuseError::Radar(e) => write!(f, "radar error: {e}"),
+            FuseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FuseError::Experiment(msg) => write!(f, "experiment error: {msg}"),
+        }
+    }
+}
+
+impl Error for FuseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FuseError::Tensor(e) => Some(e),
+            FuseError::Nn(e) => Some(e),
+            FuseError::Dataset(e) => Some(e),
+            FuseError::Radar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FuseError {
+    fn from(e: TensorError) -> Self {
+        FuseError::Tensor(e)
+    }
+}
+
+impl From<NnError> for FuseError {
+    fn from(e: NnError) -> Self {
+        FuseError::Nn(e)
+    }
+}
+
+impl From<DatasetError> for FuseError {
+    fn from(e: DatasetError) -> Self {
+        FuseError::Dataset(e)
+    }
+}
+
+impl From<RadarError> for FuseError {
+    fn from(e: RadarError) -> Self {
+        FuseError::Radar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FuseError = TensorError::EmptyTensor.into();
+        assert!(e.source().is_some());
+        let e: FuseError = NnError::ParamLengthMismatch { expected: 1, actual: 2 }.into();
+        assert!(e.to_string().contains("neural network"));
+        let e: FuseError = DatasetError::EmptySplit("x".into()).into();
+        assert!(e.to_string().contains("dataset"));
+        let e: FuseError = RadarError::FftLengthNotPowerOfTwo(3).into();
+        assert!(e.to_string().contains("radar"));
+        assert!(FuseError::Experiment("no frames".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FuseError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Model evaluation: per-axis MAE in centimetres.
+
+use fuse_dataset::EncodedDataset;
+use fuse_nn::{mae_per_axis, AxisMae, Sequential};
+use fuse_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuseError;
+use crate::Result;
+
+/// Pose-estimation error of a model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PoseError {
+    /// Per-axis MAE in metres (the unit of the labels).
+    pub meters: AxisMae,
+}
+
+impl PoseError {
+    /// Per-axis MAE in centimetres — the unit the paper reports.
+    pub fn centimeters(&self) -> AxisMae {
+        self.meters.to_centimeters()
+    }
+
+    /// Average MAE over the three axes, in centimetres.
+    pub fn average_cm(&self) -> f32 {
+        self.centimeters().average()
+    }
+}
+
+impl std::fmt::Display for PoseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cm = self.centimeters();
+        write!(
+            f,
+            "X={:.1} cm, Y={:.1} cm, Z={:.1} cm, avg={:.1} cm",
+            cm.x,
+            cm.y,
+            cm.z,
+            cm.average()
+        )
+    }
+}
+
+/// Evaluates a model on an encoded dataset and returns the per-axis MAE.
+///
+/// Inference runs in evaluation mode (dropout disabled) and in mini-batches of
+/// `batch_size` samples to bound memory usage.
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty or shapes are inconsistent.
+pub fn evaluate_model(
+    model: &mut Sequential,
+    data: &EncodedDataset,
+    batch_size: usize,
+) -> Result<PoseError> {
+    if data.is_empty() {
+        return Err(FuseError::Experiment("cannot evaluate on an empty dataset".into()));
+    }
+    let batch_size = batch_size.max(1);
+    let n = data.len();
+    let mut predictions = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (inputs, labels) = data.gather(&indices)?;
+        let output = model.forward(&inputs, false)?;
+        predictions.push(output);
+        targets.push(labels);
+        start = end;
+    }
+    let pred = concat_rows(&predictions)?;
+    let target = concat_rows(&targets)?;
+    let meters = mae_per_axis(&pred, &target)?;
+    Ok(PoseError { meters })
+}
+
+/// Computes predictions of the model for a whole dataset as a `[N, 57]`
+/// tensor, batched to bound memory usage.
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty.
+pub fn predict_all(
+    model: &mut Sequential,
+    data: &EncodedDataset,
+    batch_size: usize,
+) -> Result<Tensor> {
+    if data.is_empty() {
+        return Err(FuseError::Experiment("cannot predict on an empty dataset".into()));
+    }
+    let batch_size = batch_size.max(1);
+    let n = data.len();
+    let mut predictions = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (inputs, _) = data.gather(&indices)?;
+        predictions.push(model.forward(&inputs, false)?);
+        start = end;
+    }
+    concat_rows(&predictions)
+}
+
+/// Mean absolute error of each individual joint, in centimetres, averaged
+/// over the three axes.
+///
+/// The paper reports per-axis aggregates; a per-joint breakdown is what a
+/// rehabilitation application actually inspects (wrist/ankle accuracy matters
+/// more than spine accuracy for most exercises), so the evaluation module
+/// exposes it as well.
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty.
+pub fn per_joint_mae_cm(
+    model: &mut Sequential,
+    data: &EncodedDataset,
+    batch_size: usize,
+) -> Result<Vec<(fuse_skeleton::Joint, f32)>> {
+    let pred = predict_all(model, data, batch_size)?;
+    let (_, labels) = data.full_tensors()?;
+    let n = pred.dims()[0];
+    let mut out = Vec::with_capacity(fuse_skeleton::JOINT_COUNT);
+    for joint in fuse_skeleton::Joint::ALL {
+        let j = joint.index();
+        let mut sum = 0.0f64;
+        for row in 0..n {
+            for axis in 0..3 {
+                let idx = row * 57 + j * 3 + axis;
+                sum += (pred.as_slice()[idx] - labels.as_slice()[idx]).abs() as f64;
+            }
+        }
+        out.push((joint, (sum / (n * 3) as f64 * 100.0) as f32));
+    }
+    Ok(out)
+}
+
+fn concat_rows(parts: &[Tensor]) -> Result<Tensor> {
+    let cols = parts
+        .first()
+        .ok_or_else(|| FuseError::Experiment("no batches to concatenate".into()))?
+        .dims()[1];
+    let mut data = Vec::new();
+    let mut rows = 0usize;
+    for p in parts {
+        rows += p.dims()[0];
+        data.extend_from_slice(p.as_slice());
+    }
+    Ok(Tensor::from_vec(data, &[rows, cols])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{build_mars_cnn, ModelConfig};
+    use fuse_dataset::{encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig};
+
+    fn small_encoded() -> EncodedDataset {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+    }
+
+    #[test]
+    fn evaluation_returns_finite_positive_errors() {
+        let data = small_encoded();
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 1).unwrap();
+        let error = evaluate_model(&mut model, &data, 16).unwrap();
+        assert!(error.meters.average() > 0.0);
+        assert!(error.average_cm().is_finite());
+        // An untrained model should be decimetres-to-metres off.
+        assert!(error.average_cm() > 5.0);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_the_result() {
+        let data = small_encoded();
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 2).unwrap();
+        let a = evaluate_model(&mut model, &data, 7).unwrap();
+        let b = evaluate_model(&mut model, &data, 64).unwrap();
+        assert!((a.meters.average() - b.meters.average()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predict_all_shape_matches_dataset() {
+        let data = small_encoded();
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 3).unwrap();
+        let pred = predict_all(&mut model, &data, 32).unwrap();
+        assert_eq!(pred.dims(), &[data.len(), 57]);
+    }
+
+    #[test]
+    fn per_joint_breakdown_covers_all_19_joints() {
+        let data = small_encoded();
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 8).unwrap();
+        let breakdown = per_joint_mae_cm(&mut model, &data, 32).unwrap();
+        assert_eq!(breakdown.len(), 19);
+        assert!(breakdown.iter().all(|(_, e)| e.is_finite() && *e > 0.0));
+        // The mean of the per-joint errors equals the overall average error.
+        let mean: f32 = breakdown.iter().map(|(_, e)| e).sum::<f32>() / 19.0;
+        let overall = evaluate_model(&mut model, &data, 32).unwrap().average_cm();
+        assert!((mean - overall).abs() < 0.15 * overall, "mean {mean} vs overall {overall}");
+    }
+
+    #[test]
+    fn display_reports_centimetres() {
+        let err = PoseError { meters: AxisMae { x: 0.05, y: 0.03, z: 0.07 } };
+        let text = err.to_string();
+        assert!(text.contains("X=5.0 cm"));
+        assert!((err.average_cm() - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let data = small_encoded();
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 4).unwrap();
+        // Construct an artificially empty dataset is not possible through the
+        // public API, so exercise the error path via gather on empty indices.
+        assert!(data.gather(&[]).is_err());
+        // And confirm evaluation on valid data still works.
+        assert!(evaluate_model(&mut model, &data, 16).is_ok());
+    }
+}

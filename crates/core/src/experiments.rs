@@ -1,0 +1,27 @@
+//! Runnable reproductions of the paper's evaluation section.
+//!
+//! Each submodule regenerates one table or figure:
+//!
+//! | Module | Paper reference |
+//! |--------|-----------------|
+//! | [`table1`] | Table 1 — MAE of the baseline model under different frame-fusion settings |
+//! | [`figure2`] | Figure 2 — information content of single-frame vs multi-frame point clouds |
+//! | [`adaptation`] + [`figure3`] | Figure 3 — baseline vs FUSE, fine-tuning all layers |
+//! | [`adaptation`] + [`figure4`] | Figure 4 — baseline vs FUSE, fine-tuning only the last layer |
+//! | [`table2`] | Table 2 — MAE at 5 epochs, the intersection epoch, and 50 epochs |
+//!
+//! The [`profile::ExperimentProfile`] chooses between the laptop-scale `bench`
+//! profile (default), the larger `quick` profile and the paper-scale `full`
+//! profile (`FUSE_FULL_EXPERIMENT=1`).
+
+pub mod adaptation;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod profile;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+pub use adaptation::{AdaptationResult, AdaptationScenario};
+pub use profile::ExperimentProfile;

@@ -1,0 +1,345 @@
+//! Shared machinery for the adaptation experiments (Figures 3–4, Table 2).
+//!
+//! §4.3 of the paper: the dataset is split so that one movement ("right limb
+//! extension") and one subject (user 4) never appear during offline training.
+//! A baseline model (conventional supervised training) and the FUSE model
+//! (meta-training per Algorithm 1) are then fine-tuned on a small number of
+//! online frames from the held-out user/movement and evaluated after every
+//! epoch on both the new data and the original data.
+
+use fuse_dataset::{
+    encode_dataset, encode_dataset_with_normalizer, per_movement_split, Dataset, EncodedDataset,
+    FeatureMapBuilder, FrameFusion, LeaveOneOutSplit, MarsSynthesizer, SplitRatios,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::Trainer;
+use crate::error::FuseError;
+use crate::experiments::profile::ExperimentProfile;
+use crate::experiments::report;
+use crate::finetune::{fine_tune, intersection_epoch, FineTuneResult, FineTuneScope};
+use crate::meta::MetaTrainer;
+use crate::model::build_mars_cnn;
+use crate::Result;
+
+/// Which adaptation scenario is being run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptationScenario {
+    /// Which layers are fine-tuned online.
+    pub scope: FineTuneScope,
+}
+
+/// Result of one adaptation experiment (one fine-tuning scope).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationResult {
+    /// The fine-tuning scope this result corresponds to.
+    pub scope: FineTuneScope,
+    /// Error trajectory of the conventionally trained baseline.
+    pub baseline: FineTuneResult,
+    /// Error trajectory of the meta-trained FUSE model.
+    pub fuse: FineTuneResult,
+    /// The Table 2 "intersection" epoch: first epoch at which the baseline's
+    /// new-data MAE meets the FUSE model's.
+    pub intersection: Option<usize>,
+    /// Number of online frames used for fine-tuning.
+    pub finetune_frames: usize,
+    /// Number of online frames used for evaluation.
+    pub evaluation_frames: usize,
+}
+
+impl AdaptationResult {
+    /// Renders the per-epoch MAE series (the curves of Figures 3/4) as a
+    /// table: one row per epoch, columns for baseline/FUSE on new/original
+    /// data, all in centimetres.
+    pub fn render_series(&self, title: &str) -> String {
+        let epochs = self.baseline.new_data_error.len().min(self.fuse.new_data_error.len());
+        let rows: Vec<Vec<String>> = (0..epochs)
+            .map(|e| {
+                vec![
+                    e.to_string(),
+                    format!("{:.1}", self.baseline.original_data_error[e].average_cm()),
+                    format!("{:.1}", self.fuse.original_data_error[e].average_cm()),
+                    format!("{:.1}", self.baseline.new_data_error[e].average_cm()),
+                    format!("{:.1}", self.fuse.new_data_error[e].average_cm()),
+                ]
+            })
+            .collect();
+        let mut out = report::format_table(
+            title,
+            &[
+                "Epoch",
+                "Baseline orig (cm)",
+                "FUSE orig (cm)",
+                "Baseline new (cm)",
+                "FUSE new (cm)",
+            ],
+            &rows,
+        );
+        match self.intersection {
+            Some(e) => out.push_str(&format!("Intersection epoch (baseline reaches FUSE on new data): {e}\n")),
+            None => out.push_str("Intersection epoch: not reached within the recorded range\n"),
+        }
+        out
+    }
+
+    /// Writes the series to `target/experiment-results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the CSV cannot be written.
+    pub fn write_csv(&self, name: &str) -> Result<std::path::PathBuf> {
+        let epochs = self.baseline.new_data_error.len().min(self.fuse.new_data_error.len());
+        let rows: Vec<Vec<String>> = (0..epochs)
+            .map(|e| {
+                vec![
+                    e.to_string(),
+                    format!("{:.4}", self.baseline.original_data_error[e].average_cm()),
+                    format!("{:.4}", self.fuse.original_data_error[e].average_cm()),
+                    format!("{:.4}", self.baseline.new_data_error[e].average_cm()),
+                    format!("{:.4}", self.fuse.new_data_error[e].average_cm()),
+                ]
+            })
+            .collect();
+        report::write_csv(
+            name,
+            &["epoch", "baseline_original_cm", "fuse_original_cm", "baseline_new_cm", "fuse_new_cm"],
+            &rows,
+        )
+    }
+
+    /// Speed-up factor of the paper's headline claim: the number of epochs
+    /// the baseline needs to reach the new-data MAE that FUSE reaches after
+    /// `fuse_epochs` epochs, divided by `fuse_epochs`. Returns `None` when the
+    /// baseline never reaches it.
+    pub fn adaptation_speedup(&self, fuse_epochs: usize) -> Option<f32> {
+        let target = self.fuse.new_error_at(fuse_epochs).average_cm();
+        let baseline_epochs = self.baseline.epochs_to_reach_cm(target)?;
+        Some(baseline_epochs as f32 / fuse_epochs.max(1) as f32)
+    }
+}
+
+/// Intermediate artefacts shared between the two scopes (so the Table 2
+/// harness does not have to synthesise and train everything twice).
+pub struct AdaptationContext {
+    /// Encoded training data (offline, leave-one-out).
+    pub train: EncodedDataset,
+    /// Encoded original-data evaluation set (capped test portion of the
+    /// training distribution).
+    pub original_eval: EncodedDataset,
+    /// Encoded online fine-tuning frames.
+    pub finetune: EncodedDataset,
+    /// Encoded online evaluation frames.
+    pub new_eval: EncodedDataset,
+    /// Baseline model after offline supervised training.
+    pub baseline_model: fuse_nn::Sequential,
+    /// FUSE model after offline meta-training.
+    pub fuse_model: fuse_nn::Sequential,
+}
+
+/// Prepares the datasets and offline-trained models of the §4.3 experiments.
+///
+/// # Errors
+///
+/// Propagates dataset, training and evaluation errors.
+pub fn prepare(profile: &ExperimentProfile) -> Result<AdaptationContext> {
+    profile.validate()?;
+    let dataset = MarsSynthesizer::new(profile.synthesis.clone()).generate()?;
+    let loo = LeaveOneOutSplit::paper_default();
+    let (offline, online) = loo.apply(&dataset)?;
+
+    // Offline data: per-movement split of the leave-one-out training data,
+    // mirroring §4.1. The test portion doubles as the "original data"
+    // evaluation set for the forgetting curves.
+    let offline_split = per_movement_split(&offline, SplitRatios::default_60_20_20())?;
+    let original_eval_raw = cap_frames(&offline_split.test, profile.original_eval_cap);
+
+    let fusion = FrameFusion::default(); // FUSE pre-processing: fuse 3 frames.
+    let builder = FeatureMapBuilder::default();
+    let train = encode_dataset(&offline_split.train, &fusion, &builder)?;
+    let normalizer = train.normalizer().clone();
+    let original_eval =
+        encode_dataset_with_normalizer(&original_eval_raw, &fusion, &builder, normalizer.clone())?;
+
+    // Online data: the held-out user performing the held-out movement.
+    let (finetune_raw, eval_raw) = loo.split_online(&online, profile.finetune_frames)?;
+    let finetune =
+        encode_dataset_with_normalizer(&finetune_raw, &fusion, &builder, normalizer.clone())?;
+    let new_eval = encode_dataset_with_normalizer(&eval_raw, &fusion, &builder, normalizer)?;
+
+    // Offline training of the two models. Both share the architecture and the
+    // pre-processing; only the training procedure differs (§4.1).
+    let baseline_model = {
+        let model = build_mars_cnn(&profile.model, profile.seed)?;
+        let mut trainer = Trainer::new(model, profile.trainer)?;
+        trainer.fit(&train, None)?;
+        trainer.into_model()
+    };
+    let fuse_model = {
+        let model = build_mars_cnn(&profile.model, profile.seed.wrapping_add(1))?;
+        let mut trainer = MetaTrainer::new(model, profile.meta)?;
+        trainer.train(&train)?;
+        trainer.into_model()
+    };
+
+    Ok(AdaptationContext { train, original_eval, finetune, new_eval, baseline_model, fuse_model })
+}
+
+/// Runs the online fine-tuning phase for one scope on an already prepared
+/// context (cloning the offline-trained models so the context can be reused
+/// for the other scope).
+///
+/// # Errors
+///
+/// Propagates fine-tuning and evaluation errors.
+pub fn run_scope(
+    context: &AdaptationContext,
+    profile: &ExperimentProfile,
+    scope: FineTuneScope,
+) -> Result<AdaptationResult> {
+    let config = profile.finetune_config(scope);
+
+    let mut baseline_model = clone_model(&context.baseline_model, &profile.model)?;
+    let baseline = fine_tune(
+        &mut baseline_model,
+        &context.finetune,
+        &context.new_eval,
+        &context.original_eval,
+        &config,
+    )?;
+
+    let mut fuse_model = clone_model(&context.fuse_model, &profile.model)?;
+    let fuse = fine_tune(
+        &mut fuse_model,
+        &context.finetune,
+        &context.new_eval,
+        &context.original_eval,
+        &config,
+    )?;
+
+    let intersection = intersection_epoch(&baseline, &fuse);
+    Ok(AdaptationResult {
+        scope,
+        baseline,
+        fuse,
+        intersection,
+        finetune_frames: context.finetune.len(),
+        evaluation_frames: context.new_eval.len(),
+    })
+}
+
+/// Runs the full adaptation experiment (prepare + one scope).
+///
+/// # Errors
+///
+/// Propagates dataset, training, fine-tuning and evaluation errors.
+pub fn run(profile: &ExperimentProfile, scope: FineTuneScope) -> Result<AdaptationResult> {
+    let context = prepare(profile)?;
+    run_scope(&context, profile, scope)
+}
+
+fn cap_frames(dataset: &Dataset, cap: usize) -> Dataset {
+    if dataset.len() <= cap {
+        return dataset.clone();
+    }
+    // Keep an even spread across sequences by taking every n-th frame.
+    let stride = (dataset.len() + cap - 1) / cap;
+    Dataset::from_frames(
+        dataset
+            .frames()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, f)| f.clone())
+            .collect(),
+    )
+}
+
+fn clone_model(
+    source: &fuse_nn::Sequential,
+    config: &crate::model::ModelConfig,
+) -> Result<fuse_nn::Sequential> {
+    let mut model = build_mars_cnn(config, 0)?;
+    if model.param_len() != source.param_len() {
+        return Err(FuseError::InvalidConfig(
+            "model configuration does not match the trained model".into(),
+        ));
+    }
+    model.set_flat_params(&source.flat_params())?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_nn::AxisMae;
+    use crate::eval::PoseError;
+
+    fn mk(cm: f32) -> PoseError {
+        PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } }
+    }
+
+    fn synthetic_result() -> AdaptationResult {
+        AdaptationResult {
+            scope: FineTuneScope::AllLayers,
+            baseline: FineTuneResult {
+                new_data_error: vec![mk(9.0), mk(8.5), mk(8.0), mk(7.0), mk(6.2), mk(5.9)],
+                original_data_error: vec![mk(6.7), mk(7.0), mk(7.8), mk(8.5), mk(9.5), mk(10.6)],
+                train_loss: vec![0.1; 5],
+            },
+            fuse: FineTuneResult {
+                new_data_error: vec![mk(12.4), mk(8.0), mk(6.8), mk(6.3), mk(6.1), mk(6.0)],
+                original_data_error: vec![mk(12.0), mk(9.5), mk(8.0), mk(7.6), mk(7.6), mk(7.6)],
+                train_loss: vec![0.1; 5],
+            },
+            intersection: Some(5),
+            finetune_frames: 200,
+            evaluation_frames: 549,
+        }
+    }
+
+    #[test]
+    fn series_rendering_contains_all_columns() {
+        let result = synthetic_result();
+        let text = result.render_series("Figure 3");
+        assert!(text.contains("Baseline new (cm)"));
+        assert!(text.contains("FUSE new (cm)"));
+        assert!(text.contains("Intersection epoch"));
+        assert!(text.lines().count() > 6);
+    }
+
+    #[test]
+    fn adaptation_speedup_matches_hand_computation() {
+        let result = synthetic_result();
+        // FUSE reaches 6.1 cm at epoch 4; the baseline first reaches <= 6.1 cm
+        // at epoch 5, so the speed-up is 5/4.
+        let speedup = result.adaptation_speedup(4).unwrap();
+        assert!((speedup - 1.25).abs() < 1e-5);
+        // With an unreachable target the speed-up is None.
+        let mut unreachable = synthetic_result();
+        unreachable.fuse.new_data_error = vec![mk(0.5); 6];
+        assert!(unreachable.adaptation_speedup(4).is_none());
+    }
+
+    #[test]
+    fn cap_frames_subsamples_evenly() {
+        use fuse_dataset::{MarsSynthesizer, SynthesisConfig};
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let capped = cap_frames(&dataset, 20);
+        assert!(capped.len() <= 30);
+        assert!(capped.len() >= 15);
+        let same = cap_frames(&dataset, dataset.len() + 10);
+        assert_eq!(same.len(), dataset.len());
+    }
+
+    #[test]
+    fn csv_export_writes_one_row_per_epoch() {
+        let result = synthetic_result();
+        let path = result.write_csv("unit_test_adaptation").unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 1 + 6);
+        std::fs::remove_file(path).ok();
+    }
+
+    // The end-to-end prepare/run path is covered by the integration tests
+    // (tests/adaptation.rs) with a reduced profile, and by the benches.
+}

@@ -1,0 +1,207 @@
+//! Figure 2: information content of single-frame vs multi-frame point clouds.
+//!
+//! Figure 2 of the paper is a qualitative visualisation (an RGB frame, a
+//! single-frame point cloud, an RGB residual frame and the proposed
+//! multi-frame point cloud). The quantitative claim behind it — a video
+//! frame carries ~217k pixels while a single mmWave frame carries only ~64
+//! points (~192 spatial values), and fusing frames multiplies the usable
+//! points — is what this experiment measures: per-fusion-setting point
+//! counts, feature-map slot occupancy and the spatial coverage of the points.
+
+use fuse_dataset::{FeatureMapBuilder, FrameFusion, MarsSynthesizer};
+use fuse_radar::RadarPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuseError;
+use crate::experiments::profile::ExperimentProfile;
+use crate::experiments::report;
+use crate::Result;
+
+/// Statistics for one fusion setting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DensityStats {
+    /// Number of frames fused per sample.
+    pub fused_frames: usize,
+    /// Mean number of points available per sample.
+    pub mean_points: f32,
+    /// Mean fraction of the 64 feature-map slots that are filled.
+    pub mean_occupancy: f32,
+    /// Mean bounding-box volume of the points (m³) — a proxy for how much of
+    /// the body the sample covers.
+    pub mean_coverage_m3: f32,
+}
+
+/// Result of the Figure 2 experiment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Figure2Result {
+    /// Statistics per fusion setting (1, 3, 5 frames).
+    pub settings: Vec<DensityStats>,
+    /// Data points of the comparison the paper's §3.2 makes: a 512×424 video
+    /// frame carries this many pixels...
+    pub video_frame_pixels: usize,
+    /// ...while a single mmWave frame carries this many scalar values.
+    pub single_frame_values: f32,
+}
+
+impl Figure2Result {
+    /// Renders the per-setting statistics as a table.
+    pub fn render_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .settings
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{} frame(s)", s.fused_frames),
+                    format!("{:.1}", s.mean_points),
+                    format!("{:.0} %", s.mean_occupancy * 100.0),
+                    format!("{:.3}", s.mean_coverage_m3),
+                ]
+            })
+            .collect();
+        let mut out = report::format_table(
+            "Figure 2 (quantified): point-cloud information content per fusion setting",
+            &["Setting", "Mean points", "Slot occupancy", "Coverage (m^3)"],
+            &rows,
+        );
+        out.push_str(&format!(
+            "Reference: one 512x424 video frame = {} pixels; one mmWave frame ~= {:.0} scalar values\n",
+            self.video_frame_pixels,
+            self.single_frame_values
+        ));
+        out
+    }
+
+    /// Writes the statistics to `target/experiment-results/figure2.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the CSV cannot be written.
+    pub fn write_csv(&self) -> Result<std::path::PathBuf> {
+        let rows: Vec<Vec<String>> = self
+            .settings
+            .iter()
+            .map(|s| {
+                vec![
+                    s.fused_frames.to_string(),
+                    format!("{:.2}", s.mean_points),
+                    format!("{:.4}", s.mean_occupancy),
+                    format!("{:.4}", s.mean_coverage_m3),
+                ]
+            })
+            .collect();
+        report::write_csv(
+            "figure2",
+            &["fused_frames", "mean_points", "mean_occupancy", "mean_coverage_m3"],
+            &rows,
+        )
+    }
+}
+
+fn bounding_volume(points: &[RadarPoint]) -> f32 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut min = [f32::INFINITY; 3];
+    let mut max = [f32::NEG_INFINITY; 3];
+    for p in points {
+        let v = [p.x, p.y, p.z];
+        for a in 0..3 {
+            min[a] = min[a].min(v[a]);
+            max[a] = max[a].max(v[a]);
+        }
+    }
+    (max[0] - min[0]).max(0.0) * (max[1] - min[1]).max(0.0) * (max[2] - min[2]).max(0.0)
+}
+
+/// Runs the Figure 2 experiment at the given profile scale.
+///
+/// # Errors
+///
+/// Propagates dataset errors.
+pub fn run(profile: &ExperimentProfile) -> Result<Figure2Result> {
+    let mut synthesis = profile.synthesis.clone();
+    // The density statistics stabilise with a few hundred frames; cap the
+    // synthesis so this experiment stays cheap even in the full profile.
+    synthesis.frames_per_sequence = synthesis.frames_per_sequence.min(60);
+    let dataset = MarsSynthesizer::new(synthesis).generate()?;
+    if dataset.is_empty() {
+        return Err(FuseError::Experiment("figure 2 dataset is empty".into()));
+    }
+    let builder = FeatureMapBuilder::default();
+    let capacity = builder.capacity() as f32;
+
+    let mut result = Figure2Result {
+        settings: Vec::new(),
+        video_frame_pixels: 512 * 424,
+        single_frame_values: 0.0,
+    };
+
+    for frames in [1usize, 3, 5] {
+        let fusion = FrameFusion::from_frame_count(frames);
+        let mut total_points = 0.0f64;
+        let mut total_occupancy = 0.0f64;
+        let mut total_volume = 0.0f64;
+        let mut samples = 0usize;
+        for subject in dataset.subjects() {
+            for movement in dataset.movements() {
+                let sequence = dataset.sequence(subject, movement);
+                let clouds: Vec<&fuse_radar::PointCloudFrame> =
+                    sequence.iter().map(|f| &f.cloud).collect();
+                for k in 0..clouds.len() {
+                    let fused = fusion.fused_points(&clouds, k);
+                    total_points += fused.len() as f64;
+                    total_occupancy += (fused.len() as f32 / capacity).min(1.0) as f64;
+                    total_volume += bounding_volume(&fused) as f64;
+                    samples += 1;
+                }
+            }
+        }
+        let stats = DensityStats {
+            fused_frames: frames,
+            mean_points: (total_points / samples as f64) as f32,
+            mean_occupancy: (total_occupancy / samples as f64) as f32,
+            mean_coverage_m3: (total_volume / samples as f64) as f32,
+        };
+        if frames == 1 {
+            // Five features per point, matching the paper's "192 data points"
+            // arithmetic for 64 3-D points.
+            result.single_frame_values = stats.mean_points * 3.0;
+        }
+        result.settings.push(stats);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_volume_of_known_points() {
+        let points = vec![
+            RadarPoint::new(0.0, 0.0, 0.0, 0.0, 1.0),
+            RadarPoint::new(1.0, 2.0, 3.0, 0.0, 1.0),
+        ];
+        assert!((bounding_volume(&points) - 6.0).abs() < 1e-6);
+        assert_eq!(bounding_volume(&[]), 0.0);
+    }
+
+    #[test]
+    fn figure2_runs_on_a_tiny_profile_and_shows_fusion_gain() {
+        let mut profile = ExperimentProfile::bench();
+        profile.synthesis.subjects = vec![0];
+        profile.synthesis.movements = vec![fuse_skeleton::Movement::Squat];
+        profile.synthesis.frames_per_sequence = 20;
+        let result = run(&profile).unwrap();
+        assert_eq!(result.settings.len(), 3);
+        // More fused frames → more points and at least as much occupancy.
+        assert!(result.settings[1].mean_points > 2.0 * result.settings[0].mean_points);
+        assert!(result.settings[2].mean_points > result.settings[1].mean_points);
+        assert!(result.settings[1].mean_occupancy >= result.settings[0].mean_occupancy);
+        // The video/mmWave information gap of §3.2 is orders of magnitude.
+        assert!(result.video_frame_pixels as f32 > 500.0 * result.single_frame_values);
+        let table = result.render_table();
+        assert!(table.contains("3 frame(s)"));
+        result.write_csv().unwrap();
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 3: baseline vs FUSE while fine-tuning **all layers**.
+
+use crate::experiments::adaptation::{self, AdaptationResult};
+use crate::experiments::profile::ExperimentProfile;
+use crate::finetune::FineTuneScope;
+use crate::Result;
+
+/// Runs the Figure 3 experiment (fine-tune all layers) at the given profile
+/// scale.
+///
+/// # Errors
+///
+/// Propagates dataset, training and evaluation errors.
+pub fn run(profile: &ExperimentProfile) -> Result<AdaptationResult> {
+    adaptation::run(profile, FineTuneScope::AllLayers)
+}
+
+/// Renders the Figure 3 series with its canonical title.
+pub fn render(result: &AdaptationResult) -> String {
+    result.render_series("Figure 3: MAE vs fine-tuning epoch, all layers (baseline vs FUSE)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PoseError;
+    use crate::finetune::FineTuneResult;
+    use fuse_nn::AxisMae;
+
+    #[test]
+    fn render_uses_figure3_title() {
+        let mk = |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
+        let curve = FineTuneResult {
+            new_data_error: vec![mk(10.0), mk(8.0)],
+            original_data_error: vec![mk(7.0), mk(7.5)],
+            train_loss: vec![0.1],
+        };
+        let result = AdaptationResult {
+            scope: FineTuneScope::AllLayers,
+            baseline: curve.clone(),
+            fuse: curve,
+            intersection: None,
+            finetune_frames: 10,
+            evaluation_frames: 20,
+        };
+        assert!(render(&result).contains("Figure 3"));
+        assert!(render(&result).contains("all layers"));
+    }
+}

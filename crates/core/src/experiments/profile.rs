@@ -1,0 +1,197 @@
+//! Experiment scale profiles.
+
+use fuse_dataset::SynthesisConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::TrainerConfig;
+use crate::error::FuseError;
+use crate::finetune::{FineTuneConfig, FineTuneScope};
+use crate::meta::MetaConfig;
+use crate::model::ModelConfig;
+use crate::Result;
+
+/// A complete set of scale parameters for the experiment harness.
+///
+/// The paper's experiments use 40k frames, 150 supervised epochs and 20,000
+/// meta-iterations on an RTX 3090; on a laptop CPU that budget is days of
+/// compute. The profiles keep every pipeline stage identical and scale only
+/// the sizes, so the qualitative shape of each result (who wins, where the
+/// crossover happens) is preserved:
+///
+/// * `bench` — minutes; used by `cargo bench` and CI.
+/// * `quick` — tens of minutes; the default for manual runs.
+/// * `full`  — paper scale; opt in with `FUSE_FULL_EXPERIMENT=1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentProfile {
+    /// Profile name ("bench", "quick" or "full").
+    pub name: String,
+    /// Dataset synthesis parameters.
+    pub synthesis: SynthesisConfig,
+    /// Supervised training configuration for the baseline model.
+    pub trainer: TrainerConfig,
+    /// Meta-training configuration for the FUSE model.
+    pub meta: MetaConfig,
+    /// Fine-tuning epochs used by the adaptation experiments.
+    pub finetune_epochs: usize,
+    /// Number of online frames reserved for fine-tuning (the paper uses 200).
+    pub finetune_frames: usize,
+    /// Fine-tuning learning rate.
+    pub finetune_lr: f32,
+    /// Cap on the number of original-data frames used for the forgetting
+    /// evaluation after every fine-tuning epoch (keeps the per-epoch
+    /// evaluation cost bounded; `usize::MAX` means no cap).
+    pub original_eval_cap: usize,
+    /// CNN architecture.
+    pub model: ModelConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentProfile {
+    /// Laptop/CI scale: ~2.4k frames, roughly a minute or two of compute per
+    /// experiment harness.
+    pub fn bench() -> Self {
+        let mut synthesis = SynthesisConfig::quick();
+        synthesis.frames_per_sequence = 60;
+        ExperimentProfile {
+            name: "bench".into(),
+            synthesis,
+            trainer: TrainerConfig { epochs: 20, batch_size: 64, learning_rate: 1e-3, seed: 0 },
+            meta: MetaConfig::quick(80),
+            finetune_epochs: 30,
+            finetune_frames: 20,
+            finetune_lr: 1e-3,
+            original_eval_cap: 200,
+            model: ModelConfig::default(),
+            seed: 2022,
+        }
+    }
+
+    /// Larger laptop scale: ~4.8k frames, tens of minutes.
+    pub fn quick() -> Self {
+        ExperimentProfile {
+            name: "quick".into(),
+            synthesis: SynthesisConfig::quick(),
+            trainer: TrainerConfig { epochs: 25, batch_size: 128, learning_rate: 1e-3, seed: 0 },
+            meta: MetaConfig::quick(200),
+            finetune_epochs: 50,
+            finetune_frames: 50,
+            finetune_lr: 1e-3,
+            original_eval_cap: 500,
+            model: ModelConfig::default(),
+            seed: 2022,
+        }
+    }
+
+    /// Paper scale (≈40k frames, 150 epochs, 20,000 meta-iterations).
+    pub fn full() -> Self {
+        ExperimentProfile {
+            name: "full".into(),
+            synthesis: SynthesisConfig::full(),
+            trainer: TrainerConfig::default(),
+            meta: MetaConfig::paper(),
+            finetune_epochs: 50,
+            finetune_frames: 200,
+            finetune_lr: 1e-3,
+            original_eval_cap: usize::MAX,
+            model: ModelConfig::default(),
+            seed: 2022,
+        }
+    }
+
+    /// Selects a profile from the environment: `FUSE_FULL_EXPERIMENT=1` picks
+    /// `full`, `FUSE_QUICK_EXPERIMENT=1` picks `quick`, anything else picks
+    /// `bench`.
+    pub fn from_env() -> Self {
+        let is_set = |name: &str| std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false);
+        if is_set("FUSE_FULL_EXPERIMENT") {
+            ExperimentProfile::full()
+        } else if is_set("FUSE_QUICK_EXPERIMENT") {
+            ExperimentProfile::quick()
+        } else {
+            ExperimentProfile::bench()
+        }
+    }
+
+    /// Fine-tuning configuration derived from the profile.
+    pub fn finetune_config(&self, scope: FineTuneScope) -> FineTuneConfig {
+        FineTuneConfig {
+            epochs: self.finetune_epochs,
+            batch_size: 32.min(self.finetune_frames.max(1)),
+            learning_rate: self.finetune_lr,
+            scope,
+            seed: self.seed,
+        }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuseError::InvalidConfig`] when any sub-configuration is
+    /// inconsistent.
+    pub fn validate(&self) -> Result<()> {
+        self.synthesis.validate().map_err(FuseError::from)?;
+        self.trainer.validate()?;
+        self.meta.validate()?;
+        self.model.validate()?;
+        if self.finetune_epochs == 0 || self.finetune_frames == 0 {
+            return Err(FuseError::InvalidConfig("fine-tuning sizes must be nonzero".into()));
+        }
+        if self.finetune_frames >= self.synthesis.frames_per_sequence {
+            return Err(FuseError::InvalidConfig(format!(
+                "finetune_frames ({}) must be smaller than frames_per_sequence ({}) so that evaluation frames remain",
+                self.finetune_frames, self.synthesis.frames_per_sequence
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_profiles_are_valid() {
+        ExperimentProfile::bench().validate().unwrap();
+        ExperimentProfile::quick().validate().unwrap();
+        ExperimentProfile::full().validate().unwrap();
+    }
+
+    #[test]
+    fn profiles_scale_monotonically() {
+        let bench = ExperimentProfile::bench();
+        let quick = ExperimentProfile::quick();
+        let full = ExperimentProfile::full();
+        assert!(bench.synthesis.total_frames() < quick.synthesis.total_frames());
+        assert!(quick.synthesis.total_frames() < full.synthesis.total_frames());
+        assert!(bench.trainer.epochs < full.trainer.epochs);
+        assert!(bench.meta.meta_iterations < full.meta.meta_iterations);
+        assert_eq!(full.finetune_frames, 200);
+    }
+
+    #[test]
+    fn finetune_config_inherits_scope_and_epochs() {
+        let profile = ExperimentProfile::bench();
+        let cfg = profile.finetune_config(FineTuneScope::LastLayer);
+        assert_eq!(cfg.scope, FineTuneScope::LastLayer);
+        assert_eq!(cfg.epochs, profile.finetune_epochs);
+        assert!(cfg.batch_size <= profile.finetune_frames);
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_finetune_frames() {
+        let mut profile = ExperimentProfile::bench();
+        profile.finetune_frames = profile.synthesis.frames_per_sequence;
+        assert!(profile.validate().is_err());
+    }
+
+    #[test]
+    fn from_env_defaults_to_bench() {
+        // The test environment does not set the profile variables.
+        if std::env::var("FUSE_FULL_EXPERIMENT").is_err() && std::env::var("FUSE_QUICK_EXPERIMENT").is_err() {
+            assert_eq!(ExperimentProfile::from_env().name, "bench");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Rendering and persistence of experiment results.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::error::FuseError;
+use crate::Result;
+
+/// Renders a plain-text table with a header row, suitable for printing from
+/// the benchmark harness.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join(" | "));
+    out.push('\n');
+    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where experiment CSVs are written
+/// (`target/experiment-results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("experiment-results")
+}
+
+/// Writes rows to `target/experiment-results/<name>.csv` and returns the path.
+///
+/// # Errors
+///
+/// Returns [`FuseError::Experiment`] when the directory or file cannot be
+/// written.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)
+        .map_err(|e| FuseError::Experiment(format!("create {}: {e}", dir.display())))?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut contents = String::new();
+    contents.push_str(&headers.join(","));
+    contents.push('\n');
+    for row in rows {
+        contents.push_str(&row.join(","));
+        contents.push('\n');
+    }
+    fs::write(&path, contents)
+        .map_err(|e| FuseError::Experiment(format!("write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let table = format_table(
+            "Table X",
+            &["setting", "value"],
+            &[
+                vec!["single".into(), "5.5".into()],
+                vec!["fuse 3 frames".into(), "3.6".into()],
+            ],
+        );
+        assert!(table.contains("Table X"));
+        assert!(table.contains("setting"));
+        assert!(table.contains("fuse 3 frames | 3.6"));
+        // All data lines have the same column separator position.
+        let lines: Vec<&str> = table.lines().skip(1).collect();
+        let sep_positions: Vec<Option<usize>> = lines.iter().map(|l| l.find('|').or(l.find('+'))).collect();
+        assert!(sep_positions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let path = write_csv(
+            "unit_test_report",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "a,b\n1,2\n3,4\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_rows_produce_header_only_output() {
+        let table = format_table("T", &["x"], &[]);
+        assert!(table.contains('x'));
+        let path = write_csv("unit_test_empty", &["x"], &[]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Table 1: MAE of the baseline model under different frame-fusion settings.
+//!
+//! The experiment of §4.2: the baseline CNN is trained three times with the
+//! per-movement 60/20/20 split, changing only the pre-processing — single
+//! frame, fuse three frames, fuse five frames — and the per-axis MAE on the
+//! test split is reported in centimetres.
+
+use fuse_dataset::{
+    encode_dataset, encode_dataset_with_normalizer, per_movement_split, FeatureMapBuilder,
+    FrameFusion, MarsSynthesizer, SplitRatios,
+};
+use fuse_nn::AxisMae;
+use serde::{Deserialize, Serialize};
+
+use crate::baseline::Trainer;
+use crate::error::FuseError;
+use crate::experiments::profile::ExperimentProfile;
+use crate::experiments::report;
+use crate::model::build_mars_cnn;
+use crate::Result;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Fusion setting label ("Single-frame", "Fuse 3 Frames", "Fuse 5 Frames").
+    pub setting: String,
+    /// Number of frames fused.
+    pub fused_frames: usize,
+    /// Test MAE in centimetres.
+    pub mae_cm: AxisMae,
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// One row per fusion setting.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Renders the result in the layout of Table 1.
+    pub fn render_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.setting.clone(),
+                    format!("{:.1}", r.mae_cm.x),
+                    format!("{:.1}", r.mae_cm.y),
+                    format!("{:.1}", r.mae_cm.z),
+                    format!("{:.1}", r.mae_cm.average()),
+                ]
+            })
+            .collect();
+        report::format_table(
+            "Table 1: MAE of the baseline model under different frame fusion settings",
+            &["Setting", "X (cm)", "Y (cm)", "Z (cm)", "Average (cm)"],
+            &rows,
+        )
+    }
+
+    /// Writes the rows to `target/experiment-results/table1.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the CSV cannot be written.
+    pub fn write_csv(&self) -> Result<std::path::PathBuf> {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.setting.clone(),
+                    r.fused_frames.to_string(),
+                    format!("{:.3}", r.mae_cm.x),
+                    format!("{:.3}", r.mae_cm.y),
+                    format!("{:.3}", r.mae_cm.z),
+                    format!("{:.3}", r.mae_cm.average()),
+                ]
+            })
+            .collect();
+        report::write_csv("table1", &["setting", "fused_frames", "x_cm", "y_cm", "z_cm", "avg_cm"], &rows)
+    }
+
+    /// Average MAE (cm) for a given fusion frame count, if present.
+    pub fn average_for(&self, fused_frames: usize) -> Option<f32> {
+        self.rows.iter().find(|r| r.fused_frames == fused_frames).map(|r| r.mae_cm.average())
+    }
+}
+
+/// Runs the Table 1 experiment at the given profile scale.
+///
+/// # Errors
+///
+/// Propagates dataset, training and evaluation errors.
+pub fn run(profile: &ExperimentProfile) -> Result<Table1Result> {
+    profile.validate()?;
+    let dataset = MarsSynthesizer::new(profile.synthesis.clone()).generate()?;
+    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20())?;
+    let builder = FeatureMapBuilder::default();
+
+    let settings: [(&str, usize); 3] =
+        [("Single-frame", 1), ("Fuse 3 Frames", 3), ("Fuse 5 Frames", 5)];
+    let mut result = Table1Result::default();
+
+    for (label, frames) in settings {
+        let fusion = FrameFusion::from_frame_count(frames);
+        let train_enc = encode_dataset(&split.train, &fusion, &builder)?;
+        let test_enc = encode_dataset_with_normalizer(
+            &split.test,
+            &fusion,
+            &builder,
+            train_enc.normalizer().clone(),
+        )?;
+
+        let model = build_mars_cnn(&profile.model, profile.seed)?;
+        let mut trainer = Trainer::new(model, profile.trainer)?;
+        trainer.fit(&train_enc, None)?;
+        let error = trainer.evaluate(&test_enc)?;
+        result.rows.push(Table1Row {
+            setting: label.to_string(),
+            fused_frames: frames,
+            mae_cm: error.centimeters(),
+        });
+    }
+    if result.rows.is_empty() {
+        return Err(FuseError::Experiment("table 1 produced no rows".into()));
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_and_lookup() {
+        let result = Table1Result {
+            rows: vec![
+                Table1Row {
+                    setting: "Single-frame".into(),
+                    fused_frames: 1,
+                    mae_cm: AxisMae { x: 6.4, y: 3.6, z: 6.5 },
+                },
+                Table1Row {
+                    setting: "Fuse 3 Frames".into(),
+                    fused_frames: 3,
+                    mae_cm: AxisMae { x: 4.2, y: 2.5, z: 4.4 },
+                },
+            ],
+        };
+        let table = result.render_table();
+        assert!(table.contains("Single-frame"));
+        assert!(table.contains("Average (cm)"));
+        assert!(result.average_for(3).unwrap() < result.average_for(1).unwrap());
+        assert!(result.average_for(5).is_none());
+    }
+
+    // The full experiment is exercised by the integration tests and the
+    // `table1_frame_fusion` bench; unit tests here stay fast.
+}

@@ -1,0 +1,243 @@
+//! Table 2: MAE comparison between the baseline and FUSE at 5 epochs, the
+//! intersection epoch, and the final (50-epoch) point, for both fine-tuning
+//! scopes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::adaptation::{self, AdaptationResult};
+use crate::experiments::profile::ExperimentProfile;
+use crate::experiments::report;
+use crate::finetune::FineTuneScope;
+use crate::Result;
+
+/// One cell group of Table 2: original/new MAE for baseline and FUSE at a
+/// given checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Table2Cell {
+    /// Baseline MAE on the original data (cm).
+    pub baseline_original_cm: f32,
+    /// FUSE MAE on the original data (cm).
+    pub fuse_original_cm: f32,
+    /// Baseline MAE on the new data (cm).
+    pub baseline_new_cm: f32,
+    /// FUSE MAE on the new data (cm).
+    pub fuse_new_cm: f32,
+}
+
+/// One row block of Table 2 (a checkpoint: 5 epochs, intersection, final).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Checkpoint label ("5 epochs", "Intersection", "50 epochs").
+    pub checkpoint: String,
+    /// Values for the all-layers fine-tuning scope.
+    pub all_layers: Table2Cell,
+    /// Values for the last-layer fine-tuning scope.
+    pub last_layer: Table2Cell,
+}
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Rows at the three checkpoints.
+    pub rows: Vec<Table2Row>,
+    /// Intersection epoch for the all-layers scope (26 in the paper).
+    pub intersection_all_layers: Option<usize>,
+    /// Intersection epoch for the last-layer scope (16 in the paper).
+    pub intersection_last_layer: Option<usize>,
+}
+
+impl Table2Result {
+    /// Builds the table from the two adaptation results.
+    pub fn from_adaptations(all_layers: &AdaptationResult, last_layer: &AdaptationResult) -> Self {
+        let final_epoch_all = all_layers.baseline.epochs();
+        let final_epoch_last = last_layer.baseline.epochs();
+        let cell = |result: &AdaptationResult, epoch: usize| Table2Cell {
+            baseline_original_cm: result.baseline.original_error_at(epoch).average_cm(),
+            fuse_original_cm: result.fuse.original_error_at(epoch).average_cm(),
+            baseline_new_cm: result.baseline.new_error_at(epoch).average_cm(),
+            fuse_new_cm: result.fuse.new_error_at(epoch).average_cm(),
+        };
+        let intersection_all = all_layers.intersection.unwrap_or(final_epoch_all);
+        let intersection_last = last_layer.intersection.unwrap_or(final_epoch_last);
+        Table2Result {
+            rows: vec![
+                Table2Row {
+                    checkpoint: "5 epochs".into(),
+                    all_layers: cell(all_layers, 5),
+                    last_layer: cell(last_layer, 5),
+                },
+                Table2Row {
+                    checkpoint: "Intersection".into(),
+                    all_layers: cell(all_layers, intersection_all),
+                    last_layer: cell(last_layer, intersection_last),
+                },
+                Table2Row {
+                    checkpoint: format!("{final_epoch_all} epochs"),
+                    all_layers: cell(all_layers, final_epoch_all),
+                    last_layer: cell(last_layer, final_epoch_last),
+                },
+            ],
+            intersection_all_layers: all_layers.intersection,
+            intersection_last_layer: last_layer.intersection,
+        }
+    }
+
+    /// Renders the result in the layout of Table 2.
+    pub fn render_table(&self) -> String {
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            rows.push(vec![
+                row.checkpoint.clone(),
+                "Original".into(),
+                format!("{:.1}", row.all_layers.baseline_original_cm),
+                format!("{:.1}", row.all_layers.fuse_original_cm),
+                format!("{:.1}", row.last_layer.baseline_original_cm),
+                format!("{:.1}", row.last_layer.fuse_original_cm),
+            ]);
+            rows.push(vec![
+                String::new(),
+                "New".into(),
+                format!("{:.1}", row.all_layers.baseline_new_cm),
+                format!("{:.1}", row.all_layers.fuse_new_cm),
+                format!("{:.1}", row.last_layer.baseline_new_cm),
+                format!("{:.1}", row.last_layer.fuse_new_cm),
+            ]);
+        }
+        let mut out = report::format_table(
+            "Table 2: MAE comparison between baseline and FUSE (all layers / last layer)",
+            &["Checkpoint", "Data", "AL baseline", "AL FUSE", "LL baseline", "LL FUSE"],
+            &rows,
+        );
+        out.push_str(&format!(
+            "Intersection epochs: all layers = {:?}, last layer = {:?}\n",
+            self.intersection_all_layers, self.intersection_last_layer
+        ));
+        out
+    }
+
+    /// Writes the table to `target/experiment-results/table2.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the CSV cannot be written.
+    pub fn write_csv(&self) -> Result<std::path::PathBuf> {
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            for (data, al_b, al_f, ll_b, ll_f) in [
+                (
+                    "original",
+                    row.all_layers.baseline_original_cm,
+                    row.all_layers.fuse_original_cm,
+                    row.last_layer.baseline_original_cm,
+                    row.last_layer.fuse_original_cm,
+                ),
+                (
+                    "new",
+                    row.all_layers.baseline_new_cm,
+                    row.all_layers.fuse_new_cm,
+                    row.last_layer.baseline_new_cm,
+                    row.last_layer.fuse_new_cm,
+                ),
+            ] {
+                rows.push(vec![
+                    row.checkpoint.clone(),
+                    data.to_string(),
+                    format!("{al_b:.4}"),
+                    format!("{al_f:.4}"),
+                    format!("{ll_b:.4}"),
+                    format!("{ll_f:.4}"),
+                ]);
+            }
+        }
+        report::write_csv(
+            "table2",
+            &[
+                "checkpoint",
+                "data",
+                "all_layers_baseline_cm",
+                "all_layers_fuse_cm",
+                "last_layer_baseline_cm",
+                "last_layer_fuse_cm",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Runs the full Table 2 experiment: prepares the adaptation context once and
+/// fine-tunes under both scopes.
+///
+/// # Errors
+///
+/// Propagates dataset, training and evaluation errors.
+pub fn run(profile: &ExperimentProfile) -> Result<(Table2Result, AdaptationResult, AdaptationResult)> {
+    let context = adaptation::prepare(profile)?;
+    let all_layers = adaptation::run_scope(&context, profile, FineTuneScope::AllLayers)?;
+    let last_layer = adaptation::run_scope(&context, profile, FineTuneScope::LastLayer)?;
+    let table = Table2Result::from_adaptations(&all_layers, &last_layer);
+    Ok((table, all_layers, last_layer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PoseError;
+    use crate::finetune::FineTuneResult;
+    use fuse_nn::AxisMae;
+
+    fn mk(cm: f32) -> PoseError {
+        PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } }
+    }
+
+    fn curve(values: &[f32]) -> Vec<PoseError> {
+        values.iter().map(|&v| mk(v)).collect()
+    }
+
+    fn adaptation(scope: FineTuneScope) -> AdaptationResult {
+        AdaptationResult {
+            scope,
+            baseline: FineTuneResult {
+                new_data_error: curve(&[9.0, 8.0, 7.0, 6.0, 5.0, 4.6, 4.0]),
+                original_data_error: curve(&[6.4, 7.0, 8.0, 9.0, 10.0, 10.6, 11.0]),
+                train_loss: vec![0.1; 6],
+            },
+            fuse: FineTuneResult {
+                new_data_error: curve(&[12.4, 8.0, 7.0, 6.5, 6.2, 6.0, 4.3]),
+                original_data_error: curve(&[12.0, 9.0, 8.0, 7.8, 7.7, 7.6, 6.6]),
+                train_loss: vec![0.1; 6],
+            },
+            intersection: Some(5),
+            finetune_frames: 200,
+            evaluation_frames: 500,
+        }
+    }
+
+    #[test]
+    fn table_construction_extracts_checkpoints() {
+        let all = adaptation(FineTuneScope::AllLayers);
+        let last = adaptation(FineTuneScope::LastLayer);
+        let table = Table2Result::from_adaptations(&all, &last);
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.rows[0].checkpoint, "5 epochs");
+        assert!((table.rows[0].all_layers.baseline_new_cm - 4.6).abs() < 1e-4);
+        assert!((table.rows[0].all_layers.fuse_new_cm - 6.0).abs() < 1e-4);
+        // Intersection row uses epoch 5 values too (intersection == 5 here).
+        assert_eq!(table.intersection_all_layers, Some(5));
+        // Final row uses the last recorded epoch (6).
+        assert!((table.rows[2].all_layers.baseline_new_cm - 4.0).abs() < 1e-4);
+        let text = table.render_table();
+        assert!(text.contains("Intersection"));
+        assert!(text.contains("AL FUSE"));
+        table.write_csv().unwrap();
+    }
+
+    #[test]
+    fn missing_intersection_falls_back_to_final_epoch() {
+        let mut all = adaptation(FineTuneScope::AllLayers);
+        all.intersection = None;
+        let last = adaptation(FineTuneScope::LastLayer);
+        let table = Table2Result::from_adaptations(&all, &last);
+        assert_eq!(table.intersection_all_layers, None);
+        assert!((table.rows[1].all_layers.baseline_new_cm - 4.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline meta-training (Algorithm 1, §3.3.2).
+//!
+//! FUSE constructs its initial model by explicitly optimising for fast
+//! adaptation: each meta-iteration samples a batch of tasks; for every task
+//! the model takes an inner gradient step on the task's *support* set
+//! (`θ'_i = θ − α ∇_θ L_sup(θ)`, Eq. 5) and is then evaluated on the task's
+//! *query* set; the initial parameters θ are finally updated from the summed
+//! query losses (Eq. 6).
+//!
+//! This implementation uses the first-order approximation of MAML (FOMAML):
+//! the outer gradient is taken as the query-set gradient evaluated at the
+//! adapted parameters θ', i.e. the Hessian-vector term of full MAML is
+//! dropped. This is the standard approximation offered by the MAML-PyTorch
+//! code the paper builds on and preserves the behaviour the paper reports
+//! (fast adaptation, resistance to forgetting); see DESIGN.md §2.
+
+use fuse_dataset::EncodedDataset;
+use fuse_nn::{Adam, L1Loss, Loss, Optimizer, Sequential, Sgd};
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuseError;
+use crate::task::TaskSampler;
+use crate::Result;
+
+/// Which outer-update rule the meta-trainer uses.
+///
+/// `Fomaml` is the default (query-gradient at the adapted parameters);
+/// `Reptile` (move θ towards the adapted parameters) is provided for the
+/// ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetaVariant {
+    /// First-order MAML: outer gradient = ∇_θ' L_query(θ').
+    Fomaml,
+    /// Reptile: outer gradient = θ − θ' (after adapting on support + query).
+    Reptile,
+}
+
+/// Meta-training hyper-parameters.
+///
+/// The paper's values (§4.1): 20,000 meta-iterations, 32 tasks per iteration,
+/// support/query tasks of 1,000 frames, sample-level learning rate α = 0.1
+/// and task-level meta-learning rate β = 0.001.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetaConfig {
+    /// Number of meta-training iterations.
+    pub meta_iterations: usize,
+    /// Number of tasks sampled per iteration.
+    pub tasks_per_iteration: usize,
+    /// Frames per support set.
+    pub support_size: usize,
+    /// Frames per query set.
+    pub query_size: usize,
+    /// Sample-level (inner-loop) learning rate α.
+    pub inner_lr: f32,
+    /// Number of inner-loop gradient steps per task.
+    pub inner_steps: usize,
+    /// Task-level (outer-loop) meta learning rate β.
+    pub meta_lr: f32,
+    /// Outer-update rule.
+    pub variant: MetaVariant,
+    /// Seed controlling task sampling.
+    pub seed: u64,
+}
+
+impl MetaConfig {
+    /// The paper-scale configuration (§4.1). Only practical with
+    /// `FUSE_FULL_EXPERIMENT=1` and a long time budget.
+    pub fn paper() -> Self {
+        MetaConfig {
+            meta_iterations: 20_000,
+            tasks_per_iteration: 32,
+            support_size: 1000,
+            query_size: 1000,
+            inner_lr: 0.1,
+            inner_steps: 1,
+            meta_lr: 0.001,
+            variant: MetaVariant::Fomaml,
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down configuration whose behaviour (fast adaptation with few
+    /// fine-tuning epochs) matches the paper at laptop scale.
+    pub fn quick(meta_iterations: usize) -> Self {
+        MetaConfig {
+            meta_iterations,
+            tasks_per_iteration: 6,
+            support_size: 48,
+            query_size: 48,
+            inner_lr: 0.05,
+            inner_steps: 1,
+            meta_lr: 0.001,
+            variant: MetaVariant::Fomaml,
+            seed: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuseError::InvalidConfig`] for zero counts or non-positive
+    /// learning rates.
+    pub fn validate(&self) -> Result<()> {
+        if self.meta_iterations == 0
+            || self.tasks_per_iteration == 0
+            || self.support_size == 0
+            || self.query_size == 0
+            || self.inner_steps == 0
+        {
+            return Err(FuseError::InvalidConfig("meta-training counts must be nonzero".into()));
+        }
+        if self.inner_lr <= 0.0 || self.meta_lr <= 0.0 {
+            return Err(FuseError::InvalidConfig("learning rates must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-iteration record of a meta-training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetaHistory {
+    /// Mean query loss per meta-iteration (the quantity Eq. 6 minimises).
+    pub query_loss: Vec<f32>,
+}
+
+impl MetaHistory {
+    /// The final query loss, if any iterations were run.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.query_loss.last().copied()
+    }
+}
+
+/// Meta-trainer implementing Algorithm 1.
+pub struct MetaTrainer {
+    model: Sequential,
+    config: MetaConfig,
+    meta_optimizer: Adam,
+    loss: L1Loss,
+}
+
+impl MetaTrainer {
+    /// Creates a meta-trainer owning the model whose initial parameters θ
+    /// will be meta-learned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid.
+    pub fn new(model: Sequential, config: MetaConfig) -> Result<Self> {
+        config.validate()?;
+        let meta_optimizer = Adam::new(config.meta_lr, model.param_len());
+        Ok(MetaTrainer { model, config, meta_optimizer, loss: L1Loss })
+    }
+
+    /// The meta-training configuration.
+    pub fn config(&self) -> &MetaConfig {
+        &self.config
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Consumes the trainer and returns the meta-learned model.
+    pub fn into_model(self) -> Sequential {
+        self.model
+    }
+
+    /// Runs one meta-training iteration (lines 3–11 of Algorithm 1) and
+    /// returns the mean query loss across the task batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and shape errors.
+    pub fn meta_iteration(&mut self, train: &EncodedDataset, iteration: usize) -> Result<f32> {
+        let sampler = TaskSampler::new(self.config.support_size, self.config.query_size)?;
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(iteration as u64);
+        let tasks = sampler.sample_batch(train, self.config.tasks_per_iteration, seed)?;
+
+        let theta = self.model.flat_params();
+        let mut outer_grad = vec![0.0f32; theta.len()];
+        let mut total_query_loss = 0.0f64;
+
+        for task in &tasks {
+            // Inner loop: adapt θ on the support set (Eq. 5).
+            self.model.set_flat_params(&theta)?;
+            let mut inner = Sgd::new(self.config.inner_lr);
+            for _ in 0..self.config.inner_steps {
+                let pred = self.model.forward(&task.support_inputs, true)?;
+                let (_, grad) = self.loss.evaluate(&pred, &task.support_labels)?;
+                self.model.zero_grad();
+                self.model.backward(&grad)?;
+                let mut adapted = self.model.flat_params();
+                inner.step(&mut adapted, &self.model.flat_grads());
+                self.model.set_flat_params(&adapted)?;
+            }
+
+            // Evaluate the adapted parameters θ' on the query set (line 9).
+            let pred = self.model.forward(&task.query_inputs, true)?;
+            let (query_loss, grad) = self.loss.evaluate(&pred, &task.query_labels)?;
+            total_query_loss += query_loss as f64;
+
+            match self.config.variant {
+                MetaVariant::Fomaml => {
+                    self.model.zero_grad();
+                    self.model.backward(&grad)?;
+                    for (o, g) in outer_grad.iter_mut().zip(self.model.flat_grads()) {
+                        *o += g;
+                    }
+                }
+                MetaVariant::Reptile => {
+                    // One more adaptation step on the query set, then move θ
+                    // towards the adapted parameters.
+                    self.model.zero_grad();
+                    self.model.backward(&grad)?;
+                    let mut adapted = self.model.flat_params();
+                    inner.step(&mut adapted, &self.model.flat_grads());
+                    for ((o, &t), &a) in outer_grad.iter_mut().zip(&theta).zip(&adapted) {
+                        *o += t - a;
+                    }
+                }
+            }
+        }
+
+        // Outer update of the initial parameters θ (Eq. 6), scaled by the
+        // number of tasks and applied with Adam at the meta learning rate β.
+        let scale = 1.0 / self.config.tasks_per_iteration as f32;
+        for g in &mut outer_grad {
+            *g *= scale;
+        }
+        let mut params = theta;
+        self.meta_optimizer.step(&mut params, &outer_grad);
+        self.model.set_flat_params(&params)?;
+
+        Ok((total_query_loss / tasks.len() as f64) as f32)
+    }
+
+    /// Runs the full offline meta-training loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the per-iteration loop.
+    pub fn train(&mut self, train: &EncodedDataset) -> Result<MetaHistory> {
+        let mut history = MetaHistory::default();
+        for iteration in 0..self.config.meta_iterations {
+            let loss = self.meta_iteration(train, iteration)?;
+            history.query_loss.push(loss);
+        }
+        Ok(history)
+    }
+}
+
+impl std::fmt::Debug for MetaTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaTrainer")
+            .field("config", &self.config)
+            .field("params", &self.model.param_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{build_mars_cnn, ModelConfig};
+    use fuse_dataset::{
+        encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig,
+    };
+
+    fn encoded() -> EncodedDataset {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+    }
+
+    fn quick_config(iterations: usize) -> MetaConfig {
+        MetaConfig {
+            tasks_per_iteration: 3,
+            support_size: 16,
+            query_size: 16,
+            ..MetaConfig::quick(iterations)
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MetaConfig::paper().validate().is_ok());
+        assert!(MetaConfig { meta_iterations: 0, ..MetaConfig::paper() }.validate().is_err());
+        assert!(MetaConfig { inner_lr: 0.0, ..MetaConfig::paper() }.validate().is_err());
+        assert!(MetaConfig { inner_steps: 0, ..MetaConfig::paper() }.validate().is_err());
+    }
+
+    #[test]
+    fn meta_training_reduces_query_loss() {
+        let data = encoded();
+        let model = build_mars_cnn(&ModelConfig::tiny(), 3).unwrap();
+        let mut trainer = MetaTrainer::new(model, quick_config(25)).unwrap();
+        let history = trainer.train(&data).unwrap();
+        assert_eq!(history.query_loss.len(), 25);
+        let first: f32 = history.query_loss[..5].iter().sum::<f32>() / 5.0;
+        let last: f32 = history.query_loss[20..].iter().sum::<f32>() / 5.0;
+        assert!(last < first, "query loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn meta_iteration_changes_parameters() {
+        let data = encoded();
+        let model = build_mars_cnn(&ModelConfig::tiny(), 4).unwrap();
+        let mut trainer = MetaTrainer::new(model, quick_config(1)).unwrap();
+        let before = trainer.model().flat_params();
+        trainer.meta_iteration(&data, 0).unwrap();
+        let after = trainer.model().flat_params();
+        assert_ne!(before, after);
+        assert_eq!(before.len(), after.len());
+        assert!(after.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn meta_training_is_deterministic() {
+        let data = encoded();
+        let run = || {
+            let model = build_mars_cnn(&ModelConfig::tiny(), 5).unwrap();
+            let mut trainer = MetaTrainer::new(model, quick_config(3)).unwrap();
+            trainer.train(&data).unwrap();
+            trainer.into_model().flat_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reptile_variant_also_learns() {
+        let data = encoded();
+        let model = build_mars_cnn(&ModelConfig::tiny(), 6).unwrap();
+        let config = MetaConfig { variant: MetaVariant::Reptile, ..quick_config(15) };
+        let mut trainer = MetaTrainer::new(model, config).unwrap();
+        let history = trainer.train(&data).unwrap();
+        let first = history.query_loss.first().copied().unwrap();
+        let last = history.final_loss().unwrap();
+        assert!(last < first, "reptile query loss did not decrease: {first} -> {last}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Meta-learning task sampling (§3.3.1).
+//!
+//! Definition 2 of the paper: a task `T` is a set of fused frames sampled
+//! uniformly from the training data `D_train`. Each meta-training iteration
+//! samples a batch of tasks; each task provides a support set (used for the
+//! inner-loop update) and a query set (used to evaluate the adapted
+//! parameters and drive the outer update).
+
+use fuse_dataset::EncodedDataset;
+use fuse_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuseError;
+use crate::Result;
+
+/// A sampled task: support and query tensors.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Support inputs `[S, C, H, W]`.
+    pub support_inputs: Tensor,
+    /// Support labels `[S, 57]`.
+    pub support_labels: Tensor,
+    /// Query inputs `[Q, C, H, W]`.
+    pub query_inputs: Tensor,
+    /// Query labels `[Q, 57]`.
+    pub query_labels: Tensor,
+}
+
+/// Uniform task sampler over an encoded dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSampler {
+    /// Number of frames in each support set.
+    pub support_size: usize,
+    /// Number of frames in each query set.
+    pub query_size: usize,
+}
+
+impl TaskSampler {
+    /// Creates a sampler with the given support/query sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuseError::InvalidConfig`] when either size is zero.
+    pub fn new(support_size: usize, query_size: usize) -> Result<Self> {
+        if support_size == 0 || query_size == 0 {
+            return Err(FuseError::InvalidConfig("support and query sizes must be nonzero".into()));
+        }
+        Ok(TaskSampler { support_size, query_size })
+    }
+
+    /// The paper's configuration: 1,000 frames per support task and 1,000 per
+    /// query task (§4.1).
+    pub fn paper_default() -> Self {
+        TaskSampler { support_size: 1000, query_size: 1000 }
+    }
+
+    /// Samples one task from the training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset is empty.
+    pub fn sample(&self, data: &EncodedDataset, seed: u64) -> Result<Task> {
+        if data.is_empty() {
+            return Err(FuseError::Experiment("cannot sample tasks from an empty dataset".into()));
+        }
+        let support_idx = data.sample_indices(self.support_size, seed);
+        let query_idx = data.sample_indices(self.query_size, seed.wrapping_add(0x5EED));
+        let (support_inputs, support_labels) = data.gather(&support_idx)?;
+        let (query_inputs, query_labels) = data.gather(&query_idx)?;
+        Ok(Task { support_inputs, support_labels, query_inputs, query_labels })
+    }
+
+    /// Samples a batch of `count` tasks with seeds derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset is empty.
+    pub fn sample_batch(&self, data: &EncodedDataset, count: usize, seed: u64) -> Result<Vec<Task>> {
+        (0..count)
+            .map(|i| self.sample(data, seed.wrapping_mul(31).wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_dataset::{
+        encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig,
+    };
+
+    fn encoded() -> EncodedDataset {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+    }
+
+    #[test]
+    fn sampler_rejects_zero_sizes() {
+        assert!(TaskSampler::new(0, 10).is_err());
+        assert!(TaskSampler::new(10, 0).is_err());
+        assert_eq!(TaskSampler::paper_default().support_size, 1000);
+    }
+
+    #[test]
+    fn sampled_task_has_requested_shapes() {
+        let data = encoded();
+        let sampler = TaskSampler::new(16, 8).unwrap();
+        let task = sampler.sample(&data, 3).unwrap();
+        assert_eq!(task.support_inputs.dims(), &[16, 5, 8, 8]);
+        assert_eq!(task.support_labels.dims(), &[16, 57]);
+        assert_eq!(task.query_inputs.dims(), &[8, 5, 8, 8]);
+        assert_eq!(task.query_labels.dims(), &[8, 57]);
+    }
+
+    #[test]
+    fn support_and_query_sets_differ() {
+        let data = encoded();
+        let sampler = TaskSampler::new(12, 12).unwrap();
+        let task = sampler.sample(&data, 5).unwrap();
+        assert_ne!(task.support_labels, task.query_labels);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let data = encoded();
+        let sampler = TaskSampler::new(10, 10).unwrap();
+        let a = sampler.sample(&data, 9).unwrap();
+        let b = sampler.sample(&data, 9).unwrap();
+        let c = sampler.sample(&data, 10).unwrap();
+        assert_eq!(a.support_labels, b.support_labels);
+        assert_ne!(a.support_labels, c.support_labels);
+    }
+
+    #[test]
+    fn batch_of_tasks_are_distinct() {
+        let data = encoded();
+        let sampler = TaskSampler::new(8, 8).unwrap();
+        let tasks = sampler.sample_batch(&data, 4, 1).unwrap();
+        assert_eq!(tasks.len(), 4);
+        assert_ne!(tasks[0].support_labels, tasks[1].support_labels);
+    }
+
+    #[test]
+    fn oversized_tasks_resample_with_replacement() {
+        let data = encoded();
+        let sampler = TaskSampler::new(data.len() + 20, 4).unwrap();
+        let task = sampler.sample(&data, 2).unwrap();
+        assert_eq!(task.support_inputs.dims()[0], data.len() + 20);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the dataset pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use fuse_tensor::TensorError;
+
+/// Error returned by fallible dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The synthesis or split configuration is invalid.
+    InvalidConfig(String),
+    /// A label vector did not have the expected 57 values.
+    InvalidLabel {
+        /// Number of values found.
+        found: usize,
+    },
+    /// The requested split produced an empty partition.
+    EmptySplit(String),
+    /// Dataset (de)serialisation failed.
+    Io(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset configuration: {msg}"),
+            DatasetError::InvalidLabel { found } => {
+                write!(f, "label vector has {found} values, expected 57")
+            }
+            DatasetError::EmptySplit(which) => write!(f, "split produced an empty partition: {which}"),
+            DatasetError::Io(msg) => write!(f, "dataset io error: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DatasetError {
+    fn from(e: TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(DatasetError::from(TensorError::EmptyTensor).source().is_some());
+        assert!(DatasetError::InvalidLabel { found: 3 }.to_string().contains("57"));
+        assert!(DatasetError::EmptySplit("train".into()).to_string().contains("train"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Feature-map construction: from a fused point set to the CNN input tensor.
+//!
+//! Following the MARS pre-processing that the baseline model expects, the
+//! (possibly fused) point set is reduced to a fixed-size `C × H × W` tensor:
+//! the strongest `H·W` points are kept, sorted spatially, and their five
+//! features (x, y, z, Doppler, intensity) become the channels. The tensor
+//! dimensions are identical for every fusion setting, which is the paper's
+//! fair-comparison requirement (§4.1): fusion changes *which* points are
+//! available, not the model input size.
+
+use fuse_radar::RadarPoint;
+use fuse_tensor::{Normalizer, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// Number of per-point features (x, y, z, Doppler, intensity).
+pub const POINT_FEATURES: usize = 5;
+
+/// Builds fixed-size feature maps from point sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMapBuilder {
+    height: usize,
+    width: usize,
+}
+
+impl FeatureMapBuilder {
+    /// Creates a builder with an `height × width` grid (the MARS baseline
+    /// uses 8 × 8 = 64 points).
+    pub fn new(height: usize, width: usize) -> Self {
+        FeatureMapBuilder { height, width }
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of points retained per sample.
+    pub fn capacity(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Number of input channels of the resulting tensor.
+    pub fn channels(&self) -> usize {
+        POINT_FEATURES
+    }
+
+    /// Input dimensions `[C, H, W]` of the tensor produced by
+    /// [`FeatureMapBuilder::build`].
+    pub fn input_dims(&self) -> [usize; 3] {
+        [POINT_FEATURES, self.height, self.width]
+    }
+
+    /// Selects and orders the points that will fill the grid: the strongest
+    /// `capacity()` points by intensity, then sorted by height (z), depth (y)
+    /// and lateral position (x) so that nearby grid cells hold nearby points.
+    fn select_points(&self, points: &[RadarPoint]) -> Vec<RadarPoint> {
+        let mut selected: Vec<RadarPoint> = points.to_vec();
+        selected.sort_by(|a, b| {
+            b.intensity.partial_cmp(&a.intensity).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        selected.truncate(self.capacity());
+        selected.sort_by(|a, b| {
+            (a.z, a.y, a.x)
+                .partial_cmp(&(b.z, b.y, b.x))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        selected
+    }
+
+    /// Builds the `[C, H, W]` feature tensor for a point set.
+    ///
+    /// Missing points (sparser frames than the grid capacity) are left as
+    /// zeros. When a `normalizer` fitted on training statistics is given, the
+    /// per-point features are z-scored before being written into the grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (which indicate a bug rather than bad
+    /// data).
+    pub fn build(&self, points: &[RadarPoint], normalizer: Option<&Normalizer>) -> Result<Tensor> {
+        let selected = self.select_points(points);
+        let mut tensor = Tensor::zeros(&[POINT_FEATURES, self.height, self.width]);
+        let plane = self.height * self.width;
+        let data = tensor.as_mut_slice();
+        for (slot, point) in selected.iter().enumerate() {
+            let features = point.features();
+            for (c, &value) in features.iter().enumerate() {
+                let v = match normalizer {
+                    Some(n) => n.apply_value(c, value),
+                    None => value,
+                };
+                data[c * plane + slot] = v;
+            }
+        }
+        Ok(tensor)
+    }
+
+    /// Builds a `[N, C, H, W]` batch tensor from multiple point sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `point_sets` is empty.
+    pub fn build_batch(
+        &self,
+        point_sets: &[Vec<RadarPoint>],
+        normalizer: Option<&Normalizer>,
+    ) -> Result<Tensor> {
+        let mut samples = Vec::with_capacity(point_sets.len());
+        for points in point_sets {
+            samples.push(self.build(points, normalizer)?);
+        }
+        Ok(Tensor::stack(&samples)?)
+    }
+
+    /// Fits a per-channel [`Normalizer`] over all points of the given point
+    /// sets (training split only, per §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when there are no points at all.
+    pub fn fit_normalizer(&self, point_sets: &[Vec<RadarPoint>]) -> Result<Normalizer> {
+        let total: usize = point_sets.iter().map(|s| s.len()).sum();
+        if total == 0 {
+            return Ok(Normalizer::identity(POINT_FEATURES));
+        }
+        let mut data = Vec::with_capacity(total * POINT_FEATURES);
+        for set in point_sets {
+            for p in set {
+                data.extend_from_slice(&p.features());
+            }
+        }
+        let matrix = Tensor::from_vec(data, &[total, POINT_FEATURES])?;
+        Ok(Normalizer::fit(&matrix)?)
+    }
+}
+
+impl Default for FeatureMapBuilder {
+    /// The MARS/FUSE baseline geometry: an 8 × 8 grid of 64 points.
+    fn default() -> Self {
+        FeatureMapBuilder { height: 8, width: 8 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f32, intensity: f32) -> RadarPoint {
+        RadarPoint::new(x, 2.0, 1.0, 0.1, intensity)
+    }
+
+    #[test]
+    fn default_geometry_matches_the_paper() {
+        let builder = FeatureMapBuilder::default();
+        assert_eq!(builder.input_dims(), [5, 8, 8]);
+        assert_eq!(builder.capacity(), 64);
+        assert_eq!(builder.channels(), 5);
+    }
+
+    #[test]
+    fn sparse_frames_are_zero_padded() {
+        let builder = FeatureMapBuilder::default();
+        let points = vec![point(1.0, 5.0), point(2.0, 3.0)];
+        let tensor = builder.build(&points, None).unwrap();
+        assert_eq!(tensor.dims(), &[5, 8, 8]);
+        // Exactly two slots of the x channel are populated.
+        let x_channel = &tensor.as_slice()[0..64];
+        let nonzero = x_channel.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 2);
+        // Intensity channel carries the original intensities.
+        let i_channel = &tensor.as_slice()[4 * 64..5 * 64];
+        let total: f32 = i_channel.iter().sum();
+        assert!((total - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dense_point_sets_keep_the_strongest_points() {
+        let builder = FeatureMapBuilder::default();
+        // 100 points: the 64 strongest have intensity >= 36.
+        let points: Vec<RadarPoint> = (0..100).map(|i| point(i as f32, i as f32)).collect();
+        let tensor = builder.build(&points, None).unwrap();
+        let i_channel = &tensor.as_slice()[4 * 64..5 * 64];
+        assert!(i_channel.iter().all(|&v| v >= 36.0));
+        assert_eq!(i_channel.iter().filter(|&&v| v > 0.0).count(), 64);
+    }
+
+    #[test]
+    fn output_dims_are_independent_of_point_count() {
+        let builder = FeatureMapBuilder::default();
+        for n in [0usize, 1, 64, 200] {
+            let points: Vec<RadarPoint> = (0..n).map(|i| point(i as f32, 1.0)).collect();
+            let tensor = builder.build(&points, None).unwrap();
+            assert_eq!(tensor.dims(), &[5, 8, 8]);
+        }
+    }
+
+    #[test]
+    fn spatial_sorting_orders_slots_by_height() {
+        let builder = FeatureMapBuilder::new(2, 2);
+        let points = vec![
+            RadarPoint::new(0.0, 2.0, 1.5, 0.0, 1.0),
+            RadarPoint::new(0.0, 2.0, 0.2, 0.0, 1.0),
+            RadarPoint::new(0.0, 2.0, 1.0, 0.0, 1.0),
+        ];
+        let tensor = builder.build(&points, None).unwrap();
+        let z_channel = &tensor.as_slice()[2 * 4..3 * 4];
+        assert_eq!(z_channel[0], 0.2);
+        assert_eq!(z_channel[1], 1.0);
+        assert_eq!(z_channel[2], 1.5);
+        assert_eq!(z_channel[3], 0.0);
+    }
+
+    #[test]
+    fn batch_building_stacks_samples() {
+        let builder = FeatureMapBuilder::default();
+        let sets = vec![vec![point(1.0, 1.0)], vec![point(2.0, 1.0)], vec![]];
+        let batch = builder.build_batch(&sets, None).unwrap();
+        assert_eq!(batch.dims(), &[3, 5, 8, 8]);
+        assert!(builder.build_batch(&[], None).is_err());
+    }
+
+    #[test]
+    fn normalizer_standardises_channels() {
+        let builder = FeatureMapBuilder::default();
+        let sets: Vec<Vec<RadarPoint>> = (0..10)
+            .map(|i| (0..20).map(|j| RadarPoint::new(i as f32, j as f32, 1.0, 0.5, 2.0)).collect())
+            .collect();
+        let normalizer = builder.fit_normalizer(&sets).unwrap();
+        assert_eq!(normalizer.channels(), 5);
+        // Constant channels (z here) do not blow up.
+        let tensor = builder.build(&sets[0], Some(&normalizer)).unwrap();
+        assert!(tensor.as_slice().iter().all(|v| v.is_finite()));
+        // Empty input produces the identity normalizer.
+        let identity = builder.fit_normalizer(&[]).unwrap();
+        assert_eq!(identity.means(), &[0.0; 5]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Labelled frames and dataset containers.
+
+use fuse_radar::PointCloudFrame;
+use fuse_skeleton::Movement;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DatasetError;
+use crate::Result;
+
+/// Dimensionality of the label vector: 19 joints × 3 coordinates.
+pub const LABEL_DIM: usize = 57;
+
+/// One labelled sample: a radar point-cloud frame plus the 19-joint ground
+/// truth that a Kinect V2 would have produced for the same instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledFrame {
+    /// The radar point cloud for this frame.
+    pub cloud: PointCloudFrame,
+    /// Ground-truth joint coordinates, `(x, y, z)` interleaved, 57 values in
+    /// metres.
+    pub label: Vec<f32>,
+    /// Subject performing the movement (0–3).
+    pub subject_id: usize,
+    /// The rehabilitation movement being performed.
+    pub movement: Movement,
+    /// Index of this frame within its `(subject, movement)` sequence.
+    pub sequence_index: usize,
+}
+
+impl LabeledFrame {
+    /// Creates a labelled frame, validating the label dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidLabel`] unless the label has 57 values.
+    pub fn new(
+        cloud: PointCloudFrame,
+        label: Vec<f32>,
+        subject_id: usize,
+        movement: Movement,
+        sequence_index: usize,
+    ) -> Result<Self> {
+        if label.len() != LABEL_DIM {
+            return Err(DatasetError::InvalidLabel { found: label.len() });
+        }
+        Ok(LabeledFrame { cloud, label, subject_id, movement, sequence_index })
+    }
+
+    /// Number of radar points in this frame.
+    pub fn point_count(&self) -> usize {
+        self.cloud.len()
+    }
+}
+
+/// A collection of labelled frames.
+///
+/// Frames are stored grouped by `(subject, movement)` sequence and ordered by
+/// `sequence_index` within each group, which is what the multi-frame fusion
+/// step relies on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    frames: Vec<LabeledFrame>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset { frames: Vec::new() }
+    }
+
+    /// Creates a dataset from frames, sorting them into canonical
+    /// `(subject, movement, sequence_index)` order.
+    pub fn from_frames(mut frames: Vec<LabeledFrame>) -> Self {
+        frames.sort_by_key(|f| (f.subject_id, f.movement.index(), f.sequence_index));
+        Dataset { frames }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` when the dataset has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The frames in canonical order.
+    pub fn frames(&self) -> &[LabeledFrame] {
+        &self.frames
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledFrame> {
+        self.frames.iter()
+    }
+
+    /// Adds a frame, keeping canonical order.
+    pub fn push(&mut self, frame: LabeledFrame) {
+        self.frames.push(frame);
+        self.frames.sort_by_key(|f| (f.subject_id, f.movement.index(), f.sequence_index));
+    }
+
+    /// Subject identifiers present in the dataset, sorted and deduplicated.
+    pub fn subjects(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.frames.iter().map(|f| f.subject_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Movements present in the dataset, in dataset order.
+    pub fn movements(&self) -> Vec<Movement> {
+        let mut present: Vec<Movement> = Vec::new();
+        for m in Movement::ALL {
+            if self.frames.iter().any(|f| f.movement == m) {
+                present.push(m);
+            }
+        }
+        present
+    }
+
+    /// Returns a new dataset containing only the frames accepted by the
+    /// predicate.
+    pub fn filter(&self, predicate: impl Fn(&LabeledFrame) -> bool) -> Dataset {
+        Dataset { frames: self.frames.iter().filter(|f| predicate(f)).cloned().collect() }
+    }
+
+    /// The frames of one `(subject, movement)` sequence, in temporal order.
+    pub fn sequence(&self, subject_id: usize, movement: Movement) -> Vec<&LabeledFrame> {
+        self.frames
+            .iter()
+            .filter(|f| f.subject_id == subject_id && f.movement == movement)
+            .collect()
+    }
+
+    /// Merges two datasets into a new one.
+    pub fn merged(&self, other: &Dataset) -> Dataset {
+        let mut frames = self.frames.clone();
+        frames.extend(other.frames.iter().cloned());
+        Dataset::from_frames(frames)
+    }
+
+    /// Mean number of points per frame.
+    pub fn mean_points_per_frame(&self) -> f32 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.point_count() as f32).sum::<f32>() / self.frames.len() as f32
+    }
+}
+
+impl FromIterator<LabeledFrame> for Dataset {
+    fn from_iter<I: IntoIterator<Item = LabeledFrame>>(iter: I) -> Self {
+        Dataset::from_frames(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_radar::RadarPoint;
+
+    fn frame(subject: usize, movement: Movement, index: usize) -> LabeledFrame {
+        let cloud = PointCloudFrame::new(index, index as f64 * 0.1, vec![RadarPoint::default(); 4]);
+        LabeledFrame::new(cloud, vec![0.0; LABEL_DIM], subject, movement, index).unwrap()
+    }
+
+    #[test]
+    fn label_dimension_is_validated() {
+        let cloud = PointCloudFrame::default();
+        assert!(matches!(
+            LabeledFrame::new(cloud, vec![0.0; 56], 0, Movement::Squat, 0),
+            Err(DatasetError::InvalidLabel { found: 56 })
+        ));
+    }
+
+    #[test]
+    fn from_frames_sorts_canonically() {
+        let dataset = Dataset::from_frames(vec![
+            frame(1, Movement::Squat, 5),
+            frame(0, Movement::Squat, 3),
+            frame(0, Movement::Squat, 1),
+            frame(0, Movement::LeftFrontLunge, 0),
+        ]);
+        let order: Vec<(usize, usize, usize)> = dataset
+            .frames()
+            .iter()
+            .map(|f| (f.subject_id, f.movement.index(), f.sequence_index))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn subjects_and_movements_are_deduplicated() {
+        let dataset = Dataset::from_frames(vec![
+            frame(2, Movement::Squat, 0),
+            frame(2, Movement::Squat, 1),
+            frame(0, Movement::LeftSideLunge, 0),
+        ]);
+        assert_eq!(dataset.subjects(), vec![0, 2]);
+        assert_eq!(dataset.movements(), vec![Movement::Squat, Movement::LeftSideLunge]);
+    }
+
+    #[test]
+    fn filter_and_sequence_access() {
+        let dataset = Dataset::from_frames(vec![
+            frame(0, Movement::Squat, 0),
+            frame(0, Movement::Squat, 1),
+            frame(1, Movement::Squat, 0),
+            frame(0, Movement::LeftFrontLunge, 0),
+        ]);
+        let squats = dataset.filter(|f| f.movement == Movement::Squat);
+        assert_eq!(squats.len(), 3);
+        let seq = dataset.sequence(0, Movement::Squat);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[1].sequence_index, 1);
+    }
+
+    #[test]
+    fn merge_and_statistics() {
+        let a = Dataset::from_frames(vec![frame(0, Movement::Squat, 0)]);
+        let b = Dataset::from_frames(vec![frame(1, Movement::Squat, 0)]);
+        let merged = a.merged(&b);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.mean_points_per_frame(), 4.0);
+        assert_eq!(Dataset::new().mean_points_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let dataset: Dataset = (0..5).map(|i| frame(0, Movement::Squat, i)).collect();
+        assert_eq!(dataset.len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Saving and loading datasets.
+//!
+//! Synthesising the full 40k-frame dataset takes a little while, so the
+//! experiment harness can persist it to disk and reload it across runs.
+
+use std::fs;
+use std::path::Path;
+
+use crate::error::DatasetError;
+use crate::frame::Dataset;
+use crate::Result;
+
+/// Saves a dataset as JSON.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] when encoding or writing fails.
+pub fn save_dataset_json(dataset: &Dataset, path: &Path) -> Result<()> {
+    let json = serde_json::to_string(dataset)
+        .map_err(|e| DatasetError::Io(format!("encode dataset: {e}")))?;
+    fs::write(path, json).map_err(|e| DatasetError::Io(format!("write {}: {e}", path.display())))
+}
+
+/// Loads a dataset previously saved with [`save_dataset_json`].
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] when reading or decoding fails.
+pub fn load_dataset_json(path: &Path) -> Result<Dataset> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| DatasetError::Io(format!("read {}: {e}", path.display())))?;
+    serde_json::from_str(&json).map_err(|e| DatasetError::Io(format!("decode dataset: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MarsSynthesizer, SynthesisConfig};
+
+    #[test]
+    fn save_and_load_round_trips() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let dir = std::env::temp_dir().join("fuse_dataset_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.json");
+        save_dataset_json(&dataset, &path).unwrap();
+        let restored = load_dataset_json(&path).unwrap();
+        assert_eq!(restored, dataset);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_errors_on_missing_or_corrupt_file() {
+        assert!(load_dataset_json(Path::new("/nonexistent/fuse-dataset.json")).is_err());
+        let dir = std::env::temp_dir().join("fuse_dataset_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load_dataset_json(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! # fuse-dataset
+//!
+//! Synthetic MARS-like mmWave pose dataset and the FUSE pre-processing
+//! pipeline.
+//!
+//! The paper evaluates on the MARS dataset: 40,083 labelled point-cloud
+//! frames of four subjects performing ten rehabilitation movements in front
+//! of a TI IWR1443 radar, with 19-joint Kinect V2 labels at 10 Hz. That data
+//! is not redistributable, so this crate synthesises an equivalent dataset
+//! from the [`fuse_skeleton`] motion models and the [`fuse_radar`] point-cloud
+//! simulator, then implements the pipeline the paper builds on top of it:
+//!
+//! * [`synth`] — dataset synthesis (subjects × movements × frames);
+//! * [`fusion`] — multi-frame point-cloud fusion (Eq. 3, §3.2);
+//! * [`feature`] — 8×8×C feature-map construction and normalisation;
+//! * [`split`] — per-movement 60/20/20 splits and the leave-one-out split of
+//!   §4.3;
+//! * [`loader`] — encoded tensors and mini-batch iteration;
+//! * [`io`] — (de)serialisation of datasets.
+//!
+//! ```
+//! use fuse_dataset::{MarsSynthesizer, SynthesisConfig, FrameFusion, FeatureMapBuilder};
+//!
+//! let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate()?;
+//! assert!(dataset.len() > 0);
+//! let fusion = FrameFusion::new(1); // fuse 3 frames
+//! let builder = FeatureMapBuilder::default();
+//! let encoded = fuse_dataset::encode_dataset(&dataset, &fusion, &builder)?;
+//! assert_eq!(encoded.samples()[0].input.dims(), &[5, 8, 8]);
+//! # Ok::<(), fuse_dataset::DatasetError>(())
+//! ```
+
+pub mod error;
+pub mod feature;
+pub mod frame;
+pub mod fusion;
+pub mod io;
+pub mod loader;
+pub mod split;
+pub mod synth;
+
+pub use error::DatasetError;
+pub use feature::FeatureMapBuilder;
+pub use frame::{Dataset, LabeledFrame, LABEL_DIM};
+pub use fusion::FrameFusion;
+pub use loader::{
+    encode_dataset, encode_dataset_with_normalizer, BatchIterator, EncodedDataset, EncodedSample,
+};
+pub use split::{per_movement_split, DatasetSplit, LeaveOneOutSplit, SplitRatios};
+pub use synth::{MarsSynthesizer, SynthesisConfig};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;

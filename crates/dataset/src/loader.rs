@@ -1,0 +1,358 @@
+//! Encoding of labelled frames into model-ready tensors and mini-batches.
+
+use fuse_skeleton::Movement;
+use fuse_tensor::{Normalizer, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::DatasetError;
+use crate::feature::FeatureMapBuilder;
+use crate::frame::{Dataset, LABEL_DIM};
+use crate::fusion::FrameFusion;
+use crate::Result;
+
+/// One encoded training sample: the CNN input tensor and its label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedSample {
+    /// Input feature map `[C, H, W]`.
+    pub input: Tensor,
+    /// Ground-truth joint coordinates (57 values, metres).
+    pub label: Vec<f32>,
+    /// Subject that produced this sample.
+    pub subject_id: usize,
+    /// Movement being performed.
+    pub movement: Movement,
+    /// Index of the frame within its sequence.
+    pub sequence_index: usize,
+}
+
+/// A dataset encoded into tensors, ready for training and evaluation.
+///
+/// Feature maps are computed once (fusion + selection + normalisation) and
+/// reused across epochs, mirroring how the reference implementation caches
+/// its pre-processed arrays.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    samples: Vec<EncodedSample>,
+    normalizer: Normalizer,
+    input_dims: [usize; 3],
+}
+
+impl EncodedDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The encoded samples.
+    pub fn samples(&self) -> &[EncodedSample] {
+        &self.samples
+    }
+
+    /// The per-channel normaliser used for the feature maps.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Input dimensions `[C, H, W]` of every sample.
+    pub fn input_dims(&self) -> [usize; 3] {
+        self.input_dims
+    }
+
+    /// Stacks the samples at `indices` into `(inputs [N, C, H, W], labels [N, 57])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `indices` is empty or out of range.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Tensor)> {
+        if indices.is_empty() {
+            return Err(DatasetError::EmptySplit("batch".into()));
+        }
+        let mut inputs = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len() * LABEL_DIM);
+        for &i in indices {
+            let sample = self.samples.get(i).ok_or(DatasetError::InvalidConfig(format!(
+                "sample index {i} out of range ({} samples)",
+                self.samples.len()
+            )))?;
+            inputs.push(sample.input.clone());
+            labels.extend_from_slice(&sample.label);
+        }
+        let inputs = Tensor::stack(&inputs)?;
+        let labels = Tensor::from_vec(labels, &[indices.len(), LABEL_DIM])?;
+        Ok((inputs, labels))
+    }
+
+    /// Stacks the entire dataset into `(inputs, labels)` tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset is empty.
+    pub fn full_tensors(&self) -> Result<(Tensor, Tensor)> {
+        let indices: Vec<usize> = (0..self.samples.len()).collect();
+        self.gather(&indices)
+    }
+
+    /// Draws `count` sample indices uniformly at random (with replacement if
+    /// `count` exceeds the dataset size). Used by the meta-learning task
+    /// sampler.
+    pub fn sample_indices(&self, count: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        if count <= self.samples.len() {
+            let mut indices: Vec<usize> = (0..self.samples.len()).collect();
+            indices.shuffle(&mut rng);
+            indices.truncate(count);
+            indices
+        } else {
+            use rand::Rng;
+            (0..count).map(|_| rng.gen_range(0..self.samples.len())).collect()
+        }
+    }
+
+    /// Iterates over shuffled mini-batches of `batch_size` samples.
+    pub fn batches(&self, batch_size: usize, seed: u64) -> BatchIterator<'_> {
+        let mut indices: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        BatchIterator { dataset: self, indices, batch_size: batch_size.max(1), position: 0 }
+    }
+}
+
+/// Iterator over mini-batches of an [`EncodedDataset`].
+#[derive(Debug)]
+pub struct BatchIterator<'a> {
+    dataset: &'a EncodedDataset,
+    indices: Vec<usize>,
+    batch_size: usize,
+    position: usize,
+}
+
+impl Iterator for BatchIterator<'_> {
+    type Item = (Tensor, Tensor);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.position >= self.indices.len() {
+            return None;
+        }
+        let end = (self.position + self.batch_size).min(self.indices.len());
+        let batch = &self.indices[self.position..end];
+        self.position = end;
+        // gather only fails for empty/out-of-range batches, which cannot
+        // happen for indices we constructed ourselves.
+        self.dataset.gather(batch).ok()
+    }
+}
+
+/// Encodes a dataset by fitting the feature normaliser on the dataset itself.
+///
+/// Use [`encode_dataset_with_normalizer`] to encode validation/test/online
+/// data with statistics fitted on the training split (the paper's protocol).
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty.
+pub fn encode_dataset(
+    dataset: &Dataset,
+    fusion: &FrameFusion,
+    builder: &FeatureMapBuilder,
+) -> Result<EncodedDataset> {
+    let fused = fuse_all(dataset, fusion);
+    let point_sets: Vec<_> = fused.iter().map(|(points, _, _, _)| points.clone()).collect();
+    let normalizer = builder.fit_normalizer(&point_sets)?;
+    encode_fused(dataset, fused, builder, normalizer)
+}
+
+/// Encodes a dataset with a pre-fitted normaliser (training-split statistics).
+///
+/// # Errors
+///
+/// Returns an error when the dataset is empty.
+pub fn encode_dataset_with_normalizer(
+    dataset: &Dataset,
+    fusion: &FrameFusion,
+    builder: &FeatureMapBuilder,
+    normalizer: Normalizer,
+) -> Result<EncodedDataset> {
+    let fused = fuse_all(dataset, fusion);
+    encode_fused(dataset, fused, builder, normalizer)
+}
+
+type FusedFrame = (Vec<fuse_radar::RadarPoint>, usize, Movement, usize);
+
+fn fuse_all(dataset: &Dataset, fusion: &FrameFusion) -> Vec<FusedFrame> {
+    let mut fused = Vec::with_capacity(dataset.len());
+    for subject in dataset.subjects() {
+        for movement in dataset.movements() {
+            let sequence = dataset.sequence(subject, movement);
+            if sequence.is_empty() {
+                continue;
+            }
+            let clouds: Vec<&fuse_radar::PointCloudFrame> =
+                sequence.iter().map(|f| &f.cloud).collect();
+            for (k, frame) in sequence.iter().enumerate() {
+                fused.push((
+                    fusion.fused_points(&clouds, k),
+                    subject,
+                    movement,
+                    frame.sequence_index,
+                ));
+            }
+        }
+    }
+    fused
+}
+
+fn encode_fused(
+    dataset: &Dataset,
+    fused: Vec<FusedFrame>,
+    builder: &FeatureMapBuilder,
+    normalizer: Normalizer,
+) -> Result<EncodedDataset> {
+    if dataset.is_empty() {
+        return Err(DatasetError::EmptySplit("dataset to encode".into()));
+    }
+    let mut samples = Vec::with_capacity(fused.len());
+    let mut fused_iter = fused.into_iter();
+    for subject in dataset.subjects() {
+        for movement in dataset.movements() {
+            for frame in dataset.sequence(subject, movement) {
+                let (points, s, m, idx) =
+                    fused_iter.next().expect("fused frames align with dataset iteration order");
+                debug_assert_eq!((s, m, idx), (subject, movement, frame.sequence_index));
+                let input = builder.build(&points, Some(&normalizer))?;
+                samples.push(EncodedSample {
+                    input,
+                    label: frame.label.clone(),
+                    subject_id: subject,
+                    movement,
+                    sequence_index: frame.sequence_index,
+                });
+            }
+        }
+    }
+    Ok(EncodedDataset { samples, normalizer, input_dims: builder.input_dims() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MarsSynthesizer, SynthesisConfig};
+
+    fn encoded() -> EncodedDataset {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+    }
+
+    #[test]
+    fn encoding_preserves_sample_count_and_dims() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let enc = encoded();
+        assert_eq!(enc.len(), dataset.len());
+        assert_eq!(enc.input_dims(), [5, 8, 8]);
+        for s in enc.samples() {
+            assert_eq!(s.input.dims(), &[5, 8, 8]);
+            assert_eq!(s.label.len(), 57);
+        }
+    }
+
+    #[test]
+    fn gather_and_full_tensors_have_matching_shapes() {
+        let enc = encoded();
+        let (x, y) = enc.gather(&[0, 5, 9]).unwrap();
+        assert_eq!(x.dims(), &[3, 5, 8, 8]);
+        assert_eq!(y.dims(), &[3, 57]);
+        let (x_all, y_all) = enc.full_tensors().unwrap();
+        assert_eq!(x_all.dims()[0], enc.len());
+        assert_eq!(y_all.dims(), &[enc.len(), 57]);
+        assert!(enc.gather(&[]).is_err());
+        assert!(enc.gather(&[enc.len()]).is_err());
+    }
+
+    #[test]
+    fn batches_cover_the_whole_dataset_once() {
+        let enc = encoded();
+        let mut seen = 0usize;
+        for (x, y) in enc.batches(16, 3) {
+            assert_eq!(x.dims()[0], y.dims()[0]);
+            assert!(x.dims()[0] <= 16);
+            seen += x.dims()[0];
+        }
+        assert_eq!(seen, enc.len());
+    }
+
+    #[test]
+    fn batch_shuffling_is_seeded() {
+        let enc = encoded();
+        let a: Vec<usize> = enc.batches(8, 1).map(|(x, _)| x.dims()[0]).collect();
+        let b: Vec<usize> = enc.batches(8, 1).map(|(x, _)| x.dims()[0]).collect();
+        assert_eq!(a, b);
+        let first_a = enc.batches(8, 1).next().unwrap().1;
+        let first_c = enc.batches(8, 2).next().unwrap().1;
+        assert_ne!(first_a, first_c);
+    }
+
+    #[test]
+    fn sample_indices_supports_oversampling() {
+        let enc = encoded();
+        let few = enc.sample_indices(10, 7);
+        assert_eq!(few.len(), 10);
+        assert_eq!(few, enc.sample_indices(10, 7));
+        let many = enc.sample_indices(enc.len() + 50, 7);
+        assert_eq!(many.len(), enc.len() + 50);
+        assert!(many.iter().all(|&i| i < enc.len()));
+    }
+
+    #[test]
+    fn normalizer_from_train_can_encode_other_splits() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let split =
+            crate::split::per_movement_split(&dataset, crate::split::SplitRatios::default()).unwrap();
+        let fusion = FrameFusion::default();
+        let builder = FeatureMapBuilder::default();
+        let train_enc = encode_dataset(&split.train, &fusion, &builder).unwrap();
+        let test_enc = encode_dataset_with_normalizer(
+            &split.test,
+            &fusion,
+            &builder,
+            train_enc.normalizer().clone(),
+        )
+        .unwrap();
+        assert_eq!(test_enc.normalizer(), train_enc.normalizer());
+        assert_eq!(test_enc.len(), split.test.len());
+    }
+
+    #[test]
+    fn fusion_setting_changes_the_encoded_features() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let builder = FeatureMapBuilder::default();
+        let single = encode_dataset(&dataset, &FrameFusion::new(0), &builder).unwrap();
+        let fused = encode_dataset(&dataset, &FrameFusion::new(1), &builder).unwrap();
+        // Fused maps fill more of the 64 slots than single-frame maps on average.
+        let occupancy = |enc: &EncodedDataset| {
+            let mut filled = 0usize;
+            let mut total = 0usize;
+            for s in enc.samples() {
+                let i_channel = &s.input.as_slice()[4 * 64..5 * 64];
+                filled += i_channel.iter().filter(|&&v| v != 0.0).count();
+                total += 64;
+            }
+            filled as f32 / total as f32
+        };
+        assert!(occupancy(&fused) > occupancy(&single), "fusion did not increase slot occupancy");
+    }
+
+    #[test]
+    fn encoding_empty_dataset_fails() {
+        let err = encode_dataset(&Dataset::new(), &FrameFusion::default(), &FeatureMapBuilder::default());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Dataset splits: the default per-movement 60/20/20 split and the
+//! leave-one-out split used by the adaptation experiments (§4.3).
+
+use fuse_skeleton::Movement;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DatasetError;
+use crate::frame::Dataset;
+use crate::Result;
+
+/// Train/validation/test ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Fraction of frames assigned to the training split.
+    pub train: f32,
+    /// Fraction of frames assigned to the validation split.
+    pub validation: f32,
+    /// Fraction of frames assigned to the test split.
+    pub test: f32,
+}
+
+impl SplitRatios {
+    /// The paper's default split: 60 % train, 20 % validation, 20 % test.
+    pub fn default_60_20_20() -> Self {
+        SplitRatios { train: 0.6, validation: 0.2, test: 0.2 }
+    }
+
+    /// Validates that the ratios are positive and sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] otherwise.
+    pub fn validate(&self) -> Result<()> {
+        if self.train <= 0.0 || self.validation < 0.0 || self.test <= 0.0 {
+            return Err(DatasetError::InvalidConfig("split ratios must be positive".into()));
+        }
+        let sum = self.train + self.validation + self.test;
+        if (sum - 1.0).abs() > 1e-3 {
+            return Err(DatasetError::InvalidConfig(format!("split ratios sum to {sum}, expected 1.0")));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios::default_60_20_20()
+    }
+}
+
+/// A dataset partitioned into train/validation/test subsets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSplit {
+    /// Training frames.
+    pub train: Dataset,
+    /// Validation frames.
+    pub validation: Dataset,
+    /// Test frames.
+    pub test: Dataset,
+}
+
+impl DatasetSplit {
+    /// Total number of frames across the three partitions.
+    pub fn total_len(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+}
+
+/// Splits every `(subject, movement)` sequence individually into contiguous
+/// train/validation/test segments ("each movement data is individually split
+/// into 60 % training, 20 % validation, and 20 % test sets", §4.1).
+///
+/// Contiguous (rather than shuffled) segments are used so that the fused
+/// multi-frame samples of the test segment never contain training frames —
+/// shuffling frame-level assignments would leak information across splits
+/// through the fusion window.
+///
+/// # Errors
+///
+/// Returns an error when the ratios are invalid or the dataset is empty.
+pub fn per_movement_split(dataset: &Dataset, ratios: SplitRatios) -> Result<DatasetSplit> {
+    ratios.validate()?;
+    if dataset.is_empty() {
+        return Err(DatasetError::EmptySplit("input dataset".into()));
+    }
+    let mut split = DatasetSplit::default();
+    let mut train = Vec::new();
+    let mut validation = Vec::new();
+    let mut test = Vec::new();
+
+    for subject in dataset.subjects() {
+        for movement in dataset.movements() {
+            let sequence = dataset.sequence(subject, movement);
+            if sequence.is_empty() {
+                continue;
+            }
+            let n = sequence.len();
+            let train_end = ((n as f32 * ratios.train).round() as usize).min(n);
+            let val_end = ((n as f32 * (ratios.train + ratios.validation)).round() as usize).min(n);
+            for (i, frame) in sequence.into_iter().enumerate() {
+                if i < train_end {
+                    train.push(frame.clone());
+                } else if i < val_end {
+                    validation.push(frame.clone());
+                } else {
+                    test.push(frame.clone());
+                }
+            }
+        }
+    }
+    split.train = Dataset::from_frames(train);
+    split.validation = Dataset::from_frames(validation);
+    split.test = Dataset::from_frames(test);
+    if split.train.is_empty() {
+        return Err(DatasetError::EmptySplit("train".into()));
+    }
+    if split.test.is_empty() {
+        return Err(DatasetError::EmptySplit("test".into()));
+    }
+    Ok(split)
+}
+
+/// The worst-case adaptation split of §4.3.1: the training data excludes *all*
+/// frames of one held-out movement and one held-out subject; the online data
+/// `D_test` contains only the frames where the held-out subject performs the
+/// held-out movement (an entirely unseen user-movement combination).
+///
+/// Frames involving the held-out subject *or* movement (but not both) are
+/// discarded, so no information about either leaks into offline training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaveOneOutSplit {
+    /// The movement excluded from offline training.
+    pub held_out_movement: Movement,
+    /// The subject excluded from offline training.
+    pub held_out_subject: usize,
+}
+
+impl LeaveOneOutSplit {
+    /// The exact configuration of the paper's §4.3 experiment: hold out the
+    /// "right limb extension" movement and user 4 (index 3).
+    pub fn paper_default() -> Self {
+        LeaveOneOutSplit { held_out_movement: Movement::RightLimbExtension, held_out_subject: 3 }
+    }
+
+    /// Creates a split holding out the given movement and subject.
+    pub fn new(held_out_movement: Movement, held_out_subject: usize) -> Self {
+        LeaveOneOutSplit { held_out_movement, held_out_subject }
+    }
+
+    /// Applies the split, returning `(train, online)` datasets where `online`
+    /// is the paper's `D_test` (seen only during fine-tuning and evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either partition would be empty (e.g. the
+    /// dataset does not contain the held-out combination at all).
+    pub fn apply(&self, dataset: &Dataset) -> Result<(Dataset, Dataset)> {
+        let held_movement = self.held_out_movement;
+        let held_subject = self.held_out_subject;
+        let train = dataset
+            .filter(|f| f.movement != held_movement && f.subject_id != held_subject);
+        let online = dataset
+            .filter(|f| f.movement == held_movement && f.subject_id == held_subject);
+        if train.is_empty() {
+            return Err(DatasetError::EmptySplit("leave-one-out train".into()));
+        }
+        if online.is_empty() {
+            return Err(DatasetError::EmptySplit("leave-one-out online (D_test)".into()));
+        }
+        Ok((train, online))
+    }
+
+    /// Splits the online dataset `D_test` into the frames used for
+    /// fine-tuning (the first `finetune_frames`, 200 in the paper) and the
+    /// frames used only for evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when there are not enough frames to leave at least
+    /// one evaluation frame.
+    pub fn split_online(
+        &self,
+        online: &Dataset,
+        finetune_frames: usize,
+    ) -> Result<(Dataset, Dataset)> {
+        if online.len() <= finetune_frames {
+            return Err(DatasetError::InvalidConfig(format!(
+                "online set has {} frames, cannot reserve {finetune_frames} for fine-tuning",
+                online.len()
+            )));
+        }
+        let finetune = Dataset::from_frames(
+            online.frames().iter().take(finetune_frames).cloned().collect(),
+        );
+        let evaluation = Dataset::from_frames(
+            online.frames().iter().skip(finetune_frames).cloned().collect(),
+        );
+        Ok((finetune, evaluation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MarsSynthesizer, SynthesisConfig};
+
+    fn dataset() -> Dataset {
+        let mut config = SynthesisConfig::tiny();
+        config.subjects = vec![0, 3];
+        config.movements = vec![Movement::Squat, Movement::RightLimbExtension];
+        config.frames_per_sequence = 40;
+        MarsSynthesizer::new(config).generate().unwrap()
+    }
+
+    #[test]
+    fn ratios_validate() {
+        SplitRatios::default().validate().unwrap();
+        assert!(SplitRatios { train: 0.5, validation: 0.2, test: 0.2 }.validate().is_err());
+        assert!(SplitRatios { train: 0.0, validation: 0.5, test: 0.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn per_movement_split_has_expected_proportions() {
+        let data = dataset();
+        let split = per_movement_split(&data, SplitRatios::default()).unwrap();
+        assert_eq!(split.total_len(), data.len());
+        let train_frac = split.train.len() as f32 / data.len() as f32;
+        let test_frac = split.test.len() as f32 / data.len() as f32;
+        assert!((train_frac - 0.6).abs() < 0.05, "train fraction {train_frac}");
+        assert!((test_frac - 0.2).abs() < 0.05, "test fraction {test_frac}");
+    }
+
+    #[test]
+    fn per_movement_split_keeps_segments_contiguous() {
+        let data = dataset();
+        let split = per_movement_split(&data, SplitRatios::default()).unwrap();
+        // Within one sequence, every training index is smaller than every test index.
+        let train_max = split
+            .train
+            .sequence(0, Movement::Squat)
+            .iter()
+            .map(|f| f.sequence_index)
+            .max()
+            .unwrap();
+        let test_min = split
+            .test
+            .sequence(0, Movement::Squat)
+            .iter()
+            .map(|f| f.sequence_index)
+            .min()
+            .unwrap();
+        assert!(train_max < test_min);
+    }
+
+    #[test]
+    fn per_movement_split_covers_every_sequence() {
+        let data = dataset();
+        let split = per_movement_split(&data, SplitRatios::default()).unwrap();
+        for subject in data.subjects() {
+            for movement in data.movements() {
+                assert!(!split.train.sequence(subject, movement).is_empty());
+                assert!(!split.test.sequence(subject, movement).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn split_rejects_empty_dataset_and_bad_ratios() {
+        assert!(per_movement_split(&Dataset::new(), SplitRatios::default()).is_err());
+        let data = dataset();
+        assert!(per_movement_split(&data, SplitRatios { train: 0.7, validation: 0.2, test: 0.2 }).is_err());
+    }
+
+    #[test]
+    fn leave_one_out_excludes_subject_and_movement_from_training() {
+        let data = dataset();
+        let split = LeaveOneOutSplit::paper_default();
+        let (train, online) = split.apply(&data).unwrap();
+        assert!(train.iter().all(|f| f.subject_id != 3));
+        assert!(train.iter().all(|f| f.movement != Movement::RightLimbExtension));
+        assert!(online
+            .iter()
+            .all(|f| f.subject_id == 3 && f.movement == Movement::RightLimbExtension));
+        // In this tiny dataset: train = subject 0 squat (40 frames), online = 40 frames.
+        assert_eq!(train.len(), 40);
+        assert_eq!(online.len(), 40);
+        // Discarded frames (subject 0 right-limb + subject 3 squat) are in neither set.
+        assert_eq!(train.len() + online.len(), data.len() - 80);
+    }
+
+    #[test]
+    fn leave_one_out_online_split_reserves_finetune_frames() {
+        let data = dataset();
+        let split = LeaveOneOutSplit::paper_default();
+        let (_, online) = split.apply(&data).unwrap();
+        let (finetune, eval) = split.split_online(&online, 10).unwrap();
+        assert_eq!(finetune.len(), 10);
+        assert_eq!(eval.len(), online.len() - 10);
+        // Fine-tune frames precede evaluation frames in time.
+        let ft_max = finetune.iter().map(|f| f.sequence_index).max().unwrap();
+        let ev_min = eval.iter().map(|f| f.sequence_index).min().unwrap();
+        assert!(ft_max < ev_min);
+        assert!(split.split_online(&online, online.len()).is_err());
+    }
+
+    #[test]
+    fn leave_one_out_errors_when_combination_is_missing() {
+        let data = dataset().filter(|f| !(f.subject_id == 3 && f.movement == Movement::RightLimbExtension));
+        assert!(LeaveOneOutSplit::paper_default().apply(&data).is_err());
+    }
+}

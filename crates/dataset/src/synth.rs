@@ -1,0 +1,283 @@
+//! Synthesis of the MARS-like dataset.
+
+use fuse_radar::{FastScatterModel, RadarConfig, Scatterer, Scene};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+use serde::{Deserialize, Serialize};
+
+use crate::error::DatasetError;
+use crate::frame::{Dataset, LabeledFrame};
+use crate::Result;
+
+/// Configuration for dataset synthesis.
+///
+/// The defaults mirror the MARS collection protocol: four subjects, ten
+/// movements, 10 Hz frames. The number of frames per `(subject, movement)`
+/// sequence controls the overall dataset size (the real MARS dataset has
+/// ~1,000 frames per sequence, i.e. ~40k frames total).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    /// Subject profile indices to include (0–3).
+    pub subjects: Vec<usize>,
+    /// Movements to include.
+    pub movements: Vec<Movement>,
+    /// Number of frames per `(subject, movement)` sequence.
+    pub frames_per_sequence: usize,
+    /// Radar frame rate in Hz (the paper uses 10 Hz).
+    pub frame_rate_hz: f32,
+    /// Radar configuration used by the point-cloud model.
+    pub radar: RadarConfig,
+    /// Surface sampling density (scatterers per bone).
+    pub points_per_bone: usize,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl SynthesisConfig {
+    /// Paper-scale configuration: 4 subjects × 10 movements × 1,000 frames
+    /// ≈ 40k frames (use with `FUSE_FULL_EXPERIMENT=1`).
+    pub fn full() -> Self {
+        SynthesisConfig {
+            subjects: vec![0, 1, 2, 3],
+            movements: Movement::ALL.to_vec(),
+            frames_per_sequence: 1000,
+            frame_rate_hz: 10.0,
+            radar: RadarConfig::iwr1443_indoor(),
+            points_per_bone: 4,
+            seed: 2022,
+        }
+    }
+
+    /// Quick configuration used by the default experiment profile:
+    /// 4 subjects × 10 movements × 120 frames = 4,800 frames.
+    pub fn quick() -> Self {
+        SynthesisConfig { frames_per_sequence: 120, ..SynthesisConfig::full() }
+    }
+
+    /// Tiny configuration for unit tests and doc examples
+    /// (2 subjects × 2 movements × 30 frames).
+    pub fn tiny() -> Self {
+        SynthesisConfig {
+            subjects: vec![0, 1],
+            movements: vec![Movement::Squat, Movement::RightLimbExtension],
+            frames_per_sequence: 30,
+            frame_rate_hz: 10.0,
+            radar: RadarConfig::iwr1443_indoor(),
+            points_per_bone: 3,
+            seed: 7,
+        }
+    }
+
+    /// Total number of frames this configuration will produce.
+    pub fn total_frames(&self) -> usize {
+        self.subjects.len() * self.movements.len() * self.frames_per_sequence
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for empty subject/movement
+    /// lists, zero-length sequences or a non-positive frame rate.
+    pub fn validate(&self) -> Result<()> {
+        if self.subjects.is_empty() || self.movements.is_empty() {
+            return Err(DatasetError::InvalidConfig("subjects and movements must be non-empty".into()));
+        }
+        if self.subjects.iter().any(|&s| s >= 4) {
+            return Err(DatasetError::InvalidConfig("subject indices must be in 0..4".into()));
+        }
+        if self.frames_per_sequence == 0 {
+            return Err(DatasetError::InvalidConfig("frames_per_sequence must be nonzero".into()));
+        }
+        if self.frame_rate_hz <= 0.0 {
+            return Err(DatasetError::InvalidConfig("frame_rate_hz must be positive".into()));
+        }
+        if self.points_per_bone == 0 {
+            return Err(DatasetError::InvalidConfig("points_per_bone must be nonzero".into()));
+        }
+        self.radar
+            .validate()
+            .map_err(|e| DatasetError::InvalidConfig(format!("radar config: {e}")))
+    }
+}
+
+/// Generates a MARS-like dataset from the skeleton and radar models.
+#[derive(Debug, Clone)]
+pub struct MarsSynthesizer {
+    config: SynthesisConfig,
+}
+
+impl MarsSynthesizer {
+    /// Creates a synthesizer for the given configuration.
+    pub fn new(config: SynthesisConfig) -> Self {
+        MarsSynthesizer { config }
+    }
+
+    /// The synthesis configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Generates the dataset.
+    ///
+    /// Every frame is produced by animating the subject's skeleton, placing
+    /// surface scatterers on the body segments and sampling a sparse point
+    /// cloud with the calibrated [`FastScatterModel`]. Labels are the 57
+    /// joint coordinates of the same instant. The result is deterministic for
+    /// a given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid.
+    pub fn generate(&self) -> Result<Dataset> {
+        self.config.validate()?;
+        let model = FastScatterModel::new(self.config.radar);
+        let mut frames = Vec::with_capacity(self.config.total_frames());
+
+        for &subject_id in &self.config.subjects {
+            let subject = Subject::profile(subject_id);
+            for &movement in &self.config.movements {
+                let sequence_seed = self
+                    .config
+                    .seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((subject_id as u64) << 32 | movement.index() as u64);
+                let animator = MovementAnimator::new(subject, movement, self.config.frame_rate_hz)
+                    .with_seed(sequence_seed);
+                let samples =
+                    animator.sample_frames_with_velocities(0.0, self.config.frames_per_sequence);
+
+                for (index, (skeleton, velocities)) in samples.iter().enumerate() {
+                    let surface =
+                        body_surface_points(skeleton, velocities, self.config.points_per_bone);
+                    let scene: Scene = surface
+                        .iter()
+                        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+                        .collect();
+                    let frame_seed = sequence_seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    let mut cloud = model.sample(&scene, frame_seed);
+                    cloud.index = index;
+                    cloud.timestamp_s = index as f64 / self.config.frame_rate_hz as f64;
+                    frames.push(LabeledFrame::new(
+                        cloud,
+                        skeleton.to_label_vec(),
+                        subject_id,
+                        movement,
+                        index,
+                    )?);
+                }
+            }
+        }
+        Ok(Dataset::from_frames(frames))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_has_expected_structure() {
+        let config = SynthesisConfig::tiny();
+        let dataset = MarsSynthesizer::new(config.clone()).generate().unwrap();
+        assert_eq!(dataset.len(), config.total_frames());
+        assert_eq!(dataset.subjects(), vec![0, 1]);
+        assert_eq!(dataset.movements().len(), 2);
+        // Sequences are complete and ordered.
+        let seq = dataset.sequence(0, Movement::Squat);
+        assert_eq!(seq.len(), 30);
+        for (i, f) in seq.iter().enumerate() {
+            assert_eq!(f.sequence_index, i);
+        }
+    }
+
+    #[test]
+    fn frames_are_sparse_like_mmwave() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let mean_points = dataset.mean_points_per_frame();
+        // The feature maps are padded to 64 slots; actual detections per
+        // frame average ~32 (see FastScatterModel). Allow a generous band.
+        assert!(mean_points > 15.0 && mean_points < 80.0, "mean points {mean_points}");
+    }
+
+    #[test]
+    fn labels_are_plausible_joint_coordinates() {
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        for frame in dataset.iter().take(50) {
+            assert_eq!(frame.label.len(), 57);
+            // Depth (y) coordinates should be near the stand distance; height
+            // (z) within human range.
+            for joint in 0..19 {
+                let y = frame.label[joint * 3 + 1];
+                let z = frame.label[joint * 3 + 2];
+                assert!(y > 0.5 && y < 3.5, "joint depth {y}");
+                assert!(z > -0.2 && z < 2.2, "joint height {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let b = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        assert_eq!(a, b);
+        let mut different = SynthesisConfig::tiny();
+        different.seed += 1;
+        let c = MarsSynthesizer::new(different).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn point_cloud_tracks_the_subject_laterally() {
+        // Use two subjects standing at different lateral offsets and check the
+        // point-cloud centroids differ accordingly.
+        let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let s0_frames = dataset.filter(|f| f.subject_id == 0);
+        let s1_frames = dataset.filter(|f| f.subject_id == 1);
+        let centroid_x = |d: &Dataset| {
+            let mut sum = 0.0f32;
+            let mut count = 0usize;
+            for f in d.iter() {
+                if let Some(c) = f.cloud.centroid() {
+                    sum += c[0];
+                    count += 1;
+                }
+            }
+            sum / count as f32
+        };
+        let dx = (centroid_x(&s0_frames) - Subject::profile(0).lateral_offset_m).abs();
+        let dx1 = (centroid_x(&s1_frames) - Subject::profile(1).lateral_offset_m).abs();
+        assert!(dx < 0.15, "subject 0 centroid offset {dx}");
+        assert!(dx1 < 0.15, "subject 1 centroid offset {dx1}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut config = SynthesisConfig::tiny();
+        config.subjects.clear();
+        assert!(MarsSynthesizer::new(config).generate().is_err());
+
+        let mut config = SynthesisConfig::tiny();
+        config.frames_per_sequence = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = SynthesisConfig::tiny();
+        config.subjects = vec![9];
+        assert!(config.validate().is_err());
+
+        let mut config = SynthesisConfig::tiny();
+        config.frame_rate_hz = 0.0;
+        assert!(config.validate().is_err());
+
+        let mut config = SynthesisConfig::tiny();
+        config.points_per_bone = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn full_and_quick_configs_scale_as_documented() {
+        assert_eq!(SynthesisConfig::full().total_frames(), 40_000);
+        assert_eq!(SynthesisConfig::quick().total_frames(), 4_800);
+        SynthesisConfig::full().validate().unwrap();
+        SynthesisConfig::quick().validate().unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use fuse_tensor::TensorError;
+
+/// Error returned by fallible neural-network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// A layer was configured with invalid hyper-parameters.
+    InvalidLayer(String),
+    /// `backward` was called before `forward` (no cached activation).
+    MissingForwardCache(String),
+    /// The flattened parameter/gradient vector has the wrong length.
+    ParamLengthMismatch {
+        /// Length the model expects.
+        expected: usize,
+        /// Length that was provided.
+        actual: usize,
+    },
+    /// Model serialization or deserialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidLayer(msg) => write!(f, "invalid layer configuration: {msg}"),
+            NnError::MissingForwardCache(layer) => {
+                write!(f, "backward called on `{layer}` before forward")
+            }
+            NnError::ParamLengthMismatch { expected, actual } => {
+                write!(f, "parameter vector has length {actual}, model expects {expected}")
+            }
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::EmptyTensor);
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let e = NnError::ParamLengthMismatch { expected: 10, actual: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! The [`Layer`] trait implemented by every network building block.
+
+use fuse_tensor::Tensor;
+
+use crate::Result;
+
+/// A differentiable network layer with cached activations.
+///
+/// Layers follow a classic layer-wise backpropagation contract:
+///
+/// 1. [`Layer::forward`] computes the output and caches whatever it needs for
+///    the backward pass (typically its input).
+/// 2. [`Layer::backward`] consumes the gradient of the loss with respect to
+///    the layer output, accumulates parameter gradients internally, and
+///    returns the gradient with respect to the layer input.
+///
+/// Parameter access is exposed as ordered lists of tensors so that
+/// [`crate::Sequential`] can flatten them into a single vector — the
+/// representation the optimizers and the meta-learning outer loop work with.
+pub trait Layer: Send {
+    /// Human-readable layer name used in error messages and summaries.
+    fn name(&self) -> &str;
+
+    /// Runs the forward pass, caching state for [`Layer::backward`].
+    ///
+    /// `train` distinguishes training mode from inference mode (it only
+    /// matters for stochastic layers such as dropout).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Runs the backward pass for the most recent forward call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when called before `forward` or when `grad_output`
+    /// has an unexpected shape.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Ordered list of parameter tensors (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Ordered list of parameter gradient tensors, matching [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Overwrites the parameters from an ordered list of tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the number or shapes of tensors do not match.
+    fn set_params(&mut self, params: &[Tensor]) -> Result<()>;
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grad(&mut self);
+
+    /// Total number of scalar parameters in this layer.
+    fn param_len(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

@@ -1,0 +1,223 @@
+//! Regression losses for joint-coordinate estimation.
+
+use fuse_tensor::{Tensor, TensorError};
+
+use crate::Result;
+
+/// A differentiable loss over `[N, D]` predictions and targets.
+///
+/// [`Loss::evaluate`] returns both the scalar loss value and the gradient of
+/// the loss with respect to the prediction, which is what gets fed into
+/// [`crate::Sequential::backward`].
+pub trait Loss: Send + Sync {
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Computes the loss value and its gradient with respect to `pred`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `pred` and `target` shapes differ or are empty.
+    fn evaluate(&self, pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)>;
+
+    /// Computes only the loss value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `pred` and `target` shapes differ or are empty.
+    fn value(&self, pred: &Tensor, target: &Tensor) -> Result<f32> {
+        Ok(self.evaluate(pred, target)?.0)
+    }
+}
+
+fn check(pred: &Tensor, target: &Tensor) -> Result<()> {
+    if pred.dims() != target.dims() {
+        return Err(TensorError::ShapeMismatch {
+            left: pred.dims().to_vec(),
+            right: target.dims().to_vec(),
+        }
+        .into());
+    }
+    if pred.is_empty() {
+        return Err(TensorError::EmptyTensor.into());
+    }
+    Ok(())
+}
+
+/// Mean absolute error (the L1 loss used by the paper for both training and
+/// evaluation, §3.1.2 and §4.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Loss;
+
+impl Loss for L1Loss {
+    fn name(&self) -> &str {
+        "l1"
+    }
+
+    fn evaluate(&self, pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+        check(pred, target)?;
+        let n = pred.len() as f32;
+        let diff = pred.sub(target)?;
+        let value = diff.abs().sum() / n;
+        let grad = diff.signum().scale(1.0 / n);
+        Ok((value, grad))
+    }
+}
+
+/// Mean squared error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn name(&self) -> &str {
+        "mse"
+    }
+
+    fn evaluate(&self, pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+        check(pred, target)?;
+        let n = pred.len() as f32;
+        let diff = pred.sub(target)?;
+        let value = diff.norm_sq() / n;
+        let grad = diff.scale(2.0 / n);
+        Ok((value, grad))
+    }
+}
+
+/// Huber (smooth-L1) loss with transition point `delta`.
+///
+/// Quadratic for residuals smaller than `delta`, linear beyond — a robust
+/// alternative mentioned in §3.3.2 ("other functions such as L2 can also be
+/// used"), included here for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HuberLoss {
+    /// Transition point between the quadratic and linear regimes.
+    pub delta: f32,
+}
+
+impl HuberLoss {
+    /// Creates a Huber loss with the given transition point.
+    pub fn new(delta: f32) -> Self {
+        HuberLoss { delta }
+    }
+}
+
+impl Default for HuberLoss {
+    fn default() -> Self {
+        HuberLoss { delta: 1.0 }
+    }
+}
+
+impl Loss for HuberLoss {
+    fn name(&self) -> &str {
+        "huber"
+    }
+
+    fn evaluate(&self, pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+        check(pred, target)?;
+        let n = pred.len() as f32;
+        let d = self.delta;
+        let diff = pred.sub(target)?;
+        let mut value = 0.0f32;
+        let mut grad = diff.clone();
+        for g in grad.as_mut_slice() {
+            let r = *g;
+            if r.abs() <= d {
+                value += 0.5 * r * r;
+                *g = r / n;
+            } else {
+                value += d * (r.abs() - 0.5 * d);
+                *g = d * r.signum() / n;
+            }
+        }
+        Ok((value / n, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_grad(loss: &dyn Loss, pred: &Tensor, target: &Tensor) -> Tensor {
+        let eps = 1e-3;
+        let mut grad = Tensor::zeros(pred.dims());
+        for i in 0..pred.len() {
+            let mut plus = pred.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = pred.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = loss.value(&plus, target).unwrap();
+            let fm = loss.value(&minus, target).unwrap();
+            grad.as_mut_slice()[i] = (fp - fm) / (2.0 * eps);
+        }
+        grad
+    }
+
+    #[test]
+    fn l1_value_is_mean_absolute_error() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 2.0, 5.0, 8.0], &[2, 2]).unwrap();
+        let (v, _) = L1Loss.evaluate(&pred, &target).unwrap();
+        assert!((v - (1.0 + 0.0 + 2.0 + 4.0) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_value_is_mean_squared_error() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 4.0], &[1, 2]).unwrap();
+        let (v, _) = MseLoss.evaluate(&pred, &target).unwrap();
+        assert!((v - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let pred = Tensor::randn(&[3, 4], 1.0, 5);
+        let target = Tensor::randn(&[3, 4], 1.0, 6);
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(L1Loss),
+            Box::new(MseLoss),
+            Box::new(HuberLoss::new(0.5)),
+        ];
+        for loss in &losses {
+            let (_, grad) = loss.evaluate(&pred, &target).unwrap();
+            let fd = finite_diff_grad(loss.as_ref(), &pred, &target);
+            for (a, b) in grad.as_slice().iter().zip(fd.as_slice()) {
+                assert!((a - b).abs() < 1e-2, "{} grad mismatch {a} vs {b}", loss.name());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_gives_zero_loss_and_gradient() {
+        let pred = Tensor::randn(&[2, 3], 1.0, 7);
+        for loss in [&L1Loss as &dyn Loss, &MseLoss, &HuberLoss::default()] {
+            let (v, g) = loss.evaluate(&pred, &pred).unwrap();
+            assert_eq!(v, 0.0);
+            assert_eq!(g.norm(), 0.0);
+        }
+    }
+
+    #[test]
+    fn losses_reject_shape_mismatch_and_empty() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(L1Loss.evaluate(&a, &b).is_err());
+        let e = Tensor::zeros(&[0, 3]);
+        assert!(MseLoss.evaluate(&e, &e).is_err());
+    }
+
+    #[test]
+    fn huber_is_between_l1_and_l2_behaviour() {
+        // For small residuals Huber ≈ 0.5*MSE, for large residuals it grows linearly.
+        let pred = Tensor::from_vec(vec![0.1, 10.0], &[1, 2]).unwrap();
+        let target = Tensor::zeros(&[1, 2]);
+        let (h, _) = HuberLoss::new(1.0).evaluate(&pred, &target).unwrap();
+        let expected = (0.5 * 0.1f32 * 0.1 + 1.0 * (10.0 - 0.5)) / 2.0;
+        assert!((h - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_names_are_distinct() {
+        assert_ne!(L1Loss.name(), MseLoss.name());
+        assert_ne!(MseLoss.name(), HuberLoss::default().name());
+    }
+}

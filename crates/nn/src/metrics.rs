@@ -1,0 +1,174 @@
+//! Evaluation metrics for joint-coordinate regression.
+//!
+//! The paper reports the mean absolute error (MAE) of the predicted joint
+//! coordinates separately along the x, y and z axes, plus their average, all
+//! in centimetres (Table 1, Table 2, Figures 3–4). Predictions and labels are
+//! laid out as `[N, 3 * joints]` with the coordinate order
+//! `(x_0, y_0, z_0, x_1, y_1, z_1, ...)`.
+
+use fuse_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// Per-axis mean absolute error, in the same unit as the inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AxisMae {
+    /// MAE along the x axis.
+    pub x: f32,
+    /// MAE along the y axis.
+    pub y: f32,
+    /// MAE along the z axis.
+    pub z: f32,
+}
+
+impl AxisMae {
+    /// Average of the three per-axis errors — the "Average (cm)" column of
+    /// Table 1.
+    pub fn average(&self) -> f32 {
+        (self.x + self.y + self.z) / 3.0
+    }
+
+    /// Converts metres to centimetres (the unit the paper reports).
+    pub fn to_centimeters(&self) -> AxisMae {
+        AxisMae { x: self.x * 100.0, y: self.y * 100.0, z: self.z * 100.0 }
+    }
+}
+
+impl std::fmt::Display for AxisMae {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "x={:.2} y={:.2} z={:.2} avg={:.2}",
+            self.x,
+            self.y,
+            self.z,
+            self.average()
+        )
+    }
+}
+
+fn check_pair(pred: &Tensor, target: &Tensor) -> Result<(usize, usize)> {
+    if pred.dims() != target.dims() {
+        return Err(TensorError::ShapeMismatch {
+            left: pred.dims().to_vec(),
+            right: target.dims().to_vec(),
+        }
+        .into());
+    }
+    if pred.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: pred.shape().rank() }.into());
+    }
+    if pred.is_empty() {
+        return Err(TensorError::EmptyTensor.into());
+    }
+    Ok((pred.dims()[0], pred.dims()[1]))
+}
+
+/// Overall mean absolute error between predictions and targets.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ, the rank is not 2, or the tensors are
+/// empty.
+pub fn mae(pred: &Tensor, target: &Tensor) -> Result<f32> {
+    check_pair(pred, target)?;
+    Ok(pred.sub(target)?.abs().mean())
+}
+
+/// Per-axis MAE assuming interleaved `(x, y, z)` coordinate layout.
+///
+/// # Errors
+///
+/// Returns an error when shapes differ, the rank is not 2, the tensors are
+/// empty, or the feature dimension is not a multiple of 3.
+pub fn mae_per_axis(pred: &Tensor, target: &Tensor) -> Result<AxisMae> {
+    let (n, d) = check_pair(pred, target)?;
+    if d % 3 != 0 {
+        return Err(TensorError::ShapeDataMismatch { expected: d / 3 * 3, actual: d }.into());
+    }
+    let mut sums = [0.0f64; 3];
+    let joints = d / 3;
+    let p = pred.as_slice();
+    let t = target.as_slice();
+    for row in 0..n {
+        for j in 0..joints {
+            for axis in 0..3 {
+                let idx = row * d + j * 3 + axis;
+                sums[axis] += (p[idx] - t[idx]).abs() as f64;
+            }
+        }
+    }
+    let count = (n * joints) as f64;
+    Ok(AxisMae { x: (sums[0] / count) as f32, y: (sums[1] / count) as f32, z: (sums[2] / count) as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_identical_tensors_is_zero() {
+        let a = Tensor::randn(&[4, 6], 1.0, 1);
+        assert_eq!(mae(&a, &a).unwrap(), 0.0);
+        let axis = mae_per_axis(&a, &a).unwrap();
+        assert_eq!(axis.average(), 0.0);
+    }
+
+    #[test]
+    fn per_axis_errors_are_separated() {
+        // One joint, two samples. Errors: x=1, y=2, z=3 in each sample.
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0], &[2, 3]).unwrap();
+        let target = Tensor::zeros(&[2, 3]);
+        let axis = mae_per_axis(&pred, &target).unwrap();
+        assert_eq!(axis.x, 1.0);
+        assert_eq!(axis.y, 2.0);
+        assert_eq!(axis.z, 3.0);
+        assert_eq!(axis.average(), 2.0);
+    }
+
+    #[test]
+    fn interleaving_is_respected_for_multiple_joints() {
+        // Two joints: joint0 has error only in x, joint1 only in z.
+        let pred = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 0.0, 4.0], &[1, 6]).unwrap();
+        let target = Tensor::zeros(&[1, 6]);
+        let axis = mae_per_axis(&pred, &target).unwrap();
+        assert_eq!(axis.x, 1.0); // averaged over 2 joints
+        assert_eq!(axis.y, 0.0);
+        assert_eq!(axis.z, 2.0);
+    }
+
+    #[test]
+    fn centimeter_conversion_scales_by_100() {
+        let axis = AxisMae { x: 0.05, y: 0.03, z: 0.07 };
+        let cm = axis.to_centimeters();
+        assert!((cm.x - 5.0).abs() < 1e-5);
+        assert!((cm.average() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn errors_on_bad_shapes() {
+        let a = Tensor::zeros(&[2, 6]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(mae(&a, &b).is_err());
+        let c = Tensor::zeros(&[2, 4]);
+        assert!(mae_per_axis(&c, &c).is_err());
+        let e = Tensor::zeros(&[0, 6]);
+        assert!(mae_per_axis(&e, &e).is_err());
+    }
+
+    #[test]
+    fn display_contains_average() {
+        let axis = AxisMae { x: 1.0, y: 2.0, z: 3.0 };
+        assert!(axis.to_string().contains("avg=2.00"));
+    }
+
+    #[test]
+    fn overall_mae_matches_axis_average_for_balanced_layout() {
+        let pred = Tensor::randn(&[8, 57], 1.0, 3);
+        let target = Tensor::randn(&[8, 57], 1.0, 4);
+        let overall = mae(&pred, &target).unwrap();
+        let axis = mae_per_axis(&pred, &target).unwrap();
+        assert!((overall - axis.average()).abs() < 1e-5);
+    }
+}

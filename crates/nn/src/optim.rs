@@ -1,0 +1,261 @@
+//! Gradient-descent optimizers over flattened parameter vectors.
+
+/// An optimizer that updates a flattened parameter vector in place from a
+/// gradient vector of the same length.
+///
+/// Operating on flat slices (rather than on layers) keeps the optimizers
+/// decoupled from the model structure, which is exactly what the
+/// meta-learning outer loop needs: it can run Adam on the meta-parameters θ
+/// while the inner loop performs plain SGD steps on temporary copies.
+pub trait Optimizer: Send {
+    /// Applies one update step: modifies `params` in place using `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` have different lengths, or if their
+    /// length differs from the one the optimizer was constructed for
+    /// (stateful optimizers only).
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Applies one update step restricted to the entries where `mask` is
+    /// `true`. Used for last-layer-only fine-tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have inconsistent lengths.
+    fn step_masked(&mut self, params: &mut [f32], grads: &[f32], mask: &[bool]) {
+        assert_eq!(params.len(), mask.len(), "mask length must match parameters");
+        let masked: Vec<f32> = grads
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        self.step(params, &masked);
+    }
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Changes the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Resets any internal state (moment estimates, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer without momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates an SGD optimizer with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params and grads must have equal length");
+        if self.momentum == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) — the optimizer used by the paper for
+/// both supervised training and the meta-update (§4.1).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999) for a
+    /// parameter vector of length `param_len`.
+    pub fn new(lr: f32, param_len: usize) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: vec![0.0; param_len],
+            v: vec![0.0; param_len],
+        }
+    }
+
+    /// Creates an Adam optimizer with custom moment decay rates.
+    pub fn with_betas(lr: f32, param_len: usize, beta1: f32, beta2: f32) -> Self {
+        Adam { beta1, beta2, ..Adam::new(lr, param_len) }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params and grads must have equal length");
+        assert_eq!(params.len(), self.m.len(), "optimizer was constructed for a different model size");
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = sum((x - c)^2) with each optimizer and check convergence.
+    fn quadratic_convergence(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let target = [3.0f32, -2.0, 0.5, 7.0];
+        let mut x = [0.0f32; 4];
+        for _ in 0..iters {
+            let grads: Vec<f32> = x.iter().zip(&target).map(|(&xi, &ci)| 2.0 * (xi - ci)).collect();
+            opt.step(&mut x, &grads);
+        }
+        x.iter().zip(&target).map(|(&xi, &ci)| (xi - ci).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(quadratic_convergence(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        assert!(quadratic_convergence(&mut opt, 300) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1, 4);
+        assert!(quadratic_convergence(&mut opt, 500) < 1e-2);
+    }
+
+    #[test]
+    fn adam_step_counter_and_reset() {
+        let mut opt = Adam::new(0.01, 2);
+        let mut p = [1.0f32, 1.0];
+        opt.step(&mut p, &[0.1, 0.1]);
+        opt.step(&mut p, &[0.1, 0.1]);
+        assert_eq!(opt.steps_taken(), 2);
+        opt.reset();
+        assert_eq!(opt.steps_taken(), 0);
+    }
+
+    #[test]
+    fn masked_step_only_touches_enabled_entries() {
+        let mut opt = Sgd::new(1.0);
+        let mut p = [1.0f32, 2.0, 3.0];
+        let g = [1.0f32, 1.0, 1.0];
+        opt.step_masked(&mut p, &g, &[true, false, true]);
+        assert_eq!(p, [0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn adam_masked_step_keeps_frozen_params_fixed() {
+        let mut opt = Adam::new(0.5, 3);
+        let mut p = [1.0f32, 2.0, 3.0];
+        for _ in 0..10 {
+            let g = [0.3f32, -0.7, 0.9];
+            opt.step_masked(&mut p, &g, &[false, true, false]);
+        }
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 3.0);
+        assert_ne!(p[1], 2.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01, 1);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        let mut sgd = Sgd::new(0.5);
+        sgd.set_learning_rate(0.25);
+        assert_eq!(sgd.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn step_panics_on_length_mismatch() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = [0.0f32; 2];
+        opt.step(&mut p, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model size")]
+    fn adam_panics_on_wrong_model_size() {
+        let mut opt = Adam::new(0.1, 2);
+        let mut p = [0.0f32; 3];
+        opt.step(&mut p, &[0.0; 3]);
+    }
+}

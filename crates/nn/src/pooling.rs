@@ -1,0 +1,232 @@
+//! Max-pooling layer.
+//!
+//! The MARS baseline that the paper adopts uses only convolutions and fully
+//! connected layers, but the related mmWave pose estimators it compares
+//! against (mm-Pose, RadHAR-style encoders) insert pooling between the
+//! convolution stages. `MaxPool2d` is provided so those variants can be built
+//! from the same toolkit, and it is exercised by the architecture-ablation
+//! tests.
+
+use fuse_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::Result;
+
+/// 2-D max pooling over non-overlapping windows of a `[N, C, H, W]` tensor.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    cached_input_dims: Option<Vec<usize>>,
+    cached_argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with a square `window × window` kernel and
+    /// a stride equal to the window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLayer`] when the window is zero.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NnError::InvalidLayer("pooling window must be nonzero".into()));
+        }
+        Ok(MaxPool2d { window, cached_input_dims: None, cached_argmax: None })
+    }
+
+    /// The pooling window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        if input.shape().rank() != 4 {
+            return Err(NnError::InvalidLayer(format!(
+                "maxpool2d expects [N, C, H, W], got {:?}",
+                input.dims()
+            )));
+        }
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        if h < self.window || w < self.window {
+            return Err(NnError::InvalidLayer(format!(
+                "input {h}x{w} smaller than pooling window {}",
+                self.window
+            )));
+        }
+        let out_h = h / self.window;
+        let out_w = w / self.window;
+        let mut out = Tensor::zeros(&[n, c, out_h, out_w]);
+        let mut argmax = vec![0usize; n * c * out_h * out_w];
+
+        let data = input.as_slice();
+        let out_data = out.as_mut_slice();
+        for s in 0..n {
+            for ch in 0..c {
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.window + ky;
+                                let ix = ox * self.window + kx;
+                                let idx = ((s * c + ch) * h + iy) * w + ix;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ((s * c + ch) * out_h + oy) * out_w + ox;
+                        out_data[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_input_dims = Some(dims.to_vec());
+        self.cached_argmax = Some(argmax);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_input_dims
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache("maxpool2d".into()))?;
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache("maxpool2d".into()))?;
+        if grad_output.len() != argmax.len() {
+            return Err(NnError::InvalidLayer(format!(
+                "maxpool2d backward expects {} values, got {}",
+                argmax.len(),
+                grad_output.len()
+            )));
+        }
+        let mut grad_input = Tensor::zeros(dims);
+        let gi = grad_input.as_mut_slice();
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            gi[in_idx] += grad_output.as_slice()[out_idx];
+        }
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, params: &[Tensor]) -> Result<()> {
+        if params.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::ParamLengthMismatch { expected: 0, actual: params.len() })
+        }
+    }
+
+    fn zero_grad(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_takes_window_maxima() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.5, 0.25, //
+                -3.0, -4.0, 0.75, 0.1,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let out = pool.forward(&input, true).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0, -1.0, 0.75]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_the_maximum_only() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&input, true).unwrap();
+        let grad = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(grad.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        // Use well-separated distinct values so the finite-difference probe
+        // (eps = 1e-3) can never flip which element wins a pooling window.
+        let values: Vec<f32> = (0..96).map(|i| ((i * 37) % 96) as f32 * 0.1).collect();
+        let input = Tensor::from_vec(values, &[2, 3, 4, 4]).unwrap();
+        let out = pool.forward(&input, true).unwrap();
+        let grad_in = pool.backward(&Tensor::ones(out.dims())).unwrap();
+        let eps = 1e-3;
+        for i in (0..input.len()).step_by(7) {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fp = MaxPool2d::new(2).unwrap().forward(&plus, true).unwrap().sum();
+            let fm = MaxPool2d::new(2).unwrap().forward(&minus, true).unwrap().sum();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad_in.as_slice()[i]).abs() < 1e-2, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configuration_and_inputs() {
+        assert!(MaxPool2d::new(0).is_err());
+        let mut pool = MaxPool2d::new(4).unwrap();
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), true).is_err());
+        assert!(pool.forward(&Tensor::zeros(&[2, 2]), true).is_err());
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let pool = MaxPool2d::new(2).unwrap();
+        assert_eq!(pool.param_len(), 0);
+        assert!(pool.params().is_empty());
+    }
+
+    #[test]
+    fn composes_with_conv_layers_in_a_sequential_model() {
+        use crate::layers::{Conv2d, Flatten, Linear, Relu};
+        use crate::Sequential;
+        use fuse_tensor::Conv2dSpec;
+
+        let mut model = Sequential::new(vec![
+            Box::new(Conv2d::new(Conv2dSpec::same(5, 8, 3), 1).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2).unwrap()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(8 * 4 * 4, 57, 2).unwrap()),
+        ]);
+        let x = Tensor::randn(&[3, 5, 8, 8], 1.0, 3);
+        let y = model.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[3, 57]);
+        model.zero_grad();
+        let gx = model.backward(&Tensor::ones(&[3, 57])).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+    }
+}

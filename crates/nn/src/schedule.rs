@@ -1,0 +1,101 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a fixed learning rate, but step decay and cosine
+//! schedules are standard levers when moving the models to other datasets, so
+//! the trainer exposes them as a small, composable abstraction.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic learning-rate schedule over training epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The learning rate used for every epoch.
+        lr: f32,
+    },
+    /// Multiply the learning rate by `gamma` every `step_epochs` epochs.
+    StepDecay {
+        /// Initial learning rate.
+        initial_lr: f32,
+        /// Number of epochs between decays.
+        step_epochs: usize,
+        /// Multiplicative decay factor (0 < gamma <= 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from the initial rate down to `min_lr` over
+    /// `total_epochs` epochs.
+    Cosine {
+        /// Initial learning rate.
+        initial_lr: f32,
+        /// Final learning rate.
+        min_lr: f32,
+        /// Length of the annealing horizon in epochs.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate to use for the given zero-based epoch.
+    pub fn rate_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { initial_lr, step_epochs, gamma } => {
+                let steps = if step_epochs == 0 { 0 } else { epoch / step_epochs };
+                initial_lr * gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine { initial_lr, min_lr, total_epochs } => {
+                if total_epochs == 0 {
+                    return min_lr;
+                }
+                let progress = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_lr + (initial_lr - min_lr) * cosine
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant { lr: 1e-3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        for e in 0..100 {
+            assert_eq!(s.rate_at(e), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_at_the_right_epochs() {
+        let s = LrSchedule::StepDecay { initial_lr: 0.1, step_epochs: 10, gamma: 0.5 };
+        assert_eq!(s.rate_at(0), 0.1);
+        assert_eq!(s.rate_at(9), 0.1);
+        assert!((s.rate_at(10) - 0.05).abs() < 1e-7);
+        assert!((s.rate_at(25) - 0.025).abs() < 1e-7);
+        // Degenerate step size falls back to the initial rate.
+        let d = LrSchedule::StepDecay { initial_lr: 0.1, step_epochs: 0, gamma: 0.5 };
+        assert_eq!(d.rate_at(50), 0.1);
+    }
+
+    #[test]
+    fn cosine_schedule_is_monotone_decreasing_to_min() {
+        let s = LrSchedule::Cosine { initial_lr: 0.1, min_lr: 0.001, total_epochs: 20 };
+        assert!((s.rate_at(0) - 0.1).abs() < 1e-6);
+        for e in 1..=20 {
+            assert!(s.rate_at(e) <= s.rate_at(e - 1) + 1e-7);
+        }
+        assert!((s.rate_at(20) - 0.001).abs() < 1e-6);
+        assert!((s.rate_at(50) - 0.001).abs() < 1e-6);
+        let zero = LrSchedule::Cosine { initial_lr: 0.1, min_lr: 0.01, total_epochs: 0 };
+        assert_eq!(zero.rate_at(3), 0.01);
+    }
+}

@@ -1,0 +1,129 @@
+//! Saving and loading model parameters.
+//!
+//! Parameters are stored as a small JSON document holding the flattened
+//! parameter vector together with a layout fingerprint, so that a fine-tuned
+//! FUSE model can be persisted after offline meta-training and reloaded on an
+//! edge device for online fine-tuning.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::sequential::Sequential;
+use crate::Result;
+
+/// On-disk representation of a model checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Free-form model identifier (e.g. `"mars-cnn"`, `"fuse-meta"`).
+    pub model_name: String,
+    /// Number of scalar parameters — used as a layout sanity check.
+    pub param_len: usize,
+    /// Layer names in execution order — used as a layout sanity check.
+    pub layer_names: Vec<String>,
+    /// The flattened parameter vector.
+    pub params: Vec<f32>,
+}
+
+/// Saves a model's parameters to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] when the file cannot be written or the
+/// checkpoint cannot be encoded.
+pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Result<()> {
+    let checkpoint = Checkpoint {
+        model_name: model_name.to_string(),
+        param_len: model.param_len(),
+        layer_names: model.layer_names().iter().map(|s| s.to_string()).collect(),
+        params: model.flat_params(),
+    };
+    let json = serde_json::to_string(&checkpoint)
+        .map_err(|e| NnError::Serialization(format!("encode checkpoint: {e}")))?;
+    fs::write(path, json).map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
+}
+
+/// Loads parameters from a JSON checkpoint into an existing model with a
+/// matching architecture.
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] when the file cannot be read or decoded,
+/// and [`NnError::ParamLengthMismatch`] when the checkpoint does not fit the
+/// model.
+pub fn load_params_json(model: &mut Sequential, path: &Path) -> Result<Checkpoint> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
+    let checkpoint: Checkpoint = serde_json::from_str(&json)
+        .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))?;
+    if checkpoint.param_len != model.param_len() || checkpoint.params.len() != model.param_len() {
+        return Err(NnError::ParamLengthMismatch {
+            expected: model.param_len(),
+            actual: checkpoint.params.len(),
+        });
+    }
+    model.set_flat_params(&checkpoint.params)?;
+    Ok(checkpoint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use fuse_tensor::Tensor;
+
+    fn model(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, seed).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, seed + 1).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn save_and_load_round_trips_parameters() {
+        let dir = std::env::temp_dir().join("fuse_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut original = model(1);
+        save_params_json(&original, "test-model", &path).unwrap();
+
+        let mut restored = model(99); // different init
+        let ckpt = load_params_json(&mut restored, &path).unwrap();
+        assert_eq!(ckpt.model_name, "test-model");
+        assert_eq!(restored.flat_params(), original.flat_params());
+
+        // Both models now produce identical predictions.
+        let x = Tensor::randn(&[5, 4], 1.0, 7);
+        let a = original.forward(&x, false).unwrap();
+        let b = restored.forward(&x, false).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let dir = std::env::temp_dir().join("fuse_nn_serialize_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let small = model(1);
+        save_params_json(&small, "small", &path).unwrap();
+
+        let mut bigger = Sequential::new(vec![Box::new(Linear::new(16, 16, 3).unwrap())]);
+        assert!(matches!(
+            load_params_json(&mut bigger, &path),
+            Err(NnError::ParamLengthMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_errors_on_missing_file() {
+        let mut m = model(1);
+        let err = load_params_json(&mut m, Path::new("/nonexistent/fuse-ckpt.json"));
+        assert!(matches!(err, Err(NnError::Serialization(_))));
+    }
+}

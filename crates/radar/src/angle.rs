@@ -1,0 +1,174 @@
+//! Angle-of-arrival estimation over the virtual antenna array.
+
+use crate::complex::Complex32;
+use crate::config::RadarConfig;
+use crate::fft::dft;
+
+/// Estimated azimuth and elevation for one detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngleEstimate {
+    /// Azimuth angle in radians (0 along the boresight, positive towards +x).
+    pub azimuth_rad: f32,
+    /// Elevation angle in radians (0 in the horizontal plane, positive up).
+    pub elevation_rad: f32,
+}
+
+/// Estimates the azimuth and elevation angles from the per-antenna complex
+/// snapshot of a single range–Doppler cell.
+///
+/// The snapshot must be ordered `a = elevation_row * azimuth_antennas +
+/// azimuth_column`, the layout produced by [`crate::AdcCube`]. Azimuth is
+/// estimated with a zero-padded DFT over the azimuth elements (averaged over
+/// elevation rows); elevation uses the phase difference between consecutive
+/// elevation rows (monopulse), which is adequate for the two-row IWR1443
+/// virtual array.
+///
+/// Returns `None` when the snapshot length does not match the antenna layout.
+pub fn estimate_angles(config: &RadarConfig, snapshot: &[Complex32]) -> Option<AngleEstimate> {
+    let n_az = config.azimuth_antennas;
+    let n_el = config.elevation_antennas;
+    if snapshot.len() != n_az * n_el || n_az == 0 {
+        return None;
+    }
+    let d = config.antenna_spacing_wavelengths as f32;
+
+    // --- Azimuth: zero-padded DFT over azimuth elements, averaged over rows.
+    const PAD: usize = 64;
+    let mut spectrum_power = vec![0.0f32; PAD];
+    for row in 0..n_el {
+        let mut padded = vec![Complex32::ZERO; PAD];
+        padded[..n_az].copy_from_slice(&snapshot[row * n_az..(row + 1) * n_az]);
+        let spec = dft(&padded);
+        for (p, s) in spectrum_power.iter_mut().zip(&spec) {
+            *p += s.norm_sq();
+        }
+    }
+    let peak = spectrum_power
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?
+        .0;
+    // Convert DFT bin to normalised spatial frequency in [-0.5, 0.5).
+    let freq = if peak < PAD / 2 { peak as f32 } else { peak as f32 - PAD as f32 } / PAD as f32;
+    // Spatial frequency = d * sin(az) * cos(el); solve for azimuth assuming
+    // cos(el) ≈ 1 first, then refine below once elevation is known.
+    let sin_az_cos_el = (freq / d).clamp(-1.0, 1.0);
+
+    // --- Elevation: average phase difference between consecutive rows.
+    let elevation_rad = if n_el > 1 {
+        let mut acc = Complex32::ZERO;
+        for row in 0..n_el - 1 {
+            for col in 0..n_az {
+                let lower = snapshot[row * n_az + col];
+                let upper = snapshot[(row + 1) * n_az + col];
+                acc += upper * lower.conj();
+            }
+        }
+        let phase = acc.arg();
+        let sin_el = (phase / (2.0 * std::f32::consts::PI * d)).clamp(-1.0, 1.0);
+        sin_el.asin()
+    } else {
+        0.0
+    };
+
+    let cos_el = elevation_rad.cos().max(0.2);
+    let azimuth_rad = (sin_az_cos_el / cos_el).clamp(-1.0, 1.0).asin();
+    Some(AngleEstimate { azimuth_rad, elevation_rad })
+}
+
+/// Converts a spherical detection (range, azimuth, elevation) to Cartesian
+/// coordinates with the MARS convention (`x` lateral, `y` depth, `z` height).
+pub fn spherical_to_cartesian(range_m: f32, azimuth_rad: f32, elevation_rad: f32) -> [f32; 3] {
+    let cos_el = elevation_rad.cos();
+    [
+        range_m * cos_el * azimuth_rad.sin(),
+        range_m * cos_el * azimuth_rad.cos(),
+        range_m * elevation_rad.sin(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the ideal snapshot a plane wave from (az, el) would produce.
+    fn ideal_snapshot(config: &RadarConfig, az: f32, el: f32) -> Vec<Complex32> {
+        let d = config.antenna_spacing_wavelengths as f32;
+        let two_pi = 2.0 * std::f32::consts::PI;
+        let mut snapshot = Vec::new();
+        for row in 0..config.elevation_antennas {
+            for col in 0..config.azimuth_antennas {
+                let phase = two_pi * d * (az.sin() * el.cos() * col as f32 + el.sin() * row as f32);
+                snapshot.push(Complex32::from_angle(phase));
+            }
+        }
+        snapshot
+    }
+
+    #[test]
+    fn recovers_boresight_target() {
+        let config = RadarConfig::iwr1443_indoor();
+        let snap = ideal_snapshot(&config, 0.0, 0.0);
+        let est = estimate_angles(&config, &snap).unwrap();
+        assert!(est.azimuth_rad.abs() < 0.1, "azimuth {}", est.azimuth_rad);
+        assert!(est.elevation_rad.abs() < 0.1, "elevation {}", est.elevation_rad);
+    }
+
+    #[test]
+    fn recovers_off_boresight_azimuth() {
+        let config = RadarConfig::iwr1443_indoor();
+        for az_deg in [-40.0f32, -20.0, 15.0, 35.0] {
+            let az = az_deg.to_radians();
+            let snap = ideal_snapshot(&config, az, 0.0);
+            let est = estimate_angles(&config, &snap).unwrap();
+            // 8-element array with a 64-point padded DFT: a few degrees of error.
+            assert!(
+                (est.azimuth_rad - az).abs() < 0.12,
+                "azimuth {az_deg}°: estimated {}°",
+                est.azimuth_rad.to_degrees()
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_elevation_sign_and_magnitude() {
+        let config = RadarConfig::iwr1443_indoor();
+        for el_deg in [-25.0f32, -10.0, 10.0, 25.0] {
+            let el = el_deg.to_radians();
+            let snap = ideal_snapshot(&config, 0.0, el);
+            let est = estimate_angles(&config, &snap).unwrap();
+            assert!(
+                (est.elevation_rad - el).abs() < 0.1,
+                "elevation {el_deg}°: estimated {}°",
+                est.elevation_rad.to_degrees()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_snapshot_length() {
+        let config = RadarConfig::iwr1443_indoor();
+        assert!(estimate_angles(&config, &[Complex32::ONE; 3]).is_none());
+    }
+
+    #[test]
+    fn single_elevation_row_gives_zero_elevation() {
+        let mut config = RadarConfig::iwr1443_indoor();
+        config.elevation_antennas = 1;
+        let snap = ideal_snapshot(&config, 0.3, 0.0);
+        let est = estimate_angles(&config, &snap).unwrap();
+        assert_eq!(est.elevation_rad, 0.0);
+    }
+
+    #[test]
+    fn spherical_to_cartesian_round_trips_simple_cases() {
+        let p = spherical_to_cartesian(2.0, 0.0, 0.0);
+        assert!((p[0]).abs() < 1e-6 && (p[1] - 2.0).abs() < 1e-6 && p[2].abs() < 1e-6);
+
+        let up = spherical_to_cartesian(1.0, 0.0, std::f32::consts::FRAC_PI_2);
+        assert!(up[2] > 0.999);
+
+        let right = spherical_to_cartesian(1.0, std::f32::consts::FRAC_PI_2, 0.0);
+        assert!(right[0] > 0.999);
+    }
+}

@@ -1,0 +1,279 @@
+//! Cell-averaging constant false alarm rate (CA-CFAR) detection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RadarError;
+use crate::range_doppler::RangeDopplerMap;
+use crate::Result;
+
+/// CA-CFAR window and threshold configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfarConfig {
+    /// Number of guard cells on each side of the cell under test.
+    pub guard_cells: usize,
+    /// Number of training cells on each side (beyond the guard cells).
+    pub training_cells: usize,
+    /// Threshold scaling factor applied to the estimated noise level.
+    pub threshold_factor: f32,
+}
+
+impl Default for CfarConfig {
+    fn default() -> Self {
+        CfarConfig { guard_cells: 2, training_cells: 4, threshold_factor: 3.0 }
+    }
+}
+
+impl CfarConfig {
+    /// Validates the window against a data length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadarError::InvalidCfarWindow`] when the window does not fit
+    /// or the threshold factor is non-positive.
+    pub fn validate(&self, len: usize) -> Result<()> {
+        let window = 2 * (self.guard_cells + self.training_cells) + 1;
+        if self.training_cells == 0 {
+            return Err(RadarError::InvalidCfarWindow("training_cells must be nonzero".into()));
+        }
+        if window > len {
+            return Err(RadarError::InvalidCfarWindow(format!(
+                "window of {window} cells does not fit in {len} samples"
+            )));
+        }
+        if self.threshold_factor <= 0.0 {
+            return Err(RadarError::InvalidCfarWindow("threshold_factor must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// 1-D CA-CFAR over a power profile. Returns the indices of detected cells.
+///
+/// Edge cells reuse the available training cells on the valid side, so
+/// detections near the boundaries are still possible.
+///
+/// # Errors
+///
+/// Returns an error if the window configuration is invalid for `data.len()`.
+pub fn cfar_ca_1d(data: &[f32], config: &CfarConfig) -> Result<Vec<usize>> {
+    config.validate(data.len())?;
+    let g = config.guard_cells;
+    let t = config.training_cells;
+    let mut detections = Vec::new();
+    for i in 0..data.len() {
+        let mut noise = 0.0f32;
+        let mut count = 0usize;
+        // Leading training cells.
+        let lead_end = i.saturating_sub(g);
+        let lead_start = lead_end.saturating_sub(t);
+        for j in lead_start..lead_end {
+            noise += data[j];
+            count += 1;
+        }
+        // Trailing training cells.
+        let trail_start = (i + g + 1).min(data.len());
+        let trail_end = (trail_start + t).min(data.len());
+        for j in trail_start..trail_end {
+            noise += data[j];
+            count += 1;
+        }
+        if count == 0 {
+            continue;
+        }
+        let threshold = config.threshold_factor * noise / count as f32;
+        if data[i] > threshold {
+            detections.push(i);
+        }
+    }
+    Ok(detections)
+}
+
+/// A detection produced by the 2-D CFAR over a range–Doppler map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfarDetection {
+    /// Range bin of the detection.
+    pub range_bin: usize,
+    /// Doppler bin of the detection.
+    pub doppler_bin: usize,
+    /// Magnitude of the detected cell.
+    pub magnitude: f32,
+    /// Estimated local noise level used for the threshold.
+    pub noise_level: f32,
+}
+
+/// 2-D CA-CFAR applied separably over the range and Doppler axes of a
+/// [`RangeDopplerMap`]: a cell is detected when it exceeds the CFAR threshold
+/// along *both* axes and is a local maximum in its 3×3 neighbourhood (simple
+/// peak grouping so each target produces a handful of points rather than a
+/// blob).
+///
+/// # Errors
+///
+/// Returns an error if the window configuration does not fit the map.
+pub fn cfar_ca_2d(map: &RangeDopplerMap, config: &CfarConfig) -> Result<Vec<CfarDetection>> {
+    let rows = map.range_bins();
+    let cols = map.doppler_bins();
+    config.validate(rows)?;
+    config.validate(cols)?;
+    let mag = map.magnitude();
+
+    let mut row_hits = vec![false; rows * cols];
+    for r in 0..rows {
+        let row = &mag[r * cols..(r + 1) * cols];
+        for c in cfar_ca_1d(row, config)? {
+            row_hits[r * cols + c] = true;
+        }
+    }
+    let mut detections = Vec::new();
+    for c in 0..cols {
+        let column: Vec<f32> = (0..rows).map(|r| mag[r * cols + c]).collect();
+        for r in cfar_ca_1d(&column, config)? {
+            if !row_hits[r * cols + c] {
+                continue;
+            }
+            let value = mag[r * cols + c];
+            // Local-maximum grouping over the 3x3 neighbourhood.
+            let mut is_peak = true;
+            for dr in -1i32..=1 {
+                for dc in -1i32..=1 {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let nr = r as i32 + dr;
+                    let nc = c as i32 + dc;
+                    if nr < 0 || nr >= rows as i32 || nc < 0 || nc >= cols as i32 {
+                        continue;
+                    }
+                    if mag[nr as usize * cols + nc as usize] > value {
+                        is_peak = false;
+                    }
+                }
+            }
+            if !is_peak {
+                continue;
+            }
+            let noise = estimate_noise(&column, r, config);
+            detections.push(CfarDetection {
+                range_bin: r,
+                doppler_bin: c,
+                magnitude: value,
+                noise_level: noise,
+            });
+        }
+    }
+    detections.sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(detections)
+}
+
+fn estimate_noise(data: &[f32], i: usize, config: &CfarConfig) -> f32 {
+    let g = config.guard_cells;
+    let t = config.training_cells;
+    let mut noise = 0.0f32;
+    let mut count = 0usize;
+    let lead_end = i.saturating_sub(g);
+    let lead_start = lead_end.saturating_sub(t);
+    for j in lead_start..lead_end {
+        noise += data[j];
+        count += 1;
+    }
+    let trail_start = (i + g + 1).min(data.len());
+    let trail_end = (trail_start + t).min(data.len());
+    for j in trail_start..trail_end {
+        noise += data[j];
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        noise / count as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::AdcCube;
+    use crate::config::RadarConfig;
+    use crate::scene::{Scatterer, Scene};
+
+    #[test]
+    fn single_spike_is_detected_in_1d() {
+        let mut data = vec![1.0f32; 64];
+        data[30] = 50.0;
+        let hits = cfar_ca_1d(&data, &CfarConfig::default()).unwrap();
+        assert!(hits.contains(&30));
+        // Nothing else should fire except possibly cells adjacent to the spike.
+        assert!(hits.iter().all(|&i| (i as i32 - 30).abs() <= 3), "{hits:?}");
+    }
+
+    #[test]
+    fn uniform_noise_produces_no_detections() {
+        let data = vec![1.0f32; 128];
+        let hits = cfar_ca_1d(&data, &CfarConfig::default()).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn spike_near_edge_is_still_detected() {
+        let mut data = vec![1.0f32; 64];
+        data[1] = 40.0;
+        data[62] = 40.0;
+        let hits = cfar_ca_1d(&data, &CfarConfig::default()).unwrap();
+        assert!(hits.contains(&1));
+        assert!(hits.contains(&62));
+    }
+
+    #[test]
+    fn higher_threshold_factor_detects_fewer_cells() {
+        let mut data = vec![1.0f32; 64];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += (i as f32 * 0.7).sin().abs() * 2.0;
+        }
+        data[20] = 30.0;
+        data[40] = 6.0;
+        let loose = CfarConfig { threshold_factor: 1.5, ..CfarConfig::default() };
+        let strict = CfarConfig { threshold_factor: 8.0, ..CfarConfig::default() };
+        let loose_hits = cfar_ca_1d(&data, &loose).unwrap();
+        let strict_hits = cfar_ca_1d(&data, &strict).unwrap();
+        assert!(loose_hits.len() >= strict_hits.len());
+        assert!(strict_hits.contains(&20));
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let data = vec![1.0f32; 8];
+        let too_wide = CfarConfig { guard_cells: 4, training_cells: 4, threshold_factor: 3.0 };
+        assert!(cfar_ca_1d(&data, &too_wide).is_err());
+        let zero_training = CfarConfig { guard_cells: 1, training_cells: 0, threshold_factor: 3.0 };
+        assert!(cfar_ca_1d(&data, &zero_training).is_err());
+        let bad_factor = CfarConfig { threshold_factor: 0.0, ..CfarConfig::default() };
+        assert!(bad_factor.validate(64).is_err());
+    }
+
+    #[test]
+    fn cfar_2d_detects_a_real_target() {
+        let mut config = RadarConfig::test_small();
+        config.noise_std = 0.005;
+        let scene = Scene::from_scatterers(vec![Scatterer::fixed([0.3, 2.0, 0.2])]);
+        let cube = AdcCube::synthesize(&config, &scene, 11).unwrap();
+        let map = RangeDopplerMap::from_cube(&cube).unwrap();
+        let detections = cfar_ca_2d(&map, &CfarConfig::default()).unwrap();
+        assert!(!detections.is_empty(), "no CFAR detections");
+        // The strongest detection should sit near the true range.
+        let best = detections[0];
+        let est_range = map.range_of_bin(best.range_bin);
+        let true_range = (0.3f64 * 0.3 + 2.0 * 2.0 + 0.2 * 0.2).sqrt();
+        assert!((est_range - true_range).abs() < 3.0 * map.config().range_resolution_m());
+        assert!(best.magnitude > best.noise_level);
+    }
+
+    #[test]
+    fn cfar_2d_on_pure_noise_detects_little() {
+        let config = RadarConfig::test_small();
+        let cube = AdcCube::synthesize(&config, &Scene::new(), 2).unwrap();
+        let map = RangeDopplerMap::from_cube(&cube).unwrap();
+        let detections = cfar_ca_2d(&map, &CfarConfig::default()).unwrap();
+        // Noise-only frames should produce at most a handful of false alarms.
+        assert!(detections.len() < 20, "too many false alarms: {}", detections.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal complex arithmetic for the FFT-based signal chain.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f32` components.
+///
+/// Only the operations required by the radar signal chain are implemented;
+/// this is not intended as a general-purpose complex type.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex32 {
+    /// Real component.
+    pub re: f32,
+    /// Imaginary component.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// Creates `e^{i·theta}` (a unit phasor).
+    pub fn from_angle(theta: f32) -> Self {
+        Complex32 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Creates a phasor with the given magnitude and phase.
+    pub fn from_polar(magnitude: f32, theta: f32) -> Self {
+        Complex32 { re: magnitude * theta.cos(), im: magnitude * theta.sin() }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(&self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Phase angle in radians.
+    pub fn arg(&self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex32 { re: self.re, im: -self.im }
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        Complex32 { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex32 {
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    fn neg(self) -> Complex32 {
+        Complex32 { re: -self.re, im: -self.im }
+    }
+}
+
+impl std::fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(-3.0, 0.5);
+        assert_eq!(a + Complex32::ZERO, a);
+        assert_eq!(a * Complex32::ONE, a);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(-a + a, Complex32::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        let c = a * b;
+        assert_eq!(c, Complex32::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex32::from_polar(2.0, std::f32::consts::FRAC_PI_3);
+        assert!((z.abs() - 2.0).abs() < 1e-6);
+        assert!((z.arg() - std::f32::consts::FRAC_PI_3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_phasor_has_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f32 * 0.4;
+            assert!((Complex32::from_angle(theta).abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conjugate_negates_phase() {
+        let z = Complex32::new(0.6, 0.8);
+        assert!((z.conj().arg() + z.arg()).abs() < 1e-6);
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

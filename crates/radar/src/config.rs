@@ -1,0 +1,237 @@
+//! Chirp and radar configuration with derived resolution parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RadarError;
+use crate::Result;
+use crate::SPEED_OF_LIGHT;
+
+/// FMCW chirp parameters.
+///
+/// A chirp is a sinusoid whose frequency increases linearly with time
+/// (§3.1.1). Together with the frame parameters in [`RadarConfig`], the chirp
+/// fully determines the range, velocity and angle resolution of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChirpConfig {
+    /// Chirp start frequency in Hz (77 GHz band for the IWR1443).
+    pub start_frequency_hz: f64,
+    /// Frequency slope in Hz per second.
+    pub slope_hz_per_s: f64,
+    /// Number of ADC samples per chirp (must be a power of two).
+    pub samples_per_chirp: usize,
+    /// ADC sampling rate in samples per second.
+    pub sample_rate_hz: f64,
+    /// Chirp repetition interval in seconds (includes idle time).
+    pub chirp_interval_s: f64,
+}
+
+impl ChirpConfig {
+    /// Swept bandwidth of one chirp in Hz.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.slope_hz_per_s * self.samples_per_chirp as f64 / self.sample_rate_hz
+    }
+
+    /// Wavelength at the start frequency, in metres.
+    pub fn wavelength_m(&self) -> f64 {
+        SPEED_OF_LIGHT / self.start_frequency_hz
+    }
+
+    /// Duration of the sampled portion of the chirp in seconds.
+    pub fn active_duration_s(&self) -> f64 {
+        self.samples_per_chirp as f64 / self.sample_rate_hz
+    }
+}
+
+/// Full radar device configuration (chirp + frame + antenna array).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarConfig {
+    /// Chirp parameters.
+    pub chirp: ChirpConfig,
+    /// Number of chirps per frame (must be a power of two).
+    pub chirps_per_frame: usize,
+    /// Number of virtual antennas along azimuth (must be a power of two for
+    /// the angle FFT).
+    pub azimuth_antennas: usize,
+    /// Number of virtual antennas along elevation (power of two, may be 1).
+    pub elevation_antennas: usize,
+    /// Antenna element spacing in wavelengths (λ/2 = 0.5).
+    pub antenna_spacing_wavelengths: f64,
+    /// Frame period in seconds (the paper uses 100 ms, i.e. 10 Hz).
+    pub frame_period_s: f64,
+    /// Thermal noise standard deviation added to the ADC samples.
+    pub noise_std: f32,
+}
+
+impl RadarConfig {
+    /// An IWR1443-like indoor configuration: 77 GHz, ~4 GHz bandwidth,
+    /// 64 samples × 64 chirps, 8 azimuth × 2 elevation virtual antennas and a
+    /// 10 Hz frame rate — small enough to simulate quickly while matching the
+    /// resolutions relevant for indoor pose estimation.
+    pub fn iwr1443_indoor() -> Self {
+        RadarConfig {
+            chirp: ChirpConfig {
+                start_frequency_hz: 77.0e9,
+                slope_hz_per_s: 70.0e12, // 70 MHz/us
+                samples_per_chirp: 64,
+                sample_rate_hz: 2.0e6,
+                chirp_interval_s: 160.0e-6,
+            },
+            chirps_per_frame: 64,
+            azimuth_antennas: 8,
+            elevation_antennas: 2,
+            antenna_spacing_wavelengths: 0.5,
+            frame_period_s: 0.1,
+            noise_std: 0.02,
+        }
+    }
+
+    /// A reduced configuration for fast unit tests (16 samples, 16 chirps,
+    /// 4 × 2 antennas).
+    pub fn test_small() -> Self {
+        RadarConfig {
+            chirp: ChirpConfig {
+                start_frequency_hz: 77.0e9,
+                slope_hz_per_s: 70.0e12,
+                samples_per_chirp: 32,
+                sample_rate_hz: 2.0e6,
+                chirp_interval_s: 160.0e-6,
+            },
+            chirps_per_frame: 16,
+            azimuth_antennas: 4,
+            elevation_antennas: 2,
+            antenna_spacing_wavelengths: 0.5,
+            frame_period_s: 0.1,
+            noise_std: 0.01,
+        }
+    }
+
+    /// Validates that the configuration is usable by the signal chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadarError::InvalidConfig`] when any count is zero or not a
+    /// power of two, or any physical parameter is non-positive.
+    pub fn validate(&self) -> Result<()> {
+        fn pow2(name: &str, v: usize) -> Result<()> {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(RadarError::InvalidConfig(format!("{name} must be a nonzero power of two, got {v}")));
+            }
+            Ok(())
+        }
+        pow2("samples_per_chirp", self.chirp.samples_per_chirp)?;
+        pow2("chirps_per_frame", self.chirps_per_frame)?;
+        pow2("azimuth_antennas", self.azimuth_antennas)?;
+        pow2("elevation_antennas", self.elevation_antennas)?;
+        if self.chirp.start_frequency_hz <= 0.0
+            || self.chirp.slope_hz_per_s <= 0.0
+            || self.chirp.sample_rate_hz <= 0.0
+            || self.chirp.chirp_interval_s <= 0.0
+            || self.frame_period_s <= 0.0
+        {
+            return Err(RadarError::InvalidConfig("physical parameters must be positive".into()));
+        }
+        if self.noise_std < 0.0 {
+            return Err(RadarError::InvalidConfig("noise_std must be non-negative".into()));
+        }
+        Ok(())
+    }
+
+    /// Total number of virtual antennas.
+    pub fn virtual_antennas(&self) -> usize {
+        self.azimuth_antennas * self.elevation_antennas
+    }
+
+    /// Range resolution `c / (2B)` in metres.
+    pub fn range_resolution_m(&self) -> f64 {
+        SPEED_OF_LIGHT / (2.0 * self.chirp.bandwidth_hz())
+    }
+
+    /// Maximum unambiguous range in metres.
+    pub fn max_range_m(&self) -> f64 {
+        self.range_resolution_m() * self.chirp.samples_per_chirp as f64
+    }
+
+    /// Velocity resolution `λ / (2 · N_chirps · T_c)` in metres per second.
+    pub fn velocity_resolution_mps(&self) -> f64 {
+        self.chirp.wavelength_m() / (2.0 * self.chirps_per_frame as f64 * self.chirp.chirp_interval_s)
+    }
+
+    /// Maximum unambiguous radial velocity in metres per second.
+    pub fn max_velocity_mps(&self) -> f64 {
+        self.chirp.wavelength_m() / (4.0 * self.chirp.chirp_interval_s)
+    }
+
+    /// Beat frequency produced by a target at the given range, in Hz.
+    pub fn beat_frequency_hz(&self, range_m: f64) -> f64 {
+        2.0 * self.chirp.slope_hz_per_s * range_m / SPEED_OF_LIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_are_valid() {
+        RadarConfig::iwr1443_indoor().validate().unwrap();
+        RadarConfig::test_small().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_non_power_of_two_counts() {
+        let mut cfg = RadarConfig::iwr1443_indoor();
+        cfg.chirps_per_frame = 60;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RadarConfig::iwr1443_indoor();
+        cfg.chirp.samples_per_chirp = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive_physics() {
+        let mut cfg = RadarConfig::iwr1443_indoor();
+        cfg.frame_period_s = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RadarConfig::iwr1443_indoor();
+        cfg.noise_std = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn indoor_range_resolution_is_a_few_centimeters() {
+        let cfg = RadarConfig::iwr1443_indoor();
+        let res = cfg.range_resolution_m();
+        // ~4.3 cm for ~3.5 GHz of swept bandwidth.
+        assert!(res > 0.02 && res < 0.10, "range resolution {res}");
+        assert!(cfg.max_range_m() > 2.0, "max range {}", cfg.max_range_m());
+    }
+
+    #[test]
+    fn indoor_velocity_limits_cover_human_motion() {
+        let cfg = RadarConfig::iwr1443_indoor();
+        // Human limb speeds during rehab movements are < 4 m/s.
+        assert!(cfg.max_velocity_mps() > 3.0, "max velocity {}", cfg.max_velocity_mps());
+        assert!(cfg.velocity_resolution_mps() < 0.5);
+    }
+
+    #[test]
+    fn wavelength_is_about_4_mm() {
+        let cfg = RadarConfig::iwr1443_indoor();
+        let lambda = cfg.chirp.wavelength_m();
+        assert!(lambda > 0.0035 && lambda < 0.0042, "wavelength {lambda}");
+    }
+
+    #[test]
+    fn beat_frequency_scales_linearly_with_range() {
+        let cfg = RadarConfig::iwr1443_indoor();
+        let f1 = cfg.beat_frequency_hz(1.0);
+        let f2 = cfg.beat_frequency_hz(2.0);
+        assert!((f2 / f1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_antenna_count() {
+        let cfg = RadarConfig::iwr1443_indoor();
+        assert_eq!(cfg.virtual_antennas(), 16);
+    }
+}

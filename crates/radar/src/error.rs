@@ -1,0 +1,57 @@
+//! Error type for the radar signal chain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible radar-simulation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RadarError {
+    /// The chirp/radar configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// An FFT was requested on a buffer whose length is not a power of two.
+    FftLengthNotPowerOfTwo(usize),
+    /// A data cube or map had unexpected dimensions.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// CFAR was configured with more guard/training cells than data.
+    InvalidCfarWindow(String),
+}
+
+impl fmt::Display for RadarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadarError::InvalidConfig(msg) => write!(f, "invalid radar configuration: {msg}"),
+            RadarError::FftLengthNotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a power of two")
+            }
+            RadarError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            RadarError::InvalidCfarWindow(msg) => write!(f, "invalid cfar window: {msg}"),
+        }
+    }
+}
+
+impl Error for RadarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            RadarError::InvalidConfig("bad".into()),
+            RadarError::FftLengthNotPowerOfTwo(3),
+            RadarError::DimensionMismatch { expected: "64".into(), actual: "32".into() },
+            RadarError::InvalidCfarWindow("too wide".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Radix-2 FFT and window functions.
+
+use crate::complex::Complex32;
+use crate::error::RadarError;
+use crate::Result;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`RadarError::FftLengthNotPowerOfTwo`] unless `data.len()` is a
+/// power of two (length 0 and 1 are accepted as no-ops).
+pub fn fft_inplace(data: &mut [Complex32]) -> Result<()> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` normalisation).
+///
+/// # Errors
+///
+/// Returns [`RadarError::FftLengthNotPowerOfTwo`] unless `data.len()` is a
+/// power of two.
+pub fn ifft_inplace(data: &mut [Complex32]) -> Result<()> {
+    transform(data, true)?;
+    let n = data.len() as f32;
+    if n > 0.0 {
+        for x in data.iter_mut() {
+            *x = x.scale(1.0 / n);
+        }
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex32], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(RadarError::FftLengthNotPowerOfTwo(n));
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let w_len = Complex32::from_angle(angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex32::ONE;
+            for k in 0..len / 2 {
+                let even = data[start + k];
+                let odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Naive O(n²) DFT used as a reference in tests and for non-power-of-two
+/// spectra (e.g. fine angle grids).
+pub fn dft(data: &[Complex32]) -> Vec<Complex32> {
+    let n = data.len();
+    let mut out = vec![Complex32::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex32::ZERO;
+        for (t, &x) in data.iter().enumerate() {
+            let angle = -2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32;
+            acc += x * Complex32::from_angle(angle);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Hann window of length `n`.
+pub fn hann_window(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let x = std::f32::consts::PI * i as f32 / (n as f32 - 1.0);
+            x.sin() * x.sin()
+        })
+        .collect()
+}
+
+/// Blackman window of length `n` (lower sidelobes than Hann; used for the
+/// Doppler dimension where ghost targets matter more).
+pub fn blackman_window(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0);
+            0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+        })
+        .collect()
+}
+
+/// Applies a real window to a complex buffer element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn apply_window(data: &mut [Complex32], window: &[f32]) {
+    assert_eq!(data.len(), window.len(), "window length must match data length");
+    for (x, &w) in data.iter_mut().zip(window) {
+        *x = x.scale(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let data: Vec<Complex32> = (0..32)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.7).cos()))
+            .collect();
+        let expected = dft(&data);
+        let mut fast = data.clone();
+        fft_inplace(&mut fast).unwrap();
+        assert_close(&fast, &expected, 1e-3);
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_tone_bin() {
+        let n = 64;
+        let bin = 9;
+        let data: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::from_angle(2.0 * std::f32::consts::PI * bin as f32 * i as f32 / n as f32))
+            .collect();
+        let mut spec = data.clone();
+        fft_inplace(&mut spec).unwrap();
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, bin);
+        assert!((spec[bin].abs() - n as f32).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let data: Vec<Complex32> = (0..128)
+            .map(|i| Complex32::new((i as f32 * 0.11).cos(), (i as f32 * 0.05).sin()))
+            .collect();
+        let mut buf = data.clone();
+        fft_inplace(&mut buf).unwrap();
+        ifft_inplace(&mut buf).unwrap();
+        assert_close(&buf, &data, 1e-3);
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let a: Vec<Complex32> = (0..16).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let b: Vec<Complex32> = (0..16).map(|i| Complex32::new((i as f32).sqrt(), 1.0)).collect();
+        let mut sum: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        fft_inplace(&mut sum).unwrap();
+        let mut fa = a.clone();
+        fft_inplace(&mut fa).unwrap();
+        let mut fb = b.clone();
+        fft_inplace(&mut fb).unwrap();
+        let expected: Vec<Complex32> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&sum, &expected, 1e-3);
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex32::ZERO; 12];
+        assert!(matches!(fft_inplace(&mut data), Err(RadarError::FftLengthNotPowerOfTwo(12))));
+        let mut tiny = vec![Complex32::ONE];
+        assert!(fft_inplace(&mut tiny).is_ok());
+    }
+
+    #[test]
+    fn hann_window_is_symmetric_and_bounded() {
+        let w = hann_window(33);
+        assert_eq!(w.len(), 33);
+        assert!(w[0].abs() < 1e-6);
+        assert!((w[16] - 1.0).abs() < 1e-6);
+        for i in 0..33 {
+            assert!((w[i] - w[32 - i]).abs() < 1e-6);
+            assert!((0.0..=1.0).contains(&w[i]));
+        }
+        assert_eq!(hann_window(0).len(), 0);
+        assert_eq!(hann_window(1), vec![1.0]);
+    }
+
+    #[test]
+    fn blackman_window_has_lower_edge_values_than_hann() {
+        let h = hann_window(64);
+        let b = blackman_window(64);
+        assert!(b[1] < h[1]);
+        assert!((b[32] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn apply_window_scales_elements() {
+        let mut data = vec![Complex32::ONE; 4];
+        apply_window(&mut data, &[0.0, 0.5, 1.0, 2.0]);
+        assert_eq!(data[0], Complex32::ZERO);
+        assert_eq!(data[3], Complex32::new(2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn apply_window_panics_on_length_mismatch() {
+        let mut data = vec![Complex32::ONE; 4];
+        apply_window(&mut data, &[1.0; 3]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # fuse-radar
+//!
+//! A self-contained FMCW mmWave radar signal-chain simulator modelled on the
+//! TI IWR1443 Boost device used by the MARS dataset and the FUSE paper.
+//!
+//! The crate covers the full processing chain the paper describes in §3.1.1:
+//!
+//! 1. [`scene`] — point scatterers with position, radial velocity and RCS;
+//! 2. [`adc`] — synthesis of the raw ADC data cube (samples × chirps ×
+//!    virtual antennas) for a chirp configuration;
+//! 3. [`range_doppler`] — range FFT and Doppler FFT;
+//! 4. [`cfar`] — constant false alarm rate detection;
+//! 5. [`angle`] — angle-of-arrival estimation over the virtual array;
+//! 6. [`pointcloud`] — the resulting sparse point cloud
+//!    `(x, y, z, doppler, intensity)` per frame, plus a calibrated
+//!    [`pointcloud::FastScatterModel`] used for bulk dataset synthesis.
+//!
+//! ```
+//! use fuse_radar::{RadarConfig, Scene, Scatterer, PointCloudGenerator};
+//!
+//! let config = RadarConfig::iwr1443_indoor();
+//! let mut scene = Scene::new();
+//! scene.push(Scatterer::new([0.0, 2.0, 1.0], [0.0, 0.5, 0.0], 1.0));
+//! let generator = PointCloudGenerator::new(config);
+//! let frame = generator.generate(&scene, 0)?;
+//! assert!(!frame.points.is_empty());
+//! # Ok::<(), fuse_radar::RadarError>(())
+//! ```
+
+pub mod adc;
+pub mod angle;
+pub mod cfar;
+pub mod complex;
+pub mod config;
+pub mod error;
+pub mod fft;
+pub mod pointcloud;
+pub mod range_doppler;
+pub mod scene;
+
+pub use adc::AdcCube;
+pub use angle::AngleEstimate;
+pub use cfar::{cfar_ca_1d, cfar_ca_2d, CfarConfig};
+pub use complex::Complex32;
+pub use config::{ChirpConfig, RadarConfig};
+pub use error::RadarError;
+pub use fft::{fft_inplace, hann_window, ifft_inplace};
+pub use pointcloud::{FastScatterModel, PointCloudFrame, PointCloudGenerator, RadarPoint};
+pub use range_doppler::RangeDopplerMap;
+pub use scene::{Scatterer, Scene};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RadarError>;
+
+/// Speed of light in metres per second.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;

@@ -1,0 +1,421 @@
+//! Sparse point-cloud output of the radar chain.
+//!
+//! Two generators are provided:
+//!
+//! * [`PointCloudGenerator`] runs the full FMCW chain (ADC synthesis → range
+//!   FFT → Doppler FFT → CFAR → angle estimation). It is the reference
+//!   implementation and is exercised by the examples and integration tests.
+//! * [`FastScatterModel`] produces statistically equivalent point clouds
+//!   directly from the scatterer geometry. It is used to synthesise the
+//!   40k-frame MARS-like dataset, where running the full FFT chain per frame
+//!   would dominate experiment time without changing what the learning task
+//!   sees (sparse, noisy points with the radar's resolution limits).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::adc::AdcCube;
+use crate::angle::{estimate_angles, spherical_to_cartesian};
+use crate::cfar::{cfar_ca_2d, CfarConfig};
+use crate::config::RadarConfig;
+use crate::range_doppler::RangeDopplerMap;
+use crate::scene::Scene;
+use crate::Result;
+
+/// One point of the radar point cloud, `P_i = (x, y, z, d, I)` as in Eq. (1)
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RadarPoint {
+    /// Lateral position in metres.
+    pub x: f32,
+    /// Depth (distance from the radar plane) in metres.
+    pub y: f32,
+    /// Height in metres.
+    pub z: f32,
+    /// Doppler (radial) velocity in metres per second.
+    pub doppler: f32,
+    /// Signal intensity (linear magnitude).
+    pub intensity: f32,
+}
+
+impl RadarPoint {
+    /// Creates a point from its five features.
+    pub fn new(x: f32, y: f32, z: f32, doppler: f32, intensity: f32) -> Self {
+        RadarPoint { x, y, z, doppler, intensity }
+    }
+
+    /// The five features as an array, in `(x, y, z, d, I)` order.
+    pub fn features(&self) -> [f32; 5] {
+        [self.x, self.y, self.z, self.doppler, self.intensity]
+    }
+
+    /// Range from the radar origin in metres.
+    pub fn range(&self) -> f32 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+/// A point-cloud frame: all points detected during one frame period
+/// (Eq. (2) of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloudFrame {
+    /// Frame index within its sequence.
+    pub index: usize,
+    /// Timestamp in seconds from the start of the sequence.
+    pub timestamp_s: f64,
+    /// Detected points.
+    pub points: Vec<RadarPoint>,
+}
+
+impl PointCloudFrame {
+    /// Creates a frame from points.
+    pub fn new(index: usize, timestamp_s: f64, points: Vec<RadarPoint>) -> Self {
+        PointCloudFrame { index, timestamp_s, points }
+    }
+
+    /// Number of points in the frame.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the frame contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Centroid of the points, or `None` for an empty frame.
+    pub fn centroid(&self) -> Option<[f32; 3]> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut c = [0.0f32; 3];
+        for p in &self.points {
+            c[0] += p.x;
+            c[1] += p.y;
+            c[2] += p.z;
+        }
+        let n = self.points.len() as f32;
+        Some([c[0] / n, c[1] / n, c[2] / n])
+    }
+
+    /// Axis-aligned bounding box `(min, max)`, or `None` for an empty frame.
+    pub fn bounding_box(&self) -> Option<([f32; 3], [f32; 3])> {
+        let first = self.points.first()?;
+        let mut min = [first.x, first.y, first.z];
+        let mut max = min;
+        for p in &self.points {
+            let v = [p.x, p.y, p.z];
+            for a in 0..3 {
+                min[a] = min[a].min(v[a]);
+                max[a] = max[a].max(v[a]);
+            }
+        }
+        Some((min, max))
+    }
+}
+
+/// Full-chain point-cloud generator (ADC → FFTs → CFAR → angles).
+#[derive(Debug, Clone)]
+pub struct PointCloudGenerator {
+    config: RadarConfig,
+    cfar: CfarConfig,
+    /// Maximum number of points to keep per frame (strongest first).
+    max_points: usize,
+}
+
+impl PointCloudGenerator {
+    /// Creates a generator with default CFAR settings and a 128-point cap.
+    pub fn new(config: RadarConfig) -> Self {
+        PointCloudGenerator { config, cfar: CfarConfig::default(), max_points: 128 }
+    }
+
+    /// Overrides the CFAR configuration.
+    pub fn with_cfar(mut self, cfar: CfarConfig) -> Self {
+        self.cfar = cfar;
+        self
+    }
+
+    /// Overrides the per-frame point cap.
+    pub fn with_max_points(mut self, max_points: usize) -> Self {
+        self.max_points = max_points;
+        self
+    }
+
+    /// The radar configuration used by this generator.
+    pub fn config(&self) -> &RadarConfig {
+        &self.config
+    }
+
+    /// Runs the full signal chain on a scene and returns the detected points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and FFT errors from the signal chain.
+    pub fn generate(&self, scene: &Scene, seed: u64) -> Result<PointCloudFrame> {
+        let cube = AdcCube::synthesize(&self.config, scene, seed)?;
+        let map = RangeDopplerMap::from_cube(&cube)?;
+        let detections = cfar_ca_2d(&map, &self.cfar)?;
+
+        let mut points = Vec::new();
+        for det in detections.into_iter().take(self.max_points) {
+            let range = map.range_of_bin(det.range_bin) as f32;
+            if range < 0.2 {
+                // Skip the DC/leakage region right in front of the antenna.
+                continue;
+            }
+            let snapshot = map.antenna_snapshot(det.range_bin, det.doppler_bin);
+            let Some(angles) = estimate_angles(&self.config, &snapshot) else {
+                continue;
+            };
+            let [x, y, z] = spherical_to_cartesian(range, angles.azimuth_rad, angles.elevation_rad);
+            points.push(RadarPoint {
+                x,
+                y,
+                z,
+                doppler: map.velocity_of_bin(det.doppler_bin) as f32,
+                intensity: det.magnitude,
+            });
+        }
+        Ok(PointCloudFrame::new(0, 0.0, points))
+    }
+}
+
+/// Statistical point-cloud model calibrated against the full chain.
+///
+/// Instead of synthesising and processing raw ADC data, the fast model draws
+/// a sparse subset of the scene's scatterers (selection probability
+/// proportional to received power), perturbs them with the radar's range and
+/// angular resolution, quantises Doppler to the velocity resolution and adds
+/// occasional ghost points — the characteristics that make mmWave point
+/// clouds hard for the downstream learning task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FastScatterModel {
+    config: RadarConfig,
+    /// Mean number of points produced per frame (the paper reports ~64).
+    pub mean_points_per_frame: usize,
+    /// Standard deviation of the per-frame point count.
+    pub points_std: f32,
+    /// Probability that a generated point is a ghost/clutter point.
+    pub ghost_probability: f32,
+    /// Extra position jitter (metres) on top of the resolution-derived noise.
+    pub extra_position_noise_m: f32,
+}
+
+impl FastScatterModel {
+    /// Creates a fast model with MARS-like defaults: frames are zero-padded
+    /// to 64 points downstream, but the number of actual CFAR detections per
+    /// frame averages ≈32 and varies strongly from frame to frame — the
+    /// sparsity that motivates multi-frame fusion in the first place.
+    pub fn new(config: RadarConfig) -> Self {
+        FastScatterModel {
+            config,
+            mean_points_per_frame: 32,
+            points_std: 10.0,
+            ghost_probability: 0.03,
+            extra_position_noise_m: 0.01,
+        }
+    }
+
+    /// Overrides the mean number of points per frame.
+    pub fn with_mean_points(mut self, mean_points: usize) -> Self {
+        self.mean_points_per_frame = mean_points;
+        self
+    }
+
+    /// The radar configuration used by this model.
+    pub fn config(&self) -> &RadarConfig {
+        &self.config
+    }
+
+    /// Samples a point-cloud frame for a scene.
+    ///
+    /// The result is deterministic for a given `(scene, seed)` pair.
+    pub fn sample(&self, scene: &Scene, seed: u64) -> PointCloudFrame {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if scene.is_empty() {
+            return PointCloudFrame::default();
+        }
+
+        // Received power weights ∝ RCS / R⁴ (radar equation).
+        let weights: Vec<f32> = scene
+            .iter()
+            .map(|s| {
+                let r = s.range().max(0.3);
+                (s.rcs.max(1e-6)) / (r * r * r * r)
+            })
+            .collect();
+        let total_weight: f32 = weights.iter().sum();
+
+        let count_noise = Normal::new(0.0f32, self.points_std).expect("std is finite");
+        let n_points = (self.mean_points_per_frame as f32 + count_noise.sample(&mut rng))
+            .round()
+            .clamp(4.0, 2.0 * self.mean_points_per_frame as f32) as usize;
+
+        let range_res = self.config.range_resolution_m() as f32;
+        let vel_res = self.config.velocity_resolution_mps() as f32;
+        // Cross-range resolution grows with range: r * beamwidth. Approximate
+        // the 3 dB beamwidth of an n-element λ/2 array as 2 / n radians.
+        let az_beamwidth = 2.0 / self.config.azimuth_antennas as f32;
+        let el_beamwidth = 2.0 / self.config.elevation_antennas.max(1) as f32;
+
+        let pos_noise = Normal::new(0.0f32, 1.0).expect("unit normal");
+        let mut points = Vec::with_capacity(n_points);
+        for _ in 0..n_points {
+            if rng.gen::<f32>() < self.ghost_probability {
+                // Ghost point: uniform in a box around the scene.
+                let (min, max) = scene.bounding_box().expect("scene is non-empty");
+                let p = RadarPoint {
+                    x: rng.gen_range(min[0] - 0.5..=max[0] + 0.5),
+                    y: rng.gen_range((min[1] - 0.5).max(0.3)..=max[1] + 0.5),
+                    z: rng.gen_range(min[2] - 0.5..=max[2] + 0.5),
+                    doppler: rng.gen_range(-1.0..=1.0),
+                    intensity: rng.gen_range(0.1..=0.5),
+                };
+                points.push(p);
+                continue;
+            }
+
+            // Weighted scatterer selection.
+            let mut pick = rng.gen::<f32>() * total_weight;
+            let mut chosen = 0usize;
+            for (i, &w) in weights.iter().enumerate() {
+                if pick <= w {
+                    chosen = i;
+                    break;
+                }
+                pick -= w;
+                chosen = i;
+            }
+            let s = scene.scatterers()[chosen];
+            let r = s.range().max(0.3);
+
+            // Resolution-driven noise: radial noise from range resolution,
+            // tangential noise from the angular beamwidth. The angular terms
+            // are capped because the real device sharpens angles beyond the
+            // raw beamwidth through CFAR peak interpolation.
+            let radial_sigma = 0.5 * range_res + self.extra_position_noise_m;
+            let lateral_sigma = (0.25 * r * az_beamwidth).min(0.20) + self.extra_position_noise_m;
+            let vertical_sigma = (0.25 * r * el_beamwidth).min(0.30) + self.extra_position_noise_m;
+
+            let x = s.position[0] + pos_noise.sample(&mut rng) * lateral_sigma;
+            let y = s.position[1] + pos_noise.sample(&mut rng) * radial_sigma;
+            let z = s.position[2] + pos_noise.sample(&mut rng) * vertical_sigma;
+
+            // Doppler quantised to the velocity resolution plus jitter.
+            let vr = s.radial_velocity();
+            let doppler = (vr / vel_res).round() * vel_res + pos_noise.sample(&mut rng) * 0.05;
+
+            // Intensity from the radar equation with log-normal-ish spread.
+            let intensity =
+                (s.rcs.max(1e-6) / (r * r * r * r)) * (1.0 + 0.3 * pos_noise.sample(&mut rng)).max(0.1);
+
+            points.push(RadarPoint { x, y, z, doppler, intensity });
+        }
+        PointCloudFrame::new(0, 0.0, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Scatterer;
+
+    fn human_like_scene() -> Scene {
+        // A rough vertical stack of scatterers ~2 m in front of the radar.
+        let mut scene = Scene::new();
+        for i in 0..20 {
+            let z = 0.1 + i as f32 * 0.09;
+            scene.push(Scatterer::new([0.05 * (i % 3) as f32, 2.0, z], [0.0, 0.2, 0.0], 1.0));
+        }
+        scene
+    }
+
+    #[test]
+    fn full_chain_detects_a_human_like_target() {
+        let config = RadarConfig::test_small();
+        let generator = PointCloudGenerator::new(config);
+        let frame = generator.generate(&human_like_scene(), 42).unwrap();
+        assert!(!frame.is_empty(), "no points detected");
+        let centroid = frame.centroid().unwrap();
+        // Centroid depth should be near 2 m.
+        assert!((centroid[1] - 2.0).abs() < 0.8, "centroid {centroid:?}");
+    }
+
+    #[test]
+    fn full_chain_point_cap_is_respected() {
+        let config = RadarConfig::test_small();
+        let generator = PointCloudGenerator::new(config).with_max_points(5);
+        let frame = generator.generate(&human_like_scene(), 1).unwrap();
+        assert!(frame.len() <= 5);
+    }
+
+    #[test]
+    fn fast_model_produces_sparse_frames_near_target_count() {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        let frame = model.sample(&human_like_scene(), 3);
+        assert!(frame.len() >= 8 && frame.len() <= 80, "points {}", frame.len());
+        // Averaged over many frames the count approaches the configured mean.
+        let mean: f32 = (0..50).map(|s| model.sample(&human_like_scene(), s).len() as f32).sum::<f32>() / 50.0;
+        assert!((mean - model.mean_points_per_frame as f32).abs() < 8.0, "mean points {mean}");
+    }
+
+    #[test]
+    fn fast_model_is_deterministic_per_seed() {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        let scene = human_like_scene();
+        assert_eq!(model.sample(&scene, 5), model.sample(&scene, 5));
+        assert_ne!(model.sample(&scene, 5), model.sample(&scene, 6));
+    }
+
+    #[test]
+    fn fast_model_points_cluster_around_the_scene() {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        let frame = model.sample(&human_like_scene(), 9);
+        let centroid = frame.centroid().unwrap();
+        assert!((centroid[1] - 2.0).abs() < 0.5, "depth centroid {}", centroid[1]);
+        // Most points should be within ~1.5 body heights of the scene volume.
+        let close = frame
+            .points
+            .iter()
+            .filter(|p| (p.y - 2.0).abs() < 1.0 && p.z > -0.5 && p.z < 2.5)
+            .count();
+        assert!(close as f32 > 0.8 * frame.len() as f32);
+    }
+
+    #[test]
+    fn fast_model_empty_scene_gives_empty_frame() {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        assert!(model.sample(&Scene::new(), 1).is_empty());
+    }
+
+    #[test]
+    fn fast_model_doppler_tracks_radial_velocity() {
+        let mut scene = Scene::new();
+        for i in 0..30 {
+            scene.push(Scatterer::new([0.0, 2.0 + 0.01 * i as f32, 1.0], [0.0, 1.0, 0.0], 1.0));
+        }
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor()).with_mean_points(64);
+        let frame = model.sample(&scene, 4);
+        let mean_doppler: f32 =
+            frame.points.iter().map(|p| p.doppler).sum::<f32>() / frame.len() as f32;
+        assert!((mean_doppler - 1.0).abs() < 0.3, "mean doppler {mean_doppler}");
+    }
+
+    #[test]
+    fn frame_geometry_helpers() {
+        let frame = PointCloudFrame::new(
+            0,
+            0.0,
+            vec![RadarPoint::new(-1.0, 1.0, 0.0, 0.0, 1.0), RadarPoint::new(1.0, 3.0, 2.0, 0.0, 1.0)],
+        );
+        assert_eq!(frame.centroid().unwrap(), [0.0, 2.0, 1.0]);
+        let (min, max) = frame.bounding_box().unwrap();
+        assert_eq!(min, [-1.0, 1.0, 0.0]);
+        assert_eq!(max, [1.0, 3.0, 2.0]);
+        assert!(PointCloudFrame::default().centroid().is_none());
+        assert!((frame.points[1].range() - 14.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(frame.points[0].features()[4], 1.0);
+    }
+}

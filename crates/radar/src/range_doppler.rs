@@ -1,0 +1,227 @@
+//! Range FFT and Doppler FFT processing.
+
+use crate::adc::AdcCube;
+use crate::complex::Complex32;
+use crate::config::RadarConfig;
+use crate::fft::{apply_window, fft_inplace, hann_window};
+use crate::Result;
+
+/// Range–Doppler representation of one frame.
+///
+/// For every virtual antenna the ADC cube is transformed with a windowed
+/// range FFT (fast time) followed by a Doppler FFT (slow time). The Doppler
+/// axis is FFT-shifted so that bin `chirps/2` corresponds to zero radial
+/// velocity. The per-antenna complex spectra are kept for angle estimation;
+/// the non-coherently summed magnitude map drives CFAR detection.
+#[derive(Debug, Clone)]
+pub struct RangeDopplerMap {
+    config: RadarConfig,
+    /// Complex spectra per antenna: `spectra[antenna][range_bin * doppler_bins + doppler_bin]`.
+    spectra: Vec<Vec<Complex32>>,
+    /// Non-coherent magnitude sum over antennas, `[range_bin][doppler_bin]` flattened.
+    magnitude: Vec<f32>,
+}
+
+impl RangeDopplerMap {
+    /// Computes the range–Doppler map from an ADC cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the FFT sizes are not powers of two (prevented by
+    /// configuration validation).
+    pub fn from_cube(cube: &AdcCube) -> Result<Self> {
+        let config = *cube.config();
+        let n_samples = cube.samples();
+        let n_chirps = cube.chirps();
+        let n_ant = cube.antennas();
+        let range_bins = n_samples;
+        let doppler_bins = n_chirps;
+
+        let range_window = hann_window(n_samples);
+        let doppler_window = hann_window(n_chirps);
+
+        let mut spectra = Vec::with_capacity(n_ant);
+        let mut magnitude = vec![0.0f32; range_bins * doppler_bins];
+
+        for ant in 0..n_ant {
+            // Range FFT per chirp.
+            let mut range_fft = vec![Complex32::ZERO; n_chirps * range_bins];
+            let mut buf = vec![Complex32::ZERO; n_samples];
+            for chirp in 0..n_chirps {
+                buf.copy_from_slice(cube.chirp_samples(ant, chirp));
+                apply_window(&mut buf, &range_window);
+                fft_inplace(&mut buf)?;
+                range_fft[chirp * range_bins..(chirp + 1) * range_bins].copy_from_slice(&buf);
+            }
+            // Doppler FFT across chirps for every range bin, with fftshift.
+            let mut spectrum = vec![Complex32::ZERO; range_bins * doppler_bins];
+            let mut slow = vec![Complex32::ZERO; n_chirps];
+            for r in 0..range_bins {
+                for chirp in 0..n_chirps {
+                    slow[chirp] = range_fft[chirp * range_bins + r];
+                }
+                apply_window(&mut slow, &doppler_window);
+                fft_inplace(&mut slow)?;
+                for k in 0..doppler_bins {
+                    // fftshift: negative velocities first.
+                    let shifted = (k + doppler_bins / 2) % doppler_bins;
+                    spectrum[r * doppler_bins + shifted] = slow[k];
+                }
+            }
+            for (m, s) in magnitude.iter_mut().zip(&spectrum) {
+                *m += s.abs();
+            }
+            spectra.push(spectrum);
+        }
+
+        Ok(RangeDopplerMap { config, spectra, magnitude })
+    }
+
+    /// The radar configuration this map was computed for.
+    pub fn config(&self) -> &RadarConfig {
+        &self.config
+    }
+
+    /// Number of range bins.
+    pub fn range_bins(&self) -> usize {
+        self.config.chirp.samples_per_chirp
+    }
+
+    /// Number of Doppler bins.
+    pub fn doppler_bins(&self) -> usize {
+        self.config.chirps_per_frame
+    }
+
+    /// The summed magnitude map, `[range_bins x doppler_bins]` row-major.
+    pub fn magnitude(&self) -> &[f32] {
+        &self.magnitude
+    }
+
+    /// Magnitude at a specific range/Doppler cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn magnitude_at(&self, range_bin: usize, doppler_bin: usize) -> f32 {
+        assert!(range_bin < self.range_bins() && doppler_bin < self.doppler_bins());
+        self.magnitude[range_bin * self.doppler_bins() + doppler_bin]
+    }
+
+    /// Per-antenna complex value at a range/Doppler cell, ordered by virtual
+    /// antenna index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn antenna_snapshot(&self, range_bin: usize, doppler_bin: usize) -> Vec<Complex32> {
+        assert!(range_bin < self.range_bins() && doppler_bin < self.doppler_bins());
+        let idx = range_bin * self.doppler_bins() + doppler_bin;
+        self.spectra.iter().map(|s| s[idx]).collect()
+    }
+
+    /// Converts a range bin index to metres.
+    pub fn range_of_bin(&self, range_bin: usize) -> f64 {
+        range_bin as f64 * self.config.range_resolution_m()
+    }
+
+    /// Converts a (shifted) Doppler bin index to a radial velocity in m/s.
+    /// Bin `doppler_bins/2` maps to zero velocity.
+    pub fn velocity_of_bin(&self, doppler_bin: usize) -> f64 {
+        let centered = doppler_bin as f64 - (self.doppler_bins() / 2) as f64;
+        centered * self.config.velocity_resolution_mps()
+    }
+
+    /// The strongest cell in the map as `(range_bin, doppler_bin)`, or `None`
+    /// for an empty map.
+    pub fn peak_cell(&self) -> Option<(usize, usize)> {
+        let (idx, _) = self
+            .magnitude
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        Some((idx / self.doppler_bins(), idx % self.doppler_bins()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Scatterer, Scene};
+
+    fn map_for(scene: &Scene, noise: f32) -> RangeDopplerMap {
+        let mut config = RadarConfig::test_small();
+        config.noise_std = noise;
+        let cube = AdcCube::synthesize(&config, scene, 5).unwrap();
+        RangeDopplerMap::from_cube(&cube).unwrap()
+    }
+
+    #[test]
+    fn static_target_peaks_at_expected_range_and_zero_doppler() {
+        let range_m = 2.0f32;
+        let scene = Scene::from_scatterers(vec![Scatterer::fixed([0.0, range_m, 0.0])]);
+        let map = map_for(&scene, 0.0);
+        let (r_bin, d_bin) = map.peak_cell().unwrap();
+        let est_range = map.range_of_bin(r_bin);
+        assert!(
+            (est_range - range_m as f64).abs() < 2.0 * map.config().range_resolution_m(),
+            "estimated range {est_range}"
+        );
+        let est_vel = map.velocity_of_bin(d_bin);
+        assert!(est_vel.abs() < 2.0 * map.config().velocity_resolution_mps(), "velocity {est_vel}");
+    }
+
+    #[test]
+    fn moving_target_shifts_doppler_bin() {
+        let v = 1.2f32;
+        let scene = Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, v, 0.0], 1.0)]);
+        let map = map_for(&scene, 0.0);
+        let (_, d_bin) = map.peak_cell().unwrap();
+        let est_vel = map.velocity_of_bin(d_bin);
+        assert!(
+            (est_vel - v as f64).abs() < 2.5 * map.config().velocity_resolution_mps(),
+            "estimated velocity {est_vel} (expected ~{v})"
+        );
+
+        let receding = Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, -v, 0.0], 1.0)]);
+        let map2 = map_for(&receding, 0.0);
+        let (_, d_bin2) = map2.peak_cell().unwrap();
+        assert!(map2.velocity_of_bin(d_bin2) < 0.0);
+    }
+
+    #[test]
+    fn farther_target_lands_in_higher_range_bin() {
+        let near = map_for(&Scene::from_scatterers(vec![Scatterer::fixed([0.0, 1.0, 0.0])]), 0.0);
+        let far = map_for(&Scene::from_scatterers(vec![Scatterer::fixed([0.0, 2.5, 0.0])]), 0.0);
+        let (rn, _) = near.peak_cell().unwrap();
+        let (rf, _) = far.peak_cell().unwrap();
+        assert!(rf > rn, "near bin {rn}, far bin {rf}");
+    }
+
+    #[test]
+    fn map_dimensions_and_accessors() {
+        let scene = Scene::from_scatterers(vec![Scatterer::fixed([0.5, 1.5, 0.2])]);
+        let map = map_for(&scene, 0.01);
+        assert_eq!(map.magnitude().len(), map.range_bins() * map.doppler_bins());
+        assert_eq!(map.antenna_snapshot(3, 4).len(), map.config().virtual_antennas());
+        assert!(map.magnitude_at(3, 4) >= 0.0);
+        assert_eq!(map.velocity_of_bin(map.doppler_bins() / 2), 0.0);
+    }
+
+    #[test]
+    fn two_targets_produce_two_distinct_range_peaks() {
+        let scene = Scene::from_scatterers(vec![
+            Scatterer::fixed([0.0, 1.0, 0.0]),
+            Scatterer::fixed([0.0, 3.0, 0.0]),
+        ]);
+        let map = map_for(&scene, 0.0);
+        // Sum magnitude over Doppler for each range bin and count local maxima
+        // above half the global peak.
+        let db = map.doppler_bins();
+        let profile: Vec<f32> = (0..map.range_bins())
+            .map(|r| map.magnitude()[r * db..(r + 1) * db].iter().sum())
+            .collect();
+        let peak = profile.iter().cloned().fold(0.0f32, f32::max);
+        let strong_bins = profile.iter().filter(|&&p| p > 0.4 * peak).count();
+        assert!(strong_bins >= 2, "expected at least two strong range bins, profile {profile:?}");
+    }
+}

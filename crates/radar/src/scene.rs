@@ -1,0 +1,180 @@
+//! Point-scatterer scenes observed by the radar.
+
+use serde::{Deserialize, Serialize};
+
+/// A single point scatterer: position, velocity and radar cross-section.
+///
+/// The coordinate convention follows the MARS dataset: the radar sits at the
+/// origin, `x` is lateral (left/right), `y` is the depth axis pointing away
+/// from the radar, and `z` is height.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scatterer {
+    /// Position `[x, y, z]` in metres.
+    pub position: [f32; 3],
+    /// Velocity `[vx, vy, vz]` in metres per second.
+    pub velocity: [f32; 3],
+    /// Radar cross-section (linear scale, arbitrary units).
+    pub rcs: f32,
+}
+
+impl Scatterer {
+    /// Creates a scatterer.
+    pub fn new(position: [f32; 3], velocity: [f32; 3], rcs: f32) -> Self {
+        Scatterer { position, velocity, rcs }
+    }
+
+    /// Creates a static scatterer with unit RCS.
+    pub fn fixed(position: [f32; 3]) -> Self {
+        Scatterer { position, velocity: [0.0; 3], rcs: 1.0 }
+    }
+
+    /// Distance from the radar at the origin, in metres.
+    pub fn range(&self) -> f32 {
+        let [x, y, z] = self.position;
+        (x * x + y * y + z * z).sqrt()
+    }
+
+    /// Radial velocity (positive when moving away from the radar).
+    pub fn radial_velocity(&self) -> f32 {
+        let r = self.range();
+        if r < 1e-6 {
+            return 0.0;
+        }
+        (self.position[0] * self.velocity[0]
+            + self.position[1] * self.velocity[1]
+            + self.position[2] * self.velocity[2])
+            / r
+    }
+
+    /// Azimuth angle in radians (0 along +y, positive towards +x).
+    pub fn azimuth(&self) -> f32 {
+        self.position[0].atan2(self.position[1])
+    }
+
+    /// Elevation angle in radians (0 in the horizontal plane, positive up).
+    pub fn elevation(&self) -> f32 {
+        let ground = (self.position[0] * self.position[0] + self.position[1] * self.position[1]).sqrt();
+        self.position[2].atan2(ground)
+    }
+}
+
+/// A collection of scatterers for one radar frame.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    scatterers: Vec<Scatterer>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Scene { scatterers: Vec::new() }
+    }
+
+    /// Creates a scene from an existing list of scatterers.
+    pub fn from_scatterers(scatterers: Vec<Scatterer>) -> Self {
+        Scene { scatterers }
+    }
+
+    /// Adds a scatterer.
+    pub fn push(&mut self, scatterer: Scatterer) {
+        self.scatterers.push(scatterer);
+    }
+
+    /// Number of scatterers in the scene.
+    pub fn len(&self) -> usize {
+        self.scatterers.len()
+    }
+
+    /// Returns `true` when the scene contains no scatterers.
+    pub fn is_empty(&self) -> bool {
+        self.scatterers.is_empty()
+    }
+
+    /// Iterates over the scatterers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Scatterer> {
+        self.scatterers.iter()
+    }
+
+    /// The scatterers as a slice.
+    pub fn scatterers(&self) -> &[Scatterer] {
+        &self.scatterers
+    }
+
+    /// Bounding box of the scene as `(min, max)` corners, or `None` when
+    /// empty.
+    pub fn bounding_box(&self) -> Option<([f32; 3], [f32; 3])> {
+        let first = self.scatterers.first()?;
+        let mut min = first.position;
+        let mut max = first.position;
+        for s in &self.scatterers {
+            for a in 0..3 {
+                min[a] = min[a].min(s.position[a]);
+                max[a] = max[a].max(s.position[a]);
+            }
+        }
+        Some((min, max))
+    }
+}
+
+impl FromIterator<Scatterer> for Scene {
+    fn from_iter<I: IntoIterator<Item = Scatterer>>(iter: I) -> Self {
+        Scene { scatterers: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Scatterer> for Scene {
+    fn extend<I: IntoIterator<Item = Scatterer>>(&mut self, iter: I) {
+        self.scatterers.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_angles_for_a_known_point() {
+        let s = Scatterer::fixed([1.0, 1.0, 0.0]);
+        assert!((s.range() - 2.0f32.sqrt()).abs() < 1e-6);
+        assert!((s.azimuth() - std::f32::consts::FRAC_PI_4).abs() < 1e-6);
+        assert!(s.elevation().abs() < 1e-6);
+
+        let up = Scatterer::fixed([0.0, 1.0, 1.0]);
+        assert!((up.elevation() - std::f32::consts::FRAC_PI_4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn radial_velocity_sign_convention() {
+        let away = Scatterer::new([0.0, 2.0, 0.0], [0.0, 1.0, 0.0], 1.0);
+        assert!(away.radial_velocity() > 0.99);
+        let toward = Scatterer::new([0.0, 2.0, 0.0], [0.0, -1.0, 0.0], 1.0);
+        assert!(toward.radial_velocity() < -0.99);
+        let tangential = Scatterer::new([0.0, 2.0, 0.0], [1.0, 0.0, 0.0], 1.0);
+        assert!(tangential.radial_velocity().abs() < 1e-6);
+    }
+
+    #[test]
+    fn radial_velocity_at_origin_is_zero() {
+        let s = Scatterer::new([0.0; 3], [1.0, 2.0, 3.0], 1.0);
+        assert_eq!(s.radial_velocity(), 0.0);
+    }
+
+    #[test]
+    fn scene_collection_behaviour() {
+        let mut scene: Scene = (0..5)
+            .map(|i| Scatterer::fixed([i as f32, 1.0, 0.5]))
+            .collect();
+        assert_eq!(scene.len(), 5);
+        scene.extend([Scatterer::fixed([9.0, 9.0, 9.0])]);
+        assert_eq!(scene.len(), 6);
+        let (min, max) = scene.bounding_box().unwrap();
+        assert_eq!(min, [0.0, 1.0, 0.5]);
+        assert_eq!(max, [9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_scene_has_no_bounding_box() {
+        assert!(Scene::new().bounding_box().is_none());
+        assert!(Scene::new().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the radar signal chain.
+
+use fuse_radar::fft::{blackman_window, dft};
+use fuse_radar::{
+    cfar_ca_1d, fft_inplace, hann_window, ifft_inplace, CfarConfig, Complex32, FastScatterModel,
+    RadarConfig, Scatterer, Scene,
+};
+use proptest::prelude::*;
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0).prop_map(|(re, im)| Complex32::new(re, im)), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FFT followed by inverse FFT recovers the signal.
+    #[test]
+    fn fft_ifft_round_trips(signal in complex_signal(64)) {
+        let mut buf = signal.clone();
+        fft_inplace(&mut buf).unwrap();
+        ifft_inplace(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&signal) {
+            prop_assert!((a.re - b.re).abs() < 1e-3);
+            prop_assert!((a.im - b.im).abs() < 1e-3);
+        }
+    }
+
+    /// Parseval's theorem: energy is preserved (up to the 1/N convention).
+    #[test]
+    fn fft_preserves_energy(signal in complex_signal(32)) {
+        let time_energy: f32 = signal.iter().map(|x| x.norm_sq()).sum();
+        let mut spec = signal.clone();
+        fft_inplace(&mut spec).unwrap();
+        let freq_energy: f32 = spec.iter().map(|x| x.norm_sq()).sum::<f32>() / 32.0;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+    }
+
+    /// The fast FFT agrees with the O(n^2) reference DFT.
+    #[test]
+    fn fft_matches_reference_dft(signal in complex_signal(16)) {
+        let expected = dft(&signal);
+        let mut fast = signal.clone();
+        fft_inplace(&mut fast).unwrap();
+        for (a, b) in fast.iter().zip(&expected) {
+            prop_assert!((a.re - b.re).abs() < 1e-3);
+            prop_assert!((a.im - b.im).abs() < 1e-3);
+        }
+    }
+
+    /// Window functions are bounded in [0, 1] and symmetric.
+    #[test]
+    fn windows_are_bounded_and_symmetric(n in 2usize..256) {
+        for window in [hann_window(n), blackman_window(n)] {
+            prop_assert_eq!(window.len(), n);
+            for (i, &w) in window.iter().enumerate() {
+                prop_assert!((-0.01..=1.01).contains(&w));
+                prop_assert!((w - window[n - 1 - i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// CFAR never reports more detections than cells and never fires on a
+    /// constant profile.
+    #[test]
+    fn cfar_detection_count_is_sane(
+        values in prop::collection::vec(0.5f32..1.5, 64),
+        spike_pos in 8usize..56,
+        spike in 20.0f32..100.0,
+    ) {
+        let config = CfarConfig::default();
+        let constant = vec![1.0f32; 64];
+        prop_assert!(cfar_ca_1d(&constant, &config).unwrap().is_empty());
+
+        let mut profile = values;
+        profile[spike_pos] = spike;
+        let detections = cfar_ca_1d(&profile, &config).unwrap();
+        prop_assert!(detections.len() <= 64);
+        prop_assert!(detections.contains(&spike_pos));
+    }
+
+    /// Scatterer geometry: range is non-negative and the radial velocity of a
+    /// static scatterer is zero.
+    #[test]
+    fn scatterer_geometry_invariants(
+        x in -3.0f32..3.0,
+        y in 0.1f32..4.0,
+        z in -1.0f32..2.0,
+    ) {
+        let s = Scatterer::fixed([x, y, z]);
+        prop_assert!(s.range() >= 0.0);
+        prop_assert_eq!(s.radial_velocity(), 0.0);
+        prop_assert!(s.azimuth().abs() <= std::f32::consts::PI);
+        prop_assert!(s.elevation().abs() <= std::f32::consts::FRAC_PI_2 + 1e-6);
+    }
+
+    /// The fast scatter model is deterministic and produces a bounded number
+    /// of points for any seed.
+    #[test]
+    fn fast_model_point_counts_are_bounded(seed in 0u64..1000) {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        let scene: Scene = (0..15)
+            .map(|i| Scatterer::new([0.0, 2.0, 0.1 * i as f32], [0.0, 0.3, 0.0], 1.0))
+            .collect();
+        let a = model.sample(&scene, seed);
+        let b = model.sample(&scene, seed);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.len() >= 4);
+        prop_assert!(a.len() <= 2 * model.mean_points_per_frame);
+    }
+}

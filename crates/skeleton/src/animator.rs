@@ -1,0 +1,224 @@
+//! Sampling of skeleton sequences at the radar frame rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::joints::Skeleton;
+use crate::movement::Movement;
+use crate::subject::Subject;
+
+/// Generates a time-indexed sequence of poses for one subject performing one
+/// movement.
+///
+/// The animator adds two kinds of realism on top of the parametric movement
+/// model:
+///
+/// * a small postural sway (the subject is never perfectly still), and
+/// * per-repetition variability in amplitude and tempo, controlled by a seed
+///   so sequences are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovementAnimator {
+    subject: Subject,
+    movement: Movement,
+    frame_rate_hz: f32,
+    sway_amplitude_m: f32,
+    variability: f32,
+    seed: u64,
+}
+
+impl MovementAnimator {
+    /// Creates an animator with default sway (1 cm) and 15 % repetition
+    /// variability.
+    pub fn new(subject: Subject, movement: Movement, frame_rate_hz: f32) -> Self {
+        MovementAnimator {
+            subject,
+            movement,
+            frame_rate_hz,
+            sway_amplitude_m: 0.01,
+            variability: 0.15,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed controlling repetition-to-repetition variability.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the postural sway amplitude in metres.
+    pub fn with_sway(mut self, sway_amplitude_m: f32) -> Self {
+        self.sway_amplitude_m = sway_amplitude_m;
+        self
+    }
+
+    /// Sets the repetition variability fraction (0 disables it).
+    pub fn with_variability(mut self, variability: f32) -> Self {
+        self.variability = variability.max(0.0);
+        self
+    }
+
+    /// The subject being animated.
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    /// The movement being performed.
+    pub fn movement(&self) -> Movement {
+        self.movement
+    }
+
+    /// The sampling rate in frames per second.
+    pub fn frame_rate_hz(&self) -> f32 {
+        self.frame_rate_hz
+    }
+
+    /// Frame interval in seconds.
+    pub fn frame_period_s(&self) -> f32 {
+        1.0 / self.frame_rate_hz
+    }
+
+    /// Amplitude intensity for the repetition containing time `t`.
+    fn repetition_intensity(&self, repetition: i64) -> f32 {
+        if self.variability == 0.0 {
+            return 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (repetition as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        1.0 + self.variability * (rng.gen::<f32>() * 2.0 - 1.0)
+    }
+
+    /// Pose of the subject at absolute time `t` seconds.
+    pub fn pose_at(&self, t: f32) -> Skeleton {
+        let period = self.movement.period_s();
+        let repetition = (t / period).floor() as i64;
+        let phase = (t / period).rem_euclid(1.0);
+        let intensity = self.repetition_intensity(repetition);
+        let pose = self.movement.pose(&self.subject, phase, intensity);
+
+        // Slow postural sway: low-frequency lateral and depth drift.
+        let sway_x = self.sway_amplitude_m * (0.31 * t + self.seed as f32 * 0.01).sin();
+        let sway_y = self.sway_amplitude_m * 0.6 * (0.23 * t + 1.0).sin();
+        pose.translated([sway_x, sway_y, 0.0])
+    }
+
+    /// Samples `count` consecutive frames starting at `start_time_s`.
+    pub fn sample_frames(&self, start_time_s: f32, count: usize) -> Vec<Skeleton> {
+        (0..count)
+            .map(|i| self.pose_at(start_time_s + i as f32 * self.frame_period_s()))
+            .collect()
+    }
+
+    /// Samples `count` frames together with per-joint velocities estimated by
+    /// backward finite differences (the first frame gets zero velocity).
+    pub fn sample_frames_with_velocities(
+        &self,
+        start_time_s: f32,
+        count: usize,
+    ) -> Vec<(Skeleton, [[f32; 3]; crate::joints::JOINT_COUNT])> {
+        let frames = self.sample_frames(start_time_s, count);
+        let dt = self.frame_period_s();
+        let mut out = Vec::with_capacity(count);
+        for (i, frame) in frames.iter().enumerate() {
+            let velocity = if i == 0 {
+                [[0.0f32; 3]; crate::joints::JOINT_COUNT]
+            } else {
+                frame.velocities_from(&frames[i - 1], dt)
+            };
+            out.push((*frame, velocity));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joints::Joint;
+
+    fn animator() -> MovementAnimator {
+        MovementAnimator::new(Subject::profile(0), Movement::Squat, 10.0).with_seed(7)
+    }
+
+    #[test]
+    fn sample_count_and_rate() {
+        let frames = animator().sample_frames(0.0, 25);
+        assert_eq!(frames.len(), 25);
+        assert!((animator().frame_period_s() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let a = animator().sample_frames(0.0, 10);
+        let b = animator().sample_frames(0.0, 10);
+        assert_eq!(a, b);
+        let c = MovementAnimator::new(Subject::profile(0), Movement::Squat, 10.0)
+            .with_seed(8)
+            .sample_frames(0.0, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn motion_is_smooth_between_consecutive_frames() {
+        let frames = animator().sample_frames(0.0, 100);
+        for w in frames.windows(2) {
+            for j in Joint::ALL {
+                let a = w[0].position(j);
+                let b = w[1].position(j);
+                let dist =
+                    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+                // At 10 Hz no joint should move faster than ~4 m/s.
+                assert!(dist < 0.4, "joint {j:?} moved {dist} m in one frame");
+            }
+        }
+    }
+
+    #[test]
+    fn repetitions_vary_in_amplitude() {
+        let animator = animator().with_variability(0.3).with_sway(0.0);
+        let period = Movement::Squat.period_s();
+        // Mid-cycle hip height of repetition 0 vs repetition 1.
+        let hip0 = animator.pose_at(0.5 * period).position(Joint::SpineBase)[2];
+        let hip1 = animator.pose_at(1.5 * period).position(Joint::SpineBase)[2];
+        assert!((hip0 - hip1).abs() > 1e-4, "repetitions identical");
+    }
+
+    #[test]
+    fn zero_variability_and_sway_gives_periodic_motion() {
+        let animator = animator().with_variability(0.0).with_sway(0.0);
+        let period = Movement::Squat.period_s();
+        let a = animator.pose_at(0.3 * period);
+        let b = animator.pose_at(1.3 * period);
+        for j in Joint::ALL {
+            let pa = a.position(j);
+            let pb = b.position(j);
+            for axis in 0..3 {
+                assert!((pa[axis] - pb[axis]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn velocities_are_zero_for_first_frame_and_finite_after() {
+        let samples = animator().sample_frames_with_velocities(0.0, 20);
+        assert_eq!(samples.len(), 20);
+        assert_eq!(samples[0].1, [[0.0; 3]; 19]);
+        let some_motion = samples[1..]
+            .iter()
+            .any(|(_, v)| v.iter().any(|j| j.iter().any(|&c| c.abs() > 0.01)));
+        assert!(some_motion, "no joint velocity detected during a squat");
+        for (_, v) in &samples {
+            assert!(v.iter().all(|j| j.iter().all(|c| c.is_finite())));
+        }
+    }
+
+    #[test]
+    fn different_subjects_produce_different_poses() {
+        let a = MovementAnimator::new(Subject::profile(0), Movement::Squat, 10.0).pose_at(0.7);
+        let b = MovementAnimator::new(Subject::profile(3), Movement::Squat, 10.0).pose_at(0.7);
+        assert_ne!(a, b);
+        assert!(b.height() > a.height());
+    }
+}

@@ -1,0 +1,350 @@
+//! The 19-joint skeleton and its bone graph.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of joints tracked by the pose estimator (matches MARS / the paper's
+/// "19 joints on the human body").
+pub const JOINT_COUNT: usize = 19;
+
+/// The 19 tracked joints, following the Kinect V2 naming that the MARS
+/// dataset uses for its labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Joint {
+    /// Base of the spine (pelvis centre).
+    SpineBase = 0,
+    /// Middle of the spine.
+    SpineMid = 1,
+    /// Top of the spine, between the shoulders.
+    SpineShoulder = 2,
+    /// Neck.
+    Neck = 3,
+    /// Head centre.
+    Head = 4,
+    /// Left shoulder.
+    ShoulderLeft = 5,
+    /// Left elbow.
+    ElbowLeft = 6,
+    /// Left wrist.
+    WristLeft = 7,
+    /// Right shoulder.
+    ShoulderRight = 8,
+    /// Right elbow.
+    ElbowRight = 9,
+    /// Right wrist.
+    WristRight = 10,
+    /// Left hip.
+    HipLeft = 11,
+    /// Left knee.
+    KneeLeft = 12,
+    /// Left ankle.
+    AnkleLeft = 13,
+    /// Left foot.
+    FootLeft = 14,
+    /// Right hip.
+    HipRight = 15,
+    /// Right knee.
+    KneeRight = 16,
+    /// Right ankle.
+    AnkleRight = 17,
+    /// Right foot.
+    FootRight = 18,
+}
+
+impl Joint {
+    /// All joints in label order.
+    pub const ALL: [Joint; JOINT_COUNT] = [
+        Joint::SpineBase,
+        Joint::SpineMid,
+        Joint::SpineShoulder,
+        Joint::Neck,
+        Joint::Head,
+        Joint::ShoulderLeft,
+        Joint::ElbowLeft,
+        Joint::WristLeft,
+        Joint::ShoulderRight,
+        Joint::ElbowRight,
+        Joint::WristRight,
+        Joint::HipLeft,
+        Joint::KneeLeft,
+        Joint::AnkleLeft,
+        Joint::FootLeft,
+        Joint::HipRight,
+        Joint::KneeRight,
+        Joint::AnkleRight,
+        Joint::FootRight,
+    ];
+
+    /// Index of this joint in the label vector.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Returns `true` for joints on the left side of the body.
+    pub fn is_left(&self) -> bool {
+        matches!(
+            self,
+            Joint::ShoulderLeft
+                | Joint::ElbowLeft
+                | Joint::WristLeft
+                | Joint::HipLeft
+                | Joint::KneeLeft
+                | Joint::AnkleLeft
+                | Joint::FootLeft
+        )
+    }
+
+    /// Returns `true` for joints on the right side of the body.
+    pub fn is_right(&self) -> bool {
+        matches!(
+            self,
+            Joint::ShoulderRight
+                | Joint::ElbowRight
+                | Joint::WristRight
+                | Joint::HipRight
+                | Joint::KneeRight
+                | Joint::AnkleRight
+                | Joint::FootRight
+        )
+    }
+}
+
+/// Bone connectivity of the skeleton as pairs of joints.
+pub const BONES: [(Joint, Joint); 18] = [
+    (Joint::SpineBase, Joint::SpineMid),
+    (Joint::SpineMid, Joint::SpineShoulder),
+    (Joint::SpineShoulder, Joint::Neck),
+    (Joint::Neck, Joint::Head),
+    (Joint::SpineShoulder, Joint::ShoulderLeft),
+    (Joint::ShoulderLeft, Joint::ElbowLeft),
+    (Joint::ElbowLeft, Joint::WristLeft),
+    (Joint::SpineShoulder, Joint::ShoulderRight),
+    (Joint::ShoulderRight, Joint::ElbowRight),
+    (Joint::ElbowRight, Joint::WristRight),
+    (Joint::SpineBase, Joint::HipLeft),
+    (Joint::HipLeft, Joint::KneeLeft),
+    (Joint::KneeLeft, Joint::AnkleLeft),
+    (Joint::AnkleLeft, Joint::FootLeft),
+    (Joint::SpineBase, Joint::HipRight),
+    (Joint::HipRight, Joint::KneeRight),
+    (Joint::KneeRight, Joint::AnkleRight),
+    (Joint::AnkleRight, Joint::FootRight),
+];
+
+/// A single pose: the 3-D position of every joint.
+///
+/// Coordinates use the radar/MARS convention: `x` lateral, `y` depth away
+/// from the sensor, `z` height above the floor, all in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Skeleton {
+    positions: [[f32; 3]; JOINT_COUNT],
+}
+
+impl Skeleton {
+    /// Creates a skeleton from explicit joint positions.
+    pub fn from_positions(positions: [[f32; 3]; JOINT_COUNT]) -> Self {
+        Skeleton { positions }
+    }
+
+    /// A degenerate skeleton with all joints at the origin.
+    pub fn zero() -> Self {
+        Skeleton { positions: [[0.0; 3]; JOINT_COUNT] }
+    }
+
+    /// Number of joints (always [`JOINT_COUNT`]).
+    pub fn joint_count(&self) -> usize {
+        JOINT_COUNT
+    }
+
+    /// Position of a joint.
+    pub fn position(&self, joint: Joint) -> [f32; 3] {
+        self.positions[joint.index()]
+    }
+
+    /// Sets the position of a joint.
+    pub fn set_position(&mut self, joint: Joint, position: [f32; 3]) {
+        self.positions[joint.index()] = position;
+    }
+
+    /// All joint positions in label order.
+    pub fn positions(&self) -> &[[f32; 3]; JOINT_COUNT] {
+        &self.positions
+    }
+
+    /// Flattens the pose into the 57-value label vector
+    /// `(x_0, y_0, z_0, x_1, ...)` used by the CNN output layer.
+    pub fn to_label_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(JOINT_COUNT * 3);
+        for p in &self.positions {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Reconstructs a skeleton from a 57-value label vector.
+    ///
+    /// Returns `None` when the slice does not contain exactly `3 * 19`
+    /// values.
+    pub fn from_label_vec(label: &[f32]) -> Option<Self> {
+        if label.len() != JOINT_COUNT * 3 {
+            return None;
+        }
+        let mut positions = [[0.0f32; 3]; JOINT_COUNT];
+        for (j, p) in positions.iter_mut().enumerate() {
+            p.copy_from_slice(&label[j * 3..j * 3 + 3]);
+        }
+        Some(Skeleton { positions })
+    }
+
+    /// Centroid of all joints.
+    pub fn centroid(&self) -> [f32; 3] {
+        let mut c = [0.0f32; 3];
+        for p in &self.positions {
+            for a in 0..3 {
+                c[a] += p[a];
+            }
+        }
+        for a in &mut c {
+            *a /= JOINT_COUNT as f32;
+        }
+        c
+    }
+
+    /// Length of the bone between two joints.
+    pub fn bone_length(&self, from: Joint, to: Joint) -> f32 {
+        let a = self.position(from);
+        let b = self.position(to);
+        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+    }
+
+    /// Standing height proxy: vertical distance between the head and the
+    /// lower of the two feet.
+    pub fn height(&self) -> f32 {
+        let head = self.position(Joint::Head)[2];
+        let foot = self.position(Joint::FootLeft)[2].min(self.position(Joint::FootRight)[2]);
+        head - foot
+    }
+
+    /// Translates every joint by the given offset.
+    pub fn translated(&self, offset: [f32; 3]) -> Self {
+        let mut out = *self;
+        for p in &mut out.positions {
+            for a in 0..3 {
+                p[a] += offset[a];
+            }
+        }
+        out
+    }
+
+    /// Per-joint velocity between two poses separated by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn velocities_from(&self, previous: &Skeleton, dt: f32) -> [[f32; 3]; JOINT_COUNT] {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut v = [[0.0f32; 3]; JOINT_COUNT];
+        for j in 0..JOINT_COUNT {
+            for a in 0..3 {
+                v[j][a] = (self.positions[j][a] - previous.positions[j][a]) / dt;
+            }
+        }
+        v
+    }
+
+    /// Returns `true` when every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.positions.iter().all(|p| p.iter().all(|c| c.is_finite()))
+    }
+}
+
+impl Default for Skeleton {
+    fn default() -> Self {
+        Skeleton::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_indices_are_dense_and_unique() {
+        let mut seen = [false; JOINT_COUNT];
+        for j in Joint::ALL {
+            assert!(!seen[j.index()], "duplicate index {}", j.index());
+            seen[j.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn left_right_partition_is_consistent() {
+        let left = Joint::ALL.iter().filter(|j| j.is_left()).count();
+        let right = Joint::ALL.iter().filter(|j| j.is_right()).count();
+        assert_eq!(left, 7);
+        assert_eq!(right, 7);
+        assert!(Joint::ALL.iter().all(|j| !(j.is_left() && j.is_right())));
+    }
+
+    #[test]
+    fn bones_reference_every_non_root_joint_once() {
+        // Every joint except SpineBase appears exactly once as a bone child.
+        let mut child_count = [0usize; JOINT_COUNT];
+        for (_, child) in BONES {
+            child_count[child.index()] += 1;
+        }
+        assert_eq!(child_count[Joint::SpineBase.index()], 0);
+        for j in Joint::ALL {
+            if j != Joint::SpineBase {
+                assert_eq!(child_count[j.index()], 1, "joint {j:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_vector_round_trips() {
+        let mut skeleton = Skeleton::zero();
+        for (i, j) in Joint::ALL.iter().enumerate() {
+            skeleton.set_position(*j, [i as f32, 2.0 * i as f32, -(i as f32)]);
+        }
+        let label = skeleton.to_label_vec();
+        assert_eq!(label.len(), 57);
+        let back = Skeleton::from_label_vec(&label).unwrap();
+        assert_eq!(back, skeleton);
+        assert!(Skeleton::from_label_vec(&label[..56]).is_none());
+    }
+
+    #[test]
+    fn translation_moves_centroid() {
+        let s = Skeleton::zero().translated([1.0, 2.0, 3.0]);
+        assert_eq!(s.centroid(), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn velocity_computation() {
+        let a = Skeleton::zero();
+        let b = Skeleton::zero().translated([0.1, 0.0, 0.2]);
+        let v = b.velocities_from(&a, 0.1);
+        assert!((v[0][0] - 1.0).abs() < 1e-5);
+        assert!((v[0][2] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn velocity_rejects_zero_dt() {
+        let a = Skeleton::zero();
+        a.velocities_from(&a, 0.0);
+    }
+
+    #[test]
+    fn bone_length_and_height() {
+        let mut s = Skeleton::zero();
+        s.set_position(Joint::Head, [0.0, 0.0, 1.7]);
+        s.set_position(Joint::FootLeft, [0.0, 0.0, 0.0]);
+        s.set_position(Joint::FootRight, [0.0, 0.0, 0.05]);
+        assert!((s.height() - 1.7).abs() < 1e-6);
+        s.set_position(Joint::Neck, [0.0, 0.0, 1.5]);
+        assert!((s.bone_length(Joint::Neck, Joint::Head) - 0.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,35 @@
+//! # fuse-skeleton
+//!
+//! Human body model and motion generator used to synthesise ground-truth
+//! labels (and radar scatterers) for the FUSE reproduction.
+//!
+//! The MARS dataset that the paper evaluates on contains 19 Kinect-V2 joints
+//! for four subjects performing ten rehabilitation movements at 10 Hz. This
+//! crate provides the same taxonomy:
+//!
+//! * [`joints`] — the 19-joint [`joints::Skeleton`] and its bone graph;
+//! * [`subject`] — anthropometric profiles for the four subjects;
+//! * [`movement`] — the ten parametric rehabilitation movements;
+//! * [`animator`] — sampling of skeleton sequences at the radar frame rate;
+//! * [`surface`] — placement of radar scatterers on the body segments.
+//!
+//! ```
+//! use fuse_skeleton::{MovementAnimator, Movement, Subject};
+//!
+//! let animator = MovementAnimator::new(Subject::profile(0), Movement::Squat, 10.0);
+//! let sequence = animator.sample_frames(0.0, 20);
+//! assert_eq!(sequence.len(), 20);
+//! assert_eq!(sequence[0].joint_count(), 19);
+//! ```
+
+pub mod animator;
+pub mod joints;
+pub mod movement;
+pub mod subject;
+pub mod surface;
+
+pub use animator::MovementAnimator;
+pub use joints::{Joint, Skeleton, BONES, JOINT_COUNT};
+pub use movement::Movement;
+pub use subject::Subject;
+pub use surface::{body_surface_points, SurfacePoint};

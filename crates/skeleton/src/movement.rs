@@ -1,0 +1,578 @@
+//! The ten parametric rehabilitation movements.
+//!
+//! The MARS dataset (which the paper evaluates on) contains ten prescribed
+//! rehabilitation movements performed in front of the radar. Each movement is
+//! modelled here as a smooth, periodic modulation of a standing pose: a phase
+//! value in `[0, 1)` describes progress through one repetition and maps to
+//! joint positions via simple forward kinematics on the subject's segment
+//! lengths.
+
+use serde::{Deserialize, Serialize};
+
+use crate::joints::{Joint, Skeleton};
+use crate::subject::Subject;
+
+/// The ten rehabilitation movements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Movement {
+    /// Raise and lower the left arm in the sagittal plane.
+    LeftUpperLimbExtension,
+    /// Raise and lower the right arm in the sagittal plane.
+    RightUpperLimbExtension,
+    /// Raise and lower both arms together.
+    BothUpperLimbExtension,
+    /// Step forward with the left leg and bend both knees.
+    LeftFrontLunge,
+    /// Step forward with the right leg and bend both knees.
+    RightFrontLunge,
+    /// Bend both knees and lower the hips while raising the arms forward.
+    Squat,
+    /// Step sideways with the left leg.
+    LeftSideLunge,
+    /// Step sideways with the right leg.
+    RightSideLunge,
+    /// Simultaneously extend the left arm and left leg ("left limb extension").
+    LeftLimbExtension,
+    /// Simultaneously extend the right arm and right leg — the movement held
+    /// out from training in the paper's §4.3 experiment.
+    RightLimbExtension,
+}
+
+impl Movement {
+    /// All ten movements in dataset order.
+    pub const ALL: [Movement; 10] = [
+        Movement::LeftUpperLimbExtension,
+        Movement::RightUpperLimbExtension,
+        Movement::BothUpperLimbExtension,
+        Movement::LeftFrontLunge,
+        Movement::RightFrontLunge,
+        Movement::Squat,
+        Movement::LeftSideLunge,
+        Movement::RightSideLunge,
+        Movement::LeftLimbExtension,
+        Movement::RightLimbExtension,
+    ];
+
+    /// Stable index of the movement within [`Movement::ALL`].
+    pub fn index(&self) -> usize {
+        Movement::ALL.iter().position(|m| m == self).expect("movement is in ALL")
+    }
+
+    /// Short machine-friendly identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Movement::LeftUpperLimbExtension => "left_upper_limb_extension",
+            Movement::RightUpperLimbExtension => "right_upper_limb_extension",
+            Movement::BothUpperLimbExtension => "both_upper_limb_extension",
+            Movement::LeftFrontLunge => "left_front_lunge",
+            Movement::RightFrontLunge => "right_front_lunge",
+            Movement::Squat => "squat",
+            Movement::LeftSideLunge => "left_side_lunge",
+            Movement::RightSideLunge => "right_side_lunge",
+            Movement::LeftLimbExtension => "left_limb_extension",
+            Movement::RightLimbExtension => "right_limb_extension",
+        }
+    }
+
+    /// Duration of one repetition in seconds.
+    pub fn period_s(&self) -> f32 {
+        match self {
+            Movement::LeftUpperLimbExtension
+            | Movement::RightUpperLimbExtension
+            | Movement::BothUpperLimbExtension => 3.0,
+            Movement::Squat => 4.0,
+            Movement::LeftFrontLunge | Movement::RightFrontLunge => 3.5,
+            Movement::LeftSideLunge | Movement::RightSideLunge => 3.5,
+            Movement::LeftLimbExtension | Movement::RightLimbExtension => 3.2,
+        }
+    }
+
+    /// Returns `true` when the movement primarily involves the left limbs.
+    pub fn involves_left(&self) -> bool {
+        matches!(
+            self,
+            Movement::LeftUpperLimbExtension
+                | Movement::LeftFrontLunge
+                | Movement::LeftSideLunge
+                | Movement::LeftLimbExtension
+                | Movement::BothUpperLimbExtension
+                | Movement::Squat
+        )
+    }
+
+    /// Returns `true` when the movement primarily involves the right limbs.
+    pub fn involves_right(&self) -> bool {
+        matches!(
+            self,
+            Movement::RightUpperLimbExtension
+                | Movement::RightFrontLunge
+                | Movement::RightSideLunge
+                | Movement::RightLimbExtension
+                | Movement::BothUpperLimbExtension
+                | Movement::Squat
+        )
+    }
+
+    /// Computes the pose of `subject` at the given `phase` of a repetition.
+    ///
+    /// `phase` is taken modulo 1, so any real value is accepted. `intensity`
+    /// scales the movement amplitude (1.0 = nominal) and models
+    /// repetition-to-repetition variability.
+    pub fn pose(&self, subject: &Subject, phase: f32, intensity: f32) -> Skeleton {
+        let phase = phase.rem_euclid(1.0);
+        // Smooth raise-and-return profile: 0 at the start/end, 1 mid-cycle.
+        let cycle = 0.5 - 0.5 * (2.0 * std::f32::consts::PI * phase).cos();
+        let a = (cycle * intensity).clamp(0.0, 1.5);
+
+        let mut pose = standing_pose(subject);
+        match self {
+            Movement::LeftUpperLimbExtension => raise_arm(&mut pose, subject, Side::Left, a),
+            Movement::RightUpperLimbExtension => raise_arm(&mut pose, subject, Side::Right, a),
+            Movement::BothUpperLimbExtension => {
+                raise_arm(&mut pose, subject, Side::Left, a);
+                raise_arm(&mut pose, subject, Side::Right, a);
+            }
+            Movement::Squat => squat(&mut pose, subject, a),
+            Movement::LeftFrontLunge => front_lunge(&mut pose, subject, Side::Left, a),
+            Movement::RightFrontLunge => front_lunge(&mut pose, subject, Side::Right, a),
+            Movement::LeftSideLunge => side_lunge(&mut pose, subject, Side::Left, a),
+            Movement::RightSideLunge => side_lunge(&mut pose, subject, Side::Right, a),
+            Movement::LeftLimbExtension => {
+                raise_arm(&mut pose, subject, Side::Left, a);
+                raise_leg(&mut pose, subject, Side::Left, a);
+            }
+            Movement::RightLimbExtension => {
+                raise_arm(&mut pose, subject, Side::Right, a);
+                raise_leg(&mut pose, subject, Side::Right, a);
+            }
+        }
+        pose
+    }
+}
+
+impl std::fmt::Display for Movement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+impl Side {
+    fn sign(self) -> f32 {
+        match self {
+            Side::Left => -1.0,
+            Side::Right => 1.0,
+        }
+    }
+
+    fn shoulder(self) -> Joint {
+        match self {
+            Side::Left => Joint::ShoulderLeft,
+            Side::Right => Joint::ShoulderRight,
+        }
+    }
+
+    fn elbow(self) -> Joint {
+        match self {
+            Side::Left => Joint::ElbowLeft,
+            Side::Right => Joint::ElbowRight,
+        }
+    }
+
+    fn wrist(self) -> Joint {
+        match self {
+            Side::Left => Joint::WristLeft,
+            Side::Right => Joint::WristRight,
+        }
+    }
+
+    fn hip(self) -> Joint {
+        match self {
+            Side::Left => Joint::HipLeft,
+            Side::Right => Joint::HipRight,
+        }
+    }
+
+    fn knee(self) -> Joint {
+        match self {
+            Side::Left => Joint::KneeLeft,
+            Side::Right => Joint::KneeRight,
+        }
+    }
+
+    fn ankle(self) -> Joint {
+        match self {
+            Side::Left => Joint::AnkleLeft,
+            Side::Right => Joint::AnkleRight,
+        }
+    }
+
+    fn foot(self) -> Joint {
+        match self {
+            Side::Left => Joint::FootLeft,
+            Side::Right => Joint::FootRight,
+        }
+    }
+}
+
+/// The neutral standing pose for a subject: feet on the floor, arms hanging,
+/// facing the radar (the radar looks along +y, the subject along −y).
+pub fn standing_pose(subject: &Subject) -> Skeleton {
+    let x0 = subject.lateral_offset_m;
+    let y0 = subject.stand_distance_m;
+    let hip_z = subject.standing_hip_height();
+    let shoulder_z = subject.standing_shoulder_height();
+    let hw = subject.hip_width_m / 2.0;
+    let sw = subject.shoulder_width_m / 2.0;
+
+    let mut s = Skeleton::zero();
+    s.set_position(Joint::SpineBase, [x0, y0, hip_z]);
+    s.set_position(Joint::SpineMid, [x0, y0, hip_z + subject.torso_m * 0.5]);
+    s.set_position(Joint::SpineShoulder, [x0, y0, shoulder_z]);
+    s.set_position(Joint::Neck, [x0, y0, shoulder_z + 0.05]);
+    s.set_position(Joint::Head, [x0, y0, shoulder_z + subject.head_neck_m * 0.75]);
+
+    for side in [Side::Left, Side::Right] {
+        let sx = x0 + side.sign() * sw;
+        s.set_position(side.shoulder(), [sx, y0, shoulder_z]);
+        s.set_position(side.elbow(), [sx, y0, shoulder_z - subject.upper_arm_m]);
+        s.set_position(side.wrist(), [sx, y0, shoulder_z - subject.arm_length()]);
+
+        let hx = x0 + side.sign() * hw;
+        s.set_position(side.hip(), [hx, y0, hip_z]);
+        s.set_position(side.knee(), [hx, y0, hip_z - subject.thigh_m]);
+        s.set_position(side.ankle(), [hx, y0, 0.08]);
+        s.set_position(side.foot(), [hx, y0 - subject.foot_m * 0.7, 0.02]);
+    }
+    s
+}
+
+/// Rotates one arm forward/up about the shoulder in the sagittal plane.
+/// `amount` ∈ [0, 1.5]: 0 = hanging, 1 ≈ 150° of elevation (overhead).
+fn raise_arm(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
+    let shoulder = pose.position(side.shoulder());
+    let alpha = amount * 150.0f32.to_radians();
+    // Direction of the straight arm, starting from pointing straight down
+    // (alpha = 0) and rotating towards the radar (−y) and then up (+z).
+    let dir = [0.0, -alpha.sin(), -alpha.cos()];
+    let elbow = [
+        shoulder[0],
+        shoulder[1] + dir[1] * subject.upper_arm_m,
+        shoulder[2] + dir[2] * subject.upper_arm_m,
+    ];
+    let wrist = [
+        shoulder[0],
+        shoulder[1] + dir[1] * subject.arm_length(),
+        shoulder[2] + dir[2] * subject.arm_length(),
+    ];
+    pose.set_position(side.elbow(), elbow);
+    pose.set_position(side.wrist(), wrist);
+}
+
+/// Lowers the pelvis and bends the knees; the arms extend forward for balance.
+fn squat(pose: &mut Skeleton, subject: &Subject, amount: f32) {
+    let drop = amount * 0.35 * (subject.thigh_m + subject.shank_m);
+    let knee_forward = amount * 0.18;
+
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+        let mut p = pose.position(joint);
+        p[2] -= drop;
+        pose.set_position(joint, p);
+    }
+    for side in [Side::Left, Side::Right] {
+        let mut hip = pose.position(side.hip());
+        hip[2] -= drop;
+        pose.set_position(side.hip(), hip);
+        let mut knee = pose.position(side.knee());
+        knee[2] -= drop * 0.45;
+        knee[1] -= knee_forward;
+        pose.set_position(side.knee(), knee);
+        // Ankles and feet stay planted.
+
+        // Arms extend horizontally towards the radar for balance.
+        let shoulder = pose.position(side.shoulder());
+        let reach = amount.min(1.0);
+        pose.set_position(side.elbow(), [
+            shoulder[0],
+            shoulder[1] - subject.upper_arm_m * reach,
+            shoulder[2] - subject.upper_arm_m * (1.0 - reach),
+        ]);
+        pose.set_position(side.wrist(), [
+            shoulder[0],
+            shoulder[1] - subject.arm_length() * reach,
+            shoulder[2] - subject.arm_length() * (1.0 - reach),
+        ]);
+        let mut sh = shoulder;
+        sh[2] -= drop;
+        pose.set_position(side.shoulder(), sh);
+        let mut el = pose.position(side.elbow());
+        el[2] -= drop;
+        pose.set_position(side.elbow(), el);
+        let mut wr = pose.position(side.wrist());
+        wr[2] -= drop;
+        pose.set_position(side.wrist(), wr);
+    }
+}
+
+/// Steps one leg forward (towards the radar) and lowers the body.
+fn front_lunge(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
+    let step = amount * 0.45;
+    let drop = amount * 0.18;
+
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+        let mut p = pose.position(joint);
+        p[2] -= drop;
+        p[1] -= step * 0.3;
+        pose.set_position(joint, p);
+    }
+    for s in [Side::Left, Side::Right] {
+        for joint in [s.shoulder(), s.elbow(), s.wrist(), s.hip()] {
+            let mut p = pose.position(joint);
+            p[2] -= drop;
+            p[1] -= step * 0.3;
+            pose.set_position(joint, p);
+        }
+    }
+    // The stepping leg moves forward; its knee bends above the ankle.
+    let hip = pose.position(side.hip());
+    let ankle_y = hip[1] - step;
+    pose.set_position(side.ankle(), [hip[0], ankle_y, 0.08]);
+    pose.set_position(side.foot(), [hip[0], ankle_y - subject.foot_m * 0.7, 0.02]);
+    let knee0 = pose.position(side.knee());
+    let knee_target = [hip[0], ankle_y + 0.05, 0.08 + subject.shank_m * 0.9];
+    pose.set_position(side.knee(), lerp3(knee0, knee_target, amount));
+}
+
+/// Linear interpolation between two points.
+fn lerp3(a: [f32; 3], b: [f32; 3], t: f32) -> [f32; 3] {
+    [a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t, a[2] + (b[2] - a[2]) * t]
+}
+
+/// Steps one leg sideways and shifts the body weight over it.
+fn side_lunge(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
+    let step = amount * 0.4 * side.sign();
+    let drop = amount * 0.12;
+    let shift = step * 0.4;
+
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+        let mut p = pose.position(joint);
+        p[0] += shift;
+        p[2] -= drop;
+        pose.set_position(joint, p);
+    }
+    for s in [Side::Left, Side::Right] {
+        for joint in [s.shoulder(), s.elbow(), s.wrist(), s.hip()] {
+            let mut p = pose.position(joint);
+            p[0] += shift;
+            p[2] -= drop;
+            pose.set_position(joint, p);
+        }
+    }
+    let hip = pose.position(side.hip());
+    let ankle_x = hip[0] + step;
+    pose.set_position(side.ankle(), [ankle_x, hip[1], 0.08]);
+    pose.set_position(side.foot(), [ankle_x, hip[1] - subject.foot_m * 0.7, 0.02]);
+    let knee0 = pose.position(side.knee());
+    let knee_target = [hip[0] + step * 0.6, hip[1], 0.08 + subject.shank_m * 0.9];
+    pose.set_position(side.knee(), lerp3(knee0, knee_target, amount.min(1.0)));
+}
+
+/// Raises one straight leg forward (hip flexion) — used by the combined
+/// limb-extension movements.
+fn raise_leg(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
+    let hip = pose.position(side.hip());
+    let beta = amount * 45.0f32.to_radians();
+    let leg = subject.thigh_m + subject.shank_m;
+    let dir = [0.0, -beta.sin(), -beta.cos()];
+    let knee = [
+        hip[0],
+        hip[1] + dir[1] * subject.thigh_m,
+        hip[2] + dir[2] * subject.thigh_m,
+    ];
+    let ankle = [hip[0], hip[1] + dir[1] * leg, hip[2] + dir[2] * leg];
+    pose.set_position(side.knee(), knee);
+    pose.set_position(side.ankle(), ankle);
+    pose.set_position(side.foot(), [ankle[0], ankle[1] - subject.foot_m * 0.6, ankle[2]]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subject() -> Subject {
+        Subject::profile(1)
+    }
+
+    #[test]
+    fn all_movements_have_unique_ids_and_indices() {
+        let mut ids: Vec<&str> = Movement::ALL.iter().map(|m| m.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        for (i, m) in Movement::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert!(m.period_s() > 1.0);
+        }
+    }
+
+    #[test]
+    fn standing_pose_is_anatomically_plausible() {
+        let s = subject();
+        let pose = standing_pose(&s);
+        assert!(pose.is_finite());
+        // Head above shoulders above hips above feet.
+        assert!(pose.position(Joint::Head)[2] > pose.position(Joint::SpineShoulder)[2]);
+        assert!(pose.position(Joint::SpineShoulder)[2] > pose.position(Joint::SpineBase)[2]);
+        assert!(pose.position(Joint::SpineBase)[2] > pose.position(Joint::KneeLeft)[2]);
+        assert!(pose.position(Joint::KneeLeft)[2] > pose.position(Joint::FootLeft)[2]);
+        // Shoulders are wider apart than hips.
+        let shoulder_span =
+            (pose.position(Joint::ShoulderRight)[0] - pose.position(Joint::ShoulderLeft)[0]).abs();
+        let hip_span = (pose.position(Joint::HipRight)[0] - pose.position(Joint::HipLeft)[0]).abs();
+        assert!(shoulder_span > hip_span);
+        // Subject stands at the configured distance.
+        assert!((pose.position(Joint::SpineBase)[1] - s.stand_distance_m).abs() < 1e-5);
+        // Standing height is close to the subject's stature.
+        assert!((pose.height() - s.height_m).abs() < 0.25 * s.height_m);
+    }
+
+    #[test]
+    fn phase_zero_is_close_to_standing() {
+        let s = subject();
+        let standing = standing_pose(&s);
+        for m in Movement::ALL {
+            let pose = m.pose(&s, 0.0, 1.0);
+            for j in Joint::ALL {
+                let a = pose.position(j);
+                let b = standing.position(j);
+                let dist =
+                    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+                assert!(dist < 0.05, "{m} joint {j:?} moved {dist} at phase 0");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_cycle_differs_from_standing() {
+        let s = subject();
+        let standing = standing_pose(&s);
+        for m in Movement::ALL {
+            let pose = m.pose(&s, 0.5, 1.0);
+            let moved = Joint::ALL.iter().any(|&j| {
+                let a = pose.position(j);
+                let b = standing.position(j);
+                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt() > 0.15
+            });
+            assert!(moved, "{m} did not move any joint at mid-cycle");
+        }
+    }
+
+    #[test]
+    fn left_and_right_arm_raises_are_mirrored() {
+        let s = subject();
+        let left = Movement::LeftUpperLimbExtension.pose(&s, 0.5, 1.0);
+        let right = Movement::RightUpperLimbExtension.pose(&s, 0.5, 1.0);
+        // The raised wrist is well above its hanging height on the active side only.
+        let standing = standing_pose(&s);
+        let left_raise = left.position(Joint::WristLeft)[2] - standing.position(Joint::WristLeft)[2];
+        let right_still =
+            (left.position(Joint::WristRight)[2] - standing.position(Joint::WristRight)[2]).abs();
+        assert!(left_raise > 0.3, "left wrist raise {left_raise}");
+        assert!(right_still < 0.05);
+        let right_raise =
+            right.position(Joint::WristRight)[2] - standing.position(Joint::WristRight)[2];
+        assert!((left_raise - right_raise).abs() < 0.05);
+    }
+
+    #[test]
+    fn squat_lowers_the_hips_but_not_the_feet() {
+        let s = subject();
+        let standing = standing_pose(&s);
+        let squatting = Movement::Squat.pose(&s, 0.5, 1.0);
+        assert!(
+            standing.position(Joint::SpineBase)[2] - squatting.position(Joint::SpineBase)[2] > 0.15
+        );
+        assert!((squatting.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2]).abs() < 1e-4);
+        assert!(squatting.is_finite());
+    }
+
+    #[test]
+    fn front_lunge_moves_the_stepping_foot_towards_the_radar() {
+        let s = subject();
+        let standing = standing_pose(&s);
+        let lunge = Movement::RightFrontLunge.pose(&s, 0.5, 1.0);
+        let step = standing.position(Joint::AnkleRight)[1] - lunge.position(Joint::AnkleRight)[1];
+        assert!(step > 0.25, "step {step}");
+        // The other ankle barely moves.
+        let other =
+            (standing.position(Joint::AnkleLeft)[1] - lunge.position(Joint::AnkleLeft)[1]).abs();
+        assert!(other < 0.05);
+    }
+
+    #[test]
+    fn side_lunge_moves_laterally_in_opposite_directions() {
+        let s = subject();
+        let left = Movement::LeftSideLunge.pose(&s, 0.5, 1.0);
+        let right = Movement::RightSideLunge.pose(&s, 0.5, 1.0);
+        let standing = standing_pose(&s);
+        let dl = left.position(Joint::AnkleLeft)[0] - standing.position(Joint::AnkleLeft)[0];
+        let dr = right.position(Joint::AnkleRight)[0] - standing.position(Joint::AnkleRight)[0];
+        assert!(dl < -0.2, "left step {dl}");
+        assert!(dr > 0.2, "right step {dr}");
+    }
+
+    #[test]
+    fn limb_extension_raises_arm_and_leg_on_the_same_side() {
+        let s = subject();
+        let standing = standing_pose(&s);
+        let pose = Movement::RightLimbExtension.pose(&s, 0.5, 1.0);
+        assert!(pose.position(Joint::WristRight)[2] > standing.position(Joint::WristRight)[2] + 0.3);
+        assert!(pose.position(Joint::AnkleRight)[2] > standing.position(Joint::AnkleRight)[2] + 0.1);
+        // Left limbs stay put.
+        assert!((pose.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2]).abs() < 0.02);
+    }
+
+    #[test]
+    fn intensity_scales_the_amplitude() {
+        let s = subject();
+        let gentle = Movement::Squat.pose(&s, 0.5, 0.5);
+        let full = Movement::Squat.pose(&s, 0.5, 1.0);
+        let standing = standing_pose(&s);
+        let gentle_drop = standing.position(Joint::SpineBase)[2] - gentle.position(Joint::SpineBase)[2];
+        let full_drop = standing.position(Joint::SpineBase)[2] - full.position(Joint::SpineBase)[2];
+        assert!(full_drop > 1.5 * gentle_drop);
+    }
+
+    #[test]
+    fn phase_wraps_modulo_one() {
+        let s = subject();
+        let a = Movement::Squat.pose(&s, 0.25, 1.0);
+        let b = Movement::Squat.pose(&s, 1.25, 1.0);
+        let c = Movement::Squat.pose(&s, -0.75, 1.0);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn poses_are_continuous_in_phase() {
+        let s = subject();
+        for m in Movement::ALL {
+            for k in 0..50 {
+                let p0 = m.pose(&s, k as f32 / 50.0, 1.0);
+                let p1 = m.pose(&s, (k as f32 + 0.02) / 50.0, 1.0);
+                for j in Joint::ALL {
+                    let a = p0.position(j);
+                    let b = p1.position(j);
+                    let dist =
+                        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+                    assert!(dist < 0.05, "{m} {j:?} jumped {dist} between adjacent phases");
+                }
+            }
+        }
+    }
+}

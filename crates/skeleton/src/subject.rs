@@ -1,0 +1,153 @@
+//! Anthropometric subject profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of subject profiles provided (the MARS dataset has four subjects).
+pub const SUBJECT_COUNT: usize = 4;
+
+/// Anthropometric description of one human subject.
+///
+/// Segment lengths are derived from stature using standard anthropometric
+/// ratios (Drillis & Contini), so the four profiles differ in overall size
+/// and proportions the way real subjects do. These differences are what the
+/// leave-one-subject-out experiment in §4.3 stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    /// Subject identifier (0–3 for the four MARS-like subjects).
+    pub id: usize,
+    /// Standing height in metres.
+    pub height_m: f32,
+    /// Shoulder (biacromial) width in metres.
+    pub shoulder_width_m: f32,
+    /// Hip width in metres.
+    pub hip_width_m: f32,
+    /// Upper-arm length in metres.
+    pub upper_arm_m: f32,
+    /// Forearm length in metres.
+    pub forearm_m: f32,
+    /// Thigh length in metres.
+    pub thigh_m: f32,
+    /// Shank (lower leg) length in metres.
+    pub shank_m: f32,
+    /// Foot length in metres.
+    pub foot_m: f32,
+    /// Torso length from spine base to spine shoulder in metres.
+    pub torso_m: f32,
+    /// Neck-plus-head length in metres.
+    pub head_neck_m: f32,
+    /// Distance from the radar to where the subject stands, in metres.
+    pub stand_distance_m: f32,
+    /// Lateral offset of the subject from the radar boresight, in metres.
+    pub lateral_offset_m: f32,
+}
+
+impl Subject {
+    /// Builds a subject from stature using Drillis–Contini segment ratios.
+    pub fn from_height(id: usize, height_m: f32) -> Self {
+        Subject {
+            id,
+            height_m,
+            shoulder_width_m: 0.259 * height_m,
+            hip_width_m: 0.191 * height_m,
+            upper_arm_m: 0.186 * height_m,
+            forearm_m: 0.146 * height_m,
+            thigh_m: 0.245 * height_m,
+            shank_m: 0.246 * height_m,
+            foot_m: 0.152 * height_m,
+            torso_m: 0.288 * height_m,
+            head_neck_m: 0.182 * height_m,
+            stand_distance_m: 2.0,
+            lateral_offset_m: 0.0,
+        }
+    }
+
+    /// One of the four built-in subject profiles (`index` 0–3). Heights span
+    /// 1.58 m to 1.88 m so the held-out subject of the §4.3 experiment is
+    /// genuinely outside the training anthropometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn profile(index: usize) -> Self {
+        assert!(index < SUBJECT_COUNT, "subject index {index} out of range (0..{SUBJECT_COUNT})");
+        let heights = [1.62f32, 1.71, 1.80, 1.88];
+        let distances = [2.0f32, 1.9, 2.1, 2.2];
+        let lateral = [0.0f32, 0.1, -0.1, 0.15];
+        let mut s = Subject::from_height(index, heights[index]);
+        s.stand_distance_m = distances[index];
+        s.lateral_offset_m = lateral[index];
+        s
+    }
+
+    /// All four built-in profiles.
+    pub fn all_profiles() -> Vec<Subject> {
+        (0..SUBJECT_COUNT).map(Subject::profile).collect()
+    }
+
+    /// Height of the hip (spine base) above the floor when standing.
+    pub fn standing_hip_height(&self) -> f32 {
+        self.thigh_m + self.shank_m + 0.04
+    }
+
+    /// Height of the shoulder line above the floor when standing.
+    pub fn standing_shoulder_height(&self) -> f32 {
+        self.standing_hip_height() + self.torso_m
+    }
+
+    /// Total arm length (upper arm + forearm).
+    pub fn arm_length(&self) -> f32 {
+        self.upper_arm_m + self.forearm_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct_and_ordered_by_height() {
+        let subjects = Subject::all_profiles();
+        assert_eq!(subjects.len(), 4);
+        for w in subjects.windows(2) {
+            assert!(w[0].height_m < w[1].height_m);
+        }
+        for (i, s) in subjects.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn segment_ratios_are_plausible() {
+        let s = Subject::from_height(0, 1.75);
+        // Standing shoulder height should be roughly 81% of stature.
+        let ratio = s.standing_shoulder_height() / s.height_m;
+        assert!(ratio > 0.70 && ratio < 0.90, "ratio {ratio}");
+        // Arm length roughly a third of stature.
+        assert!((s.arm_length() / s.height_m - 0.33).abs() < 0.05);
+        // Leg segments sum to roughly half of stature.
+        assert!(((s.thigh_m + s.shank_m) / s.height_m - 0.49).abs() < 0.05);
+    }
+
+    #[test]
+    fn taller_subjects_have_longer_segments() {
+        let small = Subject::profile(0);
+        let tall = Subject::profile(3);
+        assert!(tall.upper_arm_m > small.upper_arm_m);
+        assert!(tall.thigh_m > small.thigh_m);
+        assert!(tall.shoulder_width_m > small.shoulder_width_m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn profile_panics_out_of_range() {
+        Subject::profile(4);
+    }
+
+    #[test]
+    fn subjects_stand_within_radar_range() {
+        for s in Subject::all_profiles() {
+            assert!(s.stand_distance_m > 1.0 && s.stand_distance_m < 3.0);
+            assert!(s.lateral_offset_m.abs() < 0.5);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Placement of radar scatterers on the body surface.
+//!
+//! The radar does not see joints; it sees reflections from the body surface.
+//! This module turns a [`Skeleton`] pose into a set of surface points (with
+//! per-point velocity and reflectivity) by sampling along each bone with a
+//! segment-specific radius and reflectivity. The dataset crate converts these
+//! surface points into `fuse-radar` scatterers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::joints::{Joint, Skeleton, BONES, JOINT_COUNT};
+
+/// A point on the body surface with its velocity and reflectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Position `[x, y, z]` in metres.
+    pub position: [f32; 3],
+    /// Velocity `[vx, vy, vz]` in metres per second.
+    pub velocity: [f32; 3],
+    /// Relative radar reflectivity (proportional to the local surface area
+    /// facing the radar; the torso reflects more than a wrist).
+    pub reflectivity: f32,
+}
+
+/// Approximate radius (metres) and relative reflectivity of the body segment
+/// attached to each bone child joint.
+fn segment_properties(child: Joint) -> (f32, f32) {
+    match child {
+        Joint::SpineMid | Joint::SpineShoulder => (0.14, 3.0), // torso
+        Joint::Neck => (0.06, 1.0),
+        Joint::Head => (0.09, 1.5),
+        Joint::ShoulderLeft | Joint::ShoulderRight => (0.07, 1.2),
+        Joint::ElbowLeft | Joint::ElbowRight => (0.045, 0.8), // upper arm
+        Joint::WristLeft | Joint::WristRight => (0.035, 0.5), // forearm
+        Joint::HipLeft | Joint::HipRight => (0.10, 1.8),
+        Joint::KneeLeft | Joint::KneeRight => (0.07, 1.2), // thigh
+        Joint::AnkleLeft | Joint::AnkleRight => (0.05, 0.8), // shank
+        Joint::FootLeft | Joint::FootRight => (0.04, 0.4),
+        Joint::SpineBase => (0.12, 2.0),
+    }
+}
+
+/// Samples surface points for a pose.
+///
+/// `points_per_bone` controls the sampling density along each of the 18
+/// bones; `velocities` (per joint, as produced by
+/// [`Skeleton::velocities_from`]) are interpolated along the bone so Doppler
+/// information is consistent with the motion. Pass all-zero velocities for a
+/// static pose.
+pub fn body_surface_points(
+    skeleton: &Skeleton,
+    velocities: &[[f32; 3]; JOINT_COUNT],
+    points_per_bone: usize,
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::with_capacity(BONES.len() * points_per_bone);
+    if points_per_bone == 0 {
+        return out;
+    }
+    for (parent, child) in BONES {
+        let a = skeleton.position(parent);
+        let b = skeleton.position(child);
+        let va = velocities[parent.index()];
+        let vb = velocities[child.index()];
+        let (radius, reflectivity) = segment_properties(child);
+        for k in 0..points_per_bone {
+            let t = if points_per_bone == 1 { 0.5 } else { k as f32 / (points_per_bone - 1) as f32 };
+            let position = [
+                a[0] + (b[0] - a[0]) * t,
+                a[1] + (b[1] - a[1]) * t,
+                a[2] + (b[2] - a[2]) * t,
+            ];
+            let velocity = [
+                va[0] + (vb[0] - va[0]) * t,
+                va[1] + (vb[1] - va[1]) * t,
+                va[2] + (vb[2] - va[2]) * t,
+            ];
+            // Offset the point towards the radar (−y) by the segment radius so
+            // reflections come from the front surface, not the bone axis.
+            let position = [position[0], position[1] - radius, position[2]];
+            out.push(SurfacePoint { position, velocity, reflectivity });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movement::{standing_pose, Movement};
+    use crate::subject::Subject;
+
+    #[test]
+    fn point_count_scales_with_density() {
+        let pose = standing_pose(&Subject::profile(0));
+        let zeros = [[0.0f32; 3]; JOINT_COUNT];
+        assert_eq!(body_surface_points(&pose, &zeros, 0).len(), 0);
+        assert_eq!(body_surface_points(&pose, &zeros, 1).len(), 18);
+        assert_eq!(body_surface_points(&pose, &zeros, 4).len(), 72);
+    }
+
+    #[test]
+    fn surface_points_lie_within_the_body_bounding_volume() {
+        let subject = Subject::profile(2);
+        let pose = standing_pose(&subject);
+        let zeros = [[0.0f32; 3]; JOINT_COUNT];
+        let points = body_surface_points(&pose, &zeros, 5);
+        for p in &points {
+            assert!(p.position[2] > -0.1 && p.position[2] < subject.height_m + 0.1);
+            assert!((p.position[1] - subject.stand_distance_m).abs() < 0.6);
+            assert!((p.position[0] - subject.lateral_offset_m).abs() < 1.0);
+            assert!(p.reflectivity > 0.0);
+        }
+    }
+
+    #[test]
+    fn torso_points_reflect_more_than_wrist_points() {
+        let (_, torso_refl) = segment_properties(Joint::SpineMid);
+        let (_, wrist_refl) = segment_properties(Joint::WristLeft);
+        assert!(torso_refl > 2.0 * wrist_refl);
+    }
+
+    #[test]
+    fn velocities_are_interpolated_along_the_bone() {
+        let pose = standing_pose(&Subject::profile(0));
+        let mut velocities = [[0.0f32; 3]; JOINT_COUNT];
+        velocities[Joint::WristLeft.index()] = [0.0, -2.0, 1.0];
+        let points = body_surface_points(&pose, &velocities, 3);
+        // Points on the left forearm (bone ElbowLeft -> WristLeft) should have
+        // a spread of velocities between zero and the wrist velocity.
+        let forearm_bone_index = BONES
+            .iter()
+            .position(|&(a, b)| a == Joint::ElbowLeft && b == Joint::WristLeft)
+            .unwrap();
+        let base = forearm_bone_index * 3;
+        assert_eq!(points[base].velocity, [0.0, 0.0, 0.0]);
+        assert_eq!(points[base + 2].velocity, [0.0, -2.0, 1.0]);
+        assert!((points[base + 1].velocity[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn moving_pose_produces_moving_surface_points() {
+        let subject = Subject::profile(1);
+        let p0 = Movement::Squat.pose(&subject, 0.20, 1.0);
+        let p1 = Movement::Squat.pose(&subject, 0.25, 1.0);
+        let velocities = p1.velocities_from(&p0, 0.1);
+        let points = body_surface_points(&p1, &velocities, 4);
+        let moving = points.iter().filter(|p| p.velocity.iter().any(|v| v.abs() > 0.05)).count();
+        assert!(moving > points.len() / 4, "only {moving} of {} points moving", points.len());
+    }
+}

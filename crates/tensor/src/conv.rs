@@ -1,0 +1,443 @@
+//! 2-D convolution primitives (im2col based).
+//!
+//! The MARS baseline CNN and the FUSE model both use small 2-D convolutions
+//! over 8×8 feature maps. The forward pass lowers each input window into a
+//! column matrix (im2col) and performs a single GEMM per sample; the backward
+//! passes reuse the same lowering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::linalg;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Geometry of a 2-D convolution.
+///
+/// All convolutions in the FUSE models use square kernels, unit stride and
+/// symmetric zero padding, but the spec keeps the fields general so the radar
+/// feature experiments can vary them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec with unit stride and "same" padding for odd kernels.
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Conv2dSpec { in_channels, out_channels, kernel, stride: 1, padding: kernel / 2 }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConvolution`] when the padded input is
+    /// smaller than the kernel or the stride is zero.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidConvolution("stride must be nonzero".into()));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kernel || pw < self.kernel {
+            return Err(TensorError::InvalidConvolution(format!(
+                "padded input {ph}x{pw} smaller than kernel {k}x{k}",
+                k = self.kernel
+            )));
+        }
+        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+    }
+
+    /// Number of weight parameters (`out * in * k * k`).
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers a single `[C, H, W]` sample into an im2col matrix of shape
+/// `[C*k*k, out_h*out_w]` stored row-major in `cols`.
+fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut [f32]) {
+    let (out_h, out_w) = spec
+        .output_size(h, w)
+        .expect("output_size validated by caller");
+    let k = spec.kernel;
+    let n_cols = out_h * out_w;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let val = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            input[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[row * n_cols + oy * out_w + ox] = val;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters an im2col matrix back into a `[C, H, W]` gradient buffer
+/// (the adjoint of [`im2col`]).
+fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, grad_input: &mut [f32]) {
+    let (out_h, out_w) = spec
+        .output_size(h, w)
+        .expect("output_size validated by caller");
+    let k = spec.kernel;
+    let n_cols = out_h * out_w;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        grad_input[(ch * h + iy as usize) * w + ix as usize] +=
+                            cols[row * n_cols + oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_input(input: &Tensor, spec: &Conv2dSpec) -> Result<(usize, usize, usize, usize)> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.shape().rank() });
+    }
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if c != spec.in_channels {
+        return Err(TensorError::InvalidConvolution(format!(
+            "input has {c} channels but the spec expects {}",
+            spec.in_channels
+        )));
+    }
+    Ok((n, c, h, w))
+}
+
+/// Forward 2-D convolution.
+///
+/// * `input`: `[N, C_in, H, W]`
+/// * `weight`: `[C_out, C_in, k, k]`
+/// * `bias`: `[C_out]`
+///
+/// Returns `[N, C_out, H_out, W_out]`.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_input(input, spec)?;
+    if weight.len() != spec.weight_len() {
+        return Err(TensorError::ShapeDataMismatch { expected: spec.weight_len(), actual: weight.len() });
+    }
+    if bias.len() != spec.out_channels {
+        return Err(TensorError::ShapeDataMismatch { expected: spec.out_channels, actual: bias.len() });
+    }
+    let (out_h, out_w) = spec.output_size(h, w)?;
+    let col_rows = c * spec.kernel * spec.kernel;
+    let n_cols = out_h * out_w;
+    let mut cols = vec![0.0f32; col_rows * n_cols];
+    let mut out = vec![0.0f32; n * spec.out_channels * n_cols];
+
+    let in_stride = c * h * w;
+    let out_stride = spec.out_channels * n_cols;
+    for s in 0..n {
+        im2col(&input.as_slice()[s * in_stride..(s + 1) * in_stride], c, h, w, spec, &mut cols);
+        // out[s] = weight[(C_out) x (C_in*k*k)] * cols[(C_in*k*k) x (n_cols)]
+        linalg::gemm(
+            weight.as_slice(),
+            &cols,
+            &mut out[s * out_stride..(s + 1) * out_stride],
+            spec.out_channels,
+            col_rows,
+            n_cols,
+        );
+        for oc in 0..spec.out_channels {
+            let b = bias.as_slice()[oc];
+            for v in &mut out[s * out_stride + oc * n_cols..s * out_stride + (oc + 1) * n_cols] {
+                *v += b;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, spec.out_channels, out_h, out_w])
+}
+
+/// Gradient of the convolution output with respect to its input.
+///
+/// * `grad_output`: `[N, C_out, H_out, W_out]`
+///
+/// Returns `[N, C_in, H, W]` where `(H, W)` is taken from `input_dims`.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`.
+pub fn conv2d_backward_input(
+    grad_output: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input_dims.len() });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (out_h, out_w) = spec.output_size(h, w)?;
+    let n_cols = out_h * out_w;
+    let col_rows = c * spec.kernel * spec.kernel;
+    if grad_output.len() != n * spec.out_channels * n_cols {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: n * spec.out_channels * n_cols,
+            actual: grad_output.len(),
+        });
+    }
+
+    let mut grad_input = vec![0.0f32; n * c * h * w];
+    let mut grad_cols = vec![0.0f32; col_rows * n_cols];
+    let go_stride = spec.out_channels * n_cols;
+    let gi_stride = c * h * w;
+    for s in 0..n {
+        // grad_cols = weightᵀ [col_rows x C_out] * grad_out [C_out x n_cols]
+        linalg::gemm_at_b(
+            weight.as_slice(),
+            &grad_output.as_slice()[s * go_stride..(s + 1) * go_stride],
+            &mut grad_cols,
+            spec.out_channels,
+            col_rows,
+            n_cols,
+        );
+        col2im(&grad_cols, c, h, w, spec, &mut grad_input[s * gi_stride..(s + 1) * gi_stride]);
+    }
+    Tensor::from_vec(grad_input, &[n, c, h, w])
+}
+
+/// Gradients of the convolution output with respect to the weights and bias.
+///
+/// Returns `(grad_weight [C_out, C_in, k, k], grad_bias [C_out])`, summed over
+/// the batch.
+///
+/// # Errors
+///
+/// Returns an error when shapes are inconsistent with `spec`.
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    grad_output: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w) = check_input(input, spec)?;
+    let (out_h, out_w) = spec.output_size(h, w)?;
+    let n_cols = out_h * out_w;
+    let col_rows = c * spec.kernel * spec.kernel;
+    if grad_output.len() != n * spec.out_channels * n_cols {
+        return Err(TensorError::ShapeDataMismatch {
+            expected: n * spec.out_channels * n_cols,
+            actual: grad_output.len(),
+        });
+    }
+
+    let mut grad_weight = vec![0.0f32; spec.weight_len()];
+    let mut grad_bias = vec![0.0f32; spec.out_channels];
+    let mut cols = vec![0.0f32; col_rows * n_cols];
+    let in_stride = c * h * w;
+    let go_stride = spec.out_channels * n_cols;
+    for s in 0..n {
+        im2col(&input.as_slice()[s * in_stride..(s + 1) * in_stride], c, h, w, spec, &mut cols);
+        // grad_w += grad_out [C_out x n_cols] * colsᵀ [n_cols x col_rows]
+        let go = &grad_output.as_slice()[s * go_stride..(s + 1) * go_stride];
+        let mut gw = vec![0.0f32; spec.out_channels * col_rows];
+        linalg::gemm_a_bt(go, &cols, &mut gw, spec.out_channels, n_cols, col_rows);
+        linalg::axpy(1.0, &gw, &mut grad_weight);
+        for oc in 0..spec.out_channels {
+            grad_bias[oc] += go[oc * n_cols..(oc + 1) * n_cols].iter().sum::<f32>();
+        }
+    }
+    Ok((
+        Tensor::from_vec(grad_weight, &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel])?,
+        Tensor::from_vec(grad_bias, &[spec.out_channels])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (non-im2col) convolution used as a reference implementation.
+    fn conv2d_reference(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (out_h, out_w) = spec.output_size(h, w).unwrap();
+        let mut out = Tensor::zeros(&[n, spec.out_channels, out_h, out_w]);
+        for s in 0..n {
+            for oc in 0..spec.out_channels {
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut acc = bias.as_slice()[oc];
+                        for ic in 0..c {
+                            for ky in 0..spec.kernel {
+                                for kx in 0..spec.kernel {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xv = input.at(&[s, ic, iy as usize, ix as usize]).unwrap();
+                                    let wv = weight.at(&[oc, ic, ky, kx]).unwrap();
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out.set(&[s, oc, oy, ox], acc).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn small_case() -> (Tensor, Tensor, Tensor, Conv2dSpec) {
+        let spec = Conv2dSpec::same(2, 3, 3);
+        let input = Tensor::randn(&[2, 2, 5, 5], 1.0, 11);
+        let weight = Tensor::randn(&[3, 2, 3, 3], 0.5, 12);
+        let bias = Tensor::randn(&[3], 0.1, 13);
+        (input, weight, bias, spec)
+    }
+
+    #[test]
+    fn forward_matches_reference_convolution() {
+        let (input, weight, bias, spec) = small_case();
+        let fast = conv2d_forward(&input, &weight, &bias, &spec).unwrap();
+        let slow = conv2d_reference(&input, &weight, &bias, &spec);
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn output_size_same_padding_preserves_spatial_dims() {
+        let spec = Conv2dSpec::same(5, 16, 3);
+        assert_eq!(spec.output_size(8, 8).unwrap(), (8, 8));
+        assert_eq!(spec.padding, 1);
+    }
+
+    #[test]
+    fn output_size_rejects_degenerate_geometry() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 5, stride: 1, padding: 0 };
+        assert!(spec.output_size(3, 3).is_err());
+        let bad = Conv2dSpec { stride: 0, ..spec };
+        assert!(bad.output_size(8, 8).is_err());
+    }
+
+    #[test]
+    fn forward_rejects_wrong_channel_count() {
+        let spec = Conv2dSpec::same(3, 4, 3);
+        let input = Tensor::zeros(&[1, 2, 8, 8]);
+        let weight = Tensor::zeros(&[4, 3, 3, 3]);
+        let bias = Tensor::zeros(&[4]);
+        assert!(conv2d_forward(&input, &weight, &bias, &spec).is_err());
+    }
+
+    /// Finite-difference check of the input gradient.
+    #[test]
+    fn backward_input_matches_finite_differences() {
+        let spec = Conv2dSpec::same(1, 2, 3);
+        let input = Tensor::randn(&[1, 1, 4, 4], 1.0, 21);
+        let weight = Tensor::randn(&[2, 1, 3, 3], 0.5, 22);
+        let bias = Tensor::zeros(&[2]);
+
+        // Loss = sum(conv(x)); dLoss/dOut = ones.
+        let out = conv2d_forward(&input, &weight, &bias, &spec).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grad_in = conv2d_backward_input(&grad_out, &weight, input.dims(), &spec).unwrap();
+
+        let eps = 1e-3;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus = conv2d_forward(&plus, &weight, &bias, &spec).unwrap().sum();
+            let f_minus = conv2d_forward(&minus, &weight, &bias, &spec).unwrap().sum();
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (fd - grad_in.as_slice()[i]).abs() < 1e-2,
+                "input grad mismatch at {i}: fd={fd} analytic={}",
+                grad_in.as_slice()[i]
+            );
+        }
+    }
+
+    /// Finite-difference check of the weight and bias gradients.
+    #[test]
+    fn backward_weight_matches_finite_differences() {
+        let spec = Conv2dSpec::same(2, 2, 3);
+        let input = Tensor::randn(&[2, 2, 4, 4], 1.0, 31);
+        let weight = Tensor::randn(&[2, 2, 3, 3], 0.5, 32);
+        let bias = Tensor::randn(&[2], 0.1, 33);
+
+        let out = conv2d_forward(&input, &weight, &bias, &spec).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let (grad_w, grad_b) = conv2d_backward_weight(&input, &grad_out, &spec).unwrap();
+
+        let eps = 1e-3;
+        for i in (0..weight.len()).step_by(5) {
+            let mut plus = weight.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = weight.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus = conv2d_forward(&input, &plus, &bias, &spec).unwrap().sum();
+            let f_minus = conv2d_forward(&input, &minus, &bias, &spec).unwrap().sum();
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (fd - grad_w.as_slice()[i]).abs() < 2e-2,
+                "weight grad mismatch at {i}: fd={fd} analytic={}",
+                grad_w.as_slice()[i]
+            );
+        }
+        for i in 0..bias.len() {
+            let mut plus = bias.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = bias.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus = conv2d_forward(&input, &weight, &plus, &spec).unwrap().sum();
+            let f_minus = conv2d_forward(&input, &weight, &minus, &spec).unwrap().sum();
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            assert!((fd - grad_b.as_slice()[i]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn weight_len_matches_tensor_shape() {
+        let spec = Conv2dSpec::same(5, 16, 3);
+        assert_eq!(spec.weight_len(), 16 * 5 * 3 * 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// The error carries enough context (the offending shapes or indices) to make
+/// debugging shape mismatches in model code straightforward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor that was supplied.
+        actual: usize,
+    },
+    /// An index or axis was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: usize,
+        /// The exclusive bound that was violated.
+        bound: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// The operation is undefined for an empty tensor.
+    EmptyTensor,
+    /// Convolution geometry is invalid (e.g. kernel larger than padded input).
+    InvalidConvolution(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::MatmulMismatch { left, right } => {
+                write!(f, "matmul inner dimensions disagree: {left:?} x {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected a rank-{expected} tensor, found rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into a shape with {to} elements")
+            }
+            TensorError::EmptyTensor => write!(f, "operation is undefined for an empty tensor"),
+            TensorError::InvalidConvolution(msg) => write!(f, "invalid convolution: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            TensorError::ShapeDataMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { left: vec![2, 2], right: vec![3] },
+            TensorError::MatmulMismatch { left: vec![2, 3], right: vec![4, 2] },
+            TensorError::RankMismatch { expected: 2, actual: 1 },
+            TensorError::IndexOutOfBounds { index: 9, bound: 3 },
+            TensorError::ReshapeMismatch { from: 6, to: 8 },
+            TensorError::EmptyTensor,
+            TensorError::InvalidConvolution("kernel too large".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

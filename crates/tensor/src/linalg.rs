@@ -1,0 +1,258 @@
+//! Low-level dense linear-algebra kernels.
+//!
+//! These kernels operate on plain `&[f32]` slices so they can be reused by the
+//! tensor type, the im2col convolution path and the radar signal chain without
+//! additional allocation.
+
+/// General matrix multiply: `out[m x n] = a[m x k] * b[k x n]`.
+///
+/// `out` must already have length `m * n`; it is overwritten, not accumulated
+/// into. The loop order (i, p, j) keeps the innermost loop contiguous over
+/// both `b` and `out`, which is the main thing that matters for the small-to-
+/// medium matrices used by the FUSE models.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(out.len() >= m * n, "output buffer too small");
+    out[..m * n].iter_mut().for_each(|x| *x = 0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Accumulating matrix multiply: `out += a * b` with the same layout rules as
+/// [`gemm`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(out.len() >= m * n, "output buffer too small");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Matrix multiply with the left operand transposed: `out[m x n] = aᵀ * b`
+/// where `a` is stored as `[k x m]`.
+///
+/// Used by the Linear/Conv backward passes, which need `Wᵀ·grad` and
+/// `xᵀ·grad` products without materialising explicit transposes.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+pub fn gemm_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    assert!(a.len() >= k * m, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(out.len() >= m * n, "output buffer too small");
+    out[..m * n].iter_mut().for_each(|x| *x = 0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// Matrix multiply with the right operand transposed: `out[m x n] = a * bᵀ`
+/// where `b` is stored as `[n x k]`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= n * k, "rhs buffer too small");
+    assert!(out.len() >= m * n, "output buffer too small");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Outer product `out[m x n] = a ⊗ b`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+pub fn outer(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(out.len() >= a.len() * b.len(), "output buffer too small");
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out[i * b.len() + j] = ai * bj;
+        }
+    }
+}
+
+/// `y += alpha * x` over raw slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_matches_naive_triple_loop() {
+        let m = 4;
+        let k = 5;
+        let n = 3;
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.37 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * -0.21 + 1.0).collect();
+        let mut out = vec![0.0; m * n];
+        gemm(&a, &b, &mut out, m, k, n);
+        let expected = naive_gemm(&a, &b, m, k, n);
+        for (x, y) in out.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_acc_accumulates_on_top() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 3.0, 4.0, 5.0];
+        let mut out = vec![10.0; 4];
+        gemm_acc(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, vec![12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn gemm_at_b_matches_explicit_transpose() {
+        let k = 3;
+        let m = 2;
+        let n = 4;
+        let a: Vec<f32> = (0..k * m).map(|i| i as f32 + 1.0).collect(); // [k x m]
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.5).collect(); // [k x n]
+        // explicit transpose of a -> [m x k]
+        let mut at = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                at[i * k + p] = a[p * m + i];
+            }
+        }
+        let expected = naive_gemm(&at, &b, m, k, n);
+        let mut out = vec![0.0; m * n];
+        gemm_at_b(&a, &b, &mut out, k, m, n);
+        for (x, y) in out.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gemm_a_bt_matches_explicit_transpose() {
+        let m = 3;
+        let k = 2;
+        let n = 4;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 - 1.5).collect(); // [m x k]
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32) * 0.25 + 0.5).collect(); // [n x k]
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let expected = naive_gemm(&a, &bt, m, k, n);
+        let mut out = vec![0.0; m * n];
+        gemm_a_bt(&a, &b, &mut out, m, k, n);
+        for (x, y) in out.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0, 5.0];
+        let mut out = vec![0.0; 6];
+        outer(&a, &b, &mut out);
+        assert_eq!(out, vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn axpy_panics_on_length_mismatch() {
+        let x = [1.0, 2.0];
+        let mut y = [0.0];
+        axpy(1.0, &x, &mut y);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shape arithmetic for dense row-major tensors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// Dimensions of a dense row-major tensor.
+///
+/// A `Shape` is a thin wrapper around a `Vec<usize>` that provides the index
+/// arithmetic (strides, flat offsets) used by [`crate::Tensor`].
+///
+/// ```
+/// use fuse_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions, 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds { index: axis, bound: self.dims.len() })
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index rank differs from the shape rank or any
+    /// component is out of bounds.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch { expected: self.dims.len(), actual: index.len() });
+        }
+        let strides = self.strides();
+        let mut flat = 0usize;
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            flat += i * s;
+        }
+        Ok(flat)
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when `flat >= len()`.
+    pub fn unravel(&self, flat: usize) -> Result<Vec<usize>> {
+        if flat >= self.len().max(1) {
+            return Err(TensorError::IndexOutOfBounds { index: flat, bound: self.len() });
+        }
+        let strides = self.strides();
+        let mut rem = flat;
+        let mut idx = Vec::with_capacity(self.dims.len());
+        for &s in &strides {
+            idx.push(rem / s);
+            rem %= s;
+        }
+        Ok(idx)
+    }
+
+    /// Returns `true` when both shapes have identical dimensions.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat).unwrap();
+            assert_eq!(s.flat_index(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.flat_index(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(s.flat_index(&[0]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn unravel_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.unravel(4).is_err());
+        assert!(s.unravel(3).is_ok());
+    }
+
+    #[test]
+    fn dim_accessor_checks_bounds() {
+        let s = Shape::new(&[7, 9]);
+        assert_eq!(s.dim(1).unwrap(), 9);
+        assert!(s.dim(2).is_err());
+    }
+
+    #[test]
+    fn zero_sized_shape_is_empty() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        let s = Shape::new(&[2, 5]);
+        assert_eq!(s.to_string(), "[2, 5]");
+    }
+}

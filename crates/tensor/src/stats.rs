@@ -1,0 +1,207 @@
+//! Normalisation statistics used by the dataset pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Mean and (population) standard deviation of a slice.
+///
+/// Returns `(0.0, 1.0)` for an empty slice so that downstream normalisation is
+/// a no-op rather than a NaN factory.
+pub fn mean_std(data: &[f32]) -> (f32, f32) {
+    if data.is_empty() {
+        return (0.0, 1.0);
+    }
+    let mean = data.iter().sum::<f32>() / data.len() as f32;
+    let var = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / data.len() as f32;
+    (mean, var.sqrt())
+}
+
+/// Per-channel z-score normaliser.
+///
+/// The FUSE pre-processing normalises each point-cloud feature channel
+/// (x, y, z, Doppler, intensity) with statistics computed on the training
+/// split only, then reuses the same statistics at validation/test/fine-tune
+/// time — this type stores those statistics so they can be serialized with a
+/// trained model.
+///
+/// ```
+/// use fuse_tensor::{Normalizer, Tensor};
+///
+/// let train = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4, 1])?;
+/// let norm = Normalizer::fit(&train)?;
+/// let z = norm.apply(&train)?;
+/// assert!(z.mean().abs() < 1e-6);
+/// # Ok::<(), fuse_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-column statistics on a `[N, C]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` is not a non-empty rank-2 tensor.
+    pub fn fit(data: &Tensor) -> Result<Self> {
+        if data.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: data.shape().rank() });
+        }
+        let (n, c) = (data.dims()[0], data.dims()[1]);
+        if n == 0 {
+            return Err(TensorError::EmptyTensor);
+        }
+        let mut means = vec![0.0f32; c];
+        let mut stds = vec![0.0f32; c];
+        for j in 0..c {
+            let column: Vec<f32> = (0..n).map(|i| data.as_slice()[i * c + j]).collect();
+            let (m, s) = mean_std(&column);
+            means[j] = m;
+            stds[j] = if s < 1e-8 { 1.0 } else { s };
+        }
+        Ok(Normalizer { means, stds })
+    }
+
+    /// Creates an identity normaliser (zero mean, unit std) for `c` channels.
+    pub fn identity(c: usize) -> Self {
+        Normalizer { means: vec![0.0; c], stds: vec![1.0; c] }
+    }
+
+    /// Number of channels this normaliser was fitted on.
+    pub fn channels(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Per-channel means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Per-channel standard deviations.
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+
+    /// Applies z-score normalisation to a `[N, C]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column count differs from the fitted channels.
+    pub fn apply(&self, data: &Tensor) -> Result<Tensor> {
+        if data.shape().rank() != 2 || data.dims()[1] != self.means.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: data.dims().to_vec(),
+                right: vec![0, self.means.len()],
+            });
+        }
+        let c = self.means.len();
+        let mut out = data.clone();
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            let j = i % c;
+            *v = (*v - self.means[j]) / self.stds[j];
+        }
+        Ok(out)
+    }
+
+    /// Inverts the normalisation of [`Normalizer::apply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column count differs from the fitted channels.
+    pub fn invert(&self, data: &Tensor) -> Result<Tensor> {
+        if data.shape().rank() != 2 || data.dims()[1] != self.means.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: data.dims().to_vec(),
+                right: vec![0, self.means.len()],
+            });
+        }
+        let c = self.means.len();
+        let mut out = data.clone();
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            let j = i % c;
+            *v = *v * self.stds[j] + self.means[j];
+        }
+        Ok(out)
+    }
+
+    /// Normalises a single channel value.
+    pub fn apply_value(&self, channel: usize, value: f32) -> f32 {
+        (value - self.means[channel]) / self.stds[channel]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!((s - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_std_empty_is_identity() {
+        assert_eq!(mean_std(&[]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn fit_apply_produces_zero_mean_unit_std() {
+        let data = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
+        let norm = Normalizer::fit(&data).unwrap();
+        let z = norm.apply(&data).unwrap();
+        for j in 0..2 {
+            let col: Vec<f32> = (0..4).map(|i| z.as_slice()[i * 2 + j]).collect();
+            let (m, s) = mean_std(&col);
+            assert!(m.abs() < 1e-5);
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let data = Tensor::from_vec(vec![1.5, -3.0, 2.5, 7.0, -0.5, 0.25], &[3, 2]).unwrap();
+        let norm = Normalizer::fit(&data).unwrap();
+        let z = norm.apply(&data).unwrap();
+        let back = norm.invert(&z).unwrap();
+        for (a, b) in data.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let data = Tensor::from_vec(vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0], &[3, 2]).unwrap();
+        let norm = Normalizer::fit(&data).unwrap();
+        let z = norm.apply(&data).unwrap();
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fit_rejects_bad_shapes() {
+        assert!(Normalizer::fit(&Tensor::zeros(&[3])).is_err());
+        assert!(Normalizer::fit(&Tensor::zeros(&[0, 4])).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_channel_mismatch() {
+        let data = Tensor::zeros(&[3, 2]);
+        let norm = Normalizer::identity(5);
+        assert!(norm.apply(&data).is_err());
+        assert!(norm.invert(&data).is_err());
+    }
+
+    #[test]
+    fn identity_normaliser_is_noop() {
+        let data = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let norm = Normalizer::identity(2);
+        assert_eq!(norm.apply(&data).unwrap(), data);
+        assert_eq!(norm.apply_value(1, 3.5), 3.5);
+    }
+}

@@ -1,0 +1,789 @@
+//! Dense row-major f32 tensor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Uniform};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// `Tensor` is the workhorse type of the FUSE reproduction: feature maps,
+/// network parameters, gradients and intermediate activations are all plain
+/// `Tensor`s. The type is intentionally simple — data is always owned,
+/// contiguous and row-major.
+///
+/// ```
+/// use fuse_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(x.shape().dims(), &[2, 3]);
+/// assert!((x.mean() - 3.5).abs() < 1e-6);
+/// # Ok::<(), fuse_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from a data vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when `data.len()` differs
+    /// from the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.len() != data.len() {
+            return Err(TensorError::ShapeDataMismatch { expected: shape.len(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { shape: Shape::new(&[data.len()]), data: data.to_vec() }
+    }
+
+    /// Creates a scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor with elements drawn from `N(0, std^2)`, seeded for
+    /// reproducibility.
+    pub fn randn(dims: &[usize], std: f32, seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new(0.0f32, std.max(f32::MIN_POSITIVE)).expect("std must be finite");
+        let data = (0..len).map(|_| normal.sample(&mut rng)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with elements drawn from `U(low, high)`, seeded for
+    /// reproducibility.
+    pub fn uniform(dims: &[usize], low: f32, high: f32, seed: u64) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new_inclusive(low, high);
+        let data = (0..len).map(|_| dist.sample(&mut rng)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Kaiming/He uniform initialisation for a layer with `fan_in` inputs.
+    ///
+    /// This is the initialisation used for the Conv2d and Linear layers of the
+    /// MARS baseline CNN and the FUSE model.
+    pub fn kaiming_uniform(dims: &[usize], fan_in: usize, seed: u64) -> Self {
+        let bound = if fan_in > 0 { (6.0 / fan_in as f32).sqrt() } else { 1.0 };
+        Tensor::uniform(dims, -bound, bound, seed)
+    }
+
+    /// Creates a rank-1 tensor with `n` evenly spaced values in `[start, end]`.
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        if n == 0 {
+            return Tensor { shape: Shape::new(&[0]), data: Vec::new() };
+        }
+        if n == 1 {
+            return Tensor::from_slice(&[start]);
+        }
+        let step = (end - start) / (n as f32 - 1.0);
+        let data = (0..n).map(|i| start + step * i as f32).collect();
+        Tensor { shape: Shape::new(&[n]), data }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimensions of the tensor as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index is invalid for this shape.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.flat_index(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index is invalid for this shape.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.shape.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] when element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch { from: self.data.len(), to: shape.len() });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Flattens the tensor to rank 1.
+    pub fn flatten(&self) -> Self {
+        Tensor { shape: Shape::new(&[self.data.len()]), data: self.data.clone() }
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn transpose(&self) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+        }
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or an out-of-range row.
+    pub fn row(&self, i: usize) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+        }
+        let (r, c) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if i >= r {
+            return Err(TensorError::IndexOutOfBounds { index: i, bound: r });
+        }
+        Ok(Tensor::from_slice(&self.data[i * c..(i + 1) * c]))
+    }
+
+    /// Returns the `i`-th slice along axis 0 (keeping the remaining axes).
+    ///
+    /// For a `[N, C, H, W]` tensor this returns the `[C, H, W]` sample `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tensor is rank 0 or `i` is out of range.
+    pub fn index_axis0(&self, i: usize) -> Result<Self> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+        }
+        let n = self.shape.dims()[0];
+        if i >= n {
+            return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
+        }
+        let rest: Vec<usize> = self.shape.dims()[1..].to_vec();
+        let chunk: usize = rest.iter().product::<usize>().max(1);
+        let data = self.data[i * chunk..(i + 1) * chunk].to_vec();
+        Ok(Tensor { shape: Shape::new(&rest), data })
+    }
+
+    /// Stacks rank-k tensors of identical shape into a rank-(k+1) tensor along
+    /// a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `items` is empty or shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Self> {
+        let first = items.first().ok_or(TensorError::EmptyTensor)?;
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            if !item.shape.same_as(&first.shape) {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: item.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Concatenates rank-1 tensors into a single rank-1 tensor.
+    pub fn concat1d(items: &[Tensor]) -> Self {
+        let mut data = Vec::new();
+        for item in items {
+            data.extend_from_slice(&item.data);
+        }
+        Tensor { shape: Shape::new(&[data.len()]), data }
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise arithmetic
+    // ------------------------------------------------------------------
+
+    fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Self> {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// In-place element-wise addition (`self += other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(f32::abs)
+    }
+
+    /// Element-wise ReLU (`max(x, 0)`).
+    pub fn relu(&self) -> Self {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Element-wise sign (`-1`, `0` or `1`).
+    pub fn signum(&self) -> Self {
+        self.map(|x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Fills the tensor with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when the tensor is empty.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.max(x))))
+            .ok_or(TensorError::EmptyTensor)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when the tensor is empty.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |m| m.min(x))))
+            .ok_or(TensorError::EmptyTensor)
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when the tensor is empty.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::EmptyTensor);
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Mean over axis 0 of a rank-2 tensor, producing a rank-1 tensor of the
+    /// column means.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or empty tensors.
+    pub fn mean_axis0(&self) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if r == 0 {
+            return Err(TensorError::EmptyTensor);
+        }
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.data[i * c + j];
+            }
+        }
+        for v in &mut out {
+            *v /= r as f32;
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors (`[m, k] x [k, n] -> [m, n]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either operand is not a matrix or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Self> {
+        if self.shape.rank() != 2 || other.shape.rank() != 2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::linalg::gemm(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.data.len() != other.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor(shape={}, len={})", self.shape, self.data.len())
+    }
+}
+
+/// Generates `n` deterministic pseudo-random seeds from a master seed.
+///
+/// Model construction needs several independent initialisation streams (one
+/// per layer); deriving them from a single user-supplied seed keeps the public
+/// API simple while staying reproducible.
+pub fn derive_seeds(master: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(master);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        let b = a.matmul(&i).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]).unwrap(), 6.0);
+        assert_eq!(t.at(&[0, 1]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn elementwise_ops_respect_shapes() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 3.0);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0; 4]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0; 4]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0; 4]);
+        assert_eq!(b.div(&b).unwrap().as_slice(), &[1.0; 4]);
+        let c = Tensor::ones(&[3]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reductions_are_correct() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.max().unwrap(), 3.0);
+        assert_eq!(a.min().unwrap(), -4.0);
+        assert_eq!(a.argmax().unwrap(), 2);
+        assert_eq!(a.abs().sum(), 10.0);
+        assert!((a.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reductions_reject_empty() {
+        let a = Tensor::zeros(&[0]);
+        assert!(a.max().is_err());
+        assert!(a.min().is_err());
+        assert!(a.argmax().is_err());
+        assert_eq!(a.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_axis0_computes_column_means() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0, 6.0, 7.0], &[2, 3]).unwrap();
+        let m = a.mean_axis0().unwrap();
+        assert_eq!(m.as_slice(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::linspace(0.0, 5.0, 6);
+        let b = a.reshape(&[2, 3]).unwrap();
+        assert_eq!(b.dims(), &[2, 3]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn index_axis0_extracts_samples() {
+        let a = Tensor::linspace(0.0, 11.0, 12).reshape(&[3, 2, 2]).unwrap();
+        let s1 = a.index_axis0(1).unwrap();
+        assert_eq!(s1.dims(), &[2, 2]);
+        assert_eq!(s1.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(a.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn stack_builds_leading_axis() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let s = Tensor::stack(&[a, b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        assert_eq!(s.index_axis0(0).unwrap().sum(), 4.0);
+        assert_eq!(s.index_axis0(1).unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::ones(&[2, 2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let a = Tensor::randn(&[16], 1.0, 42);
+        let b = Tensor::randn(&[16], 1.0, 42);
+        let c = Tensor::randn(&[16], 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let a = Tensor::kaiming_uniform(&[1000], 10, 1);
+        let b = Tensor::kaiming_uniform(&[1000], 1000, 1);
+        assert!(a.abs().max().unwrap() > b.abs().max().unwrap());
+        assert!(b.abs().max().unwrap() <= (6.0f32 / 1000.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(-1.0, 1.0, 5);
+        assert_eq!(t.as_slice(), &[-1.0, -0.5, 0.0, 0.5, 1.0]);
+        assert_eq!(Tensor::linspace(3.0, 9.0, 1).as_slice(), &[3.0]);
+        assert!(Tensor::linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn relu_and_signum() {
+        let a = Tensor::from_slice(&[-2.0, 0.0, 3.0]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 3.0]);
+        assert_eq!(a.signum().as_slice(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::from_slice(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn derive_seeds_is_deterministic() {
+        assert_eq!(derive_seeds(7, 4), derive_seeds(7, 4));
+        assert_ne!(derive_seeds(7, 4), derive_seeds(8, 4));
+    }
+
+    #[test]
+    fn row_extraction() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.row(1).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!(a.row(2).is_err());
+    }
+}

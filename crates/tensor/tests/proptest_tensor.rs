@@ -1,0 +1,114 @@
+//! Property-based tests for the tensor substrate.
+
+use fuse_tensor::{conv2d_forward, Conv2dSpec, Normalizer, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).expect("length matches shape"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Addition is commutative element-wise.
+    #[test]
+    fn add_is_commutative(a in small_matrix(3, 4), b in small_matrix(3, 4)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        for (x, y) in ab.as_slice().iter().zip(ba.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// (a - b) + b recovers a.
+    #[test]
+    fn sub_then_add_round_trips(a in small_matrix(2, 5), b in small_matrix(2, 5)) {
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Multiplying by the identity matrix is a no-op.
+    #[test]
+    fn matmul_identity(a in small_matrix(4, 4)) {
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(a in small_matrix(3, 3), b in small_matrix(3, 3), c in small_matrix(3, 3)) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    /// Transposing twice recovers the original matrix.
+    #[test]
+    fn transpose_involution(a in small_matrix(3, 5)) {
+        let back = a.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Scaling scales the sum linearly.
+    #[test]
+    fn scale_is_linear_in_sum(a in small_matrix(2, 6), s in -3.0f32..3.0) {
+        let scaled = a.scale(s);
+        prop_assert!((scaled.sum() - s * a.sum()).abs() < 1e-2);
+    }
+
+    /// Reshape preserves every element and the sum.
+    #[test]
+    fn reshape_preserves_content(a in small_matrix(4, 6)) {
+        let r = a.reshape(&[2, 12]).unwrap();
+        prop_assert_eq!(r.as_slice(), a.as_slice());
+        prop_assert!((r.sum() - a.sum()).abs() < 1e-4);
+    }
+
+    /// Stack then index recovers each original tensor.
+    #[test]
+    fn stack_then_index_round_trips(a in small_matrix(2, 3), b in small_matrix(2, 3)) {
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(s.index_axis0(0).unwrap(), a);
+        prop_assert_eq!(s.index_axis0(1).unwrap(), b);
+    }
+
+    /// Normalise then invert recovers the original data.
+    #[test]
+    fn normalizer_round_trips(a in small_matrix(6, 3)) {
+        let norm = Normalizer::fit(&a).unwrap();
+        let back = norm.invert(&norm.apply(&a).unwrap()).unwrap();
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Convolution is linear in its input: conv(x1 + x2) = conv(x1) + conv(x2) - conv(0).
+    #[test]
+    fn conv_is_affine_in_input(
+        x1 in prop::collection::vec(-2.0f32..2.0, 2 * 3 * 3),
+        x2 in prop::collection::vec(-2.0f32..2.0, 2 * 3 * 3),
+    ) {
+        let spec = Conv2dSpec::same(2, 3, 3);
+        let weight = Tensor::randn(&[3, 2, 3, 3], 0.5, 99);
+        let bias = Tensor::randn(&[3], 0.1, 100);
+        let t1 = Tensor::from_vec(x1, &[1, 2, 3, 3]).unwrap();
+        let t2 = Tensor::from_vec(x2, &[1, 2, 3, 3]).unwrap();
+        let zero = Tensor::zeros(&[1, 2, 3, 3]);
+
+        let sum_out = conv2d_forward(&t1.add(&t2).unwrap(), &weight, &bias, &spec).unwrap();
+        let o1 = conv2d_forward(&t1, &weight, &bias, &spec).unwrap();
+        let o2 = conv2d_forward(&t2, &weight, &bias, &spec).unwrap();
+        let oz = conv2d_forward(&zero, &weight, &bias, &spec).unwrap();
+        let expected = o1.add(&o2).unwrap().sub(&oz).unwrap();
+        for (x, y) in sum_out.as_slice().iter().zip(expected.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+}

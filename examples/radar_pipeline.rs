@@ -1,0 +1,90 @@
+//! Full FMCW radar signal chain on a moving subject.
+//!
+//! Demonstrates the substrate underneath the dataset: a squatting subject is
+//! converted into body-surface scatterers, the raw ADC cube is synthesised,
+//! and the classic range-FFT → Doppler-FFT → CFAR → angle-estimation chain
+//! produces the sparse point cloud the FUSE models consume. The example then
+//! contrasts single-frame and fused-frame information content (Figure 2).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p fuse-examples --bin radar_pipeline
+//! ```
+
+use std::error::Error;
+
+use fuse_dataset::FrameFusion;
+use fuse_examples::print_header;
+use fuse_radar::{PointCloudFrame, PointCloudGenerator, RadarConfig, Scatterer, Scene};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let radar = RadarConfig::iwr1443_indoor();
+    print_header("Radar configuration (TI IWR1443-like)");
+    println!(
+        "range resolution: {:.1} cm   max range: {:.1} m   velocity resolution: {:.2} m/s   virtual antennas: {}",
+        radar.range_resolution_m() * 100.0,
+        radar.max_range_m(),
+        radar.velocity_resolution_mps(),
+        radar.virtual_antennas()
+    );
+
+    print_header("Animating a squatting subject and running the full signal chain");
+    let subject = Subject::profile(1);
+    let animator = MovementAnimator::new(subject, Movement::Squat, 10.0).with_seed(7);
+    let generator = PointCloudGenerator::new(radar);
+
+    let mut frames: Vec<PointCloudFrame> = Vec::new();
+    let samples = animator.sample_frames_with_velocities(0.0, 9);
+    for (i, (skeleton, velocities)) in samples.iter().enumerate() {
+        let surface = body_surface_points(skeleton, velocities, 3);
+        let scene: Scene = surface
+            .iter()
+            .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+            .collect();
+        let frame = generator.generate(&scene, i as u64)?;
+        println!(
+            "frame {i}: {} points   centroid: {:?}",
+            frame.len(),
+            frame.centroid().map(|c| [round2(c[0]), round2(c[1]), round2(c[2])])
+        );
+        frames.push(frame);
+    }
+
+    print_header("Figure 2 analogue: single frame vs fused frames");
+    let k = frames.len() / 2;
+    for fused_count in [1usize, 3, 5] {
+        let fusion = FrameFusion::from_frame_count(fused_count);
+        let points = fusion.fused_points_owned(&frames, k);
+        let (min, max) = bounding(&points);
+        println!(
+            "{fused_count} frame(s): {:>4} points   height coverage: {:.2} m   lateral coverage: {:.2} m",
+            points.len(),
+            max[2] - min[2],
+            max[0] - min[0]
+        );
+    }
+    println!("\nA 512x424 RGB frame carries {} pixels; the fused mmWave frame above carries a few hundred", 512 * 424);
+    println!("points — the sparsity gap that motivates FUSE's multi-frame representation (paper §3.2).");
+    Ok(())
+}
+
+fn round2(v: f32) -> f32 {
+    (v * 100.0).round() / 100.0
+}
+
+fn bounding(points: &[fuse_radar::RadarPoint]) -> ([f32; 3], [f32; 3]) {
+    let mut min = [f32::INFINITY; 3];
+    let mut max = [f32::NEG_INFINITY; 3];
+    for p in points {
+        for (a, v) in [p.x, p.y, p.z].into_iter().enumerate() {
+            min[a] = min[a].min(v);
+            max[a] = max[a].max(v);
+        }
+    }
+    if points.is_empty() {
+        return ([0.0; 3], [0.0; 3]);
+    }
+    (min, max)
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the FUSE example binaries.
+//!
+//! The examples are intentionally small, self-contained programs that
+//! exercise the public API of the workspace crates end to end. This tiny
+//! support library only holds the pieces every example repeats: a reduced
+//! experiment profile that finishes in well under a minute and a couple of
+//! printing helpers.
+
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::MetaConfig;
+use fuse_dataset::SynthesisConfig;
+use fuse_skeleton::Movement;
+
+/// An experiment profile small enough for an interactive example run
+/// (a couple of subjects and movements, a handful of epochs).
+pub fn example_profile() -> ExperimentProfile {
+    let mut profile = ExperimentProfile::bench();
+    profile.name = "example".into();
+    profile.synthesis = SynthesisConfig {
+        subjects: vec![0, 1, 3],
+        movements: vec![
+            Movement::Squat,
+            Movement::LeftUpperLimbExtension,
+            Movement::BothUpperLimbExtension,
+            Movement::RightLimbExtension,
+        ],
+        frames_per_sequence: 40,
+        ..SynthesisConfig::quick()
+    };
+    profile.trainer.epochs = 5;
+    profile.meta = MetaConfig { meta_iterations: 20, ..MetaConfig::quick(20) };
+    profile.finetune_epochs = 10;
+    profile.finetune_frames = 15;
+    profile.original_eval_cap = 120;
+    profile
+}
+
+/// Prints a section header so the example output is easy to scan.
+pub fn print_header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_profile_is_valid_and_small() {
+        let profile = example_profile();
+        profile.validate().unwrap();
+        assert!(profile.synthesis.total_frames() < 1000);
+        assert!(profile.trainer.epochs <= 10);
+    }
+}

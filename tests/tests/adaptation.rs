@@ -1,0 +1,120 @@
+//! Integration tests of the §4.3 adaptation experiments at reduced scale:
+//! meta-training, leave-one-out splitting, online fine-tuning, and the
+//! qualitative claims of Figures 3–4 (FUSE adapts; the baseline forgets).
+
+use fuse_core::experiments::adaptation;
+use fuse_core::experiments::profile::ExperimentProfile;
+use fuse_core::finetune::FineTuneScope;
+use fuse_core::MetaConfig;
+use fuse_dataset::SynthesisConfig;
+use fuse_skeleton::Movement;
+
+/// A reduced profile: four subjects, four movements, enough frames for the
+/// leave-one-out split to have meaningful training and online partitions,
+/// but small enough that the test runs in well under a minute.
+fn reduced_profile() -> ExperimentProfile {
+    let mut profile = ExperimentProfile::bench();
+    profile.name = "integration".into();
+    profile.synthesis = SynthesisConfig {
+        subjects: vec![0, 1, 2, 3],
+        movements: vec![
+            Movement::Squat,
+            Movement::LeftUpperLimbExtension,
+            Movement::RightUpperLimbExtension,
+            Movement::RightLimbExtension,
+        ],
+        frames_per_sequence: 50,
+        ..SynthesisConfig::quick()
+    };
+    profile.trainer.epochs = 12;
+    profile.meta = MetaConfig {
+        meta_iterations: 60,
+        tasks_per_iteration: 4,
+        support_size: 32,
+        query_size: 32,
+        ..MetaConfig::quick(60)
+    };
+    profile.finetune_epochs = 12;
+    profile.finetune_frames = 15;
+    profile.original_eval_cap = 150;
+    profile.validate().expect("reduced profile is valid");
+    profile
+}
+
+#[test]
+fn adaptation_experiment_reproduces_the_papers_qualitative_claims() {
+    let profile = reduced_profile();
+    let context = adaptation::prepare(&profile).expect("preparation succeeds");
+
+    // The held-out combination never appears in the offline training data.
+    assert!(context.train.samples().iter().all(|s| {
+        !(s.subject_id == 3 && s.movement == Movement::RightLimbExtension)
+            && s.subject_id != 3
+            && s.movement != Movement::RightLimbExtension
+    }));
+    // The online data is exactly the held-out combination.
+    assert!(context
+        .new_eval
+        .samples()
+        .iter()
+        .chain(context.finetune.samples())
+        .all(|s| s.subject_id == 3 && s.movement == Movement::RightLimbExtension));
+    assert_eq!(context.finetune.len(), profile.finetune_frames);
+
+    let result = adaptation::run_scope(&context, &profile, FineTuneScope::AllLayers)
+        .expect("adaptation run succeeds");
+
+    // Claim 1 (Figure 3b): fine-tuning improves FUSE's error on the new data.
+    let fuse_initial = result.fuse.new_error_at(0).average_cm();
+    let fuse_final = result.fuse.new_error_at(result.fuse.epochs()).average_cm();
+    assert!(
+        fuse_final < fuse_initial,
+        "FUSE did not adapt to the new data: {fuse_initial:.1} cm -> {fuse_final:.1} cm"
+    );
+
+    // Claim 2 (Figure 3a): the supervised baseline starts better on the
+    // original data than the generalisation-oriented FUSE model.
+    let baseline_orig_initial = result.baseline.original_error_at(0).average_cm();
+    let fuse_orig_initial = result.fuse.original_error_at(0).average_cm();
+    assert!(
+        baseline_orig_initial < fuse_orig_initial * 1.2,
+        "baseline should start at least comparable on original data: baseline {baseline_orig_initial:.1} cm, FUSE {fuse_orig_initial:.1} cm"
+    );
+
+    // Claim 3 (forgetting): adapting the baseline to the new data costs it
+    // accuracy on the original data, and that degradation is larger than
+    // whatever degradation FUSE suffers.
+    let baseline_forgetting = result.baseline.original_error_at(result.baseline.epochs()).average_cm()
+        - baseline_orig_initial;
+    let fuse_forgetting =
+        result.fuse.original_error_at(result.fuse.epochs()).average_cm() - fuse_orig_initial;
+    assert!(
+        baseline_forgetting > fuse_forgetting - 0.5,
+        "baseline should forget at least as much as FUSE: baseline {baseline_forgetting:+.1} cm, FUSE {fuse_forgetting:+.1} cm"
+    );
+
+    // The rendered series and CSV export work end to end.
+    let rendered = result.render_series("integration test series");
+    assert!(rendered.lines().count() >= result.fuse.epochs() + 3);
+    let path = result.write_csv("integration_adaptation").expect("csv written");
+    assert!(path.exists());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn last_layer_scope_freezes_the_backbone_during_adaptation() {
+    let mut profile = reduced_profile();
+    profile.trainer.epochs = 6;
+    profile.meta.meta_iterations = 20;
+    profile.finetune_epochs = 4;
+    let context = adaptation::prepare(&profile).expect("preparation succeeds");
+
+    let backbone_before = context.fuse_model.flat_params();
+    let result = adaptation::run_scope(&context, &profile, FineTuneScope::LastLayer)
+        .expect("adaptation run succeeds");
+    // run_scope clones the model, so the context model itself is untouched.
+    assert_eq!(context.fuse_model.flat_params(), backbone_before);
+    assert_eq!(result.scope, FineTuneScope::LastLayer);
+    assert_eq!(result.fuse.epochs(), 4);
+    assert!(result.fuse.new_data_error.iter().all(|e| e.average_cm().is_finite()));
+}

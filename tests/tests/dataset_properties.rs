@@ -1,0 +1,126 @@
+//! Cross-crate property-based tests: invariants that must hold across the
+//! dataset pipeline and the pre-processing for *any* reasonable input.
+
+use fuse_dataset::{
+    encode_dataset, per_movement_split, FeatureMapBuilder, FrameFusion, MarsSynthesizer,
+    SplitRatios, SynthesisConfig,
+};
+use fuse_radar::{FastScatterModel, RadarConfig, RadarPoint, Scatterer, Scene};
+use fuse_skeleton::{Movement, Subject};
+use proptest::prelude::*;
+
+fn arbitrary_points(max: usize) -> impl Strategy<Value = Vec<RadarPoint>> {
+    prop::collection::vec(
+        (
+            -2.0f32..2.0,
+            0.5f32..4.0,
+            -0.5f32..2.2,
+            -3.0f32..3.0,
+            0.0f32..10.0,
+        )
+            .prop_map(|(x, y, z, d, i)| RadarPoint::new(x, y, z, d, i)),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The feature map always has the CNN input shape and finite values,
+    /// regardless of how many points the (fused) frame contains.
+    #[test]
+    fn feature_maps_always_have_cnn_shape(points in arbitrary_points(400)) {
+        let builder = FeatureMapBuilder::default();
+        let tensor = builder.build(&points, None).unwrap();
+        prop_assert_eq!(tensor.dims(), &[5, 8, 8]);
+        prop_assert!(tensor.as_slice().iter().all(|v| v.is_finite()));
+        // No slot carries higher intensity than the strongest input point.
+        let max_in = points.iter().map(|p| p.intensity).fold(0.0f32, f32::max);
+        let max_slot = tensor.as_slice()[4 * 64..5 * 64].iter().cloned().fold(0.0f32, f32::max);
+        prop_assert!(max_slot <= max_in + 1e-5);
+    }
+
+    /// Fusing more frames never yields fewer points, and the fused set is the
+    /// concatenation of the member frames (order-insensitive count check).
+    #[test]
+    fn fusion_point_counts_are_monotonic(seed in 0u64..500) {
+        let model = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+        let scene: Scene = (0..20)
+            .map(|i| Scatterer::new([0.0, 2.0, 0.1 * i as f32], [0.0, 0.1, 0.0], 1.0))
+            .collect();
+        let frames: Vec<_> = (0..7).map(|i| model.sample(&scene, seed.wrapping_add(i))).collect();
+        let k = 3;
+        let mut previous = 0usize;
+        for m in 0..3usize {
+            let fused = FrameFusion::new(m).fused_points_owned(&frames, k);
+            prop_assert!(fused.len() >= previous);
+            previous = fused.len();
+        }
+        let expected: usize = (2..=4).map(|i: usize| frames[i].len()).sum();
+        prop_assert_eq!(FrameFusion::new(1).fused_points_owned(&frames, k).len(), expected);
+    }
+
+    /// The fast scatter model never produces points wildly outside the scene
+    /// volume (beyond the documented ghost-point box) and keeps Doppler
+    /// within the radar's unambiguous range.
+    #[test]
+    fn fast_scatter_points_stay_physical(seed in 0u64..300) {
+        let config = RadarConfig::iwr1443_indoor();
+        let model = FastScatterModel::new(config);
+        let scene: Scene = (0..25)
+            .map(|i| Scatterer::new([0.1 * (i % 5) as f32, 2.0, 0.08 * i as f32], [0.0, 0.5, 0.0], 1.0))
+            .collect();
+        let frame = model.sample(&scene, seed);
+        prop_assert!(!frame.is_empty());
+        for p in &frame.points {
+            prop_assert!(p.y > 0.0 && p.y < 5.0, "depth {} out of range", p.y);
+            prop_assert!(p.z > -1.5 && p.z < 3.5, "height {} out of range", p.z);
+            prop_assert!(p.intensity >= 0.0);
+            prop_assert!(p.doppler.abs() < 2.0 * config.max_velocity_mps() as f32);
+        }
+    }
+}
+
+#[test]
+fn per_movement_split_never_leaks_frames_between_partitions() {
+    let config = SynthesisConfig {
+        subjects: vec![0, 2],
+        movements: vec![Movement::Squat, Movement::LeftFrontLunge],
+        frames_per_sequence: 35,
+        ..SynthesisConfig::quick()
+    };
+    let dataset = MarsSynthesizer::new(config).generate().unwrap();
+    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20()).unwrap();
+    // Every frame lands in exactly one partition.
+    assert_eq!(split.total_len(), dataset.len());
+    let key = |f: &fuse_dataset::LabeledFrame| (f.subject_id, f.movement.index(), f.sequence_index);
+    let mut seen = std::collections::HashSet::new();
+    for frame in split.train.iter().chain(split.validation.iter()).chain(split.test.iter()) {
+        assert!(seen.insert(key(frame)), "frame {:?} appears in two partitions", key(frame));
+    }
+}
+
+#[test]
+fn encoded_labels_match_skeleton_scale_across_subjects() {
+    // Labels must stay in metres and track the subject's height so that MAE
+    // in centimetres is meaningful.
+    let config = SynthesisConfig {
+        subjects: vec![0, 3],
+        movements: vec![Movement::Squat],
+        frames_per_sequence: 20,
+        ..SynthesisConfig::quick()
+    };
+    let dataset = MarsSynthesizer::new(config).generate().unwrap();
+    let encoded =
+        encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap();
+    for sample in encoded.samples() {
+        let heights: Vec<f32> = (0..19).map(|j| sample.label[j * 3 + 2]).collect();
+        let max_height = heights.iter().cloned().fold(f32::MIN, f32::max);
+        let subject = Subject::profile(sample.subject_id);
+        assert!(
+            max_height > 0.6 * subject.height_m && max_height < 1.1 * subject.height_m,
+            "head height {max_height} implausible for subject of height {}",
+            subject.height_m
+        );
+    }
+}

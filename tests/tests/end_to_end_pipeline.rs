@@ -1,0 +1,135 @@
+//! End-to-end integration tests: dataset synthesis → pre-processing →
+//! supervised training → evaluation, plus the full radar signal chain feeding
+//! the CNN.
+
+use fuse_core::prelude::*;
+use fuse_dataset::{encode_dataset, encode_dataset_with_normalizer, per_movement_split};
+use fuse_radar::{PointCloudGenerator, RadarConfig, Scatterer, Scene};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+use fuse_tensor::Tensor;
+
+fn small_synthesis() -> SynthesisConfig {
+    SynthesisConfig {
+        subjects: vec![0, 3],
+        movements: vec![Movement::Squat, Movement::RightLimbExtension, Movement::BothUpperLimbExtension],
+        frames_per_sequence: 50,
+        ..SynthesisConfig::quick()
+    }
+}
+
+#[test]
+fn supervised_training_learns_pose_from_synthetic_mmwave_data() {
+    let dataset = MarsSynthesizer::new(small_synthesis()).generate().expect("synthesis succeeds");
+    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
+    let fusion = FrameFusion::default();
+    let builder = FeatureMapBuilder::default();
+    let train = encode_dataset(&split.train, &fusion, &builder).expect("encode train");
+    let test = encode_dataset_with_normalizer(&split.test, &fusion, &builder, train.normalizer().clone())
+        .expect("encode test");
+
+    let model = build_mars_cnn(&ModelConfig::default(), 7).expect("model builds");
+    let mut trainer =
+        Trainer::new(model, TrainerConfig { epochs: 20, batch_size: 64, learning_rate: 1e-3, seed: 0 })
+            .expect("trainer config valid");
+    let before = trainer.evaluate(&test).expect("evaluation succeeds");
+    let history = trainer.fit(&train, None).expect("training succeeds");
+    let after = trainer.evaluate(&test).expect("evaluation succeeds");
+
+    // Training must reduce both the loss and the held-out error substantially.
+    assert!(history.final_loss().unwrap() < 0.5 * history.train_loss[0]);
+    assert!(
+        after.average_cm() < 0.6 * before.average_cm(),
+        "test MAE did not improve enough: {:.1} cm -> {:.1} cm",
+        before.average_cm(),
+        after.average_cm()
+    );
+    // A trained model on this reduced dataset should reach the decimetre
+    // range (the paper reaches ~4-7 cm at full scale with 40k frames and 150
+    // epochs; this test uses ~300 frames and 20 epochs).
+    assert!(after.average_cm() < 30.0, "trained MAE too high: {:.1} cm", after.average_cm());
+}
+
+#[test]
+fn full_radar_chain_feeds_the_cnn() {
+    // Animate a subject, run the *full* FMCW chain (not the fast model), and
+    // push the resulting point cloud through fusion, feature maps and the CNN.
+    let animator = MovementAnimator::new(Subject::profile(2), Movement::Squat, 10.0).with_seed(1);
+    let generator = PointCloudGenerator::new(RadarConfig::test_small());
+    let samples = animator.sample_frames_with_velocities(0.0, 5);
+
+    let mut frames = Vec::new();
+    for (i, (skeleton, velocities)) in samples.iter().enumerate() {
+        let scene: Scene = body_surface_points(skeleton, velocities, 3)
+            .iter()
+            .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+            .collect();
+        let frame = generator.generate(&scene, i as u64).expect("signal chain succeeds");
+        assert!(!frame.is_empty(), "frame {i} has no detections");
+        frames.push(frame);
+    }
+
+    let fusion = FrameFusion::default();
+    let builder = FeatureMapBuilder::default();
+    let points = fusion.fused_points_owned(&frames, 2);
+    assert!(points.len() > frames[2].len(), "fusion should add points");
+    let features = builder.build(&points, None).expect("feature map builds");
+    let input = Tensor::stack(&[features]).expect("stack succeeds");
+
+    let mut model = build_mars_cnn(&ModelConfig::default(), 3).expect("model builds");
+    let joints = model.forward(&input, false).expect("inference succeeds");
+    assert_eq!(joints.dims(), &[1, 57]);
+    assert!(joints.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn fusion_improves_over_single_frame_at_matched_budget() {
+    // The Table 1 trend at integration-test scale: train the same model with
+    // the same budget on single-frame and 3-frame-fused representations; the
+    // fused representation should not be worse.
+    let dataset = MarsSynthesizer::new(small_synthesis()).generate().expect("synthesis succeeds");
+    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
+    let builder = FeatureMapBuilder::default();
+    let config = TrainerConfig { epochs: 15, batch_size: 64, learning_rate: 1e-3, seed: 0 };
+
+    let mut results = Vec::new();
+    for frames in [1usize, 3] {
+        let fusion = FrameFusion::from_frame_count(frames);
+        let train = encode_dataset(&split.train, &fusion, &builder).expect("encode train");
+        let test =
+            encode_dataset_with_normalizer(&split.test, &fusion, &builder, train.normalizer().clone())
+                .expect("encode test");
+        let model = build_mars_cnn(&ModelConfig::default(), 7).expect("model builds");
+        let mut trainer = Trainer::new(model, config).expect("trainer valid");
+        trainer.fit(&train, None).expect("training succeeds");
+        results.push(trainer.evaluate(&test).expect("evaluation succeeds").average_cm());
+    }
+    let (single, fused3) = (results[0], results[1]);
+    assert!(
+        fused3 < single * 1.05,
+        "3-frame fusion should not degrade accuracy: single {single:.1} cm, fused {fused3:.1} cm"
+    );
+}
+
+#[test]
+fn model_checkpoint_round_trips_through_serialization() {
+    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().expect("synthesis succeeds");
+    let enc = encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default())
+        .expect("encode succeeds");
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 5).expect("model builds");
+    let mut trainer = Trainer::new(model, TrainerConfig::quick(3)).expect("trainer valid");
+    trainer.fit(&enc, None).expect("training succeeds");
+
+    let dir = std::env::temp_dir().join("fuse_integration_ckpt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.json");
+    fuse_nn::save_params_json(trainer.model(), "integration-test", &path).expect("save succeeds");
+
+    let mut restored = build_mars_cnn(&ModelConfig::tiny(), 99).expect("model builds");
+    fuse_nn::load_params_json(&mut restored, &path).expect("load succeeds");
+    let (inputs, _) = enc.gather(&[0, 1, 2]).expect("gather succeeds");
+    let a = trainer.model_mut().forward(&inputs, false).expect("forward succeeds");
+    let b = restored.forward(&inputs, false).expect("forward succeeds");
+    assert_eq!(a, b, "restored model must reproduce the trained model's predictions");
+    std::fs::remove_file(path).ok();
+}
