@@ -3,8 +3,8 @@
 //! and original data and writes `target/experiment-results/figure3.csv`.
 
 use fuse_bench::{finish_experiment, start_experiment};
+use fuse_core::experiments::figure3;
 use fuse_core::experiments::profile::ExperimentProfile;
-use fuse_core::experiments::{figure3};
 
 fn main() {
     let profile = ExperimentProfile::from_env();
@@ -20,7 +20,9 @@ fn main() {
                 result.fuse.new_error_at(epochs).average_cm()
             );
             if let Some(speedup) = result.adaptation_speedup(epochs) {
-                println!("Adaptation speed-up over the baseline: {speedup:.1}x (paper reports ~4x)");
+                println!(
+                    "Adaptation speed-up over the baseline: {speedup:.1}x (paper reports ~4x)"
+                );
             }
             match result.write_csv("figure3") {
                 Ok(path) => println!("wrote {}", path.display()),

@@ -55,8 +55,9 @@ fn bench_conv2d(c: &mut Criterion) {
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[64usize, 256, 1024] {
-        let data: Vec<Complex32> =
-            (0..n).map(|i| Complex32::new((i as f32 * 0.31).sin(), (i as f32 * 0.17).cos())).collect();
+        let data: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.31).sin(), (i as f32 * 0.17).cos()))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut buf = data.clone();

@@ -196,7 +196,9 @@ mod tests {
         assert!(TrainerConfig::default().validate().is_ok());
         assert!(TrainerConfig { epochs: 0, ..TrainerConfig::default() }.validate().is_err());
         assert!(TrainerConfig { batch_size: 0, ..TrainerConfig::default() }.validate().is_err());
-        assert!(TrainerConfig { learning_rate: 0.0, ..TrainerConfig::default() }.validate().is_err());
+        assert!(TrainerConfig { learning_rate: 0.0, ..TrainerConfig::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -157,7 +157,9 @@ fn concat_rows(parts: &[Tensor]) -> Result<Tensor> {
 mod tests {
     use super::*;
     use crate::model::{build_mars_cnn, ModelConfig};
-    use fuse_dataset::{encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig};
+    use fuse_dataset::{
+        encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig,
+    };
 
     fn small_encoded() -> EncodedDataset {
         let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();

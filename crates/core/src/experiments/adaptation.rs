@@ -76,7 +76,9 @@ impl AdaptationResult {
             &rows,
         );
         match self.intersection {
-            Some(e) => out.push_str(&format!("Intersection epoch (baseline reaches FUSE on new data): {e}\n")),
+            Some(e) => out.push_str(&format!(
+                "Intersection epoch (baseline reaches FUSE on new data): {e}\n"
+            )),
             None => out.push_str("Intersection epoch: not reached within the recorded range\n"),
         }
         out
@@ -102,7 +104,13 @@ impl AdaptationResult {
             .collect();
         report::write_csv(
             name,
-            &["epoch", "baseline_original_cm", "fuse_original_cm", "baseline_new_cm", "fuse_new_cm"],
+            &[
+                "epoch",
+                "baseline_original_cm",
+                "fuse_original_cm",
+                "baseline_new_cm",
+                "fuse_new_cm",
+            ],
             &rows,
         )
     }
@@ -242,7 +250,7 @@ fn cap_frames(dataset: &Dataset, cap: usize) -> Dataset {
         return dataset.clone();
     }
     // Keep an even spread across sequences by taking every n-th frame.
-    let stride = (dataset.len() + cap - 1) / cap;
+    let stride = dataset.len().div_ceil(cap);
     Dataset::from_frames(
         dataset
             .frames()
@@ -271,8 +279,8 @@ fn clone_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fuse_nn::AxisMae;
     use crate::eval::PoseError;
+    use fuse_nn::AxisMae;
 
     fn mk(cm: f32) -> PoseError {
         PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } }

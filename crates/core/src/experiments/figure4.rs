@@ -29,7 +29,8 @@ mod tests {
 
     #[test]
     fn render_uses_figure4_title() {
-        let mk = |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
+        let mk =
+            |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
         let curve = FineTuneResult {
             new_data_error: vec![mk(10.0), mk(8.0)],
             original_data_error: vec![mk(7.0), mk(7.5)],

@@ -103,7 +103,9 @@ impl ExperimentProfile {
     /// `full`, `FUSE_QUICK_EXPERIMENT=1` picks `quick`, anything else picks
     /// `bench`.
     pub fn from_env() -> Self {
-        let is_set = |name: &str| std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false);
+        let is_set = |name: &str| {
+            std::env::var(name).map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+        };
         if is_set("FUSE_FULL_EXPERIMENT") {
             ExperimentProfile::full()
         } else if is_set("FUSE_QUICK_EXPERIMENT") {
@@ -190,7 +192,9 @@ mod tests {
     #[test]
     fn from_env_defaults_to_bench() {
         // The test environment does not set the profile variables.
-        if std::env::var("FUSE_FULL_EXPERIMENT").is_err() && std::env::var("FUSE_QUICK_EXPERIMENT").is_err() {
+        if std::env::var("FUSE_FULL_EXPERIMENT").is_err()
+            && std::env::var("FUSE_QUICK_EXPERIMENT").is_err()
+        {
             assert_eq!(ExperimentProfile::from_env().name, "bench");
         }
     }

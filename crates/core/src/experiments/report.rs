@@ -80,17 +80,15 @@ mod tests {
         let table = format_table(
             "Table X",
             &["setting", "value"],
-            &[
-                vec!["single".into(), "5.5".into()],
-                vec!["fuse 3 frames".into(), "3.6".into()],
-            ],
+            &[vec!["single".into(), "5.5".into()], vec!["fuse 3 frames".into(), "3.6".into()]],
         );
         assert!(table.contains("Table X"));
         assert!(table.contains("setting"));
         assert!(table.contains("fuse 3 frames | 3.6"));
         // All data lines have the same column separator position.
         let lines: Vec<&str> = table.lines().skip(1).collect();
-        let sep_positions: Vec<Option<usize>> = lines.iter().map(|l| l.find('|').or(l.find('+'))).collect();
+        let sep_positions: Vec<Option<usize>> =
+            lines.iter().map(|l| l.find('|').or(l.find('+'))).collect();
         assert!(sep_positions.windows(2).all(|w| w[0] == w[1]));
     }
 

@@ -80,7 +80,11 @@ impl Table1Result {
                 ]
             })
             .collect();
-        report::write_csv("table1", &["setting", "fused_frames", "x_cm", "y_cm", "z_cm", "avg_cm"], &rows)
+        report::write_csv(
+            "table1",
+            &["setting", "fused_frames", "x_cm", "y_cm", "z_cm", "avg_cm"],
+            &rows,
+        )
     }
 
     /// Average MAE (cm) for a given fusion frame count, if present.

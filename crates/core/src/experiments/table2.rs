@@ -170,7 +170,9 @@ impl Table2Result {
 /// # Errors
 ///
 /// Propagates dataset, training and evaluation errors.
-pub fn run(profile: &ExperimentProfile) -> Result<(Table2Result, AdaptationResult, AdaptationResult)> {
+pub fn run(
+    profile: &ExperimentProfile,
+) -> Result<(Table2Result, AdaptationResult, AdaptationResult)> {
     let context = adaptation::prepare(profile)?;
     let all_layers = adaptation::run_scope(&context, profile, FineTuneScope::AllLayers)?;
     let last_layer = adaptation::run_scope(&context, profile, FineTuneScope::LastLayer)?;

@@ -148,9 +148,11 @@ pub fn fine_tune(
 
     // Epoch 0: errors before any fine-tuning.
     result.new_data_error.push(evaluate_model(model, new_eval, config.batch_size.max(64))?);
-    result
-        .original_data_error
-        .push(evaluate_model(model, original_eval, config.batch_size.max(64))?);
+    result.original_data_error.push(evaluate_model(
+        model,
+        original_eval,
+        config.batch_size.max(64),
+    )?);
 
     for epoch in 0..config.epochs {
         let mut total = 0.0f64;
@@ -170,9 +172,11 @@ pub fn fine_tune(
         }
         result.train_loss.push((total / batches.max(1) as f64) as f32);
         result.new_data_error.push(evaluate_model(model, new_eval, config.batch_size.max(64))?);
-        result
-            .original_data_error
-            .push(evaluate_model(model, original_eval, config.batch_size.max(64))?);
+        result.original_data_error.push(evaluate_model(
+            model,
+            original_eval,
+            config.batch_size.max(64),
+        )?);
     }
     Ok(result)
 }
@@ -183,9 +187,7 @@ pub fn fine_tune(
 /// recorded range.
 pub fn intersection_epoch(baseline: &FineTuneResult, fuse: &FineTuneResult) -> Option<usize> {
     let n = baseline.new_data_error.len().min(fuse.new_data_error.len());
-    (1..n).find(|&e| {
-        baseline.new_data_error[e].average_cm() <= fuse.new_data_error[e].average_cm()
-    })
+    (1..n).find(|&e| baseline.new_data_error[e].average_cm() <= fuse.new_data_error[e].average_cm())
 }
 
 #[cfg(test)]
@@ -214,9 +216,9 @@ mod tests {
     fn config_validation() {
         assert!(FineTuneConfig::default().validate().is_ok());
         assert!(FineTuneConfig { epochs: 0, ..FineTuneConfig::default() }.validate().is_err());
-        assert!(
-            FineTuneConfig { learning_rate: -1.0, ..FineTuneConfig::default() }.validate().is_err()
-        );
+        assert!(FineTuneConfig { learning_rate: -1.0, ..FineTuneConfig::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -261,7 +263,8 @@ mod tests {
 
     #[test]
     fn result_accessors_clamp_and_search() {
-        let mk = |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
+        let mk =
+            |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
         let result = FineTuneResult {
             new_data_error: vec![mk(12.0), mk(8.0), mk(6.0), mk(5.0)],
             original_data_error: vec![mk(7.0), mk(7.5), mk(8.0), mk(9.0)],
@@ -276,7 +279,8 @@ mod tests {
 
     #[test]
     fn intersection_epoch_detects_crossing() {
-        let mk = |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
+        let mk =
+            |cm: f32| PoseError { meters: AxisMae { x: cm / 100.0, y: cm / 100.0, z: cm / 100.0 } };
         let baseline = FineTuneResult {
             new_data_error: vec![mk(10.0), mk(9.0), mk(7.0), mk(4.0)],
             original_data_error: vec![],

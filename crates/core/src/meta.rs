@@ -180,11 +180,7 @@ impl MetaTrainer {
     /// Propagates sampling and shape errors.
     pub fn meta_iteration(&mut self, train: &EncodedDataset, iteration: usize) -> Result<f32> {
         let sampler = TaskSampler::new(self.config.support_size, self.config.query_size)?;
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .wrapping_add(iteration as u64);
+        let seed = self.config.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(iteration as u64);
         let tasks = sampler.sample_batch(train, self.config.tasks_per_iteration, seed)?;
 
         let theta = self.model.flat_params();

@@ -66,8 +66,10 @@ impl ModelConfig {
 
     /// Total number of scalar parameters of the resulting model.
     pub fn param_count(&self) -> usize {
-        let conv1 = self.conv1_filters * self.in_channels * self.kernel * self.kernel + self.conv1_filters;
-        let conv2 = self.conv2_filters * self.conv1_filters * self.kernel * self.kernel + self.conv2_filters;
+        let conv1 =
+            self.conv1_filters * self.in_channels * self.kernel * self.kernel + self.conv1_filters;
+        let conv2 = self.conv2_filters * self.conv1_filters * self.kernel * self.kernel
+            + self.conv2_filters;
         let fc1 = self.flattened_len() * self.hidden + self.hidden;
         let fc2 = self.hidden * self.outputs + self.outputs;
         conv1 + conv2 + fc1 + fc2
@@ -89,7 +91,7 @@ impl ModelConfig {
             self.hidden,
             self.outputs,
         ];
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(FuseError::InvalidConfig("model dimensions must be nonzero".into()));
         }
         Ok(())
@@ -163,7 +165,11 @@ mod tests {
         // legitimately zero (dead units for this mini-batch); require that a
         // substantial share is nonzero and that every layer received *some*
         // gradient signal.
-        assert!(nonzero as f32 > 0.2 * grads.len() as f32, "too many zero gradients: {nonzero}/{}", grads.len());
+        assert!(
+            nonzero as f32 > 0.2 * grads.len() as f32,
+            "too many zero gradients: {nonzero}/{}",
+            grads.len()
+        );
         for (range, name) in model.layer_param_ranges().iter().zip(model.layer_names()) {
             if !range.is_empty() {
                 let layer_nonzero = grads[range.clone()].iter().any(|&g| g != 0.0);
@@ -184,8 +190,7 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_zero_dims() {
-        let mut config = ModelConfig::default();
-        config.hidden = 0;
+        let config = ModelConfig { hidden: 0, ..ModelConfig::default() };
         assert!(build_mars_cnn(&config, 1).is_err());
     }
 

@@ -75,7 +75,12 @@ impl TaskSampler {
     /// # Errors
     ///
     /// Returns an error when the dataset is empty.
-    pub fn sample_batch(&self, data: &EncodedDataset, count: usize, seed: u64) -> Result<Vec<Task>> {
+    pub fn sample_batch(
+        &self,
+        data: &EncodedDataset,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<Task>> {
         (0..count)
             .map(|i| self.sample(data, seed.wrapping_mul(31).wrapping_add(i as u64)))
             .collect()

@@ -31,7 +31,9 @@ impl fmt::Display for DatasetError {
             DatasetError::InvalidLabel { found } => {
                 write!(f, "label vector has {found} values, expected 57")
             }
-            DatasetError::EmptySplit(which) => write!(f, "split produced an empty partition: {which}"),
+            DatasetError::EmptySplit(which) => {
+                write!(f, "split produced an empty partition: {which}")
+            }
             DatasetError::Io(msg) => write!(f, "dataset io error: {msg}"),
         }
     }

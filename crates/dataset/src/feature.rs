@@ -67,9 +67,7 @@ impl FeatureMapBuilder {
         });
         selected.truncate(self.capacity());
         selected.sort_by(|a, b| {
-            (a.z, a.y, a.x)
-                .partial_cmp(&(b.z, b.y, b.x))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            (a.z, a.y, a.x).partial_cmp(&(b.z, b.y, b.x)).unwrap_or(std::cmp::Ordering::Equal)
         });
         selected
     }

@@ -315,7 +315,8 @@ mod tests {
     fn normalizer_from_train_can_encode_other_splits() {
         let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
         let split =
-            crate::split::per_movement_split(&dataset, crate::split::SplitRatios::default()).unwrap();
+            crate::split::per_movement_split(&dataset, crate::split::SplitRatios::default())
+                .unwrap();
         let fusion = FrameFusion::default();
         let builder = FeatureMapBuilder::default();
         let train_enc = encode_dataset(&split.train, &fusion, &builder).unwrap();
@@ -352,7 +353,8 @@ mod tests {
 
     #[test]
     fn encoding_empty_dataset_fails() {
-        let err = encode_dataset(&Dataset::new(), &FrameFusion::default(), &FeatureMapBuilder::default());
+        let err =
+            encode_dataset(&Dataset::new(), &FrameFusion::default(), &FeatureMapBuilder::default());
         assert!(err.is_err());
     }
 }

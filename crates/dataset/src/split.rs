@@ -36,7 +36,9 @@ impl SplitRatios {
         }
         let sum = self.train + self.validation + self.test;
         if (sum - 1.0).abs() > 1e-3 {
-            return Err(DatasetError::InvalidConfig(format!("split ratios sum to {sum}, expected 1.0")));
+            return Err(DatasetError::InvalidConfig(format!(
+                "split ratios sum to {sum}, expected 1.0"
+            )));
         }
         Ok(())
     }
@@ -157,10 +159,9 @@ impl LeaveOneOutSplit {
     pub fn apply(&self, dataset: &Dataset) -> Result<(Dataset, Dataset)> {
         let held_movement = self.held_out_movement;
         let held_subject = self.held_out_subject;
-        let train = dataset
-            .filter(|f| f.movement != held_movement && f.subject_id != held_subject);
-        let online = dataset
-            .filter(|f| f.movement == held_movement && f.subject_id == held_subject);
+        let train = dataset.filter(|f| f.movement != held_movement && f.subject_id != held_subject);
+        let online =
+            dataset.filter(|f| f.movement == held_movement && f.subject_id == held_subject);
         if train.is_empty() {
             return Err(DatasetError::EmptySplit("leave-one-out train".into()));
         }
@@ -189,12 +190,10 @@ impl LeaveOneOutSplit {
                 online.len()
             )));
         }
-        let finetune = Dataset::from_frames(
-            online.frames().iter().take(finetune_frames).cloned().collect(),
-        );
-        let evaluation = Dataset::from_frames(
-            online.frames().iter().skip(finetune_frames).cloned().collect(),
-        );
+        let finetune =
+            Dataset::from_frames(online.frames().iter().take(finetune_frames).cloned().collect());
+        let evaluation =
+            Dataset::from_frames(online.frames().iter().skip(finetune_frames).cloned().collect());
         Ok((finetune, evaluation))
     }
 }
@@ -242,13 +241,8 @@ mod tests {
             .map(|f| f.sequence_index)
             .max()
             .unwrap();
-        let test_min = split
-            .test
-            .sequence(0, Movement::Squat)
-            .iter()
-            .map(|f| f.sequence_index)
-            .min()
-            .unwrap();
+        let test_min =
+            split.test.sequence(0, Movement::Squat).iter().map(|f| f.sequence_index).min().unwrap();
         assert!(train_max < test_min);
     }
 
@@ -268,7 +262,8 @@ mod tests {
     fn split_rejects_empty_dataset_and_bad_ratios() {
         assert!(per_movement_split(&Dataset::new(), SplitRatios::default()).is_err());
         let data = dataset();
-        assert!(per_movement_split(&data, SplitRatios { train: 0.7, validation: 0.2, test: 0.2 }).is_err());
+        assert!(per_movement_split(&data, SplitRatios { train: 0.7, validation: 0.2, test: 0.2 })
+            .is_err());
     }
 
     #[test]
@@ -305,7 +300,8 @@ mod tests {
 
     #[test]
     fn leave_one_out_errors_when_combination_is_missing() {
-        let data = dataset().filter(|f| !(f.subject_id == 3 && f.movement == Movement::RightLimbExtension));
+        let data = dataset()
+            .filter(|f| !(f.subject_id == 3 && f.movement == Movement::RightLimbExtension));
         assert!(LeaveOneOutSplit::paper_default().apply(&data).is_err());
     }
 }

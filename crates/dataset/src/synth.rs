@@ -80,7 +80,9 @@ impl SynthesisConfig {
     /// lists, zero-length sequences or a non-positive frame rate.
     pub fn validate(&self) -> Result<()> {
         if self.subjects.is_empty() || self.movements.is_empty() {
-            return Err(DatasetError::InvalidConfig("subjects and movements must be non-empty".into()));
+            return Err(DatasetError::InvalidConfig(
+                "subjects and movements must be non-empty".into(),
+            ));
         }
         if self.subjects.iter().any(|&s| s >= 4) {
             return Err(DatasetError::InvalidConfig("subject indices must be in 0..4".into()));
@@ -94,9 +96,7 @@ impl SynthesisConfig {
         if self.points_per_bone == 0 {
             return Err(DatasetError::InvalidConfig("points_per_bone must be nonzero".into()));
         }
-        self.radar
-            .validate()
-            .map_err(|e| DatasetError::InvalidConfig(format!("radar config: {e}")))
+        self.radar.validate().map_err(|e| DatasetError::InvalidConfig(format!("radar config: {e}")))
     }
 }
 
@@ -153,7 +153,8 @@ impl MarsSynthesizer {
                         .iter()
                         .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
                         .collect();
-                    let frame_seed = sequence_seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    let frame_seed =
+                        sequence_seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15);
                     let mut cloud = model.sample(&scene, frame_seed);
                     cloud.index = index;
                     cloud.timestamp_s = index as f64 / self.config.frame_rate_hz as f64;

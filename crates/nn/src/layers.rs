@@ -138,12 +138,9 @@ impl Layer for Linear {
         linalg::axpy(1.0, &gw, self.grad_weight.as_mut_slice());
         // grad_b[out] += sum over batch of grad_y
         for row in 0..n {
-            for (gb, &g) in self
-                .grad_bias
-                .as_mut_slice()
-                .iter_mut()
-                .zip(&grad_output.as_slice()[row * self.out_features..(row + 1) * self.out_features])
-            {
+            for (gb, &g) in self.grad_bias.as_mut_slice().iter_mut().zip(
+                &grad_output.as_slice()[row * self.out_features..(row + 1) * self.out_features],
+            ) {
                 *gb += g;
             }
         }
@@ -224,7 +221,12 @@ impl Conv2d {
                 seed,
             ),
             bias: Tensor::zeros(&[spec.out_channels]),
-            grad_weight: Tensor::zeros(&[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel]),
+            grad_weight: Tensor::zeros(&[
+                spec.out_channels,
+                spec.in_channels,
+                spec.kernel,
+                spec.kernel,
+            ]),
             grad_bias: Tensor::zeros(&[spec.out_channels]),
             cached_input: None,
         })

@@ -172,11 +172,8 @@ mod tests {
     fn gradients_match_finite_differences() {
         let pred = Tensor::randn(&[3, 4], 1.0, 5);
         let target = Tensor::randn(&[3, 4], 1.0, 6);
-        let losses: Vec<Box<dyn Loss>> = vec![
-            Box::new(L1Loss),
-            Box::new(MseLoss),
-            Box::new(HuberLoss::new(0.5)),
-        ];
+        let losses: Vec<Box<dyn Loss>> =
+            vec![Box::new(L1Loss), Box::new(MseLoss), Box::new(HuberLoss::new(0.5))];
         for loss in &losses {
             let (_, grad) = loss.evaluate(&pred, &target).unwrap();
             let fd = finite_diff_grad(loss.as_ref(), &pred, &target);

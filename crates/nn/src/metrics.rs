@@ -37,14 +37,7 @@ impl AxisMae {
 
 impl std::fmt::Display for AxisMae {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "x={:.2} y={:.2} z={:.2} avg={:.2}",
-            self.x,
-            self.y,
-            self.z,
-            self.average()
-        )
+        write!(f, "x={:.2} y={:.2} z={:.2} avg={:.2}", self.x, self.y, self.z, self.average())
     }
 }
 
@@ -93,14 +86,18 @@ pub fn mae_per_axis(pred: &Tensor, target: &Tensor) -> Result<AxisMae> {
     let t = target.as_slice();
     for row in 0..n {
         for j in 0..joints {
-            for axis in 0..3 {
+            for (axis, sum) in sums.iter_mut().enumerate() {
                 let idx = row * d + j * 3 + axis;
-                sums[axis] += (p[idx] - t[idx]).abs() as f64;
+                *sum += (p[idx] - t[idx]).abs() as f64;
             }
         }
     }
     let count = (n * joints) as f64;
-    Ok(AxisMae { x: (sums[0] / count) as f32, y: (sums[1] / count) as f32, z: (sums[2] / count) as f32 })
+    Ok(AxisMae {
+        x: (sums[0] / count) as f32,
+        y: (sums[1] / count) as f32,
+        z: (sums[2] / count) as f32,
+    })
 }
 
 #[cfg(test)]

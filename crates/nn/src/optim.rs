@@ -25,11 +25,8 @@ pub trait Optimizer: Send {
     /// Panics if the slices have inconsistent lengths.
     fn step_masked(&mut self, params: &mut [f32], grads: &[f32], mask: &[bool]) {
         assert_eq!(params.len(), mask.len(), "mask length must match parameters");
-        let masked: Vec<f32> = grads
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let masked: Vec<f32> =
+            grads.iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         self.step(params, &masked);
     }
 
@@ -136,7 +133,11 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "params and grads must have equal length");
-        assert_eq!(params.len(), self.m.len(), "optimizer was constructed for a different model size");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "optimizer was constructed for a different model size"
+        );
         self.step += 1;
         let t = self.step as f32;
         let bias1 = 1.0 - self.beta1.powf(t);

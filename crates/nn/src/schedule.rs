@@ -41,7 +41,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant { lr } => lr,
             LrSchedule::StepDecay { initial_lr, step_epochs, gamma } => {
-                let steps = if step_epochs == 0 { 0 } else { epoch / step_epochs };
+                let steps = epoch.checked_div(step_epochs).unwrap_or(0);
                 initial_lr * gamma.powi(steps as i32)
             }
             LrSchedule::Cosine { initial_lr, min_lr, total_epochs } => {

@@ -116,11 +116,15 @@ impl Sequential {
     /// [`Sequential::param_len`].
     pub fn set_flat_params(&mut self, flat: &[f32]) -> Result<()> {
         if flat.len() != self.param_len() {
-            return Err(NnError::ParamLengthMismatch { expected: self.param_len(), actual: flat.len() });
+            return Err(NnError::ParamLengthMismatch {
+                expected: self.param_len(),
+                actual: flat.len(),
+            });
         }
         let mut offset = 0usize;
         for layer in &mut self.layers {
-            let shapes: Vec<Vec<usize>> = layer.params().iter().map(|p| p.dims().to_vec()).collect();
+            let shapes: Vec<Vec<usize>> =
+                layer.params().iter().map(|p| p.dims().to_vec()).collect();
             let mut new_params = Vec::with_capacity(shapes.len());
             for dims in shapes {
                 let len: usize = dims.iter().product();
@@ -213,10 +217,7 @@ mod tests {
     #[test]
     fn set_flat_params_rejects_wrong_length() {
         let mut m = tiny_model();
-        assert!(matches!(
-            m.set_flat_params(&[0.0; 3]),
-            Err(NnError::ParamLengthMismatch { .. })
-        ));
+        assert!(matches!(m.set_flat_params(&[0.0; 3]), Err(NnError::ParamLengthMismatch { .. })));
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Re
     };
     let json = serde_json::to_string(&checkpoint)
         .map_err(|e| NnError::Serialization(format!("encode checkpoint: {e}")))?;
-    fs::write(path, json).map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
+    fs::write(path, json)
+        .map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
 }
 
 /// Loads parameters from a JSON checkpoint into an existing model with a

@@ -68,9 +68,11 @@ impl AdcCube {
             for a_el in 0..config.elevation_antennas {
                 for a_az in 0..config.azimuth_antennas {
                     let ant = a_el * config.azimuth_antennas + a_az;
-                    let ant_phase = az_phase_per_elem * a_az as f64 + el_phase_per_elem * a_el as f64;
+                    let ant_phase =
+                        az_phase_per_elem * a_az as f64 + el_phase_per_elem * a_el as f64;
                     for chirp in 0..n_chirps {
-                        let chirp_phase = base_phase + doppler_phase_per_chirp * chirp as f64 + ant_phase;
+                        let chirp_phase =
+                            base_phase + doppler_phase_per_chirp * chirp as f64 + ant_phase;
                         let offset = (ant * n_chirps + chirp) * n_samples;
                         for sample in 0..n_samples {
                             let phase = chirp_phase + two_pi * beat_freq * ts * sample as f64;
@@ -85,9 +87,8 @@ impl AdcCube {
         // Additive complex white Gaussian noise.
         if config.noise_std > 0.0 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let normal = Normal::new(0.0f32, config.noise_std).map_err(|e| {
-                RadarError::InvalidConfig(format!("noise distribution: {e}"))
-            })?;
+            let normal = Normal::new(0.0f32, config.noise_std)
+                .map_err(|e| RadarError::InvalidConfig(format!("noise distribution: {e}")))?;
             for x in &mut data {
                 *x += Complex32::new(normal.sample(&mut rng), normal.sample(&mut rng));
             }

@@ -66,15 +66,15 @@ pub fn cfar_ca_1d(data: &[f32], config: &CfarConfig) -> Result<Vec<usize>> {
         // Leading training cells.
         let lead_end = i.saturating_sub(g);
         let lead_start = lead_end.saturating_sub(t);
-        for j in lead_start..lead_end {
-            noise += data[j];
+        for &cell in &data[lead_start..lead_end] {
+            noise += cell;
             count += 1;
         }
         // Trailing training cells.
         let trail_start = (i + g + 1).min(data.len());
         let trail_end = (trail_start + t).min(data.len());
-        for j in trail_start..trail_end {
-            noise += data[j];
+        for &cell in &data[trail_start..trail_end] {
+            noise += cell;
             count += 1;
         }
         if count == 0 {
@@ -161,7 +161,8 @@ pub fn cfar_ca_2d(map: &RangeDopplerMap, config: &CfarConfig) -> Result<Vec<Cfar
             });
         }
     }
-    detections.sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).unwrap_or(std::cmp::Ordering::Equal));
+    detections
+        .sort_by(|a, b| b.magnitude.partial_cmp(&a.magnitude).unwrap_or(std::cmp::Ordering::Equal));
     Ok(detections)
 }
 
@@ -172,14 +173,14 @@ fn estimate_noise(data: &[f32], i: usize, config: &CfarConfig) -> f32 {
     let mut count = 0usize;
     let lead_end = i.saturating_sub(g);
     let lead_start = lead_end.saturating_sub(t);
-    for j in lead_start..lead_end {
-        noise += data[j];
+    for &cell in &data[lead_start..lead_end] {
+        noise += cell;
         count += 1;
     }
     let trail_start = (i + g + 1).min(data.len());
     let trail_end = (trail_start + t).min(data.len());
-    for j in trail_start..trail_end {
-        noise += data[j];
+    for &cell in &data[trail_start..trail_end] {
+        noise += cell;
         count += 1;
     }
     if count == 0 {

@@ -114,7 +114,9 @@ impl RadarConfig {
     pub fn validate(&self) -> Result<()> {
         fn pow2(name: &str, v: usize) -> Result<()> {
             if v == 0 || !v.is_power_of_two() {
-                return Err(RadarError::InvalidConfig(format!("{name} must be a nonzero power of two, got {v}")));
+                return Err(RadarError::InvalidConfig(format!(
+                    "{name} must be a nonzero power of two, got {v}"
+                )));
             }
             Ok(())
         }
@@ -153,7 +155,8 @@ impl RadarConfig {
 
     /// Velocity resolution `λ / (2 · N_chirps · T_c)` in metres per second.
     pub fn velocity_resolution_mps(&self) -> f64 {
-        self.chirp.wavelength_m() / (2.0 * self.chirps_per_frame as f64 * self.chirp.chirp_interval_s)
+        self.chirp.wavelength_m()
+            / (2.0 * self.chirps_per_frame as f64 * self.chirp.chirp_interval_s)
     }
 
     /// Maximum unambiguous radial velocity in metres per second.

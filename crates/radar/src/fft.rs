@@ -159,7 +159,9 @@ mod tests {
         let n = 64;
         let bin = 9;
         let data: Vec<Complex32> = (0..n)
-            .map(|i| Complex32::from_angle(2.0 * std::f32::consts::PI * bin as f32 * i as f32 / n as f32))
+            .map(|i| {
+                Complex32::from_angle(2.0 * std::f32::consts::PI * bin as f32 * i as f32 / n as f32)
+            })
             .collect();
         let mut spec = data.clone();
         fft_inplace(&mut spec).unwrap();

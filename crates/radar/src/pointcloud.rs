@@ -308,8 +308,8 @@ impl FastScatterModel {
             let doppler = (vr / vel_res).round() * vel_res + pos_noise.sample(&mut rng) * 0.05;
 
             // Intensity from the radar equation with log-normal-ish spread.
-            let intensity =
-                (s.rcs.max(1e-6) / (r * r * r * r)) * (1.0 + 0.3 * pos_noise.sample(&mut rng)).max(0.1);
+            let intensity = (s.rcs.max(1e-6) / (r * r * r * r))
+                * (1.0 + 0.3 * pos_noise.sample(&mut rng)).max(0.1);
 
             points.push(RadarPoint { x, y, z, doppler, intensity });
         }
@@ -357,7 +357,8 @@ mod tests {
         let frame = model.sample(&human_like_scene(), 3);
         assert!(frame.len() >= 8 && frame.len() <= 80, "points {}", frame.len());
         // Averaged over many frames the count approaches the configured mean.
-        let mean: f32 = (0..50).map(|s| model.sample(&human_like_scene(), s).len() as f32).sum::<f32>() / 50.0;
+        let mean: f32 =
+            (0..50).map(|s| model.sample(&human_like_scene(), s).len() as f32).sum::<f32>() / 50.0;
         assert!((mean - model.mean_points_per_frame as f32).abs() < 8.0, "mean points {mean}");
     }
 
@@ -408,7 +409,10 @@ mod tests {
         let frame = PointCloudFrame::new(
             0,
             0.0,
-            vec![RadarPoint::new(-1.0, 1.0, 0.0, 0.0, 1.0), RadarPoint::new(1.0, 3.0, 2.0, 0.0, 1.0)],
+            vec![
+                RadarPoint::new(-1.0, 1.0, 0.0, 0.0, 1.0),
+                RadarPoint::new(1.0, 3.0, 2.0, 0.0, 1.0),
+            ],
         );
         assert_eq!(frame.centroid().unwrap(), [0.0, 2.0, 1.0]);
         let (min, max) = frame.bounding_box().unwrap();

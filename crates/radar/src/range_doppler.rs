@@ -62,10 +62,10 @@ impl RangeDopplerMap {
                 }
                 apply_window(&mut slow, &doppler_window);
                 fft_inplace(&mut slow)?;
-                for k in 0..doppler_bins {
+                for (k, &value) in slow.iter().enumerate() {
                     // fftshift: negative velocities first.
                     let shifted = (k + doppler_bins / 2) % doppler_bins;
-                    spectrum[r * doppler_bins + shifted] = slow[k];
+                    spectrum[r * doppler_bins + shifted] = value;
                 }
             }
             for (m, s) in magnitude.iter_mut().zip(&spectrum) {
@@ -173,7 +173,8 @@ mod tests {
     #[test]
     fn moving_target_shifts_doppler_bin() {
         let v = 1.2f32;
-        let scene = Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, v, 0.0], 1.0)]);
+        let scene =
+            Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, v, 0.0], 1.0)]);
         let map = map_for(&scene, 0.0);
         let (_, d_bin) = map.peak_cell().unwrap();
         let est_vel = map.velocity_of_bin(d_bin);
@@ -182,7 +183,8 @@ mod tests {
             "estimated velocity {est_vel} (expected ~{v})"
         );
 
-        let receding = Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, -v, 0.0], 1.0)]);
+        let receding =
+            Scene::from_scatterers(vec![Scatterer::new([0.0, 2.0, 0.0], [0.0, -v, 0.0], 1.0)]);
         let map2 = map_for(&receding, 0.0);
         let (_, d_bin2) = map2.peak_cell().unwrap();
         assert!(map2.velocity_of_bin(d_bin2) < 0.0);

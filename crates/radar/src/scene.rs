@@ -53,7 +53,8 @@ impl Scatterer {
 
     /// Elevation angle in radians (0 in the horizontal plane, positive up).
     pub fn elevation(&self) -> f32 {
-        let ground = (self.position[0] * self.position[0] + self.position[1] * self.position[1]).sqrt();
+        let ground =
+            (self.position[0] * self.position[0] + self.position[1] * self.position[1]).sqrt();
         self.position[2].atan2(ground)
     }
 }
@@ -161,9 +162,7 @@ mod tests {
 
     #[test]
     fn scene_collection_behaviour() {
-        let mut scene: Scene = (0..5)
-            .map(|i| Scatterer::fixed([i as f32, 1.0, 0.5]))
-            .collect();
+        let mut scene: Scene = (0..5).map(|i| Scatterer::fixed([i as f32, 1.0, 0.5])).collect();
         assert_eq!(scene.len(), 5);
         scene.extend([Scatterer::fixed([9.0, 9.0, 9.0])]);
         assert_eq!(scene.len(), 6);

@@ -8,7 +8,10 @@ use fuse_radar::{
 use proptest::prelude::*;
 
 fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0).prop_map(|(re, im)| Complex32::new(re, im)), len)
+    prop::collection::vec(
+        (-1.0f32..1.0, -1.0f32..1.0).prop_map(|(re, im)| Complex32::new(re, im)),
+        len,
+    )
 }
 
 proptest! {

@@ -106,9 +106,7 @@ impl MovementAnimator {
 
     /// Samples `count` consecutive frames starting at `start_time_s`.
     pub fn sample_frames(&self, start_time_s: f32, count: usize) -> Vec<Skeleton> {
-        (0..count)
-            .map(|i| self.pose_at(start_time_s + i as f32 * self.frame_period_s()))
-            .collect()
+        (0..count).map(|i| self.pose_at(start_time_s + i as f32 * self.frame_period_s())).collect()
     }
 
     /// Samples `count` frames together with per-joint velocities estimated by
@@ -205,9 +203,8 @@ mod tests {
         let samples = animator().sample_frames_with_velocities(0.0, 20);
         assert_eq!(samples.len(), 20);
         assert_eq!(samples[0].1, [[0.0; 3]; 19]);
-        let some_motion = samples[1..]
-            .iter()
-            .any(|(_, v)| v.iter().any(|j| j.iter().any(|&c| c.abs() > 0.01)));
+        let some_motion =
+            samples[1..].iter().any(|(_, v)| v.iter().any(|j| j.iter().any(|&c| c.abs() > 0.01)));
         assert!(some_motion, "no joint velocity detected during a squat");
         for (_, v) in &samples {
             assert!(v.iter().all(|j| j.iter().all(|c| c.is_finite())));

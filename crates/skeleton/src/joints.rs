@@ -244,9 +244,9 @@ impl Skeleton {
     pub fn velocities_from(&self, previous: &Skeleton, dt: f32) -> [[f32; 3]; JOINT_COUNT] {
         assert!(dt > 0.0, "dt must be positive");
         let mut v = [[0.0f32; 3]; JOINT_COUNT];
-        for j in 0..JOINT_COUNT {
-            for a in 0..3 {
-                v[j][a] = (self.positions[j][a] - previous.positions[j][a]) / dt;
+        for ((vel, cur), prev) in v.iter_mut().zip(&self.positions).zip(&previous.positions) {
+            for ((out, c), p) in vel.iter_mut().zip(cur).zip(prev) {
+                *out = (c - p) / dt;
             }
         }
         v

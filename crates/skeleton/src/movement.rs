@@ -279,7 +279,8 @@ fn squat(pose: &mut Skeleton, subject: &Subject, amount: f32) {
     let drop = amount * 0.35 * (subject.thigh_m + subject.shank_m);
     let knee_forward = amount * 0.18;
 
-    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head]
+    {
         let mut p = pose.position(joint);
         p[2] -= drop;
         pose.set_position(joint, p);
@@ -297,16 +298,22 @@ fn squat(pose: &mut Skeleton, subject: &Subject, amount: f32) {
         // Arms extend horizontally towards the radar for balance.
         let shoulder = pose.position(side.shoulder());
         let reach = amount.min(1.0);
-        pose.set_position(side.elbow(), [
-            shoulder[0],
-            shoulder[1] - subject.upper_arm_m * reach,
-            shoulder[2] - subject.upper_arm_m * (1.0 - reach),
-        ]);
-        pose.set_position(side.wrist(), [
-            shoulder[0],
-            shoulder[1] - subject.arm_length() * reach,
-            shoulder[2] - subject.arm_length() * (1.0 - reach),
-        ]);
+        pose.set_position(
+            side.elbow(),
+            [
+                shoulder[0],
+                shoulder[1] - subject.upper_arm_m * reach,
+                shoulder[2] - subject.upper_arm_m * (1.0 - reach),
+            ],
+        );
+        pose.set_position(
+            side.wrist(),
+            [
+                shoulder[0],
+                shoulder[1] - subject.arm_length() * reach,
+                shoulder[2] - subject.arm_length() * (1.0 - reach),
+            ],
+        );
         let mut sh = shoulder;
         sh[2] -= drop;
         pose.set_position(side.shoulder(), sh);
@@ -324,7 +331,8 @@ fn front_lunge(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) 
     let step = amount * 0.45;
     let drop = amount * 0.18;
 
-    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head]
+    {
         let mut p = pose.position(joint);
         p[2] -= drop;
         p[1] -= step * 0.3;
@@ -359,7 +367,8 @@ fn side_lunge(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
     let drop = amount * 0.12;
     let shift = step * 0.4;
 
-    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head] {
+    for joint in [Joint::SpineBase, Joint::SpineMid, Joint::SpineShoulder, Joint::Neck, Joint::Head]
+    {
         let mut p = pose.position(joint);
         p[0] += shift;
         p[2] -= drop;
@@ -389,11 +398,7 @@ fn raise_leg(pose: &mut Skeleton, subject: &Subject, side: Side, amount: f32) {
     let beta = amount * 45.0f32.to_radians();
     let leg = subject.thigh_m + subject.shank_m;
     let dir = [0.0, -beta.sin(), -beta.cos()];
-    let knee = [
-        hip[0],
-        hip[1] + dir[1] * subject.thigh_m,
-        hip[2] + dir[2] * subject.thigh_m,
-    ];
+    let knee = [hip[0], hip[1] + dir[1] * subject.thigh_m, hip[2] + dir[2] * subject.thigh_m];
     let ankle = [hip[0], hip[1] + dir[1] * leg, hip[2] + dir[2] * leg];
     pose.set_position(side.knee(), knee);
     pose.set_position(side.ankle(), ankle);
@@ -466,7 +471,8 @@ mod tests {
             let moved = Joint::ALL.iter().any(|&j| {
                 let a = pose.position(j);
                 let b = standing.position(j);
-                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt() > 0.15
+                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+                    > 0.15
             });
             assert!(moved, "{m} did not move any joint at mid-cycle");
         }
@@ -479,7 +485,8 @@ mod tests {
         let right = Movement::RightUpperLimbExtension.pose(&s, 0.5, 1.0);
         // The raised wrist is well above its hanging height on the active side only.
         let standing = standing_pose(&s);
-        let left_raise = left.position(Joint::WristLeft)[2] - standing.position(Joint::WristLeft)[2];
+        let left_raise =
+            left.position(Joint::WristLeft)[2] - standing.position(Joint::WristLeft)[2];
         let right_still =
             (left.position(Joint::WristRight)[2] - standing.position(Joint::WristRight)[2]).abs();
         assert!(left_raise > 0.3, "left wrist raise {left_raise}");
@@ -497,7 +504,11 @@ mod tests {
         assert!(
             standing.position(Joint::SpineBase)[2] - squatting.position(Joint::SpineBase)[2] > 0.15
         );
-        assert!((squatting.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2]).abs() < 1e-4);
+        assert!(
+            (squatting.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2])
+                .abs()
+                < 1e-4
+        );
         assert!(squatting.is_finite());
     }
 
@@ -531,10 +542,17 @@ mod tests {
         let s = subject();
         let standing = standing_pose(&s);
         let pose = Movement::RightLimbExtension.pose(&s, 0.5, 1.0);
-        assert!(pose.position(Joint::WristRight)[2] > standing.position(Joint::WristRight)[2] + 0.3);
-        assert!(pose.position(Joint::AnkleRight)[2] > standing.position(Joint::AnkleRight)[2] + 0.1);
+        assert!(
+            pose.position(Joint::WristRight)[2] > standing.position(Joint::WristRight)[2] + 0.3
+        );
+        assert!(
+            pose.position(Joint::AnkleRight)[2] > standing.position(Joint::AnkleRight)[2] + 0.1
+        );
         // Left limbs stay put.
-        assert!((pose.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2]).abs() < 0.02);
+        assert!(
+            (pose.position(Joint::AnkleLeft)[2] - standing.position(Joint::AnkleLeft)[2]).abs()
+                < 0.02
+        );
     }
 
     #[test]
@@ -543,7 +561,8 @@ mod tests {
         let gentle = Movement::Squat.pose(&s, 0.5, 0.5);
         let full = Movement::Squat.pose(&s, 0.5, 1.0);
         let standing = standing_pose(&s);
-        let gentle_drop = standing.position(Joint::SpineBase)[2] - gentle.position(Joint::SpineBase)[2];
+        let gentle_drop =
+            standing.position(Joint::SpineBase)[2] - gentle.position(Joint::SpineBase)[2];
         let full_drop = standing.position(Joint::SpineBase)[2] - full.position(Joint::SpineBase)[2];
         assert!(full_drop > 1.5 * gentle_drop);
     }
@@ -569,7 +588,8 @@ mod tests {
                     let a = p0.position(j);
                     let b = p1.position(j);
                     let dist =
-                        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+                        ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
+                            .sqrt();
                     assert!(dist < 0.05, "{m} {j:?} jumped {dist} between adjacent phases");
                 }
             }

@@ -63,12 +63,10 @@ pub fn body_surface_points(
         let vb = velocities[child.index()];
         let (radius, reflectivity) = segment_properties(child);
         for k in 0..points_per_bone {
-            let t = if points_per_bone == 1 { 0.5 } else { k as f32 / (points_per_bone - 1) as f32 };
-            let position = [
-                a[0] + (b[0] - a[0]) * t,
-                a[1] + (b[1] - a[1]) * t,
-                a[2] + (b[2] - a[2]) * t,
-            ];
+            let t =
+                if points_per_bone == 1 { 0.5 } else { k as f32 / (points_per_bone - 1) as f32 };
+            let position =
+                [a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t, a[2] + (b[2] - a[2]) * t];
             let velocity = [
                 va[0] + (vb[0] - va[0]) * t,
                 va[1] + (vb[1] - va[1]) * t,

@@ -67,9 +67,7 @@ impl Conv2dSpec {
 /// Lowers a single `[C, H, W]` sample into an im2col matrix of shape
 /// `[C*k*k, out_h*out_w]` stored row-major in `cols`.
 fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut [f32]) {
-    let (out_h, out_w) = spec
-        .output_size(h, w)
-        .expect("output_size validated by caller");
+    let (out_h, out_w) = spec.output_size(h, w).expect("output_size validated by caller");
     let k = spec.kernel;
     let n_cols = out_h * out_w;
     for ch in 0..c {
@@ -96,9 +94,7 @@ fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: 
 /// Scatters an im2col matrix back into a `[C, H, W]` gradient buffer
 /// (the adjoint of [`im2col`]).
 fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, grad_input: &mut [f32]) {
-    let (out_h, out_w) = spec
-        .output_size(h, w)
-        .expect("output_size validated by caller");
+    let (out_h, out_w) = spec.output_size(h, w).expect("output_size validated by caller");
     let k = spec.kernel;
     let n_cols = out_h * out_w;
     for ch in 0..c {
@@ -158,10 +154,16 @@ pub fn conv2d_forward(
 ) -> Result<Tensor> {
     let (n, c, h, w) = check_input(input, spec)?;
     if weight.len() != spec.weight_len() {
-        return Err(TensorError::ShapeDataMismatch { expected: spec.weight_len(), actual: weight.len() });
+        return Err(TensorError::ShapeDataMismatch {
+            expected: spec.weight_len(),
+            actual: weight.len(),
+        });
     }
     if bias.len() != spec.out_channels {
-        return Err(TensorError::ShapeDataMismatch { expected: spec.out_channels, actual: bias.len() });
+        return Err(TensorError::ShapeDataMismatch {
+            expected: spec.out_channels,
+            actual: bias.len(),
+        });
     }
     let (out_h, out_w) = spec.output_size(h, w)?;
     let col_rows = c * spec.kernel * spec.kernel;
@@ -281,7 +283,10 @@ pub fn conv2d_backward_weight(
         }
     }
     Ok((
-        Tensor::from_vec(grad_weight, &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel])?,
+        Tensor::from_vec(
+            grad_weight,
+            &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+        )?,
         Tensor::from_vec(grad_bias, &[spec.out_channels])?,
     ))
 }
@@ -291,7 +296,12 @@ mod tests {
     use super::*;
 
     /// Direct (non-im2col) convolution used as a reference implementation.
-    fn conv2d_reference(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    fn conv2d_reference(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (out_h, out_w) = spec.output_size(h, w).unwrap();
@@ -304,8 +314,10 @@ mod tests {
                         for ic in 0..c {
                             for ky in 0..spec.kernel {
                                 for kx in 0..spec.kernel {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                         continue;
                                     }

@@ -60,10 +60,9 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeDataMismatch { expected, actual } => write!(
-                f,
-                "shape implies {expected} elements but {actual} were provided"
-            ),
+            TensorError::ShapeDataMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were provided")
+            }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch between {left:?} and {right:?}")
             }

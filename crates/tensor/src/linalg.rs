@@ -194,7 +194,7 @@ mod tests {
         let n = 4;
         let a: Vec<f32> = (0..k * m).map(|i| i as f32 + 1.0).collect(); // [k x m]
         let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.5).collect(); // [k x n]
-        // explicit transpose of a -> [m x k]
+                                                                          // explicit transpose of a -> [m x k]
         let mut at = vec![0.0; m * k];
         for p in 0..k {
             for i in 0..m {

@@ -82,7 +82,10 @@ impl Shape {
     /// component is out of bounds.
     pub fn flat_index(&self, index: &[usize]) -> Result<usize> {
         if index.len() != self.dims.len() {
-            return Err(TensorError::RankMismatch { expected: self.dims.len(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
         }
         let strides = self.strides();
         let mut flat = 0usize;
@@ -170,10 +173,7 @@ mod tests {
     #[test]
     fn flat_index_rejects_out_of_bounds() {
         let s = Shape::new(&[2, 2]);
-        assert!(matches!(
-            s.flat_index(&[2, 0]),
-            Err(TensorError::IndexOutOfBounds { .. })
-        ));
+        assert!(matches!(s.flat_index(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
         assert!(matches!(s.flat_index(&[0]), Err(TensorError::RankMismatch { .. })));
     }
 

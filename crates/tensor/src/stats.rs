@@ -153,7 +153,8 @@ mod tests {
 
     #[test]
     fn fit_apply_produces_zero_mean_unit_std() {
-        let data = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
+        let data =
+            Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2]).unwrap();
         let norm = Normalizer::fit(&data).unwrap();
         let z = norm.apply(&data).unwrap();
         for j in 0..2 {

@@ -44,7 +44,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if shape.len() != data.len() {
-            return Err(TensorError::ShapeDataMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -311,12 +314,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
         Ok(Tensor { shape: self.shape.clone(), data })
     }
 
@@ -529,9 +527,11 @@ impl Tensor {
             return Err(TensorError::EmptyTensor);
         }
         let mut out = vec![0.0f32; c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j] += self.data[i * c + j];
+        if c > 0 {
+            for row in self.data.chunks_exact(c) {
+                for (acc, x) in out.iter_mut().zip(row) {
+                    *acc += x;
+                }
             }
         }
         for v in &mut out {

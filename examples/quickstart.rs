@@ -37,7 +37,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         &builder,
         train.normalizer().clone(),
     )?;
-    println!("train samples: {}   test samples: {}   input dims: {:?}", train.len(), test.len(), train.input_dims());
+    println!(
+        "train samples: {}   test samples: {}   input dims: {:?}",
+        train.len(),
+        test.len(),
+        train.input_dims()
+    );
 
     print_header("3. Training the baseline CNN (2 conv + 2 FC, ~1.1M parameters)");
     let model = build_mars_cnn(&ModelConfig::default(), 42)?;

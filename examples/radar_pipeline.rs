@@ -66,7 +66,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
     println!("\nA 512x424 RGB frame carries {} pixels; the fused mmWave frame above carries a few hundred", 512 * 424);
-    println!("points — the sparsity gap that motivates FUSE's multi-frame representation (paper §3.2).");
+    println!(
+        "points — the sparsity gap that motivates FUSE's multi-frame representation (paper §3.2)."
+    );
     Ok(())
 }
 

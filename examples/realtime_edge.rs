@@ -30,8 +30,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("model parameters: {}", model.param_len());
 
     let scatter = FastScatterModel::new(radar);
-    let animator = MovementAnimator::new(Subject::profile(2), Movement::BothUpperLimbExtension, 10.0)
-        .with_seed(3);
+    let animator =
+        MovementAnimator::new(Subject::profile(2), Movement::BothUpperLimbExtension, 10.0)
+            .with_seed(3);
     let fusion = FrameFusion::default();
     let builder = FeatureMapBuilder::default();
 

@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         result.fuse.original_error_at(epochs).average_cm()
     );
     match result.adaptation_speedup(epochs) {
-        Some(speedup) => println!("adaptation speed-up (baseline epochs / FUSE epochs): {speedup:.1}x"),
+        Some(speedup) => {
+            println!("adaptation speed-up (baseline epochs / FUSE epochs): {speedup:.1}x")
+        }
         None => println!("the baseline never reached FUSE's {epochs}-epoch accuracy in this run"),
     }
     Ok(())

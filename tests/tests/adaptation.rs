@@ -46,12 +46,13 @@ fn adaptation_experiment_reproduces_the_papers_qualitative_claims() {
     let profile = reduced_profile();
     let context = adaptation::prepare(&profile).expect("preparation succeeds");
 
-    // The held-out combination never appears in the offline training data.
-    assert!(context.train.samples().iter().all(|s| {
-        !(s.subject_id == 3 && s.movement == Movement::RightLimbExtension)
-            && s.subject_id != 3
-            && s.movement != Movement::RightLimbExtension
-    }));
+    // Neither the held-out subject nor the held-out movement (and therefore
+    // not their combination) appears in the offline training data.
+    assert!(context
+        .train
+        .samples()
+        .iter()
+        .all(|s| s.subject_id != 3 && s.movement != Movement::RightLimbExtension));
     // The online data is exactly the held-out combination.
     assert!(context
         .new_eval
@@ -84,8 +85,9 @@ fn adaptation_experiment_reproduces_the_papers_qualitative_claims() {
     // Claim 3 (forgetting): adapting the baseline to the new data costs it
     // accuracy on the original data, and that degradation is larger than
     // whatever degradation FUSE suffers.
-    let baseline_forgetting = result.baseline.original_error_at(result.baseline.epochs()).average_cm()
-        - baseline_orig_initial;
+    let baseline_forgetting =
+        result.baseline.original_error_at(result.baseline.epochs()).average_cm()
+            - baseline_orig_initial;
     let fuse_forgetting =
         result.fuse.original_error_at(result.fuse.epochs()).average_cm() - fuse_orig_initial;
     assert!(

@@ -11,13 +11,7 @@ use proptest::prelude::*;
 
 fn arbitrary_points(max: usize) -> impl Strategy<Value = Vec<RadarPoint>> {
     prop::collection::vec(
-        (
-            -2.0f32..2.0,
-            0.5f32..4.0,
-            -0.5f32..2.2,
-            -3.0f32..3.0,
-            0.0f32..10.0,
-        )
+        (-2.0f32..2.0, 0.5f32..4.0, -0.5f32..2.2, -3.0f32..3.0, 0.0f32..10.0)
             .prop_map(|(x, y, z, d, i)| RadarPoint::new(x, y, z, d, i)),
         0..max,
     )

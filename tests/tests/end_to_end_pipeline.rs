@@ -11,7 +11,11 @@ use fuse_tensor::Tensor;
 fn small_synthesis() -> SynthesisConfig {
     SynthesisConfig {
         subjects: vec![0, 3],
-        movements: vec![Movement::Squat, Movement::RightLimbExtension, Movement::BothUpperLimbExtension],
+        movements: vec![
+            Movement::Squat,
+            Movement::RightLimbExtension,
+            Movement::BothUpperLimbExtension,
+        ],
         frames_per_sequence: 50,
         ..SynthesisConfig::quick()
     }
@@ -20,17 +24,21 @@ fn small_synthesis() -> SynthesisConfig {
 #[test]
 fn supervised_training_learns_pose_from_synthetic_mmwave_data() {
     let dataset = MarsSynthesizer::new(small_synthesis()).generate().expect("synthesis succeeds");
-    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
+    let split =
+        per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
     let fusion = FrameFusion::default();
     let builder = FeatureMapBuilder::default();
     let train = encode_dataset(&split.train, &fusion, &builder).expect("encode train");
-    let test = encode_dataset_with_normalizer(&split.test, &fusion, &builder, train.normalizer().clone())
-        .expect("encode test");
+    let test =
+        encode_dataset_with_normalizer(&split.test, &fusion, &builder, train.normalizer().clone())
+            .expect("encode test");
 
     let model = build_mars_cnn(&ModelConfig::default(), 7).expect("model builds");
-    let mut trainer =
-        Trainer::new(model, TrainerConfig { epochs: 20, batch_size: 64, learning_rate: 1e-3, seed: 0 })
-            .expect("trainer config valid");
+    let mut trainer = Trainer::new(
+        model,
+        TrainerConfig { epochs: 20, batch_size: 64, learning_rate: 1e-3, seed: 0 },
+    )
+    .expect("trainer config valid");
     let before = trainer.evaluate(&test).expect("evaluation succeeds");
     let history = trainer.fit(&train, None).expect("training succeeds");
     let after = trainer.evaluate(&test).expect("evaluation succeeds");
@@ -87,7 +95,8 @@ fn fusion_improves_over_single_frame_at_matched_budget() {
     // the same budget on single-frame and 3-frame-fused representations; the
     // fused representation should not be worse.
     let dataset = MarsSynthesizer::new(small_synthesis()).generate().expect("synthesis succeeds");
-    let split = per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
+    let split =
+        per_movement_split(&dataset, SplitRatios::default_60_20_20()).expect("split succeeds");
     let builder = FeatureMapBuilder::default();
     let config = TrainerConfig { epochs: 15, batch_size: 64, learning_rate: 1e-3, seed: 0 };
 
@@ -95,9 +104,13 @@ fn fusion_improves_over_single_frame_at_matched_budget() {
     for frames in [1usize, 3] {
         let fusion = FrameFusion::from_frame_count(frames);
         let train = encode_dataset(&split.train, &fusion, &builder).expect("encode train");
-        let test =
-            encode_dataset_with_normalizer(&split.test, &fusion, &builder, train.normalizer().clone())
-                .expect("encode test");
+        let test = encode_dataset_with_normalizer(
+            &split.test,
+            &fusion,
+            &builder,
+            train.normalizer().clone(),
+        )
+        .expect("encode test");
         let model = build_mars_cnn(&ModelConfig::default(), 7).expect("model builds");
         let mut trainer = Trainer::new(model, config).expect("trainer valid");
         trainer.fit(&train, None).expect("training succeeds");
@@ -112,7 +125,8 @@ fn fusion_improves_over_single_frame_at_matched_budget() {
 
 #[test]
 fn model_checkpoint_round_trips_through_serialization() {
-    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().expect("synthesis succeeds");
+    let dataset =
+        MarsSynthesizer::new(SynthesisConfig::tiny()).generate().expect("synthesis succeeds");
     let enc = encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default())
         .expect("encode succeeds");
 

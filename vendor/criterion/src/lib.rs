@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the 0.5 API the bench harnesses use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated wall-clock loop: a short warm-up
+//! estimates the per-iteration cost, then a timed batch sized to the target
+//! measurement window produces the reported mean. No statistics, plots or
+//! baselines — but the numbers are honest and the output is one line per
+//! benchmark, which is what CI and quick kernel comparisons need.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (measurement window per
+//! benchmark, default 300 ms; CI sets a small value to smoke-run cheaply).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Formatted identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it enough times to fill the measurement
+    /// window, and records the total elapsed time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate per-iteration cost with an adaptive doubling loop.
+        let warmup_target = self.measure_window.min(Duration::from_millis(100));
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= warmup_target || batch >= 1 << 40 {
+                break elapsed / (batch as u32).max(1);
+            }
+            batch = batch.saturating_mul(2);
+        };
+
+        // Measurement: one batch sized to the window.
+        let iterations = if per_iter.is_zero() {
+            batch
+        } else {
+            (self.measure_window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 40) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iterations));
+    }
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+fn human_time(per_iter_ns: f64) -> String {
+    if per_iter_ns < 1_000.0 {
+        format!("{per_iter_ns:.1} ns")
+    } else if per_iter_ns < 1_000_000.0 {
+        format!("{:.2} µs", per_iter_ns / 1_000.0)
+    } else if per_iter_ns < 1_000_000_000.0 {
+        format!("{:.2} ms", per_iter_ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", per_iter_ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { measured: None, measure_window: measure_window() };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iterations)) => {
+            let per_iter_ns = elapsed.as_nanos() as f64 / iterations as f64;
+            println!(
+                "{name:<48} time: {:>12}   ({iterations} iterations)",
+                human_time(per_iter_ns)
+            );
+        }
+        None => println!("{name:<48} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark driver handed to every registered bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut b = Bencher { measured: None, measure_window: Duration::from_millis(5) };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let (elapsed, iterations) = b.measured.expect("measurement recorded");
+        assert!(iterations >= 1);
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("fft", 256).to_string(), "fft/256");
+    }
+
+    #[test]
+    fn human_time_picks_sensible_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+    }
+}

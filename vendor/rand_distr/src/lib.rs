@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the subset of the 0.4 API this workspace uses: the
+//! [`Distribution`] trait plus [`Normal`] (Box–Muller) and [`Uniform`]
+//! distributions over `f32`/`f64`.
+
+use std::fmt;
+
+use rand::RngCore;
+
+/// Types that can generate samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when constructing a [`Normal`] with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean is not finite.
+    MeanTooSmall,
+    /// The standard deviation is negative or not finite.
+    BadVariance,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "mean is not finite"),
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Conversions between a float type and `f64`, for generic distributions.
+pub trait Float: Copy {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// The normal (Gaussian) distribution `N(mean, std^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] when `mean` is not finite or `std_dev` is
+    /// negative or not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.to_f64().is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller in f64; one sample per draw keeps the distribution
+        // stateless (no cached spare), which the Distribution API requires.
+        let u1 = loop {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// The uniform distribution over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: F, high: F) -> Self {
+        Uniform { low, high }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    ///
+    /// With floating-point sampling the closed and half-open variants are
+    /// indistinguishable in practice; both map a unit sample affinely.
+    pub fn new_inclusive(low: F, high: F) -> Self {
+        Uniform { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let (lo, hi) = (self.low.to_f64(), self.high.to_f64());
+        F::from_f64(lo + unit * (hi - lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_moments() {
+        let dist = Normal::new(2.0f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let dist = Uniform::new_inclusive(-2.0f32, 5.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5000 {
+            let x = dist.sample(&mut rng);
+            assert!((-2.0..=5.0).contains(&x));
+        }
+    }
+}
