@@ -1,0 +1,154 @@
+//! Folds the JSONL emitted by the criterion stand-in (`CRITERION_JSON`) into
+//! the `BENCH_pr.json` telemetry artifact and prints a summary table.
+//!
+//! Usage: `bench_report <input.jsonl> <output.json>`
+//!
+//! The output is a flat JSON object mapping benchmark name to median
+//! nanoseconds per iteration (see `crates/bench/README.md` for the schema).
+//! When a benchmark appears multiple times in the input (e.g. re-runs), the
+//! last record wins.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts the value of a `"key":` field from one JSONL record produced by
+/// the criterion stand-in. Returns the raw token (string contents for
+/// strings, numeric text for numbers).
+fn extract_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(s) = rest.strip_prefix('"') {
+        // String value: the stand-in only escapes quotes and backslashes, and
+        // benchmark names in this workspace contain neither.
+        s.find('"').map(|end| &s[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn parse_records(input: &str) -> BTreeMap<String, f64> {
+    let mut medians = BTreeMap::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(name), Some(median)) =
+            (extract_field(line, "name"), extract_field(line, "median_ns"))
+        else {
+            eprintln!("bench_report: skipping malformed line: {line}");
+            continue;
+        };
+        match median.parse::<f64>() {
+            Ok(ns) => {
+                medians.insert(name.to_string(), ns);
+            }
+            Err(_) => eprintln!("bench_report: non-numeric median in line: {line}"),
+        }
+    }
+    medians
+}
+
+fn render_json(medians: &BTreeMap<String, f64>) -> String {
+    let entries: Vec<String> =
+        medians.iter().map(|(name, ns)| format!("  \"{name}\": {ns:.3}")).collect();
+    format!("{{\n{}\n}}\n", entries.join(",\n"))
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn render_table(medians: &BTreeMap<String, f64>) -> String {
+    let name_width = medians.keys().map(|n| n.len()).max().unwrap_or(0).max("benchmark".len()) + 2;
+    let mut table = format!("{:<name_width$} {:>14} {:>16}\n", "benchmark", "median", "median_ns");
+    table.push_str(&format!("{:-<width$}\n", "", width = name_width + 32));
+    for (name, &ns) in medians {
+        table.push_str(&format!("{name:<name_width$} {:>14} {ns:>16.1}\n", human_time(ns)));
+    }
+    table
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, input_path, output_path] = args.as_slice() else {
+        eprintln!("usage: bench_report <input.jsonl> <output.json>");
+        return ExitCode::FAILURE;
+    };
+    let input = match std::fs::read_to_string(input_path) {
+        Ok(input) => input,
+        Err(err) => {
+            eprintln!("bench_report: cannot read {input_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let medians = parse_records(&input);
+    if medians.is_empty() {
+        eprintln!("bench_report: no benchmark records found in {input_path}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::write(output_path, render_json(&medians)) {
+        eprintln!("bench_report: cannot write {output_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", render_table(&medians));
+    println!("\n{} benchmarks -> {output_path}", medians.len());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"name\":\"gemm/64\",\"median_ns\":1234.567,\"iterations\":100,\"samples\":7}\n",
+        "{\"name\":\"conv2d_5to16_8x8_batch32\",\"median_ns\":98765.4,\"iterations\":50,\"samples\":7}\n",
+        "{\"name\":\"gemm/64\",\"median_ns\":1200.0,\"iterations\":100,\"samples\":7}\n",
+        "not json at all\n",
+    );
+
+    #[test]
+    fn parses_records_last_wins_and_skips_garbage() {
+        let medians = parse_records(SAMPLE);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["gemm/64"], 1200.0);
+        assert_eq!(medians["conv2d_5to16_8x8_batch32"], 98765.4);
+    }
+
+    #[test]
+    fn renders_valid_flat_json() {
+        let medians = parse_records(SAMPLE);
+        let json = render_json(&medians);
+        assert!(json.starts_with("{\n"));
+        assert!(json.contains("\"gemm/64\": 1200.000"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn table_lists_every_benchmark() {
+        let medians = parse_records(SAMPLE);
+        let table = render_table(&medians);
+        assert!(table.contains("gemm/64"));
+        assert!(table.contains("µs"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn extract_field_handles_numbers_and_strings() {
+        let line = "{\"name\":\"x\",\"median_ns\":5.5,\"iterations\":9,\"samples\":3}";
+        assert_eq!(extract_field(line, "name"), Some("x"));
+        assert_eq!(extract_field(line, "median_ns"), Some("5.5"));
+        assert_eq!(extract_field(line, "samples"), Some("3"));
+        assert_eq!(extract_field(line, "missing"), None);
+    }
+}

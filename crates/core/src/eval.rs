@@ -2,6 +2,7 @@
 
 use fuse_dataset::EncodedDataset;
 use fuse_nn::{mae_per_axis, AxisMae, Sequential};
+use fuse_parallel as par;
 use fuse_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -57,24 +58,49 @@ pub fn evaluate_model(
     if data.is_empty() {
         return Err(FuseError::Experiment("cannot evaluate on an empty dataset".into()));
     }
-    let batch_size = batch_size.max(1);
-    let n = data.len();
-    let mut predictions = Vec::with_capacity(n);
-    let mut targets = Vec::with_capacity(n);
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch_size).min(n);
-        let indices: Vec<usize> = (start..end).collect();
-        let (inputs, labels) = data.gather(&indices)?;
-        let output = model.forward(&inputs, false)?;
+    let mut predictions = Vec::new();
+    let mut targets = Vec::new();
+    for result in forward_batches(model, data, batch_size) {
+        let (output, labels) = result?;
         predictions.push(output);
         targets.push(labels);
-        start = end;
     }
     let pred = concat_rows(&predictions)?;
     let target = concat_rows(&targets)?;
     let meters = mae_per_axis(&pred, &target)?;
     Ok(PoseError { meters })
+}
+
+/// Splits `0..n` into `batch_size` ranges.
+fn batch_ranges(n: usize, batch_size: usize) -> Vec<(usize, usize)> {
+    let batch_size = batch_size.max(1);
+    (0..n.div_ceil(batch_size)).map(|b| (b * batch_size, ((b + 1) * batch_size).min(n))).collect()
+}
+
+/// Runs eval-mode inference over every mini-batch, fanning batches out across
+/// the `fuse-parallel` pool when the dataset is large enough.
+///
+/// Parallel batches run on private model clones; eval-mode forward is a pure
+/// function of (parameters, input), so results are bit-identical to the
+/// serial in-place path and batches are returned in dataset order.
+fn forward_batches(
+    model: &mut Sequential,
+    data: &EncodedDataset,
+    batch_size: usize,
+) -> Vec<Result<(Tensor, Tensor)>> {
+    let ranges = batch_ranges(data.len(), batch_size);
+    let run_batch =
+        |&(start, end): &(usize, usize), model: &mut Sequential| -> Result<(Tensor, Tensor)> {
+            let indices: Vec<usize> = (start..end).collect();
+            let (inputs, labels) = data.gather(&indices)?;
+            Ok((model.forward(&inputs, false)?, labels))
+        };
+    if ranges.len() > 1 && par::parallel_beneficial(data.len() * model.param_len()) {
+        let model = &*model;
+        par::par_map(&ranges, |_, range| run_batch(range, &mut model.clone()))
+    } else {
+        ranges.iter().map(|range| run_batch(range, model)).collect()
+    }
 }
 
 /// Computes predictions of the model for a whole dataset as a `[N, 57]`
@@ -91,16 +117,9 @@ pub fn predict_all(
     if data.is_empty() {
         return Err(FuseError::Experiment("cannot predict on an empty dataset".into()));
     }
-    let batch_size = batch_size.max(1);
-    let n = data.len();
     let mut predictions = Vec::new();
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch_size).min(n);
-        let indices: Vec<usize> = (start..end).collect();
-        let (inputs, _) = data.gather(&indices)?;
-        predictions.push(model.forward(&inputs, false)?);
-        start = end;
+    for result in forward_batches(model, data, batch_size) {
+        predictions.push(result?.0);
     }
     concat_rows(&predictions)
 }

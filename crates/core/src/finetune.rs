@@ -9,6 +9,7 @@
 
 use fuse_dataset::EncodedDataset;
 use fuse_nn::{Adam, L1Loss, Loss, Optimizer, Sequential};
+use fuse_parallel as par;
 use serde::{Deserialize, Serialize};
 
 use crate::error::FuseError;
@@ -145,14 +146,12 @@ pub fn fine_tune(
     let loss = L1Loss;
     let mut optimizer = Adam::new(config.learning_rate, model.param_len());
     let mut result = FineTuneResult::default();
+    let eval_batch = config.batch_size.max(64);
 
     // Epoch 0: errors before any fine-tuning.
-    result.new_data_error.push(evaluate_model(model, new_eval, config.batch_size.max(64))?);
-    result.original_data_error.push(evaluate_model(
-        model,
-        original_eval,
-        config.batch_size.max(64),
-    )?);
+    let (new_error, original_error) = evaluate_pair(model, new_eval, original_eval, eval_batch)?;
+    result.new_data_error.push(new_error);
+    result.original_data_error.push(original_error);
 
     for epoch in 0..config.epochs {
         let mut total = 0.0f64;
@@ -171,14 +170,47 @@ pub fn fine_tune(
             batches += 1;
         }
         result.train_loss.push((total / batches.max(1) as f64) as f32);
-        result.new_data_error.push(evaluate_model(model, new_eval, config.batch_size.max(64))?);
-        result.original_data_error.push(evaluate_model(
-            model,
-            original_eval,
-            config.batch_size.max(64),
-        )?);
+        let (new_error, original_error) =
+            evaluate_pair(model, new_eval, original_eval, eval_batch)?;
+        result.new_data_error.push(new_error);
+        result.original_data_error.push(original_error);
     }
     Ok(result)
+}
+
+/// Evaluates the model on the new-data and original-data sets, running the
+/// two independent evaluations concurrently on the `fuse-parallel` pool.
+///
+/// Each side works on a private clone; eval-mode inference is a pure function
+/// of (parameters, input), so the result is bit-identical to two sequential
+/// [`evaluate_model`] calls.
+fn evaluate_pair(
+    model: &mut Sequential,
+    new_eval: &EncodedDataset,
+    original_eval: &EncodedDataset,
+    batch_size: usize,
+) -> Result<(PoseError, PoseError)> {
+    let work = (new_eval.len() + original_eval.len()) * model.param_len();
+    if par::parallel_beneficial(work) {
+        let model = &*model;
+        let mut new_result: Option<Result<PoseError>> = None;
+        let mut original_result: Option<Result<PoseError>> = None;
+        par::scope(|s| {
+            s.spawn(|| new_result = Some(evaluate_model(&mut model.clone(), new_eval, batch_size)));
+            s.spawn(|| {
+                original_result =
+                    Some(evaluate_model(&mut model.clone(), original_eval, batch_size));
+            });
+        });
+        let new_error = new_result.expect("scope task completed")?;
+        let original_error = original_result.expect("scope task completed")?;
+        Ok((new_error, original_error))
+    } else {
+        Ok((
+            evaluate_model(model, new_eval, batch_size)?,
+            evaluate_model(model, original_eval, batch_size)?,
+        ))
+    }
 }
 
 /// Finds the "intersection" epoch of Table 2: the first epoch at which the

@@ -37,9 +37,9 @@ pub mod task;
 
 pub use baseline::{Trainer, TrainerConfig, TrainingHistory};
 pub use error::FuseError;
-pub use eval::{evaluate_model, per_joint_mae_cm, PoseError};
+pub use eval::{evaluate_model, per_joint_mae_cm, predict_all, PoseError};
 pub use finetune::{fine_tune, FineTuneConfig, FineTuneResult, FineTuneScope};
-pub use meta::{MetaConfig, MetaTrainer};
+pub use meta::{MetaConfig, MetaHistory, MetaTrainer, MetaVariant};
 pub use model::{build_mars_cnn, ModelConfig};
 pub use task::TaskSampler;
 
@@ -49,10 +49,10 @@ pub type Result<T> = std::result::Result<T, FuseError>;
 /// Commonly used types, re-exported for examples and benches.
 pub mod prelude {
     pub use crate::baseline::{Trainer, TrainerConfig};
-    pub use crate::eval::{evaluate_model, PoseError};
+    pub use crate::eval::{evaluate_model, predict_all, PoseError};
     pub use crate::experiments::profile::ExperimentProfile;
     pub use crate::finetune::{fine_tune, FineTuneConfig, FineTuneScope};
-    pub use crate::meta::{MetaConfig, MetaTrainer};
+    pub use crate::meta::{MetaConfig, MetaHistory, MetaTrainer, MetaVariant};
     pub use crate::model::{build_mars_cnn, ModelConfig};
     pub use crate::FuseError;
     pub use fuse_dataset::{

@@ -16,10 +16,11 @@
 
 use fuse_dataset::EncodedDataset;
 use fuse_nn::{Adam, L1Loss, Loss, Optimizer, Sequential, Sgd};
+use fuse_parallel as par;
 use serde::{Deserialize, Serialize};
 
 use crate::error::FuseError;
-use crate::task::TaskSampler;
+use crate::task::{Task, TaskSampler};
 use crate::Result;
 
 /// Which outer-update rule the meta-trainer uses.
@@ -175,6 +176,11 @@ impl MetaTrainer {
     /// Runs one meta-training iteration (lines 3–11 of Algorithm 1) and
     /// returns the mean query loss across the task batch.
     ///
+    /// The per-task episodes are embarrassingly parallel given θ: each one
+    /// adapts a private clone of the model, so the batch fans out across the
+    /// `fuse-parallel` pool. Episode gradients are merged in task order,
+    /// keeping the result bit-identical for every `FUSE_THREADS` value.
+    ///
     /// # Errors
     ///
     /// Propagates sampling and shape errors.
@@ -184,47 +190,23 @@ impl MetaTrainer {
         let tasks = sampler.sample_batch(train, self.config.tasks_per_iteration, seed)?;
 
         let theta = self.model.flat_params();
+        let episodes = {
+            let model = &self.model;
+            let config = &self.config;
+            let loss = &self.loss;
+            let theta = &theta;
+            par::par_map(&tasks, |_, task| run_episode(model, theta, task, config, loss))
+        };
+
+        // Ordered merge: summing episode contributions in task order pins the
+        // floating-point accumulation order regardless of thread count.
         let mut outer_grad = vec![0.0f32; theta.len()];
         let mut total_query_loss = 0.0f64;
-
-        for task in &tasks {
-            // Inner loop: adapt θ on the support set (Eq. 5).
-            self.model.set_flat_params(&theta)?;
-            let mut inner = Sgd::new(self.config.inner_lr);
-            for _ in 0..self.config.inner_steps {
-                let pred = self.model.forward(&task.support_inputs, true)?;
-                let (_, grad) = self.loss.evaluate(&pred, &task.support_labels)?;
-                self.model.zero_grad();
-                self.model.backward(&grad)?;
-                let mut adapted = self.model.flat_params();
-                inner.step(&mut adapted, &self.model.flat_grads());
-                self.model.set_flat_params(&adapted)?;
-            }
-
-            // Evaluate the adapted parameters θ' on the query set (line 9).
-            let pred = self.model.forward(&task.query_inputs, true)?;
-            let (query_loss, grad) = self.loss.evaluate(&pred, &task.query_labels)?;
-            total_query_loss += query_loss as f64;
-
-            match self.config.variant {
-                MetaVariant::Fomaml => {
-                    self.model.zero_grad();
-                    self.model.backward(&grad)?;
-                    for (o, g) in outer_grad.iter_mut().zip(self.model.flat_grads()) {
-                        *o += g;
-                    }
-                }
-                MetaVariant::Reptile => {
-                    // One more adaptation step on the query set, then move θ
-                    // towards the adapted parameters.
-                    self.model.zero_grad();
-                    self.model.backward(&grad)?;
-                    let mut adapted = self.model.flat_params();
-                    inner.step(&mut adapted, &self.model.flat_grads());
-                    for ((o, &t), &a) in outer_grad.iter_mut().zip(&theta).zip(&adapted) {
-                        *o += t - a;
-                    }
-                }
+        for episode in episodes {
+            let episode = episode?;
+            total_query_loss += episode.query_loss;
+            for (o, g) in outer_grad.iter_mut().zip(&episode.outer_grad) {
+                *o += g;
             }
         }
 
@@ -254,6 +236,67 @@ impl MetaTrainer {
         }
         Ok(history)
     }
+}
+
+/// Result of one meta-learning episode (one task of one meta-iteration).
+struct Episode {
+    /// Query loss of the adapted parameters θ' (line 9 of Algorithm 1).
+    query_loss: f64,
+    /// This task's contribution to the outer gradient (Eq. 6).
+    outer_grad: Vec<f32>,
+}
+
+/// Runs one episode on a private clone of `base`: adapt θ on the support set
+/// (Eq. 5), evaluate on the query set, and return the outer-gradient
+/// contribution for the configured [`MetaVariant`].
+///
+/// Stochastic layer state (e.g. a dropout RNG) is cloned verbatim from
+/// `base` and the clone is dropped afterwards, so every episode of every
+/// iteration would draw the same mask sequence. The MARS/FUSE models contain
+/// no dropout; a future stochastic model must reseed per episode here.
+fn run_episode(
+    base: &Sequential,
+    theta: &[f32],
+    task: &Task,
+    config: &MetaConfig,
+    loss: &L1Loss,
+) -> Result<Episode> {
+    let mut model = base.clone();
+    model.set_flat_params(theta)?;
+
+    // Inner loop: adapt θ on the support set (Eq. 5).
+    let mut inner = Sgd::new(config.inner_lr);
+    for _ in 0..config.inner_steps {
+        let pred = model.forward(&task.support_inputs, true)?;
+        let (_, grad) = loss.evaluate(&pred, &task.support_labels)?;
+        model.zero_grad();
+        model.backward(&grad)?;
+        let mut adapted = model.flat_params();
+        inner.step(&mut adapted, &model.flat_grads());
+        model.set_flat_params(&adapted)?;
+    }
+
+    // Evaluate the adapted parameters θ' on the query set (line 9).
+    let pred = model.forward(&task.query_inputs, true)?;
+    let (query_loss, grad) = loss.evaluate(&pred, &task.query_labels)?;
+
+    let outer_grad = match config.variant {
+        MetaVariant::Fomaml => {
+            model.zero_grad();
+            model.backward(&grad)?;
+            model.flat_grads()
+        }
+        MetaVariant::Reptile => {
+            // One more adaptation step on the query set, then move θ towards
+            // the adapted parameters.
+            model.zero_grad();
+            model.backward(&grad)?;
+            let mut adapted = model.flat_params();
+            inner.step(&mut adapted, &model.flat_grads());
+            theta.iter().zip(&adapted).map(|(&t, &a)| t - a).collect()
+        }
+    };
+    Ok(Episode { query_loss: query_loss as f64, outer_grad })
 }
 
 impl std::fmt::Debug for MetaTrainer {

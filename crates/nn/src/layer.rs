@@ -17,7 +17,12 @@ use crate::Result;
 /// Parameter access is exposed as ordered lists of tensors so that
 /// [`crate::Sequential`] can flatten them into a single vector — the
 /// representation the optimizers and the meta-learning outer loop work with.
-pub trait Layer: Send {
+///
+/// Layers are `Send + Sync` and clonable through [`Layer::clone_box`]: the
+/// parallel execution backend clones whole models so independent episodes
+/// (meta-learning tasks, evaluation batches) can run on pool threads without
+/// sharing mutable state.
+pub trait Layer: Send + Sync {
     /// Human-readable layer name used in error messages and summaries.
     fn name(&self) -> &str;
 
@@ -59,4 +64,13 @@ pub trait Layer: Send {
     fn param_len(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// Clones the layer behind a fresh box, including parameters, gradients
+    /// and cached activations. Enables `Clone` for [`crate::Sequential`].
+    ///
+    /// Stochastic layer state is copied verbatim: a cloned dropout layer
+    /// replays the same mask sequence as its source. Callers that clone a
+    /// model repeatedly from one template (e.g. per-episode training loops)
+    /// and need fresh randomness per clone must reseed those layers.
+    fn clone_box(&self) -> Box<dyn Layer>;
 }

@@ -80,6 +80,10 @@ impl Layer for Linear {
         "linear"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         if input.shape().rank() != 2 || input.dims()[1] != self.in_features {
             return Err(NnError::InvalidLayer(format!(
@@ -243,6 +247,10 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         let out = conv2d_forward(input, &self.weight, &self.bias, &self.spec)?;
         self.cached_input = Some(input.clone());
@@ -312,6 +320,10 @@ impl Layer for Relu {
         "relu"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_input = Some(input.clone());
         Ok(input.relu())
@@ -365,6 +377,10 @@ impl Flatten {
 impl Layer for Flatten {
     fn name(&self) -> &str {
         "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
@@ -442,6 +458,10 @@ impl Dropout {
 impl Layer for Dropout {
     fn name(&self) -> &str {
         "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {

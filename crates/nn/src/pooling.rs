@@ -46,6 +46,10 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         if input.shape().rank() != 4 {
             return Err(NnError::InvalidLayer(format!(

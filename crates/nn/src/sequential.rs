@@ -18,6 +18,15 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Sequential {
+    /// Deep-copies every layer (parameters, gradients and cached
+    /// activations). The parallel backend clones models per episode/batch so
+    /// pool threads never share mutable layer state.
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.iter().map(|l| l.clone_box()).collect() }
+    }
+}
+
 impl Sequential {
     /// Creates a sequential model from an ordered list of layers.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
@@ -187,6 +196,25 @@ mod tests {
             Box::new(Relu::new()),
             Box::new(Linear::new(4, 2, 2).unwrap()),
         ])
+    }
+
+    #[test]
+    fn clone_is_deep_and_independent() {
+        let mut original = tiny_model();
+        let mut copy = original.clone();
+        assert_eq!(original.flat_params(), copy.flat_params());
+        // Training the copy must not touch the original's parameters, and
+        // both must produce identical outputs from identical states.
+        let x = Tensor::randn(&[4, 3], 1.0, 9);
+        let y_original = original.forward(&x, false).unwrap();
+        let y_copy = copy.forward(&x, false).unwrap();
+        assert_eq!(y_original.as_slice(), y_copy.as_slice());
+        let before = original.flat_params();
+        let mut shifted = copy.flat_params();
+        shifted.iter_mut().for_each(|p| *p += 1.0);
+        copy.set_flat_params(&shifted).unwrap();
+        assert_eq!(original.flat_params(), before);
+        assert_ne!(original.flat_params(), copy.flat_params());
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! # fuse-parallel
+//!
+//! A small, dependency-free, work-stealing-free scoped thread pool that backs
+//! every parallel hot path in the FUSE workspace: the row-parallel GEMM
+//! kernels and batch-parallel im2col convolutions in `fuse-tensor`, and the
+//! per-episode task fan-out of the meta-trainer in `fuse-core`.
+//!
+//! ## Design
+//!
+//! * **One global pool, lazily grown.** Worker threads are spawned on first
+//!   use and block on a shared FIFO injector queue (no per-worker deques, no
+//!   stealing — contention on the queue lock is negligible at the task
+//!   granularity the kernels use: one task per thread per kernel call).
+//! * **Fork-join scopes over the caller's stack.** [`scope`],
+//!   [`par_chunks_mut`], [`par_map`] and [`par_map_index`] submit borrowing
+//!   closures, the calling thread executes its own share, drains the queue
+//!   while waiting, and returns only after every submitted task completed —
+//!   so borrows of caller-owned data are sound.
+//! * **Bit-reproducible by construction.** Every primitive assigns work as
+//!   *indexed* units (chunk index, item index) whose per-unit computation is
+//!   independent of how units are banded across threads, and results are
+//!   always merged in index order. A kernel built on these primitives
+//!   produces bit-identical output for any thread count, which is what keeps
+//!   the workspace's seed-exact tests honest under `FUSE_THREADS=N`.
+//! * **No nested dispatch.** A task running on a pool worker executes nested
+//!   parallel primitives inline (serially). This bounds queue depth and makes
+//!   deadlock impossible: workers never block on other tasks.
+//!
+//! ## Configuration
+//!
+//! * `FUSE_THREADS` — thread count used by all primitives; defaults to
+//!   [`std::thread::available_parallelism`]. Read once per process.
+//! * [`with_threads`] — scoped per-thread override, used by the equivalence
+//!   property tests to compare `threads = 1` against `threads = 4` inside one
+//!   process (proptest runs pin the serial side this way rather than relying
+//!   on the environment).
+//! * `FUSE_PAR_MIN_WORK` / [`with_min_parallel_work`] — the work threshold
+//!   (in fused multiply-adds or comparable scalar op counts) below which
+//!   [`parallel_beneficial`] tells kernels to stay serial.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Hard ceiling on the configured thread count; values above this are
+/// clamped. Generous for any realistic host while bounding pool growth.
+pub const MAX_THREADS: usize = 256;
+
+/// Default value of the `FUSE_PAR_MIN_WORK` threshold: roughly the number of
+/// scalar multiply-adds below which dispatch overhead (~10 µs) outweighs the
+/// parallel speedup on commodity cores.
+pub const DEFAULT_MIN_PARALLEL_WORK: usize = 32_768;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A borrowing task collected by [`scope`]; erased to `'static` only inside
+/// `run_tasks`, which guarantees completion before returning.
+type ScopedTask<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set while a pool worker (or the caller, while draining the queue)
+    /// executes a task: nested primitives run inline instead of dispatching.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Scoped override installed by [`with_threads`].
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Scoped override installed by [`with_min_parallel_work`].
+    static MIN_WORK_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn parse_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Thread count configured for the process: `FUSE_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn configured_threads() -> usize {
+    static CONFIG: OnceLock<usize> = OnceLock::new();
+    *CONFIG.get_or_init(|| {
+        parse_env_usize("FUSE_THREADS")
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+            .min(MAX_THREADS)
+    })
+}
+
+fn configured_min_work() -> usize {
+    static CONFIG: OnceLock<usize> = OnceLock::new();
+    *CONFIG
+        .get_or_init(|| parse_env_usize("FUSE_PAR_MIN_WORK").unwrap_or(DEFAULT_MIN_PARALLEL_WORK))
+}
+
+/// The number of threads parallel primitives will use for work dispatched
+/// from the current thread (the [`with_threads`] override, else
+/// `FUSE_THREADS`, else available parallelism).
+pub fn available_threads() -> usize {
+    THREADS_OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+}
+
+/// The minimum per-call work (scalar op count) for which kernels should
+/// dispatch in parallel rather than run serially.
+pub fn min_parallel_work() -> usize {
+    MIN_WORK_OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_min_work)
+}
+
+/// `true` when a kernel performing `work` scalar operations should dispatch
+/// to the pool: enough threads, enough work, and not already inside a task.
+pub fn parallel_beneficial(work: usize) -> bool {
+    available_threads() > 1 && work >= min_parallel_work() && !IN_TASK.with(|t| t.get())
+}
+
+struct RestoreCell<T: Copy + 'static> {
+    cell: &'static thread::LocalKey<Cell<T>>,
+    previous: T,
+}
+
+impl<T: Copy + 'static> Drop for RestoreCell<T> {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.previous));
+    }
+}
+
+fn set_scoped<T: Copy + 'static>(
+    cell: &'static thread::LocalKey<Cell<T>>,
+    value: T,
+) -> RestoreCell<T> {
+    let previous = cell.with(|c| c.replace(value));
+    RestoreCell { cell, previous }
+}
+
+/// Runs `f` with the thread count pinned to `n` (clamped to
+/// `1..=`[`MAX_THREADS`]) for work dispatched from the current thread.
+///
+/// This is the hook the serial-vs-parallel equivalence tests use: the same
+/// kernel invoked under `with_threads(1, ..)` and `with_threads(4, ..)` must
+/// produce bit-identical results.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _restore = set_scoped(&THREADS_OVERRIDE, Some(n.clamp(1, MAX_THREADS)));
+    f()
+}
+
+/// Runs `f` with the [`min_parallel_work`] threshold pinned to `work` for the
+/// current thread. Tests pass `0` to force tiny inputs through the parallel
+/// path.
+pub fn with_min_parallel_work<R>(work: usize, f: impl FnOnce() -> R) -> R {
+    let _restore = set_scoped(&MIN_WORK_OVERRIDE, Some(work));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                job_ready: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+        })
+    }
+
+    /// Grows the worker set to at least `target` threads (capped at
+    /// [`MAX_THREADS`]`- 1`; the caller thread is always the extra one).
+    fn ensure_workers(&self, target: usize) {
+        let target = target.min(MAX_THREADS - 1);
+        let mut spawned = self.spawned.lock().expect("pool spawn lock poisoned");
+        while *spawned < target {
+            let shared = Arc::clone(&self.shared);
+            thread::Builder::new()
+                .name(format!("fuse-parallel-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawning pool worker failed");
+            *spawned += 1;
+        }
+    }
+
+    fn submit(&self, jobs: Vec<Job>) {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock poisoned");
+        queue.extend(jobs);
+        drop(queue);
+        self.shared.job_ready.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.shared.queue.lock().expect("pool queue lock poisoned").pop_front()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    IN_TASK.with(|t| t.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.job_ready.wait(queue).expect("pool queue lock poisoned");
+            }
+        };
+        // Jobs are wrapped in `catch_unwind` by `run_tasks`, so a panicking
+        // task cannot take the worker down.
+        job();
+    }
+}
+
+/// Completion latch for one fork-join dispatch.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch lock poisoned");
+        }
+    }
+}
+
+/// Executes `tasks` to completion, using up to [`available_threads`] threads.
+///
+/// The first task runs on the calling thread; the rest are submitted to the
+/// pool. The caller then drains the queue (executing whatever is pending,
+/// possibly tasks of concurrent scopes) and finally blocks until every task
+/// of *this* dispatch finished. Panics in any task are re-raised here.
+fn run_tasks(tasks: Vec<ScopedTask<'_>>) {
+    let mut tasks = tasks;
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = available_threads();
+    if tasks.len() == 1 || threads <= 1 || IN_TASK.with(|t| t.get()) {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+
+    let own_task = tasks.remove(0);
+    let latch = Latch::new(tasks.len());
+    let jobs: Vec<Job> = tasks
+        .into_iter()
+        .map(|task| {
+            // SAFETY: the latch guarantees every submitted job has finished
+            // before `run_tasks` returns, so the `'env` borrows captured by
+            // the task never outlive this call despite the `'static` erasure.
+            let task: ScopedTask<'static> = unsafe { std::mem::transmute(task) };
+            let latch = Arc::clone(&latch);
+            Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    latch.panicked.store(true, Ordering::Release);
+                }
+                latch.complete_one();
+            }) as Job
+        })
+        .collect();
+
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    pool.submit(jobs);
+
+    // Run our own share, then help drain the queue instead of idling. Tasks
+    // executed here are flagged IN_TASK so nested primitives stay inline.
+    let own_result = {
+        let _in_task = set_scoped(&IN_TASK, true);
+        let own_result = catch_unwind(AssertUnwindSafe(own_task));
+        while let Some(job) = pool.try_pop() {
+            job();
+        }
+        own_result
+    };
+
+    latch.wait();
+    match own_result {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) if latch.panicked.load(Ordering::Acquire) => {
+            panic!("a fuse-parallel task panicked");
+        }
+        Ok(()) => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+/// Collector of borrowing tasks for one fork-join [`scope`].
+pub struct Scope<'env> {
+    tasks: Vec<ScopedTask<'env>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Registers a task; all tasks run (possibly in parallel) when the
+    /// enclosing [`scope`] call returns control to the runtime.
+    pub fn spawn(&mut self, task: impl FnOnce() + Send + 'env) {
+        self.tasks.push(Box::new(task));
+    }
+}
+
+/// Fork-join scope: collect tasks with [`Scope::spawn`], then execute all of
+/// them — borrowing from the enclosing stack frame — before returning.
+///
+/// ```
+/// let mut left = 0u64;
+/// let mut right = 0u64;
+/// fuse_parallel::scope(|s| {
+///     s.spawn(|| left = (0..1000).sum());
+///     s.spawn(|| right = (1000..2000).sum());
+/// });
+/// assert!(left < right);
+/// ```
+pub fn scope<'env>(f: impl FnOnce(&mut Scope<'env>)) {
+    let mut scope = Scope { tasks: Vec::new() };
+    f(&mut scope);
+    run_tasks(scope.tasks);
+}
+
+// ---------------------------------------------------------------------------
+// Data-parallel primitives
+// ---------------------------------------------------------------------------
+
+/// Splits the band `0..count` into at most `parts` contiguous ranges of
+/// near-equal length, in order.
+fn bands(count: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, count.max(1));
+    let base = count / parts;
+    let extra = count % parts;
+    let mut start = 0;
+    (0..parts)
+        .map(|b| {
+            let len = base + usize::from(b < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs `f(chunk_index, chunk)` over consecutive `chunk_len`-sized chunks of
+/// `data`, distributing contiguous bands of chunks across threads.
+///
+/// Each chunk is written by exactly one task and `f` receives the same
+/// `(index, chunk)` pairs regardless of thread count, so any deterministic
+/// `f` yields bit-identical results for every `FUSE_THREADS` value.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or any task panics.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be nonzero");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks <= 1 || available_threads() <= 1 || IN_TASK.with(|t| t.get()) {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let f = &f;
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::new();
+    for band in bands(n_chunks, available_threads()).into_iter().rev() {
+        let tail = chunks.split_off(band.start);
+        tasks.push(Box::new(move || {
+            for (i, chunk) in tail {
+                f(i, chunk);
+            }
+        }));
+    }
+    tasks.reverse();
+    run_tasks(tasks);
+}
+
+/// Maps `f(index)` over `0..count` in parallel, returning results in index
+/// order. The per-index computation and the merge order are independent of
+/// the thread count, so deterministic `f` gives bit-identical output for any
+/// `FUSE_THREADS`.
+pub fn par_map_index<R, F>(count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+    let f = &f;
+    par_chunks_mut(&mut out, 1, |i, slot| slot[0] = Some(f(i)));
+    out.into_iter().map(|slot| slot.expect("par_map_index task filled its slot")).collect()
+}
+
+/// Maps `f(index, item)` over `items` in parallel, returning results in item
+/// order (see [`par_map_index`] for the determinism guarantee).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_index(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn bands_cover_range_in_order() {
+        let b = bands(10, 4);
+        assert_eq!(b, vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(bands(2, 8).len(), 2);
+        assert!(bands(0, 4).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_once() {
+        let mut data = vec![0usize; 103];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 10, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += i + 1;
+                }
+            });
+        });
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, j / 10 + 1, "element {j}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..57).collect();
+        let serial = with_threads(1, || par_map(&items, |i, &x| i * 1000 + x));
+        let parallel = with_threads(4, || par_map(&items, |i, &x| i * 1000 + x));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[13], 13_013);
+    }
+
+    #[test]
+    fn par_map_index_matches_serial_iteration() {
+        let serial: Vec<u64> = (0..100u64).map(|i| i * i).collect();
+        let parallel = with_threads(4, || par_map_index(100, |i| (i as u64) * (i as u64)));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        let counter = AtomicUsize::new(0);
+        with_threads(4, || {
+            scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_borrows_mutably_from_stack() {
+        let mut a = 0u64;
+        let mut b = 0u64;
+        with_threads(2, || {
+            scope(|s| {
+                s.spawn(|| a = 41);
+                s.spawn(|| b = 1);
+            });
+        });
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let mut outer = vec![0usize; 8];
+        with_threads(4, || {
+            par_chunks_mut(&mut outer, 2, |i, chunk| {
+                // Nested primitive: must run inline on the worker.
+                let inner = par_map_index(4, |j| i * 10 + j);
+                chunk[0] = inner.iter().sum();
+            });
+        });
+        assert_eq!(outer[0], 6); // sum of 0*10 + j for j in 0..4
+        assert_eq!(outer[6], 126); // sum of 3*10 + j for j in 0..4
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_index(8, |i| {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+        // The pool must remain usable after a panicking dispatch.
+        let sum: usize = with_threads(4, || par_map_index(8, |i| i)).iter().sum();
+        assert_eq!(sum, 28);
+    }
+
+    #[test]
+    fn with_threads_clamps_and_restores() {
+        assert!(available_threads() >= 1);
+        let outside = available_threads();
+        with_threads(0, || assert_eq!(available_threads(), 1));
+        with_threads(100_000, || assert_eq!(available_threads(), MAX_THREADS));
+        assert_eq!(available_threads(), outside);
+    }
+
+    #[test]
+    fn parallel_beneficial_honours_threshold_and_thread_count() {
+        with_threads(4, || {
+            with_min_parallel_work(100, || {
+                assert!(parallel_beneficial(100));
+                assert!(!parallel_beneficial(99));
+            });
+        });
+        with_threads(1, || {
+            with_min_parallel_work(0, || assert!(!parallel_beneficial(usize::MAX)));
+        });
+    }
+
+    #[test]
+    fn overrides_restore_on_panic() {
+        let before = min_parallel_work();
+        let _ = std::panic::catch_unwind(|| {
+            with_min_parallel_work(7, || panic!("escape"));
+        });
+        assert_eq!(min_parallel_work(), before);
+    }
+}

@@ -5,6 +5,7 @@
 //! column matrix (im2col) and performs a single GEMM per sample; the backward
 //! passes reuse the same lowering.
 
+use fuse_parallel as par;
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
@@ -64,29 +65,57 @@ impl Conv2dSpec {
     }
 }
 
+/// Fills one row of the im2col matrix: the lowered window values for kernel
+/// tap `(ch, ky, kx) = decode(row)` at every output position. Shared by the
+/// serial and row-parallel [`im2col`] paths so both produce identical bits.
+#[inline]
+fn im2col_fill_row(
+    input: &[f32],
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    row: usize,
+    row_out: &mut [f32],
+    out_w: usize,
+) {
+    let k = spec.kernel;
+    let ch = row / (k * k);
+    let ky = (row / k) % k;
+    let kx = row % k;
+    let out_h = row_out.len() / out_w;
+    for oy in 0..out_h {
+        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+        for ox in 0..out_w {
+            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+            let val = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                input[(ch * h + iy as usize) * w + ix as usize]
+            } else {
+                0.0
+            };
+            row_out[oy * out_w + ox] = val;
+        }
+    }
+}
+
 /// Lowers a single `[C, H, W]` sample into an im2col matrix of shape
 /// `[C*k*k, out_h*out_w]` stored row-major in `cols`.
+///
+/// Rows are independent, so large lowerings (single-sample inference with the
+/// batch dimension unavailable for parallelism) fan out row-wise on the
+/// `fuse-parallel` pool; inside a pool worker this runs inline.
 fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut [f32]) {
     let (out_h, out_w) = spec.output_size(h, w).expect("output_size validated by caller");
     let k = spec.kernel;
     let n_cols = out_h * out_w;
-    for ch in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ch * k + ky) * k + kx;
-                for oy in 0..out_h {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        let val = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            input[(ch * h + iy as usize) * w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        cols[row * n_cols + oy * out_w + ox] = val;
-                    }
-                }
-            }
+    let rows = c * k * k;
+    let cols = &mut cols[..rows * n_cols];
+    if rows > 1 && par::parallel_beneficial(rows * n_cols) {
+        par::par_chunks_mut(cols, n_cols, |row, row_out| {
+            im2col_fill_row(input, h, w, spec, row, row_out, out_w);
+        });
+    } else {
+        for (row, row_out) in cols.chunks_exact_mut(n_cols).enumerate() {
+            im2col_fill_row(input, h, w, spec, row, row_out, out_w);
         }
     }
 }
@@ -168,27 +197,37 @@ pub fn conv2d_forward(
     let (out_h, out_w) = spec.output_size(h, w)?;
     let col_rows = c * spec.kernel * spec.kernel;
     let n_cols = out_h * out_w;
-    let mut cols = vec![0.0f32; col_rows * n_cols];
     let mut out = vec![0.0f32; n * spec.out_channels * n_cols];
 
     let in_stride = c * h * w;
     let out_stride = spec.out_channels * n_cols;
-    for s in 0..n {
-        im2col(&input.as_slice()[s * in_stride..(s + 1) * in_stride], c, h, w, spec, &mut cols);
+    let input_data = input.as_slice();
+    let weight_data = weight.as_slice();
+    let bias_data = bias.as_slice();
+
+    // One fully independent unit of work per batch sample: lower the sample,
+    // run the per-output-channel GEMM, add the bias.
+    let forward_sample = |s: usize, cols: &mut [f32], out_sample: &mut [f32]| {
+        im2col(&input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
         // out[s] = weight[(C_out) x (C_in*k*k)] * cols[(C_in*k*k) x (n_cols)]
-        linalg::gemm(
-            weight.as_slice(),
-            &cols,
-            &mut out[s * out_stride..(s + 1) * out_stride],
-            spec.out_channels,
-            col_rows,
-            n_cols,
-        );
-        for oc in 0..spec.out_channels {
-            let b = bias.as_slice()[oc];
-            for v in &mut out[s * out_stride + oc * n_cols..s * out_stride + (oc + 1) * n_cols] {
+        linalg::gemm(weight_data, cols, out_sample, spec.out_channels, col_rows, n_cols);
+        for (oc, out_channel) in out_sample.chunks_exact_mut(n_cols).enumerate() {
+            let b = bias_data[oc];
+            for v in out_channel {
                 *v += b;
             }
+        }
+    };
+
+    if n > 1 && par::parallel_beneficial(n * spec.out_channels * col_rows * n_cols) {
+        par::par_chunks_mut(&mut out, out_stride, |s, out_sample| {
+            let mut cols = vec![0.0f32; col_rows * n_cols];
+            forward_sample(s, &mut cols, out_sample);
+        });
+    } else {
+        let mut cols = vec![0.0f32; col_rows * n_cols];
+        for (s, out_sample) in out.chunks_exact_mut(out_stride).enumerate() {
+            forward_sample(s, &mut cols, out_sample);
         }
     }
     Tensor::from_vec(out, &[n, spec.out_channels, out_h, out_w])
@@ -224,20 +263,35 @@ pub fn conv2d_backward_input(
     }
 
     let mut grad_input = vec![0.0f32; n * c * h * w];
-    let mut grad_cols = vec![0.0f32; col_rows * n_cols];
     let go_stride = spec.out_channels * n_cols;
     let gi_stride = c * h * w;
-    for s in 0..n {
+    let go_data = grad_output.as_slice();
+    let weight_data = weight.as_slice();
+
+    // Per-sample adjoint: un-GEMM into column space, then scatter back.
+    let backward_sample = |s: usize, grad_cols: &mut [f32], gi_sample: &mut [f32]| {
         // grad_cols = weightᵀ [col_rows x C_out] * grad_out [C_out x n_cols]
         linalg::gemm_at_b(
-            weight.as_slice(),
-            &grad_output.as_slice()[s * go_stride..(s + 1) * go_stride],
-            &mut grad_cols,
+            weight_data,
+            &go_data[s * go_stride..(s + 1) * go_stride],
+            grad_cols,
             spec.out_channels,
             col_rows,
             n_cols,
         );
-        col2im(&grad_cols, c, h, w, spec, &mut grad_input[s * gi_stride..(s + 1) * gi_stride]);
+        col2im(grad_cols, c, h, w, spec, gi_sample);
+    };
+
+    if n > 1 && par::parallel_beneficial(n * spec.out_channels * col_rows * n_cols) {
+        par::par_chunks_mut(&mut grad_input, gi_stride, |s, gi_sample| {
+            let mut grad_cols = vec![0.0f32; col_rows * n_cols];
+            backward_sample(s, &mut grad_cols, gi_sample);
+        });
+    } else {
+        let mut grad_cols = vec![0.0f32; col_rows * n_cols];
+        for (s, gi_sample) in grad_input.chunks_exact_mut(gi_stride).enumerate() {
+            backward_sample(s, &mut grad_cols, gi_sample);
+        }
     }
     Tensor::from_vec(grad_input, &[n, c, h, w])
 }
@@ -268,18 +322,44 @@ pub fn conv2d_backward_weight(
 
     let mut grad_weight = vec![0.0f32; spec.weight_len()];
     let mut grad_bias = vec![0.0f32; spec.out_channels];
-    let mut cols = vec![0.0f32; col_rows * n_cols];
     let in_stride = c * h * w;
     let go_stride = spec.out_channels * n_cols;
-    for s in 0..n {
-        im2col(&input.as_slice()[s * in_stride..(s + 1) * in_stride], c, h, w, spec, &mut cols);
+    let input_data = input.as_slice();
+    let go_data = grad_output.as_slice();
+
+    // The weight/bias gradients are reductions over the batch. Each sample
+    // produces an independent partial (`cols` is fully overwritten per call,
+    // so the buffer can be shared or private without changing any bit).
+    let weight_partial = |s: usize, cols: &mut [f32]| {
+        im2col(&input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
         // grad_w += grad_out [C_out x n_cols] * colsᵀ [n_cols x col_rows]
-        let go = &grad_output.as_slice()[s * go_stride..(s + 1) * go_stride];
+        let go = &go_data[s * go_stride..(s + 1) * go_stride];
         let mut gw = vec![0.0f32; spec.out_channels * col_rows];
-        linalg::gemm_a_bt(go, &cols, &mut gw, spec.out_channels, n_cols, col_rows);
-        linalg::axpy(1.0, &gw, &mut grad_weight);
-        for oc in 0..spec.out_channels {
-            grad_bias[oc] += go[oc * n_cols..(oc + 1) * n_cols].iter().sum::<f32>();
+        linalg::gemm_a_bt(go, cols, &mut gw, spec.out_channels, n_cols, col_rows);
+        let gb: Vec<f32> = (0..spec.out_channels)
+            .map(|oc| go[oc * n_cols..(oc + 1) * n_cols].iter().sum::<f32>())
+            .collect();
+        (gw, gb)
+    };
+
+    // Parallel partials are materialised per sample and merged in sample
+    // order: band-local accumulation would tie the floating-point association
+    // to the thread count and break bit-identity. The transient cost is
+    // O(batch × weight_len), small for every workload in this workspace.
+    let partials: Vec<(Vec<f32>, Vec<f32>)> =
+        if n > 1 && par::parallel_beneficial(n * spec.out_channels * col_rows * n_cols) {
+            par::par_map_index(n, |s| {
+                let mut cols = vec![0.0f32; col_rows * n_cols];
+                weight_partial(s, &mut cols)
+            })
+        } else {
+            let mut cols = vec![0.0f32; col_rows * n_cols];
+            (0..n).map(|s| weight_partial(s, &mut cols)).collect()
+        };
+    for (gw, gb) in &partials {
+        linalg::axpy(1.0, gw, &mut grad_weight);
+        for (acc, &g) in grad_bias.iter_mut().zip(gb) {
+            *acc += g;
         }
     }
     Ok((

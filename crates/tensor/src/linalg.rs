@@ -3,35 +3,76 @@
 //! These kernels operate on plain `&[f32]` slices so they can be reused by the
 //! tensor type, the im2col convolution path and the radar signal chain without
 //! additional allocation.
+//!
+//! ## Parallel execution
+//!
+//! Every matrix product dispatches row-parallel bands to the `fuse-parallel`
+//! pool when the operation is large enough ([`fuse_parallel::parallel_beneficial`])
+//! and runs serially otherwise. Both paths execute the *same* per-output-row
+//! kernel in the same floating-point order, so results are bit-identical for
+//! every `FUSE_THREADS` value — the invariant the workspace's seed-exact
+//! tests and the CI thread matrix rely on.
+
+use fuse_parallel as par;
+
+/// Per-row GEMM kernel: `out_row (+)= a_row · b` where `b` is `[k x n]` and
+/// `n == out_row.len()`. The `p`-ascending accumulation order is the single
+/// source of truth for both the serial and the parallel paths.
+#[inline]
+fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], accumulate: bool) {
+    let n = out_row.len();
+    if !accumulate {
+        out_row.fill(0.0);
+    }
+    for (p, &a_ip) in a_row.iter().enumerate() {
+        if a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+            *o += a_ip * b_pj;
+        }
+    }
+}
+
+fn gemm_dispatch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(out.len() >= m * n, "output buffer too small");
+    let out = &mut out[..m * n];
+    if n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+    let (a, b) = (&a[..m * k], &b[..k * n]);
+    if m > 1 && par::parallel_beneficial(m * k * n) {
+        par::par_chunks_mut(out, n, |i, out_row| {
+            gemm_row(&a[i * k..(i + 1) * k], b, out_row, acc);
+        });
+    } else {
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            gemm_row(a_row, b, out_row, acc);
+        }
+    }
+}
 
 /// General matrix multiply: `out[m x n] = a[m x k] * b[k x n]`.
 ///
 /// `out` must already have length `m * n`; it is overwritten, not accumulated
-/// into. The loop order (i, p, j) keeps the innermost loop contiguous over
-/// both `b` and `out`, which is the main thing that matters for the small-to-
-/// medium matrices used by the FUSE models.
+/// into. Each output row keeps the innermost loop contiguous over both `b`
+/// and `out`; rows are distributed across the `fuse-parallel` pool for large
+/// operands.
 ///
 /// # Panics
 ///
 /// Panics if any slice is shorter than the dimensions imply.
 pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(a.len() >= m * k, "lhs buffer too small");
-    assert!(b.len() >= k * n, "rhs buffer too small");
-    assert!(out.len() >= m * n, "output buffer too small");
-    out[..m * n].iter_mut().for_each(|x| *x = 0.0);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
+    gemm_dispatch(a, b, out, m, k, n, false);
 }
 
 /// Accumulating matrix multiply: `out += a * b` with the same layout rules as
@@ -41,19 +82,28 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
 ///
 /// Panics if any slice is shorter than the dimensions imply.
 pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert!(a.len() >= m * k, "lhs buffer too small");
-    assert!(b.len() >= k * n, "rhs buffer too small");
-    assert!(out.len() >= m * n, "output buffer too small");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
+    gemm_dispatch(a, b, out, m, k, n, true);
+}
+
+/// `k`-outer kernel of [`gemm_at_b`] over a contiguous band of output rows
+/// starting at absolute row `row0`. The row slices of both operands are
+/// hoisted into chunk iterators instead of being recomputed per `p`
+/// iteration, and each output row accumulates in `p`-ascending order — the
+/// same order for any banding, so parallel output is bit-identical to serial.
+fn gemm_at_b_band(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, m: usize, n: usize) {
+    out_band.fill(0.0);
+    let a_rows = a.chunks_exact(m);
+    let b_rows = b.chunks_exact(n);
+    debug_assert_eq!(a_rows.len(), b_rows.len(), "lhs and rhs must agree on the shared k extent");
+    debug_assert_eq!(out_band.len() % n, 0, "output band must hold whole rows of length n");
+    for (a_row, b_row) in a_rows.zip(b_rows) {
+        for (i, out_row) in out_band.chunks_exact_mut(n).enumerate() {
+            let a_pi = a_row[row0 + i];
+            if a_pi == 0.0 {
                 continue;
             }
-            let b_row = &b[p * n..(p + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
+                *o += a_pi * b_pj;
             }
         }
     }
@@ -72,19 +122,35 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: u
     assert!(a.len() >= k * m, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(out.len() >= m * n, "output buffer too small");
-    out[..m * n].iter_mut().for_each(|x| *x = 0.0);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pj;
-            }
+    let out = &mut out[..m * n];
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let (a, b) = (&a[..k * m], &b[..k * n]);
+    if m > 1 && par::parallel_beneficial(k * m * n) {
+        let band_rows = m.div_ceil(par::available_threads());
+        par::par_chunks_mut(out, band_rows * n, |band, out_band| {
+            gemm_at_b_band(a, b, out_band, band * band_rows, m, n);
+        });
+    } else {
+        gemm_at_b_band(a, b, out, 0, m, n);
+    }
+}
+
+/// Per-row kernel of [`gemm_a_bt`]: `out_row[j] = a_row · b[j]` with `b`
+/// stored `[n x k]`.
+#[inline]
+fn gemm_a_bt_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize) {
+    for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
+        let mut acc = 0.0f32;
+        for (x, y) in a_row.iter().zip(b_row) {
+            acc += x * y;
         }
+        *o = acc;
     }
 }
 
@@ -98,15 +164,22 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= n * k, "rhs buffer too small");
     assert!(out.len() >= m * n, "output buffer too small");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            out[i * n + j] = acc;
+    let out = &mut out[..m * n];
+    if n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let (a, b) = (&a[..m * k], &b[..n * k]);
+    if m > 1 && par::parallel_beneficial(m * k * n) {
+        par::par_chunks_mut(out, n, |i, out_row| {
+            gemm_a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
+        });
+    } else {
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            gemm_a_bt_row(a_row, b, out_row, k);
         }
     }
 }
@@ -228,6 +301,23 @@ mod tests {
         for (x, y) in out.iter().zip(&expected) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        let (m, k, n) = (37, 29, 23);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7919) % 1000) as f32 * 1e-3 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 104_729) % 1000) as f32 * 1e-3 - 0.5).collect();
+        let run = |threads: usize| {
+            fuse_parallel::with_threads(threads, || {
+                fuse_parallel::with_min_parallel_work(0, || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm(&a, &b, &mut out, m, k, n);
+                    out
+                })
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

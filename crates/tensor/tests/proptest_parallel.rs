@@ -1,0 +1,120 @@
+//! Serial-vs-parallel equivalence properties for the tensor kernels.
+//!
+//! Every parallel hot path must produce **bit-identical** results for any
+//! thread count: parallel work is banded over indexed units whose per-unit
+//! floating-point order is fixed, and reductions merge partials in index
+//! order. These properties pin that contract by running each kernel with the
+//! thread count forced to 1 and to 4 inside the same process (the parallel
+//! side also forces the work threshold to zero, so even proptest-sized inputs
+//! take the parallel path) and comparing outputs with exact equality.
+
+use fuse_parallel::{with_min_parallel_work, with_threads};
+use fuse_tensor::{
+    conv2d_backward_input, conv2d_backward_weight, conv2d_forward, linalg, Conv2dSpec, Tensor,
+};
+use proptest::prelude::*;
+
+/// Runs `f` once with 1 thread and once with 4 threads (parallel dispatch
+/// forced for any input size) and returns both results.
+fn serial_and_parallel<R>(f: impl Fn() -> R) -> (R, R) {
+    let serial = with_threads(1, &f);
+    let parallel = with_threads(4, || with_min_parallel_work(0, &f));
+    (serial, parallel)
+}
+
+const DIM: usize = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// gemm and gemm_acc: parallel output is bit-identical to serial.
+    #[test]
+    fn gemm_and_acc_parallel_matches_serial(
+        m in 1usize..DIM, k in 1usize..DIM, n in 1usize..DIM,
+        data in prop::collection::vec(-4.0f32..4.0, 2 * DIM * DIM)
+    ) {
+        let a = &data[..m * k];
+        let b = &data[DIM * DIM..DIM * DIM + k * n];
+        let (serial, parallel) = serial_and_parallel(|| {
+            let mut out = vec![0.25f32; m * n];
+            linalg::gemm(a, b, &mut out, m, k, n);
+            linalg::gemm_acc(a, b, &mut out, m, k, n);
+            out
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// gemm_at_b (transposed lhs): parallel bands are bit-identical to serial.
+    #[test]
+    fn gemm_at_b_parallel_matches_serial(
+        k in 1usize..DIM, m in 1usize..DIM, n in 1usize..DIM,
+        data in prop::collection::vec(-4.0f32..4.0, 2 * DIM * DIM)
+    ) {
+        let a = &data[..k * m];
+        let b = &data[DIM * DIM..DIM * DIM + k * n];
+        let (serial, parallel) = serial_and_parallel(|| {
+            let mut out = vec![0.0f32; m * n];
+            linalg::gemm_at_b(a, b, &mut out, k, m, n);
+            out
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// gemm_a_bt (transposed rhs): parallel rows are bit-identical to serial.
+    #[test]
+    fn gemm_a_bt_parallel_matches_serial(
+        m in 1usize..DIM, k in 1usize..DIM, n in 1usize..DIM,
+        data in prop::collection::vec(-4.0f32..4.0, 2 * DIM * DIM)
+    ) {
+        let a = &data[..m * k];
+        let b = &data[DIM * DIM..DIM * DIM + n * k];
+        let (serial, parallel) = serial_and_parallel(|| {
+            let mut out = vec![0.0f32; m * n];
+            linalg::gemm_a_bt(a, b, &mut out, m, k, n);
+            out
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// conv2d forward: the sample-parallel path is bit-identical to serial.
+    #[test]
+    fn conv2d_forward_parallel_matches_serial(
+        n in 1usize..3, c in 1usize..3, oc in 1usize..4,
+        h in 3usize..7, w in 3usize..7,
+        data in prop::collection::vec(-2.0f32..2.0, 2 * 2 * 6 * 6 + 3 * 2 * 9 + 3)
+    ) {
+        let spec = Conv2dSpec::same(c, oc, 3);
+        let input = Tensor::from_vec(data[..n * c * h * w].to_vec(), &[n, c, h, w]).unwrap();
+        let wlen = spec.weight_len();
+        let weight =
+            Tensor::from_vec(data[144..144 + wlen].to_vec(), &[oc, c, 3, 3]).unwrap();
+        let bias = Tensor::from_vec(data[144 + 54..144 + 54 + oc].to_vec(), &[oc]).unwrap();
+        let (serial, parallel) = serial_and_parallel(|| {
+            conv2d_forward(&input, &weight, &bias, &spec).unwrap().as_slice().to_vec()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// conv2d backward (input and weight/bias gradients): sample-parallel
+    /// partials merged in order are bit-identical to serial accumulation.
+    #[test]
+    fn conv2d_backward_parallel_matches_serial(
+        n in 1usize..3, c in 1usize..3, oc in 1usize..4,
+        h in 3usize..7, w in 3usize..7,
+        data in prop::collection::vec(-2.0f32..2.0, 2 * 2 * 6 * 6 + 3 * 2 * 9 + 2 * 3 * 6 * 6)
+    ) {
+        let spec = Conv2dSpec::same(c, oc, 3);
+        let input = Tensor::from_vec(data[..n * c * h * w].to_vec(), &[n, c, h, w]).unwrap();
+        let weight =
+            Tensor::from_vec(data[144..144 + spec.weight_len()].to_vec(), &[oc, c, 3, 3]).unwrap();
+        // Same-padding keeps the output spatial dims equal to the input's.
+        let grad_out =
+            Tensor::from_vec(data[198..198 + n * oc * h * w].to_vec(), &[n, oc, h, w]).unwrap();
+        let (serial, parallel) = serial_and_parallel(|| {
+            let gi = conv2d_backward_input(&grad_out, &weight, input.dims(), &spec).unwrap();
+            let (gw, gb) = conv2d_backward_weight(&input, &grad_out, &spec).unwrap();
+            (gi.as_slice().to_vec(), gw.as_slice().to_vec(), gb.as_slice().to_vec())
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,90 @@
+//! Serial-vs-parallel equivalence of the training/evaluation stack.
+//!
+//! The `fuse-parallel` backend promises bit-identical results for any thread
+//! count: parallel episodes/batches compute on private model clones and their
+//! contributions are merged in index order. These tests run the same
+//! fixed-seed workload with the thread count forced to 1 and to 4 inside one
+//! process and compare every learned parameter bit-for-bit — the same
+//! contract the CI thread matrix (`FUSE_THREADS=1` vs `4`) checks across
+//! whole processes.
+
+use fuse_core::prelude::*;
+use fuse_dataset::{encode_dataset, EncodedDataset};
+use fuse_parallel::{with_min_parallel_work, with_threads};
+
+fn encoded() -> EncodedDataset {
+    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+    encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+}
+
+/// Runs `f` with 1 thread and with 4 threads (parallel dispatch forced for
+/// any input size) and returns both results.
+fn serial_and_parallel<R>(f: impl Fn() -> R) -> (R, R) {
+    let serial = with_threads(1, &f);
+    let parallel = with_threads(4, || with_min_parallel_work(0, &f));
+    (serial, parallel)
+}
+
+#[test]
+fn meta_training_step_is_bit_identical_across_thread_counts() {
+    let data = encoded();
+    let config = MetaConfig {
+        tasks_per_iteration: 4,
+        support_size: 12,
+        query_size: 12,
+        ..MetaConfig::quick(2)
+    };
+    let (serial, parallel) = serial_and_parallel(|| {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 11).unwrap();
+        let mut trainer = MetaTrainer::new(model, config).unwrap();
+        let history = trainer.train(&data).unwrap();
+        (history.query_loss.clone(), trainer.into_model().flat_params())
+    });
+    assert_eq!(serial.0, parallel.0, "query losses diverged between thread counts");
+    assert_eq!(serial.1, parallel.1, "meta-learned parameters diverged between thread counts");
+}
+
+#[test]
+fn reptile_step_is_bit_identical_across_thread_counts() {
+    let data = encoded();
+    let config = MetaConfig {
+        tasks_per_iteration: 3,
+        support_size: 12,
+        query_size: 12,
+        variant: MetaVariant::Reptile,
+        ..MetaConfig::quick(1)
+    };
+    let (serial, parallel) = serial_and_parallel(|| {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 12).unwrap();
+        let mut trainer = MetaTrainer::new(model, config).unwrap();
+        trainer.meta_iteration(&data, 0).unwrap();
+        trainer.into_model().flat_params()
+    });
+    assert_eq!(serial, parallel, "reptile parameters diverged between thread counts");
+}
+
+#[test]
+fn evaluation_is_bit_identical_across_thread_counts() {
+    let data = encoded();
+    let (serial, parallel) = serial_and_parallel(|| {
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 13).unwrap();
+        let error = evaluate_model(&mut model, &data, 7).unwrap();
+        let pred = predict_all(&mut model, &data, 7).unwrap();
+        (error.meters, pred.as_slice().to_vec())
+    });
+    assert_eq!(serial.0, parallel.0, "evaluation MAE diverged between thread counts");
+    assert_eq!(serial.1, parallel.1, "predictions diverged between thread counts");
+}
+
+#[test]
+fn fine_tuning_is_bit_identical_across_thread_counts() {
+    let data = encoded();
+    let config = FineTuneConfig { epochs: 2, batch_size: 16, ..FineTuneConfig::default() };
+    let (serial, parallel) = serial_and_parallel(|| {
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 14).unwrap();
+        let result = fine_tune(&mut model, &data, &data, &data, &config).unwrap();
+        (result.train_loss.clone(), model.flat_params())
+    });
+    assert_eq!(serial.0, parallel.0, "fine-tune losses diverged between thread counts");
+    assert_eq!(serial.1, parallel.1, "fine-tuned parameters diverged between thread counts");
+}

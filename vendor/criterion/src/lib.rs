@@ -5,16 +5,26 @@
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
 //! and the [`criterion_group!`]/[`criterion_main!`] macros.
 //!
-//! Measurement is a simple calibrated wall-clock loop: a short warm-up
-//! estimates the per-iteration cost, then a timed batch sized to the target
-//! measurement window produces the reported mean. No statistics, plots or
-//! baselines — but the numbers are honest and the output is one line per
-//! benchmark, which is what CI and quick kernel comparisons need.
+//! Measurement is a calibrated wall-clock loop: a short warm-up estimates the
+//! per-iteration cost, then the measurement window is split into several
+//! equally sized batches and the reported figure is the **median** of the
+//! per-batch means — robust against scheduler noise without criterion's full
+//! statistics machinery. Output is one line per benchmark, which is what CI
+//! and quick kernel comparisons need.
 //!
-//! Environment knobs: `CRITERION_MEASURE_MS` (measurement window per
-//! benchmark, default 300 ms; CI sets a small value to smoke-run cheaply).
+//! Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — measurement window per benchmark, default
+//!   300 ms; CI sets a small value to smoke-run cheaply.
+//! * `CRITERION_SAMPLES` — number of batches the window is split into
+//!   (default 7, minimum 3). The median is taken across batches.
+//! * `CRITERION_JSON` — when set, every benchmark appends one JSON line
+//!   (`{"name":...,"median_ns":...,"iterations":...,"samples":...}`) to the
+//!   file at this path. `fuse-bench`'s `bench_report` binary folds these
+//!   lines into the `BENCH_pr.json` telemetry artifact CI uploads.
 
 use std::fmt;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Formatted identifier for one benchmark within a group.
@@ -41,15 +51,39 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// One completed measurement: per-batch mean times and total iterations.
+struct Measurement {
+    /// Mean ns/iteration of each sample batch.
+    sample_means_ns: Vec<f64>,
+    /// Total iterations across all sample batches.
+    iterations: u64,
+}
+
+impl Measurement {
+    /// Median of the per-batch means, in nanoseconds per iteration.
+    fn median_ns(&self) -> f64 {
+        let mut sorted = self.sample_means_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+}
+
 /// Times closures for one benchmark.
 pub struct Bencher {
-    measured: Option<(Duration, u64)>,
+    measured: Option<Measurement>,
     measure_window: Duration,
+    samples: usize,
 }
 
 impl Bencher {
-    /// Measures `routine`, running it enough times to fill the measurement
-    /// window, and records the total elapsed time and iteration count.
+    /// Measures `routine`: a warm-up estimates the per-iteration cost, then
+    /// the measurement window is split into `samples` equal batches whose
+    /// per-iteration means feed the reported median.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: estimate per-iteration cost with an adaptive doubling loop.
         let warmup_target = self.measure_window.min(Duration::from_millis(100));
@@ -66,17 +100,25 @@ impl Bencher {
             batch = batch.saturating_mul(2);
         };
 
-        // Measurement: one batch sized to the window.
-        let iterations = if per_iter.is_zero() {
-            batch
+        // Measurement: `samples` batches, each sized to an equal share of the
+        // window, so one preempted batch cannot skew the reported median.
+        let batch_window = self.measure_window / self.samples as u32;
+        let batch_iterations = if per_iter.is_zero() {
+            batch.max(1)
         } else {
-            (self.measure_window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 40) as u64
+            (batch_window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 40) as u64
         };
-        let start = Instant::now();
-        for _ in 0..iterations {
-            std::hint::black_box(routine());
+        let mut sample_means_ns = Vec::with_capacity(self.samples);
+        let mut iterations = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch_iterations {
+                std::hint::black_box(routine());
+            }
+            sample_means_ns.push(start.elapsed().as_nanos() as f64 / batch_iterations as f64);
+            iterations += batch_iterations;
         }
-        self.measured = Some((start.elapsed(), iterations));
+        self.measured = Some(Measurement { sample_means_ns, iterations });
     }
 }
 
@@ -86,6 +128,46 @@ fn measure_window() -> Duration {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .unwrap_or(300);
     Duration::from_millis(ms.max(1))
+}
+
+fn sample_count() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(7)
+        .max(3)
+}
+
+/// Minimal JSON string escaping for benchmark names (quotes and backslashes;
+/// names are plain identifiers in practice).
+fn json_escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Appends one JSON line per measurement to the `CRITERION_JSON` file, if
+/// configured. Errors are reported to stderr but never fail the bench run.
+fn append_json_line(name: &str, measurement: &Measurement) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{:.3},\"iterations\":{},\"samples\":{}}}\n",
+        json_escape(name),
+        measurement.median_ns(),
+        measurement.iterations,
+        measurement.sample_means_ns.len(),
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("criterion: failed to append to CRITERION_JSON ({path}): {err}");
+    }
 }
 
 fn human_time(per_iter_ns: f64) -> String {
@@ -101,15 +183,19 @@ fn human_time(per_iter_ns: f64) -> String {
 }
 
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { measured: None, measure_window: measure_window() };
+    let mut bencher =
+        Bencher { measured: None, measure_window: measure_window(), samples: sample_count() };
     f(&mut bencher);
     match bencher.measured {
-        Some((elapsed, iterations)) => {
-            let per_iter_ns = elapsed.as_nanos() as f64 / iterations as f64;
+        Some(measurement) => {
+            let median_ns = measurement.median_ns();
             println!(
-                "{name:<48} time: {:>12}   ({iterations} iterations)",
-                human_time(per_iter_ns)
+                "{name:<48} time: {:>12}   ({} iterations, median of {})",
+                human_time(median_ns),
+                measurement.iterations,
+                measurement.sample_means_ns.len(),
             );
+            append_json_line(name, &measurement);
         }
         None => println!("{name:<48} (no measurement recorded)"),
     }
@@ -190,16 +276,31 @@ mod tests {
 
     #[test]
     fn bencher_records_a_measurement() {
-        std::env::set_var("CRITERION_MEASURE_MS", "5");
-        let mut b = Bencher { measured: None, measure_window: Duration::from_millis(5) };
+        let mut b =
+            Bencher { measured: None, measure_window: Duration::from_millis(5), samples: 3 };
         let mut acc = 0u64;
         b.iter(|| {
             acc = acc.wrapping_add(1);
             acc
         });
-        let (elapsed, iterations) = b.measured.expect("measurement recorded");
-        assert!(iterations >= 1);
-        assert!(elapsed > Duration::ZERO);
+        let measurement = b.measured.expect("measurement recorded");
+        assert!(measurement.iterations >= 3);
+        assert_eq!(measurement.sample_means_ns.len(), 3);
+        assert!(measurement.median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let odd = Measurement { sample_means_ns: vec![10.0, 1000.0, 12.0], iterations: 3 };
+        assert_eq!(odd.median_ns(), 12.0);
+        let even = Measurement { sample_means_ns: vec![10.0, 20.0, 1000.0, 12.0], iterations: 4 };
+        assert_eq!(even.median_ns(), 16.0);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes() {
+        assert_eq!(json_escape("gemm/64"), "gemm/64");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 
     #[test]
