@@ -1,16 +1,21 @@
 //! Latency bench: per-stage and end-to-end timing of the deployed FUSE
 //! pipeline against the 100 ms frame budget of the 10 Hz radar (the paper's
 //! "fast, low computational requirement" claim, §1/§5).
+//!
+//! The preprocessing and end-to-end stages run through `fuse-serve` — the
+//! same Session/ServeEngine code path the `realtime_edge` example and the
+//! `multi_subject_serving` bench use — so these numbers measure the deployed
+//! subsystem, not a bench-local copy of the pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use fuse_core::prelude::*;
-use fuse_dataset::FrameFusion;
 use fuse_radar::{
     AdcCube, FastScatterModel, PointCloudFrame, PointCloudGenerator, RadarConfig, RangeDopplerMap,
     Scatterer, Scene,
 };
+use fuse_serve::{ServeConfig, ServeEngine, Session};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 use fuse_tensor::Tensor;
 
@@ -54,14 +59,14 @@ fn bench_signal_chain_stages(c: &mut Criterion) {
 }
 
 fn bench_preprocessing(c: &mut Criterion) {
-    let history = frame_history(5);
-    let fusion = FrameFusion::default();
-    let builder = FeatureMapBuilder::default();
+    // Session-side preprocessing: fusion over the rolling history plus
+    // feature-map construction, exactly as the serving engine performs it.
+    let mut session = Session::new(0, FrameFusion::default(), FeatureMapBuilder::default());
+    for frame in frame_history(5) {
+        session.push_frame(frame);
+    }
     c.bench_function("fusion_plus_feature_map", |b| {
-        b.iter(|| {
-            let points = fusion.fused_points_owned(black_box(&history), 4);
-            black_box(builder.build(&points, None).expect("feature map builds"))
-        })
+        b.iter(|| black_box(black_box(&session).featurize_latest().expect("feature map builds")))
     });
 }
 
@@ -79,24 +84,24 @@ fn bench_inference(c: &mut Criterion) {
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
+    // Submit-plus-step through the serving engine: acquisition, session
+    // fusion, feature map and the stacked CNN forward — the full per-frame
+    // path a deployed 10 Hz loop executes.
     let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
-    let fusion = FrameFusion::default();
-    let builder = FeatureMapBuilder::default();
-    let mut model = build_mars_cnn(&ModelConfig::default(), 4).expect("model builds");
+    let model = build_mars_cnn(&ModelConfig::default(), 4).expect("model builds");
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
+    engine.open_session(0).expect("session opens");
+    for frame in frame_history(3) {
+        engine.submit(0, frame).expect("submit succeeds");
+    }
+    engine.step().expect("warm-up step succeeds");
     let scene = human_scene(1);
-    let mut history = frame_history(3);
 
     c.bench_function("end_to_end_frame_budget_100ms", |b| {
         b.iter(|| {
             let frame = scatter.sample(black_box(&scene), 9);
-            history.push(frame);
-            if history.len() > 3 {
-                history.remove(0);
-            }
-            let points = fusion.fused_points_owned(&history, history.len() - 1);
-            let features = builder.build(&points, None).expect("feature map builds");
-            let input = Tensor::stack(&[features]).expect("stack succeeds");
-            black_box(model.forward(&input, false).expect("forward succeeds"))
+            engine.submit(0, frame).expect("submit succeeds");
+            black_box(engine.step().expect("step succeeds"))
         })
     });
 }

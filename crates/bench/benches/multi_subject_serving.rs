@@ -1,0 +1,94 @@
+//! Multi-subject serving throughput: N concurrent sessions streaming frames
+//! through one `fuse-serve` micro-batched engine.
+//!
+//! This is the scaling story behind the FUSE edge deployment — ACCoRD-style
+//! learned inference in a real-time loop, but for many clients at once. Each
+//! step stacks every session's pending frame into a single forward pass, so
+//! the per-frame cost should grow sublinearly with the session count on
+//! multi-core hosts. A checkpoint hot-swap timing rounds out the ops picture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fuse_core::prelude::*;
+use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
+use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+
+/// Movements cycled across the simulated subjects.
+const MOVEMENTS: [Movement; 4] = [
+    Movement::Squat,
+    Movement::LeftUpperLimbExtension,
+    Movement::BothUpperLimbExtension,
+    Movement::RightLimbExtension,
+];
+
+/// Pre-generates `frames` point-cloud frames for each of `subjects` clients,
+/// so the bench loop measures serving, not scene synthesis.
+fn subject_streams(subjects: usize, frames: usize) -> Vec<Vec<PointCloudFrame>> {
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..subjects)
+        .map(|s| {
+            let animator = MovementAnimator::new(
+                Subject::profile(s % 4),
+                MOVEMENTS[s % MOVEMENTS.len()],
+                10.0,
+            )
+            .with_seed(s as u64);
+            let samples = animator.sample_frames_with_velocities(0.0, frames);
+            samples
+                .iter()
+                .enumerate()
+                .map(|(i, (skeleton, velocities))| {
+                    let scene: Scene = body_surface_points(skeleton, velocities, 4)
+                        .iter()
+                        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+                        .collect();
+                    scatter.sample(&scene, (s * frames + i) as u64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn engine_with_sessions(subjects: usize) -> ServeEngine {
+    let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
+    for s in 0..subjects {
+        engine.open_session(s as u64).expect("session opens");
+    }
+    engine
+}
+
+fn bench_serving_step(c: &mut Criterion) {
+    for subjects in [1usize, 4, 16] {
+        let streams = subject_streams(subjects, 8);
+        let mut engine = engine_with_sessions(subjects);
+        let mut round = 0usize;
+        c.bench_function(&format!("serve_step_{subjects}_sessions"), |b| {
+            b.iter(|| {
+                let frame_idx = round % streams[0].len();
+                round += 1;
+                for (s, stream) in streams.iter().enumerate() {
+                    engine.submit(s as u64, stream[frame_idx].clone()).expect("submit succeeds");
+                }
+                black_box(engine.step().expect("step succeeds"))
+            })
+        });
+    }
+}
+
+fn bench_hot_swap(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("fuse_serve_bench_hot_swap");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ckpt.json");
+    let mut engine = engine_with_sessions(1);
+    engine.save_checkpoint("bench", &path).expect("checkpoint saves");
+    c.bench_function("serve_checkpoint_hot_swap", |b| {
+        b.iter(|| black_box(engine.hot_swap(black_box(&path)).expect("hot swap succeeds")))
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_serving_step, bench_hot_swap);
+criterion_main!(benches);

@@ -80,7 +80,9 @@ fn batch_ranges(n: usize, batch_size: usize) -> Vec<(usize, usize)> {
 /// Runs eval-mode inference over every mini-batch, fanning batches out across
 /// the `fuse-parallel` pool when the dataset is large enough.
 ///
-/// Parallel batches run on private model clones; eval-mode forward is a pure
+/// Parallel bands run on private model clones — one clone per band, not per
+/// mini-batch, so the deep copy of ~1 M parameters happens at most
+/// `available_threads()` times per evaluation. Eval-mode forward is a pure
 /// function of (parameters, input), so results are bit-identical to the
 /// serial in-place path and batches are returned in dataset order.
 fn forward_batches(
@@ -97,7 +99,13 @@ fn forward_batches(
         };
     if ranges.len() > 1 && par::parallel_beneficial(data.len() * model.param_len()) {
         let model = &*model;
-        par::par_map(&ranges, |_, range| run_batch(range, &mut model.clone()))
+        let band_size = ranges.len().div_ceil(par::available_threads().max(1));
+        let bands: Vec<&[(usize, usize)]> = ranges.chunks(band_size).collect();
+        let per_band = par::par_map(&bands, |_, band| {
+            let mut model = model.clone();
+            band.iter().map(|range| run_batch(range, &mut model)).collect::<Vec<_>>()
+        });
+        per_band.into_iter().flatten().collect()
     } else {
         ranges.iter().map(|range| run_batch(range, model)).collect()
     }

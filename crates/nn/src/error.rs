@@ -23,6 +23,13 @@ pub enum NnError {
     },
     /// Model serialization or deserialization failed.
     Serialization(String),
+    /// A checkpoint's layer layout does not match the target model.
+    ArchitectureMismatch {
+        /// Layer names the model expects, in execution order.
+        expected: Vec<String>,
+        /// Layer names recorded in the checkpoint.
+        actual: Vec<String>,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -37,6 +44,12 @@ impl fmt::Display for NnError {
                 write!(f, "parameter vector has length {actual}, model expects {expected}")
             }
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::ArchitectureMismatch { expected, actual } => write!(
+                f,
+                "checkpoint layer layout [{}] does not match model layers [{}]",
+                actual.join(", "),
+                expected.join(", ")
+            ),
         }
     }
 }
@@ -68,6 +81,12 @@ mod tests {
         let e = NnError::ParamLengthMismatch { expected: 10, actual: 4 };
         assert!(e.to_string().contains("10"));
         assert!(e.source().is_none());
+        let e = NnError::ArchitectureMismatch {
+            expected: vec!["conv2d".into(), "relu".into()],
+            actual: vec!["linear".into()],
+        };
+        assert!(e.to_string().contains("conv2d"));
+        assert!(e.to_string().contains("linear"));
     }
 
     #[test]

@@ -49,20 +49,40 @@ pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Re
 /// Loads parameters from a JSON checkpoint into an existing model with a
 /// matching architecture.
 ///
+/// The model is only modified when every validation passes: a failed load
+/// leaves the previous parameters in place.
+///
 /// # Errors
 ///
-/// Returns [`NnError::Serialization`] when the file cannot be read or decoded,
-/// and [`NnError::ParamLengthMismatch`] when the checkpoint does not fit the
-/// model.
+/// Returns [`NnError::Serialization`] when the file cannot be read or decoded
+/// (including truncated JSON), [`NnError::ParamLengthMismatch`] when the
+/// checkpoint's `param_len` or parameter vector does not fit the model, and
+/// [`NnError::ArchitectureMismatch`] when the recorded `layer_names` differ
+/// from the model's layers.
 pub fn load_params_json(model: &mut Sequential, path: &Path) -> Result<Checkpoint> {
     let json = fs::read_to_string(path)
         .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
     let checkpoint: Checkpoint = serde_json::from_str(&json)
         .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))?;
-    if checkpoint.param_len != model.param_len() || checkpoint.params.len() != model.param_len() {
+    if checkpoint.params.len() != model.param_len() {
         return Err(NnError::ParamLengthMismatch {
             expected: model.param_len(),
             actual: checkpoint.params.len(),
+        });
+    }
+    // A param_len field disagreeing with the vector it describes is its own
+    // mismatch; report the lying field, not the (fitting) vector length.
+    if checkpoint.param_len != model.param_len() {
+        return Err(NnError::ParamLengthMismatch {
+            expected: model.param_len(),
+            actual: checkpoint.param_len,
+        });
+    }
+    let model_layers: Vec<String> = model.layer_names().iter().map(|s| s.to_string()).collect();
+    if checkpoint.layer_names != model_layers {
+        return Err(NnError::ArchitectureMismatch {
+            expected: model_layers,
+            actual: checkpoint.layer_names.clone(),
         });
     }
     model.set_flat_params(&checkpoint.params)?;

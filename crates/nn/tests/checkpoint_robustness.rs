@@ -1,0 +1,151 @@
+//! Checkpoint robustness: a serving deployment hot-swaps checkpoints at
+//! runtime, so `fuse-nn::serialize` must (a) round-trip parameters
+//! bit-exactly and (b) reject every malformed or mismatched checkpoint with
+//! an explicit [`NnError`] — never a panic — leaving the target model
+//! untouched.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fuse_nn::layers::{Linear, Relu};
+use fuse_nn::{load_params_json, save_params_json, NnError, Sequential};
+
+/// A private temp directory per test, so parallel tests never collide.
+fn temp_path(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fuse_nn_checkpoint_robustness").join(test);
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("ckpt.json")
+}
+
+/// Linear(4→8) → ReLU → Linear(8→3): 67 parameters.
+fn model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(4, 8, seed).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(8, 3, seed + 1).unwrap()),
+    ])
+}
+
+#[test]
+fn round_trip_is_bit_exact() {
+    let path = temp_path("round_trip");
+    let original = model(1);
+    save_params_json(&original, "robustness", &path).unwrap();
+
+    let mut restored = model(77); // different init
+    let checkpoint = load_params_json(&mut restored, &path).unwrap();
+    assert_eq!(checkpoint.model_name, "robustness");
+    assert_eq!(checkpoint.param_len, original.param_len());
+    assert_eq!(checkpoint.layer_names, vec!["linear", "relu", "linear"]);
+
+    // Bit equality, not approximate equality: compare the raw f32 bits.
+    let a: Vec<u32> = original.flat_params().iter().map(|p| p.to_bits()).collect();
+    let b: Vec<u32> = restored.flat_params().iter().map(|p| p.to_bits()).collect();
+    assert_eq!(a, b, "restored parameters must be bit-identical");
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_json_yields_serialization_error() {
+    let path = temp_path("truncated");
+    save_params_json(&model(2), "truncated", &path).unwrap();
+    let full = fs::read_to_string(&path).unwrap();
+
+    // Cut the file at several points, including mid-number and mid-string;
+    // every prefix must produce an explicit error, never a panic.
+    for cut in [0, 1, full.len() / 4, full.len() / 2, full.len() - 2] {
+        fs::write(&path, &full[..cut]).unwrap();
+        let mut target = model(3);
+        let before = target.flat_params();
+        let result = load_params_json(&mut target, &path);
+        assert!(
+            matches!(result, Err(NnError::Serialization(_))),
+            "truncation at byte {cut} must yield NnError::Serialization, got {result:?}"
+        );
+        assert_eq!(target.flat_params(), before, "a failed load must not modify the model");
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wrong_param_len_yields_param_length_mismatch() {
+    let path = temp_path("wrong_param_len");
+    save_params_json(&model(4), "wrong-len", &path).unwrap();
+
+    // Lie about param_len while keeping the params vector intact.
+    let json = fs::read_to_string(&path).unwrap();
+    let expected_len = model(4).param_len();
+    let tampered = json.replace(
+        &format!("\"param_len\":{expected_len}"),
+        &format!("\"param_len\":{}", expected_len + 1),
+    );
+    assert_ne!(json, tampered, "test must actually tamper with the checkpoint");
+    fs::write(&path, tampered).unwrap();
+    let mut target = model(5);
+    assert!(matches!(
+        load_params_json(&mut target, &path),
+        Err(NnError::ParamLengthMismatch { .. })
+    ));
+
+    // A checkpoint for a genuinely smaller model is rejected the same way.
+    let small = Sequential::new(vec![Box::new(Linear::new(2, 2, 1).unwrap())]);
+    save_params_json(&small, "small", &path).unwrap();
+    let result = load_params_json(&mut target, &path);
+    match result {
+        Err(NnError::ParamLengthMismatch { expected, actual }) => {
+            assert_eq!(expected, target.param_len());
+            assert_eq!(actual, small.param_len());
+        }
+        other => panic!("expected ParamLengthMismatch, got {other:?}"),
+    }
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mismatched_layer_names_yield_architecture_mismatch() {
+    let path = temp_path("layer_names");
+    // Same total parameter count (67) but a different layer stack: the
+    // param_len check alone cannot catch this.
+    let donor = Sequential::new(vec![
+        Box::new(Linear::new(4, 8, 9).unwrap()),
+        Box::new(Linear::new(8, 3, 10).unwrap()),
+    ]);
+    let mut target = model(6);
+    assert_eq!(donor.param_len(), target.param_len(), "test needs matching param counts");
+
+    save_params_json(&donor, "donor", &path).unwrap();
+    let before = target.flat_params();
+    let result = load_params_json(&mut target, &path);
+    match result {
+        Err(NnError::ArchitectureMismatch { expected, actual }) => {
+            assert_eq!(expected, vec!["linear", "relu", "linear"]);
+            assert_eq!(actual, vec!["linear", "linear"]);
+        }
+        other => panic!("expected ArchitectureMismatch, got {other:?}"),
+    }
+    assert_eq!(target.flat_params(), before, "a rejected checkpoint must not modify the model");
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn garbage_and_shape_confusion_yield_errors_not_panics() {
+    let path = temp_path("garbage");
+    let mut target = model(7);
+    for payload in [
+        "",
+        "not json at all",
+        "null",
+        "[1,2,3]",
+        "{}",
+        "{\"model_name\":3,\"param_len\":\"x\",\"layer_names\":{},\"params\":null}",
+        "{\"model_name\":\"m\",\"param_len\":67,\"layer_names\":[\"linear\",\"relu\",\"linear\"],\"params\":\"oops\"}",
+    ] {
+        fs::write(&path, payload).unwrap();
+        let result = load_params_json(&mut target, &path);
+        assert!(
+            matches!(result, Err(NnError::Serialization(_))),
+            "payload {payload:?} must yield NnError::Serialization, got {result:?}"
+        );
+    }
+    fs::remove_file(&path).ok();
+}

@@ -1,0 +1,639 @@
+//! The streaming inference engine.
+//!
+//! [`ServeEngine`] turns the ad-hoc per-frame loop of the `realtime_edge`
+//! example into a reusable subsystem:
+//!
+//! * **Sessions** — each client holds its own fusion history and, after
+//!   online adaptation, a private fine-tuned model ([`Session`]).
+//! * **Micro-batching** — frames submitted between two [`ServeEngine::step`]
+//!   calls are featurized on arrival and queued; `step` stacks every pending
+//!   frame of base-model sessions into one `[N, C, H, W]` forward pass (the
+//!   kernels underneath run on the `fuse-parallel` pool), while adapted
+//!   sessions run one stacked pass per private model.
+//! * **Determinism with fairness** — pending frames are scheduled
+//!   round-robin across sessions (per-session queue rank, oldest first, ties
+//!   by session id), so a flooding session cannot starve the others past
+//!   `max_batch`; the schedule never depends on arrival order, and every
+//!   per-sample kernel in the stack is batch-composition independent, so the
+//!   responses of a step are bit-identical for any submission interleaving
+//!   and any `FUSE_THREADS`.
+//! * **Checkpoint hot-swap** — [`ServeEngine::hot_swap`] loads a
+//!   `fuse-nn::serialize` checkpoint into the shared base model without
+//!   touching adapted sessions; the load is validated on a clone first, so a
+//!   corrupt checkpoint leaves the engine serving the old weights.
+//! * **Latency accounting** — fusion, featurization, inference and
+//!   submit-to-response totals are recorded per frame against the 100 ms
+//!   frame budget ([`crate::LatencyRecorder`]).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use fuse_core::{FineTuneConfig, FineTuneResult};
+use fuse_dataset::{EncodedDataset, FeatureMapBuilder, FrameFusion};
+use fuse_nn::serialize::Checkpoint;
+use fuse_nn::{load_params_json, save_params_json, Sequential};
+use fuse_radar::PointCloudFrame;
+use fuse_tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::latency::{LatencyRecorder, Stage, DEFAULT_BUDGET_MS};
+use crate::session::Session;
+use crate::Result;
+
+/// Engine-wide serving parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Multi-frame fusion applied to every session's history.
+    pub fusion: FrameFusion,
+    /// Feature-map geometry (must match the served model's input).
+    pub feature_map: FeatureMapBuilder,
+    /// Per-frame latency budget in milliseconds (100 ms at 10 Hz).
+    pub budget_ms: f64,
+    /// Maximum number of pending frames one [`ServeEngine::step`] consumes;
+    /// excess frames stay queued for the next step.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            fusion: FrameFusion::default(),
+            feature_map: FeatureMapBuilder::default(),
+            budget_ms: DEFAULT_BUDGET_MS,
+            max_batch: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero micro-batch cap or a
+    /// non-positive budget.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be nonzero".into()));
+        }
+        if !self.budget_ms.is_finite() || self.budget_ms <= 0.0 {
+            return Err(ServeError::InvalidConfig("budget_ms must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One inference result produced by [`ServeEngine::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Session the frame belonged to.
+    pub session_id: u64,
+    /// Lifetime index of the frame within its session.
+    pub frame_index: u64,
+    /// Version of the shared base model at inference time.
+    pub model_version: u64,
+    /// `true` when the prediction came from the session's private model.
+    pub adapted: bool,
+    /// Predicted joint coordinates (57 values: 19 joints × x/y/z).
+    pub joints: Vec<f32>,
+}
+
+/// One forward-pass group: `(session id, frame index)` response keys paired
+/// with the feature tensors to stack, in matching order.
+type ForwardGroup = (Vec<(u64, u64)>, Vec<Tensor>);
+
+/// A featurized frame waiting for the next micro-batch.
+#[derive(Debug)]
+struct PendingFrame {
+    session_id: u64,
+    frame_index: u64,
+    features: Tensor,
+    submitted: Instant,
+}
+
+/// Sessionized streaming inference engine (see the module docs).
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    base: Sequential,
+    model_version: u64,
+    sessions: BTreeMap<u64, Session>,
+    pending: Vec<PendingFrame>,
+    recorder: LatencyRecorder,
+}
+
+impl ServeEngine {
+    /// Creates an engine serving `model` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the configuration is
+    /// invalid.
+    pub fn new(model: Sequential, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let recorder = LatencyRecorder::new(config.budget_ms);
+        Ok(ServeEngine {
+            config,
+            base: model,
+            model_version: 0,
+            sessions: BTreeMap::new(),
+            pending: Vec::new(),
+            recorder,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared base model.
+    pub fn base_model(&self) -> &Sequential {
+        &self.base
+    }
+
+    /// Version counter of the shared base model; each successful
+    /// [`ServeEngine::hot_swap`] increments it.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// The latency recorder.
+    pub fn recorder(&self) -> &LatencyRecorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the latency recorder (e.g. to clear it between
+    /// measurement phases).
+    pub fn recorder_mut(&mut self) -> &mut LatencyRecorder {
+        &mut self.recorder
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of frames queued for the next step.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Opens a new session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateSession`] when the id is already open.
+    pub fn open_session(&mut self, id: u64) -> Result<&mut Session> {
+        match self.sessions.entry(id) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                Err(ServeError::DuplicateSession(id))
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => Ok(slot.insert(Session::new(
+                id,
+                self.config.fusion,
+                self.config.feature_map.clone(),
+            ))),
+        }
+    }
+
+    /// Closes a session, dropping its queued frames, and returns its state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] when the id is not open.
+    pub fn close_session(&mut self, id: u64) -> Result<Session> {
+        let session = self.sessions.remove(&id).ok_or(ServeError::UnknownSession(id))?;
+        self.pending.retain(|p| p.session_id != id);
+        Ok(session)
+    }
+
+    /// A session by id.
+    pub fn session(&self, id: u64) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Iterates over the open sessions in id order.
+    pub fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// Submits one point-cloud frame for a session: the frame joins the
+    /// session's fusion history, is featurized immediately (so the queued
+    /// request is independent of later history mutations), and waits for the
+    /// next [`ServeEngine::step`]. Returns the frame's lifetime index within
+    /// the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an unopened id and
+    /// propagates featurization failures.
+    pub fn submit(&mut self, session_id: u64, frame: PointCloudFrame) -> Result<u64> {
+        let session =
+            self.sessions.get_mut(&session_id).ok_or(ServeError::UnknownSession(session_id))?;
+        let submitted = Instant::now();
+        let frame_index = session.push_frame(frame);
+        let points = session.fused_points();
+        self.recorder.record(Stage::Fuse, ms_since(submitted));
+        let featurize_start = Instant::now();
+        let features = session.feature_map().build(&points, None)?;
+        self.recorder.record(Stage::Featurize, ms_since(featurize_start));
+        self.pending.push(PendingFrame { session_id, frame_index, features, submitted });
+        Ok(frame_index)
+    }
+
+    /// Runs one micro-batch: consumes up to `max_batch` pending frames
+    /// round-robin across sessions (by each frame's rank within its session's
+    /// queue, oldest first, ties broken by session id) — never in arrival
+    /// order — stacks the frames of base-model sessions into a single forward
+    /// pass, runs one stacked pass per adapted session, and returns the
+    /// responses sorted by `(session id, frame index)`.
+    ///
+    /// Round-robin keeps the schedule fair under load: when one session
+    /// floods the queue past `max_batch`, every other session's oldest frame
+    /// still goes out in the current step instead of starving behind the
+    /// flood — regardless of how long either session has existed. The rank is
+    /// derived from the queue contents, not from arrival order, so the
+    /// schedule — and with it every response — stays bit-identical for any
+    /// submission interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference failures; the consumed frames are dropped in that
+    /// case (the model state, not the queue, is the source of truth).
+    pub fn step(&mut self) -> Result<Vec<ServeResponse>> {
+        if self.pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Rank every pending frame within its session (0 = that session's
+        // oldest pending frame); the (session id, frame index) pre-sort makes
+        // the rank a running per-session count.
+        self.pending.sort_by_key(|p| (p.session_id, p.frame_index));
+        let mut next_rank: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut order: Vec<(u64, usize)> = self
+            .pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let rank = next_rank.entry(p.session_id).or_insert(0);
+                let r = *rank;
+                *rank += 1;
+                (r, i)
+            })
+            .collect();
+        order.sort_by_key(|&(rank, i)| (rank, self.pending[i].session_id));
+
+        let take = self.config.max_batch.min(self.pending.len());
+        let mut slots: Vec<Option<PendingFrame>> = self.pending.drain(..).map(Some).collect();
+        let mut batch: Vec<PendingFrame> = Vec::with_capacity(take);
+        for &(_, i) in order.iter().take(take) {
+            batch.push(slots[i].take().expect("each slot is consumed once"));
+        }
+        self.pending.extend(slots.into_iter().flatten());
+
+        let inference_start = Instant::now();
+        let submit_times: Vec<Instant> = batch.iter().map(|p| p.submitted).collect();
+        let mut responses: Vec<ServeResponse> = Vec::with_capacity(batch.len());
+
+        // Split the micro-batch into the shared-model group and one group per
+        // adapted session (sessions in id order; frames per session arrive in
+        // frame-index order because a session's rank grows with its frame
+        // index). The feature tensors are moved out of the consumed batch —
+        // no copies on the per-frame hot path.
+        let mut base_keys: Vec<(u64, u64)> = Vec::new();
+        let mut base_features: Vec<Tensor> = Vec::new();
+        let mut adapted_groups: BTreeMap<u64, ForwardGroup> = BTreeMap::new();
+        for p in batch {
+            let adapted =
+                self.sessions.get(&p.session_id).is_some_and(|session| session.is_adapted());
+            if adapted {
+                let (keys, features) = adapted_groups.entry(p.session_id).or_default();
+                keys.push((p.session_id, p.frame_index));
+                features.push(p.features);
+            } else {
+                base_keys.push((p.session_id, p.frame_index));
+                base_features.push(p.features);
+            }
+        }
+
+        if !base_features.is_empty() {
+            let stacked = Tensor::stack(&base_features).map_err(fuse_nn::NnError::from)?;
+            let output = self.base.forward(&stacked, false)?;
+            self.extend_responses(&mut responses, &base_keys, &output, false);
+        }
+        for (session_id, (keys, features)) in &adapted_groups {
+            let stacked = Tensor::stack(features).map_err(fuse_nn::NnError::from)?;
+            let model = self
+                .sessions
+                .get_mut(session_id)
+                .and_then(|s| s.model_mut())
+                .ok_or(ServeError::UnknownSession(*session_id))?;
+            let output = model.forward(&stacked, false)?;
+            self.extend_responses(&mut responses, keys, &output, true);
+        }
+        self.recorder.record(Stage::Inference, ms_since(inference_start));
+        for submitted in submit_times {
+            self.recorder.record(Stage::Total, ms_since(submitted));
+        }
+
+        responses.sort_by_key(|r| (r.session_id, r.frame_index));
+        Ok(responses)
+    }
+
+    fn extend_responses(
+        &self,
+        responses: &mut Vec<ServeResponse>,
+        keys: &[(u64, u64)],
+        output: &Tensor,
+        adapted: bool,
+    ) {
+        let cols = output.dims()[1];
+        for (row, &(session_id, frame_index)) in keys.iter().enumerate() {
+            responses.push(ServeResponse {
+                session_id,
+                frame_index,
+                model_version: self.model_version,
+                adapted,
+                joints: output.as_slice()[row * cols..(row + 1) * cols].to_vec(),
+            });
+        }
+    }
+
+    /// Fine-tunes a session online on `data` (used as both the adaptation and
+    /// per-epoch evaluation set). The first adaptation clones the shared base
+    /// model into the session; later calls continue from the session's
+    /// private weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an unopened id and
+    /// propagates fine-tuning errors.
+    pub fn adapt_session(
+        &mut self,
+        id: u64,
+        data: &EncodedDataset,
+        config: &FineTuneConfig,
+    ) -> Result<FineTuneResult> {
+        let session = self.sessions.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
+        session.adapt(&self.base, data, config)
+    }
+
+    /// Loads a `fuse-nn` JSON checkpoint into the shared base model and bumps
+    /// [`ServeEngine::model_version`]. The checkpoint is validated against a
+    /// clone first: on any error the engine keeps serving the old weights.
+    /// Adapted sessions keep their private models (call
+    /// [`Session::reset_to_base`] to rejoin the shared model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode/layout errors as [`ServeError::Nn`].
+    pub fn hot_swap(&mut self, path: &Path) -> Result<Checkpoint> {
+        let mut candidate = self.base.clone();
+        let checkpoint = load_params_json(&mut candidate, path)?;
+        self.base = candidate;
+        self.model_version += 1;
+        Ok(checkpoint)
+    }
+
+    /// Saves the shared base model as a `fuse-nn` JSON checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/encode errors as [`ServeError::Nn`].
+    pub fn save_checkpoint(&self, model_name: &str, path: &Path) -> Result<()> {
+        Ok(save_params_json(&self.base, model_name, path)?)
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_core::{build_mars_cnn, ModelConfig};
+    use fuse_radar::RadarPoint;
+
+    fn tiny_engine() -> ServeEngine {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        ServeEngine::new(model, ServeConfig::default()).unwrap()
+    }
+
+    fn frame(seed: u64, n: usize) -> PointCloudFrame {
+        let points = (0..n)
+            .map(|i| {
+                let t = (seed as f32) * 0.1 + i as f32 * 0.03;
+                RadarPoint::new(
+                    t.sin() * 0.5,
+                    2.0 + t.cos() * 0.2,
+                    0.2 + i as f32 * 0.04,
+                    0.1,
+                    1.0 + t,
+                )
+            })
+            .collect();
+        PointCloudFrame::new(0, 0.0, points)
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        assert!(ServeConfig { max_batch: 0, ..ServeConfig::default() }.validate().is_err());
+        assert!(ServeConfig { budget_ms: 0.0, ..ServeConfig::default() }.validate().is_err());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn session_lifecycle_and_errors() {
+        let mut engine = tiny_engine();
+        engine.open_session(1).unwrap();
+        assert!(matches!(engine.open_session(1), Err(ServeError::DuplicateSession(1))));
+        assert!(matches!(engine.submit(9, frame(0, 4)), Err(ServeError::UnknownSession(9))));
+        assert!(matches!(engine.close_session(9), Err(ServeError::UnknownSession(9))));
+        engine.submit(1, frame(0, 4)).unwrap();
+        assert_eq!(engine.pending_len(), 1);
+        let closed = engine.close_session(1).unwrap();
+        assert_eq!(closed.id(), 1);
+        assert_eq!(engine.pending_len(), 0, "closing a session drops its queued frames");
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn streaming_produces_one_response_per_frame() {
+        let mut engine = tiny_engine();
+        engine.open_session(5).unwrap();
+        for i in 0..4 {
+            let index = engine.submit(5, frame(i, 16)).unwrap();
+            assert_eq!(index, i);
+        }
+        let responses = engine.step().unwrap();
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.session_id, 5);
+            assert_eq!(r.frame_index, i as u64);
+            assert_eq!(r.model_version, 0);
+            assert!(!r.adapted);
+            assert_eq!(r.joints.len(), 57);
+            assert!(r.joints.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(engine.pending_len(), 0);
+        assert!(engine.step().unwrap().is_empty());
+        assert_eq!(engine.recorder().count(Stage::Total), 4);
+        assert_eq!(engine.recorder().count(Stage::Inference), 1);
+        assert_eq!(engine.recorder().count(Stage::Fuse), 4);
+    }
+
+    #[test]
+    fn stacked_micro_batch_matches_per_session_forwards() {
+        // The batching contract: stacking N sessions' frames into one forward
+        // pass produces bit-identical rows to running each frame alone.
+        let mut batched = tiny_engine();
+        for id in [2u64, 4, 8] {
+            batched.open_session(id).unwrap();
+            batched.submit(id, frame(id, 12)).unwrap();
+        }
+        let together = batched.step().unwrap();
+        assert_eq!(together.len(), 3);
+
+        for (i, id) in [2u64, 4, 8].into_iter().enumerate() {
+            let mut solo = tiny_engine();
+            solo.open_session(id).unwrap();
+            solo.submit(id, frame(id, 12)).unwrap();
+            let alone = solo.step().unwrap();
+            assert_eq!(alone.len(), 1);
+            assert_eq!(together[i].joints, alone[0].joints, "row {i} diverged from solo forward");
+        }
+    }
+
+    #[test]
+    fn flooding_session_cannot_starve_others() {
+        // Session 0 floods the queue well past max_batch while session 7
+        // submits a single frame; oldest-first scheduling must serve session
+        // 7 in the first step instead of deferring it behind the flood.
+        let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        let config = ServeConfig { max_batch: 4, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(model, config).unwrap();
+        engine.open_session(0).unwrap();
+        engine.open_session(7).unwrap();
+        for i in 0..10 {
+            engine.submit(0, frame(i, 8)).unwrap();
+        }
+        engine.submit(7, frame(99, 8)).unwrap();
+        let first = engine.step().unwrap();
+        assert!(
+            first.iter().any(|r| r.session_id == 7),
+            "session 7's frame 0 must be served in the first micro-batch"
+        );
+    }
+
+    #[test]
+    fn new_flooding_session_cannot_starve_an_old_session() {
+        // A long-lived session's frame indices are far ahead of a freshly
+        // opened session's; fairness must not depend on session age, only on
+        // each frame's position within its own queue.
+        let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        let config = ServeConfig { max_batch: 4, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(model, config).unwrap();
+        engine.open_session(0).unwrap();
+        for i in 0..20 {
+            engine.submit(0, frame(i, 8)).unwrap();
+            engine.step().unwrap();
+        }
+        engine.open_session(7).unwrap();
+        for i in 0..10 {
+            engine.submit(7, frame(i, 8)).unwrap();
+        }
+        let index = engine.submit(0, frame(99, 8)).unwrap();
+        assert_eq!(index, 20, "session 0 is genuinely older");
+        let first = engine.step().unwrap();
+        assert!(
+            first.iter().any(|r| r.session_id == 0),
+            "the old session's frame must be served in the first micro-batch"
+        );
+    }
+
+    #[test]
+    fn max_batch_defers_excess_frames() {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        let config = ServeConfig { max_batch: 2, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(model, config).unwrap();
+        engine.open_session(1).unwrap();
+        for i in 0..5 {
+            engine.submit(1, frame(i, 8)).unwrap();
+        }
+        assert_eq!(engine.step().unwrap().len(), 2);
+        assert_eq!(engine.pending_len(), 3);
+        assert_eq!(engine.step().unwrap().len(), 2);
+        assert_eq!(engine.step().unwrap().len(), 1);
+        assert_eq!(engine.pending_len(), 0);
+    }
+
+    #[test]
+    fn adapted_sessions_use_a_private_model() {
+        use fuse_dataset::{
+            encode_dataset, FeatureMapBuilder, FrameFusion, MarsSynthesizer, SynthesisConfig,
+        };
+        let data = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+        let encoded =
+            encode_dataset(&data, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap();
+
+        let mut engine = tiny_engine();
+        engine.open_session(1).unwrap();
+        engine.open_session(2).unwrap();
+        let before = engine.base_model().flat_params();
+        let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
+        assert!(matches!(
+            engine.adapt_session(42, &encoded, &config),
+            Err(ServeError::UnknownSession(42))
+        ));
+        let result = engine.adapt_session(2, &encoded, &config).unwrap();
+        assert_eq!(result.epochs(), 1);
+        assert!(engine.session(2).unwrap().is_adapted());
+        assert!(!engine.session(1).unwrap().is_adapted());
+        assert_eq!(engine.base_model().flat_params(), before, "adaptation must not touch the base");
+
+        // Same frame through both sessions: the adapted one must answer from
+        // different (fine-tuned) weights.
+        engine.submit(1, frame(3, 16)).unwrap();
+        engine.submit(2, frame(3, 16)).unwrap();
+        let responses = engine.step().unwrap();
+        assert_eq!(responses.len(), 2);
+        assert!(!responses[0].adapted);
+        assert!(responses[1].adapted);
+        assert_ne!(responses[0].joints, responses[1].joints);
+    }
+
+    #[test]
+    fn hot_swap_replaces_the_base_atomically() {
+        let dir = std::env::temp_dir().join("fuse_serve_hot_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut engine = tiny_engine();
+        engine.open_session(1).unwrap();
+
+        // A differently-seeded model of the same architecture as "new weights".
+        let other = build_mars_cnn(&ModelConfig::tiny(), 99).unwrap();
+        let donor = ServeEngine::new(other, ServeConfig::default()).unwrap();
+        donor.save_checkpoint("donor", &path).unwrap();
+
+        engine.submit(1, frame(0, 16)).unwrap();
+        let before = engine.step().unwrap();
+        let checkpoint = engine.hot_swap(&path).unwrap();
+        assert_eq!(checkpoint.model_name, "donor");
+        assert_eq!(engine.model_version(), 1);
+        engine.submit(1, frame(0, 16)).unwrap();
+        let after = engine.step().unwrap();
+        assert_ne!(before[0].joints, after[0].joints, "hot-swap must change predictions");
+        assert_eq!(after[0].model_version, 1);
+
+        // A corrupt checkpoint must leave the engine serving the old weights.
+        std::fs::write(&path, "{\"model_name\":\"x\"").unwrap();
+        let params = engine.base_model().flat_params();
+        assert!(engine.hot_swap(&path).is_err());
+        assert_eq!(engine.model_version(), 1);
+        assert_eq!(engine.base_model().flat_params(), params);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the serving engine.
+
+use std::error::Error;
+use std::fmt;
+
+use fuse_core::FuseError;
+use fuse_dataset::DatasetError;
+use fuse_nn::NnError;
+
+/// Error returned by fallible serving operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A frame or request referenced a session id that was never opened (or
+    /// was already closed).
+    UnknownSession(u64),
+    /// A session with this id is already open.
+    DuplicateSession(u64),
+    /// The engine was configured inconsistently (e.g. a zero micro-batch cap).
+    InvalidConfig(String),
+    /// Feature-map construction failed.
+    Dataset(DatasetError),
+    /// Model inference or checkpoint (de)serialization failed.
+    Nn(NnError),
+    /// Online fine-tuning failed.
+    Core(FuseError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::DuplicateSession(id) => write!(f, "session {id} is already open"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve configuration: {msg}"),
+            ServeError::Dataset(e) => write!(f, "feature pipeline error: {e}"),
+            ServeError::Nn(e) => write!(f, "model error: {e}"),
+            ServeError::Core(e) => write!(f, "adaptation error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Dataset(e) => Some(e),
+            ServeError::Nn(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for ServeError {
+    fn from(e: DatasetError) -> Self {
+        ServeError::Dataset(e)
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<FuseError> for ServeError {
+    fn from(e: FuseError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_tensor::TensorError;
+
+    #[test]
+    fn display_and_source() {
+        assert!(ServeError::UnknownSession(7).to_string().contains('7'));
+        assert!(ServeError::DuplicateSession(3).source().is_none());
+        let e: ServeError = NnError::Serialization("broken".into()).into();
+        assert!(e.to_string().contains("broken"));
+        assert!(e.source().is_some());
+        let e: ServeError = FuseError::from(TensorError::EmptyTensor).into();
+        assert!(e.source().is_some());
+        let e: ServeError = DatasetError::EmptySplit("train".into()).into();
+        assert!(e.to_string().contains("train"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

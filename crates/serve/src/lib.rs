@@ -1,0 +1,61 @@
+//! # fuse-serve
+//!
+//! Sessionized streaming inference for the FUSE pipeline: the subsystem that
+//! turns the single-subject `realtime_edge` loop into a multi-client serving
+//! engine with per-session adaptation, micro-batching, checkpoint hot-swap
+//! and latency accounting against the 10 Hz radar's 100 ms frame budget.
+//!
+//! * [`Session`] — one client's rolling fusion history plus, once adapted
+//!   online, a private fine-tuned clone of the served model;
+//! * [`ServeEngine`] — owns the shared base model and the open sessions,
+//!   micro-batches pending frames across sessions into stacked forward
+//!   passes, and hot-swaps `fuse-nn` checkpoints without downtime;
+//! * [`LatencyRecorder`] — per-stage p50/p95/p99 latency summaries.
+//!
+//! Responses are **deterministic by construction**: pending frames are
+//! scheduled round-robin across sessions by their per-session queue rank
+//! (never by arrival interleaving), and every kernel underneath is
+//! bit-reproducible for any `FUSE_THREADS` (see `fuse-parallel`), so a
+//! serving trace is bit-identical across thread counts and submission
+//! orders.
+//!
+//! ```no_run
+//! use fuse_serve::prelude::*;
+//!
+//! let model = build_mars_cnn(&ModelConfig::default(), 11)?;
+//! let mut engine = ServeEngine::new(model, ServeConfig::default())?;
+//! engine.open_session(0)?;
+//! // engine.submit(0, frame)?; ... then, each frame period:
+//! for response in engine.step()? {
+//!     assert_eq!(response.joints.len(), 57);
+//! }
+//! println!("{}", engine.recorder().report());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod latency;
+pub mod session;
+
+pub use engine::{ServeConfig, ServeEngine, ServeResponse};
+pub use error::ServeError;
+pub use latency::{
+    LatencyRecorder, LatencyReport, Stage, StageStats, DEFAULT_BUDGET_MS, DEFAULT_SAMPLE_WINDOW,
+};
+pub use session::Session;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Commonly used types for serving call sites, re-exported alongside the
+/// `fuse-core` pieces an engine embedder needs (model construction and online
+/// fine-tuning).
+pub mod prelude {
+    pub use crate::engine::{ServeConfig, ServeEngine, ServeResponse};
+    pub use crate::error::ServeError;
+    pub use crate::latency::{LatencyRecorder, LatencyReport, Stage, StageStats};
+    pub use crate::session::Session;
+    pub use fuse_core::{build_mars_cnn, FineTuneConfig, FineTuneScope, ModelConfig};
+    pub use fuse_dataset::{FeatureMapBuilder, FrameFusion};
+}

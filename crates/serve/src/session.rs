@@ -1,0 +1,216 @@
+//! Per-client serving sessions.
+//!
+//! A [`Session`] owns everything one streaming client needs: the rolling
+//! point-cloud history that multi-frame fusion consumes, the feature-map
+//! geometry, and — once the client has been adapted online — a private
+//! fine-tuned clone of the served model. Sessions are plain state holders;
+//! the [`crate::ServeEngine`] drives them and owns the shared base model.
+
+use std::collections::VecDeque;
+
+use fuse_core::{fine_tune, FineTuneConfig, FineTuneResult};
+use fuse_dataset::{EncodedDataset, FeatureMapBuilder, FrameFusion};
+use fuse_nn::Sequential;
+use fuse_radar::{PointCloudFrame, RadarPoint};
+use fuse_tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::Result;
+
+/// One client's streaming state inside a [`crate::ServeEngine`].
+#[derive(Debug)]
+pub struct Session {
+    id: u64,
+    fusion: FrameFusion,
+    builder: FeatureMapBuilder,
+    history: VecDeque<PointCloudFrame>,
+    /// Private fine-tuned model; `None` means the session serves from the
+    /// engine's shared base model.
+    model: Option<Sequential>,
+    /// Number of frames ingested over the session's lifetime.
+    frames_seen: u64,
+}
+
+impl Session {
+    /// Creates an empty session with the given fusion and feature geometry.
+    pub fn new(id: u64, fusion: FrameFusion, builder: FeatureMapBuilder) -> Self {
+        Session {
+            id,
+            fusion,
+            builder,
+            history: VecDeque::with_capacity(fusion.half_window() + 1),
+            model: None,
+            frames_seen: 0,
+        }
+    }
+
+    /// Number of frames the streaming history retains: fusing around the
+    /// newest frame can only ever reach `M` frames into the past, so `M + 1`
+    /// frames are all a session needs (a lagged-center mode fusing future
+    /// frames at a latency cost would need the full `2M + 1`).
+    fn history_capacity(&self) -> usize {
+        self.fusion.half_window() + 1
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The fusion operator applied to this session's history.
+    pub fn fusion(&self) -> &FrameFusion {
+        &self.fusion
+    }
+
+    /// The feature-map geometry of this session.
+    pub fn feature_map(&self) -> &FeatureMapBuilder {
+        &self.builder
+    }
+
+    /// Number of frames currently held in the fusion history (at most
+    /// `M + 1`, the reachable streaming window).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of frames ingested over the session's lifetime.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// `true` once the session serves from a private fine-tuned model.
+    pub fn is_adapted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The session's private model, when adapted.
+    pub fn model(&self) -> Option<&Sequential> {
+        self.model.as_ref()
+    }
+
+    pub(crate) fn model_mut(&mut self) -> Option<&mut Sequential> {
+        self.model.as_mut()
+    }
+
+    /// Appends a frame to the fusion history, evicting the oldest frame once
+    /// the window is full, and returns this frame's lifetime index.
+    pub fn push_frame(&mut self, frame: PointCloudFrame) -> u64 {
+        if self.history.len() == self.history_capacity() {
+            self.history.pop_front();
+        }
+        self.history.push_back(frame);
+        let index = self.frames_seen;
+        self.frames_seen += 1;
+        index
+    }
+
+    /// Fuses the current history around its newest frame (the streaming
+    /// boundary case of Eq. 3: only past frames are available).
+    pub fn fused_points(&self) -> Vec<RadarPoint> {
+        if self.history.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&PointCloudFrame> = self.history.iter().collect();
+        self.fusion.fused_points(&refs, refs.len() - 1)
+    }
+
+    /// Builds the `[C, H, W]` feature tensor for the newest frame in the
+    /// history (fusion followed by feature-map construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`]-free pipeline errors only:
+    /// feature-map construction failures propagate as
+    /// [`ServeError::Dataset`].
+    pub fn featurize_latest(&self) -> Result<Tensor> {
+        let points = self.fused_points();
+        Ok(self.builder.build(&points, None)?)
+    }
+
+    /// Fine-tunes this session's private model on `data` (used both as the
+    /// adaptation set and as the per-epoch evaluation set), cloning `base`
+    /// first if the session has not been adapted yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and training errors as [`ServeError::Core`].
+    pub(crate) fn adapt(
+        &mut self,
+        base: &Sequential,
+        data: &EncodedDataset,
+        config: &FineTuneConfig,
+    ) -> Result<FineTuneResult> {
+        let model = self.model.get_or_insert_with(|| base.clone());
+        fine_tune(model, data, data, data, config).map_err(ServeError::from)
+    }
+
+    /// Drops the private model: the session goes back to serving from the
+    /// engine's shared base model (e.g. after a checkpoint hot-swap).
+    pub fn reset_to_base(&mut self) {
+        self.model = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: f32, n: usize) -> PointCloudFrame {
+        let points =
+            (0..n).map(|i| RadarPoint::new(tag, 2.0 + i as f32 * 0.01, 1.0, 0.0, 1.0)).collect();
+        PointCloudFrame::new(0, 0.0, points)
+    }
+
+    #[test]
+    fn history_is_bounded_by_the_fusion_window() {
+        let mut s = Session::new(1, FrameFusion::new(1), FeatureMapBuilder::default());
+        assert_eq!(s.history_len(), 0);
+        for i in 0..10 {
+            let index = s.push_frame(frame(i as f32, 4));
+            assert_eq!(index, i as u64);
+        }
+        assert_eq!(s.history_len(), 2, "history must hold at most M+1 frames");
+        assert_eq!(s.frames_seen(), 10);
+        // The retained frames are the newest two (tags 8, 9): fusing around
+        // the newest frame reaches back exactly M = 1 frames, so both are
+        // part of the fused set.
+        let fused = s.fused_points();
+        assert_eq!(fused.len(), 8);
+        assert!(fused.iter().all(|p| p.x >= 8.0));
+    }
+
+    #[test]
+    fn featurize_latest_matches_the_manual_pipeline() {
+        let fusion = FrameFusion::new(1);
+        let builder = FeatureMapBuilder::default();
+        let mut s = Session::new(2, fusion, builder.clone());
+        let frames: Vec<PointCloudFrame> = (0..3).map(|i| frame(i as f32, 8)).collect();
+        for f in &frames {
+            s.push_frame(f.clone());
+        }
+        let expected_points = fusion.fused_points_owned(&frames, 2);
+        let expected = builder.build(&expected_points, None).unwrap();
+        let actual = s.featurize_latest().unwrap();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn empty_history_featurizes_to_zeros() {
+        let s = Session::new(3, FrameFusion::default(), FeatureMapBuilder::default());
+        assert!(s.fused_points().is_empty());
+        let features = s.featurize_latest().unwrap();
+        assert_eq!(features.dims(), &[5, 8, 8]);
+        assert!(features.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reset_to_base_drops_the_private_model() {
+        let mut s = Session::new(4, FrameFusion::default(), FeatureMapBuilder::default());
+        assert!(!s.is_adapted());
+        assert!(s.model().is_none());
+        s.model = Some(Sequential::new(Vec::new()));
+        assert!(s.is_adapted());
+        s.reset_to_base();
+        assert!(!s.is_adapted());
+    }
+}

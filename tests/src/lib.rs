@@ -1,7 +1,10 @@
 //! Cross-crate integration tests for the FUSE workspace.
 //!
-//! This crate intentionally contains no library code — the interesting parts
-//! live in the `tests/` directory, where end-to-end scenarios exercise the
-//! full pipeline: dataset synthesis → pre-processing → training →
-//! meta-learning → online fine-tuning → evaluation, plus the full radar
-//! signal chain feeding the CNN.
+//! The interesting parts live in the `tests/` directory, where end-to-end
+//! scenarios exercise the full pipeline: dataset synthesis → pre-processing →
+//! training → meta-learning → online fine-tuning → evaluation, plus the full
+//! radar signal chain feeding the CNN. This support library holds the
+//! golden-file machinery used by the regression suite in
+//! `tests/golden_trace.rs`.
+
+pub mod golden;

@@ -1,0 +1,156 @@
+//! Golden-trace regression tests: fixed-seed end-to-end traces of the
+//! radar → fusion → feature-map → CNN chain, checked against committed JSON
+//! files under `tests/goldens/`.
+//!
+//! These pin the *numeric* behaviour a serving deployment must preserve —
+//! any refactor of the kernels, the signal chain, the fusion/feature code or
+//! the serving engine that changes a single bit of the outputs fails here.
+//! After an intentional numeric change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p fuse-tests --test golden_trace
+//! ```
+//!
+//! The traces are thread-count independent (`fuse-parallel` bit-identity
+//! contract), so the same goldens hold under `FUSE_THREADS=1` and `=4`.
+
+use serde::{Deserialize, Serialize};
+
+use fuse_core::prelude::*;
+use fuse_radar::{
+    cfar_ca_2d, AdcCube, CfarConfig, FastScatterModel, PointCloudFrame, PointCloudGenerator,
+    RadarConfig, RangeDopplerMap, Scatterer, Scene,
+};
+use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+use fuse_tensor::Tensor;
+use fuse_tests::golden::{check_or_update, StageDigest};
+
+/// A radar scene for frame `i` of a fixed animated movement sequence.
+fn scene_for_frame(
+    samples: &[(fuse_skeleton::Skeleton, [[f32; 3]; fuse_skeleton::JOINT_COUNT])],
+    i: usize,
+) -> Scene {
+    let (skeleton, velocities) = &samples[i];
+    body_surface_points(skeleton, velocities, 3)
+        .iter()
+        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+        .collect()
+}
+
+fn point_features(frames: &[PointCloudFrame]) -> Vec<f32> {
+    frames.iter().flat_map(|f| f.points.iter().flat_map(|p| p.features())).collect()
+}
+
+/// Trace of the full FMCW signal chain feeding the CNN:
+/// ADC cube → range-Doppler FFTs → CFAR → point cloud → fusion → feature map
+/// → logits, all from fixed seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FullChainTrace {
+    adc_samples: usize,
+    adc_chirps: usize,
+    adc_antennas: usize,
+    adc_rms: f32,
+    rd_range_bins: usize,
+    rd_doppler_bins: usize,
+    rd_peak_range_bin: usize,
+    rd_peak_doppler_bin: usize,
+    rd_peak_magnitude: f32,
+    cfar_detections: usize,
+    cfar_strongest_magnitude: f32,
+    points_per_frame: Vec<usize>,
+    points: StageDigest,
+    fused_count: usize,
+    feature_map: StageDigest,
+    logits: Vec<f32>,
+}
+
+#[test]
+fn full_chain_trace_matches_golden() {
+    let animator = MovementAnimator::new(Subject::profile(2), Movement::Squat, 10.0).with_seed(1);
+    let samples = animator.sample_frames_with_velocities(0.0, 3);
+    let config = RadarConfig::test_small();
+
+    // Signal-chain intermediates for the middle frame.
+    let scene = scene_for_frame(&samples, 1);
+    let cube = AdcCube::synthesize(&config, &scene, 1).expect("cube synthesis succeeds");
+    let map = RangeDopplerMap::from_cube(&cube).expect("fft succeeds");
+    let (peak_range, peak_doppler) = map.peak_cell().expect("map has a peak");
+    let detections = cfar_ca_2d(&map, &CfarConfig::default()).expect("cfar succeeds");
+    let strongest = detections.iter().map(|d| d.magnitude).fold(0.0f32, f32::max);
+
+    // Full chain per frame, then fusion + feature map + CNN on the last frame.
+    let generator = PointCloudGenerator::new(config);
+    let frames: Vec<PointCloudFrame> = (0..3)
+        .map(|i| generator.generate(&scene_for_frame(&samples, i), i as u64).expect("chain runs"))
+        .collect();
+    let fusion = FrameFusion::default();
+    let fused = fusion.fused_points_owned(&frames, 2);
+    let builder = FeatureMapBuilder::default();
+    let features = builder.build(&fused, None).expect("feature map builds");
+    let input = Tensor::stack(std::slice::from_ref(&features)).expect("stack succeeds");
+    let mut model = build_mars_cnn(&ModelConfig::tiny(), 7).expect("model builds");
+    let logits = model.forward(&input, false).expect("forward succeeds");
+
+    let trace = FullChainTrace {
+        adc_samples: cube.samples(),
+        adc_chirps: cube.chirps(),
+        adc_antennas: cube.antennas(),
+        adc_rms: cube.rms(),
+        rd_range_bins: map.range_bins(),
+        rd_doppler_bins: map.doppler_bins(),
+        rd_peak_range_bin: peak_range,
+        rd_peak_doppler_bin: peak_doppler,
+        rd_peak_magnitude: map.magnitude_at(peak_range, peak_doppler),
+        cfar_detections: detections.len(),
+        cfar_strongest_magnitude: strongest,
+        points_per_frame: frames.iter().map(|f| f.len()).collect(),
+        points: StageDigest::of(&point_features(&frames), 20),
+        fused_count: fused.len(),
+        feature_map: StageDigest::of(features.as_slice(), 16),
+        logits: logits.as_slice().to_vec(),
+    };
+    check_or_update("full_chain_small", &trace);
+}
+
+/// Trace of a five-frame serving-session stream on the fast scatter model:
+/// the exact responses (all 57 logits per frame) the `fuse-serve` engine
+/// produces for a fixed subject, seed and model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ServeStreamTrace {
+    points_per_frame: Vec<usize>,
+    fused_counts: Vec<usize>,
+    model_version: u64,
+    responses: Vec<Vec<f32>>,
+}
+
+#[test]
+fn serve_session_stream_matches_golden() {
+    let animator =
+        MovementAnimator::new(Subject::profile(1), Movement::BothUpperLimbExtension, 10.0)
+            .with_seed(4);
+    let samples = animator.sample_frames_with_velocities(0.0, 5);
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
+    engine.open_session(0).expect("session opens");
+
+    let mut trace = ServeStreamTrace {
+        points_per_frame: Vec::new(),
+        fused_counts: Vec::new(),
+        model_version: 0,
+        responses: Vec::new(),
+    };
+    for i in 0..5 {
+        let frame = scatter.sample(&scene_for_frame(&samples, i), i as u64);
+        trace.points_per_frame.push(frame.len());
+        engine.submit(0, frame).expect("submit succeeds");
+        trace.fused_counts.push(engine.session(0).expect("session open").fused_points().len());
+        let responses = engine.step().expect("step succeeds");
+        assert_eq!(responses.len(), 1);
+        trace.responses.push(responses[0].joints.clone());
+    }
+    trace.model_version = engine.model_version();
+    check_or_update("serve_session_stream", &trace);
+}

@@ -11,6 +11,8 @@
 use fuse_core::prelude::*;
 use fuse_dataset::{encode_dataset, EncodedDataset};
 use fuse_parallel::{with_min_parallel_work, with_threads};
+use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig};
+use fuse_serve::{ServeConfig, ServeEngine, ServeResponse};
 
 fn encoded() -> EncodedDataset {
     let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
@@ -74,6 +76,113 @@ fn evaluation_is_bit_identical_across_thread_counts() {
     });
     assert_eq!(serial.0, parallel.0, "evaluation MAE diverged between thread counts");
     assert_eq!(serial.1, parallel.1, "predictions diverged between thread counts");
+}
+
+/// Pre-generates a deterministic stream of point-cloud frames per session.
+fn session_streams(sessions: usize, rounds: usize) -> Vec<Vec<PointCloudFrame>> {
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..sessions)
+        .map(|s| {
+            (0..rounds)
+                .map(|r| {
+                    // A small synthetic scene; only determinism matters here.
+                    let scene = (0..12)
+                        .map(|i| {
+                            let z = 0.2 + 0.1 * i as f32 + 0.01 * s as f32;
+                            fuse_radar::Scatterer::new(
+                                [0.05 * i as f32, 2.0, z],
+                                [0.0, 0.3, 0.0],
+                                1.0,
+                            )
+                        })
+                        .collect();
+                    scatter.sample(&scene, (s * rounds + r) as u64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Streams every session through one engine, submitting each round's frames
+/// in the given session order, and returns all responses in deterministic
+/// `(session, frame)` order.
+fn serve_stream(streams: &[Vec<PointCloudFrame>], submit_order: &[usize]) -> Vec<ServeResponse> {
+    let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
+    for s in 0..streams.len() {
+        engine.open_session(s as u64).unwrap();
+    }
+    // Adapt one session online so the private-model path is covered too.
+    let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
+    engine.adapt_session(1, &encoded(), &config).unwrap();
+
+    let mut responses = Vec::new();
+    // Rounds advance in lockstep across sessions; the submission order within
+    // a round is the permutation under test (hence the 2-D indexing).
+    #[allow(clippy::needless_range_loop)]
+    for round in 0..streams[0].len() {
+        for &s in submit_order {
+            let frame = streams[s][round].clone();
+            engine.submit(s as u64, frame).unwrap();
+        }
+        responses.extend(engine.step().unwrap());
+    }
+    responses
+}
+
+#[test]
+fn serving_is_bit_identical_across_thread_counts() {
+    let streams = session_streams(3, 4);
+    let order = [0usize, 1, 2];
+    let (serial, parallel) = serial_and_parallel(|| {
+        serve_stream(&streams, &order)
+            .into_iter()
+            .map(|r| (r.session_id, r.frame_index, r.adapted, r.joints))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(serial, parallel, "serving responses diverged between thread counts");
+    assert!(serial.iter().any(|(_, _, adapted, _)| *adapted), "the adapted path must be covered");
+}
+
+#[test]
+fn serving_is_independent_of_session_arrival_order() {
+    let streams = session_streams(3, 4);
+    let in_order = serve_stream(&streams, &[0, 1, 2]);
+    let reversed = serve_stream(&streams, &[2, 0, 1]);
+    assert_eq!(
+        in_order, reversed,
+        "micro-batched responses must not depend on submission interleaving"
+    );
+}
+
+#[test]
+fn serving_micro_batch_size_does_not_change_responses() {
+    // One step per round versus one big deferred micro-batch: the engine
+    // featurizes on submit, so batching granularity must not change a bit.
+    let streams = session_streams(2, 3);
+    let per_round = serve_stream(&streams, &[0, 1]);
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
+    engine.open_session(0).unwrap();
+    engine.open_session(1).unwrap();
+    let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
+    engine.adapt_session(1, &encoded(), &config).unwrap();
+    for round in 0..3 {
+        for (s, stream) in streams.iter().enumerate() {
+            engine.submit(s as u64, stream[round].clone()).unwrap();
+        }
+    }
+    let mut deferred = engine.step().unwrap();
+    deferred.sort_by_key(|r| (r.session_id, r.frame_index));
+    let mut per_round_sorted = per_round;
+    per_round_sorted.sort_by_key(|r| (r.session_id, r.frame_index));
+    let key = |r: &ServeResponse| (r.session_id, r.frame_index, r.joints.clone());
+    assert_eq!(
+        deferred.iter().map(key).collect::<Vec<_>>(),
+        per_round_sorted.iter().map(key).collect::<Vec<_>>(),
+        "batching granularity changed the numerics"
+    );
 }
 
 #[test]
