@@ -1,0 +1,73 @@
+//! Cluster serving throughput: N concurrent sessions streaming frames
+//! through a sharded `fuse-cluster` router.
+//!
+//! The scaling question behind the FUSE north star — many clients, many
+//! cores — measured at the router layer: one round submits a frame per
+//! session (async, channel transport) and drains the barrier, so the number
+//! includes routing, channel hops, per-shard micro-batching, inference and
+//! re-sequencing. The fan-out hot-swap timing covers the two-phase
+//! validate-everywhere-commit-everywhere path that keeps shards atomic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fuse_bench::subject_streams;
+use fuse_cluster::{ClusterConfig, ClusterRouter};
+use fuse_core::prelude::*;
+use fuse_serve::{ServeConfig, ServeEngine};
+
+fn router_with_sessions(shards: usize, subjects: usize) -> ClusterRouter {
+    let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
+    let config = ClusterConfig { shards, ..ClusterConfig::default() };
+    let mut router = ClusterRouter::new(model, config).expect("router builds");
+    for s in 0..subjects {
+        router.open_session(s as u64).expect("session opens");
+    }
+    router
+}
+
+fn bench_cluster_step(c: &mut Criterion) {
+    for subjects in [1usize, 4, 16] {
+        let streams = subject_streams(subjects, 8);
+        for shards in [1usize, 2, 4] {
+            let mut router = router_with_sessions(shards, subjects);
+            let mut round = 0usize;
+            c.bench_function(&format!("cluster_step_{subjects}_sessions_{shards}_shards"), |b| {
+                b.iter(|| {
+                    let frame_idx = round % streams[0].len();
+                    round += 1;
+                    for (s, stream) in streams.iter().enumerate() {
+                        router
+                            .submit(s as u64, stream[frame_idx].clone())
+                            .expect("submit succeeds");
+                    }
+                    black_box(router.drain().expect("drain succeeds"))
+                })
+            });
+            router.shutdown();
+        }
+    }
+}
+
+fn bench_fan_out_hot_swap(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("fuse_cluster_bench_hot_swap");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ckpt.json");
+    let donor = ServeEngine::new(
+        build_mars_cnn(&ModelConfig::default(), 11).expect("model builds"),
+        ServeConfig::default(),
+    )
+    .expect("engine builds");
+    donor.save_checkpoint("bench", &path).expect("checkpoint saves");
+    for shards in [1usize, 4] {
+        let mut router = router_with_sessions(shards, 1);
+        c.bench_function(&format!("cluster_hot_swap_fanout_{shards}_shards"), |b| {
+            b.iter(|| black_box(router.hot_swap(black_box(&path)).expect("hot swap succeeds")))
+        });
+        router.shutdown();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_cluster_step, bench_fan_out_hot_swap);
+criterion_main!(benches);

@@ -95,13 +95,15 @@ fn bench_end_to_end(c: &mut Criterion) {
         engine.submit(0, frame).expect("submit succeeds");
     }
     engine.step().expect("warm-up step succeeds");
+    engine.take_responses();
     let scene = human_scene(1);
 
     c.bench_function("end_to_end_frame_budget_100ms", |b| {
         b.iter(|| {
             let frame = scatter.sample(black_box(&scene), 9);
             engine.submit(0, frame).expect("submit succeeds");
-            black_box(engine.step().expect("step succeeds"))
+            engine.step().expect("step succeeds");
+            black_box(engine.take_responses())
         })
     });
 }

@@ -10,46 +10,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use fuse_bench::subject_streams;
 use fuse_core::prelude::*;
-use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
 use fuse_serve::{ServeConfig, ServeEngine};
-use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
-
-/// Movements cycled across the simulated subjects.
-const MOVEMENTS: [Movement; 4] = [
-    Movement::Squat,
-    Movement::LeftUpperLimbExtension,
-    Movement::BothUpperLimbExtension,
-    Movement::RightLimbExtension,
-];
-
-/// Pre-generates `frames` point-cloud frames for each of `subjects` clients,
-/// so the bench loop measures serving, not scene synthesis.
-fn subject_streams(subjects: usize, frames: usize) -> Vec<Vec<PointCloudFrame>> {
-    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
-    (0..subjects)
-        .map(|s| {
-            let animator = MovementAnimator::new(
-                Subject::profile(s % 4),
-                MOVEMENTS[s % MOVEMENTS.len()],
-                10.0,
-            )
-            .with_seed(s as u64);
-            let samples = animator.sample_frames_with_velocities(0.0, frames);
-            samples
-                .iter()
-                .enumerate()
-                .map(|(i, (skeleton, velocities))| {
-                    let scene: Scene = body_surface_points(skeleton, velocities, 4)
-                        .iter()
-                        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
-                        .collect();
-                    scatter.sample(&scene, (s * frames + i) as u64)
-                })
-                .collect()
-        })
-        .collect()
-}
 
 fn engine_with_sessions(subjects: usize) -> ServeEngine {
     let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
@@ -72,7 +35,8 @@ fn bench_serving_step(c: &mut Criterion) {
                 for (s, stream) in streams.iter().enumerate() {
                     engine.submit(s as u64, stream[frame_idx].clone()).expect("submit succeeds");
                 }
-                black_box(engine.step().expect("step succeeds"))
+                engine.step().expect("step succeeds");
+                black_box(engine.take_responses())
             })
         });
     }

@@ -23,6 +23,46 @@
 
 use std::time::Instant;
 
+use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+
+/// Movements cycled across the simulated subjects of the serving benches.
+pub const SERVING_MOVEMENTS: [Movement; 4] = [
+    Movement::Squat,
+    Movement::LeftUpperLimbExtension,
+    Movement::BothUpperLimbExtension,
+    Movement::RightLimbExtension,
+];
+
+/// Pre-generates `frames` point-cloud frames for each of `subjects` clients
+/// (distinct profiles, movements and seeds per subject), so serving bench
+/// loops measure the engine/router, not scene synthesis.
+pub fn subject_streams(subjects: usize, frames: usize) -> Vec<Vec<PointCloudFrame>> {
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..subjects)
+        .map(|s| {
+            let animator = MovementAnimator::new(
+                Subject::profile(s % 4),
+                SERVING_MOVEMENTS[s % SERVING_MOVEMENTS.len()],
+                10.0,
+            )
+            .with_seed(s as u64);
+            let samples = animator.sample_frames_with_velocities(0.0, frames);
+            samples
+                .iter()
+                .enumerate()
+                .map(|(i, (skeleton, velocities))| {
+                    let scene: Scene = body_surface_points(skeleton, velocities, 4)
+                        .iter()
+                        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+                        .collect();
+                    scatter.sample(&scene, (s * frames + i) as u64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Prints a standard banner for an experiment harness, including the active
 /// profile, and returns a timer started at the call.
 pub fn start_experiment(name: &str, profile_name: &str) -> Instant {

@@ -1,0 +1,231 @@
+//! Cluster configuration: shard count, backpressure policy, and typed
+//! environment-knob parsing.
+
+use fuse_serve::ServeConfig;
+
+use crate::error::ClusterError;
+use crate::Result;
+
+/// Environment knob selecting the number of engine shards.
+pub const FUSE_SHARDS_ENV: &str = "FUSE_SHARDS";
+
+/// Hard ceiling on the shard count: one engine per core is the intended
+/// deployment shape, so anything past this is a configuration mistake.
+pub const MAX_SHARDS: usize = 64;
+
+/// Default per-session queue capacity: at the 10 Hz frame rate a session
+/// with more than [`DEFAULT_QUEUE_CAPACITY`] frames queued is already most of
+/// a second behind the 100 ms budget, so this is where the backpressure
+/// policy kicks in.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 8;
+
+/// Default bound of each shard's command channel (the transport between
+/// submitting threads and the worker loop).
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// What a shard does when a session's pending queue reaches the configured
+/// capacity and another frame arrives for it.
+///
+/// | Policy        | Latency       | Loss                        | Use when |
+/// |---------------|---------------|-----------------------------|----------|
+/// | `Block`       | grows         | none                        | every frame matters (clinical capture) |
+/// | `DropOldest`  | bounded       | oldest frame per overflow   | freshest-pose-wins dashboards |
+/// | `MergeFrames` | bounded       | burst coalesced to newest   | bursty producers, keep one representative |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Serve the backlog before accepting the new frame: the shard steps its
+    /// engine until the session is under capacity again. Nothing is lost;
+    /// submit latency absorbs the overload. Because `Block` never discards
+    /// work, a caller that submits without ever collecting responses trades
+    /// memory for the losslessness — collect (`poll_responses`/`drain`) at
+    /// least as often as you submit bursts.
+    #[default]
+    Block,
+    /// Drop the session's oldest pending frame to make room. Bounded
+    /// latency; the drop is counted and surfaced in the cluster metrics.
+    DropOldest,
+    /// Collapse the session's pending queue to its newest frame (which
+    /// already carries the fused history of the burst) and count the merged
+    /// frames.
+    MergeFrames,
+}
+
+impl BackpressurePolicy {
+    /// Short lowercase policy name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::DropOldest => "drop-oldest",
+            BackpressurePolicy::MergeFrames => "merge-frames",
+        }
+    }
+}
+
+impl std::fmt::Display for BackpressurePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a [`crate::ClusterRouter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Per-shard engine configuration (every shard is identical).
+    pub serve: ServeConfig,
+    /// Number of engine shards; sessions map to shards deterministically by
+    /// `session_id % shards`.
+    pub shards: usize,
+    /// Per-session pending-frame capacity at which the backpressure policy
+    /// applies.
+    pub queue_capacity: usize,
+    /// Bound of each shard's submit channel.
+    pub channel_capacity: usize,
+    /// Backpressure policy applied by every shard.
+    pub policy: BackpressurePolicy,
+    /// When `true` (the default), shard workers run [`fuse_serve::ServeEngine::step`]
+    /// whenever their command queue is idle, so responses appear without an
+    /// explicit flush — the asynchronous serving mode. When `false`, engines
+    /// only step inside [`crate::ClusterRouter::drain`] (and inside a
+    /// blocking submit), which makes backpressure decisions a pure function
+    /// of the submit/drain schedule — the mode the deterministic
+    /// backpressure golden tests pin.
+    pub auto_step: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            serve: ServeConfig::default(),
+            shards: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            policy: BackpressurePolicy::default(),
+            auto_step: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The default configuration with the shard count taken from
+    /// `FUSE_SHARDS` (when set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidEnv`] when `FUSE_SHARDS` is set but is
+    /// not a positive integer, and [`ClusterError::InvalidConfig`] when it
+    /// exceeds [`MAX_SHARDS`].
+    pub fn from_env() -> Result<Self> {
+        let mut config = ClusterConfig::default();
+        if let Some(shards) = env_usize(FUSE_SHARDS_ENV)? {
+            config.shards = shards;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Validates the configuration, including the shard-relevant
+    /// [`ServeConfig`] fields every worker would otherwise reject at spawn
+    /// time (`max_batch >= 1`, a positive budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] describing the first problem
+    /// found.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ClusterError::InvalidConfig("shards must be nonzero".into()));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(ClusterError::InvalidConfig(format!(
+                "shards must be at most {MAX_SHARDS}, got {}",
+                self.shards
+            )));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ClusterError::InvalidConfig("queue_capacity must be nonzero".into()));
+        }
+        if self.channel_capacity == 0 {
+            return Err(ClusterError::InvalidConfig("channel_capacity must be nonzero".into()));
+        }
+        // Check the shard-relevant serve fields here too, so a bad engine
+        // config is rejected before any worker thread spawns — with the
+        // cluster's own typed error.
+        if self.serve.max_batch == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "serve.max_batch must be at least 1 (each shard micro-batches)".into(),
+            ));
+        }
+        self.serve.validate().map_err(|e| ClusterError::InvalidConfig(e.to_string()))
+    }
+}
+
+/// Reads a positive-integer environment knob, distinguishing *unset*
+/// (`Ok(None)`) from *unparseable* — which is a typed error naming the knob,
+/// never a panic or a silent fallback.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidEnv`] when the variable is set but does not
+/// parse as an integer `>= 1`.
+pub fn env_usize(name: &str) -> Result<Option<usize>> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(ClusterError::InvalidEnv { name: name.to_string(), value: raw }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ClusterConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values_with_typed_errors() {
+        let bad = |f: fn(&mut ClusterConfig)| {
+            let mut c = ClusterConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(matches!(bad(|c| c.shards = 0), Err(ClusterError::InvalidConfig(_))));
+        assert!(matches!(bad(|c| c.shards = MAX_SHARDS + 1), Err(ClusterError::InvalidConfig(_))));
+        assert!(matches!(bad(|c| c.queue_capacity = 0), Err(ClusterError::InvalidConfig(_))));
+        assert!(matches!(bad(|c| c.channel_capacity = 0), Err(ClusterError::InvalidConfig(_))));
+        let err = bad(|c| c.serve.max_batch = 0).unwrap_err();
+        assert!(err.to_string().contains("max_batch"), "serve fields are validated here too");
+        assert!(matches!(bad(|c| c.serve.budget_ms = -1.0), Err(ClusterError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn env_usize_distinguishes_unset_bad_and_good() {
+        // Process-global env vars: use names no other test touches.
+        assert_eq!(env_usize("FUSE_TEST_UNSET_KNOB").unwrap(), None);
+        std::env::set_var("FUSE_TEST_GOOD_KNOB", " 3 ");
+        assert_eq!(env_usize("FUSE_TEST_GOOD_KNOB").unwrap(), Some(3));
+        std::env::set_var("FUSE_TEST_BAD_KNOB", "2.5");
+        let err = env_usize("FUSE_TEST_BAD_KNOB").unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::InvalidEnv { name: "FUSE_TEST_BAD_KNOB".into(), value: "2.5".into() }
+        );
+        std::env::set_var("FUSE_TEST_ZERO_KNOB", "0");
+        assert!(env_usize("FUSE_TEST_ZERO_KNOB").is_err(), "zero shards would deadlock");
+        std::env::remove_var("FUSE_TEST_GOOD_KNOB");
+        std::env::remove_var("FUSE_TEST_BAD_KNOB");
+        std::env::remove_var("FUSE_TEST_ZERO_KNOB");
+    }
+
+    #[test]
+    fn policy_names_render() {
+        assert_eq!(BackpressurePolicy::Block.to_string(), "block");
+        assert_eq!(BackpressurePolicy::DropOldest.to_string(), "drop-oldest");
+        assert_eq!(BackpressurePolicy::MergeFrames.to_string(), "merge-frames");
+        assert_eq!(BackpressurePolicy::default(), BackpressurePolicy::Block);
+    }
+}

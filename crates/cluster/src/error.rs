@@ -1,0 +1,131 @@
+//! Error type for the cluster router.
+
+use std::error::Error;
+use std::fmt;
+
+use fuse_serve::ServeError;
+
+/// Error returned by fallible cluster operations.
+///
+/// Every mis-configuration — including bad environment knobs like
+/// `FUSE_SHARDS=zero` — surfaces as a typed variant with a message naming
+/// the offending knob and value, never as a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The cluster was configured inconsistently (zero shards, zero queue
+    /// capacity, a serve config the shards would reject, …).
+    InvalidConfig(String),
+    /// An environment knob (e.g. `FUSE_SHARDS`) did not parse.
+    InvalidEnv {
+        /// Name of the environment variable.
+        name: String,
+        /// The raw value that failed to parse.
+        value: String,
+    },
+    /// A frame or request referenced a session id no shard has open.
+    UnknownSession(u64),
+    /// A session with this id is already open somewhere in the cluster.
+    DuplicateSession(u64),
+    /// A shard's worker loop is gone (its thread exited or panicked), so the
+    /// command could not be delivered or acknowledged.
+    ShardUnavailable {
+        /// Index of the unreachable shard.
+        shard: usize,
+        /// The operation that could not complete.
+        during: &'static str,
+    },
+    /// A fan-out hot-swap was rolled back because one shard rejected the
+    /// checkpoint; **no** shard changed weights.
+    SwapAborted {
+        /// Index of the first shard that rejected the checkpoint.
+        shard: usize,
+        /// Why the shard rejected it.
+        source: ServeError,
+    },
+    /// A shard-level serving operation failed.
+    Serve(ServeError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(msg) => {
+                write!(f, "invalid cluster configuration: {msg}")
+            }
+            ClusterError::InvalidEnv { name, value } => {
+                write!(f, "environment knob {name}={value:?} is not a positive integer")
+            }
+            ClusterError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ClusterError::DuplicateSession(id) => write!(f, "session {id} is already open"),
+            ClusterError::ShardUnavailable { shard, during } => {
+                write!(f, "shard {shard} is unavailable (worker exited) during {during}")
+            }
+            ClusterError::SwapAborted { shard, source } => {
+                write!(f, "hot-swap aborted: shard {shard} rejected the checkpoint: {source}")
+            }
+            ClusterError::Serve(e) => write!(f, "shard error: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::SwapAborted { source, .. } => Some(source),
+            ClusterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for ClusterError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::UnknownSession(id) => ClusterError::UnknownSession(id),
+            ServeError::DuplicateSession(id) => ClusterError::DuplicateSession(id),
+            other => ClusterError::Serve(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_knob() {
+        let e = ClusterError::InvalidEnv { name: "FUSE_SHARDS".into(), value: "many".into() };
+        let text = e.to_string();
+        assert!(text.contains("FUSE_SHARDS"));
+        assert!(text.contains("many"));
+    }
+
+    #[test]
+    fn session_errors_map_through_from_serve() {
+        assert_eq!(
+            ClusterError::from(ServeError::UnknownSession(7)),
+            ClusterError::UnknownSession(7)
+        );
+        assert_eq!(
+            ClusterError::from(ServeError::DuplicateSession(3)),
+            ClusterError::DuplicateSession(3)
+        );
+        let wrapped = ClusterError::from(ServeError::InvalidConfig("x".into()));
+        assert!(matches!(wrapped, ClusterError::Serve(_)));
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn swap_abort_names_the_shard_and_cause() {
+        let e =
+            ClusterError::SwapAborted { shard: 2, source: ServeError::InvalidConfig("bad".into()) };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! Cluster-level observability: aggregated latency plus per-shard gauges.
+//!
+//! Each shard worker keeps its engine's [`fuse_serve::LatencyRecorder`] and a
+//! set of lifetime counters (drops, merges, blocked submits, steps,
+//! responses). [`crate::ClusterRouter::metrics`] snapshots every shard,
+//! absorbs the recorders in shard order into one cluster-level recorder, and
+//! returns this report — so SLO accounting (drops under `DropOldest`,
+//! coalesced bursts under `MergeFrames`, latency percentiles against the
+//! 100 ms budget) reads from a single place.
+
+use serde::{Deserialize, Serialize};
+
+use fuse_serve::LatencyReport;
+
+/// Point-in-time gauges and lifetime counters of one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardGauge {
+    /// Shard index.
+    pub shard: usize,
+    /// Number of sessions routed to this shard.
+    pub sessions: usize,
+    /// Total frames queued on the shard at snapshot time.
+    pub queue_depth: usize,
+    /// The session with the deepest queue at snapshot time, if any frames
+    /// were pending.
+    pub deepest_queue: Option<(u64, usize)>,
+    /// Responses produced but not yet collected at snapshot time.
+    pub ready: usize,
+    /// Frames dropped by the `DropOldest` policy over the shard's lifetime.
+    pub dropped_frames: u64,
+    /// Frames coalesced away by the `MergeFrames` policy over the shard's
+    /// lifetime.
+    pub merged_frames: u64,
+    /// Submits that had to serve backlog first under the `Block` policy.
+    pub blocked_submits: u64,
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Responses produced.
+    pub responses: u64,
+    /// The shard's base-model version (identical across shards outside a
+    /// fan-out swap).
+    pub model_version: u64,
+}
+
+/// A cluster-wide metrics snapshot (see the module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Latency percentiles aggregated over every shard's recorder, judged
+    /// against the shared per-frame budget.
+    pub report: LatencyReport,
+    /// One gauge row per shard, in shard order.
+    pub shards: Vec<ShardGauge>,
+}
+
+impl ClusterMetrics {
+    /// Total frames dropped by backpressure across the cluster.
+    pub fn dropped_frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_frames).sum()
+    }
+
+    /// Total frames merged away by backpressure across the cluster.
+    pub fn merged_frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.merged_frames).sum()
+    }
+
+    /// Total submits that blocked on backlog across the cluster.
+    pub fn blocked_submits(&self) -> u64 {
+        self.shards.iter().map(|s| s.blocked_submits).sum()
+    }
+
+    /// Total frames queued across the cluster at snapshot time.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Total responses produced across the cluster.
+    pub fn responses(&self) -> u64 {
+        self.shards.iter().map(|s| s.responses).sum()
+    }
+}
+
+impl std::fmt::Display for ClusterMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8} {:>6} {:>9}",
+            "shard",
+            "sessions",
+            "queued",
+            "ready",
+            "dropped",
+            "merged",
+            "blocked",
+            "steps",
+            "responses"
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "{:<6} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8} {:>6} {:>9}",
+                s.shard,
+                s.sessions,
+                s.queue_depth,
+                s.ready,
+                s.dropped_frames,
+                s.merged_frames,
+                s.blocked_submits,
+                s.steps,
+                s.responses
+            )?;
+        }
+        write!(f, "{}", self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuse_serve::LatencyRecorder;
+
+    fn gauge(shard: usize, dropped: u64, merged: u64, queued: usize) -> ShardGauge {
+        ShardGauge {
+            shard,
+            sessions: 2,
+            queue_depth: queued,
+            deepest_queue: (queued > 0).then_some((7, queued)),
+            ready: 0,
+            dropped_frames: dropped,
+            merged_frames: merged,
+            blocked_submits: 1,
+            steps: 10,
+            responses: 20,
+            model_version: 0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_shards() {
+        let metrics = ClusterMetrics {
+            report: LatencyRecorder::new(100.0).report(),
+            shards: vec![gauge(0, 3, 0, 2), gauge(1, 1, 5, 0)],
+        };
+        assert_eq!(metrics.dropped_frames(), 4);
+        assert_eq!(metrics.merged_frames(), 5);
+        assert_eq!(metrics.blocked_submits(), 2);
+        assert_eq!(metrics.queue_depth(), 2);
+        assert_eq!(metrics.responses(), 40);
+        let text = metrics.to_string();
+        assert!(text.contains("dropped"));
+        assert!(text.contains("budget"));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let metrics = ClusterMetrics {
+            report: LatencyRecorder::new(100.0).report(),
+            shards: vec![gauge(0, 1, 2, 3)],
+        };
+        let json = serde_json::to_string(&metrics).unwrap();
+        let back: ClusterMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+}

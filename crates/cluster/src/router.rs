@@ -1,0 +1,437 @@
+//! The cluster router: N engine shards behind one deterministic façade.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fuse_core::{FineTuneConfig, FineTuneResult};
+use fuse_dataset::EncodedDataset;
+use fuse_nn::Sequential;
+use fuse_parallel::channel::{bounded, Sender};
+use fuse_radar::PointCloudFrame;
+use fuse_serve::{LatencyRecorder, ServeEngine, ServeResponse};
+
+use crate::config::ClusterConfig;
+use crate::error::ClusterError;
+use crate::metrics::ClusterMetrics;
+use crate::worker::{Command, ShardWorker};
+use crate::Result;
+
+/// Outcome of closing a session cluster-wide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedSession {
+    /// The session id.
+    pub session_id: u64,
+    /// The shard the session lived on.
+    pub shard: usize,
+    /// Whether the session had been adapted to a private model.
+    pub adapted: bool,
+    /// Frame indices that were still queued when the session closed —
+    /// returned for accounting, never silently dropped.
+    pub unserved_frames: Vec<u64>,
+}
+
+/// Outcome of a successful fan-out hot-swap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapReport {
+    /// Model name recorded in the checkpoint.
+    pub model_name: String,
+    /// Number of scalar parameters swapped in.
+    pub param_len: usize,
+    /// The model version every shard now serves.
+    pub version: u64,
+}
+
+/// Everything one [`ClusterRouter::drain`] barrier returns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DrainReport {
+    /// Every response produced since the last collection, sorted by
+    /// `(session id, frame index)`.
+    pub responses: Vec<ServeResponse>,
+    /// `(session, frame)` pairs dropped by the `DropOldest` policy since the
+    /// last flush, sorted.
+    pub dropped: Vec<(u64, u64)>,
+    /// `(session, frame)` pairs merged away by the `MergeFrames` policy
+    /// since the last flush, sorted.
+    pub merged: Vec<(u64, u64)>,
+}
+
+/// Sharded asynchronous serving router (the `fuse-cluster` tentpole).
+///
+/// A `ClusterRouter` wraps `shards` independent [`ServeEngine`]s, each driven
+/// by its own worker thread, behind one façade:
+///
+/// * **Deterministic sharding** — session `s` always lives on shard
+///   `s % shards` ([`ClusterRouter::shard_of`]); a session's frames are
+///   featurized, queued and served entirely on that shard, so its response
+///   stream is bit-identical for *any* shard count.
+/// * **Async ingestion** — [`ClusterRouter::submit`] only enqueues onto the
+///   shard's bounded command channel; inference happens on the worker
+///   thread. Producers never block on the model (they block only when the
+///   transport channel itself is full).
+/// * **Backpressure** — when a session's queue reaches the configured
+///   capacity, the shard applies the configured
+///   [`crate::BackpressurePolicy`]; drops and merges are counted and
+///   surfaced via [`ClusterRouter::metrics`] and [`DrainReport`].
+/// * **Atomic fan-out hot-swap** — [`ClusterRouter::hot_swap`] validates the
+///   checkpoint on every shard before committing on any; a single rejection
+///   rolls the whole swap back ([`ClusterError::SwapAborted`]).
+/// * **Re-sequenced responses** — [`ClusterRouter::drain`] is a barrier that
+///   serves every queued frame and returns all responses sorted by
+///   `(session id, frame index)`: the externally observable ordering is a
+///   pure function of the submitted workload, independent of shard count and
+///   thread interleaving.
+#[derive(Debug)]
+pub struct ClusterRouter {
+    config: ClusterConfig,
+    senders: Vec<Sender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+    sessions: BTreeMap<u64, usize>,
+    /// Flush reports collected during a [`ClusterRouter::drain`] that failed
+    /// on another shard; returned by the next successful drain so nothing a
+    /// healthy shard already handed over is lost.
+    carry: DrainReport,
+}
+
+impl ClusterRouter {
+    /// Spawns `config.shards` worker threads, each serving a clone of
+    /// `model` with the shared [`fuse_serve::ServeConfig`].
+    ///
+    /// The thread count the kernels under each shard use is pinned to the
+    /// *caller's* [`fuse_parallel::available_threads`] at construction time,
+    /// so a `with_threads(1, …)` test override propagates into the worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for an invalid configuration.
+    pub fn new(model: Sequential, config: ClusterConfig) -> Result<Self> {
+        config.validate()?;
+        let kernel_threads = fuse_parallel::available_threads();
+        let kernel_min_work = fuse_parallel::min_parallel_work();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let engine = ServeEngine::new(model.clone(), config.serve.clone())
+                .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
+            let (tx, rx) = bounded(config.channel_capacity);
+            let worker = ShardWorker::new(
+                shard,
+                engine,
+                rx,
+                config.queue_capacity,
+                config.policy,
+                config.auto_step,
+                // Uncollected responses pause autonomous stepping at the
+                // transport bound, keeping an unpolled shard's memory
+                // bounded by channel + pending queues + this buffer.
+                config.channel_capacity,
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("fuse-cluster-shard-{shard}"))
+                .spawn(move || {
+                    // Propagate the constructor thread's kernel overrides into
+                    // the worker (they are thread-local, so the equivalence
+                    // tests' `with_threads`/`with_min_parallel_work` scopes
+                    // would otherwise stop at the thread boundary).
+                    fuse_parallel::with_threads(kernel_threads, || {
+                        fuse_parallel::with_min_parallel_work(kernel_min_work, || worker.run())
+                    })
+                })
+                .expect("spawning shard worker failed");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(ClusterRouter {
+            config,
+            senders,
+            workers,
+            sessions: BTreeMap::new(),
+            carry: DrainReport::default(),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of engine shards.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Number of open sessions across the cluster.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The shard a session id maps to: `id % shards`, a pure function of the
+    /// id and the shard count.
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        (session_id % self.config.shards as u64) as usize
+    }
+
+    fn send(&self, shard: usize, command: Command, during: &'static str) -> Result<()> {
+        self.senders[shard]
+            .send(command)
+            .map_err(|_| ClusterError::ShardUnavailable { shard, during })
+    }
+
+    fn recv_ack<T>(
+        &self,
+        shard: usize,
+        ack: &fuse_parallel::channel::Receiver<T>,
+        during: &'static str,
+    ) -> Result<T> {
+        ack.recv().map_err(|_| ClusterError::ShardUnavailable { shard, during })
+    }
+
+    /// Opens a session on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::DuplicateSession`] when the id is already open
+    /// anywhere in the cluster.
+    pub fn open_session(&mut self, id: u64) -> Result<()> {
+        if self.sessions.contains_key(&id) {
+            return Err(ClusterError::DuplicateSession(id));
+        }
+        let shard = self.shard_of(id);
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(shard, Command::Open { id, ack: ack_tx }, "open_session")?;
+        self.recv_ack(shard, &ack_rx, "open_session")??;
+        self.sessions.insert(id, shard);
+        Ok(())
+    }
+
+    /// Closes a session, reporting any frames that were still queued for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownSession`] when the id is not open.
+    pub fn close_session(&mut self, id: u64) -> Result<ClosedSession> {
+        let shard = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(shard, Command::Close { id, ack: ack_tx }, "close_session")?;
+        let report = self.recv_ack(shard, &ack_rx, "close_session")??;
+        self.sessions.remove(&id);
+        Ok(ClosedSession {
+            session_id: id,
+            shard,
+            adapted: report.adapted,
+            unserved_frames: report.unserved,
+        })
+    }
+
+    /// Submits one frame for a session: the frame is handed to the session's
+    /// shard and the call returns — inference happens on the worker thread.
+    /// Blocks only when the shard's transport channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownSession`] for an unopened id.
+    pub fn submit(&mut self, id: u64, frame: PointCloudFrame) -> Result<()> {
+        let shard = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
+        self.send(shard, Command::Submit { id, frame }, "submit")
+    }
+
+    /// Collects whatever responses are ready right now, without waiting for
+    /// queued frames, sorted by `(session id, frame index)`. Per session the
+    /// stream is always in frame order; *which* frames are already answered
+    /// depends on worker timing — use [`ClusterRouter::drain`] for the
+    /// deterministic barrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardUnavailable`] when a worker is gone.
+    pub fn poll_responses(&mut self) -> Result<Vec<ServeResponse>> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            self.send(shard, Command::Poll { ack: ack_tx }, "poll_responses")?;
+            acks.push(ack_rx);
+        }
+        let mut responses = Vec::new();
+        for (shard, ack) in acks.iter().enumerate() {
+            responses.extend(self.recv_ack(shard, ack, "poll_responses")?);
+        }
+        responses.sort_by_key(|r| (r.session_id, r.frame_index));
+        Ok(responses)
+    }
+
+    /// Barrier: every frame submitted before this call is served (or dropped
+    /// / merged by backpressure), and everything produced since the last
+    /// collection is returned re-sequenced by `(session id, frame index)`.
+    ///
+    /// The flush fans out to all shards in parallel and gathers in shard
+    /// order, so for a given submit/drain schedule the report — responses,
+    /// drops and merges alike — is bit-identical for any shard count, thread
+    /// count and submission interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardUnavailable`] when a worker is gone and
+    /// propagates the first engine failure of a shard as
+    /// [`ClusterError::Serve`]. Even then, every *healthy* shard's flush is
+    /// still received and retained, so the failed drain loses nothing: the
+    /// next successful `drain` returns the carried responses and eviction
+    /// records alongside the new ones.
+    pub fn drain(&mut self) -> Result<DrainReport> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            self.send(shard, Command::Flush { ack: ack_tx }, "drain")?;
+            acks.push(ack_rx);
+        }
+        // Gather EVERY shard's ack before propagating any error — an early
+        // return would discard the flushes the healthy shards already took
+        // out of their engines.
+        let mut failure: Option<ClusterError> = None;
+        for (shard, ack) in acks.iter().enumerate() {
+            match self.recv_ack(shard, ack, "drain") {
+                Ok(Ok(flush)) => {
+                    self.carry.responses.extend(flush.responses);
+                    self.carry.dropped.extend(flush.dropped);
+                    self.carry.merged.extend(flush.merged);
+                }
+                Ok(Err(e)) if failure.is_none() => failure = Some(ClusterError::from(e)),
+                Err(e) if failure.is_none() => failure = Some(e),
+                _ => {}
+            }
+        }
+        if let Some(error) = failure {
+            return Err(error);
+        }
+        let mut report = std::mem::take(&mut self.carry);
+        report.responses.sort_by_key(|r| (r.session_id, r.frame_index));
+        report.dropped.sort_unstable();
+        report.merged.sort_unstable();
+        Ok(report)
+    }
+
+    /// Fine-tunes a session online on its shard (see
+    /// [`ServeEngine::adapt_session`]); blocks until the adaptation finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownSession`] for an unopened id and
+    /// propagates fine-tuning errors.
+    pub fn adapt_session(
+        &mut self,
+        id: u64,
+        data: &EncodedDataset,
+        config: &FineTuneConfig,
+    ) -> Result<FineTuneResult> {
+        let shard = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
+        let (ack_tx, ack_rx) = bounded(1);
+        let command =
+            Command::Adapt { id, data: Arc::new(data.clone()), config: *config, ack: ack_tx };
+        self.send(shard, command, "adapt_session")?;
+        Ok(self.recv_ack(shard, &ack_rx, "adapt_session")??)
+    }
+
+    /// Atomically hot-swaps a `fuse-nn` JSON checkpoint into **every** shard:
+    /// phase one validates the checkpoint on each shard without touching its
+    /// served weights ([`ServeEngine::prepare_hot_swap`]); only when all
+    /// shards accept does phase two commit — so either the whole cluster
+    /// serves the new weights (every shard's version bumped together) or no
+    /// shard does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::SwapAborted`] naming the first shard that
+    /// rejected the checkpoint; the cluster keeps serving the old weights.
+    pub fn hot_swap(&mut self, path: &Path) -> Result<SwapReport> {
+        // Phase 1: validate everywhere, commit nowhere.
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            let command = Command::PrepareSwap { path: path.to_path_buf(), ack: ack_tx };
+            self.send(shard, command, "hot_swap prepare")?;
+            acks.push(ack_rx);
+        }
+        let mut meta = None;
+        let mut rejection = None;
+        for (shard, ack) in acks.iter().enumerate() {
+            match self.recv_ack(shard, ack, "hot_swap prepare")? {
+                Ok(m) => meta = Some(m),
+                Err(e) if rejection.is_none() => rejection = Some((shard, e)),
+                Err(_) => {}
+            }
+        }
+        if let Some((shard, source)) = rejection {
+            for s in 0..self.senders.len() {
+                self.send(s, Command::AbortSwap, "hot_swap abort")?;
+            }
+            return Err(ClusterError::SwapAborted { shard, source });
+        }
+        // Phase 2: every shard accepted; commits cannot fail.
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            self.send(shard, Command::CommitSwap { ack: ack_tx }, "hot_swap commit")?;
+            acks.push(ack_rx);
+        }
+        let mut version = 0;
+        for (shard, ack) in acks.iter().enumerate() {
+            version = self.recv_ack(shard, ack, "hot_swap commit")?;
+        }
+        let meta = meta.expect("at least one shard prepared");
+        Ok(SwapReport { model_name: meta.model_name, param_len: meta.param_len, version })
+    }
+
+    /// Snapshots every shard and returns the aggregated cluster metrics:
+    /// per-shard queue-depth gauges and policy counters, plus one
+    /// cluster-level latency report built by absorbing each shard's recorder
+    /// in shard order ([`LatencyRecorder::absorb`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardUnavailable`] when a worker is gone.
+    pub fn metrics(&mut self) -> Result<ClusterMetrics> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            self.send(shard, Command::Snapshot { ack: ack_tx }, "metrics")?;
+            acks.push(ack_rx);
+        }
+        let mut snapshots = Vec::with_capacity(acks.len());
+        for (shard, ack) in acks.iter().enumerate() {
+            snapshots.push(self.recv_ack(shard, ack, "metrics")?);
+        }
+        // Size the aggregate window to hold every shard's full window:
+        // absorbing N full recorders into a default-sized one would evict
+        // the earlier shards' samples and hide exactly the slow shard the
+        // report exists to expose.
+        let window: usize = snapshots.iter().map(|s| s.recorder.sample_window()).sum();
+        let mut recorder =
+            LatencyRecorder::new(self.config.serve.budget_ms).with_sample_window(window.max(1));
+        let mut shards = Vec::with_capacity(snapshots.len());
+        for snapshot in snapshots {
+            recorder.absorb(&snapshot.recorder);
+            shards.push(snapshot.gauge);
+        }
+        Ok(ClusterMetrics { report: recorder.report(), shards })
+    }
+
+    /// Shuts the cluster down: closes every command channel and joins the
+    /// worker threads.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ClusterRouter {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}

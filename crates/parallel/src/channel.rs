@@ -1,0 +1,367 @@
+//! A small bounded MPSC channel.
+//!
+//! The serving cluster (`fuse-cluster`) needs a submit path where radar I/O
+//! threads hand frames to per-shard worker loops without ever blocking on
+//! inference, and where a full queue is an explicit, policy-visible condition
+//! rather than unbounded memory growth. The standard library offers
+//! `std::sync::mpsc`, but its `SyncSender` cannot be polled for depth and its
+//! error types carry no distinction the cluster cares about; more
+//! importantly, the workspace keeps every concurrency primitive it relies on
+//! for bit-reproducibility in one vendored place. This module is that
+//! primitive: a Mutex + Condvar ring with blocking and non-blocking ends.
+//!
+//! Properties:
+//!
+//! * **Bounded.** [`bounded`] fixes the capacity up front; [`Sender::send`]
+//!   blocks while the queue is full (transport backpressure), while
+//!   [`Sender::try_send`] surfaces [`TrySendError::Full`] so callers can
+//!   apply a drop/merge policy instead of waiting.
+//! * **MPSC.** [`Sender`] is `Clone`; the single [`Receiver`] preserves FIFO
+//!   order, which the cluster router relies on for its flush barriers (a
+//!   flush command enqueued after N submits is handed to the worker after
+//!   all N submits).
+//! * **Disconnect-aware.** When every sender is dropped, `recv` drains the
+//!   queue and then reports [`RecvError`]; when the receiver is dropped,
+//!   sends fail fast instead of blocking forever.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Creates a bounded FIFO channel with room for `capacity` queued values
+/// (clamped to at least 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a [`bounded`] channel; clone it for multiple
+/// producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a [`bounded`] channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiver of the channel was dropped; the value is handed back.
+pub struct SendError<T>(pub T);
+
+/// A non-blocking send failed.
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the value is handed back.
+    Full(T),
+    /// The receiver was dropped; the value is handed back.
+    Disconnected(T),
+}
+
+/// Every sender was dropped and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// A non-blocking receive found nothing to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain connected.
+    Empty,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] (handing the value back) when the receiver was
+    /// dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Enqueues `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] when the queue is at capacity and
+    /// [`TrySendError::Disconnected`] when the receiver was dropped; both
+    /// hand the value back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        if !inner.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel lock poisoned").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake a receiver blocked on an empty queue so it can observe the
+            // disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest value, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once every sender was dropped *and* the queue is
+    /// drained (queued values are always delivered first).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Dequeues the oldest value without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when nothing is queued and
+    /// [`TryRecvError::Disconnected`] when additionally every sender was
+    /// dropped.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        match inner.queue.pop_front() {
+            Some(value) => {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                Ok(value)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of currently queued values.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("channel lock poisoned").queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        inner.receiver_alive = false;
+        drop(inner);
+        // Wake every sender blocked on a full queue so they can fail fast.
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+        }
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_hands_the_value_back() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_blocks_until_the_receiver_makes_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u64).unwrap();
+        let producer = thread::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_all_senders_drains_then_disconnects() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        tx2.send(8).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_senders_fast() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        match tx.try_send(2) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 2),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u64).unwrap();
+        let producer = thread::spawn(move || tx.send(1).is_err());
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(producer.join().unwrap(), "the blocked send must fail once the receiver is gone");
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded(4);
+        let handles: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..25u64 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 100);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 100, "every sent value arrives exactly once");
+    }
+}

@@ -37,6 +37,13 @@
 //! * `FUSE_PAR_MIN_WORK` / [`with_min_parallel_work`] — the work threshold
 //!   (in fused multiply-adds or comparable scalar op counts) below which
 //!   [`parallel_beneficial`] tells kernels to stay serial.
+//!
+//! Besides the fork-join primitives, the crate ships [`channel`], a bounded
+//! MPSC channel used by the `fuse-cluster` router as its asynchronous submit
+//! path (frame producers never block on inference; a full queue is an
+//! explicit condition backpressure policies can act on).
+
+pub mod channel;
 
 use std::cell::Cell;
 use std::collections::VecDeque;

@@ -104,12 +104,60 @@ pub struct ServeResponse {
 type ForwardGroup = (Vec<(u64, u64)>, Vec<Tensor>);
 
 /// A featurized frame waiting for the next micro-batch.
+///
+/// Pending frames become visible outside the engine when a session is closed
+/// with work still queued ([`ServeEngine::close_session`] returns them so a
+/// router can account for or re-route the unserved work instead of silently
+/// losing it).
 #[derive(Debug)]
-struct PendingFrame {
+pub struct PendingFrame {
     session_id: u64,
     frame_index: u64,
     features: Tensor,
     submitted: Instant,
+}
+
+impl PendingFrame {
+    /// Session the frame belongs to.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Lifetime index of the frame within its session.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// The featurized `[C, H, W]` input tensor built at submit time.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// When the frame was submitted.
+    pub fn submitted(&self) -> Instant {
+        self.submitted
+    }
+}
+
+/// A checkpoint validated against the engine's architecture but not yet
+/// applied (see [`ServeEngine::prepare_hot_swap`]).
+///
+/// Holding a `PreparedSwap` means the checkpoint decoded cleanly and its
+/// layout matches the served model; committing it cannot fail. A cluster
+/// router uses this split to fan a swap out atomically: *prepare* on every
+/// shard, and only if all of them succeed, *commit* on all — so either every
+/// shard serves the new weights or none does.
+#[derive(Debug)]
+pub struct PreparedSwap {
+    candidate: Sequential,
+    checkpoint: Checkpoint,
+}
+
+impl PreparedSwap {
+    /// Metadata of the validated checkpoint.
+    pub fn checkpoint(&self) -> &Checkpoint {
+        &self.checkpoint
+    }
 }
 
 /// Sessionized streaming inference engine (see the module docs).
@@ -120,6 +168,7 @@ pub struct ServeEngine {
     model_version: u64,
     sessions: BTreeMap<u64, Session>,
     pending: Vec<PendingFrame>,
+    ready: Vec<ServeResponse>,
     recorder: LatencyRecorder,
 }
 
@@ -139,6 +188,7 @@ impl ServeEngine {
             model_version: 0,
             sessions: BTreeMap::new(),
             pending: Vec::new(),
+            ready: Vec::new(),
             recorder,
         })
     }
@@ -180,6 +230,67 @@ impl ServeEngine {
         self.pending.len()
     }
 
+    /// Number of frames queued for the next step that belong to `session_id`
+    /// — the per-session queue depth backpressure policies act on.
+    pub fn pending_for(&self, session_id: u64) -> usize {
+        self.pending.iter().filter(|p| p.session_id == session_id).count()
+    }
+
+    /// Per-session queue depths of every session with pending work, keyed by
+    /// session id (sessions with an empty queue are omitted).
+    pub fn queue_depths(&self) -> BTreeMap<u64, usize> {
+        let mut depths = BTreeMap::new();
+        for p in &self.pending {
+            *depths.entry(p.session_id).or_insert(0) += 1;
+        }
+        depths
+    }
+
+    /// Number of responses produced by past steps and not yet taken with
+    /// [`ServeEngine::take_responses`].
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Removes and returns the oldest pending frame of `session_id` (the one
+    /// with the smallest frame index), or `None` when the session has no
+    /// queued work. Returns the dropped frame's index so the caller can
+    /// account for it — this is the `DropOldest` backpressure primitive.
+    pub fn drop_oldest_pending(&mut self, session_id: u64) -> Option<u64> {
+        let (slot, _) = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.session_id == session_id)
+            .min_by_key(|(_, p)| p.frame_index)?;
+        Some(self.pending.remove(slot).frame_index)
+    }
+
+    /// Collapses the pending queue of `session_id` to its newest frame and
+    /// returns the frame indices that were merged away (ascending), empty
+    /// when the session had at most one frame queued.
+    ///
+    /// The newest frame already carries the session's fused history (features
+    /// are built over the rolling fusion window at submit time), so it is the
+    /// natural representative of the coalesced burst — this is the
+    /// `MergeFrames` backpressure primitive.
+    pub fn merge_pending(&mut self, session_id: u64) -> Vec<u64> {
+        let newest =
+            self.pending.iter().filter(|p| p.session_id == session_id).map(|p| p.frame_index).max();
+        let Some(newest) = newest else { return Vec::new() };
+        let mut merged = Vec::new();
+        self.pending.retain(|p| {
+            if p.session_id == session_id && p.frame_index != newest {
+                merged.push(p.frame_index);
+                false
+            } else {
+                true
+            }
+        });
+        merged.sort_unstable();
+        merged
+    }
+
     /// Opens a new session.
     ///
     /// # Errors
@@ -198,15 +309,34 @@ impl ServeEngine {
         }
     }
 
-    /// Closes a session, dropping its queued frames, and returns its state.
+    /// Closes a session and returns its state together with any frames that
+    /// were still queued for it, in frame-index order. Nothing is silently
+    /// dropped: a router closing a session mid-stream can re-route or account
+    /// for the unserved work.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownSession`] when the id is not open.
-    pub fn close_session(&mut self, id: u64) -> Result<Session> {
+    pub fn close_session(&mut self, id: u64) -> Result<(Session, Vec<PendingFrame>)> {
         let session = self.sessions.remove(&id).ok_or(ServeError::UnknownSession(id))?;
-        self.pending.retain(|p| p.session_id != id);
-        Ok(session)
+        let mut unserved = Vec::new();
+        self.pending.retain_mut(|p| {
+            if p.session_id == id {
+                // `retain_mut` only hands out `&mut`, so move the frame out
+                // through a cheap placeholder swap.
+                unserved.push(PendingFrame {
+                    session_id: p.session_id,
+                    frame_index: p.frame_index,
+                    features: std::mem::replace(&mut p.features, Tensor::scalar(0.0)),
+                    submitted: p.submitted,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        unserved.sort_by_key(|p| p.frame_index);
+        Ok((session, unserved))
     }
 
     /// A session by id.
@@ -247,8 +377,10 @@ impl ServeEngine {
     /// round-robin across sessions (by each frame's rank within its session's
     /// queue, oldest first, ties broken by session id) — never in arrival
     /// order — stacks the frames of base-model sessions into a single forward
-    /// pass, runs one stacked pass per adapted session, and returns the
-    /// responses sorted by `(session id, frame index)`.
+    /// pass and runs one stacked pass per adapted session. The responses,
+    /// sorted by `(session id, frame index)`, are appended to the ready
+    /// buffer ([`ServeEngine::take_responses`]); the step returns how many
+    /// were produced.
     ///
     /// Round-robin keeps the schedule fair under load: when one session
     /// floods the queue past `max_batch`, every other session's oldest frame
@@ -262,9 +394,9 @@ impl ServeEngine {
     ///
     /// Propagates inference failures; the consumed frames are dropped in that
     /// case (the model state, not the queue, is the source of truth).
-    pub fn step(&mut self) -> Result<Vec<ServeResponse>> {
+    pub fn step(&mut self) -> Result<usize> {
         if self.pending.is_empty() {
-            return Ok(Vec::new());
+            return Ok(0);
         }
         // Rank every pending frame within its session (0 = that session's
         // oldest pending frame); the (session id, frame index) pre-sort makes
@@ -338,7 +470,17 @@ impl ServeEngine {
         }
 
         responses.sort_by_key(|r| (r.session_id, r.frame_index));
-        Ok(responses)
+        let produced = responses.len();
+        self.ready.append(&mut responses);
+        Ok(produced)
+    }
+
+    /// Drains the responses accumulated by past [`ServeEngine::step`] calls,
+    /// in production order (each step's responses are sorted by
+    /// `(session id, frame index)`, so per session the stream is always in
+    /// frame order).
+    pub fn take_responses(&mut self) -> Vec<ServeResponse> {
+        std::mem::take(&mut self.ready)
     }
 
     fn extend_responses(
@@ -379,21 +521,46 @@ impl ServeEngine {
         session.adapt(&self.base, data, config)
     }
 
+    /// Validates a `fuse-nn` JSON checkpoint against this engine's model
+    /// architecture *without* applying it: the weights are loaded into a
+    /// clone of the base model and returned as a [`PreparedSwap`] whose
+    /// commit cannot fail. The engine itself is untouched (`&self`).
+    ///
+    /// A cluster router calls this on every shard first and commits only if
+    /// every shard prepared successfully — the all-or-nothing fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode/layout errors as [`ServeError::Nn`].
+    pub fn prepare_hot_swap(&self, path: &Path) -> Result<PreparedSwap> {
+        let mut candidate = self.base.clone();
+        let checkpoint = load_params_json(&mut candidate, path)?;
+        Ok(PreparedSwap { candidate, checkpoint })
+    }
+
+    /// Applies a [`PreparedSwap`] produced by
+    /// [`ServeEngine::prepare_hot_swap`]: the base model is replaced and
+    /// [`ServeEngine::model_version`] bumped. Infallible by construction —
+    /// every way the swap can fail was checked at prepare time.
+    pub fn commit_hot_swap(&mut self, prepared: PreparedSwap) -> Checkpoint {
+        self.base = prepared.candidate;
+        self.model_version += 1;
+        prepared.checkpoint
+    }
+
     /// Loads a `fuse-nn` JSON checkpoint into the shared base model and bumps
     /// [`ServeEngine::model_version`]. The checkpoint is validated against a
-    /// clone first: on any error the engine keeps serving the old weights.
-    /// Adapted sessions keep their private models (call
-    /// [`Session::reset_to_base`] to rejoin the shared model).
+    /// clone first ([`ServeEngine::prepare_hot_swap`]): on any error the
+    /// engine keeps serving the old weights. Adapted sessions keep their
+    /// private models (call [`Session::reset_to_base`] to rejoin the shared
+    /// model).
     ///
     /// # Errors
     ///
     /// Propagates read/decode/layout errors as [`ServeError::Nn`].
     pub fn hot_swap(&mut self, path: &Path) -> Result<Checkpoint> {
-        let mut candidate = self.base.clone();
-        let checkpoint = load_params_json(&mut candidate, path)?;
-        self.base = candidate;
-        self.model_version += 1;
-        Ok(checkpoint)
+        let prepared = self.prepare_hot_swap(path)?;
+        Ok(self.commit_hot_swap(prepared))
     }
 
     /// Saves the shared base model as a `fuse-nn` JSON checkpoint.
@@ -452,10 +619,17 @@ mod tests {
         assert!(matches!(engine.submit(9, frame(0, 4)), Err(ServeError::UnknownSession(9))));
         assert!(matches!(engine.close_session(9), Err(ServeError::UnknownSession(9))));
         engine.submit(1, frame(0, 4)).unwrap();
-        assert_eq!(engine.pending_len(), 1);
-        let closed = engine.close_session(1).unwrap();
+        engine.submit(1, frame(1, 4)).unwrap();
+        assert_eq!(engine.pending_len(), 2);
+        assert_eq!(engine.pending_for(1), 2);
+        let (closed, unserved) = engine.close_session(1).unwrap();
         assert_eq!(closed.id(), 1);
-        assert_eq!(engine.pending_len(), 0, "closing a session drops its queued frames");
+        assert_eq!(engine.pending_len(), 0, "closing a session removes its queued frames");
+        assert_eq!(unserved.len(), 2, "queued frames are returned, not silently dropped");
+        assert_eq!(unserved[0].frame_index(), 0);
+        assert_eq!(unserved[1].frame_index(), 1);
+        assert!(unserved.iter().all(|p| p.session_id() == 1));
+        assert_eq!(unserved[0].features().dims(), &[5, 8, 8]);
         assert_eq!(engine.session_count(), 0);
     }
 
@@ -467,8 +641,11 @@ mod tests {
             let index = engine.submit(5, frame(i, 16)).unwrap();
             assert_eq!(index, i);
         }
-        let responses = engine.step().unwrap();
+        assert_eq!(engine.step().unwrap(), 4);
+        assert_eq!(engine.ready_len(), 4);
+        let responses = engine.take_responses();
         assert_eq!(responses.len(), 4);
+        assert_eq!(engine.ready_len(), 0);
         for (i, r) in responses.iter().enumerate() {
             assert_eq!(r.session_id, 5);
             assert_eq!(r.frame_index, i as u64);
@@ -478,7 +655,7 @@ mod tests {
             assert!(r.joints.iter().all(|v| v.is_finite()));
         }
         assert_eq!(engine.pending_len(), 0);
-        assert!(engine.step().unwrap().is_empty());
+        assert_eq!(engine.step().unwrap(), 0);
         assert_eq!(engine.recorder().count(Stage::Total), 4);
         assert_eq!(engine.recorder().count(Stage::Inference), 1);
         assert_eq!(engine.recorder().count(Stage::Fuse), 4);
@@ -493,15 +670,16 @@ mod tests {
             batched.open_session(id).unwrap();
             batched.submit(id, frame(id, 12)).unwrap();
         }
-        let together = batched.step().unwrap();
+        assert_eq!(batched.step().unwrap(), 3);
+        let together = batched.take_responses();
         assert_eq!(together.len(), 3);
 
         for (i, id) in [2u64, 4, 8].into_iter().enumerate() {
             let mut solo = tiny_engine();
             solo.open_session(id).unwrap();
             solo.submit(id, frame(id, 12)).unwrap();
-            let alone = solo.step().unwrap();
-            assert_eq!(alone.len(), 1);
+            assert_eq!(solo.step().unwrap(), 1);
+            let alone = solo.take_responses();
             assert_eq!(together[i].joints, alone[0].joints, "row {i} diverged from solo forward");
         }
     }
@@ -520,7 +698,9 @@ mod tests {
             engine.submit(0, frame(i, 8)).unwrap();
         }
         engine.submit(7, frame(99, 8)).unwrap();
-        let first = engine.step().unwrap();
+        assert_eq!(engine.queue_depths(), [(0u64, 10usize), (7, 1)].into_iter().collect());
+        engine.step().unwrap();
+        let first = engine.take_responses();
         assert!(
             first.iter().any(|r| r.session_id == 7),
             "session 7's frame 0 must be served in the first micro-batch"
@@ -546,7 +726,9 @@ mod tests {
         }
         let index = engine.submit(0, frame(99, 8)).unwrap();
         assert_eq!(index, 20, "session 0 is genuinely older");
-        let first = engine.step().unwrap();
+        engine.take_responses();
+        engine.step().unwrap();
+        let first = engine.take_responses();
         assert!(
             first.iter().any(|r| r.session_id == 0),
             "the old session's frame must be served in the first micro-batch"
@@ -562,11 +744,14 @@ mod tests {
         for i in 0..5 {
             engine.submit(1, frame(i, 8)).unwrap();
         }
-        assert_eq!(engine.step().unwrap().len(), 2);
+        assert_eq!(engine.step().unwrap(), 2);
         assert_eq!(engine.pending_len(), 3);
-        assert_eq!(engine.step().unwrap().len(), 2);
-        assert_eq!(engine.step().unwrap().len(), 1);
+        assert_eq!(engine.step().unwrap(), 2);
+        assert_eq!(engine.step().unwrap(), 1);
         assert_eq!(engine.pending_len(), 0);
+        let responses = engine.take_responses();
+        assert_eq!(responses.len(), 5, "every step's responses accumulate until taken");
+        assert_eq!(responses.iter().map(|r| r.frame_index).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -597,8 +782,8 @@ mod tests {
         // different (fine-tuned) weights.
         engine.submit(1, frame(3, 16)).unwrap();
         engine.submit(2, frame(3, 16)).unwrap();
-        let responses = engine.step().unwrap();
-        assert_eq!(responses.len(), 2);
+        assert_eq!(engine.step().unwrap(), 2);
+        let responses = engine.take_responses();
         assert!(!responses[0].adapted);
         assert!(responses[1].adapted);
         assert_ne!(responses[0].joints, responses[1].joints);
@@ -619,12 +804,14 @@ mod tests {
         donor.save_checkpoint("donor", &path).unwrap();
 
         engine.submit(1, frame(0, 16)).unwrap();
-        let before = engine.step().unwrap();
+        engine.step().unwrap();
+        let before = engine.take_responses();
         let checkpoint = engine.hot_swap(&path).unwrap();
         assert_eq!(checkpoint.model_name, "donor");
         assert_eq!(engine.model_version(), 1);
         engine.submit(1, frame(0, 16)).unwrap();
-        let after = engine.step().unwrap();
+        engine.step().unwrap();
+        let after = engine.take_responses();
         assert_ne!(before[0].joints, after[0].joints, "hot-swap must change predictions");
         assert_eq!(after[0].model_version, 1);
 
@@ -635,5 +822,70 @@ mod tests {
         assert_eq!(engine.model_version(), 1);
         assert_eq!(engine.base_model().flat_params(), params);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prepare_hot_swap_is_non_consuming_and_commit_is_infallible() {
+        let dir = std::env::temp_dir().join("fuse_serve_prepare_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        let mut engine = tiny_engine();
+        let donor = ServeEngine::new(
+            build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        donor.save_checkpoint("two-phase", &path).unwrap();
+
+        let before = engine.base_model().flat_params();
+        let prepared = engine.prepare_hot_swap(&path).unwrap();
+        assert_eq!(prepared.checkpoint().model_name, "two-phase");
+        assert_eq!(engine.model_version(), 0, "prepare must not bump the version");
+        assert_eq!(engine.base_model().flat_params(), before, "prepare must not touch the base");
+
+        let checkpoint = engine.commit_hot_swap(prepared);
+        assert_eq!(checkpoint.model_name, "two-phase");
+        assert_eq!(engine.model_version(), 1);
+        assert_ne!(engine.base_model().flat_params(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_oldest_pending_removes_exactly_the_oldest_frame() {
+        let mut engine = tiny_engine();
+        engine.open_session(3).unwrap();
+        engine.open_session(9).unwrap();
+        for i in 0..3 {
+            engine.submit(3, frame(i, 8)).unwrap();
+        }
+        engine.submit(9, frame(7, 8)).unwrap();
+        assert_eq!(engine.drop_oldest_pending(3), Some(0));
+        assert_eq!(engine.drop_oldest_pending(3), Some(1));
+        assert_eq!(engine.pending_for(3), 1);
+        assert_eq!(engine.pending_for(9), 1, "other sessions' queues are untouched");
+        assert_eq!(engine.drop_oldest_pending(42), None);
+        engine.step().unwrap();
+        let served: Vec<(u64, u64)> =
+            engine.take_responses().iter().map(|r| (r.session_id, r.frame_index)).collect();
+        assert_eq!(served, [(3, 2), (9, 0)]);
+    }
+
+    #[test]
+    fn merge_pending_collapses_the_queue_to_its_newest_frame() {
+        let mut engine = tiny_engine();
+        engine.open_session(5).unwrap();
+        engine.open_session(6).unwrap();
+        for i in 0..4 {
+            engine.submit(5, frame(i, 8)).unwrap();
+        }
+        engine.submit(6, frame(0, 8)).unwrap();
+        assert_eq!(engine.merge_pending(5), [0, 1, 2]);
+        assert_eq!(engine.merge_pending(5), [] as [u64; 0], "a single frame has nothing to merge");
+        assert_eq!(engine.merge_pending(42), [] as [u64; 0]);
+        engine.step().unwrap();
+        let served: Vec<(u64, u64)> =
+            engine.take_responses().iter().map(|r| (r.session_id, r.frame_index)).collect();
+        assert_eq!(served, [(5, 3), (6, 0)], "the newest frame represents the merged burst");
     }
 }

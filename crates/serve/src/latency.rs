@@ -170,6 +170,19 @@ impl LatencyRecorder {
         Some(ok as f64 / totals.len() as f64)
     }
 
+    /// Appends every sample held by `other`, stage by stage in pipeline
+    /// order, bounded by this recorder's own window. This is the cluster
+    /// aggregation primitive: a router absorbs each shard's recorder (in
+    /// shard order, so the merged view is deterministic for a given set of
+    /// shard snapshots) to report fleet-wide percentiles against one budget.
+    pub fn absorb(&mut self, other: &LatencyRecorder) {
+        for stage in Stage::ALL {
+            for i in 0..other.samples[stage.index()].len() {
+                self.record(stage, other.samples[stage.index()][i]);
+            }
+        }
+    }
+
     /// Discards all recorded samples, keeping the budget.
     pub fn clear(&mut self) {
         for s in &mut self.samples {

@@ -26,7 +26,8 @@
 //! let mut engine = ServeEngine::new(model, ServeConfig::default())?;
 //! engine.open_session(0)?;
 //! // engine.submit(0, frame)?; ... then, each frame period:
-//! for response in engine.step()? {
+//! engine.step()?;
+//! for response in engine.take_responses() {
 //!     assert_eq!(response.joints.len(), 57);
 //! }
 //! println!("{}", engine.recorder().report());
@@ -38,7 +39,7 @@ pub mod error;
 pub mod latency;
 pub mod session;
 
-pub use engine::{ServeConfig, ServeEngine, ServeResponse};
+pub use engine::{PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse};
 pub use error::ServeError;
 pub use latency::{
     LatencyRecorder, LatencyReport, Stage, StageStats, DEFAULT_BUDGET_MS, DEFAULT_SAMPLE_WINDOW,
@@ -52,7 +53,7 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 /// `fuse-core` pieces an engine embedder needs (model construction and online
 /// fine-tuning).
 pub mod prelude {
-    pub use crate::engine::{ServeConfig, ServeEngine, ServeResponse};
+    pub use crate::engine::{PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse};
     pub use crate::error::ServeError;
     pub use crate::latency::{LatencyRecorder, LatencyReport, Stage, StageStats};
     pub use crate::session::Session;

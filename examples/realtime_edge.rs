@@ -18,21 +18,21 @@
 
 use std::error::Error;
 
+use fuse_cluster::env_usize;
 use fuse_examples::print_header;
 use fuse_radar::{FastScatterModel, RadarConfig, Scatterer, Scene};
 use fuse_serve::prelude::*;
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let frames: usize = match std::env::var("FUSE_EDGE_FRAMES") {
-        Err(_) => 50,
-        Ok(raw) => match raw.trim().parse() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("FUSE_EDGE_FRAMES={raw:?} is not a positive integer");
-                std::process::exit(2);
-            }
-        },
+    // Typed env-knob parsing: a bad FUSE_EDGE_FRAMES aborts with a clear
+    // message instead of a panic or a silent default.
+    let frames: usize = match env_usize("FUSE_EDGE_FRAMES") {
+        Ok(n) => n.unwrap_or(50),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
 
     print_header("Setting up the serving engine");
@@ -64,7 +64,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         // 2. Submit to the session (fusion + feature map) and run the
         //    micro-batch for this frame period.
         engine.submit(subject_id, frame)?;
-        for response in engine.step()? {
+        engine.step()?;
+        for response in engine.take_responses() {
             assert_eq!(response.joints.len(), 57);
         }
     }

@@ -1,0 +1,365 @@
+//! Determinism and backpressure contracts of the `fuse-cluster` router.
+//!
+//! The cluster extends the PR-2/PR-3 bit-reproducibility contract across
+//! process-internal concurrency: a session lives entirely on one shard, the
+//! kernels underneath are batch-composition independent, and
+//! [`ClusterRouter::drain`] re-sequences by `(session, frame)` — so the
+//! externally observable response stream must be **bit-identical** for any
+//! shard count (`FUSE_SHARDS` 1/2/4), any kernel thread count
+//! (`FUSE_THREADS` 1/4), and any submission interleaving.
+//!
+//! Backpressure decisions are pinned by golden cases in lockstep mode
+//! (`auto_step: false`), where drops and merges are a pure function of the
+//! submit/drain schedule.
+
+use fuse_cluster::{BackpressurePolicy, ClusterConfig, ClusterError, ClusterRouter};
+use fuse_core::prelude::*;
+use fuse_dataset::{encode_dataset, EncodedDataset};
+use fuse_parallel::{with_min_parallel_work, with_threads};
+use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig};
+use fuse_serve::{ServeConfig, ServeEngine};
+
+/// One response reduced to its deterministic observable key.
+type Observed = (u64, u64, bool, Vec<f32>);
+
+fn observed(responses: &[fuse_serve::ServeResponse]) -> Vec<Observed> {
+    responses.iter().map(|r| (r.session_id, r.frame_index, r.adapted, r.joints.clone())).collect()
+}
+
+fn encoded() -> EncodedDataset {
+    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+    encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+}
+
+/// Pre-generates a deterministic stream of point-cloud frames per session.
+fn session_streams(sessions: usize, rounds: usize) -> Vec<Vec<PointCloudFrame>> {
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..sessions)
+        .map(|s| {
+            (0..rounds)
+                .map(|r| {
+                    let scene = (0..12)
+                        .map(|i| {
+                            let z = 0.2 + 0.1 * i as f32 + 0.01 * s as f32;
+                            fuse_radar::Scatterer::new(
+                                [0.05 * i as f32, 2.0, z],
+                                [0.0, 0.3, 0.0],
+                                1.0,
+                            )
+                        })
+                        .collect();
+                    scatter.sample(&scene, (s * rounds + r) as u64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Streams every session through a router with the given shard count,
+/// submitting each round's frames in `submit_order`, draining every round,
+/// and returns the full observable response stream. One session is adapted
+/// online so the private-model path is covered.
+fn cluster_stream(
+    shards: usize,
+    streams: &[Vec<PointCloudFrame>],
+    submit_order: &[usize],
+) -> Vec<Observed> {
+    let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
+    let config = ClusterConfig { shards, ..ClusterConfig::default() };
+    let mut router = ClusterRouter::new(model, config).unwrap();
+    for s in 0..streams.len() {
+        router.open_session(s as u64).unwrap();
+    }
+    router.adapt_session(1, &encoded(), &quick_finetune()).unwrap();
+
+    let mut responses = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for round in 0..streams[0].len() {
+        for &s in submit_order {
+            router.submit(s as u64, streams[s][round].clone()).unwrap();
+        }
+        responses.extend(observed(&router.drain().unwrap().responses));
+    }
+    router.shutdown();
+    responses
+}
+
+fn quick_finetune() -> FineTuneConfig {
+    FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() }
+}
+
+/// The same workload through a bare `ServeEngine` — the single-process
+/// reference the cluster must reproduce bit-for-bit.
+fn engine_stream(streams: &[Vec<PointCloudFrame>]) -> Vec<Observed> {
+    let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
+    for s in 0..streams.len() {
+        engine.open_session(s as u64).unwrap();
+    }
+    engine.adapt_session(1, &encoded(), &quick_finetune()).unwrap();
+
+    let mut responses = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for round in 0..streams[0].len() {
+        for (s, stream) in streams.iter().enumerate() {
+            engine.submit(s as u64, stream[round].clone()).unwrap();
+        }
+        engine.step().unwrap();
+        responses.extend(observed(&engine.take_responses()));
+    }
+    responses
+}
+
+#[test]
+fn cluster_is_bit_identical_across_shard_counts_and_thread_counts() {
+    let streams = session_streams(5, 3);
+    let order = [0usize, 1, 2, 3, 4];
+    // The reference: one bare engine, serial kernels.
+    let reference = with_threads(1, || engine_stream(&streams));
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let run = with_threads(threads, || {
+                with_min_parallel_work(0, || cluster_stream(shards, &streams, &order))
+            });
+            assert_eq!(
+                run, reference,
+                "shards={shards} threads={threads} diverged from the single-engine reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_is_independent_of_arrival_interleaving() {
+    let streams = session_streams(4, 3);
+    let in_order = cluster_stream(2, &streams, &[0, 1, 2, 3]);
+    // Adversarial interleavings: reversed, and a shard-hostile order that
+    // alternates between shards and front-loads the last session.
+    for order in [[3usize, 2, 1, 0], [3, 1, 0, 2], [1, 3, 0, 2]] {
+        assert_eq!(
+            cluster_stream(2, &streams, &order),
+            in_order,
+            "submission order {order:?} changed the observable stream"
+        );
+    }
+}
+
+/// Lockstep router for the backpressure golden cases: one session, a tiny
+/// queue capacity, no autonomous stepping.
+fn backpressure_router(policy: BackpressurePolicy, queue_capacity: usize) -> ClusterRouter {
+    let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+    let config = ClusterConfig {
+        shards: 2,
+        queue_capacity,
+        policy,
+        auto_step: false,
+        ..ClusterConfig::default()
+    };
+    let mut router = ClusterRouter::new(model, config).unwrap();
+    router.open_session(1).unwrap();
+    router
+}
+
+fn flood(router: &mut ClusterRouter, frames: &[PointCloudFrame]) {
+    for frame in frames {
+        router.submit(1, frame.clone()).unwrap();
+    }
+}
+
+#[test]
+fn drop_oldest_golden_case() {
+    // Capacity 3, 8 frames in one burst: every enqueue past the third evicts
+    // the then-oldest frame, so frames 0..=4 are dropped and 5..=7 served.
+    let frames = &session_streams(1, 8)[0];
+    let mut router = backpressure_router(BackpressurePolicy::DropOldest, 3);
+    flood(&mut router, frames);
+    let report = router.drain().unwrap();
+    assert_eq!(report.dropped, [(1, 0), (1, 1), (1, 2), (1, 3), (1, 4)]);
+    assert!(report.merged.is_empty());
+    let served: Vec<u64> = report.responses.iter().map(|r| r.frame_index).collect();
+    assert_eq!(served, [5, 6, 7], "the freshest frames survive DropOldest");
+
+    // The drops are surfaced in the cluster metrics (the SLO accounting
+    // channel), attributed to the session's shard.
+    let metrics = router.metrics().unwrap();
+    assert_eq!(metrics.dropped_frames(), 5);
+    assert_eq!(metrics.merged_frames(), 0);
+    assert_eq!(metrics.shards[1].dropped_frames, 5, "session 1 lives on shard 1");
+    assert_eq!(metrics.shards[0].dropped_frames, 0);
+    assert_eq!(metrics.responses(), 3);
+    router.shutdown();
+}
+
+#[test]
+fn merge_frames_golden_case() {
+    // Capacity 3, 8 frames in one burst: each overflow collapses the queue
+    // to its newest frame. The survivors differ from DropOldest — merging
+    // coalesces whole bursts, dropping evicts one frame at a time.
+    let frames = &session_streams(1, 8)[0];
+    let mut router = backpressure_router(BackpressurePolicy::MergeFrames, 3);
+    flood(&mut router, frames);
+    let report = router.drain().unwrap();
+    assert_eq!(report.merged, [(1, 0), (1, 1), (1, 2), (1, 3), (1, 4), (1, 5)]);
+    assert!(report.dropped.is_empty());
+    let served: Vec<u64> = report.responses.iter().map(|r| r.frame_index).collect();
+    assert_eq!(served, [6, 7], "each burst is represented by its newest frame");
+
+    let metrics = router.metrics().unwrap();
+    assert_eq!(metrics.merged_frames(), 6);
+    assert_eq!(metrics.dropped_frames(), 0);
+    assert_eq!(metrics.shards[1].merged_frames, 6);
+    router.shutdown();
+}
+
+#[test]
+fn block_policy_serves_everything() {
+    // Same flood, Block policy: nothing is lost — the shard serves backlog
+    // before accepting new frames, trading submit latency for completeness.
+    let frames = &session_streams(1, 8)[0];
+    let mut router = backpressure_router(BackpressurePolicy::Block, 3);
+    flood(&mut router, frames);
+    let report = router.drain().unwrap();
+    assert!(report.dropped.is_empty());
+    assert!(report.merged.is_empty());
+    let served: Vec<u64> = report.responses.iter().map(|r| r.frame_index).collect();
+    assert_eq!(served, [0, 1, 2, 3, 4, 5, 6, 7], "Block loses nothing");
+
+    let metrics = router.metrics().unwrap();
+    assert_eq!(metrics.dropped_frames() + metrics.merged_frames(), 0);
+    assert!(metrics.blocked_submits() >= 1, "the blocked submits are accounted");
+    router.shutdown();
+}
+
+#[test]
+fn backpressure_golden_cases_are_stable_across_shard_and_thread_counts() {
+    // The lockstep drop/merge decisions depend only on the per-session
+    // schedule, so the same flood must produce the same evictions for any
+    // shard count and kernel thread count.
+    let frames = session_streams(1, 8).remove(0);
+    let run = |shards: usize| {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        let config = ClusterConfig {
+            shards,
+            queue_capacity: 3,
+            policy: BackpressurePolicy::DropOldest,
+            auto_step: false,
+            ..ClusterConfig::default()
+        };
+        let mut router = ClusterRouter::new(model, config).unwrap();
+        router.open_session(1).unwrap();
+        flood(&mut router, &frames);
+        let report = router.drain().unwrap();
+        (observed(&report.responses), report.dropped)
+    };
+    let reference = with_threads(1, || run(1));
+    for shards in [2usize, 4] {
+        for threads in [1usize, 4] {
+            let result = with_threads(threads, || with_min_parallel_work(0, || run(shards)));
+            assert_eq!(result, reference, "shards={shards} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn fan_out_hot_swap_is_atomic_across_shards() {
+    let dir = std::env::temp_dir().join("fuse_cluster_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+    let donor =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    donor.save_checkpoint("donor", &good).unwrap();
+    std::fs::write(&bad, "{\"model_name\":\"x\"").unwrap();
+
+    let config = ClusterConfig { shards: 4, ..ClusterConfig::default() };
+    let mut router = ClusterRouter::new(model, config).unwrap();
+    for id in 0..4u64 {
+        router.open_session(id).unwrap();
+    }
+
+    // A valid checkpoint commits on every shard, versions bumped together.
+    let swap = router.hot_swap(&good).unwrap();
+    assert_eq!(swap.model_name, "donor");
+    assert_eq!(swap.version, 1);
+    let metrics = router.metrics().unwrap();
+    assert!(metrics.shards.iter().all(|s| s.model_version == 1), "all shards moved together");
+
+    // A corrupt checkpoint aborts on every shard: versions and predictions
+    // unchanged — all-or-nothing. Fresh sessions before and after the abort
+    // see the same frame, so equal joints prove no shard changed weights
+    // (session ids only affect routing, never the prediction).
+    let frames = session_streams(1, 1);
+    router.open_session(10).unwrap();
+    router.submit(10, frames[0][0].clone()).unwrap();
+    let before = router.drain().unwrap().responses;
+    let err = router.hot_swap(&bad).unwrap_err();
+    assert!(matches!(err, ClusterError::SwapAborted { .. }), "got {err:?}");
+    let metrics = router.metrics().unwrap();
+    assert!(metrics.shards.iter().all(|s| s.model_version == 1), "no shard committed");
+    router.open_session(11).unwrap();
+    router.submit(11, frames[0][0].clone()).unwrap();
+    let after = router.drain().unwrap().responses;
+    assert_eq!(before[0].joints, after[0].joints, "an aborted swap must not change predictions");
+    assert_ne!(router.shard_of(10), router.shard_of(11), "the probe covers two distinct shards");
+
+    // The served responses carry the committed version.
+    assert!(before[0].model_version == 1 && after[0].model_version == 1);
+    router.shutdown();
+    std::fs::remove_file(&good).ok();
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn adapted_sessions_keep_private_models_across_cluster_swaps() {
+    let dir = std::env::temp_dir().join("fuse_cluster_adapt_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.json");
+    let donor =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    donor.save_checkpoint("donor", &path).unwrap();
+
+    // Two identically seeded routers running the same workload; only one
+    // hot-swaps. The adapted session's private model must be unaffected by
+    // the swap, while the base-model session must see the new weights.
+    let data = encoded();
+    let frames = session_streams(2, 1);
+    let run = |swap: bool| {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
+        let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+        let mut router = ClusterRouter::new(model, config).unwrap();
+        router.open_session(0).unwrap();
+        router.open_session(1).unwrap();
+        router.adapt_session(1, &data, &quick_finetune()).unwrap();
+        if swap {
+            router.hot_swap(&path).unwrap();
+        }
+        router.submit(0, frames[0][0].clone()).unwrap();
+        router.submit(1, frames[1][0].clone()).unwrap();
+        let responses = router.drain().unwrap().responses;
+        router.shutdown();
+        responses
+    };
+    let unswapped = run(false);
+    let swapped = run(true);
+
+    assert!(swapped[1].adapted, "session 1 keeps serving from its private model");
+    assert_eq!(unswapped[1].joints, swapped[1].joints, "the private model survives the swap");
+    assert_ne!(unswapped[0].joints, swapped[0].joints, "the base session sees the new weights");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unserved_frames_are_returned_on_close_and_counted() {
+    let frames = &session_streams(1, 4)[0];
+    let mut router = backpressure_router(BackpressurePolicy::Block, 8);
+    flood(&mut router, frames);
+    let closed = router.close_session(1).unwrap();
+    assert_eq!(closed.unserved_frames, [0, 1, 2, 3], "queued work is reported, not lost");
+    assert_eq!(closed.shard, 1);
+    assert!(router.drain().unwrap().responses.is_empty());
+    router.shutdown();
+}

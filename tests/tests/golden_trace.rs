@@ -16,7 +16,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use fuse_cluster::{ClusterConfig, ClusterRouter};
 use fuse_core::prelude::*;
+use fuse_dataset::encode_dataset;
 use fuse_radar::{
     cfar_ca_2d, AdcCube, CfarConfig, FastScatterModel, PointCloudFrame, PointCloudGenerator,
     RadarConfig, RangeDopplerMap, Scatterer, Scene,
@@ -147,10 +149,89 @@ fn serve_session_stream_matches_golden() {
         trace.points_per_frame.push(frame.len());
         engine.submit(0, frame).expect("submit succeeds");
         trace.fused_counts.push(engine.session(0).expect("session open").fused_points().len());
-        let responses = engine.step().expect("step succeeds");
-        assert_eq!(responses.len(), 1);
+        assert_eq!(engine.step().expect("step succeeds"), 1);
+        let responses = engine.take_responses();
         trace.responses.push(responses[0].joints.clone());
     }
     trace.model_version = engine.model_version();
     check_or_update("serve_session_stream", &trace);
+}
+
+/// The serve golden stream replayed through the `fuse-cluster` router: the
+/// per-session response sequence must be **bit-identical** to the committed
+/// golden for any shard count — `FUSE_SHARDS=4` serves the same bits as
+/// `FUSE_SHARDS=1`, which serves the same bits as the bare engine (the
+/// cluster acceptance criterion).
+#[test]
+fn cluster_reproduces_the_serve_golden_stream_for_any_shard_count() {
+    let animator =
+        MovementAnimator::new(Subject::profile(1), Movement::BothUpperLimbExtension, 10.0)
+            .with_seed(4);
+    let samples = animator.sample_frames_with_velocities(0.0, 5);
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    let frames: Vec<PointCloudFrame> =
+        (0..5).map(|i| scatter.sample(&scene_for_frame(&samples, i), i as u64)).collect();
+
+    // The committed-golden reference: the bare engine, pinned by
+    // `serve_session_stream_matches_golden` above.
+    let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
+    let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
+    engine.open_session(0).expect("session opens");
+    let mut reference: Vec<Vec<f32>> = Vec::new();
+    for frame in &frames {
+        engine.submit(0, frame.clone()).expect("submit succeeds");
+        engine.step().expect("step succeeds");
+        reference.extend(engine.take_responses().into_iter().map(|r| r.joints));
+    }
+
+    for shards in [1usize, 4] {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
+        let config = ClusterConfig { shards, ..ClusterConfig::default() };
+        let mut router = ClusterRouter::new(model, config).expect("router builds");
+        router.open_session(0).expect("session opens");
+        let mut responses: Vec<Vec<f32>> = Vec::new();
+        for frame in &frames {
+            router.submit(0, frame.clone()).expect("submit succeeds");
+            let report = router.drain().expect("drain succeeds");
+            responses.extend(report.responses.into_iter().map(|r| r.joints));
+        }
+        router.shutdown();
+        assert_eq!(
+            responses, reference,
+            "FUSE_SHARDS={shards} diverged from the golden serve stream"
+        );
+    }
+}
+
+/// Trace of a short online fine-tune/adaptation run: per-epoch losses and
+/// MAE plus a digest of the adapted parameters, all from fixed seeds. This
+/// pins the optimiser surface (Adam updates, batch shuffling, loss
+/// accumulation) ahead of multi-backend work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FineTuneTrace {
+    epochs: usize,
+    train_loss: Vec<f32>,
+    new_data_error_cm: Vec<f32>,
+    original_data_error_cm: Vec<f32>,
+    params: StageDigest,
+}
+
+#[test]
+fn finetune_trace_matches_golden() {
+    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().expect("synthesis");
+    let encoded = encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default())
+        .expect("encoding succeeds");
+    let mut model = build_mars_cnn(&ModelConfig::tiny(), 17).expect("model builds");
+    let config = FineTuneConfig { epochs: 2, batch_size: 16, ..FineTuneConfig::default() };
+    let result =
+        fine_tune(&mut model, &encoded, &encoded, &encoded, &config).expect("fine-tune succeeds");
+
+    let trace = FineTuneTrace {
+        epochs: result.epochs(),
+        train_loss: result.train_loss.clone(),
+        new_data_error_cm: result.new_data_error.iter().map(|e| e.average_cm()).collect(),
+        original_data_error_cm: result.original_data_error.iter().map(|e| e.average_cm()).collect(),
+        params: StageDigest::of(&model.flat_params(), 16),
+    };
+    check_or_update("finetune_small", &trace);
 }

@@ -125,7 +125,8 @@ fn serve_stream(streams: &[Vec<PointCloudFrame>], submit_order: &[usize]) -> Vec
             let frame = streams[s][round].clone();
             engine.submit(s as u64, frame).unwrap();
         }
-        responses.extend(engine.step().unwrap());
+        engine.step().unwrap();
+        responses.extend(engine.take_responses());
     }
     responses
 }
@@ -173,7 +174,8 @@ fn serving_micro_batch_size_does_not_change_responses() {
             engine.submit(s as u64, stream[round].clone()).unwrap();
         }
     }
-    let mut deferred = engine.step().unwrap();
+    engine.step().unwrap();
+    let mut deferred = engine.take_responses();
     deferred.sort_by_key(|r| (r.session_id, r.frame_index));
     let mut per_round_sorted = per_round;
     per_round_sorted.sort_by_key(|r| (r.session_id, r.frame_index));
