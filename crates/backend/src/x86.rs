@@ -1,0 +1,296 @@
+//! x86_64 `std::arch` kernels (AVX2 and SSE lane widths).
+//!
+//! Every kernel here vectorises **across independent output elements** and
+//! performs each lane's arithmetic as a separate IEEE-754 multiply followed
+//! by a separate add (`mul_ps` + `add_ps`, never FMA — a fused
+//! multiply-add skips the intermediate rounding and would change bits).
+//! Because each output element still sees exactly the scalar reference's
+//! operation sequence, results are bit-identical to [`crate::scalar`] by
+//! construction; see `REPRODUCIBILITY.md`.
+//!
+//! The two submodules are stamped from one macro and differ only in lane
+//! width and intrinsic set: `avx2` (8 lanes, requires runtime AVX2
+//! detection) and `sse` (4 lanes, part of the x86_64 baseline ABI).
+
+#![cfg(target_arch = "x86_64")]
+
+macro_rules! simd_level {
+    ($name:ident, $feature:literal, $lanes:literal,
+     $load:ident, $store:ident, $set1:ident, $mul:ident, $add:ident) => {
+        pub(crate) mod $name {
+            use std::arch::x86_64::*;
+
+            /// `y += alpha * x`.
+            ///
+            /// # Safety
+            ///
+            /// The caller must ensure the CPU supports the module's target
+            /// feature (checked once at [`crate::SimdBackend`] construction).
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+                debug_assert!(x.len() >= y.len(), "axpy operand shorter than output");
+                let n = y.len();
+                let va = $set1(alpha);
+                let mut j = 0;
+                while j + $lanes <= n {
+                    let vx = $load(x.as_ptr().add(j));
+                    let vy = $load(y.as_ptr().add(j));
+                    $store(y.as_mut_ptr().add(j), $add(vy, $mul(va, vx)));
+                    j += $lanes;
+                }
+                while j < n {
+                    y[j] += alpha * x[j];
+                    j += 1;
+                }
+            }
+
+            /// `y += x`.
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+                debug_assert!(x.len() >= y.len(), "add_assign operand shorter than output");
+                let n = y.len();
+                let mut j = 0;
+                while j + $lanes <= n {
+                    let vx = $load(x.as_ptr().add(j));
+                    let vy = $load(y.as_ptr().add(j));
+                    $store(y.as_mut_ptr().add(j), $add(vy, vx));
+                    j += $lanes;
+                }
+                while j < n {
+                    y[j] += x[j];
+                    j += 1;
+                }
+            }
+
+            /// `data *= s`.
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn scale_assign(data: &mut [f32], s: f32) {
+                let n = data.len();
+                let vs = $set1(s);
+                let mut j = 0;
+                while j + $lanes <= n {
+                    let v = $load(data.as_ptr().add(j));
+                    $store(data.as_mut_ptr().add(j), $mul(v, vs));
+                    j += $lanes;
+                }
+                while j < n {
+                    data[j] *= s;
+                    j += 1;
+                }
+            }
+
+            /// `data += s` (bias broadcast).
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn add_scalar_assign(data: &mut [f32], s: f32) {
+                let n = data.len();
+                let vs = $set1(s);
+                let mut j = 0;
+                while j + $lanes <= n {
+                    let v = $load(data.as_ptr().add(j));
+                    $store(data.as_mut_ptr().add(j), $add(v, vs));
+                    j += $lanes;
+                }
+                while j < n {
+                    data[j] += s;
+                    j += 1;
+                }
+            }
+
+            /// Per-row GEMM kernel: `out_row (+)= a_row · b`. The `p` loop and
+            /// the zero-skip mirror the scalar reference exactly; only the
+            /// independent `j` lanes are processed `$lanes` at a time.
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn gemm_row(
+                a_row: &[f32],
+                b: &[f32],
+                out_row: &mut [f32],
+                accumulate: bool,
+            ) {
+                let n = out_row.len();
+                if !accumulate {
+                    out_row.fill(0.0);
+                }
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    axpy(a_ip, &b[p * n..(p + 1) * n], out_row);
+                }
+            }
+
+            /// Register-blocked block kernel of `out (+)= a·b`: four output
+            /// rows per pass, each keeping one vector accumulator per
+            /// `$lanes`-wide column tile. Reuses every `b` row load across
+            /// the four rows (the axpy-per-row kernel reloads `b` for each
+            /// output row, which leaves it cache-bandwidth-bound) and keeps
+            /// partial sums in registers instead of round-tripping
+            /// `out_row` through memory once per `p`.
+            ///
+            /// Bit-identity: each output element still accumulates its
+            /// `a[i][p] * b[p][j]` terms in `p`-ascending order with the
+            /// reference's exact zero-skip (`a[i][p] == 0.0` contributes
+            /// nothing, applied per row), so the value stream per element is
+            /// unchanged — only *when* independent elements are computed
+            /// moves.
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn gemm_rows(
+                a_rows: &[f32],
+                b: &[f32],
+                out_rows: &mut [f32],
+                k: usize,
+                n: usize,
+                accumulate: bool,
+            ) {
+                const R: usize = 4;
+                let rows = out_rows.len() / n;
+                debug_assert!(a_rows.len() >= rows * k, "lhs block shorter than output rows");
+                debug_assert!(b.len() >= k * n, "rhs shorter than [k x n]");
+                let mut r = 0;
+                while r + R <= rows {
+                    let mut j = 0;
+                    // Wide tiles first: 2 vectors per row amortise the
+                    // per-(row, p) scalar broadcast and zero-test over twice
+                    // the lanes.
+                    while j + 2 * $lanes <= n {
+                        // Freshly derived per tile so the raw accesses never
+                        // interleave with the slice accesses below.
+                        let out = out_rows.as_mut_ptr();
+                        let mut acc = [[$set1(0.0); 2]; R];
+                        if accumulate {
+                            for (i, a) in acc.iter_mut().enumerate() {
+                                a[0] = $load(out.add((r + i) * n + j));
+                                a[1] = $load(out.add((r + i) * n + j + $lanes));
+                            }
+                        }
+                        for p in 0..k {
+                            let vb0 = $load(b.as_ptr().add(p * n + j));
+                            let vb1 = $load(b.as_ptr().add(p * n + j + $lanes));
+                            for (i, a) in acc.iter_mut().enumerate() {
+                                let a_ip = a_rows[(r + i) * k + p];
+                                if a_ip != 0.0 {
+                                    let va = $set1(a_ip);
+                                    a[0] = $add(a[0], $mul(va, vb0));
+                                    a[1] = $add(a[1], $mul(va, vb1));
+                                }
+                            }
+                        }
+                        for (i, a) in acc.iter().enumerate() {
+                            $store(out.add((r + i) * n + j), a[0]);
+                            $store(out.add((r + i) * n + j + $lanes), a[1]);
+                        }
+                        j += 2 * $lanes;
+                    }
+                    while j + $lanes <= n {
+                        let out = out_rows.as_mut_ptr();
+                        let mut acc = [$set1(0.0); R];
+                        if accumulate {
+                            for (i, a) in acc.iter_mut().enumerate() {
+                                *a = $load(out.add((r + i) * n + j));
+                            }
+                        }
+                        for p in 0..k {
+                            let vb = $load(b.as_ptr().add(p * n + j));
+                            for (i, a) in acc.iter_mut().enumerate() {
+                                let a_ip = a_rows[(r + i) * k + p];
+                                if a_ip != 0.0 {
+                                    *a = $add(*a, $mul($set1(a_ip), vb));
+                                }
+                            }
+                        }
+                        for (i, a) in acc.iter().enumerate() {
+                            $store(out.add((r + i) * n + j), *a);
+                        }
+                        j += $lanes;
+                    }
+                    // Remainder columns of this row block: the scalar
+                    // reference per element (same order, same zero-skip).
+                    for i in 0..R {
+                        for jj in j..n {
+                            let mut o = if accumulate { out_rows[(r + i) * n + jj] } else { 0.0 };
+                            for p in 0..k {
+                                let a_ip = a_rows[(r + i) * k + p];
+                                if a_ip != 0.0 {
+                                    o += a_ip * b[p * n + jj];
+                                }
+                            }
+                            out_rows[(r + i) * n + jj] = o;
+                        }
+                    }
+                    r += R;
+                }
+                // Remaining rows: the vectorised single-row kernel.
+                while r < rows {
+                    gemm_row(
+                        &a_rows[r * k..(r + 1) * k],
+                        b,
+                        &mut out_rows[r * n..(r + 1) * n],
+                        accumulate,
+                    );
+                    r += 1;
+                }
+            }
+
+            /// Band kernel of `out = aᵀ·b` (see the scalar reference for the
+            /// layout). Accumulation stays `p`-ascending per output element.
+            ///
+            /// # Safety
+            ///
+            /// Caller must ensure the module's target feature is available.
+            #[target_feature(enable = $feature)]
+            pub(crate) unsafe fn gemm_at_b_band(
+                a: &[f32],
+                b: &[f32],
+                out_band: &mut [f32],
+                row0: usize,
+                m: usize,
+                n: usize,
+            ) {
+                out_band.fill(0.0);
+                let a_rows = a.chunks_exact(m);
+                let b_rows = b.chunks_exact(n);
+                debug_assert_eq!(a_rows.len(), b_rows.len(), "operands disagree on k");
+                for (a_row, b_row) in a_rows.zip(b_rows) {
+                    for (i, out_row) in out_band.chunks_exact_mut(n).enumerate() {
+                        let a_pi = a_row[row0 + i];
+                        if a_pi == 0.0 {
+                            continue;
+                        }
+                        axpy(a_pi, b_row, out_row);
+                    }
+                }
+            }
+        }
+    };
+}
+
+simd_level!(
+    avx2,
+    "avx2",
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_mul_ps,
+    _mm256_add_ps
+);
+simd_level!(sse, "sse2", 4, _mm_loadu_ps, _mm_storeu_ps, _mm_set1_ps, _mm_mul_ps, _mm_add_ps);

@@ -5,8 +5,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use fuse_backend::{with_backend, BackendChoice};
 use fuse_radar::{cfar_ca_1d, fft_inplace, CfarConfig, Complex32};
 use fuse_tensor::{conv2d_forward, linalg, Conv2dSpec, Tensor};
+
+/// The two concrete backends, in the order the scalar-vs-simd bench IDs
+/// (`<kernel>/scalar`, `<kernel>/simd`) are emitted.
+const BACKENDS: [(&str, BackendChoice); 2] =
+    [("scalar", BackendChoice::Scalar), ("simd", BackendChoice::Simd)];
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -69,6 +75,72 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar-vs-SIMD comparison IDs: the same GEMM / fully-connected / conv2d
+/// workloads pinned to each backend, so the telemetry artifact carries the
+/// per-host SIMD speedup (and CI can watch it regress). Results are
+/// bit-identical between the two legs — only the time differs.
+fn bench_backend_comparison(c: &mut Criterion) {
+    let n = 128usize;
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 17) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 * 0.2).collect();
+    let mut out = vec![0.0f32; n * n];
+    let mut group = c.benchmark_group("gemm_128_backend");
+    for (label, choice) in BACKENDS {
+        group.bench_function(label, |bench| {
+            with_backend(choice, || {
+                bench.iter(|| {
+                    linalg::gemm(black_box(&a), black_box(&b), &mut out, n, n, n);
+                    black_box(&out);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let batch = 64usize;
+    let input: Vec<f32> = (0..batch * 2048).map(|i| (i % 7) as f32 * 0.01).collect();
+    let weight: Vec<f32> = (0..512 * 2048).map(|i| (i % 11) as f32 * 0.001).collect();
+    let mut fc_out = vec![0.0f32; batch * 512];
+    let mut group = c.benchmark_group("fc_2048x512_batch64_backend");
+    for (label, choice) in BACKENDS {
+        group.bench_function(label, |bench| {
+            with_backend(choice, || {
+                bench.iter(|| {
+                    linalg::gemm_a_bt(
+                        black_box(&input),
+                        black_box(&weight),
+                        &mut fc_out,
+                        batch,
+                        2048,
+                        512,
+                    );
+                    black_box(&fc_out);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let spec = Conv2dSpec::same(5, 16, 3);
+    let conv_input = Tensor::randn(&[32, 5, 8, 8], 1.0, 1);
+    let conv_weight = Tensor::randn(&[16, 5, 3, 3], 0.5, 2);
+    let conv_bias = Tensor::zeros(&[16]);
+    let mut group = c.benchmark_group("conv2d_5to16_8x8_batch32_backend");
+    for (label, choice) in BACKENDS {
+        group.bench_function(label, |bench| {
+            with_backend(choice, || {
+                bench.iter(|| {
+                    black_box(
+                        conv2d_forward(black_box(&conv_input), &conv_weight, &conv_bias, &spec)
+                            .expect("conv succeeds"),
+                    )
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cfar(c: &mut Criterion) {
     let mut profile = vec![1.0f32; 512];
     profile[100] = 40.0;
@@ -79,5 +151,13 @@ fn bench_cfar(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_linear_layer_gemm, bench_conv2d, bench_fft, bench_cfar);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_linear_layer_gemm,
+    bench_conv2d,
+    bench_backend_comparison,
+    bench_fft,
+    bench_cfar
+);
 criterion_main!(benches);

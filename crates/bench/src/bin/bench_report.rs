@@ -1,12 +1,26 @@
 //! Folds the JSONL emitted by the criterion stand-in (`CRITERION_JSON`) into
-//! the `BENCH_pr.json` telemetry artifact and prints a summary table.
+//! the `BENCH_pr.json` telemetry artifact, prints a summary table, and
+//! optionally gates on a committed baseline.
 //!
-//! Usage: `bench_report <input.jsonl> <output.json>`
+//! Usage:
+//!
+//! ```text
+//! bench_report <input.jsonl> <output.json> \
+//!     [--compare <baseline.json>] [--max-regress-pct <percent>]
+//! ```
 //!
 //! The output is a flat JSON object mapping benchmark name to median
 //! nanoseconds per iteration (see `crates/bench/README.md` for the schema).
 //! When a benchmark appears multiple times in the input (e.g. re-runs), the
 //! last record wins.
+//!
+//! With `--compare`, a per-benchmark delta table against the baseline is
+//! printed (markdown, so CI can pipe it straight into
+//! `$GITHUB_STEP_SUMMARY`), and — when `--max-regress-pct` is given — the
+//! process exits nonzero if any benchmark present in both files regressed
+//! by more than the threshold. Benchmarks only in the current run are
+//! reported as `new`; benchmarks only in the baseline as `removed`; neither
+//! gates.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -51,6 +65,21 @@ fn parse_records(input: &str) -> BTreeMap<String, f64> {
     medians
 }
 
+/// Parses a `BENCH_*.json` artifact (the flat `"name": median_ns` object
+/// `render_json` emits — one entry per line).
+fn parse_baseline(input: &str) -> BTreeMap<String, f64> {
+    let mut medians = BTreeMap::new();
+    for line in input.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, value)) = rest.split_once("\":") else { continue };
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            medians.insert(name.to_string(), ns);
+        }
+    }
+    medians
+}
+
 fn render_json(medians: &BTreeMap<String, f64>) -> String {
     let entries: Vec<String> =
         medians.iter().map(|(name, ns)| format!("  \"{name}\": {ns:.3}")).collect();
@@ -79,30 +108,152 @@ fn render_table(medians: &BTreeMap<String, f64>) -> String {
     table
 }
 
+/// One row of the comparison table.
+struct Delta {
+    name: String,
+    status: &'static str,
+    detail: String,
+    /// Regression percentage for benchmarks present in both files.
+    regress_pct: Option<f64>,
+}
+
+fn compare(current: &BTreeMap<String, f64>, baseline: &BTreeMap<String, f64>) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for (name, &ns) in current {
+        match baseline.get(name) {
+            Some(&base_ns) if base_ns > 0.0 => {
+                let pct = (ns - base_ns) / base_ns * 100.0;
+                deltas.push(Delta {
+                    name: name.clone(),
+                    status: if pct > 0.0 {
+                        "slower"
+                    } else if pct < 0.0 {
+                        "faster"
+                    } else {
+                        "same"
+                    },
+                    detail: format!("{} -> {} ({:+.1}%)", human_time(base_ns), human_time(ns), pct),
+                    regress_pct: Some(pct),
+                });
+            }
+            _ => deltas.push(Delta {
+                name: name.clone(),
+                status: "new",
+                detail: format!("{} (no baseline)", human_time(ns)),
+                regress_pct: None,
+            }),
+        }
+    }
+    for (name, &base_ns) in baseline {
+        if !current.contains_key(name) {
+            deltas.push(Delta {
+                name: name.clone(),
+                status: "removed",
+                detail: format!("was {}", human_time(base_ns)),
+                regress_pct: None,
+            });
+        }
+    }
+    deltas
+}
+
+/// Renders the delta table as markdown (readable both on a terminal and in
+/// `$GITHUB_STEP_SUMMARY`), flagging rows past the threshold.
+fn render_deltas(deltas: &[Delta], max_regress_pct: Option<f64>) -> String {
+    let mut out = String::from("| benchmark | status | baseline -> current |\n|---|---|---|\n");
+    for d in deltas {
+        let flag = match (d.regress_pct, max_regress_pct) {
+            (Some(pct), Some(max)) if pct > max => " **REGRESSION**",
+            _ => "",
+        };
+        out.push_str(&format!("| {} | {}{} | {} |\n", d.name, d.status, flag, d.detail));
+    }
+    out
+}
+
+struct Args {
+    input_path: String,
+    output_path: String,
+    baseline_path: Option<String>,
+    max_regress_pct: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Option<Args> {
+    let mut positional = Vec::new();
+    let mut baseline_path = None;
+    let mut max_regress_pct = None;
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--compare" => baseline_path = Some(iter.next()?.clone()),
+            "--max-regress-pct" => max_regress_pct = Some(iter.next()?.parse::<f64>().ok()?),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [input_path, output_path] = positional.try_into().ok()?;
+    Some(Args { input_path, output_path, baseline_path, max_regress_pct })
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let [_, input_path, output_path] = args.as_slice() else {
-        eprintln!("usage: bench_report <input.jsonl> <output.json>");
+    let raw_args: Vec<String> = std::env::args().collect();
+    let Some(args) = parse_args(&raw_args) else {
+        eprintln!(
+            "usage: bench_report <input.jsonl> <output.json> \
+             [--compare <baseline.json>] [--max-regress-pct <percent>]"
+        );
         return ExitCode::FAILURE;
     };
-    let input = match std::fs::read_to_string(input_path) {
+    let input = match std::fs::read_to_string(&args.input_path) {
         Ok(input) => input,
         Err(err) => {
-            eprintln!("bench_report: cannot read {input_path}: {err}");
+            eprintln!("bench_report: cannot read {}: {err}", args.input_path);
             return ExitCode::FAILURE;
         }
     };
     let medians = parse_records(&input);
     if medians.is_empty() {
-        eprintln!("bench_report: no benchmark records found in {input_path}");
+        eprintln!("bench_report: no benchmark records found in {}", args.input_path);
         return ExitCode::FAILURE;
     }
-    if let Err(err) = std::fs::write(output_path, render_json(&medians)) {
-        eprintln!("bench_report: cannot write {output_path}: {err}");
+    if let Err(err) = std::fs::write(&args.output_path, render_json(&medians)) {
+        eprintln!("bench_report: cannot write {}: {err}", args.output_path);
         return ExitCode::FAILURE;
     }
     print!("{}", render_table(&medians));
-    println!("\n{} benchmarks -> {output_path}", medians.len());
+    println!("\n{} benchmarks -> {}", medians.len(), args.output_path);
+
+    let Some(baseline_path) = &args.baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(raw) => parse_baseline(&raw),
+        Err(err) => {
+            eprintln!("bench_report: cannot read baseline {baseline_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("bench_report: no baseline records found in {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+    let deltas = compare(&medians, &baseline);
+    println!("\n## Benchmark deltas vs {baseline_path}\n");
+    print!("{}", render_deltas(&deltas, args.max_regress_pct));
+    if let Some(max) = args.max_regress_pct {
+        let regressions: Vec<&Delta> =
+            deltas.iter().filter(|d| d.regress_pct.is_some_and(|p| p > max)).collect();
+        if !regressions.is_empty() {
+            eprintln!(
+                "bench_report: {} benchmark(s) regressed more than {max}% vs {baseline_path}:",
+                regressions.len()
+            );
+            for d in &regressions {
+                eprintln!("  {}: {}", d.name, d.detail);
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nNo benchmark regressed more than {max}%.");
+    }
     ExitCode::SUCCESS
 }
 
@@ -150,5 +301,62 @@ mod tests {
         assert_eq!(extract_field(line, "median_ns"), Some("5.5"));
         assert_eq!(extract_field(line, "samples"), Some("3"));
         assert_eq!(extract_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_render_json() {
+        let medians = parse_records(SAMPLE);
+        let parsed = parse_baseline(&render_json(&medians));
+        assert_eq!(parsed.len(), medians.len());
+        assert_eq!(parsed["gemm/64"], 1200.0);
+    }
+
+    #[test]
+    fn compare_classifies_and_flags_regressions() {
+        let mut current = BTreeMap::new();
+        current.insert("a".to_string(), 130.0);
+        current.insert("b".to_string(), 90.0);
+        current.insert("c".to_string(), 10.0);
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), 100.0);
+        baseline.insert("b".to_string(), 100.0);
+        baseline.insert("gone".to_string(), 5.0);
+        let deltas = compare(&current, &baseline);
+        let by_name = |n: &str| deltas.iter().find(|d| d.name == n).expect("delta row present");
+        assert_eq!(by_name("a").status, "slower");
+        assert!((by_name("a").regress_pct.unwrap() - 30.0).abs() < 1e-9);
+        assert_eq!(by_name("b").status, "faster");
+        assert_eq!(by_name("c").status, "new");
+        assert_eq!(by_name("gone").status, "removed");
+        // Only `a` exceeds a 25% gate; new/removed rows never gate.
+        let gated: Vec<&Delta> =
+            deltas.iter().filter(|d| d.regress_pct.is_some_and(|p| p > 25.0)).collect();
+        assert_eq!(gated.len(), 1);
+        assert_eq!(gated[0].name, "a");
+        let table = render_deltas(&deltas, Some(25.0));
+        assert!(table.contains("**REGRESSION**"));
+        assert!(table.lines().count() == 2 + deltas.len());
+    }
+
+    #[test]
+    fn parse_args_handles_flags_in_any_position() {
+        let args: Vec<String> = [
+            "bench_report",
+            "in.jsonl",
+            "--compare",
+            "base.json",
+            "out.json",
+            "--max-regress-pct",
+            "25",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let parsed = parse_args(&args).expect("valid args");
+        assert_eq!(parsed.input_path, "in.jsonl");
+        assert_eq!(parsed.output_path, "out.json");
+        assert_eq!(parsed.baseline_path.as_deref(), Some("base.json"));
+        assert_eq!(parsed.max_regress_pct, Some(25.0));
+        assert!(parse_args(&args[..2]).is_none(), "missing output path");
     }
 }

@@ -115,6 +115,14 @@ impl ClusterConfig {
     /// not a positive integer, and [`ClusterError::InvalidConfig`] when it
     /// exceeds [`MAX_SHARDS`].
     pub fn from_env() -> Result<Self> {
+        // The backend knob is read lazily by the kernels (where garbage can
+        // only fail fast); validating it here instead surfaces a typo as the
+        // cluster's own typed error before any worker thread spawns.
+        fuse_backend::BackendChoice::from_env().map_err(|e| ClusterError::InvalidEnv {
+            name: e.name,
+            value: e.value,
+            expected: e.expected,
+        })?;
         let mut config = ClusterConfig::default();
         if let Some(shards) = env_usize(FUSE_SHARDS_ENV)? {
             config.shards = shards;
@@ -163,18 +171,21 @@ impl ClusterConfig {
 /// (`Ok(None)`) from *unparseable* — which is a typed error naming the knob,
 /// never a panic or a silent fallback.
 ///
+/// This is a thin wrapper over the workspace-wide helper
+/// ([`fuse_parallel::env::env_usize`], which `FUSE_THREADS`,
+/// `FUSE_PAR_MIN_WORK` and `FUSE_BACKEND` also parse through), mapping its
+/// error into the cluster's own [`ClusterError::InvalidEnv`].
+///
 /// # Errors
 ///
 /// Returns [`ClusterError::InvalidEnv`] when the variable is set but does not
 /// parse as an integer `>= 1`.
 pub fn env_usize(name: &str) -> Result<Option<usize>> {
-    match std::env::var(name) {
-        Err(_) => Ok(None),
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(Some(n)),
-            _ => Err(ClusterError::InvalidEnv { name: name.to_string(), value: raw }),
-        },
-    }
+    fuse_parallel::env::env_usize(name).map_err(|e| ClusterError::InvalidEnv {
+        name: e.name,
+        value: e.value,
+        expected: e.expected,
+    })
 }
 
 #[cfg(test)]
@@ -212,13 +223,41 @@ mod tests {
         let err = env_usize("FUSE_TEST_BAD_KNOB").unwrap_err();
         assert_eq!(
             err,
-            ClusterError::InvalidEnv { name: "FUSE_TEST_BAD_KNOB".into(), value: "2.5".into() }
+            ClusterError::InvalidEnv {
+                name: "FUSE_TEST_BAD_KNOB".into(),
+                value: "2.5".into(),
+                expected: "a positive integer",
+            }
         );
         std::env::set_var("FUSE_TEST_ZERO_KNOB", "0");
         assert!(env_usize("FUSE_TEST_ZERO_KNOB").is_err(), "zero shards would deadlock");
         std::env::remove_var("FUSE_TEST_GOOD_KNOB");
         std::env::remove_var("FUSE_TEST_BAD_KNOB");
         std::env::remove_var("FUSE_TEST_ZERO_KNOB");
+    }
+
+    #[test]
+    fn from_env_validates_the_backend_knob_with_a_typed_error() {
+        // Pin the kernels' one-time FUSE_BACKEND read first so the temporary
+        // garbage below can never leak into the process-wide choice (the
+        // config validation re-parses the variable on every call).
+        let pinned = fuse_backend::active_choice();
+        let previous = std::env::var("FUSE_BACKEND").ok();
+        std::env::set_var("FUSE_BACKEND", "fpga");
+        let err = ClusterConfig::from_env().unwrap_err();
+        match previous {
+            Some(v) => std::env::set_var("FUSE_BACKEND", v),
+            None => std::env::remove_var("FUSE_BACKEND"),
+        }
+        assert_eq!(
+            err,
+            ClusterError::InvalidEnv {
+                name: "FUSE_BACKEND".into(),
+                value: "fpga".into(),
+                expected: "one of scalar|simd|auto",
+            }
+        );
+        assert_eq!(fuse_backend::active_choice(), pinned, "the cached choice must be untouched");
     }
 
     #[test]

@@ -15,12 +15,16 @@ pub enum ClusterError {
     /// The cluster was configured inconsistently (zero shards, zero queue
     /// capacity, a serve config the shards would reject, …).
     InvalidConfig(String),
-    /// An environment knob (e.g. `FUSE_SHARDS`) did not parse.
+    /// An environment knob (e.g. `FUSE_SHARDS`, `FUSE_BACKEND`) did not
+    /// parse.
     InvalidEnv {
         /// Name of the environment variable.
         name: String,
         /// The raw value that failed to parse.
         value: String,
+        /// Human-readable description of the accepted values (e.g. `"a
+        /// positive integer"`, `"one of scalar|simd|auto"`).
+        expected: &'static str,
     },
     /// A frame or request referenced a session id no shard has open.
     UnknownSession(u64),
@@ -52,8 +56,8 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidConfig(msg) => {
                 write!(f, "invalid cluster configuration: {msg}")
             }
-            ClusterError::InvalidEnv { name, value } => {
-                write!(f, "environment knob {name}={value:?} is not a positive integer")
+            ClusterError::InvalidEnv { name, value, expected } => {
+                write!(f, "environment knob {name}={value:?} is invalid (expected {expected})")
             }
             ClusterError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ClusterError::DuplicateSession(id) => write!(f, "session {id} is already open"),
@@ -94,10 +98,15 @@ mod tests {
 
     #[test]
     fn display_names_the_offending_knob() {
-        let e = ClusterError::InvalidEnv { name: "FUSE_SHARDS".into(), value: "many".into() };
+        let e = ClusterError::InvalidEnv {
+            name: "FUSE_SHARDS".into(),
+            value: "many".into(),
+            expected: "a positive integer",
+        };
         let text = e.to_string();
         assert!(text.contains("FUSE_SHARDS"));
         assert!(text.contains("many"));
+        assert!(text.contains("a positive integer"), "the fix hint must be rendered");
     }
 
     #[test]

@@ -98,10 +98,11 @@ impl ClusterRouter {
     /// Spawns `config.shards` worker threads, each serving a clone of
     /// `model` with the shared [`fuse_serve::ServeConfig`].
     ///
-    /// The thread count the kernels under each shard use is pinned to the
-    /// *caller's* [`fuse_parallel::available_threads`] at construction time,
-    /// so a `with_threads(1, …)` test override propagates into the worker
-    /// threads.
+    /// The thread count and kernel backend the shards use are pinned to the
+    /// *caller's* [`fuse_parallel::available_threads`] /
+    /// [`fuse_backend::active_choice`] at construction time, so
+    /// `with_threads(1, …)` / `with_backend(…)` test overrides propagate
+    /// into the worker threads.
     ///
     /// # Errors
     ///
@@ -110,6 +111,7 @@ impl ClusterRouter {
         config.validate()?;
         let kernel_threads = fuse_parallel::available_threads();
         let kernel_min_work = fuse_parallel::min_parallel_work();
+        let kernel_backend = fuse_backend::active_choice();
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
@@ -133,10 +135,13 @@ impl ClusterRouter {
                 .spawn(move || {
                     // Propagate the constructor thread's kernel overrides into
                     // the worker (they are thread-local, so the equivalence
-                    // tests' `with_threads`/`with_min_parallel_work` scopes
-                    // would otherwise stop at the thread boundary).
+                    // tests' `with_threads`/`with_min_parallel_work`/
+                    // `with_backend` scopes would otherwise stop at the
+                    // thread boundary).
                     fuse_parallel::with_threads(kernel_threads, || {
-                        fuse_parallel::with_min_parallel_work(kernel_min_work, || worker.run())
+                        fuse_parallel::with_min_parallel_work(kernel_min_work, || {
+                            fuse_backend::with_backend(kernel_backend, || worker.run())
+                        })
                     })
                 })
                 .expect("spawning shard worker failed");

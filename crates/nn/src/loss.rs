@@ -1,4 +1,11 @@
 //! Regression losses for joint-coordinate estimation.
+//!
+//! The L1/MSE hot loops run through the backend-routed tensor ops
+//! (`sub`/`sum`/`norm_sq`/`scale`), so elementwise work picks up the active
+//! `FUSE_BACKEND` while the value reductions keep the scalar in-order
+//! association the reproducibility contract pins. Huber interleaves its
+//! value reduction with the gradient clamp in one order-sensitive pass and
+//! therefore stays on the scalar path by design.
 
 use fuse_tensor::{Tensor, TensorError};
 
@@ -210,6 +217,28 @@ mod tests {
         let (h, _) = HuberLoss::new(1.0).evaluate(&pred, &target).unwrap();
         let expected = (0.5 * 0.1f32 * 0.1 + 1.0 * (10.0 - 0.5)) / 2.0;
         assert!((h - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn losses_are_bit_identical_across_backends() {
+        use fuse_backend::{with_backend, BackendChoice};
+        // 19 elements: off every SIMD lane multiple, so remainders are hit.
+        let pred = Tensor::randn(&[1, 19], 1.0, 8);
+        let target = Tensor::randn(&[1, 19], 1.0, 9);
+        for loss in [&L1Loss as &dyn Loss, &MseLoss, &HuberLoss::default()] {
+            let run = |choice| {
+                with_backend(choice, || {
+                    let (v, g) = loss.evaluate(&pred, &target).unwrap();
+                    (v.to_bits(), g.as_slice().to_vec())
+                })
+            };
+            assert_eq!(
+                run(BackendChoice::Scalar),
+                run(BackendChoice::Simd),
+                "{} diverged between backends",
+                loss.name()
+            );
+        }
     }
 
     #[test]

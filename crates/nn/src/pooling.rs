@@ -7,7 +7,7 @@
 //! from the same toolkit, and it is exercised by the architecture-ablation
 //! tests.
 
-use fuse_tensor::Tensor;
+use fuse_tensor::{linalg, Tensor};
 
 use crate::error::NnError;
 use crate::layer::Layer;
@@ -72,6 +72,13 @@ impl Layer for MaxPool2d {
 
         let data = input.as_slice();
         let out_data = out.as_mut_slice();
+        // Each window is scanned one contiguous row segment at a time through
+        // the backend's first-maximum scan; combining row results with the
+        // same strict `>` preserves the scalar (ky, kx)-order tie-breaking
+        // exactly, for every backend (the scan is order-sensitive, so SIMD
+        // backends run it on the scalar reference per the contract). The
+        // backend is resolved once, outside the per-window loops.
+        let be = linalg::active_backend();
         for s in 0..n {
             for ch in 0..c {
                 for oy in 0..out_h {
@@ -79,13 +86,12 @@ impl Layer for MaxPool2d {
                         let mut best = f32::NEG_INFINITY;
                         let mut best_idx = 0usize;
                         for ky in 0..self.window {
-                            for kx in 0..self.window {
-                                let iy = oy * self.window + ky;
-                                let ix = ox * self.window + kx;
-                                let idx = ((s * c + ch) * h + iy) * w + ix;
-                                if data[idx] > best {
-                                    best = data[idx];
-                                    best_idx = idx;
+                            let iy = oy * self.window + ky;
+                            let base = ((s * c + ch) * h + iy) * w + ox * self.window;
+                            if let Some((off, v)) = be.max_scan(&data[base..base + self.window]) {
+                                if v > best {
+                                    best = v;
+                                    best_idx = base + off;
                                 }
                             }
                         }

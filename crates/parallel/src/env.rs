@@ -1,0 +1,158 @@
+//! Typed environment-knob parsing shared by every `FUSE_*` configuration
+//! surface in the workspace.
+//!
+//! Historically each crate parsed its own knobs: `fuse-parallel` silently
+//! ignored garbage in `FUSE_THREADS`, while `fuse-cluster` returned a typed
+//! error naming the offending knob. This module is the single source of truth
+//! both now build on: *unset* is `Ok(None)`, *unparseable* is a typed
+//! [`InvalidEnv`] carrying the knob name, the raw value and what was
+//! expected — callers decide whether that becomes a `Result` (cluster/backend
+//! configuration) or a fail-fast panic with the same message (the lazily
+//! initialised process-wide thread count, where silently falling back would
+//! mask a deployment typo).
+
+use std::error::Error;
+use std::fmt;
+
+/// An environment knob was set to a value that does not parse.
+///
+/// The `expected` field describes the accepted syntax (e.g. `"a positive
+/// integer"` or `"one of scalar|simd|auto"`), so the rendered message tells
+/// an operator exactly how to fix the deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidEnv {
+    /// Name of the environment variable.
+    pub name: String,
+    /// The raw value that failed to parse.
+    pub value: String,
+    /// Human-readable description of the accepted values.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for InvalidEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "environment knob {}={:?} is invalid (expected {})",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl Error for InvalidEnv {}
+
+/// Reads a positive-integer environment knob, distinguishing *unset*
+/// (`Ok(None)`) from *unparseable* (a typed [`InvalidEnv`]).
+///
+/// Zero is rejected: every `FUSE_*` count knob (threads, shards, sessions)
+/// treats zero as a configuration mistake that would deadlock or divide by
+/// zero. Use [`env_usize_allow_zero`] for thresholds where zero is
+/// meaningful.
+///
+/// # Errors
+///
+/// Returns [`InvalidEnv`] when the variable is set but does not parse as an
+/// integer `>= 1`.
+pub fn env_usize(name: &str) -> Result<Option<usize>, InvalidEnv> {
+    parse_usize(name, 1, "a positive integer")
+}
+
+/// Like [`env_usize`] but accepting zero (e.g. `FUSE_PAR_MIN_WORK=0` forces
+/// every kernel through the parallel path).
+///
+/// # Errors
+///
+/// Returns [`InvalidEnv`] when the variable is set but does not parse as a
+/// non-negative integer.
+pub fn env_usize_allow_zero(name: &str) -> Result<Option<usize>, InvalidEnv> {
+    parse_usize(name, 0, "a non-negative integer")
+}
+
+fn parse_usize(
+    name: &str,
+    min: usize,
+    expected: &'static str,
+) -> Result<Option<usize>, InvalidEnv> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= min => Ok(Some(n)),
+            _ => Err(InvalidEnv { name: name.to_string(), value: raw, expected }),
+        },
+    }
+}
+
+/// Reads an enumerated environment knob: the value (trimmed, ASCII
+/// case-insensitive) must be one of `choices`; the index of the match is
+/// returned.
+///
+/// # Errors
+///
+/// Returns [`InvalidEnv`] (with `expected` rendering the accepted choice
+/// list) when the variable is set but matches no choice.
+pub fn env_choice(
+    name: &str,
+    choices: &'static [&'static str],
+    expected: &'static str,
+) -> Result<Option<usize>, InvalidEnv> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => {
+            let lowered = raw.trim().to_ascii_lowercase();
+            match choices.iter().position(|c| *c == lowered) {
+                Some(i) => Ok(Some(i)),
+                None => Err(InvalidEnv { name: name.to_string(), value: raw, expected }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global env vars: every test uses names nothing else touches.
+
+    #[test]
+    fn env_usize_distinguishes_unset_bad_and_good() {
+        assert_eq!(env_usize("FUSE_TEST_ENV_UNSET").unwrap(), None);
+        std::env::set_var("FUSE_TEST_ENV_GOOD", " 3 ");
+        assert_eq!(env_usize("FUSE_TEST_ENV_GOOD").unwrap(), Some(3));
+        std::env::set_var("FUSE_TEST_ENV_BAD", "2.5");
+        let err = env_usize("FUSE_TEST_ENV_BAD").unwrap_err();
+        assert_eq!(err.name, "FUSE_TEST_ENV_BAD");
+        assert_eq!(err.value, "2.5");
+        assert!(err.to_string().contains("FUSE_TEST_ENV_BAD"));
+        assert!(err.to_string().contains("2.5"));
+        std::env::remove_var("FUSE_TEST_ENV_GOOD");
+        std::env::remove_var("FUSE_TEST_ENV_BAD");
+    }
+
+    #[test]
+    fn env_usize_rejects_zero_unless_allowed() {
+        std::env::set_var("FUSE_TEST_ENV_ZERO", "0");
+        assert!(env_usize("FUSE_TEST_ENV_ZERO").is_err(), "zero threads/shards would deadlock");
+        assert_eq!(env_usize_allow_zero("FUSE_TEST_ENV_ZERO").unwrap(), Some(0));
+        std::env::remove_var("FUSE_TEST_ENV_ZERO");
+    }
+
+    #[test]
+    fn env_choice_matches_case_insensitively_and_names_expectations() {
+        const CHOICES: &[&str] = &["scalar", "simd", "auto"];
+        assert_eq!(env_choice("FUSE_TEST_ENV_CHOICE_UNSET", CHOICES, "x").unwrap(), None);
+        std::env::set_var("FUSE_TEST_ENV_CHOICE", " SIMD ");
+        assert_eq!(env_choice("FUSE_TEST_ENV_CHOICE", CHOICES, "x").unwrap(), Some(1));
+        std::env::set_var("FUSE_TEST_ENV_CHOICE", "gpu");
+        let err =
+            env_choice("FUSE_TEST_ENV_CHOICE", CHOICES, "one of scalar|simd|auto").unwrap_err();
+        assert_eq!(err.value, "gpu");
+        assert!(err.to_string().contains("one of scalar|simd|auto"));
+        std::env::remove_var("FUSE_TEST_ENV_CHOICE");
+    }
+
+    #[test]
+    fn invalid_env_is_a_std_error() {
+        fn assert_error<T: Error + Send + Sync>() {}
+        assert_error::<InvalidEnv>();
+    }
+}

@@ -44,6 +44,7 @@
 //! explicit condition backpressure policies can act on).
 
 pub mod channel;
+pub mod env;
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -79,27 +80,59 @@ thread_local! {
     static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
     /// Scoped override installed by [`with_min_parallel_work`].
     static MIN_WORK_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Inheritable execution-context word (see [`inherited_context`]).
+    static INHERITED_CONTEXT: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-fn parse_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+/// The current thread's inheritable execution-context word.
+///
+/// Unlike the thread-count/work-threshold overrides (which only matter on
+/// the *dispatching* thread), this word is captured by every fork-join
+/// dispatch and re-installed around each task on whichever pool worker runs
+/// it, so a scoped override crosses the thread boundary. The word is
+/// deliberately a bare `usize` so this crate stays at the bottom of the
+/// dependency stack — and it is currently **reserved by `fuse-backend`**,
+/// which stores the active kernel-backend choice in it (and rejects foreign
+/// values in debug builds). A second consumer needs a keyed or structured
+/// context, not another claim on this word.
+pub fn inherited_context() -> Option<usize> {
+    INHERITED_CONTEXT.with(|c| c.get())
+}
+
+/// Runs `f` with the inheritable context word set to `value` for the current
+/// thread (restored on exit, panic included). Work dispatched inside `f`
+/// carries the word into its pool tasks.
+pub fn with_inherited_context<R>(value: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let _restore = set_scoped(&INHERITED_CONTEXT, value);
+    f()
 }
 
 /// Thread count configured for the process: `FUSE_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism.
+///
+/// Garbage in the knob used to be silently ignored; it now fails fast with
+/// the same typed [`env::InvalidEnv`] message the cluster and backend
+/// configuration surfaces return, so a deployment typo cannot quietly run
+/// with the wrong thread count.
 fn configured_threads() -> usize {
     static CONFIG: OnceLock<usize> = OnceLock::new();
     *CONFIG.get_or_init(|| {
-        parse_env_usize("FUSE_THREADS")
-            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
-            .min(MAX_THREADS)
+        match env::env_usize("FUSE_THREADS") {
+            Ok(Some(n)) => n,
+            Ok(None) => thread::available_parallelism().map_or(1, |n| n.get()),
+            Err(e) => panic!("{e}"),
+        }
+        .min(MAX_THREADS)
     })
 }
 
 fn configured_min_work() -> usize {
     static CONFIG: OnceLock<usize> = OnceLock::new();
-    *CONFIG
-        .get_or_init(|| parse_env_usize("FUSE_PAR_MIN_WORK").unwrap_or(DEFAULT_MIN_PARALLEL_WORK))
+    *CONFIG.get_or_init(|| match env::env_usize_allow_zero("FUSE_PAR_MIN_WORK") {
+        Ok(Some(n)) => n,
+        Ok(None) => DEFAULT_MIN_PARALLEL_WORK,
+        Err(e) => panic!("{e}"),
+    })
 }
 
 /// The number of threads parallel primitives will use for work dispatched
@@ -283,6 +316,10 @@ fn run_tasks(tasks: Vec<ScopedTask<'_>>) {
 
     let own_task = tasks.remove(0);
     let latch = Latch::new(tasks.len());
+    // Captured on the dispatching thread; re-installed around every task so
+    // scoped context (e.g. the fuse-backend choice) survives the hop onto a
+    // pool worker.
+    let context = inherited_context();
     let jobs: Vec<Job> = tasks
         .into_iter()
         .map(|task| {
@@ -292,7 +329,9 @@ fn run_tasks(tasks: Vec<ScopedTask<'_>>) {
             let task: ScopedTask<'static> = unsafe { std::mem::transmute(task) };
             let latch = Arc::clone(&latch);
             Box::new(move || {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                let task = AssertUnwindSafe(task);
+                let run = || with_inherited_context(context, task.0);
+                if catch_unwind(AssertUnwindSafe(run)).is_err() {
                     latch.panicked.store(true, Ordering::Release);
                 }
                 latch.complete_one();
@@ -570,6 +609,17 @@ mod tests {
         with_threads(1, || {
             with_min_parallel_work(0, || assert!(!parallel_beneficial(usize::MAX)));
         });
+    }
+
+    #[test]
+    fn inherited_context_crosses_into_pool_tasks() {
+        let seen = with_threads(4, || {
+            with_inherited_context(Some(42), || {
+                with_min_parallel_work(0, || par_map_index(64, |_| inherited_context()))
+            })
+        });
+        assert!(seen.iter().all(|c| *c == Some(42)), "context must reach every task");
+        assert_eq!(inherited_context(), None, "context must restore after the scope");
     }
 
     #[test]

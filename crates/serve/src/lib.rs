@@ -15,9 +15,26 @@
 //! Responses are **deterministic by construction**: pending frames are
 //! scheduled round-robin across sessions by their per-session queue rank
 //! (never by arrival interleaving), and every kernel underneath is
-//! bit-reproducible for any `FUSE_THREADS` (see `fuse-parallel`), so a
-//! serving trace is bit-identical across thread counts and submission
-//! orders.
+//! bit-reproducible for any `FUSE_THREADS` × `FUSE_BACKEND` combination
+//! (see `fuse-parallel`, `fuse-backend` and `REPRODUCIBILITY.md`), so a
+//! serving trace is bit-identical across thread counts, kernel backends and
+//! submission orders.
+//!
+//! ## Deployment knobs
+//!
+//! An engine operator tunes the compute substrate entirely through
+//! environment knobs (all parsed through the typed helper — garbage is a
+//! named error or fail-fast panic, never a silent fallback):
+//!
+//! | Variable            | Default          | Meaning                                             |
+//! |---------------------|------------------|-----------------------------------------------------|
+//! | `FUSE_THREADS`      | host parallelism | threads for the row/sample-parallel kernels         |
+//! | `FUSE_PAR_MIN_WORK` | `32768`          | scalar-op threshold below which kernels stay serial |
+//! | `FUSE_BACKEND`      | `auto`           | kernel backend: `scalar`, `simd` or `auto`          |
+//!
+//! [`BackendChoice`] and [`FUSE_BACKEND_ENV`] are re-exported here so
+//! serving embedders can pin or report the backend without depending on
+//! `fuse-backend` directly.
 //!
 //! ```no_run
 //! use fuse_serve::prelude::*;
@@ -41,6 +58,7 @@ pub mod session;
 
 pub use engine::{PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse};
 pub use error::ServeError;
+pub use fuse_backend::{BackendChoice, FUSE_BACKEND_ENV};
 pub use latency::{
     LatencyRecorder, LatencyReport, Stage, StageStats, DEFAULT_BUDGET_MS, DEFAULT_SAMPLE_WINDOW,
 };

@@ -5,6 +5,7 @@
 //! column matrix (im2col) and performs a single GEMM per sample; the backward
 //! passes reuse the same lowering.
 
+use fuse_backend::KernelBackend;
 use fuse_parallel as par;
 use serde::{Deserialize, Serialize};
 
@@ -65,45 +66,23 @@ impl Conv2dSpec {
     }
 }
 
-/// Fills one row of the im2col matrix: the lowered window values for kernel
-/// tap `(ch, ky, kx) = decode(row)` at every output position. Shared by the
-/// serial and row-parallel [`im2col`] paths so both produce identical bits.
-#[inline]
-fn im2col_fill_row(
-    input: &[f32],
-    h: usize,
-    w: usize,
-    spec: &Conv2dSpec,
-    row: usize,
-    row_out: &mut [f32],
-    out_w: usize,
-) {
-    let k = spec.kernel;
-    let ch = row / (k * k);
-    let ky = (row / k) % k;
-    let kx = row % k;
-    let out_h = row_out.len() / out_w;
-    for oy in 0..out_h {
-        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-        for ox in 0..out_w {
-            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-            let val = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                input[(ch * h + iy as usize) * w + ix as usize]
-            } else {
-                0.0
-            };
-            row_out[oy * out_w + ox] = val;
-        }
-    }
-}
-
 /// Lowers a single `[C, H, W]` sample into an im2col matrix of shape
-/// `[C*k*k, out_h*out_w]` stored row-major in `cols`.
+/// `[C*k*k, out_h*out_w]` stored row-major in `cols`, on the given backend
+/// (row filling is pure data movement; the SIMD backend lowers stride-1 rows
+/// with bulk copies).
 ///
 /// Rows are independent, so large lowerings (single-sample inference with the
 /// batch dimension unavailable for parallelism) fan out row-wise on the
 /// `fuse-parallel` pool; inside a pool worker this runs inline.
-fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: &mut [f32]) {
+fn im2col(
+    be: &dyn KernelBackend,
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    cols: &mut [f32],
+) {
     let (out_h, out_w) = spec.output_size(h, w).expect("output_size validated by caller");
     let k = spec.kernel;
     let n_cols = out_h * out_w;
@@ -111,11 +90,11 @@ fn im2col(input: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, cols: 
     let cols = &mut cols[..rows * n_cols];
     if rows > 1 && par::parallel_beneficial(rows * n_cols) {
         par::par_chunks_mut(cols, n_cols, |row, row_out| {
-            im2col_fill_row(input, h, w, spec, row, row_out, out_w);
+            be.im2col_row(input, h, w, k, spec.stride, spec.padding, row, row_out, out_w);
         });
     } else {
         for (row, row_out) in cols.chunks_exact_mut(n_cols).enumerate() {
-            im2col_fill_row(input, h, w, spec, row, row_out, out_w);
+            be.im2col_row(input, h, w, k, spec.stride, spec.padding, row, row_out, out_w);
         }
     }
 }
@@ -206,16 +185,16 @@ pub fn conv2d_forward(
     let bias_data = bias.as_slice();
 
     // One fully independent unit of work per batch sample: lower the sample,
-    // run the per-output-channel GEMM, add the bias.
+    // run the per-output-channel GEMM, add the bias. The backend is resolved
+    // once here and captured, so the per-sample pool tasks use the caller's
+    // backend.
+    let be = fuse_backend::active();
     let forward_sample = |s: usize, cols: &mut [f32], out_sample: &mut [f32]| {
-        im2col(&input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
+        im2col(be, &input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
         // out[s] = weight[(C_out) x (C_in*k*k)] * cols[(C_in*k*k) x (n_cols)]
         linalg::gemm(weight_data, cols, out_sample, spec.out_channels, col_rows, n_cols);
         for (oc, out_channel) in out_sample.chunks_exact_mut(n_cols).enumerate() {
-            let b = bias_data[oc];
-            for v in out_channel {
-                *v += b;
-            }
+            be.add_scalar_assign(out_channel, bias_data[oc]);
         }
     };
 
@@ -329,16 +308,18 @@ pub fn conv2d_backward_weight(
 
     // The weight/bias gradients are reductions over the batch. Each sample
     // produces an independent partial (`cols` is fully overwritten per call,
-    // so the buffer can be shared or private without changing any bit).
+    // so the buffer can be shared or private without changing any bit). The
+    // per-channel bias sums are in-order reductions, which every backend
+    // computes in the scalar association (the reproducibility contract).
+    let be = fuse_backend::active();
     let weight_partial = |s: usize, cols: &mut [f32]| {
-        im2col(&input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
+        im2col(be, &input_data[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols);
         // grad_w += grad_out [C_out x n_cols] * colsᵀ [n_cols x col_rows]
         let go = &go_data[s * go_stride..(s + 1) * go_stride];
         let mut gw = vec![0.0f32; spec.out_channels * col_rows];
         linalg::gemm_a_bt(go, cols, &mut gw, spec.out_channels, n_cols, col_rows);
-        let gb: Vec<f32> = (0..spec.out_channels)
-            .map(|oc| go[oc * n_cols..(oc + 1) * n_cols].iter().sum::<f32>())
-            .collect();
+        let gb: Vec<f32> =
+            (0..spec.out_channels).map(|oc| be.sum(&go[oc * n_cols..(oc + 1) * n_cols])).collect();
         (gw, gb)
     };
 
@@ -358,9 +339,7 @@ pub fn conv2d_backward_weight(
         };
     for (gw, gb) in &partials {
         linalg::axpy(1.0, gw, &mut grad_weight);
-        for (acc, &g) in grad_bias.iter_mut().zip(gb) {
-            *acc += g;
-        }
+        linalg::add_assign(&mut grad_bias, gb);
     }
     Ok((
         Tensor::from_vec(

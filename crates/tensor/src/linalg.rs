@@ -4,35 +4,30 @@
 //! tensor type, the im2col convolution path and the radar signal chain without
 //! additional allocation.
 //!
-//! ## Parallel execution
+//! ## Execution backends
 //!
 //! Every matrix product dispatches row-parallel bands to the `fuse-parallel`
 //! pool when the operation is large enough ([`fuse_parallel::parallel_beneficial`])
-//! and runs serially otherwise. Both paths execute the *same* per-output-row
-//! kernel in the same floating-point order, so results are bit-identical for
-//! every `FUSE_THREADS` value — the invariant the workspace's seed-exact
-//! tests and the CI thread matrix rely on.
+//! and runs serially otherwise; *within* each row the arithmetic runs on the
+//! active [`fuse_backend::KernelBackend`] (scalar reference or SIMD, selected
+//! by `FUSE_BACKEND` / [`fuse_backend::with_backend`]). The backend is
+//! fetched once per dispatch on the calling thread and handed into the pool
+//! tasks, so thread-local test overrides compose with parallel execution.
+//! All backends honour the bit-reproducibility contract
+//! (`REPRODUCIBILITY.md`), so results are bit-identical for every
+//! `FUSE_THREADS` × `FUSE_BACKEND` combination — the invariant the
+//! workspace's seed-exact tests and the CI backend matrix rely on.
 
 use fuse_parallel as par;
 
-/// Per-row GEMM kernel: `out_row (+)= a_row · b` where `b` is `[k x n]` and
-/// `n == out_row.len()`. The `p`-ascending accumulation order is the single
-/// source of truth for both the serial and the parallel paths.
-#[inline]
-fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], accumulate: bool) {
-    let n = out_row.len();
-    if !accumulate {
-        out_row.fill(0.0);
-    }
-    for (p, &a_ip) in a_row.iter().enumerate() {
-        if a_ip == 0.0 {
-            continue;
-        }
-        let b_row = &b[p * n..(p + 1) * n];
-        for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-            *o += a_ip * b_pj;
-        }
-    }
+pub use fuse_backend::KernelBackend;
+
+/// The kernel backend active for the current thread, for callers that want
+/// to resolve it once and reuse it across a hot loop (e.g. the max-pooling
+/// window scan) instead of paying a per-call lookup through the facade
+/// functions below.
+pub fn active_backend() -> &'static dyn KernelBackend {
+    fuse_backend::active()
 }
 
 fn gemm_dispatch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
@@ -50,14 +45,20 @@ fn gemm_dispatch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
         return;
     }
     let (a, b) = (&a[..m * k], &b[..k * n]);
+    let be = fuse_backend::active();
     if m > 1 && par::parallel_beneficial(m * k * n) {
-        par::par_chunks_mut(out, n, |i, out_row| {
-            gemm_row(&a[i * k..(i + 1) * k], b, out_row, acc);
+        // Contiguous row bands (one per thread) instead of per-row chunks:
+        // the block-level backend kernel can then reuse `b` loads across
+        // rows. Per-element accumulation order is banding-independent, so
+        // any thread count stays bit-identical.
+        let band_rows = m.div_ceil(par::available_threads());
+        par::par_chunks_mut(out, band_rows * n, |band, out_band| {
+            let start = band * band_rows;
+            let rows = out_band.len() / n;
+            be.gemm_rows(&a[start * k..(start + rows) * k], b, out_band, k, n, acc);
         });
     } else {
-        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
-            gemm_row(a_row, b, out_row, acc);
-        }
+        be.gemm_rows(a, b, out, k, n, acc);
     }
 }
 
@@ -85,30 +86,6 @@ pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
     gemm_dispatch(a, b, out, m, k, n, true);
 }
 
-/// `k`-outer kernel of [`gemm_at_b`] over a contiguous band of output rows
-/// starting at absolute row `row0`. The row slices of both operands are
-/// hoisted into chunk iterators instead of being recomputed per `p`
-/// iteration, and each output row accumulates in `p`-ascending order — the
-/// same order for any banding, so parallel output is bit-identical to serial.
-fn gemm_at_b_band(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, m: usize, n: usize) {
-    out_band.fill(0.0);
-    let a_rows = a.chunks_exact(m);
-    let b_rows = b.chunks_exact(n);
-    debug_assert_eq!(a_rows.len(), b_rows.len(), "lhs and rhs must agree on the shared k extent");
-    debug_assert_eq!(out_band.len() % n, 0, "output band must hold whole rows of length n");
-    for (a_row, b_row) in a_rows.zip(b_rows) {
-        for (i, out_row) in out_band.chunks_exact_mut(n).enumerate() {
-            let a_pi = a_row[row0 + i];
-            if a_pi == 0.0 {
-                continue;
-            }
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pj;
-            }
-        }
-    }
-}
-
 /// Matrix multiply with the left operand transposed: `out[m x n] = aᵀ * b`
 /// where `a` is stored as `[k x m]`.
 ///
@@ -131,26 +108,14 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: u
         return;
     }
     let (a, b) = (&a[..k * m], &b[..k * n]);
+    let be = fuse_backend::active();
     if m > 1 && par::parallel_beneficial(k * m * n) {
         let band_rows = m.div_ceil(par::available_threads());
         par::par_chunks_mut(out, band_rows * n, |band, out_band| {
-            gemm_at_b_band(a, b, out_band, band * band_rows, m, n);
+            be.gemm_at_b_band(a, b, out_band, band * band_rows, m, n);
         });
     } else {
-        gemm_at_b_band(a, b, out, 0, m, n);
-    }
-}
-
-/// Per-row kernel of [`gemm_a_bt`]: `out_row[j] = a_row · b[j]` with `b`
-/// stored `[n x k]`.
-#[inline]
-fn gemm_a_bt_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize) {
-    for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(k)) {
-        let mut acc = 0.0f32;
-        for (x, y) in a_row.iter().zip(b_row) {
-            acc += x * y;
-        }
-        *o = acc;
+        be.gemm_at_b_band(a, b, out, 0, m, n);
     }
 }
 
@@ -173,13 +138,14 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
         return;
     }
     let (a, b) = (&a[..m * k], &b[..n * k]);
+    let be = fuse_backend::active();
     if m > 1 && par::parallel_beneficial(m * k * n) {
         par::par_chunks_mut(out, n, |i, out_row| {
-            gemm_a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
+            be.gemm_a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
         });
     } else {
         for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
-            gemm_a_bt_row(a_row, b, out_row, k);
+            be.gemm_a_bt_row(a_row, b, out_row, k);
         }
     }
 }
@@ -198,26 +164,57 @@ pub fn outer(a: &[f32], b: &[f32], out: &mut [f32]) {
     }
 }
 
-/// `y += alpha * x` over raw slices.
+/// `y += alpha * x` over raw slices, on the active backend.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy operands must have equal length");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    fuse_backend::active().axpy(alpha, x, y);
 }
 
-/// Dot product of two equal-length slices.
+/// `y += x` over raw slices, on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign operands must have equal length");
+    fuse_backend::active().add_assign(y, x);
+}
+
+/// `data *= s` in place, on the active backend.
+pub fn scale_assign(data: &mut [f32], s: f32) {
+    fuse_backend::active().scale_assign(data, s);
+}
+
+/// `data += s` in place (bias broadcast), on the active backend.
+pub fn add_scalar_assign(data: &mut [f32], s: f32) {
+    fuse_backend::active().add_scalar_assign(data, s);
+}
+
+/// In-order sum of a slice. Reductions are order-sensitive, so every backend
+/// uses the scalar left-to-right association (the reproducibility contract).
+pub fn sum(x: &[f32]) -> f32 {
+    fuse_backend::active().sum(x)
+}
+
+/// Dot product of two equal-length slices (in-order reduction, see [`sum`]).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot operands must have equal length");
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    fuse_backend::active().dot(a, b)
+}
+
+/// First-maximum scan with strict `>` starting from `-∞` (see
+/// [`fuse_backend::KernelBackend::max_scan`]); the max-pooling layer builds
+/// its window argmax from this.
+pub fn max_scan(x: &[f32]) -> Option<(usize, f32)> {
+    fuse_backend::active().max_scan(x)
 }
 
 #[cfg(test)]
@@ -318,6 +315,49 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn simd_backend_is_bit_identical_to_scalar_for_all_products() {
+        use fuse_backend::{with_backend, BackendChoice};
+        // Widths off every lane multiple (1, 3, 7, 17) plus aligned 8.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 7, 17), (7, 17, 3), (5, 8, 8), (2, 3, 7)]
+        {
+            let a: Vec<f32> =
+                (0..m.max(k) * k.max(m)).map(|i| (i % 19) as f32 * 0.3 - 2.0).collect();
+            let b: Vec<f32> =
+                (0..k * n.max(k) + n * k).map(|i| (i % 23) as f32 * 0.2 - 1.5).collect();
+            let run = |choice| {
+                with_backend(choice, || {
+                    let mut g = vec![0.1f32; m * n];
+                    gemm(&a[..m * k], &b[..k * n], &mut g, m, k, n);
+                    gemm_acc(&a[..m * k], &b[..k * n], &mut g, m, k, n);
+                    let mut gt = vec![0.0f32; m * n];
+                    gemm_at_b(&a[..k * m], &b[..k * n], &mut gt, k, m, n);
+                    let mut gbt = vec![0.0f32; m * n];
+                    gemm_a_bt(&a[..m * k], &b[..n * k], &mut gbt, m, k, n);
+                    (g, gt, gbt)
+                })
+            };
+            assert_eq!(run(BackendChoice::Scalar), run(BackendChoice::Simd), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn elementwise_facade_routes_through_backend_bit_identically() {
+        use fuse_backend::{with_backend, BackendChoice};
+        let x: Vec<f32> = (0..17).map(|i| i as f32 * 0.7 - 5.0).collect();
+        let run = |choice| {
+            with_backend(choice, || {
+                let mut y: Vec<f32> = (0..17).map(|i| i as f32 * -0.3).collect();
+                axpy(1.5, &x, &mut y);
+                add_assign(&mut y, &x);
+                scale_assign(&mut y, 0.77);
+                add_scalar_assign(&mut y, -0.1);
+                (y, sum(&x), dot(&x, &x), max_scan(&x))
+            })
+        };
+        assert_eq!(run(BackendChoice::Scalar), run(BackendChoice::Simd));
     }
 
     #[test]

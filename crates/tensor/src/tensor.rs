@@ -366,9 +366,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::linalg::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
@@ -384,9 +382,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        crate::linalg::axpy(alpha, &other.data, &mut self.data);
         Ok(())
     }
 
@@ -395,9 +391,11 @@ impl Tensor {
         self.map(|x| x + s)
     }
 
-    /// Multiplies every element by a scalar.
+    /// Multiplies every element by a scalar (on the active backend).
     pub fn scale(&self, s: f32) -> Self {
-        self.map(|x| x * s)
+        let mut out = self.clone();
+        crate::linalg::scale_assign(&mut out.data, s);
+        out
     }
 
     /// Applies a function to every element, returning a new tensor.
@@ -444,9 +442,10 @@ impl Tensor {
     // Reductions
     // ------------------------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements (in-order reduction — every backend uses the
+    /// scalar left-to-right association, see `REPRODUCIBILITY.md`).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        crate::linalg::sum(&self.data)
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -502,9 +501,10 @@ impl Tensor {
         Ok(best)
     }
 
-    /// Squared L2 norm of all elements.
+    /// Squared L2 norm of all elements (in-order reduction, equal to
+    /// `linalg::dot(x, x)` term by term).
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        crate::linalg::dot(&self.data, &self.data)
     }
 
     /// L2 norm of all elements.
@@ -582,7 +582,7 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        Ok(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum())
+        Ok(crate::linalg::dot(&self.data, &other.data))
     }
 }
 

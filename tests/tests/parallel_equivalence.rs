@@ -1,13 +1,17 @@
-//! Serial-vs-parallel equivalence of the training/evaluation stack.
+//! Serial-vs-parallel and scalar-vs-SIMD equivalence of the
+//! training/evaluation/serving stack.
 //!
-//! The `fuse-parallel` backend promises bit-identical results for any thread
-//! count: parallel episodes/batches compute on private model clones and their
-//! contributions are merged in index order. These tests run the same
-//! fixed-seed workload with the thread count forced to 1 and to 4 inside one
-//! process and compare every learned parameter bit-for-bit — the same
-//! contract the CI thread matrix (`FUSE_THREADS=1` vs `4`) checks across
-//! whole processes.
+//! The execution substrate promises bit-identical results for any thread
+//! count (parallel episodes/batches compute on private model clones and
+//! their contributions are merged in index order) and for any kernel
+//! backend (the SIMD kernels preserve every per-element floating-point
+//! order — `REPRODUCIBILITY.md`). These tests run the same fixed-seed
+//! workload with the thread count forced to 1 vs 4 and the backend forced
+//! to scalar vs SIMD inside one process and compare every learned parameter
+//! bit-for-bit — the same contract the CI `FUSE_THREADS` × `FUSE_BACKEND`
+//! matrix checks across whole processes.
 
+use fuse_backend::{with_backend, BackendChoice};
 use fuse_core::prelude::*;
 use fuse_dataset::{encode_dataset, EncodedDataset};
 use fuse_parallel::{with_min_parallel_work, with_threads};
@@ -25,6 +29,16 @@ fn serial_and_parallel<R>(f: impl Fn() -> R) -> (R, R) {
     let serial = with_threads(1, &f);
     let parallel = with_threads(4, || with_min_parallel_work(0, &f));
     (serial, parallel)
+}
+
+/// Runs `f` on the serial scalar reference and on the SIMD backend under
+/// parallel dispatch: one comparison crosses both reproducibility contracts
+/// (thread count and kernel backend).
+fn scalar_and_simd<R>(f: impl Fn() -> R) -> (R, R) {
+    let scalar = with_threads(1, || with_backend(BackendChoice::Scalar, &f));
+    let simd =
+        with_threads(4, || with_min_parallel_work(0, || with_backend(BackendChoice::Simd, &f)));
+    (scalar, simd)
 }
 
 #[test]
@@ -198,4 +212,56 @@ fn fine_tuning_is_bit_identical_across_thread_counts() {
     });
     assert_eq!(serial.0, parallel.0, "fine-tune losses diverged between thread counts");
     assert_eq!(serial.1, parallel.1, "fine-tuned parameters diverged between thread counts");
+}
+
+#[test]
+fn fine_tuning_is_bit_identical_across_backends() {
+    // The full optimiser surface (conv fwd/bwd, linear layers, loss, SGD)
+    // on the scalar reference vs the SIMD backend under parallel dispatch:
+    // every train loss and every learned parameter must match bit-for-bit.
+    let data = encoded();
+    let config = FineTuneConfig { epochs: 2, batch_size: 16, ..FineTuneConfig::default() };
+    let (scalar, simd) = scalar_and_simd(|| {
+        let mut model = build_mars_cnn(&ModelConfig::tiny(), 14).unwrap();
+        let result = fine_tune(&mut model, &data, &data, &data, &config).unwrap();
+        (result.train_loss.clone(), model.flat_params())
+    });
+    assert_eq!(scalar.0, simd.0, "fine-tune losses diverged between backends");
+    assert_eq!(scalar.1, simd.1, "fine-tuned parameters diverged between backends");
+}
+
+#[test]
+fn meta_training_step_is_bit_identical_across_backends() {
+    let data = encoded();
+    let config = MetaConfig {
+        tasks_per_iteration: 3,
+        support_size: 12,
+        query_size: 12,
+        ..MetaConfig::quick(1)
+    };
+    let (scalar, simd) = scalar_and_simd(|| {
+        let model = build_mars_cnn(&ModelConfig::tiny(), 11).unwrap();
+        let mut trainer = MetaTrainer::new(model, config).unwrap();
+        trainer.meta_iteration(&data, 0).unwrap();
+        trainer.into_model().flat_params()
+    });
+    assert_eq!(scalar, simd, "meta-learned parameters diverged between backends");
+}
+
+#[test]
+fn serving_is_bit_identical_across_backends() {
+    // A sessionized serve stream (fusion, featurization, micro-batched
+    // forward passes, one adapted session) must be reproduced bit-for-bit
+    // by the SIMD backend — the process-level guarantee the CI
+    // FUSE_BACKEND matrix checks through the committed goldens.
+    let streams = session_streams(3, 4);
+    let order = [0usize, 1, 2];
+    let (scalar, simd) = scalar_and_simd(|| {
+        serve_stream(&streams, &order)
+            .into_iter()
+            .map(|r| (r.session_id, r.frame_index, r.adapted, r.joints))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(scalar, simd, "serving responses diverged between backends");
+    assert!(scalar.iter().any(|(_, _, adapted, _)| *adapted), "the adapted path must be covered");
 }
