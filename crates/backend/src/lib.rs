@@ -37,6 +37,8 @@
 //! per process; tests pin the backend per-call with [`with_backend`], which
 //! mirrors `fuse_parallel::with_threads`.
 
+#![warn(missing_docs)]
+
 mod scalar;
 mod simd;
 mod x86;
@@ -51,12 +53,37 @@ pub use simd::{SimdBackend, SimdLevel};
 /// Environment knob selecting the kernel backend.
 pub const FUSE_BACKEND_ENV: &str = "FUSE_BACKEND";
 
+/// The environment knobs owned by `fuse-backend` (see
+/// [`fuse_parallel::env::KnobDef`] for how these feed the generated
+/// `README.md` reference table).
+pub const BACKEND_KNOBS: &[env::KnobDef] = &[env::KnobDef {
+    name: FUSE_BACKEND_ENV,
+    default: "auto",
+    accepts: "one of scalar / simd / auto",
+    description: "Kernel backend: scalar reference, SIMD, or runtime autodetection",
+}];
+
 /// Row/band-level compute kernels behind the workspace's hot paths.
 ///
 /// Callers own shape validation and parallel banding; implementations own
 /// the innermost loops. Every method must be bit-identical to
 /// [`ScalarBackend`]'s (the contract in `REPRODUCIBILITY.md`); slices follow
 /// the layout conventions of `fuse_tensor::linalg`.
+///
+/// ```
+/// use fuse_backend::{active, KernelBackend, ScalarBackend};
+///
+/// // One row of out = a·b (a is 1×2, b is 2×3) through the active backend —
+/// // which must agree bit-for-bit with the scalar reference.
+/// let a = [1.0_f32, 2.0];
+/// let b = [10.0_f32, 20.0, 30.0, 40.0, 50.0, 60.0];
+/// let mut out = [0.0_f32; 3];
+/// active().gemm_row(&a, &b, &mut out, false);
+/// assert_eq!(out, [90.0, 120.0, 150.0]);
+/// let mut reference = [0.0_f32; 3];
+/// ScalarBackend.gemm_row(&a, &b, &mut reference, false);
+/// assert_eq!(out, reference);
+/// ```
 pub trait KernelBackend: Send + Sync {
     /// Short lowercase backend name used in reports and bench IDs.
     fn name(&self) -> &'static str;

@@ -1,0 +1,85 @@
+//! Benchmarks of the compiled execution-plan path (`fuse-graph`) against the
+//! legacy layer-by-layer `Sequential::forward` walk it replaces, on the MARS
+//! CNN the serving engine deploys. The plan's fused steps and pre-planned
+//! arena eliminate per-layer dispatch, the standalone ReLU passes and every
+//! steady-state heap allocation; the telemetry artifact carries the gap per
+//! batch size and per backend so CI can watch it regress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fuse_backend::{with_backend, BackendChoice};
+use fuse_core::{build_mars_cnn, ModelConfig};
+use fuse_graph::ExecPlan;
+use fuse_nn::{lower_for_inference, Sequential};
+use fuse_tensor::Tensor;
+
+/// Per-sample input dimensions of the MARS feature map.
+const INPUT_DIMS: [usize; 3] = [5, 8, 8];
+
+/// The two concrete backends, matching the `<kernel>/scalar` / `<kernel>/simd`
+/// ID convention of `micro_kernels.rs`.
+const BACKENDS: [(&str, BackendChoice); 2] =
+    [("scalar", BackendChoice::Scalar), ("simd", BackendChoice::Simd)];
+
+fn compile_mars(model: &Sequential, max_batch: usize) -> ExecPlan {
+    lower_for_inference(model, &INPUT_DIMS)
+        .and_then(|graph| graph.compile(max_batch))
+        .expect("the MARS CNN lowers and compiles")
+}
+
+/// Compiled plan vs the legacy walk at serving batch sizes. Outputs are
+/// bit-identical (gated by `tests/tests/plan_equivalence.rs`); only the time
+/// differs.
+fn bench_plan_vs_legacy(c: &mut Criterion) {
+    let mut model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
+    let mut group = c.benchmark_group("mars_forward");
+    for &batch in &[1usize, 8, 32] {
+        let input = Tensor::randn(&[batch, 5, 8, 8], 1.0, 3);
+        let mut plan = compile_mars(&model, batch);
+        group.bench_with_input(BenchmarkId::new("plan", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                black_box(plan.run(black_box(input.as_slice()), batch).expect("plan runs"));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", batch), &batch, |b, _| {
+            b.iter(|| {
+                black_box(model.forward(black_box(&input), false).expect("forward succeeds"));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One-time compilation cost (lowering + rewrite passes + arena planning):
+/// what a session pays at open/adapt/hot-swap before the allocation-free
+/// steady state begins.
+fn bench_plan_compile(c: &mut Criterion) {
+    let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
+    c.bench_function("mars_plan_compile_batch32", |b| {
+        b.iter(|| black_box(compile_mars(black_box(&model), 32)))
+    });
+}
+
+/// The plan path pinned to each backend, so the artifact carries the SIMD
+/// speedup of the fused hot loop alongside the `micro_kernels.rs` numbers.
+fn bench_plan_backend_comparison(c: &mut Criterion) {
+    let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
+    let batch = 32usize;
+    let input = Tensor::randn(&[batch, 5, 8, 8], 1.0, 3);
+    let mut plan = compile_mars(&model, batch);
+    let mut group = c.benchmark_group("mars_plan_batch32_backend");
+    for (label, choice) in BACKENDS {
+        group.bench_function(label, |bench| {
+            with_backend(choice, || {
+                bench.iter(|| {
+                    black_box(plan.run(black_box(input.as_slice()), batch).expect("plan runs"));
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_vs_legacy, bench_plan_compile, bench_plan_backend_comparison);
+criterion_main!(benches);

@@ -13,6 +13,16 @@ pub const FUSE_SHARDS_ENV: &str = "FUSE_SHARDS";
 /// deployment shape, so anything past this is a configuration mistake.
 pub const MAX_SHARDS: usize = 64;
 
+/// The environment knobs owned by `fuse-cluster` (see
+/// [`fuse_parallel::env::KnobDef`] for how these feed the generated
+/// `README.md` reference table).
+pub const CLUSTER_KNOBS: &[fuse_parallel::env::KnobDef] = &[fuse_parallel::env::KnobDef {
+    name: FUSE_SHARDS_ENV,
+    default: "1",
+    accepts: "positive integer (at most 64)",
+    description: "Engine shards the cluster router fans sessions out across",
+}];
+
 /// Default per-session queue capacity: at the 10 Hz frame rate a session
 /// with more than [`DEFAULT_QUEUE_CAPACITY`] frames queued is already most of
 /// a second behind the 100 ms budget, so this is where the backpressure

@@ -37,6 +37,8 @@
 //! submit/drain schedule the externally observable response stream is
 //! bit-identical for any `FUSE_SHARDS` and any `FUSE_THREADS`.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod metrics;
@@ -44,8 +46,8 @@ pub mod router;
 mod worker;
 
 pub use config::{
-    env_usize, BackpressurePolicy, ClusterConfig, DEFAULT_CHANNEL_CAPACITY, DEFAULT_QUEUE_CAPACITY,
-    FUSE_SHARDS_ENV, MAX_SHARDS,
+    env_usize, BackpressurePolicy, ClusterConfig, CLUSTER_KNOBS, DEFAULT_CHANNEL_CAPACITY,
+    DEFAULT_QUEUE_CAPACITY, FUSE_SHARDS_ENV, MAX_SHARDS,
 };
 pub use error::ClusterError;
 pub use metrics::{ClusterMetrics, ShardGauge};

@@ -82,6 +82,26 @@ pub struct DrainReport {
 ///   `(session id, frame index)`: the externally observable ordering is a
 ///   pure function of the submitted workload, independent of shard count and
 ///   thread interleaving.
+///
+/// ```
+/// use fuse_cluster::{ClusterConfig, ClusterRouter};
+/// use fuse_core::{build_mars_cnn, ModelConfig};
+/// use fuse_radar::{PointCloudFrame, RadarPoint};
+///
+/// let model = build_mars_cnn(&ModelConfig::tiny(), 7)?;
+/// let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+/// let mut router = ClusterRouter::new(model, config)?;
+/// router.open_session(0)?;
+/// router.open_session(1)?; // lands on the other shard (1 % 2)
+/// let frame = PointCloudFrame::new(0, 0.0, vec![RadarPoint::new(0.1, 2.0, 1.0, 0.0, 1.0)]);
+/// router.submit(0, frame.clone())?;
+/// router.submit(1, frame)?;
+/// let report = router.drain()?; // barrier: every queued frame is served
+/// assert_eq!(report.responses.len(), 2);
+/// assert!(report.responses.iter().all(|r| r.joints.len() == 57));
+/// router.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct ClusterRouter {
     config: ClusterConfig,

@@ -1,0 +1,114 @@
+//! Compile-time bump-arena planning with liveness-based slot reuse.
+//!
+//! The planner runs only during [`crate::Graph::compile`]: it assigns every
+//! intermediate buffer an offset into one flat `f32` arena, reusing the slot
+//! of any buffer whose last consumer has already been scheduled. At run time
+//! the plan just indexes the pre-sized arena — no allocator is involved.
+
+/// One region of the planned arena.
+#[derive(Debug, Clone)]
+struct Slot {
+    offset: usize,
+    len: usize,
+    free: bool,
+}
+
+/// Offline allocator producing offsets into a single bump arena.
+#[derive(Debug, Default)]
+pub(crate) struct ArenaPlanner {
+    slots: Vec<Slot>,
+    total: usize,
+}
+
+impl ArenaPlanner {
+    pub(crate) fn new() -> Self {
+        ArenaPlanner::default()
+    }
+
+    /// Reserves `len` elements and returns the region's offset.
+    ///
+    /// Best-fit reuse: the smallest free slot that can hold `len` is taken
+    /// before the arena grows. Slots keep their original size, so a reused
+    /// region may be larger than requested — callers slice what they need.
+    pub(crate) fn alloc(&mut self, len: usize) -> usize {
+        let best = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.free && s.len >= len)
+            .min_by_key(|(_, s)| s.len);
+        if let Some((i, _)) = best {
+            self.slots[i].free = false;
+            return self.slots[i].offset;
+        }
+        let offset = self.total;
+        self.total += len;
+        self.slots.push(Slot { offset, len, free: false });
+        offset
+    }
+
+    /// Returns the slot starting at `offset` to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not name a live slot (a planner bug).
+    pub(crate) fn free(&mut self, offset: usize) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.offset == offset && !s.free)
+            .expect("freed offset must name a live slot");
+        slot.free = true;
+    }
+
+    /// Total arena length the plan must allocate once, up front.
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freed_slots_are_reused_instead_of_growing() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(100);
+        p.free(a);
+        let b = p.alloc(80);
+        assert_eq!(b, a, "a freed slot that fits must be reused");
+        assert_eq!(p.total(), 100);
+    }
+
+    #[test]
+    fn best_fit_picks_the_smallest_sufficient_slot() {
+        let mut p = ArenaPlanner::new();
+        let big = p.alloc(100);
+        let small = p.alloc(50);
+        p.free(big);
+        p.free(small);
+        assert_eq!(p.alloc(40), small, "best fit prefers the tighter slot");
+        assert_eq!(p.alloc(90), big);
+        assert_eq!(p.total(), 150);
+    }
+
+    #[test]
+    fn arena_grows_when_nothing_fits() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(10);
+        p.free(a);
+        let b = p.alloc(20);
+        assert_eq!(b, 10, "too-small free slots must not be reused");
+        assert_eq!(p.total(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "live slot")]
+    fn double_free_is_a_planner_bug() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(10);
+        p.free(a);
+        p.free(a);
+    }
+}

@@ -1,0 +1,79 @@
+//! Static tensor metadata: per-sample shapes and element types.
+
+use std::fmt;
+
+/// Element type of a value flowing through the graph.
+///
+/// Only `f32` exists today — the variant is here so checkpoints, plans and
+/// signatures stay forward-compatible when quantised execution lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE-754 float, the only dtype the kernels implement.
+    F32,
+}
+
+/// Static **per-sample** shape and dtype of a value in the op graph.
+///
+/// The batch dimension is deliberately absent: plans are compiled for a
+/// maximum batch and executed with any batch up to it, so every shape in the
+/// IR describes one sample (`[C, H, W]` for feature maps, `[F]` for flat
+/// vectors).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorMeta {
+    dims: Vec<usize>,
+    dtype: DType,
+}
+
+impl TensorMeta {
+    /// An `f32` value of the given per-sample shape.
+    pub fn f32(dims: &[usize]) -> Self {
+        TensorMeta { dims: dims.to_vec(), dtype: DType::F32 }
+    }
+
+    /// The per-sample dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements in one sample (product of [`Self::dims`]).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` when a sample holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for TensorMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        match self.dtype {
+            DType::F32 => write!(f, "f32[{}]", dims.join("x")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_the_dim_product() {
+        assert_eq!(TensorMeta::f32(&[5, 8, 8]).len(), 320);
+        assert_eq!(TensorMeta::f32(&[]).len(), 1, "rank-0 holds one scalar");
+        assert_eq!(TensorMeta::f32(&[3, 0]).len(), 0);
+        assert!(TensorMeta::f32(&[3, 0]).is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TensorMeta::f32(&[5, 8, 8]).to_string(), "f32[5x8x8]");
+    }
+}

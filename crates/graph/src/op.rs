@@ -1,0 +1,127 @@
+//! Typed graph nodes and the operations they compute.
+
+use std::ops::Range;
+
+use fuse_tensor::Conv2dSpec;
+
+use crate::meta::TensorMeta;
+
+/// Stable identifier of a node inside one [`crate::Graph`].
+///
+/// Ids are assigned at push time and survive rewrite passes (a fused node
+/// keeps its id; references to removed nodes are redirected), so they can be
+/// held across compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// Where a node reads its operand from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueRef {
+    /// The graph's external input (the batch the caller passes to
+    /// [`crate::ExecPlan::run`]).
+    Input,
+    /// The output of another node.
+    Node(NodeId),
+}
+
+/// The operation a [`Node`] computes.
+///
+/// Builder-facing constructors never set the `fused_relu` flags or produce
+/// [`OpKind::Conv1x1Gemm`]; those forms are introduced by the rewrite passes
+/// during [`crate::Graph::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// General 2-D convolution (im2col + GEMM + bias broadcast).
+    Conv2d {
+        /// Kernel geometry.
+        spec: Conv2dSpec,
+        /// Apply `x.max(0.0)` in the same dispatch, directly after the bias.
+        fused_relu: bool,
+    },
+    /// A 1×1 / stride-1 / unpadded convolution whose im2col lowering was
+    /// collapsed into a direct GEMM on the input (the lowering is the
+    /// identity for this geometry, so eliding it is pure data-movement
+    /// removal).
+    Conv1x1Gemm {
+        /// Kernel geometry (`kernel == 1`, `stride == 1`, `padding == 0`).
+        spec: Conv2dSpec,
+        /// Apply `x.max(0.0)` in the same dispatch, directly after the bias.
+        fused_relu: bool,
+    },
+    /// Fully-connected layer `y = W·x + b` with `W` stored `[out x in]`.
+    Linear {
+        /// Input features per sample.
+        in_features: usize,
+        /// Output features per sample.
+        out_features: usize,
+        /// Apply `x.max(0.0)` in the same dispatch, directly after the bias.
+        fused_relu: bool,
+    },
+    /// Element-wise `x.max(0.0)`.
+    Relu,
+    /// Reshape `[C, H, W, ...]` to `[C*H*W*...]` — pure metadata, compiles to
+    /// a buffer alias, never a copy.
+    Flatten,
+    /// Pass-through (e.g. dropout at inference) — compiles to a buffer alias.
+    Identity,
+}
+
+impl OpKind {
+    /// `true` for ops a trailing ReLU can fuse into.
+    pub(crate) fn supports_relu_fusion(&self) -> bool {
+        matches!(self, OpKind::Conv2d { .. } | OpKind::Conv1x1Gemm { .. } | OpKind::Linear { .. })
+    }
+
+    /// `true` for ops that only re-interpret their input buffer.
+    pub(crate) fn is_alias(&self) -> bool {
+        matches!(self, OpKind::Flatten | OpKind::Identity)
+    }
+}
+
+/// One typed node in a [`crate::Graph`].
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) name: String,
+    pub(crate) op: OpKind,
+    pub(crate) input: ValueRef,
+    pub(crate) output: TensorMeta,
+    /// Range of this node's weights inside the graph's flat parameter
+    /// buffer; empty for parameterless ops.
+    pub(crate) weight: Range<usize>,
+    /// Range of this node's bias inside the graph's flat parameter buffer;
+    /// empty for parameterless ops.
+    pub(crate) bias: Range<usize>,
+}
+
+impl Node {
+    /// The node's stable id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The layer name the node was pushed with (checkpoint-compatible).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operation this node computes.
+    pub fn op(&self) -> &OpKind {
+        &self.op
+    }
+
+    /// Where the node reads its operand from.
+    pub fn input(&self) -> ValueRef {
+        self.input
+    }
+
+    /// Static per-sample shape of the node's output.
+    pub fn output(&self) -> &TensorMeta {
+        &self.output
+    }
+
+    /// Total parameter count (weights + bias) owned by this node.
+    pub fn param_len(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}

@@ -1,0 +1,151 @@
+//! Rewrite passes applied during compilation.
+//!
+//! Both passes obey the fusion contract in `REPRODUCIBILITY.md`: a rewrite
+//! may remove dispatch overhead or pure data movement, but must leave the
+//! per-element operation sequence — and therefore every output bit —
+//! unchanged.
+
+use std::collections::HashMap;
+
+use crate::op::{Node, NodeId, OpKind, ValueRef};
+
+/// Runs all rewrite passes in order and returns the rewritten chain.
+pub(crate) fn optimize(nodes: Vec<Node>) -> Vec<Node> {
+    fuse_relu(collapse_1x1(nodes))
+}
+
+/// Rewrites 1×1/stride-1/unpadded convolutions to the direct-GEMM form.
+///
+/// For this geometry the im2col matrix of a sample *is* the sample, so the
+/// GEMM sees bit-identical operands either way; collapsing only elides the
+/// copy.
+fn collapse_1x1(mut nodes: Vec<Node>) -> Vec<Node> {
+    for node in &mut nodes {
+        if let OpKind::Conv2d { spec, fused_relu } = node.op {
+            if spec.kernel == 1 && spec.stride == 1 && spec.padding == 0 {
+                node.op = OpKind::Conv1x1Gemm { spec, fused_relu };
+            }
+        }
+    }
+    nodes
+}
+
+/// Fuses a ReLU into its producer when the producer supports it, is not
+/// already fused, and the ReLU is the producer's only consumer.
+///
+/// The fused dispatch applies the same element-wise `x.max(0.0)` directly
+/// after the bias, so per-element operation order is unchanged. References to
+/// the removed ReLU node are redirected to the producer.
+fn fuse_relu(nodes: Vec<Node>) -> Vec<Node> {
+    let mut consumers: HashMap<NodeId, usize> = HashMap::new();
+    for node in &nodes {
+        if let ValueRef::Node(id) = node.input {
+            *consumers.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    let mut redirect: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut out: Vec<Node> = Vec::with_capacity(nodes.len());
+    for mut node in nodes {
+        if let ValueRef::Node(id) = node.input {
+            if let Some(&target) = redirect.get(&id) {
+                node.input = ValueRef::Node(target);
+            }
+        }
+        if matches!(node.op, OpKind::Relu) {
+            if let ValueRef::Node(pid) = node.input {
+                let sole_consumer = consumers.get(&node.id).copied().unwrap_or(0) <= 1
+                    && consumers.get(&pid).copied().unwrap_or(0) == 1;
+                let producer = out.iter_mut().find(|n| n.id == pid);
+                if let Some(producer) = producer {
+                    if sole_consumer && producer.op.supports_relu_fusion() {
+                        let fused = match &mut producer.op {
+                            OpKind::Conv2d { fused_relu, .. }
+                            | OpKind::Conv1x1Gemm { fused_relu, .. }
+                            | OpKind::Linear { fused_relu, .. } => fused_relu,
+                            _ => unreachable!("supports_relu_fusion checked above"),
+                        };
+                        if !*fused {
+                            *fused = true;
+                            redirect.insert(node.id, pid);
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(node);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use fuse_tensor::Conv2dSpec;
+
+    use super::*;
+    use crate::graph::Graph;
+    use crate::meta::TensorMeta;
+
+    fn chain() -> Graph {
+        let mut g = Graph::new(TensorMeta::f32(&[2, 4, 4]));
+        g.push_conv2d("conv", Conv2dSpec::same(2, 3, 3), &[0.0; 54], &[0.0; 3]).unwrap();
+        g.push_relu("relu").unwrap();
+        g.push_flatten("flatten").unwrap();
+        g.push_linear("fc", 48, 5, &[0.0; 240], &[0.0; 5]).unwrap();
+        g
+    }
+
+    #[test]
+    fn relu_fuses_into_its_producer() {
+        let nodes = optimize(chain().nodes);
+        assert_eq!(nodes.len(), 3, "the ReLU node must be folded away");
+        assert!(matches!(nodes[0].op, OpKind::Conv2d { fused_relu: true, .. }));
+        // The flatten consumed the relu; it must now read the conv directly.
+        assert_eq!(nodes[1].input, ValueRef::Node(nodes[0].id));
+    }
+
+    #[test]
+    fn one_by_one_convs_collapse_to_direct_gemm() {
+        let mut g = Graph::new(TensorMeta::f32(&[3, 4, 4]));
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
+        g.push_conv2d("pw", spec, &[0.0; 6], &[0.0; 2]).unwrap();
+        g.push_relu("relu").unwrap();
+        let nodes = optimize(g.nodes);
+        assert_eq!(nodes.len(), 1);
+        assert!(matches!(nodes[0].op, OpKind::Conv1x1Gemm { fused_relu: true, .. }));
+    }
+
+    #[test]
+    fn trailing_relu_still_fuses() {
+        let mut g = Graph::new(TensorMeta::f32(&[4]));
+        g.push_linear("fc", 4, 2, &[0.0; 8], &[0.0; 2]).unwrap();
+        g.push_relu("relu").unwrap();
+        let nodes = optimize(g.nodes);
+        assert_eq!(nodes.len(), 1);
+        assert!(matches!(nodes[0].op, OpKind::Linear { fused_relu: true, .. }));
+    }
+
+    #[test]
+    fn double_relu_keeps_the_second_standalone() {
+        let mut g = Graph::new(TensorMeta::f32(&[4]));
+        g.push_linear("fc", 4, 2, &[0.0; 8], &[0.0; 2]).unwrap();
+        g.push_relu("relu1").unwrap();
+        g.push_relu("relu2").unwrap();
+        let nodes = optimize(g.nodes);
+        assert_eq!(nodes.len(), 2);
+        assert!(matches!(nodes[0].op, OpKind::Linear { fused_relu: true, .. }));
+        assert!(matches!(nodes[1].op, OpKind::Relu));
+        // The survivor reads the fused producer, not the removed node.
+        assert_eq!(nodes[1].input, ValueRef::Node(nodes[0].id));
+    }
+
+    #[test]
+    fn relu_on_the_graph_input_stays_standalone() {
+        let mut g = Graph::new(TensorMeta::f32(&[4]));
+        g.push_relu("relu").unwrap();
+        let nodes = optimize(g.nodes);
+        assert_eq!(nodes.len(), 1);
+        assert!(matches!(nodes[0].op, OpKind::Relu));
+    }
+}

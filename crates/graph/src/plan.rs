@@ -1,0 +1,706 @@
+//! Compiled execution plans: topological scheduling, arena placement and
+//! zero-allocation execution.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use fuse_tensor::{conv1x1_forward_into, conv2d_forward_into, linalg, Conv2dSpec};
+
+use crate::arena::ArenaPlanner;
+use crate::error::GraphError;
+use crate::graph::{Graph, ShapeSignature};
+use crate::meta::TensorMeta;
+use crate::op::{NodeId, OpKind, ValueRef};
+use crate::passes;
+use crate::Result;
+
+/// Where a step reads its batched operand from.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// The external input slice passed to [`ExecPlan::run`].
+    Input,
+    /// A region of the plan's arena starting at `offset`.
+    Arena { offset: usize },
+}
+
+/// One pre-scheduled kernel dispatch. All lengths are per sample; at run
+/// time each buffer's active region is the `batch`-prefix of its slot.
+#[derive(Debug)]
+enum Step {
+    Conv2d {
+        spec: Conv2dSpec,
+        h: usize,
+        w: usize,
+        src: Src,
+        src_len: usize,
+        cols_offset: usize,
+        cols_len: usize,
+        dst_offset: usize,
+        dst_len: usize,
+        weight: Range<usize>,
+        bias: Range<usize>,
+        relu: bool,
+    },
+    Conv1x1 {
+        spec: Conv2dSpec,
+        h: usize,
+        w: usize,
+        src: Src,
+        src_len: usize,
+        dst_offset: usize,
+        dst_len: usize,
+        weight: Range<usize>,
+        bias: Range<usize>,
+        relu: bool,
+    },
+    Linear {
+        in_features: usize,
+        out_features: usize,
+        src: Src,
+        dst_offset: usize,
+        weight: Range<usize>,
+        bias: Range<usize>,
+        relu: bool,
+    },
+    Relu {
+        src: Src,
+        len: usize,
+        dst_offset: usize,
+    },
+}
+
+/// A compiled, reusable execution plan.
+///
+/// Produced by [`Graph::compile`]; owns a snapshot of the model parameters
+/// and a pre-sized arena holding every intermediate buffer, so steady-state
+/// [`ExecPlan::run`] performs **zero heap allocations** (the serial
+/// `FUSE_THREADS=1` guarantee the workspace's allocation gate pins; the
+/// thread pool may box tasks when a dispatch goes parallel). Output is
+/// bit-identical to executing the ops unfused, for every backend × thread
+/// combination — see `REPRODUCIBILITY.md`.
+///
+/// ```
+/// use fuse_graph::{Graph, TensorMeta};
+///
+/// let mut g = Graph::new(TensorMeta::f32(&[3]));
+/// g.push_linear("sum", 3, 1, &[1.0, 1.0, 1.0], &[0.0])?;
+/// let mut plan = g.compile(2)?;
+///
+/// // One plan, many batches: no per-call allocation, any batch ≤ max_batch.
+/// assert_eq!(plan.run(&[1.0, 2.0, 3.0], 1)?, &[6.0]);
+/// assert_eq!(plan.run(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2)?, &[6.0, 15.0]);
+/// # Ok::<(), fuse_graph::GraphError>(())
+/// ```
+pub struct ExecPlan {
+    signature: ShapeSignature,
+    input: TensorMeta,
+    output: TensorMeta,
+    max_batch: usize,
+    params: Vec<f32>,
+    steps: Vec<Step>,
+    arena: Vec<f32>,
+    out_offset: usize,
+}
+
+impl Graph {
+    /// Compiles the graph into an [`ExecPlan`] able to serve batches of up
+    /// to `max_batch` samples.
+    ///
+    /// Runs the rewrite passes (ReLU fusion, 1×1-conv collapse), schedules
+    /// the surviving nodes topologically and plans every intermediate buffer
+    /// into one arena with liveness-based slot reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Shape`] for a zero `max_batch` and
+    /// [`GraphError::Unsupported`] for graphs without a compute node.
+    pub fn compile(self, max_batch: usize) -> Result<ExecPlan> {
+        compile(self, max_batch)
+    }
+}
+
+fn compile(graph: Graph, max_batch: usize) -> Result<ExecPlan> {
+    if max_batch == 0 {
+        return Err(GraphError::Shape("max_batch must be at least 1".into()));
+    }
+    let signature = graph.signature();
+    let Graph { input: input_meta, nodes, params } = graph;
+    let nodes = passes::optimize(nodes);
+    if nodes.iter().all(|n| n.op.is_alias()) {
+        return Err(GraphError::Unsupported(
+            "plan needs at least one compute node; alias-only graphs serve nothing".into(),
+        ));
+    }
+
+    // Consumer counts drive liveness: a buffer's slot is released once its
+    // last consumer is scheduled. The chain tail gets one permanent extra
+    // reference so the plan output survives the whole run.
+    let mut consumers: HashMap<NodeId, usize> = HashMap::new();
+    for node in &nodes {
+        if let ValueRef::Node(id) = node.input {
+            *consumers.entry(id).or_insert(0) += 1;
+        }
+    }
+    let tail_id = nodes.last().expect("non-alias node exists").id;
+    *consumers.entry(tail_id).or_insert(0) += 1;
+
+    let mut planner = ArenaPlanner::new();
+    let mut steps: Vec<Step> = Vec::with_capacity(nodes.len());
+    let mut produced: HashMap<NodeId, (Src, TensorMeta)> = HashMap::new();
+    let mut slot_refs: HashMap<usize, usize> = HashMap::new();
+
+    for node in &nodes {
+        let (src, in_meta) = match node.input {
+            ValueRef::Input => (Src::Input, &input_meta),
+            ValueRef::Node(id) => {
+                let (src, meta) = produced.get(&id).ok_or_else(|| {
+                    GraphError::Unsupported(format!(
+                        "node '{}' reads a value that is not defined before it",
+                        node.name
+                    ))
+                })?;
+                (*src, meta)
+            }
+        };
+        let n_consumers = consumers.get(&node.id).copied().unwrap_or(0);
+
+        if node.op.is_alias() {
+            // Pure metadata: the node's consumers read the source buffer
+            // directly, pinning the underlying slot while they remain.
+            if let Src::Arena { offset } = src {
+                *slot_refs.get_mut(&offset).expect("alias source slot is live") += n_consumers;
+                release(&mut slot_refs, &mut planner, offset);
+            }
+            produced.insert(node.id, (src, node.output.clone()));
+            continue;
+        }
+
+        let dst_len = node.output.len();
+        let src_len = in_meta.len();
+        // Scratch and destination are allocated *before* the source slot is
+        // released, so a kernel's output can never alias its input.
+        let mut scratch: Option<usize> = None;
+        let (step, dst_offset) = match &node.op {
+            OpKind::Conv2d { spec, fused_relu } => {
+                let dims = in_meta.dims();
+                let (h, w) = (dims[1], dims[2]);
+                let (out_h, out_w) = spec.output_size(h, w)?;
+                let cols_len = spec.in_channels * spec.kernel * spec.kernel * out_h * out_w;
+                let cols_offset = planner.alloc(max_batch * cols_len);
+                scratch = Some(cols_offset);
+                let dst_offset = planner.alloc(max_batch * dst_len);
+                let step = Step::Conv2d {
+                    spec: *spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    cols_offset,
+                    cols_len,
+                    dst_offset,
+                    dst_len,
+                    weight: node.weight.clone(),
+                    bias: node.bias.clone(),
+                    relu: *fused_relu,
+                };
+                (step, dst_offset)
+            }
+            OpKind::Conv1x1Gemm { spec, fused_relu } => {
+                let dims = in_meta.dims();
+                let (h, w) = (dims[1], dims[2]);
+                let dst_offset = planner.alloc(max_batch * dst_len);
+                let step = Step::Conv1x1 {
+                    spec: *spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    dst_offset,
+                    dst_len,
+                    weight: node.weight.clone(),
+                    bias: node.bias.clone(),
+                    relu: *fused_relu,
+                };
+                (step, dst_offset)
+            }
+            OpKind::Linear { in_features, out_features, fused_relu } => {
+                let dst_offset = planner.alloc(max_batch * out_features);
+                let step = Step::Linear {
+                    in_features: *in_features,
+                    out_features: *out_features,
+                    src,
+                    dst_offset,
+                    weight: node.weight.clone(),
+                    bias: node.bias.clone(),
+                    relu: *fused_relu,
+                };
+                (step, dst_offset)
+            }
+            OpKind::Relu => {
+                let dst_offset = planner.alloc(max_batch * dst_len);
+                (Step::Relu { src, len: dst_len, dst_offset }, dst_offset)
+            }
+            OpKind::Flatten | OpKind::Identity => unreachable!("aliases handled above"),
+        };
+        steps.push(step);
+        if let Some(offset) = scratch {
+            planner.free(offset);
+        }
+        slot_refs.insert(dst_offset, n_consumers);
+        produced.insert(node.id, (Src::Arena { offset: dst_offset }, node.output.clone()));
+        if let Src::Arena { offset } = src {
+            release(&mut slot_refs, &mut planner, offset);
+        }
+    }
+
+    let (out_src, out_meta) = produced.get(&tail_id).expect("tail was scheduled").clone();
+    let out_offset = match out_src {
+        Src::Arena { offset } => offset,
+        Src::Input => {
+            return Err(GraphError::Unsupported(
+                "the graph output aliases the graph input; nothing to execute".into(),
+            ))
+        }
+    };
+
+    Ok(ExecPlan {
+        signature,
+        input: input_meta,
+        output: out_meta,
+        max_batch,
+        params,
+        steps,
+        arena: vec![0.0; planner.total()],
+        out_offset,
+    })
+}
+
+/// Drops one reference to the slot at `offset`, returning it to the planner
+/// when no consumer remains.
+fn release(slot_refs: &mut HashMap<usize, usize>, planner: &mut ArenaPlanner, offset: usize) {
+    let refs = slot_refs.get_mut(&offset).expect("released slot is live");
+    *refs -= 1;
+    if *refs == 0 {
+        slot_refs.remove(&offset);
+        planner.free(offset);
+    }
+}
+
+impl ExecPlan {
+    /// Executes the plan on `batch` samples packed contiguously in `input`
+    /// and returns the batched output (`batch * output_meta().len()`
+    /// elements).
+    ///
+    /// Steady state allocates nothing: every intermediate lives in the arena
+    /// planned at compile time, and kernels dispatch through the same
+    /// `fuse-backend` / `fuse-parallel` machinery as the unfused pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BatchOutOfRange`] when `batch` is zero or
+    /// exceeds the compiled capacity, and [`GraphError::InputLenMismatch`]
+    /// when `input` does not hold exactly `batch` samples.
+    pub fn run(&mut self, input: &[f32], batch: usize) -> Result<&[f32]> {
+        if batch == 0 || batch > self.max_batch {
+            return Err(GraphError::BatchOutOfRange { batch, max_batch: self.max_batch });
+        }
+        let in_len = self.input.len();
+        if input.len() != batch * in_len {
+            return Err(GraphError::InputLenMismatch {
+                expected: batch * in_len,
+                actual: input.len(),
+            });
+        }
+
+        let ExecPlan { steps, arena, params, .. } = self;
+        let params: &[f32] = params;
+        for step in steps.iter() {
+            match step {
+                Step::Conv2d {
+                    spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    cols_offset,
+                    cols_len,
+                    dst_offset,
+                    dst_len,
+                    weight,
+                    bias,
+                    relu,
+                } => {
+                    let wgt = &params[weight.clone()];
+                    let b = &params[bias.clone()];
+                    let cols_r = *cols_offset..*cols_offset + batch * *cols_len;
+                    let dst_r = *dst_offset..*dst_offset + batch * *dst_len;
+                    match *src {
+                        Src::Input => {
+                            let [cols, dst, _] = split3_mut(arena, [cols_r, dst_r, 0..0]);
+                            conv2d_forward_into(
+                                &input[..batch * *src_len],
+                                batch,
+                                *h,
+                                *w,
+                                wgt,
+                                b,
+                                spec,
+                                cols,
+                                dst,
+                                *relu,
+                            )?;
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *src_len;
+                            let [src_s, cols, dst] = split3_mut(arena, [src_r, cols_r, dst_r]);
+                            conv2d_forward_into(
+                                src_s, batch, *h, *w, wgt, b, spec, cols, dst, *relu,
+                            )?;
+                        }
+                    }
+                }
+                Step::Conv1x1 {
+                    spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    dst_offset,
+                    dst_len,
+                    weight,
+                    bias,
+                    relu,
+                } => {
+                    let wgt = &params[weight.clone()];
+                    let b = &params[bias.clone()];
+                    let dst_r = *dst_offset..*dst_offset + batch * *dst_len;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            conv1x1_forward_into(
+                                &input[..batch * *src_len],
+                                batch,
+                                *h,
+                                *w,
+                                wgt,
+                                b,
+                                spec,
+                                dst,
+                                *relu,
+                            )?;
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *src_len;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            conv1x1_forward_into(src_s, batch, *h, *w, wgt, b, spec, dst, *relu)?;
+                        }
+                    }
+                }
+                Step::Linear { in_features, out_features, src, dst_offset, weight, bias, relu } => {
+                    let wgt = &params[weight.clone()];
+                    let b = &params[bias.clone()];
+                    let dst_r = *dst_offset..*dst_offset + batch * *out_features;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            linalg::affine_a_bt(
+                                &input[..batch * *in_features],
+                                wgt,
+                                b,
+                                dst,
+                                batch,
+                                *in_features,
+                                *out_features,
+                                *relu,
+                            );
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *in_features;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            linalg::affine_a_bt(
+                                src_s,
+                                wgt,
+                                b,
+                                dst,
+                                batch,
+                                *in_features,
+                                *out_features,
+                                *relu,
+                            );
+                        }
+                    }
+                }
+                Step::Relu { src, len, dst_offset } => {
+                    let dst_r = *dst_offset..*dst_offset + batch * *len;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            for (d, s) in dst.iter_mut().zip(&input[..batch * *len]) {
+                                *d = s.max(0.0);
+                            }
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *len;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            for (d, s) in dst.iter_mut().zip(&*src_s) {
+                                *d = s.max(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let arena_ref: &[f32] = arena;
+        Ok(&arena_ref[self.out_offset..self.out_offset + batch * self.output.len()])
+    }
+
+    /// The shape identity a checkpoint must match before replacing this
+    /// plan's parameters (layer names in push order, total parameter count,
+    /// input/output shapes).
+    pub fn signature(&self) -> &ShapeSignature {
+        &self.signature
+    }
+
+    /// Per-sample shape of the expected input.
+    pub fn input_meta(&self) -> &TensorMeta {
+        &self.input
+    }
+
+    /// Per-sample shape of the produced output.
+    pub fn output_meta(&self) -> &TensorMeta {
+        &self.output
+    }
+
+    /// Largest batch the plan can execute.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Number of kernel dispatches per run (after fusion).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total arena elements planned for intermediates (after slot reuse).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of parameters snapshotted into the plan.
+    pub fn param_len(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Debug for ExecPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecPlan")
+            .field("input", &self.input)
+            .field("output", &self.output)
+            .field("max_batch", &self.max_batch)
+            .field("steps", &self.steps.len())
+            .field("arena_len", &self.arena.len())
+            .field("param_len", &self.params.len())
+            .finish()
+    }
+}
+
+/// Splits `data` into the three pairwise-disjoint regions, returned in the
+/// order the ranges were passed. Empty ranges stand in for absent operands.
+///
+/// # Panics
+///
+/// Panics when the non-empty ranges overlap — a planner bug, never an input
+/// error.
+fn split3_mut(data: &mut [f32], ranges: [Range<usize>; 3]) -> [&mut [f32]; 3] {
+    let mut order = [0usize, 1, 2];
+    order.sort_by_key(|&i| ranges[i].start);
+    let mut prev_end = 0usize;
+    for &i in &order {
+        if ranges[i].is_empty() {
+            continue;
+        }
+        assert!(ranges[i].start >= prev_end, "planner produced overlapping buffers");
+        prev_end = ranges[i].end;
+    }
+    let mut parts: [&mut [f32]; 3] = [&mut [], &mut [], &mut []];
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for &i in &order {
+        let r = ranges[i].clone();
+        if r.is_empty() {
+            continue;
+        }
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(r.start - consumed);
+        let (part, tail) = tail.split_at_mut(r.end - r.start);
+        parts[i] = part;
+        rest = tail;
+        consumed = r.end;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use fuse_tensor::{conv2d_forward, Tensor};
+
+    use super::*;
+    use crate::meta::TensorMeta;
+
+    /// conv(+relu) → flatten → linear(+relu) → linear, the MARS shape in
+    /// miniature, compared against the unfused kernel-by-kernel pipeline.
+    fn build_case() -> (Graph, Tensor, Tensor, Tensor, Conv2dSpec, Tensor, Tensor, Tensor, Tensor) {
+        let spec = Conv2dSpec::same(2, 3, 3);
+        let cw = Tensor::randn(&[3, 2, 3, 3], 0.5, 41);
+        let cb = Tensor::randn(&[3], 0.1, 42);
+        let w1 = Tensor::randn(&[6, 48], 0.2, 43);
+        let b1 = Tensor::randn(&[6], 0.1, 44);
+        let w2 = Tensor::randn(&[4, 6], 0.3, 45);
+        let b2 = Tensor::randn(&[4], 0.1, 46);
+        let input = Tensor::randn(&[3, 2, 4, 4], 1.0, 47);
+
+        let mut g = Graph::new(TensorMeta::f32(&[2, 4, 4]));
+        g.push_conv2d("conv", spec, cw.as_slice(), cb.as_slice()).unwrap();
+        g.push_relu("relu1").unwrap();
+        g.push_flatten("flatten").unwrap();
+        g.push_linear("fc1", 48, 6, w1.as_slice(), b1.as_slice()).unwrap();
+        g.push_relu("relu2").unwrap();
+        g.push_linear("fc2", 6, 4, w2.as_slice(), b2.as_slice()).unwrap();
+        (g, input, cw, cb, spec, w1, b1, w2, b2)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn legacy_forward(
+        input: &Tensor,
+        cw: &Tensor,
+        cb: &Tensor,
+        spec: &Conv2dSpec,
+        w1: &Tensor,
+        b1: &Tensor,
+        w2: &Tensor,
+        b2: &Tensor,
+    ) -> Vec<f32> {
+        let n = input.dims()[0];
+        let conv = conv2d_forward(input, cw, cb, spec).unwrap();
+        let act: Vec<f32> = conv.as_slice().iter().map(|x| x.max(0.0)).collect();
+        let mut hidden = vec![0.0f32; n * 6];
+        linalg::gemm_a_bt(&act, w1.as_slice(), &mut hidden, n, 48, 6);
+        for row in hidden.chunks_exact_mut(6) {
+            for (o, &b) in row.iter_mut().zip(b1.as_slice()) {
+                *o += b;
+            }
+            for o in row.iter_mut() {
+                *o = o.max(0.0);
+            }
+        }
+        let mut out = vec![0.0f32; n * 4];
+        linalg::gemm_a_bt(&hidden, w2.as_slice(), &mut out, n, 6, 4);
+        for row in out.chunks_exact_mut(4) {
+            for (o, &b) in row.iter_mut().zip(b2.as_slice()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compiled_plan_is_bit_identical_to_the_unfused_pipeline() {
+        let (g, input, cw, cb, spec, w1, b1, w2, b2) = build_case();
+        let mut plan = g.compile(8).unwrap();
+        // Fusion folds both ReLUs away: conv+relu, flatten (alias), fc1+relu,
+        // fc2 → three dispatches.
+        assert_eq!(plan.step_count(), 3);
+        let expected = legacy_forward(&input, &cw, &cb, &spec, &w1, &b1, &w2, &b2);
+        let out = plan.run(input.as_slice(), 3).unwrap();
+        assert_eq!(out, &expected[..], "fused plan must match the unfused pipeline bit for bit");
+    }
+
+    #[test]
+    fn rerunning_a_plan_is_stateless() {
+        let (g, input, ..) = build_case();
+        let mut plan = g.compile(8).unwrap();
+        let first = plan.run(input.as_slice(), 3).unwrap().to_vec();
+        // A smaller batch in between dirties arena prefixes.
+        let one = input.as_slice()[..32].to_vec();
+        plan.run(&one, 1).unwrap();
+        let second = plan.run(input.as_slice(), 3).unwrap();
+        assert_eq!(second, &first[..], "stale arena contents must never leak into results");
+    }
+
+    #[test]
+    fn arena_slots_are_reused_across_the_chain() {
+        let (g, ..) = build_case();
+        let plan = g.compile(4).unwrap();
+        // Upper bound without liveness reuse: conv cols + conv out + fc1 out
+        // + fc2 out as distinct slots. The fc outputs must fit in released
+        // earlier slots, so the arena stays strictly below that sum.
+        let no_reuse = 4 * (2 * 3 * 3 * 16 + 48 + 6 + 4);
+        assert!(
+            plan.arena_len() < no_reuse,
+            "arena {} should reuse released slots (no-reuse bound {})",
+            plan.arena_len(),
+            no_reuse
+        );
+    }
+
+    #[test]
+    fn run_validates_batch_and_input_length() {
+        let (g, input, ..) = build_case();
+        let mut plan = g.compile(2).unwrap();
+        assert!(matches!(
+            plan.run(input.as_slice(), 3),
+            Err(GraphError::BatchOutOfRange { batch: 3, max_batch: 2 })
+        ));
+        assert!(matches!(plan.run(&[], 0), Err(GraphError::BatchOutOfRange { .. })));
+        assert!(matches!(
+            plan.run(&input.as_slice()[..10], 1),
+            Err(GraphError::InputLenMismatch { expected: 32, actual: 10 })
+        ));
+    }
+
+    #[test]
+    fn alias_only_graphs_are_rejected() {
+        let mut g = Graph::new(TensorMeta::f32(&[4]));
+        g.push_flatten("flatten").unwrap();
+        g.push_identity("dropout").unwrap();
+        assert!(matches!(g.compile(1), Err(GraphError::Unsupported(_))));
+        let empty = Graph::new(TensorMeta::f32(&[4]));
+        assert!(matches!(empty.compile(1), Err(GraphError::Unsupported(_))));
+    }
+
+    #[test]
+    fn standalone_relu_on_the_input_executes() {
+        let mut g = Graph::new(TensorMeta::f32(&[4]));
+        g.push_relu("relu").unwrap();
+        let mut plan = g.compile(2).unwrap();
+        let out = plan.run(&[-1.0, 2.0, -3.0, 4.0], 1).unwrap();
+        assert_eq!(out, &[0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn one_by_one_conv_collapses_and_matches_the_general_path() {
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
+        let w = Tensor::randn(&[2, 3, 1, 1], 0.5, 51);
+        let b = Tensor::randn(&[2], 0.1, 52);
+        let input = Tensor::randn(&[2, 3, 4, 4], 1.0, 53);
+
+        let mut g = Graph::new(TensorMeta::f32(&[3, 4, 4]));
+        g.push_conv2d("pw", spec, w.as_slice(), b.as_slice()).unwrap();
+        let mut plan = g.compile(2).unwrap();
+        let expected = conv2d_forward(&input, &w, &b, &spec).unwrap();
+        let out = plan.run(input.as_slice(), 2).unwrap();
+        assert_eq!(out, expected.as_slice(), "direct-gemm collapse must not change any bit");
+    }
+
+    #[test]
+    fn signature_survives_compilation() {
+        let (g, ..) = build_case();
+        let sig = g.signature();
+        let plan = g.compile(2).unwrap();
+        assert_eq!(plan.signature(), &sig);
+        assert_eq!(plan.signature().layer_names().len(), 6, "pre-fusion names are kept");
+    }
+}

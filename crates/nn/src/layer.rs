@@ -1,8 +1,46 @@
 //! The [`Layer`] trait implemented by every network building block.
 
-use fuse_tensor::Tensor;
+use fuse_tensor::{Conv2dSpec, Tensor};
 
 use crate::Result;
+
+/// A layer's declarative description for op-graph lowering, borrowed from the
+/// live layer.
+///
+/// Layers that can be compiled into a `fuse-graph` execution plan expose one
+/// of these from [`Layer::lowering`]; the `crate::lowering` module maps them
+/// onto graph nodes. The description targets **inference** (`train = false`)
+/// semantics — e.g. dropout lowers to [`LayerLowering::Identity`] because it
+/// is exactly the identity outside training.
+#[derive(Debug)]
+pub enum LayerLowering<'a> {
+    /// An im2col 2-D convolution with the given geometry and parameters.
+    Conv2d {
+        /// Kernel geometry.
+        spec: Conv2dSpec,
+        /// Weight tensor `[C_out, C_in, k, k]`.
+        weight: &'a Tensor,
+        /// Bias tensor `[C_out]`.
+        bias: &'a Tensor,
+    },
+    /// A fully-connected layer `y = W·x + b`.
+    Linear {
+        /// Input features per sample.
+        in_features: usize,
+        /// Output features per sample.
+        out_features: usize,
+        /// Weight tensor `[out x in]`.
+        weight: &'a Tensor,
+        /// Bias tensor `[out]`.
+        bias: &'a Tensor,
+    },
+    /// Element-wise `x.max(0.0)`.
+    Relu,
+    /// Reshape to a flat per-sample vector.
+    Flatten,
+    /// Exact pass-through at inference time.
+    Identity,
+}
 
 /// A differentiable network layer with cached activations.
 ///
@@ -63,6 +101,18 @@ pub trait Layer: Send + Sync {
     /// Total number of scalar parameters in this layer.
     fn param_len(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// The layer's op-graph lowering for inference execution, when one
+    /// exists.
+    ///
+    /// `None` (the default) means the layer cannot be compiled into an
+    /// execution plan; engines must fall back to walking the layer list with
+    /// [`Layer::forward`]. Implementations must describe *exactly* the
+    /// inference (`train = false`) forward semantics — compiled plans are
+    /// required to be bit-identical to the legacy walk.
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        None
     }
 
     /// Clones the layer behind a fresh box, including parameters, gradients

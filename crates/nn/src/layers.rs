@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::NnError;
-use crate::layer::Layer;
+use crate::layer::{Layer, LayerLowering};
 use crate::Result;
 
 // ---------------------------------------------------------------------------
@@ -82,6 +82,15 @@ impl Layer for Linear {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::Linear {
+            in_features: self.in_features,
+            out_features: self.out_features,
+            weight: &self.weight,
+            bias: &self.bias,
+        })
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
@@ -251,6 +260,10 @@ impl Layer for Conv2d {
         Box::new(self.clone())
     }
 
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::Conv2d { spec: self.spec, weight: &self.weight, bias: &self.bias })
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         let out = conv2d_forward(input, &self.weight, &self.bias, &self.spec)?;
         self.cached_input = Some(input.clone());
@@ -324,6 +337,10 @@ impl Layer for Relu {
         Box::new(self.clone())
     }
 
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::Relu)
+    }
+
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_input = Some(input.clone());
         Ok(input.relu())
@@ -381,6 +398,10 @@ impl Layer for Flatten {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::Flatten)
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
@@ -462,6 +483,12 @@ impl Layer for Dropout {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    // Dropout is exactly the identity at inference (`train = false`), which
+    // is the only mode compiled plans execute.
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::Identity)
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {

@@ -41,6 +41,7 @@ pub mod error;
 pub mod layer;
 pub mod layers;
 pub mod loss;
+pub mod lowering;
 pub mod metrics;
 pub mod optim;
 pub mod pooling;
@@ -49,14 +50,15 @@ pub mod sequential;
 pub mod serialize;
 
 pub use error::NnError;
-pub use layer::Layer;
+pub use layer::{Layer, LayerLowering};
 pub use loss::{HuberLoss, L1Loss, Loss, MseLoss};
+pub use lowering::lower_for_inference;
 pub use metrics::{mae, mae_per_axis, AxisMae};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pooling::MaxPool2d;
 pub use schedule::LrSchedule;
 pub use sequential::Sequential;
-pub use serialize::{load_params_json, save_params_json};
+pub use serialize::{load_params_json, read_checkpoint_json, save_params_json};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

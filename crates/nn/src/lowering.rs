@@ -1,0 +1,130 @@
+//! Lowering [`Sequential`] models into `fuse-graph` op graphs.
+//!
+//! The bridge between the mutable, trainable layer world and the immutable,
+//! compiled serving world: [`lower_for_inference`] walks a model's layers,
+//! asks each for its declarative [`LayerLowering`] description and builds a
+//! typed [`Graph`] with the parameters snapshotted. The caller then compiles
+//! that graph into an [`fuse_graph::ExecPlan`].
+//!
+//! Lowering is total only for layers that implement
+//! [`crate::Layer::lowering`]; anything else (e.g. max pooling today) makes
+//! the whole model non-lowerable and the serving engine falls back to the
+//! legacy layer walk. That keeps the contract simple: a compiled plan either
+//! covers the entire model bit-identically or does not exist.
+
+use fuse_graph::{Graph, GraphError, TensorMeta};
+
+use crate::layer::LayerLowering;
+use crate::sequential::Sequential;
+
+/// Builds the inference op graph of `model` for per-sample inputs shaped
+/// `input_dims`, snapshotting the current parameters.
+///
+/// The graph's [`fuse_graph::ShapeSignature`] records the model's layer
+/// names in execution order, so checkpoints validated against the signature
+/// are exactly the checkpoints [`crate::load_params_json`] would accept.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Unsupported`] when a layer has no op-graph lowering
+/// and [`GraphError::Shape`] when layer shapes do not chain (the same
+/// mismatches the legacy forward pass would reject at run time).
+pub fn lower_for_inference(model: &Sequential, input_dims: &[usize]) -> fuse_graph::Result<Graph> {
+    let mut graph = Graph::new(TensorMeta::f32(input_dims));
+    for layer in model.layers() {
+        let name = layer.name();
+        let Some(lowering) = layer.lowering() else {
+            return Err(GraphError::Unsupported(format!(
+                "layer '{name}' has no op-graph lowering"
+            )));
+        };
+        match lowering {
+            LayerLowering::Conv2d { spec, weight, bias } => {
+                graph.push_conv2d(name, spec, weight.as_slice(), bias.as_slice())?;
+            }
+            LayerLowering::Linear { in_features, out_features, weight, bias } => {
+                graph.push_linear(
+                    name,
+                    in_features,
+                    out_features,
+                    weight.as_slice(),
+                    bias.as_slice(),
+                )?;
+            }
+            LayerLowering::Relu => {
+                graph.push_relu(name)?;
+            }
+            LayerLowering::Flatten => {
+                graph.push_flatten(name)?;
+            }
+            LayerLowering::Identity => {
+                graph.push_identity(name)?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use fuse_tensor::{Conv2dSpec, Tensor};
+
+    use super::*;
+    use crate::layers::{Conv2d, Dropout, Flatten, Linear, Relu};
+    use crate::pooling::MaxPool2d;
+    use crate::Layer;
+
+    fn tiny_cnn() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Conv2d::new(Conv2dSpec::same(2, 3, 3), 7).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(48, 5, 8).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn lowered_graph_matches_the_model_signature() {
+        let model = tiny_cnn();
+        let graph = lower_for_inference(&model, &[2, 4, 4]).unwrap();
+        let sig = graph.signature();
+        assert_eq!(
+            sig.layer_names().iter().map(String::as_str).collect::<Vec<_>>(),
+            model.layer_names()
+        );
+        assert_eq!(sig.param_len(), model.param_len());
+        assert_eq!(sig.output().dims(), &[5]);
+    }
+
+    #[test]
+    fn compiled_plan_matches_the_legacy_forward_bit_for_bit() {
+        let mut model = tiny_cnn();
+        let mut plan = lower_for_inference(&model, &[2, 4, 4]).unwrap().compile(4).unwrap();
+        let input = Tensor::randn(&[3, 2, 4, 4], 1.0, 9);
+        let expected = model.forward(&input, false).unwrap();
+        let out = plan.run(input.as_slice(), 3).unwrap();
+        assert_eq!(out, expected.as_slice());
+    }
+
+    #[test]
+    fn dropout_lowers_to_identity_at_inference() {
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(4, 4, 3).unwrap()),
+            Box::new(Dropout::new(0.5, 11).unwrap()),
+        ]);
+        let mut plan = lower_for_inference(&model, &[4]).unwrap().compile(2).unwrap();
+        let input = Tensor::randn(&[2, 4], 1.0, 12);
+        let expected = model.forward(&input, false).unwrap();
+        assert_eq!(plan.run(input.as_slice(), 2).unwrap(), expected.as_slice());
+    }
+
+    #[test]
+    fn unsupported_layers_reject_the_whole_model() {
+        let model = Sequential::new(vec![
+            Box::new(Conv2d::new(Conv2dSpec::same(2, 2, 3), 7).unwrap()) as Box<dyn Layer>,
+            Box::new(MaxPool2d::new(2).unwrap()),
+        ]);
+        let err = lower_for_inference(&model, &[2, 4, 4]).unwrap_err();
+        assert!(matches!(err, GraphError::Unsupported(_)), "{err}");
+    }
+}

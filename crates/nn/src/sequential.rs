@@ -53,6 +53,11 @@ impl Sequential {
         self.layers.iter().map(|l| l.name()).collect()
     }
 
+    /// The layers in execution order (read-only; used by op-graph lowering).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Runs the forward pass through every layer.
     ///
     /// # Errors

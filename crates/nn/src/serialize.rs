@@ -46,6 +46,23 @@ pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Re
         .map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
 }
 
+/// Reads and decodes a checkpoint without validating it against any model.
+///
+/// Used by serving engines that validate a candidate checkpoint against a
+/// compiled plan's shape signature before deciding whether to materialise a
+/// model for it — the decode-only half of [`load_params_json`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] when the file cannot be read or decoded
+/// (including truncated JSON).
+pub fn read_checkpoint_json(path: &Path) -> Result<Checkpoint> {
+    let json = fs::read_to_string(path)
+        .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
+    serde_json::from_str(&json)
+        .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))
+}
+
 /// Loads parameters from a JSON checkpoint into an existing model with a
 /// matching architecture.
 ///

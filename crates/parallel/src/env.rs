@@ -41,6 +41,62 @@ impl fmt::Display for InvalidEnv {
 
 impl Error for InvalidEnv {}
 
+/// Declarative description of one `FUSE_*` environment knob.
+///
+/// Every crate that owns knobs exports a `&'static [KnobDef]` registry next
+/// to the code that parses them (e.g. [`PARALLEL_KNOBS`] here,
+/// `fuse_backend::BACKEND_KNOBS`, `fuse_cluster::CLUSTER_KNOBS`).
+/// [`render_knob_table`] turns those registries into the operator-facing
+/// markdown reference embedded in `README.md`, and an integration test
+/// asserts the rendered table appears there verbatim — the documentation
+/// cannot drift from the typed definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnobDef {
+    /// Environment variable name.
+    pub name: &'static str,
+    /// Rendered default when the variable is unset.
+    pub default: &'static str,
+    /// Accepted syntax (mirrors the `expected` text of the typed parser).
+    pub accepts: &'static str,
+    /// One-line meaning for the reference table.
+    pub description: &'static str,
+}
+
+/// The environment knobs owned by `fuse-parallel`.
+pub const PARALLEL_KNOBS: &[KnobDef] = &[
+    KnobDef {
+        name: "FUSE_THREADS",
+        default: "host parallelism",
+        accepts: "positive integer (clamped to 256)",
+        description: "Worker threads for the row/sample-parallel kernels and meta-batches",
+    },
+    KnobDef {
+        name: "FUSE_PAR_MIN_WORK",
+        default: "32768",
+        accepts: "non-negative integer",
+        description: "Scalar-op threshold below which kernels stay serial (0 forces parallel)",
+    },
+];
+
+/// Renders knob registries as one GitHub-flavoured markdown table, in the
+/// order given. The output ends with a newline and is exactly what the
+/// `README.md` environment-knob reference embeds.
+pub fn render_knob_table(sections: &[&[KnobDef]]) -> String {
+    let mut out = String::from(
+        "| Variable | Default | Accepts | Meaning |\n\
+         |----------|---------|---------|---------|\n",
+    );
+    for section in sections {
+        for knob in *section {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                knob.name, knob.default, knob.accepts, knob.description
+            ));
+        }
+    }
+    out
+}
+
 /// Reads a positive-integer environment knob, distinguishing *unset*
 /// (`Ok(None)`) from *unparseable* (a typed [`InvalidEnv`]).
 ///
@@ -148,6 +204,18 @@ mod tests {
         assert_eq!(err.value, "gpu");
         assert!(err.to_string().contains("one of scalar|simd|auto"));
         std::env::remove_var("FUSE_TEST_ENV_CHOICE");
+    }
+
+    #[test]
+    fn knob_table_renders_every_definition_once() {
+        let table = render_knob_table(&[PARALLEL_KNOBS]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2 + PARALLEL_KNOBS.len(), "header + one row per knob");
+        assert!(lines[0].starts_with("| Variable "));
+        for knob in PARALLEL_KNOBS {
+            assert_eq!(table.matches(knob.name).count(), 1, "{} must render once", knob.name);
+        }
+        assert!(table.ends_with('\n'));
     }
 
     #[test]

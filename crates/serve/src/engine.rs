@@ -17,10 +17,18 @@
 //!   per-sample kernel in the stack is batch-composition independent, so the
 //!   responses of a step are bit-identical for any submission interleaving
 //!   and any `FUSE_THREADS`.
+//! * **Compiled execution plans** — at construction (and again after every
+//!   hot-swap or adaptation) the served model is lowered to a `fuse-graph`
+//!   op graph and compiled into an [`ExecPlan`]: fused conv+bias+ReLU
+//!   dispatches, pre-planned arena buffers, zero steady-state allocations.
+//!   Plans are bit-identical to the layer walk by contract, and any model the
+//!   compiler cannot lower transparently falls back to the legacy
+//!   [`Sequential::forward`] path.
 //! * **Checkpoint hot-swap** — [`ServeEngine::hot_swap`] loads a
 //!   `fuse-nn::serialize` checkpoint into the shared base model without
-//!   touching adapted sessions; the load is validated on a clone first, so a
-//!   corrupt checkpoint leaves the engine serving the old weights.
+//!   touching adapted sessions; the checkpoint is validated against the
+//!   compiled plan's shape signature (or, without a plan, on a clone) first,
+//!   so a corrupt checkpoint leaves the engine serving the old weights.
 //! * **Latency accounting** — fusion, featurization, inference and
 //!   submit-to-response totals are recorded per frame against the 100 ms
 //!   frame budget ([`crate::LatencyRecorder`]).
@@ -31,8 +39,12 @@ use std::time::Instant;
 
 use fuse_core::{FineTuneConfig, FineTuneResult};
 use fuse_dataset::{EncodedDataset, FeatureMapBuilder, FrameFusion};
+use fuse_graph::ExecPlan;
 use fuse_nn::serialize::Checkpoint;
-use fuse_nn::{load_params_json, save_params_json, Sequential};
+use fuse_nn::{
+    load_params_json, lower_for_inference, read_checkpoint_json, save_params_json, NnError,
+    Sequential,
+};
 use fuse_radar::PointCloudFrame;
 use fuse_tensor::Tensor;
 
@@ -147,9 +159,16 @@ impl PendingFrame {
 /// router uses this split to fan a swap out atomically: *prepare* on every
 /// shard, and only if all of them succeed, *commit* on all — so either every
 /// shard serves the new weights or none does.
+///
+/// When the engine holds a compiled plan, validation runs against the plan's
+/// [`fuse_graph::ShapeSignature`] and no candidate model is materialised; the
+/// legacy clone-and-load path is kept only for non-lowerable models.
 #[derive(Debug)]
 pub struct PreparedSwap {
-    candidate: Sequential,
+    /// Pre-loaded replacement model; `None` when validation went through the
+    /// compiled plan's shape signature and commit applies the flat params
+    /// directly.
+    candidate: Option<Sequential>,
     checkpoint: Checkpoint,
 }
 
@@ -165,6 +184,13 @@ impl PreparedSwap {
 pub struct ServeEngine {
     config: ServeConfig,
     base: Sequential,
+    /// Compiled execution plan of the base model; `None` when the model has a
+    /// layer without an op-graph lowering (the step falls back to the legacy
+    /// layer walk).
+    base_plan: Option<ExecPlan>,
+    /// Reusable `[max_batch × C·H·W]` input staging buffer for plan runs, so
+    /// stacking a micro-batch allocates nothing in steady state.
+    staging: Vec<f32>,
     model_version: u64,
     sessions: BTreeMap<u64, Session>,
     pending: Vec<PendingFrame>,
@@ -182,9 +208,14 @@ impl ServeEngine {
     pub fn new(model: Sequential, config: ServeConfig) -> Result<Self> {
         config.validate()?;
         let recorder = LatencyRecorder::new(config.budget_ms);
+        let base_plan = compile_plan(&model, &config);
+        let input_len: usize = config.feature_map.input_dims().iter().product();
+        let staging = vec![0.0; config.max_batch * input_len];
         Ok(ServeEngine {
             config,
             base: model,
+            base_plan,
+            staging,
             model_version: 0,
             sessions: BTreeMap::new(),
             pending: Vec::new(),
@@ -201,6 +232,12 @@ impl ServeEngine {
     /// The shared base model.
     pub fn base_model(&self) -> &Sequential {
         &self.base
+    }
+
+    /// The compiled execution plan of the base model, when it lowered
+    /// cleanly; recompiled on every [`ServeEngine::hot_swap`].
+    pub fn plan(&self) -> Option<&ExecPlan> {
+        self.base_plan.as_ref()
     }
 
     /// Version counter of the shared base model; each successful
@@ -449,20 +486,52 @@ impl ServeEngine {
             }
         }
 
+        // Split borrows: the compiled plans, the staging buffer and the
+        // models live in different fields, and the plan path needs the plan
+        // (mutably, for its arena) and the staging buffer at the same time.
+        let model_version = self.model_version;
+        let ServeEngine { sessions, base, base_plan, staging, .. } = &mut *self;
+
         if !base_features.is_empty() {
-            let stacked = Tensor::stack(&base_features).map_err(fuse_nn::NnError::from)?;
-            let output = self.base.forward(&stacked, false)?;
-            self.extend_responses(&mut responses, &base_keys, &output, false);
+            if let Some(plan) = base_plan.as_mut() {
+                let cols = plan.output_meta().len();
+                let output = run_plan(plan, staging, &base_features)?;
+                extend_responses(&mut responses, &base_keys, output, cols, model_version, false);
+            } else {
+                let stacked = Tensor::stack(&base_features).map_err(fuse_nn::NnError::from)?;
+                let output = base.forward(&stacked, false)?;
+                let cols = output.dims()[1];
+                extend_responses(
+                    &mut responses,
+                    &base_keys,
+                    output.as_slice(),
+                    cols,
+                    model_version,
+                    false,
+                );
+            }
         }
         for (session_id, (keys, features)) in &adapted_groups {
-            let stacked = Tensor::stack(features).map_err(fuse_nn::NnError::from)?;
-            let model = self
-                .sessions
-                .get_mut(session_id)
-                .and_then(|s| s.model_mut())
-                .ok_or(ServeError::UnknownSession(*session_id))?;
-            let output = model.forward(&stacked, false)?;
-            self.extend_responses(&mut responses, keys, &output, true);
+            let session =
+                sessions.get_mut(session_id).ok_or(ServeError::UnknownSession(*session_id))?;
+            if let Some(plan) = session.plan_mut() {
+                let cols = plan.output_meta().len();
+                let output = run_plan(plan, staging, features)?;
+                extend_responses(&mut responses, keys, output, cols, model_version, true);
+            } else {
+                let model = session.model_mut().ok_or(ServeError::UnknownSession(*session_id))?;
+                let stacked = Tensor::stack(features).map_err(fuse_nn::NnError::from)?;
+                let output = model.forward(&stacked, false)?;
+                let cols = output.dims()[1];
+                extend_responses(
+                    &mut responses,
+                    keys,
+                    output.as_slice(),
+                    cols,
+                    model_version,
+                    true,
+                );
+            }
         }
         self.recorder.record(Stage::Inference, ms_since(inference_start));
         for submitted in submit_times {
@@ -483,25 +552,6 @@ impl ServeEngine {
         std::mem::take(&mut self.ready)
     }
 
-    fn extend_responses(
-        &self,
-        responses: &mut Vec<ServeResponse>,
-        keys: &[(u64, u64)],
-        output: &Tensor,
-        adapted: bool,
-    ) {
-        let cols = output.dims()[1];
-        for (row, &(session_id, frame_index)) in keys.iter().enumerate() {
-            responses.push(ServeResponse {
-                session_id,
-                frame_index,
-                model_version: self.model_version,
-                adapted,
-                joints: output.as_slice()[row * cols..(row + 1) * cols].to_vec(),
-            });
-        }
-    }
-
     /// Fine-tunes a session online on `data` (used as both the adaptation and
     /// per-epoch evaluation set). The first adaptation clones the shared base
     /// model into the session; later calls continue from the session's
@@ -518,13 +568,24 @@ impl ServeEngine {
         config: &FineTuneConfig,
     ) -> Result<FineTuneResult> {
         let session = self.sessions.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
-        session.adapt(&self.base, data, config)
+        let result = session.adapt(&self.base, data, config)?;
+        // The private weights changed; recompile the session's plan (the
+        // parameters are snapshotted into the plan at lowering time).
+        let plan = session.model().and_then(|model| compile_plan(model, &self.config));
+        session.set_plan(plan);
+        Ok(result)
     }
 
     /// Validates a `fuse-nn` JSON checkpoint against this engine's model
-    /// architecture *without* applying it: the weights are loaded into a
-    /// clone of the base model and returned as a [`PreparedSwap`] whose
+    /// architecture *without* applying it, returning a [`PreparedSwap`] whose
     /// commit cannot fail. The engine itself is untouched (`&self`).
+    ///
+    /// With a compiled plan the checkpoint is checked against the plan's
+    /// [`fuse_graph::ShapeSignature`] — parameter count and layer names, the
+    /// same checks [`load_params_json`] performs, in the same order — so a
+    /// mismatched checkpoint is a typed pre-commit error and no model clone
+    /// is ever materialised. Only a non-lowerable model falls back to
+    /// validating on a clone.
     ///
     /// A cluster router calls this on every shard first and commits only if
     /// every shard prepared successfully — the all-or-nothing fan-out.
@@ -533,18 +594,54 @@ impl ServeEngine {
     ///
     /// Propagates read/decode/layout errors as [`ServeError::Nn`].
     pub fn prepare_hot_swap(&self, path: &Path) -> Result<PreparedSwap> {
-        let mut candidate = self.base.clone();
-        let checkpoint = load_params_json(&mut candidate, path)?;
-        Ok(PreparedSwap { candidate, checkpoint })
+        let Some(plan) = &self.base_plan else {
+            let mut candidate = self.base.clone();
+            let checkpoint = load_params_json(&mut candidate, path)?;
+            return Ok(PreparedSwap { candidate: Some(candidate), checkpoint });
+        };
+        let checkpoint = read_checkpoint_json(path)?;
+        let signature = plan.signature();
+        if checkpoint.params.len() != signature.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: signature.param_len(),
+                actual: checkpoint.params.len(),
+            }
+            .into());
+        }
+        // A param_len field disagreeing with the vector it describes is its
+        // own mismatch; report the lying field, not the vector length.
+        if checkpoint.param_len != signature.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: signature.param_len(),
+                actual: checkpoint.param_len,
+            }
+            .into());
+        }
+        if checkpoint.layer_names.as_slice() != signature.layer_names() {
+            return Err(NnError::ArchitectureMismatch {
+                expected: signature.layer_names().to_vec(),
+                actual: checkpoint.layer_names.clone(),
+            }
+            .into());
+        }
+        Ok(PreparedSwap { candidate: None, checkpoint })
     }
 
     /// Applies a [`PreparedSwap`] produced by
-    /// [`ServeEngine::prepare_hot_swap`]: the base model is replaced and
+    /// [`ServeEngine::prepare_hot_swap`]: the base model is replaced, the
+    /// execution plan recompiled against the new weights and
     /// [`ServeEngine::model_version`] bumped. Infallible by construction —
     /// every way the swap can fail was checked at prepare time.
     pub fn commit_hot_swap(&mut self, prepared: PreparedSwap) -> Checkpoint {
-        self.base = prepared.candidate;
+        match prepared.candidate {
+            Some(candidate) => self.base = candidate,
+            None => self
+                .base
+                .set_flat_params(&prepared.checkpoint.params)
+                .expect("prepare_hot_swap validated the parameter count against the plan"),
+        }
         self.model_version += 1;
+        self.base_plan = compile_plan(&self.base, &self.config);
         prepared.checkpoint
     }
 
@@ -577,6 +674,49 @@ fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1000.0
 }
 
+/// Lowers `model` for the engine's feature geometry and compiles it into an
+/// [`ExecPlan`] sized for the micro-batch cap. `None` (legacy layer-walk
+/// fallback) when the model has a layer without an op-graph lowering or its
+/// shapes do not chain from the configured feature map.
+fn compile_plan(model: &Sequential, config: &ServeConfig) -> Option<ExecPlan> {
+    lower_for_inference(model, &config.feature_map.input_dims())
+        .and_then(|graph| graph.compile(config.max_batch))
+        .ok()
+}
+
+/// Stages `features` contiguously into `staging` and runs the compiled plan
+/// on the stacked micro-batch, returning the `[batch × out]` output rows.
+fn run_plan<'p>(
+    plan: &'p mut ExecPlan,
+    staging: &mut [f32],
+    features: &[Tensor],
+) -> Result<&'p [f32]> {
+    let sample_len = plan.input_meta().len();
+    for (slot, tensor) in staging.chunks_exact_mut(sample_len).zip(features) {
+        slot.copy_from_slice(tensor.as_slice());
+    }
+    Ok(plan.run(&staging[..features.len() * sample_len], features.len())?)
+}
+
+fn extend_responses(
+    responses: &mut Vec<ServeResponse>,
+    keys: &[(u64, u64)],
+    output: &[f32],
+    cols: usize,
+    model_version: u64,
+    adapted: bool,
+) {
+    for (row, &(session_id, frame_index)) in keys.iter().enumerate() {
+        responses.push(ServeResponse {
+            session_id,
+            frame_index,
+            model_version,
+            adapted,
+            joints: output[row * cols..(row + 1) * cols].to_vec(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +742,61 @@ mod tests {
             })
             .collect();
         PointCloudFrame::new(0, 0.0, points)
+    }
+
+    #[test]
+    fn base_plan_compiles_for_the_mars_cnn() {
+        let engine = tiny_engine();
+        let plan = engine.plan().expect("the MARS CNN must lower to a compiled plan");
+        assert_eq!(plan.input_meta().dims(), &[5, 8, 8]);
+        assert_eq!(plan.output_meta().dims(), &[57]);
+        assert_eq!(plan.max_batch(), engine.config().max_batch);
+        assert!(
+            plan.step_count() < engine.base_model().len(),
+            "fusion must collapse layers into fewer dispatches"
+        );
+    }
+
+    #[test]
+    fn plan_responses_match_the_legacy_forward_bit_for_bit() {
+        let mut engine = tiny_engine();
+        assert!(engine.plan().is_some());
+        engine.open_session(1).unwrap();
+        engine.submit(1, frame(2, 16)).unwrap();
+        let features = engine.session(1).unwrap().featurize_latest().unwrap();
+        let expected = {
+            let mut model = engine.base_model().clone();
+            let stacked = Tensor::stack(std::slice::from_ref(&features)).unwrap();
+            model.forward(&stacked, false).unwrap()
+        };
+        engine.step().unwrap();
+        let responses = engine.take_responses();
+        assert_eq!(responses[0].joints.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn prepare_hot_swap_rejects_a_mismatched_checkpoint_pre_commit() {
+        use fuse_nn::NnError;
+        let dir = std::env::temp_dir().join("fuse_serve_plan_swap_reject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        // Same layer stack, larger widths: the parameter count disagrees with
+        // the compiled plan's shape signature.
+        let big = build_mars_cnn(&ModelConfig::default(), 3).unwrap();
+        fuse_nn::save_params_json(&big, "big", &path).unwrap();
+
+        let engine = tiny_engine();
+        assert!(engine.plan().is_some(), "this test exercises the signature path");
+        let before = engine.base_model().flat_params();
+        let err = engine.prepare_hot_swap(&path).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Nn(NnError::ParamLengthMismatch { .. })),
+            "expected a typed pre-commit mismatch, got {err}"
+        );
+        assert_eq!(engine.base_model().flat_params(), before);
+        assert_eq!(engine.model_version(), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -775,7 +970,12 @@ mod tests {
         let result = engine.adapt_session(2, &encoded, &config).unwrap();
         assert_eq!(result.epochs(), 1);
         assert!(engine.session(2).unwrap().is_adapted());
+        assert!(
+            engine.session(2).unwrap().plan().is_some(),
+            "adaptation must recompile the session's private plan"
+        );
         assert!(!engine.session(1).unwrap().is_adapted());
+        assert!(engine.session(1).unwrap().plan().is_none());
         assert_eq!(engine.base_model().flat_params(), before, "adaptation must not touch the base");
 
         // Same frame through both sessions: the adapted one must answer from

@@ -5,6 +5,7 @@ use std::fmt;
 
 use fuse_core::FuseError;
 use fuse_dataset::DatasetError;
+use fuse_graph::GraphError;
 use fuse_nn::NnError;
 
 /// Error returned by fallible serving operations.
@@ -23,6 +24,8 @@ pub enum ServeError {
     Nn(NnError),
     /// Online fine-tuning failed.
     Core(FuseError),
+    /// Compiled-plan execution failed.
+    Graph(GraphError),
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +37,7 @@ impl fmt::Display for ServeError {
             ServeError::Dataset(e) => write!(f, "feature pipeline error: {e}"),
             ServeError::Nn(e) => write!(f, "model error: {e}"),
             ServeError::Core(e) => write!(f, "adaptation error: {e}"),
+            ServeError::Graph(e) => write!(f, "compiled plan error: {e}"),
         }
     }
 }
@@ -44,6 +48,7 @@ impl Error for ServeError {
             ServeError::Dataset(e) => Some(e),
             ServeError::Nn(e) => Some(e),
             ServeError::Core(e) => Some(e),
+            ServeError::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -67,6 +72,12 @@ impl From<FuseError> for ServeError {
     }
 }
 
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +94,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: ServeError = DatasetError::EmptySplit("train".into()).into();
         assert!(e.to_string().contains("train"));
+        let e: ServeError = GraphError::Shape("rank mismatch".into()).into();
+        assert!(e.to_string().contains("rank mismatch"));
+        assert!(e.source().is_some());
     }
 
     #[test]

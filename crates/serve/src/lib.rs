@@ -24,13 +24,10 @@
 //!
 //! An engine operator tunes the compute substrate entirely through
 //! environment knobs (all parsed through the typed helper — garbage is a
-//! named error or fail-fast panic, never a silent fallback):
-//!
-//! | Variable            | Default          | Meaning                                             |
-//! |---------------------|------------------|-----------------------------------------------------|
-//! | `FUSE_THREADS`      | host parallelism | threads for the row/sample-parallel kernels         |
-//! | `FUSE_PAR_MIN_WORK` | `32768`          | scalar-op threshold below which kernels stay serial |
-//! | `FUSE_BACKEND`      | `auto`           | kernel backend: `scalar`, `simd` or `auto`          |
+//! named error or fail-fast panic, never a silent fallback). The knobs are
+//! declared as typed `fuse_parallel::env::KnobDef` registries next to
+//! their parsers; the consolidated reference table lives in the workspace
+//! `README.md` and is generated from those registries, so it cannot drift.
 //!
 //! [`BackendChoice`] and [`FUSE_BACKEND_ENV`] are re-exported here so
 //! serving embedders can pin or report the backend without depending on
@@ -50,6 +47,8 @@
 //! println!("{}", engine.recorder().report());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod error;

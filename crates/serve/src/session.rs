@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use fuse_core::{fine_tune, FineTuneConfig, FineTuneResult};
 use fuse_dataset::{EncodedDataset, FeatureMapBuilder, FrameFusion};
+use fuse_graph::ExecPlan;
 use fuse_nn::Sequential;
 use fuse_radar::{PointCloudFrame, RadarPoint};
 use fuse_tensor::Tensor;
@@ -27,6 +28,9 @@ pub struct Session {
     /// Private fine-tuned model; `None` means the session serves from the
     /// engine's shared base model.
     model: Option<Sequential>,
+    /// Compiled execution plan of the private model, rebuilt by the engine
+    /// after every adaptation; `None` falls back to the layer walk.
+    plan: Option<ExecPlan>,
     /// Number of frames ingested over the session's lifetime.
     frames_seen: u64,
 }
@@ -40,6 +44,7 @@ impl Session {
             builder,
             history: VecDeque::with_capacity(fusion.half_window() + 1),
             model: None,
+            plan: None,
             frames_seen: 0,
         }
     }
@@ -90,6 +95,20 @@ impl Session {
 
     pub(crate) fn model_mut(&mut self) -> Option<&mut Sequential> {
         self.model.as_mut()
+    }
+
+    /// The compiled execution plan of the session's private model, when the
+    /// session is adapted and its model lowered cleanly.
+    pub fn plan(&self) -> Option<&ExecPlan> {
+        self.plan.as_ref()
+    }
+
+    pub(crate) fn plan_mut(&mut self) -> Option<&mut ExecPlan> {
+        self.plan.as_mut()
+    }
+
+    pub(crate) fn set_plan(&mut self, plan: Option<ExecPlan>) {
+        self.plan = plan;
     }
 
     /// Appends a frame to the fusion history, evicting the oldest frame once
@@ -144,10 +163,12 @@ impl Session {
         fine_tune(model, data, data, data, config).map_err(ServeError::from)
     }
 
-    /// Drops the private model: the session goes back to serving from the
-    /// engine's shared base model (e.g. after a checkpoint hot-swap).
+    /// Drops the private model (and its compiled plan): the session goes back
+    /// to serving from the engine's shared base model (e.g. after a
+    /// checkpoint hot-swap).
     pub fn reset_to_base(&mut self) {
         self.model = None;
+        self.plan = None;
     }
 }
 

@@ -212,6 +212,176 @@ pub fn conv2d_forward(
     Tensor::from_vec(out, &[n, spec.out_channels, out_h, out_w])
 }
 
+/// Forward 2-D convolution into caller-provided buffers (the arena-backed
+/// entry point used by compiled `fuse-graph` execution plans).
+///
+/// Semantically identical to [`conv2d_forward`] — the same im2col lowering,
+/// the same per-sample GEMM, the same backend bias broadcast, the same
+/// parallel gate — but every intermediate lives in slices owned by the
+/// caller, so steady-state execution performs no heap allocation. An optional
+/// fused ReLU applies `x.max(0.0)` element-wise after the bias, which is
+/// bit-identical to running a separate ReLU layer on the result.
+///
+/// * `input`: `[N, C_in, H, W]` (flattened, `n * c * h * w` elements)
+/// * `cols`: scratch of at least `n * (C_in*k*k) * (H_out*W_out)` elements
+/// * `out`: at least `n * C_out * H_out * W_out` elements
+///
+/// # Errors
+///
+/// Returns an error when the geometry is degenerate or any buffer is shorter
+/// than the dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_into(
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    cols: &mut [f32],
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
+    let c = spec.in_channels;
+    let (out_h, out_w) = spec.output_size(h, w)?;
+    let col_rows = c * spec.kernel * spec.kernel;
+    let n_cols = out_h * out_w;
+    check_buffer(input.len(), n * c * h * w)?;
+    check_buffer(weight.len(), spec.weight_len())?;
+    check_buffer(bias.len(), spec.out_channels)?;
+    check_buffer(cols.len(), n * col_rows * n_cols)?;
+    check_buffer(out.len(), n * spec.out_channels * n_cols)?;
+
+    let in_stride = c * h * w;
+    let col_stride = col_rows * n_cols;
+    let out_stride = spec.out_channels * n_cols;
+    let cols = &mut cols[..n * col_stride];
+    let out = &mut out[..n * out_stride];
+
+    // Same per-sample unit of work as `conv2d_forward`, with the scratch
+    // column matrix carved out of the caller's slab instead of a fresh
+    // allocation. `im2col` fully overwrites its scratch, so slab reuse
+    // cannot change any bit.
+    let be = fuse_backend::active();
+    let forward_sample = |s: usize, cols_s: &mut [f32], out_s: &mut [f32]| {
+        im2col(be, &input[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols_s);
+        linalg::gemm(weight, cols_s, out_s, spec.out_channels, col_rows, n_cols);
+        for (oc, out_channel) in out_s.chunks_exact_mut(n_cols).enumerate() {
+            be.add_scalar_assign(out_channel, bias[oc]);
+        }
+        if relu {
+            for v in out_s.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    };
+
+    if n > 1 && par::parallel_beneficial(n * spec.out_channels * col_rows * n_cols) {
+        // `par_chunks_mut` hands out one slice; per-sample scratch needs a
+        // second, so zip the two slabs under a fork-join scope instead. The
+        // pool may allocate task cells here — the zero-alloc guarantee holds
+        // for serial steady state (`FUSE_THREADS=1`), which the allocation
+        // gate pins.
+        let forward_sample = &forward_sample;
+        par::scope(|scope| {
+            for (s, (cols_s, out_s)) in
+                cols.chunks_exact_mut(col_stride).zip(out.chunks_exact_mut(out_stride)).enumerate()
+            {
+                scope.spawn(move || forward_sample(s, cols_s, out_s));
+            }
+        });
+    } else {
+        for (s, (cols_s, out_s)) in
+            cols.chunks_exact_mut(col_stride).zip(out.chunks_exact_mut(out_stride)).enumerate()
+        {
+            forward_sample(s, cols_s, out_s);
+        }
+    }
+    Ok(())
+}
+
+/// Forward 1×1 / stride-1 / unpadded convolution as a direct GEMM into
+/// caller-provided buffers.
+///
+/// For this geometry the im2col matrix of a sample *is* the sample
+/// (`cols[ch * n_cols + i] == input[ch * n_cols + i]`), so the lowering is
+/// pure data movement and can be elided: `out[s] = weight * input[s]` (a
+/// `[C_out x C_in] x [C_in x H*W]` GEMM) runs on the input directly,
+/// bit-identically to [`conv2d_forward`] / [`conv2d_forward_into`] because
+/// the GEMM sees the exact same operand values and dimensions.
+///
+/// # Errors
+///
+/// Returns an error when `spec` is not `kernel == 1, stride == 1, padding ==
+/// 0` or any buffer is shorter than the dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1x1_forward_into(
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
+    if spec.kernel != 1 || spec.stride != 1 || spec.padding != 0 {
+        return Err(TensorError::InvalidConvolution(format!(
+            "direct-gemm path requires a 1x1/stride-1/unpadded conv, got k={} s={} p={}",
+            spec.kernel, spec.stride, spec.padding
+        )));
+    }
+    let c = spec.in_channels;
+    let n_cols = h * w;
+    check_buffer(input.len(), n * c * n_cols)?;
+    check_buffer(weight.len(), spec.weight_len())?;
+    check_buffer(bias.len(), spec.out_channels)?;
+    check_buffer(out.len(), n * spec.out_channels * n_cols)?;
+
+    let in_stride = c * n_cols;
+    let out_stride = spec.out_channels * n_cols;
+    let out = &mut out[..n * out_stride];
+
+    let be = fuse_backend::active();
+    let forward_sample = |s: usize, out_s: &mut [f32]| {
+        linalg::gemm(
+            weight,
+            &input[s * in_stride..(s + 1) * in_stride],
+            out_s,
+            spec.out_channels,
+            c,
+            n_cols,
+        );
+        for (oc, out_channel) in out_s.chunks_exact_mut(n_cols).enumerate() {
+            be.add_scalar_assign(out_channel, bias[oc]);
+        }
+        if relu {
+            for v in out_s.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    };
+
+    // Same gate expression as the general conv (col_rows == C_in when k=1).
+    if n > 1 && par::parallel_beneficial(n * spec.out_channels * c * n_cols) {
+        par::par_chunks_mut(out, out_stride, forward_sample);
+    } else {
+        for (s, out_s) in out.chunks_exact_mut(out_stride).enumerate() {
+            forward_sample(s, out_s);
+        }
+    }
+    Ok(())
+}
+
+fn check_buffer(actual: usize, expected: usize) -> Result<()> {
+    if actual < expected {
+        return Err(TensorError::ShapeDataMismatch { expected, actual });
+    }
+    Ok(())
+}
+
 /// Gradient of the convolution output with respect to its input.
 ///
 /// * `grad_output`: `[N, C_out, H_out, W_out]`

@@ -26,7 +26,10 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
-pub use conv::{conv2d_backward_input, conv2d_backward_weight, conv2d_forward, Conv2dSpec};
+pub use conv::{
+    conv1x1_forward_into, conv2d_backward_input, conv2d_backward_weight, conv2d_forward,
+    conv2d_forward_into, Conv2dSpec,
+};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use stats::{mean_std, Normalizer};

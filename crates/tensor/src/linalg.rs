@@ -150,6 +150,44 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     }
 }
 
+/// Fused affine transform `out[m x n] = a * bᵀ + bias` with an optional
+/// fused ReLU, where `b` is stored `[n x k]` (a fully-connected layer's
+/// weight layout) and `bias` has `n` elements.
+///
+/// This is the arena-backed entry point compiled `fuse-graph` plans use for
+/// Linear layers: the GEMM is exactly [`gemm_a_bt`], the bias add is the same
+/// per-element scalar `+` a `Linear` layer applies, and the ReLU is the same
+/// per-element `x.max(0.0)` as a standalone ReLU layer — so fusing the three
+/// cannot change any bit.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn affine_a_bt(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+) {
+    assert!(bias.len() >= n, "bias buffer too small");
+    gemm_a_bt(a, b, out, m, k, n);
+    for row in out[..m * n].chunks_exact_mut(n) {
+        for (o, &bv) in row.iter_mut().zip(&bias[..n]) {
+            *o += bv;
+        }
+        if relu {
+            for o in row.iter_mut() {
+                *o = o.max(0.0);
+            }
+        }
+    }
+}
+
 /// Outer product `out[m x n] = a ⊗ b`.
 ///
 /// # Panics

@@ -9,7 +9,25 @@
 use fuse_core::experiments::profile::ExperimentProfile;
 use fuse_core::MetaConfig;
 use fuse_dataset::SynthesisConfig;
+use fuse_parallel::env::KnobDef;
 use fuse_skeleton::Movement;
+
+/// The environment knobs owned by the example binaries (see [`KnobDef`] for
+/// how these feed the generated `README.md` reference table).
+pub const EXAMPLE_KNOBS: &[KnobDef] = &[
+    KnobDef {
+        name: "FUSE_EDGE_FRAMES",
+        default: "50 (realtime_edge) / 30 (cluster_serving)",
+        accepts: "positive integer",
+        description: "Frames streamed per session by the serving examples",
+    },
+    KnobDef {
+        name: "FUSE_SESSIONS",
+        default: "6",
+        accepts: "positive integer",
+        description: "Concurrent subjects simulated by the cluster_serving example",
+    },
+];
 
 /// An experiment profile small enough for an interactive example run
 /// (a couple of subjects and movements, a handful of epochs).

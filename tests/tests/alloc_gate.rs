@@ -1,0 +1,99 @@
+//! CI gate for the zero-allocation contract of `fuse_graph::ExecPlan::run`.
+//!
+//! A counting wrapper around the system allocator proves that once a plan is
+//! compiled and warmed, steady-state serial execution performs **zero** heap
+//! allocations: every intermediate buffer was pre-planned into the plan's
+//! bump arena at compile time.
+//!
+//! The gate pins `FUSE_THREADS=1` via [`fuse_parallel::with_threads`]: the
+//! zero-alloc contract covers the serial path (parallel dispatch may box its
+//! per-band tasks, which is documented in `REPRODUCIBILITY.md`). This test
+//! lives in its own integration-test binary because a `#[global_allocator]`
+//! is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts every allocation call.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_plan_run_makes_zero_heap_allocations() {
+    use fuse_core::{build_mars_cnn, ModelConfig};
+    use fuse_nn::lower_for_inference;
+    use fuse_tensor::Tensor;
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+    let mut plan = lower_for_inference(&model, &[5, 8, 8]).unwrap().compile(4).unwrap();
+    let input = Tensor::randn(&[4, 5, 8, 8], 1.0, 9);
+
+    fuse_parallel::with_threads(1, || {
+        // Warm-up: the first run may lazily initialise thread-locals or
+        // backend state; the contract is about steady state.
+        let warm = plan.run(input.as_slice(), 4).unwrap().to_vec();
+
+        let before = allocation_count();
+        let out = plan.run(input.as_slice(), 4).unwrap();
+        assert_eq!(out.len(), 4 * 57);
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state ExecPlan::run must not touch the heap (got {} allocations)",
+            after - before
+        );
+
+        // And it still computes the same thing it did while warming up.
+        assert_eq!(plan.run(input.as_slice(), 4).unwrap(), warm.as_slice());
+    });
+}
+
+#[test]
+fn smaller_batches_reuse_the_same_arena_without_allocating() {
+    use fuse_core::{build_mars_cnn, ModelConfig};
+    use fuse_nn::lower_for_inference;
+    use fuse_tensor::Tensor;
+
+    let model = build_mars_cnn(&ModelConfig::tiny(), 11).unwrap();
+    let mut plan = lower_for_inference(&model, &[5, 8, 8]).unwrap().compile(8).unwrap();
+    let input = Tensor::randn(&[8, 5, 8, 8], 1.0, 13);
+
+    fuse_parallel::with_threads(1, || {
+        plan.run(input.as_slice(), 8).unwrap();
+        let before = allocation_count();
+        for batch in [1usize, 3, 8, 2] {
+            let out = plan.run(&input.as_slice()[..batch * 5 * 8 * 8], batch).unwrap();
+            assert_eq!(out.len(), batch * 57);
+        }
+        assert_eq!(
+            allocation_count() - before,
+            0,
+            "batch-size changes below max_batch must not reallocate"
+        );
+    });
+}

@@ -1,0 +1,70 @@
+//! The README environment-knob reference is generated, not hand-written.
+//!
+//! Every crate that parses a `FUSE_*` knob exports a typed
+//! [`fuse_parallel::env::KnobDef`] registry next to its parser; this test
+//! renders the same table `README.md` embeds and asserts it appears there
+//! verbatim between the `knob-table` markers. Adding, renaming or retuning a
+//! knob without regenerating the docs fails CI — the reference cannot drift
+//! from the definitions.
+
+use fuse_parallel::env::{render_knob_table, PARALLEL_KNOBS};
+
+const BEGIN_MARKER: &str = "<!-- knob-table:begin";
+const END_MARKER: &str = "<!-- knob-table:end -->";
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../README.md");
+    std::fs::read_to_string(path).expect("README.md must exist at the workspace root")
+}
+
+fn rendered_reference() -> String {
+    render_knob_table(&[
+        PARALLEL_KNOBS,
+        fuse_backend::BACKEND_KNOBS,
+        fuse_cluster::CLUSTER_KNOBS,
+        fuse_examples::EXAMPLE_KNOBS,
+    ])
+}
+
+#[test]
+fn readme_knob_table_matches_the_typed_definitions() {
+    let readme = readme();
+    let begin = readme.find(BEGIN_MARKER).expect("README must carry the knob-table:begin marker");
+    let end = readme.find(END_MARKER).expect("README must carry the knob-table:end marker");
+    assert!(begin < end, "markers out of order");
+    // The generated block sits between the end of the begin-marker line and
+    // the end marker.
+    let after_begin = begin + readme[begin..].find('\n').expect("marker line ends") + 1;
+    let embedded = &readme[after_begin..end];
+    let expected = rendered_reference();
+    assert_eq!(
+        embedded, expected,
+        "README knob table drifted from the typed KnobDef registries; \
+         paste the following between the knob-table markers:\n{expected}"
+    );
+}
+
+#[test]
+fn every_registry_contributes_and_no_knob_repeats() {
+    let table = rendered_reference();
+    let expected_names = [
+        "FUSE_THREADS",
+        "FUSE_PAR_MIN_WORK",
+        "FUSE_BACKEND",
+        "FUSE_SHARDS",
+        "FUSE_EDGE_FRAMES",
+        "FUSE_SESSIONS",
+    ];
+    for name in expected_names {
+        assert_eq!(
+            table.matches(&format!("| `{name}` |")).count(),
+            1,
+            "{name} must appear exactly once in the generated table"
+        );
+    }
+    assert_eq!(
+        table.lines().count(),
+        2 + expected_names.len(),
+        "unexpected knob row count — update this test and the README when adding knobs"
+    );
+}

@@ -47,7 +47,7 @@ const CI_CASE_CAP: u32 = 16;
 /// Resolves the effective case count for a test run.
 ///
 /// Priority: `PROPTEST_CASES` (absolute override) > `CI` (cap at
-/// [`CI_CASE_CAP`]) > the configured count.
+/// `CI_CASE_CAP`) > the configured count.
 pub fn resolve_cases(configured: u32) -> u32 {
     if let Ok(env) = std::env::var("PROPTEST_CASES") {
         if let Ok(n) = env.trim().parse::<u32>() {
@@ -256,7 +256,7 @@ pub mod collection {
 
     use super::Strategy;
 
-    /// Accepted size specifications for [`vec`]: an exact length or a range.
+    /// Accepted size specifications for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
