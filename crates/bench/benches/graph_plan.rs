@@ -11,7 +11,7 @@ use std::hint::black_box;
 use fuse_backend::{with_backend, BackendChoice};
 use fuse_core::{build_mars_cnn, ModelConfig};
 use fuse_graph::ExecPlan;
-use fuse_nn::{lower_for_inference, Sequential};
+use fuse_nn::{LoweringRequest, Sequential};
 use fuse_tensor::Tensor;
 
 /// Per-sample input dimensions of the MARS feature map.
@@ -23,7 +23,8 @@ const BACKENDS: [(&str, BackendChoice); 2] =
     [("scalar", BackendChoice::Scalar), ("simd", BackendChoice::Simd)];
 
 fn compile_mars(model: &Sequential, max_batch: usize) -> ExecPlan {
-    lower_for_inference(model, &INPUT_DIMS)
+    LoweringRequest::new(model, &INPUT_DIMS)
+        .lower()
         .and_then(|graph| graph.compile(max_batch))
         .expect("the MARS CNN lowers and compiles")
 }

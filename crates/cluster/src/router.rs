@@ -15,7 +15,7 @@ use fuse_serve::{LatencyRecorder, ServeEngine, ServeResponse};
 use crate::config::ClusterConfig;
 use crate::error::ClusterError;
 use crate::metrics::ClusterMetrics;
-use crate::worker::{Command, ShardWorker};
+use crate::worker::{Command, ShardWorker, SwapSource};
 use crate::Result;
 
 /// Outcome of closing a session cluster-wide.
@@ -74,9 +74,11 @@ pub struct DrainReport {
 ///   capacity, the shard applies the configured
 ///   [`crate::BackpressurePolicy`]; drops and merges are counted and
 ///   surfaced via [`ClusterRouter::metrics`] and [`DrainReport`].
-/// * **Atomic fan-out hot-swap** — [`ClusterRouter::hot_swap`] validates the
-///   checkpoint on every shard before committing on any; a single rejection
-///   rolls the whole swap back ([`ClusterError::SwapAborted`]).
+/// * **Atomic fan-out hot-swap** — [`ClusterRouter::hot_swap`] (a `fuse-nn`
+///   checkpoint) and [`ClusterRouter::hot_swap_plan`] (a `.fplan`
+///   compiled-plan artifact) validate the new weights on every shard before
+///   committing on any; a single rejection rolls the whole swap back
+///   ([`ClusterError::SwapAborted`]).
 /// * **Re-sequenced responses** — [`ClusterRouter::drain`] is a barrier that
 ///   serves every queued frame and returns all responses sorted by
 ///   `(session id, frame index)`: the externally observable ordering is a
@@ -357,23 +359,45 @@ impl ClusterRouter {
         Ok(self.recv_ack(shard, &ack_rx, "adapt_session")??)
     }
 
-    /// Atomically hot-swaps a `fuse-nn` JSON checkpoint into **every** shard:
-    /// phase one validates the checkpoint on each shard without touching its
-    /// served weights ([`ServeEngine::prepare_hot_swap`]); only when all
-    /// shards accept does phase two commit — so either the whole cluster
-    /// serves the new weights (every shard's version bumped together) or no
-    /// shard does.
+    /// Atomically hot-swaps a `fuse-nn` checkpoint (JSON or binary) into
+    /// **every** shard: phase one validates the checkpoint on each shard
+    /// without touching its served weights
+    /// ([`ServeEngine::prepare_hot_swap`]); only when all shards accept does
+    /// phase two commit — so either the whole cluster serves the new weights
+    /// (every shard's version bumped together) or no shard does.
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::SwapAborted`] naming the first shard that
     /// rejected the checkpoint; the cluster keeps serving the old weights.
     pub fn hot_swap(&mut self, path: &Path) -> Result<SwapReport> {
+        self.fan_out_swap(SwapSource::Checkpoint(path.to_path_buf()))
+    }
+
+    /// Atomically hot-swaps a serialized `.fplan` compiled-plan artifact
+    /// (written by [`ServeEngine::export_plan`]) into **every** shard, with
+    /// the same two-phase all-or-nothing fan-out as
+    /// [`ClusterRouter::hot_swap`] — each shard validates the artifact
+    /// against its served model and engine geometry
+    /// ([`ServeEngine::prepare_hot_swap_plan`]) before any shard commits.
+    /// Unlike a checkpoint swap, the shards install the artifact's compiled
+    /// schedule directly: no per-shard recompilation after commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::SwapAborted`] naming the first shard that
+    /// rejected the artifact; the cluster keeps serving the old weights.
+    pub fn hot_swap_plan(&mut self, path: &Path) -> Result<SwapReport> {
+        self.fan_out_swap(SwapSource::PlanArtifact(path.to_path_buf()))
+    }
+
+    /// The shared two-phase fan-out behind both swap flavours.
+    fn fan_out_swap(&mut self, source: SwapSource) -> Result<SwapReport> {
         // Phase 1: validate everywhere, commit nowhere.
         let mut acks = Vec::with_capacity(self.senders.len());
         for shard in 0..self.senders.len() {
             let (ack_tx, ack_rx) = bounded(1);
-            let command = Command::PrepareSwap { path: path.to_path_buf(), ack: ack_tx };
+            let command = Command::PrepareSwap { source: source.clone(), ack: ack_tx };
             self.send(shard, command, "hot_swap prepare")?;
             acks.push(ack_rx);
         }

@@ -64,6 +64,17 @@ pub(crate) struct CheckpointMeta {
     pub param_len: usize,
 }
 
+/// What a fan-out hot-swap loads on every shard.
+#[derive(Debug, Clone)]
+pub(crate) enum SwapSource {
+    /// A `fuse-nn` checkpoint (JSON or binary): weights only, each shard
+    /// recompiles its plan after commit.
+    Checkpoint(PathBuf),
+    /// A serialized `.fplan` compiled-plan artifact: weights *and* schedule,
+    /// installed on each shard without recompilation.
+    PlanArtifact(PathBuf),
+}
+
 /// A shard's metrics snapshot: its recorder plus gauges.
 #[derive(Debug)]
 pub(crate) struct ShardSnapshot {
@@ -101,7 +112,7 @@ pub(crate) enum Command {
         ack: Sender<ShardSnapshot>,
     },
     PrepareSwap {
-        path: PathBuf,
+        source: SwapSource,
         ack: Sender<ShardResult<CheckpointMeta>>,
     },
     CommitSwap {
@@ -304,8 +315,12 @@ impl ShardWorker {
                     ShardSnapshot { recorder: self.engine.recorder().clone(), gauge: self.gauge() };
                 let _ = ack.send(snapshot);
             }
-            Command::PrepareSwap { path, ack } => {
-                let result = self.engine.prepare_hot_swap(&path).map(|prepared| {
+            Command::PrepareSwap { source, ack } => {
+                let prepared = match &source {
+                    SwapSource::Checkpoint(path) => self.engine.prepare_hot_swap(path),
+                    SwapSource::PlanArtifact(path) => self.engine.prepare_hot_swap_plan(path),
+                };
+                let result = prepared.map(|prepared| {
                     let meta = CheckpointMeta {
                         model_name: prepared.checkpoint().model_name.clone(),
                         param_len: prepared.checkpoint().param_len,

@@ -40,7 +40,7 @@ pub use error::FuseError;
 pub use eval::{evaluate_model, per_joint_mae_cm, predict_all, PoseError};
 pub use finetune::{fine_tune, FineTuneConfig, FineTuneResult, FineTuneScope};
 pub use meta::{MetaConfig, MetaHistory, MetaTrainer, MetaVariant};
-pub use model::{build_mars_cnn, ModelConfig};
+pub use model::{build_mars_cnn, build_pooled_mars_cnn, ModelConfig};
 pub use task::TaskSampler;
 
 /// Convenience result alias used throughout the crate.
@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::experiments::profile::ExperimentProfile;
     pub use crate::finetune::{fine_tune, FineTuneConfig, FineTuneScope};
     pub use crate::meta::{MetaConfig, MetaHistory, MetaTrainer, MetaVariant};
-    pub use crate::model::{build_mars_cnn, ModelConfig};
+    pub use crate::model::{build_mars_cnn, build_pooled_mars_cnn, ModelConfig};
     pub use crate::FuseError;
     pub use fuse_dataset::{
         encode_dataset, FeatureMapBuilder, FrameFusion, LeaveOneOutSplit, MarsSynthesizer,

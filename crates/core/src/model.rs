@@ -9,7 +9,7 @@
 //! the single place the architecture is defined.
 
 use fuse_nn::layers::{Conv2d, Flatten, Linear, Relu};
-use fuse_nn::Sequential;
+use fuse_nn::{MaxPool2d, Sequential};
 use fuse_tensor::{derive_seeds, Conv2dSpec};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +121,44 @@ pub fn build_mars_cnn(config: &ModelConfig, seed: u64) -> Result<Sequential> {
     ]))
 }
 
+/// Builds the pooled MARS-CNN variant: the same two-conv encoder followed by
+/// a non-overlapping `window × window` max-pooling stage before flattening —
+/// Conv(C→16) → ReLU → Conv(16→32) → ReLU → MaxPool(window) → Flatten →
+/// FC(2048/window²→512) → ReLU → FC(512→57). Pooling shrinks the first FC
+/// layer by `window²`, trading a little spatial resolution for a much
+/// smaller parameter count; like the plain builder, the whole stack lowers
+/// to a compiled `fuse-graph` plan (max pooling included).
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid or the window does not
+/// evenly divide the feature-map geometry.
+pub fn build_pooled_mars_cnn(config: &ModelConfig, window: usize, seed: u64) -> Result<Sequential> {
+    config.validate()?;
+    if window == 0 || !config.height.is_multiple_of(window) || !config.width.is_multiple_of(window)
+    {
+        return Err(FuseError::InvalidConfig(format!(
+            "pooling window {window} must evenly divide the {}x{} feature map",
+            config.height, config.width
+        )));
+    }
+    let seeds = derive_seeds(seed, 4);
+    let conv1 = Conv2dSpec::same(config.in_channels, config.conv1_filters, config.kernel);
+    let conv2 = Conv2dSpec::same(config.conv1_filters, config.conv2_filters, config.kernel);
+    let pooled_len = config.conv2_filters * (config.height / window) * (config.width / window);
+    Ok(Sequential::new(vec![
+        Box::new(Conv2d::new(conv1, seeds[0])?),
+        Box::new(Relu::new()),
+        Box::new(Conv2d::new(conv2, seeds[1])?),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(window)?),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(pooled_len, config.hidden, seeds[2])?),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(config.hidden, config.outputs, seeds[3])?),
+    ]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +224,21 @@ mod tests {
         let c = build_mars_cnn(&config, 8).unwrap();
         assert_eq!(a.flat_params(), b.flat_params());
         assert_ne!(a.flat_params(), c.flat_params());
+    }
+
+    #[test]
+    fn pooled_variant_shrinks_the_fc_stage_and_keeps_the_output_head() {
+        let config = ModelConfig::tiny();
+        let mut model = build_pooled_mars_cnn(&config, 2, 3).unwrap();
+        let x = Tensor::randn(&[2, 5, 8, 8], 1.0, 4);
+        let y = model.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 57]);
+        assert!(
+            model.param_len() < build_mars_cnn(&config, 3).unwrap().param_len(),
+            "pooling must shrink the first FC layer"
+        );
+        assert!(build_pooled_mars_cnn(&config, 3, 1).is_err(), "3 does not divide 8");
+        assert!(build_pooled_mars_cnn(&config, 0, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,802 @@
+//! The `.fplan` plan artifact: a versioned, checksummed, little-endian
+//! binary container for compiled [`ExecPlan`]s.
+//!
+//! An artifact is fully self-contained — shape signature, scheduled steps,
+//! arena slot layout (with the compiled `max_batch`), and a raw-f32
+//! parameter snapshot — so an edge deployment can load and serve it against
+//! `fuse-tensor`/`fuse-backend` alone, with no `fuse-nn` lowering stack and
+//! no startup compilation. The byte layout is specified normatively in
+//! `REPRODUCIBILITY.md`; in short:
+//!
+//! ```text
+//! magic "FPLN" | format version u32 | payload length u64 | payload | FNV-1a-64 checksum u64
+//! ```
+//!
+//! All integers are little-endian; `f32` values are stored as the
+//! little-endian bytes of their IEEE-754 bit patterns, so a round trip is
+//! bit-exact (NaN payloads included). Every malformed input — wrong magic,
+//! unknown version, short file, corrupt payload, or a structurally valid
+//! payload describing an inconsistent plan — is a typed [`GraphError`];
+//! loading never panics, and a loaded plan's `run` is panic-free because all
+//! arena and parameter ranges are bounds- and overlap-checked here.
+
+use std::fs;
+use std::ops::Range;
+use std::path::Path;
+
+use fuse_tensor::Conv2dSpec;
+
+use crate::error::GraphError;
+use crate::graph::ShapeSignature;
+use crate::meta::{DType, TensorMeta};
+use crate::plan::{ExecPlan, Src, Step};
+use crate::Result;
+
+/// The four magic bytes opening every `.fplan` artifact.
+pub const FPLAN_MAGIC: [u8; 4] = *b"FPLN";
+
+/// The artifact format version this build writes and the only one it reads.
+///
+/// Any change to the byte layout — new step tags included — must bump this;
+/// readers reject every other version with
+/// [`GraphError::UnsupportedVersion`] rather than guessing.
+pub const FPLAN_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 4 + 4 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+const TAG_CONV2D: u8 = 0;
+const TAG_CONV1X1: u8 = 1;
+const TAG_LINEAR: u8 = 2;
+const TAG_RELU: u8 = 3;
+const TAG_MAXPOOL2D: u8 = 4;
+
+const SRC_INPUT: u8 = 0;
+const SRC_ARENA: u8 = 1;
+
+const DTYPE_F32: u8 = 0;
+
+/// FNV-1a 64-bit over `bytes` — dependency-free, byte-order independent, and
+/// plenty to catch truncation and bit rot (this is an integrity check, not an
+/// authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn range(&mut self, r: &Range<usize>) {
+        self.usize(r.start);
+        self.usize(r.end);
+    }
+    fn meta(&mut self, m: &TensorMeta) {
+        match m.dtype() {
+            DType::F32 => self.u8(DTYPE_F32),
+        }
+        self.u32(m.dims().len() as u32);
+        for &d in m.dims() {
+            self.usize(d);
+        }
+    }
+    fn src(&mut self, s: &Src) {
+        match s {
+            Src::Input => self.u8(SRC_INPUT),
+            Src::Arena { offset } => {
+                self.u8(SRC_ARENA);
+                self.usize(*offset);
+            }
+        }
+    }
+    fn spec(&mut self, s: &Conv2dSpec) {
+        self.usize(s.in_channels);
+        self.usize(s.out_channels);
+        self.usize(s.kernel);
+        self.usize(s.stride);
+        self.usize(s.padding);
+    }
+}
+
+fn encode_payload(plan: &ExecPlan) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+
+    let sig = &plan.signature;
+    e.u32(sig.layer_names().len() as u32);
+    for name in sig.layer_names() {
+        e.str(name);
+    }
+    e.usize(sig.param_len());
+    e.meta(sig.input());
+    e.meta(sig.output());
+
+    e.meta(&plan.input);
+    e.meta(&plan.output);
+    e.usize(plan.max_batch);
+    e.usize(plan.out_offset);
+    e.usize(plan.arena.len());
+
+    e.u32(plan.steps.len() as u32);
+    for step in &plan.steps {
+        match step {
+            Step::Conv2d {
+                spec,
+                h,
+                w,
+                src,
+                src_len,
+                cols_offset,
+                cols_len,
+                dst_offset,
+                dst_len,
+                weight,
+                bias,
+                relu,
+            } => {
+                e.u8(TAG_CONV2D);
+                e.spec(spec);
+                e.usize(*h);
+                e.usize(*w);
+                e.src(src);
+                e.usize(*src_len);
+                e.usize(*cols_offset);
+                e.usize(*cols_len);
+                e.usize(*dst_offset);
+                e.usize(*dst_len);
+                e.range(weight);
+                e.range(bias);
+                e.u8(u8::from(*relu));
+            }
+            Step::Conv1x1 { spec, h, w, src, src_len, dst_offset, dst_len, weight, bias, relu } => {
+                e.u8(TAG_CONV1X1);
+                e.spec(spec);
+                e.usize(*h);
+                e.usize(*w);
+                e.src(src);
+                e.usize(*src_len);
+                e.usize(*dst_offset);
+                e.usize(*dst_len);
+                e.range(weight);
+                e.range(bias);
+                e.u8(u8::from(*relu));
+            }
+            Step::Linear { in_features, out_features, src, dst_offset, weight, bias, relu } => {
+                e.u8(TAG_LINEAR);
+                e.usize(*in_features);
+                e.usize(*out_features);
+                e.src(src);
+                e.usize(*dst_offset);
+                e.range(weight);
+                e.range(bias);
+                e.u8(u8::from(*relu));
+            }
+            Step::Relu { src, len, dst_offset } => {
+                e.u8(TAG_RELU);
+                e.src(src);
+                e.usize(*len);
+                e.usize(*dst_offset);
+            }
+            Step::MaxPool2d { window, c, h, w, src, src_len, dst_offset, dst_len } => {
+                e.u8(TAG_MAXPOOL2D);
+                e.usize(*window);
+                e.usize(*c);
+                e.usize(*h);
+                e.usize(*w);
+                e.src(src);
+                e.usize(*src_len);
+                e.usize(*dst_offset);
+                e.usize(*dst_len);
+            }
+        }
+    }
+
+    e.usize(plan.params.len());
+    for &p in &plan.params {
+        e.f32(p);
+    }
+    e.buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let available = self.bytes.len() - self.pos;
+        if available < n {
+            return Err(GraphError::Truncated { needed: n, available });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| GraphError::Malformed(format!("value {v} exceeds the address space")))
+    }
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"))))
+    }
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| GraphError::Malformed("layer name is not valid UTF-8".into()))
+    }
+    fn range(&mut self) -> Result<Range<usize>> {
+        let start = self.usize()?;
+        let end = self.usize()?;
+        if start > end {
+            return Err(GraphError::Malformed(format!("inverted range {start}..{end}")));
+        }
+        Ok(start..end)
+    }
+    fn meta(&mut self) -> Result<TensorMeta> {
+        match self.u8()? {
+            DTYPE_F32 => {}
+            tag => return Err(GraphError::Malformed(format!("unknown dtype tag {tag}"))),
+        }
+        let rank = self.u32()? as usize;
+        if rank > 8 {
+            return Err(GraphError::Malformed(format!("implausible tensor rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.usize()?);
+        }
+        Ok(TensorMeta::f32(&dims))
+    }
+    fn src(&mut self) -> Result<Src> {
+        match self.u8()? {
+            SRC_INPUT => Ok(Src::Input),
+            SRC_ARENA => Ok(Src::Arena { offset: self.usize()? }),
+            tag => Err(GraphError::Malformed(format!("unknown source tag {tag}"))),
+        }
+    }
+    fn spec(&mut self) -> Result<Conv2dSpec> {
+        Ok(Conv2dSpec {
+            in_channels: self.usize()?,
+            out_channels: self.usize()?,
+            kernel: self.usize()?,
+            stride: self.usize()?,
+            padding: self.usize()?,
+        })
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<ExecPlan> {
+    let mut d = Dec { bytes: payload, pos: 0 };
+
+    let name_count = d.u32()? as usize;
+    let mut layer_names = Vec::with_capacity(name_count.min(1024));
+    for _ in 0..name_count {
+        layer_names.push(d.str()?);
+    }
+    let sig_param_len = d.usize()?;
+    let sig_input = d.meta()?;
+    let sig_output = d.meta()?;
+    let signature = ShapeSignature::from_parts(layer_names, sig_param_len, sig_input, sig_output);
+
+    let input = d.meta()?;
+    let output = d.meta()?;
+    let max_batch = d.usize()?;
+    let out_offset = d.usize()?;
+    let arena_len = d.usize()?;
+
+    let step_count = d.u32()? as usize;
+    let mut steps = Vec::with_capacity(step_count.min(1024));
+    for _ in 0..step_count {
+        let step = match d.u8()? {
+            TAG_CONV2D => Step::Conv2d {
+                spec: d.spec()?,
+                h: d.usize()?,
+                w: d.usize()?,
+                src: d.src()?,
+                src_len: d.usize()?,
+                cols_offset: d.usize()?,
+                cols_len: d.usize()?,
+                dst_offset: d.usize()?,
+                dst_len: d.usize()?,
+                weight: d.range()?,
+                bias: d.range()?,
+                relu: d.u8()? != 0,
+            },
+            TAG_CONV1X1 => Step::Conv1x1 {
+                spec: d.spec()?,
+                h: d.usize()?,
+                w: d.usize()?,
+                src: d.src()?,
+                src_len: d.usize()?,
+                dst_offset: d.usize()?,
+                dst_len: d.usize()?,
+                weight: d.range()?,
+                bias: d.range()?,
+                relu: d.u8()? != 0,
+            },
+            TAG_LINEAR => Step::Linear {
+                in_features: d.usize()?,
+                out_features: d.usize()?,
+                src: d.src()?,
+                dst_offset: d.usize()?,
+                weight: d.range()?,
+                bias: d.range()?,
+                relu: d.u8()? != 0,
+            },
+            TAG_RELU => Step::Relu { src: d.src()?, len: d.usize()?, dst_offset: d.usize()? },
+            TAG_MAXPOOL2D => Step::MaxPool2d {
+                window: d.usize()?,
+                c: d.usize()?,
+                h: d.usize()?,
+                w: d.usize()?,
+                src: d.src()?,
+                src_len: d.usize()?,
+                dst_offset: d.usize()?,
+                dst_len: d.usize()?,
+            },
+            tag => return Err(GraphError::Malformed(format!("unknown step tag {tag}"))),
+        };
+        steps.push(step);
+    }
+
+    let param_count = d.usize()?;
+    // Guard the allocation against a lying count before reading the floats.
+    let available = payload.len() - d.pos;
+    if param_count.checked_mul(4).map(|need| need > available).unwrap_or(true) {
+        return Err(GraphError::Truncated { needed: param_count.saturating_mul(4), available });
+    }
+    let mut params = Vec::with_capacity(param_count);
+    for _ in 0..param_count {
+        params.push(d.f32()?);
+    }
+
+    if d.pos != payload.len() {
+        return Err(GraphError::Malformed(format!(
+            "{} trailing payload bytes after the parameter table",
+            payload.len() - d.pos
+        )));
+    }
+
+    let plan = ExecPlan {
+        signature,
+        input,
+        output,
+        max_batch,
+        params,
+        steps,
+        arena: vec![0.0; arena_len],
+        out_offset,
+    };
+    validate(&plan)?;
+    Ok(plan)
+}
+
+/// Semantic validation of a decoded plan: every arena slot, parameter range
+/// and geometry a step will touch is bounds-checked against the artifact's
+/// own arena/parameter tables, and same-dispatch buffers are checked
+/// disjoint, so [`ExecPlan::run`] on a loaded plan can never panic — a lying
+/// artifact fails here with [`GraphError::Malformed`] instead.
+fn validate(plan: &ExecPlan) -> Result<()> {
+    let mb = plan.max_batch;
+    if mb == 0 {
+        return Err(GraphError::Malformed("max_batch must be at least 1".into()));
+    }
+    if plan.params.len() != plan.signature.param_len() {
+        return Err(GraphError::Malformed(format!(
+            "parameter table holds {} values but the signature records {}",
+            plan.params.len(),
+            plan.signature.param_len()
+        )));
+    }
+    if plan.steps.is_empty() {
+        return Err(GraphError::Malformed("plan has no steps".into()));
+    }
+    let arena_len = plan.arena.len();
+    let in_len = plan.input.len();
+
+    let slot = |what: &str, offset: usize, per_sample: usize| -> Result<(usize, usize)> {
+        let total = per_sample
+            .checked_mul(mb)
+            .and_then(|n| n.checked_add(offset))
+            .ok_or_else(|| GraphError::Malformed(format!("{what} slot size overflows")))?;
+        if total > arena_len {
+            return Err(GraphError::Malformed(format!(
+                "{what} slot {offset}+{mb}*{per_sample} exceeds the arena ({arena_len})"
+            )));
+        }
+        Ok((offset, mb * per_sample))
+    };
+    let params_range = |what: &str, r: &Range<usize>, expected: usize| -> Result<()> {
+        if r.end > plan.params.len() {
+            return Err(GraphError::Malformed(format!(
+                "{what} range {r:?} exceeds the parameter table ({})",
+                plan.params.len()
+            )));
+        }
+        if r.len() != expected {
+            return Err(GraphError::Malformed(format!(
+                "{what} range {r:?} holds {} values, geometry implies {expected}",
+                r.len()
+            )));
+        }
+        Ok(())
+    };
+    let src_slot = |what: &str, src: &Src, per_sample: usize| -> Result<Option<(usize, usize)>> {
+        match src {
+            Src::Input => {
+                if per_sample != in_len {
+                    return Err(GraphError::Malformed(format!(
+                        "{what} reads {per_sample} input values per sample, input meta has {in_len}"
+                    )));
+                }
+                Ok(None)
+            }
+            Src::Arena { offset } => slot(what, *offset, per_sample).map(Some),
+        }
+    };
+    let disjoint = |what: &str, regions: &[(usize, usize)]| -> Result<()> {
+        let mut sorted = regions.to_vec();
+        sorted.sort_by_key(|&(off, _)| off);
+        for pair in sorted.windows(2) {
+            let (a_off, a_len) = pair[0];
+            let (b_off, _) = pair[1];
+            if a_off + a_len > b_off {
+                return Err(GraphError::Malformed(format!("{what} uses overlapping arena slots")));
+            }
+        }
+        Ok(())
+    };
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        match step {
+            Step::Conv2d {
+                spec,
+                h,
+                w,
+                src,
+                src_len,
+                cols_offset,
+                cols_len,
+                dst_offset,
+                dst_len,
+                weight,
+                bias,
+                ..
+            } => {
+                let what = format!("step {i} (conv2d)");
+                let (out_h, out_w) = spec
+                    .output_size(*h, *w)
+                    .map_err(|e| GraphError::Malformed(format!("{what}: {e}")))?;
+                let n_cols = out_h * out_w;
+                if *src_len != spec.in_channels * h * w {
+                    return Err(GraphError::Malformed(format!("{what}: src_len mismatch")));
+                }
+                if *cols_len != spec.in_channels * spec.kernel * spec.kernel * n_cols {
+                    return Err(GraphError::Malformed(format!("{what}: cols_len mismatch")));
+                }
+                if *dst_len != spec.out_channels * n_cols {
+                    return Err(GraphError::Malformed(format!("{what}: dst_len mismatch")));
+                }
+                params_range(&what, weight, spec.weight_len())?;
+                params_range(&what, bias, spec.out_channels)?;
+                let mut regions = vec![
+                    slot(&what, *cols_offset, *cols_len)?,
+                    slot(&what, *dst_offset, *dst_len)?,
+                ];
+                if let Some(r) = src_slot(&what, src, *src_len)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+            Step::Conv1x1 {
+                spec, h, w, src, src_len, dst_offset, dst_len, weight, bias, ..
+            } => {
+                let what = format!("step {i} (conv1x1)");
+                if spec.kernel != 1 || spec.stride != 1 || spec.padding != 0 {
+                    return Err(GraphError::Malformed(format!(
+                        "{what}: collapsed conv must be 1x1/stride-1/unpadded"
+                    )));
+                }
+                if *src_len != spec.in_channels * h * w {
+                    return Err(GraphError::Malformed(format!("{what}: src_len mismatch")));
+                }
+                if *dst_len != spec.out_channels * h * w {
+                    return Err(GraphError::Malformed(format!("{what}: dst_len mismatch")));
+                }
+                params_range(&what, weight, spec.weight_len())?;
+                params_range(&what, bias, spec.out_channels)?;
+                let mut regions = vec![slot(&what, *dst_offset, *dst_len)?];
+                if let Some(r) = src_slot(&what, src, *src_len)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+            Step::Linear { in_features, out_features, src, dst_offset, weight, bias, .. } => {
+                let what = format!("step {i} (linear)");
+                params_range(&what, weight, in_features * out_features)?;
+                params_range(&what, bias, *out_features)?;
+                let mut regions = vec![slot(&what, *dst_offset, *out_features)?];
+                if let Some(r) = src_slot(&what, src, *in_features)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+            Step::Relu { src, len, dst_offset } => {
+                let what = format!("step {i} (relu)");
+                let mut regions = vec![slot(&what, *dst_offset, *len)?];
+                if let Some(r) = src_slot(&what, src, *len)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+            Step::MaxPool2d { window, c, h, w, src, src_len, dst_offset, dst_len } => {
+                let what = format!("step {i} (maxpool2d)");
+                if *window == 0 || *h < *window || *w < *window {
+                    return Err(GraphError::Malformed(format!(
+                        "{what}: window {window} incompatible with input {h}x{w}"
+                    )));
+                }
+                if *src_len != c * h * w {
+                    return Err(GraphError::Malformed(format!("{what}: src_len mismatch")));
+                }
+                if *dst_len != c * (h / window) * (w / window) {
+                    return Err(GraphError::Malformed(format!("{what}: dst_len mismatch")));
+                }
+                let mut regions = vec![slot(&what, *dst_offset, *dst_len)?];
+                if let Some(r) = src_slot(&what, src, *src_len)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+        }
+    }
+
+    let out_total = plan
+        .output
+        .len()
+        .checked_mul(mb)
+        .and_then(|n| n.checked_add(plan.out_offset))
+        .ok_or_else(|| GraphError::Malformed("output slot size overflows".into()))?;
+    if out_total > arena_len {
+        return Err(GraphError::Malformed(format!(
+            "output slot {}+{mb}*{} exceeds the arena ({arena_len})",
+            plan.out_offset,
+            plan.output.len()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+impl ExecPlan {
+    /// Serializes the plan into a self-contained `.fplan` byte buffer
+    /// (header, payload, checksum — see the module docs for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = encode_payload(self);
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&FPLAN_MAGIC);
+        out.extend_from_slice(&FPLAN_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let checksum = fnv1a64(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a plan from `.fplan` bytes, verifying magic, version,
+    /// length, checksum and full semantic consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::BadMagic`], [`GraphError::UnsupportedVersion`],
+    /// [`GraphError::Truncated`], [`GraphError::ChecksumMismatch`] or
+    /// [`GraphError::Malformed`], depending on what is wrong; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ExecPlan> {
+        if bytes.len() < HEADER_LEN {
+            return Err(GraphError::Truncated { needed: HEADER_LEN, available: bytes.len() });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != FPLAN_MAGIC {
+            return Err(GraphError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FPLAN_VERSION {
+            return Err(GraphError::UnsupportedVersion {
+                found: version,
+                supported: FPLAN_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len).map_err(|_| {
+            GraphError::Malformed(format!("payload length {payload_len} exceeds the address space"))
+        })?;
+        let expected_total = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(CHECKSUM_LEN))
+            .ok_or_else(|| GraphError::Malformed("payload length overflows".into()))?;
+        if bytes.len() < expected_total {
+            return Err(GraphError::Truncated { needed: expected_total, available: bytes.len() });
+        }
+        if bytes.len() > expected_total {
+            return Err(GraphError::Malformed(format!(
+                "{} trailing bytes after the checksum",
+                bytes.len() - expected_total
+            )));
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        let stored =
+            u64::from_le_bytes(bytes[expected_total - CHECKSUM_LEN..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(GraphError::ChecksumMismatch { stored, computed });
+        }
+        decode_payload(payload)
+    }
+
+    /// Writes the plan to `path` as a `.fplan` artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Io`] when the file cannot be written.
+    pub fn write_plan(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        fs::write(path, self.to_bytes())
+            .map_err(|e| GraphError::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Reads a `.fplan` artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Io`] when the file cannot be read, and any
+    /// [`Self::from_bytes`] error for a corrupt or incompatible artifact.
+    pub fn read_plan(path: impl AsRef<Path>) -> Result<ExecPlan> {
+        let path = path.as_ref();
+        let bytes = fs::read(path)
+            .map_err(|e| GraphError::Io(format!("reading {}: {e}", path.display())))?;
+        ExecPlan::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fuse_tensor::Tensor;
+
+    use super::*;
+    use crate::graph::Graph;
+    use crate::meta::TensorMeta;
+
+    fn pooled_plan() -> ExecPlan {
+        let cw = Tensor::randn(&[3, 2, 3, 3], 0.5, 71);
+        let cb = Tensor::randn(&[3], 0.1, 72);
+        let w = Tensor::randn(&[4, 12], 0.2, 73);
+        let b = Tensor::randn(&[4], 0.1, 74);
+        let mut g = Graph::new(TensorMeta::f32(&[2, 4, 4]));
+        g.push_conv2d("conv", Conv2dSpec::same(2, 3, 3), cw.as_slice(), cb.as_slice()).unwrap();
+        g.push_relu("relu").unwrap();
+        g.push_maxpool2d("pool", 2).unwrap();
+        g.push_flatten("flatten").unwrap();
+        g.push_linear("fc", 12, 4, w.as_slice(), b.as_slice()).unwrap();
+        g.compile(3).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field_and_every_bit() {
+        let plan = pooled_plan();
+        let bytes = plan.to_bytes();
+        let mut loaded = ExecPlan::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.signature, plan.signature);
+        assert_eq!(loaded.input, plan.input);
+        assert_eq!(loaded.output, plan.output);
+        assert_eq!(loaded.max_batch, plan.max_batch);
+        assert_eq!(loaded.steps, plan.steps);
+        assert_eq!(loaded.out_offset, plan.out_offset);
+        assert_eq!(loaded.arena.len(), plan.arena.len());
+        let same_bits =
+            loaded.params.iter().zip(&plan.params).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "parameters must survive bit-exactly");
+
+        let mut original = plan;
+        let input = Tensor::randn(&[3, 2, 4, 4], 1.0, 75);
+        assert_eq!(
+            loaded.run(input.as_slice(), 3).unwrap(),
+            original.run(input.as_slice(), 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn header_corruptions_yield_the_matching_typed_errors() {
+        let bytes = pooled_plan().to_bytes();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(ExecPlan::from_bytes(&bad_magic), Err(GraphError::BadMagic { .. })));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            ExecPlan::from_bytes(&bad_version),
+            Err(GraphError::UnsupportedVersion { found: 99, supported: FPLAN_VERSION })
+        ));
+
+        assert!(matches!(
+            ExecPlan::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(GraphError::Truncated { .. })
+        ));
+        assert!(matches!(ExecPlan::from_bytes(&[]), Err(GraphError::Truncated { .. })));
+
+        let mut flipped = bytes.clone();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - CHECKSUM_LEN) / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(ExecPlan::from_bytes(&flipped), Err(GraphError::ChecksumMismatch { .. })));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(ExecPlan::from_bytes(&trailing), Err(GraphError::Malformed(_))));
+    }
+
+    #[test]
+    fn write_and_read_plan_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("fuse_graph_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fplan");
+        let plan = pooled_plan();
+        plan.write_plan(&path).unwrap();
+        let mut loaded = ExecPlan::read_plan(&path).unwrap();
+        let input = Tensor::randn(&[1, 2, 4, 4], 1.0, 76);
+        let mut original = plan;
+        assert_eq!(
+            loaded.run(input.as_slice(), 1).unwrap(),
+            original.run(input.as_slice(), 1).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(ExecPlan::read_plan(&path), Err(GraphError::Io(_))));
+    }
+}

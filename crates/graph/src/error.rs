@@ -30,6 +30,37 @@ pub enum GraphError {
     },
     /// An underlying tensor kernel rejected the operation.
     Tensor(TensorError),
+    /// Reading or writing a plan artifact failed at the I/O layer.
+    Io(String),
+    /// The file is not a plan artifact (wrong magic bytes).
+    BadMagic {
+        /// The first four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The artifact was written with a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version stamped in the artifact header.
+        found: u32,
+        /// The single version this build supports.
+        supported: u32,
+    },
+    /// The artifact payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact trailer.
+        stored: u64,
+        /// Checksum recomputed over the payload as read.
+        computed: u64,
+    },
+    /// The artifact ended before a complete record could be decoded.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes remaining in the artifact.
+        available: usize,
+    },
+    /// The artifact decoded structurally but describes an invalid plan
+    /// (out-of-range offsets, inconsistent lengths, unknown tags, ...).
+    Malformed(String),
 }
 
 impl fmt::Display for GraphError {
@@ -44,6 +75,26 @@ impl fmt::Display for GraphError {
                 write!(f, "plan input has {actual} elements, expected {expected}")
             }
             GraphError::Tensor(e) => write!(f, "tensor kernel error: {e}"),
+            GraphError::Io(msg) => write!(f, "plan artifact i/o error: {msg}"),
+            GraphError::BadMagic { found } => {
+                write!(f, "not a plan artifact: magic bytes {found:?} != b\"FPLN\"")
+            }
+            GraphError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "plan artifact format v{found} unsupported (this build reads v{supported})"
+                )
+            }
+            GraphError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "plan artifact checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            GraphError::Truncated { needed, available } => {
+                write!(f, "plan artifact truncated: needed {needed} more bytes, found {available}")
+            }
+            GraphError::Malformed(msg) => write!(f, "malformed plan artifact: {msg}"),
         }
     }
 }

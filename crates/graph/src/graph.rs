@@ -22,6 +22,18 @@ pub struct ShapeSignature {
 }
 
 impl ShapeSignature {
+    /// Reassembles a signature from decoded parts (the plan-artifact read
+    /// path); construction stays crate-internal so external code can only
+    /// obtain signatures from a real graph or artifact.
+    pub(crate) fn from_parts(
+        layer_names: Vec<String>,
+        param_len: usize,
+        input: TensorMeta,
+        output: TensorMeta,
+    ) -> Self {
+        ShapeSignature { layer_names, param_len, input, output }
+    }
+
     /// Layer names in push order (pre-fusion, checkpoint-compatible).
     pub fn layer_names(&self) -> &[String] {
         &self.layer_names
@@ -230,6 +242,36 @@ impl Graph {
         Ok(self.push_node(name, OpKind::Relu, output, &[], &[]))
     }
 
+    /// Appends a 2-D max pooling over non-overlapping `window × window` tiles
+    /// (`[C, H, W]` → `[C, H/window, W/window]`, stride equal to the window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Shape`] when the tail is not rank-3, the window
+    /// is zero, or the spatial extent is smaller than the window.
+    pub fn push_maxpool2d(&mut self, name: &str, window: usize) -> Result<NodeId> {
+        let tail = self.output_meta();
+        let dims = tail.dims();
+        if dims.len() != 3 {
+            return Err(GraphError::Shape(format!(
+                "maxpool2d '{name}' needs a rank-3 [C, H, W] input, tail is {tail}"
+            )));
+        }
+        if window == 0 {
+            return Err(GraphError::Shape(format!(
+                "maxpool2d '{name}' pooling window must be nonzero"
+            )));
+        }
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        if h < window || w < window {
+            return Err(GraphError::Shape(format!(
+                "maxpool2d '{name}' input {h}x{w} smaller than pooling window {window}"
+            )));
+        }
+        let output = TensorMeta::f32(&[c, h / window, w / window]);
+        Ok(self.push_node(name, OpKind::MaxPool2d { window }, output, &[], &[]))
+    }
+
     /// Appends a flatten (`[C, H, W, ...]` → `[C*H*W*...]`).
     ///
     /// # Errors
@@ -281,6 +323,19 @@ mod tests {
         assert!(g.push_linear("fc", 32, 5, &[0.0; 160], &[0.0; 5]).is_err());
         // Failed pushes must not have mutated the graph.
         assert_eq!(g.node_count(), 0);
+        assert_eq!(g.param_len(), 0);
+    }
+
+    #[test]
+    fn maxpool_pushes_validate_geometry() {
+        let mut g = Graph::new(TensorMeta::f32(&[2, 4, 4]));
+        assert!(g.push_maxpool2d("pool", 0).is_err());
+        assert!(g.push_maxpool2d("pool", 5).is_err());
+        g.push_maxpool2d("pool", 2).unwrap();
+        assert_eq!(g.output_meta().dims(), &[2, 2, 2]);
+        g.push_flatten("flatten").unwrap();
+        // Rank-1 tail: pooling needs [C, H, W].
+        assert!(g.push_maxpool2d("pool2", 2).is_err());
         assert_eq!(g.param_len(), 0);
     }
 

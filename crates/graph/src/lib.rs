@@ -19,6 +19,10 @@
 //! 3. **Run** the resulting [`ExecPlan`]: steady-state [`ExecPlan::run`]
 //!    performs zero heap allocations — every intermediate lives in the arena
 //!    planned at compile time.
+//! 4. **Ship** it: [`ExecPlan::write_plan`] serializes the compiled plan into
+//!    a self-contained, checksummed `.fplan` artifact (see [`artifact`]) that
+//!    [`ExecPlan::read_plan`] — e.g. via the thin `fuse-edge` crate — loads
+//!    and serves with no lowering stack and no startup compilation.
 //!
 //! Plans dispatch through the same `fuse-tensor` / `fuse-backend` kernels as
 //! the legacy layer walk (same scalar/SIMD selection, same `FUSE_THREADS`
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+pub mod artifact;
 pub mod error;
 pub mod graph;
 pub mod meta;
@@ -53,6 +58,7 @@ pub mod op;
 mod passes;
 pub mod plan;
 
+pub use artifact::{FPLAN_MAGIC, FPLAN_VERSION};
 pub use error::GraphError;
 pub use graph::{Graph, ShapeSignature};
 pub use meta::{DType, TensorMeta};

@@ -59,6 +59,14 @@ pub enum OpKind {
     },
     /// Element-wise `x.max(0.0)`.
     Relu,
+    /// 2-D max pooling over non-overlapping `window × window` tiles (stride
+    /// equal to the window). Order-sensitive per the reproducibility
+    /// contract: executed through the backend's first-maximum scan, so it is
+    /// never a fusion candidate.
+    MaxPool2d {
+        /// Square pooling window edge (also the stride).
+        window: usize,
+    },
     /// Reshape `[C, H, W, ...]` to `[C*H*W*...]` — pure metadata, compiles to
     /// a buffer alias, never a copy.
     Flatten,

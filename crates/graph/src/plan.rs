@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 
-use fuse_tensor::{conv1x1_forward_into, conv2d_forward_into, linalg, Conv2dSpec};
+use fuse_tensor::{
+    conv1x1_forward_into, conv2d_forward_into, linalg, maxpool2d_forward_into, Conv2dSpec,
+};
 
 use crate::arena::ArenaPlanner;
 use crate::error::GraphError;
@@ -16,8 +18,11 @@ use crate::passes;
 use crate::Result;
 
 /// Where a step reads its batched operand from.
-#[derive(Debug, Clone, Copy)]
-enum Src {
+///
+/// `pub(crate)` so the `artifact` module can serialize plans; not part of the
+/// public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
     /// The external input slice passed to [`ExecPlan::run`].
     Input,
     /// A region of the plan's arena starting at `offset`.
@@ -26,8 +31,11 @@ enum Src {
 
 /// One pre-scheduled kernel dispatch. All lengths are per sample; at run
 /// time each buffer's active region is the `batch`-prefix of its slot.
-#[derive(Debug)]
-enum Step {
+///
+/// `pub(crate)` so the `artifact` module can serialize plans; not part of the
+/// public API.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Step {
     Conv2d {
         spec: Conv2dSpec,
         h: usize,
@@ -68,6 +76,16 @@ enum Step {
         len: usize,
         dst_offset: usize,
     },
+    MaxPool2d {
+        window: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        src: Src,
+        src_len: usize,
+        dst_offset: usize,
+        dst_len: usize,
+    },
 }
 
 /// A compiled, reusable execution plan.
@@ -93,14 +111,14 @@ enum Step {
 /// # Ok::<(), fuse_graph::GraphError>(())
 /// ```
 pub struct ExecPlan {
-    signature: ShapeSignature,
-    input: TensorMeta,
-    output: TensorMeta,
-    max_batch: usize,
-    params: Vec<f32>,
-    steps: Vec<Step>,
-    arena: Vec<f32>,
-    out_offset: usize,
+    pub(crate) signature: ShapeSignature,
+    pub(crate) input: TensorMeta,
+    pub(crate) output: TensorMeta,
+    pub(crate) max_batch: usize,
+    pub(crate) params: Vec<f32>,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) arena: Vec<f32>,
+    pub(crate) out_offset: usize,
 }
 
 impl Graph {
@@ -240,6 +258,14 @@ fn compile(graph: Graph, max_batch: usize) -> Result<ExecPlan> {
             OpKind::Relu => {
                 let dst_offset = planner.alloc(max_batch * dst_len);
                 (Step::Relu { src, len: dst_len, dst_offset }, dst_offset)
+            }
+            OpKind::MaxPool2d { window } => {
+                let dims = in_meta.dims();
+                let (c, h, w) = (dims[0], dims[1], dims[2]);
+                let dst_offset = planner.alloc(max_batch * dst_len);
+                let step =
+                    Step::MaxPool2d { window: *window, c, h, w, src, src_len, dst_offset, dst_len };
+                (step, dst_offset)
             }
             OpKind::Flatten | OpKind::Identity => unreachable!("aliases handled above"),
         };
@@ -449,6 +475,29 @@ impl ExecPlan {
                         }
                     }
                 }
+                Step::MaxPool2d { window, c, h, w, src, src_len, dst_offset, dst_len } => {
+                    let dst_r = *dst_offset..*dst_offset + batch * *dst_len;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            maxpool2d_forward_into(
+                                &input[..batch * *src_len],
+                                batch,
+                                *c,
+                                *h,
+                                *w,
+                                *window,
+                                dst,
+                                None,
+                            )?;
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *src_len;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            maxpool2d_forward_into(src_s, batch, *c, *h, *w, *window, dst, None)?;
+                        }
+                    }
+                }
             }
         }
 
@@ -491,6 +540,12 @@ impl ExecPlan {
     /// Number of parameters snapshotted into the plan.
     pub fn param_len(&self) -> usize {
         self.params.len()
+    }
+
+    /// The flat parameter snapshot baked into the plan at compile (or
+    /// artifact-load) time, in checkpoint order.
+    pub fn params(&self) -> &[f32] {
+        &self.params
     }
 }
 
@@ -693,6 +748,33 @@ mod tests {
         let expected = conv2d_forward(&input, &w, &b, &spec).unwrap();
         let out = plan.run(input.as_slice(), 2).unwrap();
         assert_eq!(out, expected.as_slice(), "direct-gemm collapse must not change any bit");
+    }
+
+    #[test]
+    fn maxpool_step_matches_the_shared_kernel() {
+        let input = Tensor::randn(&[2, 3, 4, 4], 1.0, 61);
+        let mut g = Graph::new(TensorMeta::f32(&[3, 4, 4]));
+        g.push_maxpool2d("pool", 2).unwrap();
+        let mut plan = g.compile(2).unwrap();
+        let mut expected = vec![0.0f32; 2 * 3 * 2 * 2];
+        maxpool2d_forward_into(input.as_slice(), 2, 3, 4, 4, 2, &mut expected, None).unwrap();
+        assert_eq!(plan.run(input.as_slice(), 2).unwrap(), &expected[..]);
+    }
+
+    #[test]
+    fn relu_after_maxpool_stays_a_standalone_step() {
+        // Pooling is order-sensitive and never a fusion producer; a trailing
+        // ReLU must survive as its own dispatch.
+        let mut g = Graph::new(TensorMeta::f32(&[2, 4, 4]));
+        g.push_maxpool2d("pool", 2).unwrap();
+        g.push_relu("relu").unwrap();
+        let mut plan = g.compile(1).unwrap();
+        assert_eq!(plan.step_count(), 2);
+        let input = Tensor::randn(&[1, 2, 4, 4], 1.0, 62);
+        let mut pooled = vec![0.0f32; 2 * 2 * 2];
+        maxpool2d_forward_into(input.as_slice(), 1, 2, 4, 4, 2, &mut pooled, None).unwrap();
+        let expected: Vec<f32> = pooled.iter().map(|x| x.max(0.0)).collect();
+        assert_eq!(plan.run(input.as_slice(), 1).unwrap(), &expected[..]);
     }
 
     #[test]

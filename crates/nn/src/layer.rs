@@ -36,6 +36,12 @@ pub enum LayerLowering<'a> {
     },
     /// Element-wise `x.max(0.0)`.
     Relu,
+    /// 2-D max pooling over non-overlapping `window × window` tiles with a
+    /// stride equal to the window.
+    MaxPool2d {
+        /// Square pooling window edge (also the stride).
+        window: usize,
+    },
     /// Reshape to a flat per-sample vector.
     Flatten,
     /// Exact pass-through at inference time.

@@ -4,13 +4,13 @@
 //! connected layers, but the related mmWave pose estimators it compares
 //! against (mm-Pose, RadHAR-style encoders) insert pooling between the
 //! convolution stages. `MaxPool2d` is provided so those variants can be built
-//! from the same toolkit, and it is exercised by the architecture-ablation
-//! tests.
+//! from the same toolkit, it lowers to `fuse-graph` plans like the other
+//! inference layers, and it is exercised by the architecture-ablation tests.
 
-use fuse_tensor::{linalg, Tensor};
+use fuse_tensor::{maxpool2d_forward_into, Tensor};
 
 use crate::error::NnError;
-use crate::layer::Layer;
+use crate::layer::{Layer, LayerLowering};
 use crate::Result;
 
 /// 2-D max pooling over non-overlapping windows of a `[N, C, H, W]` tensor.
@@ -70,41 +70,27 @@ impl Layer for MaxPool2d {
         let mut out = Tensor::zeros(&[n, c, out_h, out_w]);
         let mut argmax = vec![0usize; n * c * out_h * out_w];
 
-        let data = input.as_slice();
-        let out_data = out.as_mut_slice();
-        // Each window is scanned one contiguous row segment at a time through
-        // the backend's first-maximum scan; combining row results with the
-        // same strict `>` preserves the scalar (ky, kx)-order tie-breaking
-        // exactly, for every backend (the scan is order-sensitive, so SIMD
-        // backends run it on the scalar reference per the contract). The
-        // backend is resolved once, outside the per-window loops.
-        let be = linalg::active_backend();
-        for s in 0..n {
-            for ch in 0..c {
-                for oy in 0..out_h {
-                    for ox in 0..out_w {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = 0usize;
-                        for ky in 0..self.window {
-                            let iy = oy * self.window + ky;
-                            let base = ((s * c + ch) * h + iy) * w + ox * self.window;
-                            if let Some((off, v)) = be.max_scan(&data[base..base + self.window]) {
-                                if v > best {
-                                    best = v;
-                                    best_idx = base + off;
-                                }
-                            }
-                        }
-                        let out_idx = ((s * c + ch) * out_h + oy) * out_w + ox;
-                        out_data[out_idx] = best;
-                        argmax[out_idx] = best_idx;
-                    }
-                }
-            }
-        }
+        // The pooling loop lives in `fuse-tensor` so compiled plans execute
+        // the exact same code (bit-identity by construction); the layer only
+        // adds the argmax cache for gradient routing.
+        maxpool2d_forward_into(
+            input.as_slice(),
+            n,
+            c,
+            h,
+            w,
+            self.window,
+            out.as_mut_slice(),
+            Some(&mut argmax),
+        )
+        .map_err(NnError::Tensor)?;
         self.cached_input_dims = Some(dims.to_vec());
         self.cached_argmax = Some(argmax);
         Ok(out)
+    }
+
+    fn lowering(&self) -> Option<LayerLowering<'_>> {
+        Some(LayerLowering::MaxPool2d { window: self.window })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {

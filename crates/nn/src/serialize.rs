@@ -1,9 +1,13 @@
 //! Saving and loading model parameters.
 //!
-//! Parameters are stored as a small JSON document holding the flattened
-//! parameter vector together with a layout fingerprint, so that a fine-tuned
-//! FUSE model can be persisted after offline meta-training and reloaded on an
-//! edge device for online fine-tuning.
+//! One versioned [`Checkpoint`] type is the single persistence surface: it
+//! captures a model's flattened parameters plus a layout fingerprint, encodes
+//! to human-readable JSON (`{to_json, from_json}`) or a compact checksummed
+//! binary container (`{to_binary, from_binary}`, roughly 10× smaller — f32s
+//! as 4 raw bytes instead of decimal text), and applies itself back to a
+//! model through one validated, typed error path ([`Checkpoint::apply_to`]).
+//! The free functions `save_params_json` / `read_checkpoint_json` /
+//! `load_params_json` from earlier revisions are deprecated forwarders.
 
 use std::fs;
 use std::path::Path;
@@ -13,6 +17,13 @@ use serde::{Deserialize, Serialize};
 use crate::error::NnError;
 use crate::sequential::Sequential;
 use crate::Result;
+
+/// The four magic bytes opening every binary checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FCKP";
+
+/// The binary checkpoint format version this build writes and the only one
+/// it reads. Bump on any layout change; readers reject other versions.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// On-disk representation of a model checkpoint.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,82 +38,288 @@ pub struct Checkpoint {
     pub params: Vec<f32>,
 }
 
+impl Checkpoint {
+    /// Snapshots a model's parameters and layout fingerprint.
+    pub fn capture(model: &Sequential, model_name: &str) -> Checkpoint {
+        Checkpoint {
+            model_name: model_name.to_string(),
+            param_len: model.param_len(),
+            layer_names: model.layer_names().iter().map(|s| s.to_string()).collect(),
+            params: model.flat_params(),
+        }
+    }
+
+    /// Encodes the checkpoint as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when encoding fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| NnError::Serialization(format!("encode checkpoint: {e}")))
+    }
+
+    /// Decodes a checkpoint from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when the document is not a valid
+    /// checkpoint (including truncated JSON).
+    pub fn from_json(json: &str) -> Result<Checkpoint> {
+        serde_json::from_str(json)
+            .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))
+    }
+
+    /// Encodes the checkpoint into the compact binary container:
+    ///
+    /// ```text
+    /// magic "FCKP" | version u32 | payload | FNV-1a-64 checksum u64
+    /// ```
+    ///
+    /// All integers little-endian; `f32` values stored as the little-endian
+    /// bytes of their IEEE-754 bit patterns, so the round trip is bit-exact.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.params.len() * 4 + 256);
+        put_str(&mut payload, &self.model_name);
+        payload.extend_from_slice(&(self.param_len as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.layer_names.len() as u32).to_le_bytes());
+        for name in &self.layer_names {
+            put_str(&mut payload, name);
+        }
+        payload.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for &p in &self.params {
+            payload.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        let checksum = fnv1a64(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a checkpoint from the binary container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] naming what is wrong — bad magic,
+    /// unsupported version, truncation, or a checksum mismatch. Never
+    /// panics.
+    pub fn from_binary(bytes: &[u8]) -> Result<Checkpoint> {
+        if bytes.len() < 8 + 8 {
+            return Err(NnError::Serialization(format!(
+                "binary checkpoint truncated: {} bytes is shorter than any valid container",
+                bytes.len()
+            )));
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != CHECKPOINT_MAGIC {
+            return Err(NnError::Serialization(format!(
+                "not a binary checkpoint: magic bytes {magic:?} != b\"FCKP\""
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(NnError::Serialization(format!(
+                "binary checkpoint format v{version} unsupported (this build reads v{CHECKPOINT_VERSION})"
+            )));
+        }
+        let payload = &bytes[8..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(NnError::Serialization(format!(
+                "binary checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+
+        let mut pos = 0usize;
+        let model_name = take_str(payload, &mut pos)?;
+        let param_len = take_u64(payload, &mut pos)? as usize;
+        let name_count = take_u32(payload, &mut pos)? as usize;
+        let mut layer_names = Vec::with_capacity(name_count.min(1024));
+        for _ in 0..name_count {
+            layer_names.push(take_str(payload, &mut pos)?);
+        }
+        let value_count = take_u64(payload, &mut pos)? as usize;
+        let available = payload.len() - pos;
+        if value_count.checked_mul(4).map(|need| need > available).unwrap_or(true) {
+            return Err(NnError::Serialization(format!(
+                "binary checkpoint truncated: {value_count} parameters recorded, {available} bytes remain"
+            )));
+        }
+        let mut params = Vec::with_capacity(value_count);
+        for _ in 0..value_count {
+            let raw = take_u32(payload, &mut pos)?;
+            params.push(f32::from_bits(raw));
+        }
+        if pos != payload.len() {
+            return Err(NnError::Serialization(format!(
+                "binary checkpoint has {} trailing payload bytes",
+                payload.len() - pos
+            )));
+        }
+        Ok(Checkpoint { model_name, param_len, layer_names, params })
+    }
+
+    /// Writes the checkpoint to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when encoding or writing fails.
+    pub fn write_json(&self, path: &Path) -> Result<()> {
+        fs::write(path, self.to_json()?)
+            .map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
+    }
+
+    /// Writes the checkpoint to `path` in the binary container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when writing fails.
+    pub fn write_binary(&self, path: &Path) -> Result<()> {
+        fs::write(path, self.to_binary())
+            .map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads a checkpoint from `path`, auto-detecting the format: files
+    /// opening with the `FCKP` magic decode as binary, anything else as
+    /// JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when the file cannot be read or
+    /// decoded in its detected format.
+    pub fn read(path: &Path) -> Result<Checkpoint> {
+        let bytes = fs::read(path)
+            .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
+        if bytes.starts_with(&CHECKPOINT_MAGIC) {
+            Checkpoint::from_binary(&bytes)
+        } else {
+            let json = std::str::from_utf8(&bytes).map_err(|e| {
+                NnError::Serialization(format!(
+                    "{} is neither binary nor UTF-8 JSON: {e}",
+                    path.display()
+                ))
+            })?;
+            Checkpoint::from_json(json)
+        }
+    }
+
+    /// Applies the checkpoint to a model with a matching architecture.
+    ///
+    /// The model is only modified when every validation passes: a failed
+    /// apply leaves the previous parameters in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamLengthMismatch`] when the checkpoint's
+    /// parameter vector or its `param_len` field does not fit the model, and
+    /// [`NnError::ArchitectureMismatch`] when the recorded `layer_names`
+    /// differ from the model's layers.
+    pub fn apply_to(&self, model: &mut Sequential) -> Result<()> {
+        if self.params.len() != model.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: model.param_len(),
+                actual: self.params.len(),
+            });
+        }
+        // A param_len field disagreeing with the vector it describes is its
+        // own mismatch; report the lying field, not the (fitting) vector
+        // length.
+        if self.param_len != model.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: model.param_len(),
+                actual: self.param_len,
+            });
+        }
+        let model_layers: Vec<String> = model.layer_names().iter().map(|s| s.to_string()).collect();
+        if self.layer_names != model_layers {
+            return Err(NnError::ArchitectureMismatch {
+                expected: model_layers,
+                actual: self.layer_names.clone(),
+            });
+        }
+        model.set_flat_params(&self.params)?;
+        Ok(())
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn take_bytes<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let available = payload.len() - *pos;
+    if available < n {
+        return Err(NnError::Serialization(format!(
+            "binary checkpoint truncated: needed {n} more bytes, found {available}"
+        )));
+    }
+    let out = &payload[*pos..*pos + n];
+    *pos += n;
+    Ok(out)
+}
+
+fn take_u32(payload: &[u8], pos: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(take_bytes(payload, pos, 4)?.try_into().expect("4 bytes")))
+}
+
+fn take_u64(payload: &[u8], pos: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(take_bytes(payload, pos, 8)?.try_into().expect("8 bytes")))
+}
+
+fn take_str(payload: &[u8], pos: &mut usize) -> Result<String> {
+    let len = take_u32(payload, pos)? as usize;
+    let bytes = take_bytes(payload, pos, len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| NnError::Serialization("checkpoint string is not valid UTF-8".into()))
+}
+
 /// Saves a model's parameters to a JSON file.
 ///
 /// # Errors
 ///
 /// Returns [`NnError::Serialization`] when the file cannot be written or the
 /// checkpoint cannot be encoded.
+#[deprecated(note = "use Checkpoint::capture(model, name).write_json(path)")]
 pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Result<()> {
-    let checkpoint = Checkpoint {
-        model_name: model_name.to_string(),
-        param_len: model.param_len(),
-        layer_names: model.layer_names().iter().map(|s| s.to_string()).collect(),
-        params: model.flat_params(),
-    };
-    let json = serde_json::to_string(&checkpoint)
-        .map_err(|e| NnError::Serialization(format!("encode checkpoint: {e}")))?;
-    fs::write(path, json)
-        .map_err(|e| NnError::Serialization(format!("write {}: {e}", path.display())))
+    Checkpoint::capture(model, model_name).write_json(path)
 }
 
 /// Reads and decodes a checkpoint without validating it against any model.
-///
-/// Used by serving engines that validate a candidate checkpoint against a
-/// compiled plan's shape signature before deciding whether to materialise a
-/// model for it — the decode-only half of [`load_params_json`].
 ///
 /// # Errors
 ///
 /// Returns [`NnError::Serialization`] when the file cannot be read or decoded
 /// (including truncated JSON).
+#[deprecated(note = "use Checkpoint::read(path)")]
 pub fn read_checkpoint_json(path: &Path) -> Result<Checkpoint> {
-    let json = fs::read_to_string(path)
-        .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
-    serde_json::from_str(&json)
-        .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))
+    Checkpoint::read(path)
 }
 
 /// Loads parameters from a JSON checkpoint into an existing model with a
 /// matching architecture.
 ///
-/// The model is only modified when every validation passes: a failed load
-/// leaves the previous parameters in place.
-///
 /// # Errors
 ///
-/// Returns [`NnError::Serialization`] when the file cannot be read or decoded
-/// (including truncated JSON), [`NnError::ParamLengthMismatch`] when the
-/// checkpoint's `param_len` or parameter vector does not fit the model, and
-/// [`NnError::ArchitectureMismatch`] when the recorded `layer_names` differ
-/// from the model's layers.
+/// See [`Checkpoint::read`] and [`Checkpoint::apply_to`].
+#[deprecated(note = "use Checkpoint::read(path) + Checkpoint::apply_to(model)")]
 pub fn load_params_json(model: &mut Sequential, path: &Path) -> Result<Checkpoint> {
-    let json = fs::read_to_string(path)
-        .map_err(|e| NnError::Serialization(format!("read {}: {e}", path.display())))?;
-    let checkpoint: Checkpoint = serde_json::from_str(&json)
-        .map_err(|e| NnError::Serialization(format!("decode checkpoint: {e}")))?;
-    if checkpoint.params.len() != model.param_len() {
-        return Err(NnError::ParamLengthMismatch {
-            expected: model.param_len(),
-            actual: checkpoint.params.len(),
-        });
-    }
-    // A param_len field disagreeing with the vector it describes is its own
-    // mismatch; report the lying field, not the (fitting) vector length.
-    if checkpoint.param_len != model.param_len() {
-        return Err(NnError::ParamLengthMismatch {
-            expected: model.param_len(),
-            actual: checkpoint.param_len,
-        });
-    }
-    let model_layers: Vec<String> = model.layer_names().iter().map(|s| s.to_string()).collect();
-    if checkpoint.layer_names != model_layers {
-        return Err(NnError::ArchitectureMismatch {
-            expected: model_layers,
-            actual: checkpoint.layer_names.clone(),
-        });
-    }
-    model.set_flat_params(&checkpoint.params)?;
+    let checkpoint = Checkpoint::read(path)?;
+    checkpoint.apply_to(model)?;
     Ok(checkpoint)
 }
 
@@ -121,16 +338,17 @@ mod tests {
     }
 
     #[test]
-    fn save_and_load_round_trips_parameters() {
+    fn json_save_and_apply_round_trips_parameters() {
         let dir = std::env::temp_dir().join("fuse_nn_serialize_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ckpt.json");
 
         let mut original = model(1);
-        save_params_json(&original, "test-model", &path).unwrap();
+        Checkpoint::capture(&original, "test-model").write_json(&path).unwrap();
 
         let mut restored = model(99); // different init
-        let ckpt = load_params_json(&mut restored, &path).unwrap();
+        let ckpt = Checkpoint::read(&path).unwrap();
+        ckpt.apply_to(&mut restored).unwrap();
         assert_eq!(ckpt.model_name, "test-model");
         assert_eq!(restored.flat_params(), original.flat_params());
 
@@ -143,25 +361,96 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_architecture_mismatch() {
-        let dir = std::env::temp_dir().join("fuse_nn_serialize_test2");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
-        let small = model(1);
-        save_params_json(&small, "small", &path).unwrap();
-
-        let mut bigger = Sequential::new(vec![Box::new(Linear::new(16, 16, 3).unwrap())]);
-        assert!(matches!(
-            load_params_json(&mut bigger, &path),
-            Err(NnError::ParamLengthMismatch { .. })
-        ));
-        std::fs::remove_file(&path).ok();
+    fn binary_round_trip_is_bit_exact_and_much_smaller_than_json() {
+        let m = model(5);
+        let ckpt = Checkpoint::capture(&m, "bin-model");
+        let bytes = ckpt.to_binary();
+        let back = Checkpoint::from_binary(&bytes).unwrap();
+        assert_eq!(back.model_name, ckpt.model_name);
+        assert_eq!(back.param_len, ckpt.param_len);
+        assert_eq!(back.layer_names, ckpt.layer_names);
+        assert_eq!(back.params.len(), ckpt.params.len());
+        let bit_exact =
+            back.params.iter().zip(&ckpt.params).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(bit_exact, "binary round trip must be bit-exact");
+        let json_len = ckpt.to_json().unwrap().len();
+        assert!(
+            bytes.len() * 2 < json_len,
+            "binary ({}) should be far smaller than JSON ({json_len})",
+            bytes.len()
+        );
     }
 
     #[test]
-    fn load_errors_on_missing_file() {
-        let mut m = model(1);
-        let err = load_params_json(&mut m, Path::new("/nonexistent/fuse-ckpt.json"));
+    fn read_auto_detects_binary_and_json() {
+        let dir = std::env::temp_dir().join("fuse_nn_serialize_autodetect");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = model(3);
+        let ckpt = Checkpoint::capture(&m, "auto");
+
+        let bin_path = dir.join("ckpt.bin");
+        let json_path = dir.join("ckpt.json");
+        ckpt.write_binary(&bin_path).unwrap();
+        ckpt.write_json(&json_path).unwrap();
+        assert_eq!(Checkpoint::read(&bin_path).unwrap().params, ckpt.params);
+        assert_eq!(Checkpoint::read(&json_path).unwrap().params, ckpt.params);
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn binary_corruptions_yield_typed_errors_not_panics() {
+        let ckpt = Checkpoint::capture(&model(7), "corrupt");
+        let bytes = ckpt.to_binary();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(Checkpoint::from_binary(&bad_magic), Err(NnError::Serialization(_))));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 77;
+        assert!(matches!(Checkpoint::from_binary(&bad_version), Err(NnError::Serialization(_))));
+
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                Checkpoint::from_binary(&bytes[..cut]),
+                Err(NnError::Serialization(_))
+            ));
+        }
+
+        let mut flipped = bytes.clone();
+        let mid = 8 + (bytes.len() - 16) / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(Checkpoint::from_binary(&flipped), Err(NnError::Serialization(_))));
+    }
+
+    #[test]
+    fn apply_rejects_architecture_mismatch() {
+        let small = model(1);
+        let ckpt = Checkpoint::capture(&small, "small");
+        let mut bigger = Sequential::new(vec![Box::new(Linear::new(16, 16, 3).unwrap())]);
+        assert!(matches!(ckpt.apply_to(&mut bigger), Err(NnError::ParamLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn read_errors_on_missing_file() {
+        let err = Checkpoint::read(Path::new("/nonexistent/fuse-ckpt.json"));
         assert!(matches!(err, Err(NnError::Serialization(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_forward_to_checkpoint() {
+        let dir = std::env::temp_dir().join("fuse_nn_serialize_deprecated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let original = model(21);
+        save_params_json(&original, "fwd", &path).unwrap();
+        let ckpt = read_checkpoint_json(&path).unwrap();
+        assert_eq!(ckpt.model_name, "fwd");
+        let mut restored = model(22);
+        load_params_json(&mut restored, &path).unwrap();
+        assert_eq!(restored.flat_params(), original.flat_params());
+        std::fs::remove_file(&path).ok();
     }
 }

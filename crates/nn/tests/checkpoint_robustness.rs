@@ -8,7 +8,14 @@ use std::fs;
 use std::path::PathBuf;
 
 use fuse_nn::layers::{Linear, Relu};
-use fuse_nn::{load_params_json, save_params_json, NnError, Sequential};
+use fuse_nn::{Checkpoint, NnError, Sequential};
+
+/// Reads a checkpoint and applies it — the two-step flow every loader uses.
+fn load(model: &mut Sequential, path: &std::path::Path) -> fuse_nn::Result<Checkpoint> {
+    let checkpoint = Checkpoint::read(path)?;
+    checkpoint.apply_to(model)?;
+    Ok(checkpoint)
+}
 
 /// A private temp directory per test, so parallel tests never collide.
 fn temp_path(test: &str) -> PathBuf {
@@ -30,10 +37,10 @@ fn model(seed: u64) -> Sequential {
 fn round_trip_is_bit_exact() {
     let path = temp_path("round_trip");
     let original = model(1);
-    save_params_json(&original, "robustness", &path).unwrap();
+    Checkpoint::capture(&original, "robustness").write_json(&path).unwrap();
 
     let mut restored = model(77); // different init
-    let checkpoint = load_params_json(&mut restored, &path).unwrap();
+    let checkpoint = load(&mut restored, &path).unwrap();
     assert_eq!(checkpoint.model_name, "robustness");
     assert_eq!(checkpoint.param_len, original.param_len());
     assert_eq!(checkpoint.layer_names, vec!["linear", "relu", "linear"]);
@@ -48,7 +55,7 @@ fn round_trip_is_bit_exact() {
 #[test]
 fn truncated_json_yields_serialization_error() {
     let path = temp_path("truncated");
-    save_params_json(&model(2), "truncated", &path).unwrap();
+    Checkpoint::capture(&model(2), "truncated").write_json(&path).unwrap();
     let full = fs::read_to_string(&path).unwrap();
 
     // Cut the file at several points, including mid-number and mid-string;
@@ -57,7 +64,7 @@ fn truncated_json_yields_serialization_error() {
         fs::write(&path, &full[..cut]).unwrap();
         let mut target = model(3);
         let before = target.flat_params();
-        let result = load_params_json(&mut target, &path);
+        let result = load(&mut target, &path);
         assert!(
             matches!(result, Err(NnError::Serialization(_))),
             "truncation at byte {cut} must yield NnError::Serialization, got {result:?}"
@@ -70,7 +77,7 @@ fn truncated_json_yields_serialization_error() {
 #[test]
 fn wrong_param_len_yields_param_length_mismatch() {
     let path = temp_path("wrong_param_len");
-    save_params_json(&model(4), "wrong-len", &path).unwrap();
+    Checkpoint::capture(&model(4), "wrong-len").write_json(&path).unwrap();
 
     // Lie about param_len while keeping the params vector intact.
     let json = fs::read_to_string(&path).unwrap();
@@ -82,15 +89,12 @@ fn wrong_param_len_yields_param_length_mismatch() {
     assert_ne!(json, tampered, "test must actually tamper with the checkpoint");
     fs::write(&path, tampered).unwrap();
     let mut target = model(5);
-    assert!(matches!(
-        load_params_json(&mut target, &path),
-        Err(NnError::ParamLengthMismatch { .. })
-    ));
+    assert!(matches!(load(&mut target, &path), Err(NnError::ParamLengthMismatch { .. })));
 
     // A checkpoint for a genuinely smaller model is rejected the same way.
     let small = Sequential::new(vec![Box::new(Linear::new(2, 2, 1).unwrap())]);
-    save_params_json(&small, "small", &path).unwrap();
-    let result = load_params_json(&mut target, &path);
+    Checkpoint::capture(&small, "small").write_json(&path).unwrap();
+    let result = load(&mut target, &path);
     match result {
         Err(NnError::ParamLengthMismatch { expected, actual }) => {
             assert_eq!(expected, target.param_len());
@@ -113,9 +117,9 @@ fn mismatched_layer_names_yield_architecture_mismatch() {
     let mut target = model(6);
     assert_eq!(donor.param_len(), target.param_len(), "test needs matching param counts");
 
-    save_params_json(&donor, "donor", &path).unwrap();
+    Checkpoint::capture(&donor, "donor").write_json(&path).unwrap();
     let before = target.flat_params();
-    let result = load_params_json(&mut target, &path);
+    let result = load(&mut target, &path);
     match result {
         Err(NnError::ArchitectureMismatch { expected, actual }) => {
             assert_eq!(expected, vec!["linear", "relu", "linear"]);
@@ -141,7 +145,7 @@ fn garbage_and_shape_confusion_yield_errors_not_panics() {
         "{\"model_name\":\"m\",\"param_len\":67,\"layer_names\":[\"linear\",\"relu\",\"linear\"],\"params\":\"oops\"}",
     ] {
         fs::write(&path, payload).unwrap();
-        let result = load_params_json(&mut target, &path);
+        let result = load(&mut target, &path);
         assert!(
             matches!(result, Err(NnError::Serialization(_))),
             "payload {payload:?} must yield NnError::Serialization, got {result:?}"

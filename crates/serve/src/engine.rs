@@ -21,14 +21,21 @@
 //!   hot-swap or adaptation) the served model is lowered to a `fuse-graph`
 //!   op graph and compiled into an [`ExecPlan`]: fused conv+bias+ReLU
 //!   dispatches, pre-planned arena buffers, zero steady-state allocations.
-//!   Plans are bit-identical to the layer walk by contract, and any model the
-//!   compiler cannot lower transparently falls back to the legacy
-//!   [`Sequential::forward`] path.
-//! * **Checkpoint hot-swap** — [`ServeEngine::hot_swap`] loads a
-//!   `fuse-nn::serialize` checkpoint into the shared base model without
-//!   touching adapted sessions; the checkpoint is validated against the
-//!   compiled plan's shape signature (or, without a plan, on a clone) first,
-//!   so a corrupt checkpoint leaves the engine serving the old weights.
+//!   Plans are bit-identical to the layer walk by contract. Any model the
+//!   compiler cannot lower falls back to the legacy [`Sequential::forward`]
+//!   path — *visibly*: the lowering error is logged once per model version,
+//!   kept behind [`ServeEngine::fallback_reason`], and every frame served
+//!   through the walk is counted by
+//!   [`crate::LatencyRecorder::legacy_fallback_frames`].
+//! * **Checkpoint & plan-artifact hot-swap** — [`ServeEngine::hot_swap`]
+//!   loads a `fuse-nn` checkpoint (JSON or binary) into the shared base
+//!   model without touching adapted sessions; the checkpoint is validated
+//!   against the compiled plan's shape signature (or, without a plan, on a
+//!   clone) first, so a corrupt checkpoint leaves the engine serving the old
+//!   weights. [`ServeEngine::export_plan`] /
+//!   [`ServeEngine::hot_swap_plan`] do the same with a serialized `.fplan`
+//!   compiled-plan artifact, which carries the schedule alongside the
+//!   weights and installs without recompiling.
 //! * **Latency accounting** — fusion, featurization, inference and
 //!   submit-to-response totals are recorded per frame against the 100 ms
 //!   frame budget ([`crate::LatencyRecorder`]).
@@ -39,12 +46,8 @@ use std::time::Instant;
 
 use fuse_core::{FineTuneConfig, FineTuneResult};
 use fuse_dataset::{EncodedDataset, FeatureMapBuilder, FrameFusion};
-use fuse_graph::ExecPlan;
-use fuse_nn::serialize::Checkpoint;
-use fuse_nn::{
-    load_params_json, lower_for_inference, read_checkpoint_json, save_params_json, NnError,
-    Sequential,
-};
+use fuse_graph::{ExecPlan, GraphError};
+use fuse_nn::{Checkpoint, Compiled, FallbackPolicy, LoweringRequest, NnError, Sequential};
 use fuse_radar::PointCloudFrame;
 use fuse_tensor::Tensor;
 
@@ -170,6 +173,9 @@ pub struct PreparedSwap {
     /// directly.
     candidate: Option<Sequential>,
     checkpoint: Checkpoint,
+    /// A deserialized `.fplan` artifact ([`ServeEngine::prepare_hot_swap_plan`]);
+    /// commit installs it directly instead of recompiling the model.
+    plan: Option<ExecPlan>,
 }
 
 impl PreparedSwap {
@@ -188,6 +194,10 @@ pub struct ServeEngine {
     /// layer without an op-graph lowering (the step falls back to the legacy
     /// layer walk).
     base_plan: Option<ExecPlan>,
+    /// Why the base model has no compiled plan, when it has none. The reason
+    /// is logged once at compile time (compilation happens exactly once per
+    /// model version) and kept here so operators can query it.
+    fallback_reason: Option<GraphError>,
     /// Reusable `[max_batch × C·H·W]` input staging buffer for plan runs, so
     /// stacking a micro-batch allocates nothing in steady state.
     staging: Vec<f32>,
@@ -208,13 +218,14 @@ impl ServeEngine {
     pub fn new(model: Sequential, config: ServeConfig) -> Result<Self> {
         config.validate()?;
         let recorder = LatencyRecorder::new(config.budget_ms);
-        let base_plan = compile_plan(&model, &config);
+        let (base_plan, fallback_reason) = compile_or_log(&model, &config, "base model v0");
         let input_len: usize = config.feature_map.input_dims().iter().product();
         let staging = vec![0.0; config.max_batch * input_len];
         Ok(ServeEngine {
             config,
             base: model,
             base_plan,
+            fallback_reason,
             staging,
             model_version: 0,
             sessions: BTreeMap::new(),
@@ -238,6 +249,14 @@ impl ServeEngine {
     /// cleanly; recompiled on every [`ServeEngine::hot_swap`].
     pub fn plan(&self) -> Option<&ExecPlan> {
         self.base_plan.as_ref()
+    }
+
+    /// Why the base model is served through the legacy layer walk, when it
+    /// is (`None` while a compiled plan is installed). Frames served through
+    /// the fallback are counted by
+    /// [`crate::LatencyRecorder::legacy_fallback_frames`].
+    pub fn fallback_reason(&self) -> Option<&GraphError> {
+        self.fallback_reason.as_ref()
     }
 
     /// Version counter of the shared base model; each successful
@@ -490,7 +509,7 @@ impl ServeEngine {
         // models live in different fields, and the plan path needs the plan
         // (mutably, for its arena) and the staging buffer at the same time.
         let model_version = self.model_version;
-        let ServeEngine { sessions, base, base_plan, staging, .. } = &mut *self;
+        let ServeEngine { sessions, base, base_plan, staging, recorder, .. } = &mut *self;
 
         if !base_features.is_empty() {
             if let Some(plan) = base_plan.as_mut() {
@@ -498,6 +517,7 @@ impl ServeEngine {
                 let output = run_plan(plan, staging, &base_features)?;
                 extend_responses(&mut responses, &base_keys, output, cols, model_version, false);
             } else {
+                recorder.record_legacy_fallback(base_keys.len() as u64);
                 let stacked = Tensor::stack(&base_features).map_err(fuse_nn::NnError::from)?;
                 let output = base.forward(&stacked, false)?;
                 let cols = output.dims()[1];
@@ -519,6 +539,7 @@ impl ServeEngine {
                 let output = run_plan(plan, staging, features)?;
                 extend_responses(&mut responses, keys, output, cols, model_version, true);
             } else {
+                recorder.record_legacy_fallback(keys.len() as u64);
                 let model = session.model_mut().ok_or(ServeError::UnknownSession(*session_id))?;
                 let stacked = Tensor::stack(features).map_err(fuse_nn::NnError::from)?;
                 let output = model.forward(&stacked, false)?;
@@ -571,20 +592,23 @@ impl ServeEngine {
         let result = session.adapt(&self.base, data, config)?;
         // The private weights changed; recompile the session's plan (the
         // parameters are snapshotted into the plan at lowering time).
-        let plan = session.model().and_then(|model| compile_plan(model, &self.config));
+        let plan = session.model().and_then(|model| {
+            compile_or_log(model, &self.config, &format!("session {id} adapted model")).0
+        });
         session.set_plan(plan);
         Ok(result)
     }
 
-    /// Validates a `fuse-nn` JSON checkpoint against this engine's model
-    /// architecture *without* applying it, returning a [`PreparedSwap`] whose
-    /// commit cannot fail. The engine itself is untouched (`&self`).
+    /// Validates a `fuse-nn` checkpoint (JSON or binary, auto-detected by
+    /// [`Checkpoint::read`]) against this engine's model architecture
+    /// *without* applying it, returning a [`PreparedSwap`] whose commit
+    /// cannot fail. The engine itself is untouched (`&self`).
     ///
     /// With a compiled plan the checkpoint is checked against the plan's
     /// [`fuse_graph::ShapeSignature`] — parameter count and layer names, the
-    /// same checks [`load_params_json`] performs, in the same order — so a
-    /// mismatched checkpoint is a typed pre-commit error and no model clone
-    /// is ever materialised. Only a non-lowerable model falls back to
+    /// same checks [`Checkpoint::apply_to`] performs, in the same order — so
+    /// a mismatched checkpoint is a typed pre-commit error and no model
+    /// clone is ever materialised. Only a non-lowerable model falls back to
     /// validating on a clone.
     ///
     /// A cluster router calls this on every shard first and commits only if
@@ -595,11 +619,12 @@ impl ServeEngine {
     /// Propagates read/decode/layout errors as [`ServeError::Nn`].
     pub fn prepare_hot_swap(&self, path: &Path) -> Result<PreparedSwap> {
         let Some(plan) = &self.base_plan else {
+            let checkpoint = Checkpoint::read(path)?;
             let mut candidate = self.base.clone();
-            let checkpoint = load_params_json(&mut candidate, path)?;
-            return Ok(PreparedSwap { candidate: Some(candidate), checkpoint });
+            checkpoint.apply_to(&mut candidate)?;
+            return Ok(PreparedSwap { candidate: Some(candidate), checkpoint, plan: None });
         };
-        let checkpoint = read_checkpoint_json(path)?;
+        let checkpoint = Checkpoint::read(path)?;
         let signature = plan.signature();
         if checkpoint.params.len() != signature.param_len() {
             return Err(NnError::ParamLengthMismatch {
@@ -624,14 +649,79 @@ impl ServeEngine {
             }
             .into());
         }
-        Ok(PreparedSwap { candidate: None, checkpoint })
+        Ok(PreparedSwap { candidate: None, checkpoint, plan: None })
+    }
+
+    /// Validates a `.fplan` plan artifact ([`ServeEngine::export_plan`])
+    /// against this engine *without* applying it, returning a
+    /// [`PreparedSwap`] whose commit cannot fail. Unlike a checkpoint swap,
+    /// committing a plan artifact installs the deserialized [`ExecPlan`]
+    /// directly — weights *and* compiled schedule — so the new version never
+    /// recompiles and can never regress to the layer-walk fallback.
+    ///
+    /// The artifact reuses the checkpoint swap's validation ladder: parameter
+    /// count first ([`NnError::ParamLengthMismatch`]), then layer names
+    /// ([`NnError::ArchitectureMismatch`]) — both against the served model —
+    /// then the engine-specific geometry: the plan's input shape must equal
+    /// the configured feature map's and its compiled `max_batch` must cover
+    /// the engine's micro-batch cap (both [`fuse_graph::GraphError::Shape`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode errors ([`ServeError::Graph`]) and layout
+    /// mismatches ([`ServeError::Nn`] / [`ServeError::Graph`]).
+    pub fn prepare_hot_swap_plan(&self, path: &Path) -> Result<PreparedSwap> {
+        let plan = ExecPlan::read_plan(path)?;
+        let signature = plan.signature();
+        if signature.param_len() != self.base.param_len() {
+            return Err(NnError::ParamLengthMismatch {
+                expected: self.base.param_len(),
+                actual: signature.param_len(),
+            }
+            .into());
+        }
+        let expected: Vec<String> = self.base.layer_names().iter().map(|s| s.to_string()).collect();
+        if signature.layer_names() != expected.as_slice() {
+            return Err(NnError::ArchitectureMismatch {
+                actual: signature.layer_names().to_vec(),
+                expected,
+            }
+            .into());
+        }
+        let input_dims = self.config.feature_map.input_dims();
+        if plan.input_meta().dims() != input_dims.as_slice() {
+            return Err(GraphError::Shape(format!(
+                "plan artifact expects input {:?} but the engine featurizes {:?}",
+                plan.input_meta().dims(),
+                input_dims
+            ))
+            .into());
+        }
+        if plan.max_batch() < self.config.max_batch {
+            return Err(GraphError::Shape(format!(
+                "plan artifact was compiled for max_batch {} but the engine batches up to {}",
+                plan.max_batch(),
+                self.config.max_batch
+            ))
+            .into());
+        }
+        let model_name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("fplan").to_string();
+        let checkpoint = Checkpoint {
+            model_name,
+            param_len: signature.param_len(),
+            layer_names: signature.layer_names().to_vec(),
+            params: plan.params().to_vec(),
+        };
+        Ok(PreparedSwap { candidate: None, checkpoint, plan: Some(plan) })
     }
 
     /// Applies a [`PreparedSwap`] produced by
-    /// [`ServeEngine::prepare_hot_swap`]: the base model is replaced, the
-    /// execution plan recompiled against the new weights and
-    /// [`ServeEngine::model_version`] bumped. Infallible by construction —
-    /// every way the swap can fail was checked at prepare time.
+    /// [`ServeEngine::prepare_hot_swap`] or
+    /// [`ServeEngine::prepare_hot_swap_plan`]: the base model is replaced,
+    /// the execution plan installed (from the artifact) or recompiled
+    /// against the new weights, and [`ServeEngine::model_version`] bumped.
+    /// Infallible by construction — every way the swap can fail was checked
+    /// at prepare time.
     pub fn commit_hot_swap(&mut self, prepared: PreparedSwap) -> Checkpoint {
         match prepared.candidate {
             Some(candidate) => self.base = candidate,
@@ -641,13 +731,29 @@ impl ServeEngine {
                 .expect("prepare_hot_swap validated the parameter count against the plan"),
         }
         self.model_version += 1;
-        self.base_plan = compile_plan(&self.base, &self.config);
+        match prepared.plan {
+            // A plan artifact carries its own compiled schedule: install it
+            // directly instead of recompiling.
+            Some(plan) => {
+                self.base_plan = Some(plan);
+                self.fallback_reason = None;
+            }
+            None => {
+                let (plan, reason) = compile_or_log(
+                    &self.base,
+                    &self.config,
+                    &format!("base model v{}", self.model_version),
+                );
+                self.base_plan = plan;
+                self.fallback_reason = reason;
+            }
+        }
         prepared.checkpoint
     }
 
-    /// Loads a `fuse-nn` JSON checkpoint into the shared base model and bumps
-    /// [`ServeEngine::model_version`]. The checkpoint is validated against a
-    /// clone first ([`ServeEngine::prepare_hot_swap`]): on any error the
+    /// Loads a `fuse-nn` checkpoint (JSON or binary) into the shared base
+    /// model and bumps [`ServeEngine::model_version`]. The checkpoint is
+    /// validated first ([`ServeEngine::prepare_hot_swap`]): on any error the
     /// engine keeps serving the old weights. Adapted sessions keep their
     /// private models (call [`Session::reset_to_base`] to rejoin the shared
     /// model).
@@ -660,13 +766,49 @@ impl ServeEngine {
         Ok(self.commit_hot_swap(prepared))
     }
 
+    /// Loads a `.fplan` plan artifact into the engine: validates it
+    /// ([`ServeEngine::prepare_hot_swap_plan`]), applies the parameter
+    /// snapshot to the base model, installs the deserialized plan and bumps
+    /// [`ServeEngine::model_version`]. On any error the engine keeps serving
+    /// the old weights and plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode/layout errors as [`ServeError::Graph`] /
+    /// [`ServeError::Nn`].
+    pub fn hot_swap_plan(&mut self, path: &Path) -> Result<Checkpoint> {
+        let prepared = self.prepare_hot_swap_plan(path)?;
+        Ok(self.commit_hot_swap(prepared))
+    }
+
     /// Saves the shared base model as a `fuse-nn` JSON checkpoint.
     ///
     /// # Errors
     ///
     /// Propagates write/encode errors as [`ServeError::Nn`].
     pub fn save_checkpoint(&self, model_name: &str, path: &Path) -> Result<()> {
-        Ok(save_params_json(&self.base, model_name, path)?)
+        Ok(Checkpoint::capture(&self.base, model_name).write_json(path)?)
+    }
+
+    /// Serializes the base model's compiled plan as a versioned `.fplan`
+    /// artifact ([`ExecPlan::write_plan`]) — the deployable unit a
+    /// `fuse-edge` runtime (or another engine, via
+    /// [`ServeEngine::hot_swap_plan`]) loads without any lowering stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fuse_graph::GraphError::Unsupported`] when the engine is
+    /// serving through the layer-walk fallback (there is no plan to export;
+    /// [`ServeEngine::fallback_reason`] says why) and propagates write
+    /// failures as [`ServeError::Graph`].
+    pub fn export_plan(&self, path: &Path) -> Result<()> {
+        let plan = self.base_plan.as_ref().ok_or_else(|| {
+            GraphError::Unsupported(
+                "the served model has no compiled plan to export (legacy layer-walk fallback)"
+                    .into(),
+            )
+        })?;
+        Ok(plan.write_plan(path)?)
     }
 }
 
@@ -675,13 +817,42 @@ fn ms_since(start: Instant) -> f64 {
 }
 
 /// Lowers `model` for the engine's feature geometry and compiles it into an
-/// [`ExecPlan`] sized for the micro-batch cap. `None` (legacy layer-walk
-/// fallback) when the model has a layer without an op-graph lowering or its
-/// shapes do not chain from the configured feature map.
-fn compile_plan(model: &Sequential, config: &ServeConfig) -> Option<ExecPlan> {
-    lower_for_inference(model, &config.feature_map.input_dims())
-        .and_then(|graph| graph.compile(config.max_batch))
-        .ok()
+/// [`ExecPlan`] sized for the micro-batch cap, returning either the plan or
+/// the reason compilation fell back to the legacy layer walk (a layer
+/// without an op-graph lowering, or shapes that do not chain from the
+/// configured feature map).
+fn compile_plan(
+    model: &Sequential,
+    config: &ServeConfig,
+) -> std::result::Result<ExecPlan, GraphError> {
+    match LoweringRequest::new(model, &config.feature_map.input_dims())
+        .max_batch(config.max_batch)
+        .fallback(FallbackPolicy::LegacyWalk)
+        .compile()?
+    {
+        Compiled::Plan(plan) => Ok(plan),
+        Compiled::Fallback(reason) => Err(reason),
+    }
+}
+
+/// [`compile_plan`], logging the fallback reason. Compilation runs exactly
+/// once per model version (construction, hot-swap commit, adaptation), so
+/// this logs once per version — not once per served frame.
+fn compile_or_log(
+    model: &Sequential,
+    config: &ServeConfig,
+    context: &str,
+) -> (Option<ExecPlan>, Option<GraphError>) {
+    match compile_plan(model, config) {
+        Ok(plan) => (Some(plan), None),
+        Err(reason) => {
+            eprintln!(
+                "fuse-serve: {context} cannot be compiled to a plan, \
+                 serving via the legacy layer walk: {reason}"
+            );
+            (None, Some(reason))
+        }
+    }
 }
 
 /// Stages `features` contiguously into `staging` and runs the compiled plan
@@ -784,7 +955,7 @@ mod tests {
         // Same layer stack, larger widths: the parameter count disagrees with
         // the compiled plan's shape signature.
         let big = build_mars_cnn(&ModelConfig::default(), 3).unwrap();
-        fuse_nn::save_params_json(&big, "big", &path).unwrap();
+        Checkpoint::capture(&big, "big").write_json(&path).unwrap();
 
         let engine = tiny_engine();
         assert!(engine.plan().is_some(), "this test exercises the signature path");
@@ -1049,6 +1220,112 @@ mod tests {
         assert_eq!(engine.model_version(), 1);
         assert_ne!(engine.base_model().flat_params(), before);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exported_plan_hot_swaps_into_another_engine_bit_for_bit() {
+        let dir = std::env::temp_dir().join("fuse_serve_plan_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("donor.fplan");
+
+        // Donor and receiver share the architecture but not the weights.
+        let donor_model = build_mars_cnn(&ModelConfig::tiny(), 99).unwrap();
+        let donor = ServeEngine::new(donor_model, ServeConfig::default()).unwrap();
+        donor.export_plan(&path).unwrap();
+
+        let mut engine = tiny_engine();
+        engine.open_session(1).unwrap();
+        let checkpoint = engine.hot_swap_plan(&path).unwrap();
+        assert_eq!(checkpoint.model_name, "donor", "model name comes from the file stem");
+        assert_eq!(engine.model_version(), 1);
+        assert_eq!(
+            engine.base_model().flat_params(),
+            donor.base_model().flat_params(),
+            "the artifact's parameter snapshot must land in the base model"
+        );
+        assert!(engine.plan().is_some(), "the swapped-in plan is installed, not recompiled");
+
+        // Served predictions must be bit-identical to the donor engine's.
+        let mut reference = ServeEngine::new(
+            build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        reference.open_session(1).unwrap();
+        engine.submit(1, frame(4, 16)).unwrap();
+        reference.submit(1, frame(4, 16)).unwrap();
+        engine.step().unwrap();
+        reference.step().unwrap();
+        assert_eq!(
+            engine.take_responses()[0].joints,
+            reference.take_responses()[0].joints,
+            "plan-artifact serving must match the donor bit for bit"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prepare_hot_swap_plan_rejects_mismatched_artifacts() {
+        use fuse_graph::GraphError;
+        let dir = std::env::temp_dir().join("fuse_serve_plan_swap_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Wrong architecture: a bigger model's plan against a tiny engine.
+        let big_path = dir.join("big.fplan");
+        let big = build_mars_cnn(&ModelConfig::default(), 3).unwrap();
+        ServeEngine::new(big, ServeConfig::default()).unwrap().export_plan(&big_path).unwrap();
+        let engine = tiny_engine();
+        assert!(matches!(
+            engine.prepare_hot_swap_plan(&big_path).unwrap_err(),
+            ServeError::Nn(NnError::ParamLengthMismatch { .. })
+        ));
+
+        // Right model, too small a compiled batch for the receiving engine.
+        let small_path = dir.join("small-batch.fplan");
+        let donor_model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
+        let small =
+            ServeEngine::new(donor_model, ServeConfig { max_batch: 2, ..ServeConfig::default() })
+                .unwrap();
+        small.export_plan(&small_path).unwrap();
+        assert!(matches!(
+            engine.prepare_hot_swap_plan(&small_path).unwrap_err(),
+            ServeError::Graph(GraphError::Shape(_))
+        ));
+
+        // A corrupt artifact is a typed decode error, and a rejected prepare
+        // leaves the engine untouched.
+        let bad_path = dir.join("corrupt.fplan");
+        std::fs::write(&bad_path, b"not a plan").unwrap();
+        assert!(matches!(
+            engine.prepare_hot_swap_plan(&bad_path).unwrap_err(),
+            ServeError::Graph(_)
+        ));
+        assert_eq!(engine.model_version(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_lowerable_models_fall_back_visibly_and_are_counted() {
+        use fuse_nn::layers::Linear;
+        // A model whose first layer disagrees with the feature geometry
+        // cannot be lowered; the engine must serve (or fail) through the
+        // legacy walk *visibly* instead of silently.
+        let model = Sequential::new(vec![Box::new(Linear::new(10, 4, 1).unwrap())]);
+        let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
+        assert!(engine.plan().is_none());
+        assert!(engine.fallback_reason().is_some(), "the lowering error must be kept");
+        assert!(matches!(
+            engine.export_plan(Path::new("/nonexistent/out.fplan")).unwrap_err(),
+            ServeError::Graph(fuse_graph::GraphError::Unsupported(_))
+        ));
+        assert_eq!(engine.recorder().legacy_fallback_frames(), 0);
+        engine.open_session(1).unwrap();
+        engine.submit(1, frame(0, 8)).unwrap();
+        // The forward itself fails (the layer rejects the stacked feature
+        // map), but the frame was already routed to — and counted against —
+        // the fallback path.
+        let _ = engine.step();
+        assert_eq!(engine.recorder().legacy_fallback_frames(), 1);
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct LatencyRecorder {
     budget_ms: f64,
     sample_window: usize,
     samples: [VecDeque<f64>; 4],
+    /// Frames served through the legacy layer walk because the model had no
+    /// compiled plan — a lifetime counter, not windowed like the samples: a
+    /// fallback is an operational condition worth noticing even when it
+    /// happened longer ago than the sample window remembers.
+    legacy_fallback_frames: u64,
 }
 
 impl LatencyRecorder {
@@ -115,6 +120,7 @@ impl LatencyRecorder {
             budget_ms,
             sample_window: DEFAULT_SAMPLE_WINDOW,
             samples: std::array::from_fn(|_| VecDeque::new()),
+            legacy_fallback_frames: 0,
         }
     }
 
@@ -149,6 +155,20 @@ impl LatencyRecorder {
         samples.push_back(ms);
     }
 
+    /// Counts `frames` served through the legacy layer walk instead of a
+    /// compiled plan. The engine calls this per micro-batch group so the
+    /// fallback — a silent perf cliff before it was metered — shows up in
+    /// every report.
+    pub fn record_legacy_fallback(&mut self, frames: u64) {
+        self.legacy_fallback_frames += frames;
+    }
+
+    /// Lifetime count of frames served through the legacy layer walk (zero
+    /// while the engine holds a compiled plan for every model it serves).
+    pub fn legacy_fallback_frames(&self) -> u64 {
+        self.legacy_fallback_frames
+    }
+
     /// Number of samples recorded for a stage.
     pub fn count(&self, stage: Stage) -> usize {
         self.samples[stage.index()].len()
@@ -181,13 +201,15 @@ impl LatencyRecorder {
                 self.record(stage, other.samples[stage.index()][i]);
             }
         }
+        self.legacy_fallback_frames += other.legacy_fallback_frames;
     }
 
-    /// Discards all recorded samples, keeping the budget.
+    /// Discards all recorded samples and counters, keeping the budget.
     pub fn clear(&mut self) {
         for s in &mut self.samples {
             s.clear();
         }
+        self.legacy_fallback_frames = 0;
     }
 
     /// Renders the full per-stage summary.
@@ -196,6 +218,7 @@ impl LatencyRecorder {
             budget_ms: self.budget_ms,
             stages: Stage::ALL.iter().filter_map(|&s| Some((s, self.stats(s)?))).collect(),
             within_budget_fraction: self.within_budget_fraction(),
+            legacy_fallback_frames: self.legacy_fallback_frames,
         }
     }
 }
@@ -215,6 +238,9 @@ pub struct LatencyReport {
     pub stages: Vec<(Stage, StageStats)>,
     /// Fraction of frames that met the budget (when totals were recorded).
     pub within_budget_fraction: Option<f64>,
+    /// Frames served through the legacy layer walk instead of a compiled
+    /// plan (see [`LatencyRecorder::record_legacy_fallback`]).
+    pub legacy_fallback_frames: u64,
 }
 
 impl std::fmt::Display for LatencyReport {
@@ -241,7 +267,15 @@ impl std::fmt::Display for LatencyReport {
                 write!(f, "within {:.0} ms budget: {:.1}% of frames", self.budget_ms, 100.0 * frac)
             }
             None => write!(f, "budget: {:.0} ms (no end-to-end samples recorded)", self.budget_ms),
+        }?;
+        if self.legacy_fallback_frames > 0 {
+            write!(
+                f,
+                "\nlegacy layer-walk fallback served {} frame(s) (no compiled plan)",
+                self.legacy_fallback_frames
+            )?;
         }
+        Ok(())
     }
 }
 
@@ -300,6 +334,31 @@ mod tests {
         assert!(text.contains("100.0%"));
         rec.clear();
         assert_eq!(rec.count(Stage::Fuse), 0);
+    }
+
+    #[test]
+    fn legacy_fallback_counter_flows_through_absorb_clear_and_report() {
+        let mut rec = LatencyRecorder::new(100.0);
+        assert_eq!(rec.legacy_fallback_frames(), 0);
+        rec.record_legacy_fallback(3);
+        rec.record_legacy_fallback(2);
+        assert_eq!(rec.legacy_fallback_frames(), 5);
+
+        let mut agg = LatencyRecorder::new(100.0);
+        agg.record_legacy_fallback(1);
+        agg.absorb(&rec);
+        assert_eq!(agg.legacy_fallback_frames(), 6, "absorb must sum shard counters");
+
+        let report = agg.report();
+        assert_eq!(report.legacy_fallback_frames, 6);
+        assert!(report.to_string().contains("legacy layer-walk fallback served 6 frame(s)"));
+        assert!(
+            !LatencyRecorder::new(100.0).report().to_string().contains("fallback"),
+            "a plan-served engine's report must not mention the fallback"
+        );
+
+        agg.clear();
+        assert_eq!(agg.legacy_fallback_frames(), 0);
     }
 
     #[test]

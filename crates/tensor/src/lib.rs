@@ -22,6 +22,7 @@
 pub mod conv;
 pub mod error;
 pub mod linalg;
+pub mod pool;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
@@ -31,6 +32,7 @@ pub use conv::{
     conv2d_forward_into, Conv2dSpec,
 };
 pub use error::TensorError;
+pub use pool::maxpool2d_forward_into;
 pub use shape::Shape;
 pub use stats::{mean_std, Normalizer};
 pub use tensor::{derive_seeds, Tensor};

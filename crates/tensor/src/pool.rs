@@ -1,0 +1,132 @@
+//! 2-D max-pooling primitive shared by the layer stack and compiled plans.
+//!
+//! The kernel lives here — below both `fuse-nn` and `fuse-graph` — so the
+//! legacy layer walk and arena-backed plan execution run the *same* code and
+//! are bit-identical by construction, not by parallel maintenance of two
+//! loops.
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// Max-pools a flattened `[N, C, H, W]` buffer over non-overlapping
+/// `window × window` tiles into `out` (`[N, C, H/window, W/window]`).
+///
+/// Each window is scanned one contiguous row segment at a time through the
+/// backend's first-maximum scan; combining row results with the same strict
+/// `>` preserves the scalar (ky, kx)-order tie-breaking exactly, for every
+/// backend (the scan is order-sensitive, so SIMD backends run it on the
+/// scalar reference per the reproducibility contract). The backend is
+/// resolved once, outside the per-window loops.
+///
+/// When `argmax` is provided it receives, per output element, the flat input
+/// index of the selected maximum (the gradient routing table for the layer's
+/// backward pass); plan execution passes `None`.
+///
+/// # Errors
+///
+/// Returns an error when the window is zero, the spatial extent is smaller
+/// than the window, or any buffer is shorter than the dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool2d_forward_into(
+    input: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    window: usize,
+    out: &mut [f32],
+    mut argmax: Option<&mut [usize]>,
+) -> Result<()> {
+    if window == 0 {
+        return Err(TensorError::InvalidConvolution("pooling window must be nonzero".into()));
+    }
+    if h < window || w < window {
+        return Err(TensorError::InvalidConvolution(format!(
+            "input {h}x{w} smaller than pooling window {window}"
+        )));
+    }
+    let out_h = h / window;
+    let out_w = w / window;
+    check_buffer(input.len(), n * c * h * w)?;
+    check_buffer(out.len(), n * c * out_h * out_w)?;
+    if let Some(ref am) = argmax {
+        check_buffer(am.len(), n * c * out_h * out_w)?;
+    }
+
+    let be = fuse_backend::active();
+    for s in 0..n {
+        for ch in 0..c {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..window {
+                        let iy = oy * window + ky;
+                        let base = ((s * c + ch) * h + iy) * w + ox * window;
+                        if let Some((off, v)) = be.max_scan(&input[base..base + window]) {
+                            if v > best {
+                                best = v;
+                                best_idx = base + off;
+                            }
+                        }
+                    }
+                    let out_idx = ((s * c + ch) * out_h + oy) * out_w + ox;
+                    out[out_idx] = best;
+                    if let Some(ref mut am) = argmax {
+                        am[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_buffer(actual: usize, expected: usize) -> Result<()> {
+    if actual < expected {
+        return Err(TensorError::ShapeDataMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_window_maxima() {
+        let input = vec![
+            1.0, 2.0, 5.0, 6.0, //
+            3.0, 4.0, 7.0, 8.0, //
+            -1.0, -2.0, 0.5, 0.25, //
+            -3.0, -4.0, 0.75, 0.1,
+        ];
+        let mut out = vec![0.0f32; 4];
+        let mut argmax = vec![0usize; 4];
+        maxpool2d_forward_into(&input, 1, 1, 4, 4, 2, &mut out, Some(&mut argmax)).unwrap();
+        assert_eq!(out, vec![4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(argmax, vec![5, 7, 8, 14]);
+    }
+
+    #[test]
+    fn first_maximum_wins_ties() {
+        let input = vec![2.0, 2.0, 2.0, 2.0];
+        let mut out = vec![0.0f32; 1];
+        let mut argmax = vec![9usize; 1];
+        maxpool2d_forward_into(&input, 1, 1, 2, 2, 2, &mut out, Some(&mut argmax)).unwrap();
+        assert_eq!(out, vec![2.0]);
+        assert_eq!(argmax, vec![0]);
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry_and_short_buffers() {
+        let input = vec![0.0f32; 16];
+        let mut out = vec![0.0f32; 4];
+        assert!(maxpool2d_forward_into(&input, 1, 1, 4, 4, 0, &mut out, None).is_err());
+        assert!(maxpool2d_forward_into(&input, 1, 1, 4, 4, 5, &mut out, None).is_err());
+        assert!(maxpool2d_forward_into(&input[..8], 1, 1, 4, 4, 2, &mut out, None).is_err());
+        assert!(maxpool2d_forward_into(&input, 1, 1, 4, 4, 2, &mut out[..2], None).is_err());
+        let mut argmax = vec![0usize; 2];
+        assert!(maxpool2d_forward_into(&input, 1, 1, 4, 4, 2, &mut out, Some(&mut argmax)).is_err());
+    }
+}

@@ -17,7 +17,7 @@ use fuse_skeleton::Movement;
 pub const EXAMPLE_KNOBS: &[KnobDef] = &[
     KnobDef {
         name: "FUSE_EDGE_FRAMES",
-        default: "50 (realtime_edge) / 30 (cluster_serving)",
+        default: "50 (realtime_edge) / 30 (cluster_serving) / 20 (edge_infer)",
         accepts: "positive integer",
         description: "Frames streamed per session by the serving examples",
     },

@@ -45,11 +45,11 @@ fn allocation_count() -> usize {
 #[test]
 fn steady_state_plan_run_makes_zero_heap_allocations() {
     use fuse_core::{build_mars_cnn, ModelConfig};
-    use fuse_nn::lower_for_inference;
+    use fuse_nn::LoweringRequest;
     use fuse_tensor::Tensor;
 
     let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
-    let mut plan = lower_for_inference(&model, &[5, 8, 8]).unwrap().compile(4).unwrap();
+    let mut plan = LoweringRequest::new(&model, &[5, 8, 8]).lower().unwrap().compile(4).unwrap();
     let input = Tensor::randn(&[4, 5, 8, 8], 1.0, 9);
 
     fuse_parallel::with_threads(1, || {
@@ -76,11 +76,11 @@ fn steady_state_plan_run_makes_zero_heap_allocations() {
 #[test]
 fn smaller_batches_reuse_the_same_arena_without_allocating() {
     use fuse_core::{build_mars_cnn, ModelConfig};
-    use fuse_nn::lower_for_inference;
+    use fuse_nn::LoweringRequest;
     use fuse_tensor::Tensor;
 
     let model = build_mars_cnn(&ModelConfig::tiny(), 11).unwrap();
-    let mut plan = lower_for_inference(&model, &[5, 8, 8]).unwrap().compile(8).unwrap();
+    let mut plan = LoweringRequest::new(&model, &[5, 8, 8]).lower().unwrap().compile(8).unwrap();
     let input = Tensor::randn(&[8, 5, 8, 8], 1.0, 13);
 
     fuse_parallel::with_threads(1, || {

@@ -313,6 +313,65 @@ fn fan_out_hot_swap_is_atomic_across_shards() {
 }
 
 #[test]
+fn fan_out_plan_artifact_swap_matches_the_donor_across_shards() {
+    let dir = std::env::temp_dir().join("fuse_cluster_plan_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("donor.fplan");
+    let bad = dir.join("bad.fplan");
+
+    let donor =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    donor.export_plan(&good).unwrap();
+    std::fs::write(&bad, b"FPLNgarbage").unwrap();
+
+    let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+    let mut router =
+        ClusterRouter::new(build_mars_cnn(&ModelConfig::tiny(), 7).unwrap(), config).unwrap();
+    router.open_session(0).unwrap();
+    router.open_session(1).unwrap();
+
+    // The artifact commits on every shard together, no recompilation.
+    let swap = router.hot_swap_plan(&good).unwrap();
+    assert_eq!(swap.model_name, "donor", "the swap is named after the artifact file");
+    assert_eq!(swap.version, 1);
+    let metrics = router.metrics().unwrap();
+    assert!(metrics.shards.iter().all(|s| s.model_version == 1), "all shards moved together");
+
+    // Every shard now serves the donor's exported plan: the cluster's
+    // responses must be bit-identical to a lone donor engine's.
+    let frames = session_streams(2, 1);
+    router.submit(0, frames[0][0].clone()).unwrap();
+    router.submit(1, frames[1][0].clone()).unwrap();
+    let responses = router.drain().unwrap().responses;
+
+    let mut reference =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    for (i, id) in [0u64, 1].into_iter().enumerate() {
+        reference.open_session(id).unwrap();
+        reference.submit(id, frames[i][0].clone()).unwrap();
+    }
+    reference.step().unwrap();
+    let expected = reference.take_responses();
+    assert_eq!(responses.len(), 2);
+    for (got, want) in responses.iter().zip(&expected) {
+        assert_eq!(
+            got.joints, want.joints,
+            "plan-artifact shards must match the donor bit for bit"
+        );
+    }
+
+    // A corrupt artifact aborts everywhere — all-or-nothing, like checkpoints.
+    let err = router.hot_swap_plan(&bad).unwrap_err();
+    assert!(matches!(err, ClusterError::SwapAborted { .. }), "got {err:?}");
+    let metrics = router.metrics().unwrap();
+    assert!(metrics.shards.iter().all(|s| s.model_version == 1), "no shard committed");
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn adapted_sessions_keep_private_models_across_cluster_swaps() {
     let dir = std::env::temp_dir().join("fuse_cluster_adapt_swap_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -137,10 +137,14 @@ fn model_checkpoint_round_trips_through_serialization() {
     let dir = std::env::temp_dir().join("fuse_integration_ckpt");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("model.json");
-    fuse_nn::save_params_json(trainer.model(), "integration-test", &path).expect("save succeeds");
+    fuse_nn::Checkpoint::capture(trainer.model(), "integration-test")
+        .write_json(&path)
+        .expect("save succeeds");
 
     let mut restored = build_mars_cnn(&ModelConfig::tiny(), 99).expect("model builds");
-    fuse_nn::load_params_json(&mut restored, &path).expect("load succeeds");
+    fuse_nn::Checkpoint::read(&path)
+        .and_then(|c| c.apply_to(&mut restored))
+        .expect("load succeeds");
     let (inputs, _) = enc.gather(&[0, 1, 2]).expect("gather succeeds");
     let a = trainer.model_mut().forward(&inputs, false).expect("forward succeeds");
     let b = restored.forward(&inputs, false).expect("forward succeeds");

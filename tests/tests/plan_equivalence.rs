@@ -11,7 +11,7 @@
 use fuse_backend::{with_backend, BackendChoice};
 use fuse_core::{build_mars_cnn, ModelConfig};
 use fuse_nn::layers::{Conv2d, Flatten, Linear, Relu};
-use fuse_nn::{lower_for_inference, Sequential};
+use fuse_nn::{LoweringRequest, Sequential};
 use fuse_parallel::{with_min_parallel_work, with_threads};
 use fuse_tensor::{Conv2dSpec, Tensor};
 use proptest::prelude::*;
@@ -25,7 +25,8 @@ fn assert_plan_matches_model(
     max_batch: usize,
     seed: u64,
 ) {
-    let mut plan = lower_for_inference(model, input_dims).unwrap().compile(max_batch).unwrap();
+    let mut plan =
+        LoweringRequest::new(model, input_dims).lower().unwrap().compile(max_batch).unwrap();
     let mut legacy = model.clone();
     let sample_len: usize = input_dims.iter().product();
     for batch in 1..=max_batch {
@@ -83,8 +84,8 @@ fn recompiled_plan_after_a_weight_swap_matches_the_swapped_model() {
     // a plan compiled from new weights matches the new model, not the old.
     let old = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
     let new = build_mars_cnn(&ModelConfig::tiny(), 99).unwrap();
-    let mut old_plan = lower_for_inference(&old, &[5, 8, 8]).unwrap().compile(2).unwrap();
-    let mut new_plan = lower_for_inference(&new, &[5, 8, 8]).unwrap().compile(2).unwrap();
+    let mut old_plan = LoweringRequest::new(&old, &[5, 8, 8]).lower().unwrap().compile(2).unwrap();
+    let mut new_plan = LoweringRequest::new(&new, &[5, 8, 8]).lower().unwrap().compile(2).unwrap();
     let input = Tensor::randn(&[2, 5, 8, 8], 1.0, 31);
     let mut new_model = new.clone();
     let expected = new_model.forward(&input, false).unwrap();
@@ -115,7 +116,8 @@ proptest! {
             Box::new(Relu::new()),
             Box::new(Linear::new(hidden, 5, seed + 2).unwrap()),
         ]);
-        let mut plan = lower_for_inference(&model, &[2, 4, 4]).unwrap().compile(4).unwrap();
+        let mut plan =
+            LoweringRequest::new(&model, &[2, 4, 4]).lower().unwrap().compile(4).unwrap();
         let mut legacy = model.clone();
         let input = Tensor::randn(&[batch, 2, 4, 4], 1.0, seed + 3);
         let expected = legacy.forward(&input, false).unwrap();
