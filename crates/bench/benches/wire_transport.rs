@@ -1,0 +1,133 @@
+//! Wire-protocol cost: what multi-host serving pays per frame on the wire.
+//!
+//! Four layers, measured separately so a regression names its culprit:
+//! `FNET` framing (encode + validate + checksum), the typed message codec
+//! on a realistic radar frame, one stop-and-wait RPC round over the
+//! in-memory link, and the full remote-shard serve round (submit + flush
+//! through a `HostShard` behind a sim transport). The migration benchmark
+//! prices moving a live session — fusion history and model bytes — across
+//! the wire, the operation the cluster uses to rebalance hosts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::thread;
+use std::time::Duration;
+
+use fuse_bench::subject_streams;
+use fuse_cluster::{ClusterConfig, ClusterRouter, HostShard, ShardSpec};
+use fuse_core::prelude::*;
+use fuse_net::{
+    decode_frame, encode_frame, sim_pair, FaultConfig, RpcClient, RpcServer, Transport, WireRequest,
+};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    for (label, len) in [("64b", 64usize), ("64kib", 64 * 1024)] {
+        let payload = vec![0xa5u8; len];
+        c.bench_function(&format!("wire_frame_roundtrip_{label}"), |b| {
+            b.iter(|| {
+                let frame = encode_frame(black_box(&payload));
+                black_box(decode_frame(&frame).expect("frame decodes").len())
+            })
+        });
+    }
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let frame = subject_streams(1, 1).remove(0).remove(0);
+    let request = WireRequest::Submit { id: 7, frame };
+    c.bench_function("wire_message_submit_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&request).encode();
+            black_box(WireRequest::decode(&bytes).expect("message decodes"))
+        })
+    });
+}
+
+fn bench_rpc_round(c: &mut Criterion) {
+    let (client_end, server_end) = sim_pair(FaultConfig::default(), FaultConfig::default());
+    let echo = thread::spawn(move || {
+        let mut server = RpcServer::new(server_end);
+        loop {
+            match server.next_request(Duration::from_millis(50)) {
+                Ok(Some(body)) => server.respond(&body).expect("respond succeeds"),
+                Ok(None) => continue,
+                Err(_) => return,
+            }
+        }
+    });
+    let mut client = RpcClient::new(client_end);
+    let body = vec![0x5au8; 256];
+    c.bench_function("wire_rpc_round_clean_link", |b| {
+        b.iter(|| black_box(client.call(black_box(&body)).expect("call succeeds")))
+    });
+    drop(client);
+    echo.join().expect("echo server joins");
+}
+
+fn remote_router(model_seed: u64) -> (ClusterRouter, thread::JoinHandle<()>) {
+    let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+    let (router_end, host_end) = sim_pair(FaultConfig::default(), FaultConfig::default());
+    let host_config = config.clone();
+    let host = thread::spawn(move || {
+        let model = build_mars_cnn(&ModelConfig::tiny(), model_seed).expect("model builds");
+        HostShard::new(model, host_config)
+            .expect("host shard builds")
+            .serve(host_end)
+            .expect("host exits cleanly");
+    });
+    let model = build_mars_cnn(&ModelConfig::tiny(), model_seed).expect("model builds");
+    let router = ClusterRouter::with_shards(
+        model,
+        config,
+        vec![ShardSpec::Remote(Box::new(router_end) as Box<dyn Transport>), ShardSpec::Local],
+    )
+    .expect("router builds");
+    (router, host)
+}
+
+fn bench_remote_serve_round(c: &mut Criterion) {
+    let (mut router, host) = remote_router(21);
+    router.open_session(0).expect("session opens");
+    let stream = subject_streams(1, 8).remove(0);
+    let mut round = 0usize;
+    c.bench_function("wire_remote_shard_serve_round", |b| {
+        b.iter(|| {
+            let frame = stream[round % stream.len()].clone();
+            round += 1;
+            router.submit(0, frame).expect("submit succeeds");
+            black_box(router.drain().expect("drain succeeds"))
+        })
+    });
+    router.shutdown();
+    host.join().expect("host joins");
+}
+
+fn bench_session_migration(c: &mut Criterion) {
+    let (mut router, host) = remote_router(21);
+    router.open_session(0).expect("session opens");
+    // Seed the session with fusion history so the migration moves real state.
+    let stream = subject_streams(1, 4).remove(0);
+    for frame in &stream {
+        router.submit(0, frame.clone()).expect("submit succeeds");
+        router.drain().expect("drain succeeds");
+    }
+    c.bench_function("wire_session_migration_roundtrip", |b| {
+        b.iter(|| {
+            // Local -> remote and back: two state transfers over the wire.
+            router.migrate_session(0, 1).expect("migrate out succeeds");
+            router.migrate_session(0, 0).expect("migrate back succeeds");
+        })
+    });
+    router.shutdown();
+    host.join().expect("host joins");
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_message_codec,
+    bench_rpc_round,
+    bench_remote_serve_round,
+    bench_session_migration
+);
+criterion_main!(benches);

@@ -42,6 +42,7 @@
 pub mod config;
 pub mod error;
 pub mod metrics;
+pub mod remote;
 pub mod router;
 mod worker;
 
@@ -51,7 +52,8 @@ pub use config::{
 };
 pub use error::ClusterError;
 pub use metrics::{ClusterMetrics, ShardGauge};
-pub use router::{ClosedSession, ClusterRouter, DrainReport, SwapReport};
+pub use remote::HostShard;
+pub use router::{ClosedSession, ClusterRouter, DrainReport, ShardSpec, SwapReport};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ClusterError>;

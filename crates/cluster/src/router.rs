@@ -7,16 +7,40 @@ use std::thread::JoinHandle;
 
 use fuse_core::{FineTuneConfig, FineTuneResult};
 use fuse_dataset::EncodedDataset;
-use fuse_nn::Sequential;
+use fuse_net::Transport;
+use fuse_nn::{NnError, Sequential};
 use fuse_parallel::channel::{bounded, Sender};
 use fuse_radar::PointCloudFrame;
-use fuse_serve::{LatencyRecorder, ServeEngine, ServeResponse};
+use fuse_serve::{LatencyRecorder, ServeEngine, ServeError, ServeResponse, DEFAULT_SAMPLE_WINDOW};
 
 use crate::config::ClusterConfig;
 use crate::error::ClusterError;
 use crate::metrics::ClusterMetrics;
+use crate::remote::spawn_remote_shard;
 use crate::worker::{Command, ShardWorker, SwapSource};
 use crate::Result;
+
+/// Where one of the cluster's shards runs.
+///
+/// The router drives every shard through the same command contract; a
+/// remote shard only differs in that its commands are translated onto a
+/// [`fuse_net`] link to a [`crate::HostShard`] on another machine.
+pub enum ShardSpec {
+    /// An in-process worker thread serving a clone of the router's model.
+    Local,
+    /// A remote [`crate::HostShard`] reached over this transport (TCP for
+    /// real deployments, [`fuse_net::SimTransport`] in tests).
+    Remote(Box<dyn Transport>),
+}
+
+impl std::fmt::Debug for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSpec::Local => f.write_str("Local"),
+            ShardSpec::Remote(_) => f.write_str("Remote(..)"),
+        }
+    }
+}
 
 /// Outcome of closing a session cluster-wide.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +138,11 @@ pub struct ClusterRouter {
     /// on another shard; returned by the next successful drain so nothing a
     /// healthy shard already handed over is lost.
     carry: DrainReport,
+    /// Persistent cluster-wide latency aggregate. Shard snapshots *drain*
+    /// their recorders (take-and-clear), so each snapshot carries only the
+    /// samples since the previous one; this recorder is where they
+    /// accumulate across [`ClusterRouter::metrics`] calls.
+    aggregate: LatencyRecorder,
 }
 
 impl ClusterRouter {
@@ -130,52 +159,96 @@ impl ClusterRouter {
     ///
     /// Returns [`ClusterError::InvalidConfig`] for an invalid configuration.
     pub fn new(model: Sequential, config: ClusterConfig) -> Result<Self> {
+        let shards = config.shards;
+        Self::with_shards(model, config, (0..shards).map(|_| ShardSpec::Local).collect())
+    }
+
+    /// Like [`ClusterRouter::new`], but with per-shard placement: each
+    /// [`ShardSpec::Local`] spawns an in-process worker serving a clone of
+    /// `model`, each [`ShardSpec::Remote`] connects a translation thread to
+    /// a [`crate::HostShard`] over the given transport. Mixed clusters are
+    /// fine — the router drives every shard through the same contract, so
+    /// the response stream stays bit-identical for any placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for an invalid configuration
+    /// or when `specs.len() != config.shards`.
+    pub fn with_shards(
+        model: Sequential,
+        config: ClusterConfig,
+        specs: Vec<ShardSpec>,
+    ) -> Result<Self> {
         config.validate()?;
+        if specs.len() != config.shards {
+            return Err(ClusterError::InvalidConfig(format!(
+                "{} shard specs for {} shards",
+                specs.len(),
+                config.shards
+            )));
+        }
         let kernel_threads = fuse_parallel::available_threads();
         let kernel_min_work = fuse_parallel::min_parallel_work();
         let kernel_backend = fuse_backend::active_choice();
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let engine = ServeEngine::new(model.clone(), config.serve.clone())
-                .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
-            let (tx, rx) = bounded(config.channel_capacity);
-            let worker = ShardWorker::new(
-                shard,
-                engine,
-                rx,
-                config.queue_capacity,
-                config.policy,
-                config.auto_step,
-                // Uncollected responses pause autonomous stepping at the
-                // transport bound, keeping an unpolled shard's memory
-                // bounded by channel + pending queues + this buffer.
-                config.channel_capacity,
-            );
-            let handle = std::thread::Builder::new()
-                .name(format!("fuse-cluster-shard-{shard}"))
-                .spawn(move || {
-                    // Propagate the constructor thread's kernel overrides into
-                    // the worker (they are thread-local, so the equivalence
-                    // tests' `with_threads`/`with_min_parallel_work`/
-                    // `with_backend` scopes would otherwise stop at the
-                    // thread boundary).
-                    fuse_parallel::with_threads(kernel_threads, || {
-                        fuse_parallel::with_min_parallel_work(kernel_min_work, || {
-                            fuse_backend::with_backend(kernel_backend, || worker.run())
+        for (shard, spec) in specs.into_iter().enumerate() {
+            let (tx, handle) = match spec {
+                ShardSpec::Local => {
+                    let engine = ServeEngine::new(model.clone(), config.serve.clone())
+                        .map_err(|e| ClusterError::InvalidConfig(e.to_string()))?;
+                    let (tx, rx) = bounded(config.channel_capacity);
+                    let worker = ShardWorker::new(
+                        shard,
+                        engine,
+                        rx,
+                        config.queue_capacity,
+                        config.policy,
+                        config.auto_step,
+                        // Uncollected responses pause autonomous stepping at
+                        // the transport bound, keeping an unpolled shard's
+                        // memory bounded by channel + pending queues + this
+                        // buffer.
+                        config.channel_capacity,
+                    );
+                    let handle = std::thread::Builder::new()
+                        .name(format!("fuse-cluster-shard-{shard}"))
+                        .spawn(move || {
+                            // Propagate the constructor thread's kernel
+                            // overrides into the worker (they are
+                            // thread-local, so the equivalence tests'
+                            // `with_threads`/`with_min_parallel_work`/
+                            // `with_backend` scopes would otherwise stop at
+                            // the thread boundary).
+                            fuse_parallel::with_threads(kernel_threads, || {
+                                fuse_parallel::with_min_parallel_work(kernel_min_work, || {
+                                    fuse_backend::with_backend(kernel_backend, || worker.run())
+                                })
+                            })
                         })
-                    })
-                })
-                .expect("spawning shard worker failed");
+                        .expect("spawning shard worker failed");
+                    (tx, handle)
+                }
+                ShardSpec::Remote(transport) => {
+                    spawn_remote_shard(shard, transport, config.channel_capacity)
+                }
+            };
             senders.push(tx);
             workers.push(handle);
         }
+        // Size the persistent aggregate to hold every shard's full window:
+        // absorbing N full recorders into a default-sized one would evict
+        // the earlier shards' samples and hide exactly the slow shard the
+        // report exists to expose.
+        let aggregate = LatencyRecorder::new(config.serve.budget_ms)
+            .with_sample_window(config.shards.max(1) * DEFAULT_SAMPLE_WINDOW);
         Ok(ClusterRouter {
             config,
             senders,
             workers,
             sessions: BTreeMap::new(),
             carry: DrainReport::default(),
+            aggregate,
         })
     }
 
@@ -194,10 +267,15 @@ impl ClusterRouter {
         self.sessions.len()
     }
 
-    /// The shard a session id maps to: `id % shards`, a pure function of the
-    /// id and the shard count.
+    /// The shard a session id maps to. For an open session this is where it
+    /// actually lives (which follows [`ClusterRouter::migrate_session`]);
+    /// for an unopened id it is the deterministic default placement,
+    /// `id % shards`.
     pub fn shard_of(&self, session_id: u64) -> usize {
-        (session_id % self.config.shards as u64) as usize
+        self.sessions
+            .get(&session_id)
+            .copied()
+            .unwrap_or((session_id % self.config.shards as u64) as usize)
     }
 
     fn send(&self, shard: usize, command: Command, during: &'static str) -> Result<()> {
@@ -359,6 +437,67 @@ impl ClusterRouter {
         Ok(self.recv_ack(shard, &ack_rx, "adapt_session")??)
     }
 
+    /// Moves a live session — fusion history, private fine-tuned model and
+    /// still-pending frames — to `target_shard`, which may be local or
+    /// remote. The session's state travels bit-exactly (parameters as their
+    /// `FCKP` bit patterns, featurized tensors as-is), so every response
+    /// after the migration is byte-identical to what the session would have
+    /// produced had it never moved.
+    ///
+    /// Routing for the session follows the move: `submit`/`adapt`/`close`
+    /// consult the live session map, not the `id % shards` default, so a
+    /// migrated session keeps serving from its new home.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownSession`] for an unopened id,
+    /// [`ClusterError::InvalidConfig`] for an out-of-range target, and
+    /// propagates shard failures. If installing on the target fails, the
+    /// state is restored onto the source shard before the error returns.
+    pub fn migrate_session(&mut self, id: u64, target_shard: usize) -> Result<()> {
+        let source = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
+        if target_shard >= self.senders.len() {
+            return Err(ClusterError::InvalidConfig(format!(
+                "migration target shard {target_shard} out of range (cluster has {})",
+                self.senders.len()
+            )));
+        }
+        if source == target_shard {
+            return Ok(());
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(source, Command::Export { id, ack: ack_tx }, "migrate_session export")?;
+        let state = self.recv_ack(source, &ack_rx, "migrate_session export")??;
+        // The session is now closed on its source shard; until the import
+        // acks, the only copy lives in `state`.
+        self.sessions.remove(&id);
+        let (ack_tx, ack_rx) = bounded(1);
+        self.send(
+            target_shard,
+            Command::Import { state: state.clone(), ack: ack_tx },
+            "migrate_session import",
+        )?;
+        match self.recv_ack(target_shard, &ack_rx, "migrate_session import")? {
+            Ok(()) => {
+                self.sessions.insert(id, target_shard);
+                Ok(())
+            }
+            Err(e) => {
+                // Put the session back where it came from so a rejected
+                // migration is observable but not destructive.
+                let (ack_tx, ack_rx) = bounded(1);
+                self.send(
+                    source,
+                    Command::Import { state, ack: ack_tx },
+                    "migrate_session restore",
+                )?;
+                self.recv_ack(source, &ack_rx, "migrate_session restore")??;
+                self.sessions.insert(id, source);
+                Err(ClusterError::Serve(e))
+            }
+        }
+    }
+
     /// Atomically hot-swaps a `fuse-nn` checkpoint (JSON or binary) into
     /// **every** shard: phase one validates the checkpoint on each shard
     /// without touching its served weights
@@ -371,7 +510,7 @@ impl ClusterRouter {
     /// Returns [`ClusterError::SwapAborted`] naming the first shard that
     /// rejected the checkpoint; the cluster keeps serving the old weights.
     pub fn hot_swap(&mut self, path: &Path) -> Result<SwapReport> {
-        self.fan_out_swap(SwapSource::Checkpoint(path.to_path_buf()))
+        self.fan_out_swap(SwapSource::Checkpoint(Arc::new(read_swap_payload(path)?)))
     }
 
     /// Atomically hot-swaps a serialized `.fplan` compiled-plan artifact
@@ -388,10 +527,15 @@ impl ClusterRouter {
     /// Returns [`ClusterError::SwapAborted`] naming the first shard that
     /// rejected the artifact; the cluster keeps serving the old weights.
     pub fn hot_swap_plan(&mut self, path: &Path) -> Result<SwapReport> {
-        self.fan_out_swap(SwapSource::PlanArtifact(path.to_path_buf()))
+        let name =
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("fplan-artifact").to_string();
+        let bytes = Arc::new(read_swap_payload(path)?);
+        self.fan_out_swap(SwapSource::PlanArtifact { bytes, name })
     }
 
-    /// The shared two-phase fan-out behind both swap flavours.
+    /// The shared two-phase fan-out behind both swap flavours. The payload
+    /// was read from disk exactly once; every shard — in-process or remote —
+    /// validates the same bytes.
     fn fan_out_swap(&mut self, source: SwapSource) -> Result<SwapReport> {
         // Phase 1: validate everywhere, commit nowhere.
         let mut acks = Vec::with_capacity(self.senders.len());
@@ -433,8 +577,11 @@ impl ClusterRouter {
 
     /// Snapshots every shard and returns the aggregated cluster metrics:
     /// per-shard queue-depth gauges and policy counters, plus one
-    /// cluster-level latency report built by absorbing each shard's recorder
-    /// in shard order ([`LatencyRecorder::absorb`]).
+    /// cluster-level latency report built by absorbing each shard's drained
+    /// samples — in shard order — into the router's persistent aggregate
+    /// ([`LatencyRecorder::absorb`]). Shards hand their samples over
+    /// exactly once ([`LatencyRecorder::drain`]), so repeated `metrics`
+    /// calls never double-count a sample no matter how often they run.
     ///
     /// # Errors
     ///
@@ -446,23 +593,13 @@ impl ClusterRouter {
             self.send(shard, Command::Snapshot { ack: ack_tx }, "metrics")?;
             acks.push(ack_rx);
         }
-        let mut snapshots = Vec::with_capacity(acks.len());
+        let mut shards = Vec::with_capacity(acks.len());
         for (shard, ack) in acks.iter().enumerate() {
-            snapshots.push(self.recv_ack(shard, ack, "metrics")?);
-        }
-        // Size the aggregate window to hold every shard's full window:
-        // absorbing N full recorders into a default-sized one would evict
-        // the earlier shards' samples and hide exactly the slow shard the
-        // report exists to expose.
-        let window: usize = snapshots.iter().map(|s| s.recorder.sample_window()).sum();
-        let mut recorder =
-            LatencyRecorder::new(self.config.serve.budget_ms).with_sample_window(window.max(1));
-        let mut shards = Vec::with_capacity(snapshots.len());
-        for snapshot in snapshots {
-            recorder.absorb(&snapshot.recorder);
+            let snapshot = self.recv_ack(shard, ack, "metrics")?;
+            self.aggregate.absorb(&snapshot.recorder);
             shards.push(snapshot.gauge);
         }
-        Ok(ClusterMetrics { report: recorder.report(), shards })
+        Ok(ClusterMetrics { report: self.aggregate.report(), shards })
     }
 
     /// Shuts the cluster down: closes every command channel and joins the
@@ -483,4 +620,14 @@ impl Drop for ClusterRouter {
     fn drop(&mut self) {
         self.finish();
     }
+}
+
+/// Reads a swap payload (checkpoint or plan artifact) off disk, once.
+fn read_swap_payload(path: &Path) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|e| {
+        ClusterError::Serve(ServeError::Nn(NnError::Serialization(format!(
+            "read {}: {e}",
+            path.display()
+        ))))
+    })
 }

@@ -20,14 +20,14 @@
 //! decisions are a pure function of the submit/drain sequence, which the
 //! backpressure golden tests pin.
 
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use fuse_core::{FineTuneConfig, FineTuneResult};
 use fuse_dataset::EncodedDataset;
+use fuse_nn::Checkpoint;
 use fuse_parallel::channel::{Receiver, Sender, TryRecvError};
 use fuse_radar::PointCloudFrame;
-use fuse_serve::{PreparedSwap, ServeEngine, ServeError, ServeResponse};
+use fuse_serve::{PreparedSwap, ServeEngine, ServeError, ServeResponse, SessionState};
 
 use crate::config::BackpressurePolicy;
 use crate::metrics::ShardGauge;
@@ -65,14 +65,20 @@ pub(crate) struct CheckpointMeta {
 }
 
 /// What a fan-out hot-swap loads on every shard.
+///
+/// Swap payloads travel as **bytes**, not paths: the router reads the file
+/// once and fans the same buffer out to every shard (local workers and
+/// remote hosts alike), so all shards validate byte-identical input and a
+/// remote shard needs no shared filesystem.
 #[derive(Debug, Clone)]
 pub(crate) enum SwapSource {
-    /// A `fuse-nn` checkpoint (JSON or binary): weights only, each shard
-    /// recompiles its plan after commit.
-    Checkpoint(PathBuf),
+    /// A `fuse-nn` checkpoint (`FCKP` binary or JSON): weights only, each
+    /// shard recompiles its plan after commit.
+    Checkpoint(Arc<Vec<u8>>),
     /// A serialized `.fplan` compiled-plan artifact: weights *and* schedule,
-    /// installed on each shard without recompilation.
-    PlanArtifact(PathBuf),
+    /// installed on each shard without recompilation. Carries the model name
+    /// recorded for diagnostics (derived from the file stem).
+    PlanArtifact { bytes: Arc<Vec<u8>>, name: String },
 }
 
 /// A shard's metrics snapshot: its recorder plus gauges.
@@ -119,6 +125,17 @@ pub(crate) enum Command {
         ack: Sender<u64>,
     },
     AbortSwap,
+    /// Extract a session's full state (history, private model, pending
+    /// frames) for migration; the session closes on this shard.
+    Export {
+        id: u64,
+        ack: Sender<ShardResult<Box<SessionState>>>,
+    },
+    /// Install a migrated session's state, bit-exact.
+    Import {
+        state: Box<SessionState>,
+        ack: Sender<ShardResult<()>>,
+    },
 }
 
 /// State of one shard's worker loop (see the module docs).
@@ -311,14 +328,24 @@ impl ShardWorker {
                 let _ = ack.send(self.engine.take_responses());
             }
             Command::Snapshot { ack } => {
-                let snapshot =
-                    ShardSnapshot { recorder: self.engine.recorder().clone(), gauge: self.gauge() };
+                // Hand over the samples, don't copy them: the router absorbs
+                // each snapshot into its persistent aggregate, and a clone
+                // here would double-count every sample still in the window
+                // on the next snapshot.
+                let snapshot = ShardSnapshot {
+                    recorder: self.engine.recorder_mut().drain(),
+                    gauge: self.gauge(),
+                };
                 let _ = ack.send(snapshot);
             }
             Command::PrepareSwap { source, ack } => {
                 let prepared = match &source {
-                    SwapSource::Checkpoint(path) => self.engine.prepare_hot_swap(path),
-                    SwapSource::PlanArtifact(path) => self.engine.prepare_hot_swap_plan(path),
+                    SwapSource::Checkpoint(bytes) => Checkpoint::from_bytes(bytes)
+                        .map_err(ServeError::from)
+                        .and_then(|ckpt| self.engine.prepare_hot_swap_checkpoint(ckpt)),
+                    SwapSource::PlanArtifact { bytes, name } => {
+                        self.engine.prepare_hot_swap_plan_bytes(bytes, name)
+                    }
                 };
                 let result = prepared.map(|prepared| {
                     let meta = CheckpointMeta {
@@ -338,6 +365,12 @@ impl ShardWorker {
             }
             Command::AbortSwap => {
                 self.prepared = None;
+            }
+            Command::Export { id, ack } => {
+                let _ = ack.send(self.engine.export_session(id).map(Box::new));
+            }
+            Command::Import { state, ack } => {
+                let _ = ack.send(self.engine.reopen_with_history(*state));
             }
         }
     }

@@ -40,6 +40,20 @@ pub struct EncodedDataset {
 }
 
 impl EncodedDataset {
+    /// Reassembles a dataset from its parts — the inverse of the
+    /// [`EncodedDataset::samples`] / [`EncodedDataset::normalizer`] /
+    /// [`EncodedDataset::input_dims`] accessors. The wire codec uses this to
+    /// reconstruct an adaptation set shipped to a remote host shard; the
+    /// parts are taken verbatim (samples are assumed to already be encoded
+    /// with `normalizer` over `input_dims`-shaped feature maps).
+    pub fn from_parts(
+        samples: Vec<EncodedSample>,
+        normalizer: Normalizer,
+        input_dims: [usize; 3],
+    ) -> Self {
+        EncodedDataset { samples, normalizer, input_dims }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()

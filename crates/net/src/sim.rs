@@ -1,0 +1,296 @@
+//! In-memory simulated transport with deterministic fault injection.
+//!
+//! [`sim_pair`] builds two connected [`SimTransport`] endpoints whose send
+//! paths can drop, duplicate, reorder and delay frames according to a
+//! seeded, purely sequence-dependent schedule: given the same
+//! [`FaultConfig`] and the same sequence of sends, the faults fire at the
+//! same positions on every run and every platform. That makes "the serving
+//! stream is bit-identical even over a flaky link" a *deterministic* test
+//! assertion instead of a flaky one.
+//!
+//! Faults model a lossy datagram link, the weakest contract [`Transport`]
+//! permits; the RPC layer's retransmission/deduplication is what turns it
+//! back into exactly-once request execution, and the tests assert (via
+//! [`FaultHandle`]) that the faults actually fired — a sim test that never
+//! dropped anything would prove nothing.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fuse_parallel::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::NetError;
+use crate::frame::{decode_frame, encode_frame};
+use crate::transport::Transport;
+use crate::Result;
+
+/// Queued frames per direction; far beyond what stop-and-wait RPC can have
+/// in flight (retransmissions + duplications of one request), so a send
+/// never blocks in practice.
+const SIM_QUEUE_CAPACITY: usize = 1024;
+
+/// Deterministic fault schedule for one direction of a simulated link.
+///
+/// Each `*_1_in` period means "roughly one in N sends" (0 disables the
+/// fault); which sends are hit is decided by a seeded LCG advanced once per
+/// potential fault, so the schedule depends only on the seed and the send
+/// sequence — never on timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the per-endpoint fault schedule.
+    pub seed: u64,
+    /// Drop one in this many frames (0 = never drop).
+    pub drop_1_in: u32,
+    /// Duplicate one in this many frames (0 = never duplicate).
+    pub dup_1_in: u32,
+    /// Hold one in this many frames back so the next frame overtakes it
+    /// (0 = never reorder).
+    pub reorder_1_in: u32,
+    /// Fixed extra latency added to every send.
+    pub delay: Duration,
+}
+
+impl Default for FaultConfig {
+    /// A perfectly well-behaved link: no faults, no delay.
+    fn default() -> Self {
+        FaultConfig { seed: 0, drop_1_in: 0, dup_1_in: 0, reorder_1_in: 0, delay: Duration::ZERO }
+    }
+}
+
+impl FaultConfig {
+    /// A convenient "everything misbehaves" schedule used by the flaky-link
+    /// tests: drops, duplications and reordering all enabled with small
+    /// periods so even short exchanges hit every fault class.
+    pub fn flaky(seed: u64) -> Self {
+        FaultConfig { seed, drop_1_in: 4, dup_1_in: 3, reorder_1_in: 5, delay: Duration::ZERO }
+    }
+}
+
+/// Counters of the faults one endpoint's send path has injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames handed to `send`.
+    pub sent: u64,
+    /// Frames silently discarded.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames overtaken by a later frame.
+    pub reordered: u64,
+}
+
+/// Shared view of a [`SimTransport`]'s fault counters, usable after the
+/// transport itself has been moved into a shard client.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    stats: Arc<Mutex<FaultStats>>,
+}
+
+impl FaultHandle {
+    /// A snapshot of the counters.
+    pub fn snapshot(&self) -> FaultStats {
+        *self.stats.lock().expect("fault stats lock poisoned")
+    }
+}
+
+/// One endpoint of an in-memory simulated link (see the module docs).
+#[derive(Debug)]
+pub struct SimTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    faults: FaultConfig,
+    rng: u64,
+    /// A frame held back by the reorder fault; delivered after the next
+    /// send, which thereby overtakes it.
+    held: Option<Vec<u8>>,
+    stats: Arc<Mutex<FaultStats>>,
+}
+
+/// Builds a connected pair of simulated endpoints. `a_faults` governs the
+/// first endpoint's sends (the A→B direction), `b_faults` the second's.
+pub fn sim_pair(a_faults: FaultConfig, b_faults: FaultConfig) -> (SimTransport, SimTransport) {
+    let (a_tx, b_rx) = bounded(SIM_QUEUE_CAPACITY);
+    let (b_tx, a_rx) = bounded(SIM_QUEUE_CAPACITY);
+    let a = SimTransport {
+        tx: a_tx,
+        rx: a_rx,
+        faults: a_faults,
+        rng: splitmix(a_faults.seed),
+        held: None,
+        stats: Arc::new(Mutex::new(FaultStats::default())),
+    };
+    let b = SimTransport {
+        tx: b_tx,
+        rx: b_rx,
+        faults: b_faults,
+        rng: splitmix(b_faults.seed),
+        held: None,
+        stats: Arc::new(Mutex::new(FaultStats::default())),
+    };
+    (a, b)
+}
+
+/// One round of SplitMix64 — decorrelates small user seeds before they feed
+/// the LCG stream.
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimTransport {
+    /// A handle to this endpoint's fault counters; clone it out before
+    /// moving the transport into a shard client.
+    pub fn fault_handle(&self) -> FaultHandle {
+        FaultHandle { stats: Arc::clone(&self.stats) }
+    }
+
+    fn roll(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng >> 33
+    }
+
+    /// `true` when the fault with period `one_in` fires on this roll.
+    fn fires(&mut self, one_in: u32) -> bool {
+        let roll = self.roll();
+        one_in != 0 && roll.is_multiple_of(one_in as u64)
+    }
+
+    fn deliver(&mut self, frame: Vec<u8>) -> Result<()> {
+        self.tx.send(frame).map_err(|_| NetError::Disconnected)
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<()> {
+        if !self.faults.delay.is_zero() {
+            std::thread::sleep(self.faults.delay);
+        }
+        let frame = encode_frame(payload);
+        self.stats.lock().expect("fault stats lock poisoned").sent += 1;
+
+        // A frame held by a previous reorder fault completes its swap now:
+        // the new frame overtakes it unconditionally (no further faults roll
+        // for this pair, keeping every held frame's delivery guaranteed as
+        // long as the peer keeps talking).
+        if let Some(prev) = self.held.take() {
+            self.deliver(frame)?;
+            return self.deliver(prev);
+        }
+
+        // Advance the schedule once per fault class per frame so the fault
+        // positions are a pure function of (seed, send index).
+        let drop_frame = self.fires(self.faults.drop_1_in);
+        let dup_frame = self.fires(self.faults.dup_1_in);
+        let reorder_frame = self.fires(self.faults.reorder_1_in);
+        let mut stats = self.stats.lock().expect("fault stats lock poisoned");
+        if drop_frame {
+            stats.dropped += 1;
+            return Ok(());
+        }
+        if dup_frame {
+            stats.duplicated += 1;
+            drop(stats);
+            self.deliver(frame.clone())?;
+            return self.deliver(frame);
+        }
+        if reorder_frame {
+            stats.reordered += 1;
+            self.held = Some(frame);
+            return Ok(());
+        }
+        drop(stats);
+        self.deliver(frame)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(decode_frame(&frame)?.to_vec())),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(t: &mut SimTransport) -> Vec<Vec<u8>> {
+        let mut got = Vec::new();
+        while let Ok(Some(p)) = t.recv_timeout(Duration::from_millis(1)) {
+            got.push(p);
+        }
+        got
+    }
+
+    #[test]
+    fn a_clean_link_preserves_order_and_content() {
+        let (mut a, mut b) = sim_pair(FaultConfig::default(), FaultConfig::default());
+        for i in 0..10u8 {
+            a.send(&[i]).unwrap();
+        }
+        assert_eq!(drain(&mut b), (0..10u8).map(|i| vec![i]).collect::<Vec<_>>());
+        b.send(b"reply").unwrap();
+        assert_eq!(drain(&mut a), vec![b"reply".to_vec()]);
+        assert_eq!(a.fault_handle().snapshot(), FaultStats { sent: 10, ..FaultStats::default() });
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_and_actually_fires() {
+        let run = || {
+            let (mut a, mut b) = sim_pair(FaultConfig::flaky(42), FaultConfig::default());
+            for i in 0..100u8 {
+                a.send(&[i]).unwrap();
+            }
+            (drain(&mut b), a.fault_handle().snapshot())
+        };
+        let (delivered1, stats1) = run();
+        let (delivered2, stats2) = run();
+        assert_eq!(delivered1, delivered2, "same seed + same sends = same deliveries");
+        assert_eq!(stats1, stats2);
+        assert!(stats1.dropped > 0, "the flaky schedule must actually drop");
+        assert!(stats1.duplicated > 0, "... and duplicate");
+        assert!(stats1.reordered > 0, "... and reorder");
+        assert_ne!(
+            delivered1,
+            (0..100u8).map(|i| vec![i]).collect::<Vec<_>>(),
+            "the delivered stream must differ from the sent stream"
+        );
+    }
+
+    #[test]
+    fn a_held_frame_is_released_by_the_next_send() {
+        // Find a seed whose first fault is a reorder, then verify the swap.
+        let mut cfg = FaultConfig { reorder_1_in: 1, ..FaultConfig::default() }; // always reorder
+        cfg.seed = 7;
+        let (mut a, mut b) = sim_pair(cfg, FaultConfig::default());
+        a.send(b"first").unwrap();
+        assert_eq!(drain(&mut b), Vec::<Vec<u8>>::new(), "the first frame is held");
+        a.send(b"second").unwrap();
+        assert_eq!(
+            drain(&mut b),
+            vec![b"second".to_vec(), b"first".to_vec()],
+            "the second frame overtakes the held first"
+        );
+    }
+
+    #[test]
+    fn dropping_an_endpoint_disconnects_the_peer() {
+        let (mut a, b) = sim_pair(FaultConfig::default(), FaultConfig::default());
+        drop(b);
+        assert_eq!(a.send(b"x").unwrap_err(), NetError::Disconnected);
+        assert_eq!(a.recv_timeout(Duration::from_millis(1)).unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn delay_is_applied_without_changing_content() {
+        let cfg = FaultConfig { delay: Duration::from_millis(5), ..FaultConfig::default() };
+        let (mut a, mut b) = sim_pair(cfg, FaultConfig::default());
+        let start = std::time::Instant::now();
+        a.send(b"slow").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(drain(&mut b), vec![b"slow".to_vec()]);
+    }
+}

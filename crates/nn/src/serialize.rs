@@ -208,6 +208,27 @@ impl Checkpoint {
         }
     }
 
+    /// Decodes a checkpoint from an in-memory buffer, auto-detecting the
+    /// format the same way [`Checkpoint::read`] does for files: buffers
+    /// opening with the `FCKP` magic decode as binary, anything else as
+    /// JSON. This is the entry point for checkpoints that arrive as wire
+    /// payloads rather than files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] when the buffer cannot be decoded
+    /// in its detected format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint> {
+        if bytes.starts_with(&CHECKPOINT_MAGIC) {
+            Checkpoint::from_binary(bytes)
+        } else {
+            let json = std::str::from_utf8(bytes).map_err(|e| {
+                NnError::Serialization(format!("checkpoint is neither binary nor UTF-8 JSON: {e}"))
+            })?;
+            Checkpoint::from_json(json)
+        }
+    }
+
     /// Applies the checkpoint to a model with a matching architecture.
     ///
     /// The model is only modified when every validation passes: a failed

@@ -23,10 +23,39 @@
 //! * **Disconnect-aware.** When every sender is dropped, `recv` drains the
 //!   queue and then reports [`RecvError`]; when the receiver is dropped,
 //!   sends fail fast instead of blocking forever.
+//! * **Deadline-aware.** [`Receiver::recv_timeout`] bounds a blocking wait,
+//!   which is what the wire transport's retransmission timers are built on.
+//!
+//! # Disconnect audit (lost-wakeup freedom)
+//!
+//! Every blocking wait here is a classic Mutex + Condvar loop, and the two
+//! disconnect paths were audited against it:
+//!
+//! * *Last sender drops while a receiver blocks in `recv`/`recv_timeout`.*
+//!   The drop handler decrements `senders` **under the lock**, then calls
+//!   `not_empty.notify_all()`. The receiver either (a) is still holding the
+//!   lock, in which case it observes `senders == 0` on its next loop check,
+//!   or (b) is parked inside `wait`, in which case the notify (issued after
+//!   the lock is released) wakes it and the re-check under the re-acquired
+//!   lock observes the disconnect. There is no window where the count is
+//!   decremented without a subsequent notify, so no receiver can sleep
+//!   through the disconnect.
+//! * *Receiver drops while senders block in `send`.* Symmetric: the drop
+//!   handler sets `receiver_alive = false` under the lock and then calls
+//!   `not_full.notify_all()`; every blocked sender re-checks
+//!   `receiver_alive` first thing after waking and fails fast with the
+//!   value handed back.
+//!
+//! Both paths use `notify_all`, not `notify_one`: several senders can block
+//! on a full queue and (via `clone`/scoped threads) several waits can be
+//! outstanding, and waking only one would strand the rest. The
+//! `rapid_connect_disconnect_cycles_never_strand_a_thread` stress test pins
+//! this by joining every worker thread under churn.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Creates a bounded FIFO channel with room for `capacity` queued values
 /// (clamped to at least 1).
@@ -91,6 +120,29 @@ pub enum TryRecvError {
     /// Every sender was dropped and the queue is empty.
     Disconnected,
 }
+
+/// A bounded blocking receive found nothing to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed while the queue stayed empty (senders remain
+    /// connected — retrying may succeed).
+    Timeout,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty channel with no senders")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 impl<T> Sender<T> {
     /// Enqueues `value`, blocking while the channel is full.
@@ -177,6 +229,46 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             inner = self.shared.not_empty.wait(inner).expect("channel lock poisoned");
+        }
+    }
+
+    /// Dequeues the oldest value, blocking at most `timeout` while the
+    /// channel is empty.
+    ///
+    /// Queued values are always delivered first, even after a disconnect.
+    /// This is the primitive the wire transport's stop-and-wait
+    /// retransmission timer is built on: a timeout means "nothing arrived,
+    /// retransmit", a disconnect means "the peer is gone for good".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] when the deadline passes with
+    /// the queue still empty, and [`RecvTimeoutError::Disconnected`] once
+    /// every sender was dropped and the queue is drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            // A spurious wakeup just re-enters the loop with the remaining
+            // slice of the deadline; the final `now >= deadline` check above
+            // is what terminates, not the Condvar's own timeout flag.
+            (inner, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel lock poisoned");
         }
     }
 
@@ -336,6 +428,111 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
         assert!(producer.join().unwrap(), "the blocked send must fail once the receiver is gone");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers_then_disconnects() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(41).unwrap();
+        tx.send(42).unwrap();
+        drop(tx);
+        // Queued values drain first even though every sender is gone.
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(41));
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(42));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_when_a_value_arrives_late() {
+        let (tx, rx) = bounded(1);
+        let producer = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(7u64).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_observes_a_late_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        let producer = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(20));
+            drop(tx);
+        });
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        producer.join().unwrap();
+    }
+
+    /// Disconnect-path stress test: many short-lived channels per round,
+    /// with producers blocked mid-`send` on full queues when the receiver
+    /// drops, and receivers blocked mid-`recv`/`recv_timeout` on empty
+    /// queues when the last sender drops. A lost wakeup on either path
+    /// shows up as a join that never returns (the test then times out).
+    #[test]
+    fn rapid_connect_disconnect_cycles_never_strand_a_thread() {
+        for round in 0..200u64 {
+            // Phase A: receiver drops while producers are mid-send on a
+            // full queue.
+            let (tx, rx) = bounded(1);
+            let producers: Vec<_> = (0..3)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        // Some sends succeed, some fail on disconnect; all
+                        // must return either way.
+                        for i in 0..4u64 {
+                            let _ = tx.send(round * 100 + p * 10 + i);
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Consume a couple of values (sometimes zero work happens
+            // before the drop — that interleaving is the point).
+            let _ = rx.try_recv();
+            let _ = rx.recv_timeout(std::time::Duration::from_micros(50));
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+
+            // Phase B: last sender drops while consumers are mid-recv on an
+            // empty queue.
+            let (tx, rx) = bounded(4);
+            let rx = std::sync::Arc::new(rx);
+            let consumer = {
+                let rx = std::sync::Arc::clone(&rx);
+                thread::spawn(move || {
+                    let mut got = 0u64;
+                    loop {
+                        match rx.recv_timeout(std::time::Duration::from_secs(10)) {
+                            Ok(_) => got += 1,
+                            Err(RecvTimeoutError::Disconnected) => return got,
+                            Err(RecvTimeoutError::Timeout) => {
+                                panic!("10 s timeout in a disconnect stress round = lost wakeup")
+                            }
+                        }
+                    }
+                })
+            };
+            let sent = round % 3;
+            for i in 0..sent {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(consumer.join().unwrap(), sent);
+        }
     }
 
     #[test]

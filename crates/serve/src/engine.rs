@@ -185,6 +185,35 @@ impl PreparedSwap {
     }
 }
 
+/// Everything needed to rebuild one session on another engine with
+/// bit-identical subsequent outputs ([`ServeEngine::export_session`] /
+/// [`ServeEngine::reopen_with_history`]).
+///
+/// The state is deliberately *model-relative*: an adapted session's private
+/// weights travel as an `FCKP` [`Checkpoint`] (the same container the
+/// hot-swap fan-out ships), and the receiving engine rebuilds the private
+/// model by cloning its own base architecture and applying the checkpoint —
+/// so a migration is validated by exactly the checks a hot-swap is.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The session id.
+    pub id: u64,
+    /// Lifetime frame count at export time; subsequent frames continue the
+    /// index sequence exactly where the source host stopped.
+    pub frames_seen: u64,
+    /// The retained fusion history, oldest frame first (at most the fusion
+    /// window's `M + 1` frames).
+    pub history: Vec<PointCloudFrame>,
+    /// The session's private fine-tuned weights as an `FCKP`-serializable
+    /// checkpoint; `None` for a session serving the shared base model.
+    pub checkpoint: Option<Checkpoint>,
+    /// Frames that were featurized but not yet served at export time, as
+    /// `(frame index, feature tensor)` in frame-index order. Carrying the
+    /// tensors (rather than refeaturizing) keeps the unserved work
+    /// bit-identical to what the source host would have served.
+    pub pending: Vec<(u64, Tensor)>,
+}
+
 /// Sessionized streaming inference engine (see the module docs).
 #[derive(Debug)]
 pub struct ServeEngine {
@@ -618,13 +647,23 @@ impl ServeEngine {
     ///
     /// Propagates read/decode/layout errors as [`ServeError::Nn`].
     pub fn prepare_hot_swap(&self, path: &Path) -> Result<PreparedSwap> {
+        self.prepare_hot_swap_checkpoint(Checkpoint::read(path)?)
+    }
+
+    /// [`ServeEngine::prepare_hot_swap`] for a checkpoint that is already in
+    /// memory — the entry point for checkpoints that arrive as wire payloads
+    /// (a cluster router reads the file once and ships the decoded bytes to
+    /// every shard, local or remote) rather than as per-shard file reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout mismatches as [`ServeError::Nn`].
+    pub fn prepare_hot_swap_checkpoint(&self, checkpoint: Checkpoint) -> Result<PreparedSwap> {
         let Some(plan) = &self.base_plan else {
-            let checkpoint = Checkpoint::read(path)?;
             let mut candidate = self.base.clone();
             checkpoint.apply_to(&mut candidate)?;
             return Ok(PreparedSwap { candidate: Some(candidate), checkpoint, plan: None });
         };
-        let checkpoint = Checkpoint::read(path)?;
         let signature = plan.signature();
         if checkpoint.params.len() != signature.param_len() {
             return Err(NnError::ParamLengthMismatch {
@@ -672,6 +711,30 @@ impl ServeEngine {
     /// mismatches ([`ServeError::Nn`] / [`ServeError::Graph`]).
     pub fn prepare_hot_swap_plan(&self, path: &Path) -> Result<PreparedSwap> {
         let plan = ExecPlan::read_plan(path)?;
+        let model_name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("fplan");
+        self.validate_plan_swap(plan, model_name)
+    }
+
+    /// [`ServeEngine::prepare_hot_swap_plan`] for a `.fplan` artifact that is
+    /// already in memory — the wire-payload entry point. `model_name` plays
+    /// the role the file stem plays on the file path (the artifact itself
+    /// carries no name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors ([`ServeError::Graph`]) and layout
+    /// mismatches ([`ServeError::Nn`] / [`ServeError::Graph`]).
+    pub fn prepare_hot_swap_plan_bytes(
+        &self,
+        bytes: &[u8],
+        model_name: &str,
+    ) -> Result<PreparedSwap> {
+        self.validate_plan_swap(ExecPlan::from_bytes(bytes)?, model_name)
+    }
+
+    /// The shared validation ladder of the two plan-artifact prepare entry
+    /// points (see [`ServeEngine::prepare_hot_swap_plan`] for the order).
+    fn validate_plan_swap(&self, plan: ExecPlan, model_name: &str) -> Result<PreparedSwap> {
         let signature = plan.signature();
         if signature.param_len() != self.base.param_len() {
             return Err(NnError::ParamLengthMismatch {
@@ -705,9 +768,8 @@ impl ServeEngine {
             ))
             .into());
         }
-        let model_name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("fplan").to_string();
         let checkpoint = Checkpoint {
-            model_name,
+            model_name: model_name.to_string(),
             param_len: signature.param_len(),
             layer_names: signature.layer_names().to_vec(),
             params: plan.params().to_vec(),
@@ -809,6 +871,75 @@ impl ServeEngine {
             )
         })?;
         Ok(plan.write_plan(path)?)
+    }
+
+    /// Closes a session and packages everything a peer engine needs to
+    /// continue it bit-identically: the fusion history and lifetime frame
+    /// counter, the private fine-tuned weights (captured as an `FCKP`
+    /// [`Checkpoint`]), and any still-unserved featurized frames. This is
+    /// the source side of cross-host session migration; the counterpart is
+    /// [`ServeEngine::reopen_with_history`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] when the id is not open.
+    pub fn export_session(&mut self, id: u64) -> Result<SessionState> {
+        let (session, unserved) = self.close_session(id)?;
+        let checkpoint =
+            session.model().map(|model| Checkpoint::capture(model, &format!("session-{id}")));
+        Ok(SessionState {
+            id,
+            frames_seen: session.frames_seen(),
+            history: session.history().cloned().collect(),
+            checkpoint,
+            pending: unserved.into_iter().map(|p| (p.frame_index, p.features)).collect(),
+        })
+    }
+
+    /// Reopens a migrated session from exported state: the fusion history is
+    /// replayed (so the next submit fuses over exactly the frames the source
+    /// host held), the frame-index sequence continues from `frames_seen`,
+    /// an adapted session's private model is rebuilt by applying the `FCKP`
+    /// checkpoint to a clone of this engine's base architecture (and its
+    /// plan recompiled from those exact weights), and unserved frames rejoin
+    /// the pending queue. Every subsequent response is bit-identical to what
+    /// the source host would have produced — the parameters travel as exact
+    /// `f32` bit patterns and featurized tensors travel as-is.
+    ///
+    /// Only the latency clock restarts: re-queued frames get a fresh submit
+    /// timestamp, so `Stage::Total` samples around a migration measure the
+    /// post-migration wait. Outputs are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DuplicateSession`] when the id is already open
+    /// here, and propagates checkpoint-layout mismatches as
+    /// [`ServeError::Nn`] (the state is dropped in that case; the source
+    /// still holds nothing — export is destructive — so callers should
+    /// validate architectures before migrating).
+    pub fn reopen_with_history(&mut self, state: SessionState) -> Result<()> {
+        if self.sessions.contains_key(&state.id) {
+            return Err(ServeError::DuplicateSession(state.id));
+        }
+        let SessionState { id, frames_seen, history, checkpoint, pending } = state;
+        let mut session = Session::new(id, self.config.fusion, self.config.feature_map.clone());
+        for frame in history {
+            session.push_frame(frame);
+        }
+        session.set_frames_seen(frames_seen);
+        if let Some(ckpt) = checkpoint {
+            let mut model = self.base.clone();
+            ckpt.apply_to(&mut model)?;
+            let (plan, _) =
+                compile_or_log(&model, &self.config, &format!("session {id} migrated model"));
+            session.install_model(model, plan);
+        }
+        self.sessions.insert(id, session);
+        let submitted = Instant::now();
+        for (frame_index, features) in pending {
+            self.pending.push(PendingFrame { session_id: id, frame_index, features, submitted });
+        }
+        Ok(())
     }
 }
 

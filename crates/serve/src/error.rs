@@ -26,6 +26,11 @@ pub enum ServeError {
     Core(FuseError),
     /// Compiled-plan execution failed.
     Graph(GraphError),
+    /// A remote host shard failed in a way that has no richer typed form on
+    /// this side of the wire: transport failures, and server-side errors
+    /// whose variants do not round-trip through the wire codec (those that
+    /// do — unknown/duplicate session — arrive as their typed selves).
+    Remote(String),
 }
 
 impl fmt::Display for ServeError {
@@ -38,6 +43,7 @@ impl fmt::Display for ServeError {
             ServeError::Nn(e) => write!(f, "model error: {e}"),
             ServeError::Core(e) => write!(f, "adaptation error: {e}"),
             ServeError::Graph(e) => write!(f, "compiled plan error: {e}"),
+            ServeError::Remote(msg) => write!(f, "remote shard error: {msg}"),
         }
     }
 }

@@ -79,7 +79,11 @@ impl StageStats {
             return None;
         }
         let mut sorted: Vec<f64> = samples.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // `record` rejects non-finite samples, so `total_cmp` is belt and
+        // braces: even a sample smuggled in through deserialization cannot
+        // silently corrupt the percentile ordering the way
+        // `partial_cmp(..).unwrap_or(Equal)` used to.
+        sorted.sort_by(f64::total_cmp);
         Some(StageStats {
             count: sorted.len(),
             mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
@@ -147,7 +151,14 @@ impl LatencyRecorder {
 
     /// Records one sample for a stage, evicting the oldest sample once the
     /// window is full.
+    ///
+    /// Non-finite samples (NaN, ±∞) are rejected: a NaN would poison the
+    /// sort order every percentile summary depends on, and a clock that
+    /// produced one has nothing truthful to say about latency anyway.
     pub fn record(&mut self, stage: Stage, ms: f64) {
+        if !ms.is_finite() {
+            return;
+        }
         let samples = &mut self.samples[stage.index()];
         if samples.len() == self.sample_window {
             samples.pop_front();
@@ -190,11 +201,36 @@ impl LatencyRecorder {
         Some(ok as f64 / totals.len() as f64)
     }
 
+    /// Raw samples recorded for a stage, oldest first. Used by the wire
+    /// codec to ship a drained snapshot across hosts byte-exactly.
+    pub fn stage_samples(&self, stage: Stage) -> impl Iterator<Item = f64> + '_ {
+        self.samples[stage.index()].iter().copied()
+    }
+
+    /// Takes every sample and the legacy-fallback delta accumulated since
+    /// the previous drain, leaving this recorder empty (budget and window
+    /// are kept). This is the shard side of cluster aggregation: a worker
+    /// drains its engine recorder per metrics snapshot and the router
+    /// [`absorb`](LatencyRecorder::absorb)s the drained deltas into one
+    /// long-lived aggregate, so polling metrics twice can never re-count a
+    /// sample or re-add the fallback counter.
+    pub fn drain(&mut self) -> LatencyRecorder {
+        LatencyRecorder {
+            budget_ms: self.budget_ms,
+            sample_window: self.sample_window,
+            samples: std::mem::replace(&mut self.samples, std::array::from_fn(|_| VecDeque::new())),
+            legacy_fallback_frames: std::mem::take(&mut self.legacy_fallback_frames),
+        }
+    }
+
     /// Appends every sample held by `other`, stage by stage in pipeline
-    /// order, bounded by this recorder's own window. This is the cluster
-    /// aggregation primitive: a router absorbs each shard's recorder (in
-    /// shard order, so the merged view is deterministic for a given set of
-    /// shard snapshots) to report fleet-wide percentiles against one budget.
+    /// order, bounded by this recorder's own window, and adds `other`'s
+    /// legacy-fallback count. This is the cluster aggregation primitive: a
+    /// router absorbs each shard's *drained* snapshot (in shard order, so
+    /// the merged view is deterministic for a given set of shard snapshots)
+    /// to report fleet-wide percentiles against one budget. Feed it the
+    /// output of [`drain`](LatencyRecorder::drain), not a live recorder —
+    /// absorbing the same live recorder twice double-counts everything.
     pub fn absorb(&mut self, other: &LatencyRecorder) {
         for stage in Stage::ALL {
             for i in 0..other.samples[stage.index()].len() {
@@ -359,6 +395,52 @@ mod tests {
 
         agg.clear();
         assert_eq!(agg.legacy_fallback_frames(), 0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_at_record_time() {
+        let mut rec = LatencyRecorder::new(100.0);
+        rec.record(Stage::Total, 1.0);
+        rec.record(Stage::Total, f64::NAN);
+        rec.record(Stage::Total, f64::INFINITY);
+        rec.record(Stage::Total, f64::NEG_INFINITY);
+        rec.record(Stage::Total, 3.0);
+        let stats = rec.stats(Stage::Total).unwrap();
+        assert_eq!(stats.count, 2, "non-finite samples must not be stored");
+        assert_eq!(stats.p50_ms, 1.0);
+        assert_eq!(stats.p99_ms, 3.0);
+        assert_eq!(stats.max_ms, 3.0);
+        assert!(stats.mean_ms.is_finite());
+        assert_eq!(rec.within_budget_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn draining_twice_cannot_double_count_samples_or_fallbacks() {
+        let mut shard = LatencyRecorder::new(100.0).with_sample_window(8);
+        shard.record(Stage::Total, 4.0);
+        shard.record(Stage::Total, 6.0);
+        shard.record_legacy_fallback(5);
+
+        let mut agg = LatencyRecorder::new(100.0);
+        agg.absorb(&shard.drain());
+        // Nothing new happened on the shard: a second metrics poll must
+        // contribute zero samples and zero fallback frames.
+        agg.absorb(&shard.drain());
+        let stats = agg.stats(Stage::Total).unwrap();
+        assert_eq!(stats.count, 2, "a re-drained shard must not re-add its samples");
+        assert_eq!(agg.legacy_fallback_frames(), 5, "fallback counter must be a drained delta");
+
+        // The shard keeps recording after a drain; only the delta travels.
+        shard.record(Stage::Total, 8.0);
+        shard.record_legacy_fallback(1);
+        let snapshot = shard.drain();
+        assert_eq!(snapshot.sample_window(), 8, "drain preserves the window");
+        assert_eq!(snapshot.budget_ms(), 100.0, "drain preserves the budget");
+        agg.absorb(&snapshot);
+        assert_eq!(agg.stats(Stage::Total).unwrap().count, 3);
+        assert_eq!(agg.legacy_fallback_frames(), 6);
+        assert_eq!(shard.count(Stage::Total), 0);
+        assert_eq!(shard.legacy_fallback_frames(), 0);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod error;
 pub mod latency;
 pub mod session;
 
-pub use engine::{PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse};
+pub use engine::{
+    PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse, SessionState,
+};
 pub use error::ServeError;
 pub use fuse_backend::{BackendChoice, FUSE_BACKEND_ENV};
 pub use latency::{
@@ -70,7 +72,9 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 /// `fuse-core` pieces an engine embedder needs (model construction and online
 /// fine-tuning).
 pub mod prelude {
-    pub use crate::engine::{PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse};
+    pub use crate::engine::{
+        PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse, SessionState,
+    };
     pub use crate::error::ServeError;
     pub use crate::latency::{LatencyRecorder, LatencyReport, Stage, StageStats};
     pub use crate::session::Session;

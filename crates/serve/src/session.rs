@@ -83,6 +83,29 @@ impl Session {
         self.frames_seen
     }
 
+    /// The retained fusion history, oldest frame first. Together with
+    /// [`Session::frames_seen`] this is everything a migration needs to
+    /// rebuild the session's fusion state bit-exactly on another host
+    /// ([`crate::ServeEngine::export_session`]).
+    pub fn history(&self) -> impl Iterator<Item = &PointCloudFrame> {
+        self.history.iter()
+    }
+
+    /// Overwrites the lifetime frame counter; used when a migrated session
+    /// is rebuilt from exported state (the replayed history pushes reset the
+    /// counter to the history length, not the true lifetime count).
+    pub(crate) fn set_frames_seen(&mut self, frames_seen: u64) {
+        self.frames_seen = frames_seen;
+    }
+
+    /// Installs a private model (and its compiled plan) directly; used when
+    /// a migrated session's fine-tuned weights are restored from an `FCKP`
+    /// payload rather than produced by [`Session::adapt`].
+    pub(crate) fn install_model(&mut self, model: Sequential, plan: Option<ExecPlan>) {
+        self.model = Some(model);
+        self.plan = plan;
+    }
+
     /// `true` once the session serves from a private fine-tuned model.
     pub fn is_adapted(&self) -> bool {
         self.model.is_some()

@@ -72,6 +72,21 @@ impl Normalizer {
         Normalizer { means: vec![0.0; c], stds: vec![1.0; c] }
     }
 
+    /// Reassembles a normaliser from per-channel statistics — the inverse of
+    /// the [`Normalizer::means`] / [`Normalizer::stds`] accessors, used by
+    /// the wire codec to reconstruct a normaliser bit-exactly on a remote
+    /// host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two vectors disagree in length (a decoded pair can
+    /// only disagree if the encoder was wrong, which is a bug, not an input
+    /// condition).
+    pub fn from_stats(means: Vec<f32>, stds: Vec<f32>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds must cover the same channels");
+        Normalizer { means, stds }
+    }
+
     /// Number of channels this normaliser was fitted on.
     pub fn channels(&self) -> usize {
         self.means.len()

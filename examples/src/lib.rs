@@ -17,7 +17,8 @@ use fuse_skeleton::Movement;
 pub const EXAMPLE_KNOBS: &[KnobDef] = &[
     KnobDef {
         name: "FUSE_EDGE_FRAMES",
-        default: "50 (realtime_edge) / 30 (cluster_serving) / 20 (edge_infer)",
+        default:
+            "50 (realtime_edge) / 30 (cluster_serving) / 20 (edge_infer) / 12 (multi_host_serving)",
         accepts: "positive integer",
         description: "Frames streamed per session by the serving examples",
     },
@@ -25,7 +26,8 @@ pub const EXAMPLE_KNOBS: &[KnobDef] = &[
         name: "FUSE_SESSIONS",
         default: "6",
         accepts: "positive integer",
-        description: "Concurrent subjects simulated by the cluster_serving example",
+        description:
+            "Concurrent subjects simulated by the cluster_serving and multi_host_serving examples",
     },
 ];
 

@@ -1,0 +1,330 @@
+//! Multi-host serving over the `fuse-net` wire protocol: the cluster
+//! acceptance tests for remote shards.
+//!
+//! The contract under test is the strongest one the workspace makes: putting
+//! a shard on the other side of a **flaky** link — frames dropped,
+//! duplicated and reordered by `fuse_net::SimTransport` — must not change a
+//! single output bit. The committed serve-stream golden pins the numbers; a
+//! mixed local/remote cluster must reproduce them exactly, a mid-stream
+//! `migrate_session` must leave the remainder of the stream byte-identical
+//! to a never-migrated reference, and the two-phase hot-swap must stay
+//! all-or-nothing when one phase happens over the wire.
+
+use std::thread::{self, JoinHandle};
+
+use serde::Deserialize;
+
+use fuse_backend::{with_backend, BackendChoice};
+use fuse_cluster::{ClusterConfig, ClusterError, ClusterRouter, HostShard, ShardSpec};
+use fuse_core::prelude::*;
+use fuse_dataset::{encode_dataset, EncodedDataset};
+use fuse_net::{sim_pair, FaultConfig, FaultHandle, SimTransport};
+use fuse_parallel::{with_min_parallel_work, with_threads};
+use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
+use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
+use fuse_tests::golden::goldens_dir;
+
+/// A radar scene for frame `i` of a fixed animated movement sequence (same
+/// recipe as `golden_trace.rs`).
+fn scene_for_frame(
+    samples: &[(fuse_skeleton::Skeleton, [[f32; 3]; fuse_skeleton::JOINT_COUNT])],
+    i: usize,
+) -> Scene {
+    let (skeleton, velocities) = &samples[i];
+    body_surface_points(skeleton, velocities, 3)
+        .iter()
+        .map(|p| Scatterer::new(p.position, p.velocity, p.reflectivity))
+        .collect()
+}
+
+/// The exact five frames behind the committed `serve_session_stream` golden.
+fn golden_frames() -> Vec<PointCloudFrame> {
+    let animator =
+        MovementAnimator::new(Subject::profile(1), Movement::BothUpperLimbExtension, 10.0)
+            .with_seed(4);
+    let samples = animator.sample_frames_with_velocities(0.0, 5);
+    let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
+    (0..5).map(|i| scatter.sample(&scene_for_frame(&samples, i), i as u64)).collect()
+}
+
+fn golden_model() -> fuse_nn::Sequential {
+    build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds")
+}
+
+/// Spawns a [`HostShard`] serving on `transport`, re-installing the calling
+/// thread's kernel overrides (`FUSE_THREADS`/backend scopes are
+/// thread-local) so the backend × thread legs exercise the host too — a real
+/// deployment sets these per machine.
+fn spawn_host(config: ClusterConfig, transport: SimTransport) -> JoinHandle<()> {
+    let threads = fuse_parallel::available_threads();
+    let min_work = fuse_parallel::min_parallel_work();
+    let backend = fuse_backend::active_choice();
+    thread::Builder::new()
+        .name("wire-test-host".into())
+        .spawn(move || {
+            with_threads(threads, || {
+                with_min_parallel_work(min_work, || {
+                    with_backend(backend, || {
+                        HostShard::new(golden_model(), config)
+                            .expect("host shard builds")
+                            .serve(transport)
+                            .expect("host exits cleanly");
+                    })
+                })
+            })
+        })
+        .expect("host thread spawns")
+}
+
+/// Asserts that a flaky link actually misbehaved — a pass on a quietly
+/// perfect link would prove nothing about the recovery paths.
+fn assert_faults_fired(handles: &[&FaultHandle], context: &str) {
+    let (mut dropped, mut duplicated, mut reordered) = (0, 0, 0);
+    for handle in handles {
+        let stats = handle.snapshot();
+        dropped += stats.dropped;
+        duplicated += stats.duplicated;
+        reordered += stats.reordered;
+    }
+    assert!(
+        dropped > 0 && duplicated > 0 && reordered > 0,
+        "{context}: the sim link must exercise every fault class \
+         (dropped={dropped} duplicated={duplicated} reordered={reordered})"
+    );
+}
+
+/// The committed golden's shape, reduced to the field this test replays.
+/// (f32 values survive the JSON round trip losslessly — see
+/// `fuse_tests::golden`.)
+#[derive(Deserialize)]
+struct CommittedServeStream {
+    responses: Vec<Vec<f32>>,
+}
+
+fn committed_serve_stream() -> Vec<Vec<f32>> {
+    let path = goldens_dir().join("serve_session_stream.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    let committed: CommittedServeStream =
+        serde_json::from_str(&raw).expect("golden parses as a serve-stream trace");
+    committed.responses
+}
+
+/// The tentpole acceptance: a cluster with a **remote** shard behind a
+/// flaky simulated link reproduces the committed serve-stream golden bit
+/// for bit. Session 0 routes to shard 0 — the remote one — so every submit,
+/// flush and response crosses the misbehaving wire.
+#[test]
+fn remote_shard_over_a_flaky_link_reproduces_the_committed_golden() {
+    let frames = golden_frames();
+    let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+
+    let (router_end, host_end) = sim_pair(FaultConfig::flaky(101), FaultConfig::flaky(202));
+    let router_faults = router_end.fault_handle();
+    let host_faults = host_end.fault_handle();
+    let host = spawn_host(config.clone(), host_end);
+
+    let mut router = ClusterRouter::with_shards(
+        golden_model(),
+        config,
+        vec![ShardSpec::Remote(Box::new(router_end)), ShardSpec::Local],
+    )
+    .expect("router builds");
+    router.open_session(0).expect("session opens");
+    let mut responses: Vec<Vec<f32>> = Vec::new();
+    for frame in &frames {
+        router.submit(0, frame.clone()).expect("submit succeeds");
+        let report = router.drain().expect("drain succeeds");
+        responses.extend(report.responses.into_iter().map(|r| r.joints));
+    }
+    router.shutdown();
+    host.join().expect("host thread joins");
+
+    assert_eq!(
+        responses,
+        committed_serve_stream(),
+        "a remote shard over a flaky link must serve the committed golden bit for bit"
+    );
+    assert_faults_fired(&[&router_faults, &host_faults], "golden replay");
+}
+
+fn encoded() -> EncodedDataset {
+    let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
+    encode_dataset(&dataset, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap()
+}
+
+fn quick_finetune() -> FineTuneConfig {
+    FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() }
+}
+
+/// One response reduced to its deterministic observable key.
+type Observed = (u64, bool, Vec<f32>);
+
+/// Satellite: a session fine-tunes on its source shard, migrates over a
+/// flaky wire to a **remote** shard mid-stream, and the remainder of the
+/// stream is bit-identical to a never-migrated reference — on every
+/// backend × thread leg.
+#[test]
+fn migration_over_a_flaky_link_is_bit_identical_to_never_migrating() {
+    let frames = golden_frames();
+    let data = encoded();
+
+    let run = |tag: &str| -> (Vec<Observed>, Vec<Observed>) {
+        // Never-migrated reference: a bare engine serving the same schedule.
+        let mut engine =
+            ServeEngine::new(golden_model(), ServeConfig::default()).expect("engine builds");
+        engine.open_session(0).expect("session opens");
+        let mut reference: Vec<Observed> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            if i == 2 {
+                engine.adapt_session(0, &data, &quick_finetune()).expect("adapt succeeds");
+            }
+            engine.submit(0, frame.clone()).expect("submit succeeds");
+            engine.step().expect("step succeeds");
+            reference.extend(
+                engine.take_responses().into_iter().map(|r| (r.frame_index, r.adapted, r.joints)),
+            );
+        }
+
+        // The migrating run: fine-tune on local shard 0, then move the
+        // session — private model and fusion history — across the flaky
+        // wire onto remote shard 1 and keep streaming.
+        let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+        let (router_end, host_end) = sim_pair(FaultConfig::flaky(7), FaultConfig::flaky(13));
+        let router_faults = router_end.fault_handle();
+        let host_faults = host_end.fault_handle();
+        let host = spawn_host(config.clone(), host_end);
+        let mut router = ClusterRouter::with_shards(
+            golden_model(),
+            config,
+            vec![ShardSpec::Local, ShardSpec::Remote(Box::new(router_end))],
+        )
+        .expect("router builds");
+        router.open_session(0).expect("session opens");
+        assert_eq!(router.shard_of(0), 0, "session 0 starts on the local shard");
+        let mut migrated: Vec<Observed> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            if i == 2 {
+                router.adapt_session(0, &data, &quick_finetune()).expect("adapt succeeds");
+                router.migrate_session(0, 1).expect("migration succeeds");
+                assert_eq!(router.shard_of(0), 1, "routing follows the migration");
+            }
+            router.submit(0, frame.clone()).expect("submit succeeds");
+            migrated.extend(
+                router
+                    .drain()
+                    .expect("drain succeeds")
+                    .responses
+                    .into_iter()
+                    .map(|r| (r.frame_index, r.adapted, r.joints)),
+            );
+        }
+        router.shutdown();
+        host.join().expect("host thread joins");
+        assert_faults_fired(&[&router_faults, &host_faults], tag);
+        (migrated, reference)
+    };
+
+    let (scalar_migrated, scalar_reference) =
+        with_threads(1, || with_backend(BackendChoice::Scalar, || run("scalar leg")));
+    assert_eq!(
+        scalar_migrated, scalar_reference,
+        "scalar leg: migrating mid-stream must not change a single output byte"
+    );
+
+    let (simd_migrated, simd_reference) = with_threads(4, || {
+        with_min_parallel_work(0, || with_backend(BackendChoice::Simd, || run("simd leg")))
+    });
+    assert_eq!(
+        simd_migrated, simd_reference,
+        "simd leg: migrating mid-stream must not change a single output byte"
+    );
+    assert_eq!(
+        scalar_migrated, simd_migrated,
+        "the migrated stream must be bit-identical across backend \u{d7} thread legs"
+    );
+}
+
+/// The two-phase fan-out hot-swap stays atomic when one shard is remote:
+/// a good checkpoint commits everywhere (bit-identical to a lone donor
+/// engine), a corrupt one aborts everywhere, and the abort changes nothing —
+/// all with the checkpoint bytes travelling as wire payloads.
+#[test]
+fn fan_out_hot_swap_commits_and_aborts_atomically_across_the_wire() {
+    let dir = std::env::temp_dir().join("fuse_wire_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+    let donor =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    donor.save_checkpoint("donor", &good).unwrap();
+    std::fs::write(&bad, "{\"model_name\":\"x\"").unwrap();
+
+    let frames = golden_frames();
+    let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
+    let (router_end, host_end) = sim_pair(FaultConfig::flaky(31), FaultConfig::flaky(47));
+    let host = spawn_host(config.clone(), host_end);
+    let mut router = ClusterRouter::with_shards(
+        golden_model(),
+        config,
+        vec![ShardSpec::Remote(Box::new(router_end)), ShardSpec::Local],
+    )
+    .expect("router builds");
+    router.open_session(0).expect("remote-shard session opens");
+    router.open_session(1).expect("local-shard session opens");
+
+    // Phase one validates on both shards — one ack crossing the flaky wire —
+    // before phase two commits anywhere.
+    let swap = router.hot_swap(&good).expect("swap commits");
+    assert_eq!(swap.model_name, "donor");
+    assert_eq!(swap.version, 1);
+    let metrics = router.metrics().expect("metrics snapshot");
+    assert!(
+        metrics.shards.iter().all(|s| s.model_version == 1),
+        "local and remote shards must move to the new version together"
+    );
+
+    // Both shards now serve the donor's weights, bit for bit.
+    router.submit(0, frames[0].clone()).expect("submit succeeds");
+    router.submit(1, frames[0].clone()).expect("submit succeeds");
+    let responses = router.drain().expect("drain succeeds").responses;
+    assert_eq!(responses.len(), 2);
+    let mut reference =
+        ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
+            .unwrap();
+    reference.open_session(0).unwrap();
+    reference.submit(0, frames[0].clone()).unwrap();
+    reference.step().unwrap();
+    let expected = reference.take_responses();
+    for got in &responses {
+        assert_eq!(
+            got.joints, expected[0].joints,
+            "a swapped remote shard must match the donor bit for bit"
+        );
+    }
+
+    // A corrupt checkpoint aborts on both shards; serving is unchanged.
+    // The probe needs a *fresh* session (fusion history would legitimately
+    // change session 0's output on a repeated frame); id 2 routes to the
+    // remote shard.
+    let err = router.hot_swap(&bad).unwrap_err();
+    assert!(matches!(err, ClusterError::SwapAborted { .. }), "got {err:?}");
+    let metrics = router.metrics().expect("metrics snapshot");
+    assert!(
+        metrics.shards.iter().all(|s| s.model_version == 1),
+        "an aborted swap must not bump any shard's version"
+    );
+    router.open_session(2).expect("probe session opens");
+    router.submit(2, frames[0].clone()).expect("submit succeeds");
+    let after = router.drain().expect("drain succeeds").responses;
+    assert_eq!(
+        after[0].joints, expected[0].joints,
+        "an aborted swap must not change what the remote shard serves"
+    );
+
+    router.shutdown();
+    host.join().expect("host thread joins");
+    std::fs::remove_dir_all(&dir).ok();
+}
