@@ -31,14 +31,29 @@
 //! | `scalar`       | the reference kernels, always                              |
 //! | `simd`         | the SIMD backend (portable fallback off x86_64)            |
 //! | `auto`         | `simd` — safe everywhere because of the contract (default) |
+//! | `simd-fma`     | **relaxed**: AVX2+FMA fused kernels on relaxed-mode        |
+//! |                | dispatch only; exact-mode dispatch demotes it to `simd`    |
 //!
 //! The knob is parsed through the workspace's typed env helper
 //! ([`fuse_parallel::env`]): garbage never silently falls back. Read once
 //! per process; tests pin the backend per-call with [`with_backend`], which
 //! mirrors `fuse_parallel::with_threads`.
+//!
+//! ## Contract modes
+//!
+//! [`ContractMode`] is the typed gate between the two numeric regimes.
+//! Exact-mode dispatch ([`active`]) can never resolve a relaxed backend —
+//! `simd-fma` is demoted to `simd` there, so every existing exact code
+//! path stays bit-identical even when the knob opts into the relaxed tier.
+//! Relaxed-mode dispatch ([`active_for`] with [`ContractMode::Relaxed`])
+//! honours `simd-fma` when the host CPU has AVX2+FMA and falls back to the
+//! exact SIMD backend otherwise, so non-FMA hosts degrade to exact results
+//! rather than failing. `auto` never resolves to a relaxed level in either
+//! mode.
 
 #![warn(missing_docs)]
 
+mod fma;
 mod scalar;
 mod simd;
 mod x86;
@@ -47,6 +62,8 @@ use std::sync::OnceLock;
 
 use fuse_parallel::env::{self, InvalidEnv};
 
+#[cfg(target_arch = "x86_64")]
+pub use fma::FmaBackend;
 pub use scalar::ScalarBackend;
 pub use simd::{SimdBackend, SimdLevel};
 
@@ -59,9 +76,32 @@ pub const FUSE_BACKEND_ENV: &str = "FUSE_BACKEND";
 pub const BACKEND_KNOBS: &[env::KnobDef] = &[env::KnobDef {
     name: FUSE_BACKEND_ENV,
     default: "auto",
-    accepts: "one of scalar / simd / auto",
-    description: "Kernel backend: scalar reference, SIMD, or runtime autodetection",
+    accepts: "one of scalar / simd / auto / simd-fma",
+    description: "Kernel backend: scalar reference, SIMD, runtime autodetection, or relaxed FMA",
 }];
+
+/// The numeric regime a kernel dispatch belongs to.
+///
+/// Exact-mode call sites (training, checkpointing, the legacy model walk,
+/// every golden pinned by bits) resolve backends through
+/// [`ContractMode::Exact`], which can never produce a relaxed backend:
+/// `FUSE_BACKEND=simd-fma` is demoted to the plain SIMD backend there.
+/// Only call sites that have explicitly opted into tolerance-based
+/// verification (the compiled-plan serve path) dispatch through
+/// [`ContractMode::Relaxed`]. The enum makes that opt-in typed: a code
+/// path cannot dispatch relaxed kernels by accident, only by naming the
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContractMode {
+    /// Bit-reproducibility required: every backend must match the scalar
+    /// reference bit-for-bit (the default everywhere).
+    #[default]
+    Exact,
+    /// Tolerance-based verification: fused multiply-add and reassociated
+    /// reductions are permitted; outputs are compared to goldens within a
+    /// declared accuracy budget.
+    Relaxed,
+}
 
 /// Row/band-level compute kernels behind the workspace's hot paths.
 ///
@@ -181,15 +221,21 @@ pub enum BackendChoice {
     Simd,
     /// Pick the fastest backend for this host. Because every backend is
     /// bit-identical by contract, `auto` resolves to [`BackendChoice::Simd`]
-    /// on every platform; a future accelerator backend that *relaxes* the
-    /// contract would be opt-in only, never selected by `auto`.
+    /// on every platform; backends that *relax* the contract (like
+    /// [`BackendChoice::SimdFma`]) are opt-in only, never selected by
+    /// `auto` — in either contract mode.
     #[default]
     Auto,
+    /// **Relaxed**: AVX2+FMA fused kernels when the host supports them.
+    /// Exact-mode dispatch demotes this to [`BackendChoice::Simd`]; only
+    /// [`ContractMode::Relaxed`] call sites run the fused kernels, and
+    /// hosts without AVX2+FMA fall back to the exact SIMD backend.
+    SimdFma,
 }
 
 /// Accepted `FUSE_BACKEND` values, in [`BackendChoice`] discriminant order.
-const CHOICES: &[&str] = &["scalar", "simd", "auto"];
-const EXPECTED: &str = "one of scalar|simd|auto";
+const CHOICES: &[&str] = &["scalar", "simd", "auto", "simd-fma"];
+const EXPECTED: &str = "one of scalar|simd|auto|simd-fma";
 
 impl BackendChoice {
     /// Short lowercase name (the knob syntax).
@@ -206,6 +252,7 @@ impl BackendChoice {
             0 => Some(BackendChoice::Scalar),
             1 => Some(BackendChoice::Simd),
             2 => Some(BackendChoice::Auto),
+            3 => Some(BackendChoice::SimdFma),
             _ => None,
         }
     }
@@ -224,7 +271,7 @@ impl BackendChoice {
     /// # Errors
     ///
     /// Returns [`InvalidEnv`] when the variable is set but is not one of
-    /// `scalar`, `simd`, `auto`.
+    /// `scalar`, `simd`, `auto`, `simd-fma`.
     pub fn from_env() -> Result<Option<Self>, InvalidEnv> {
         Ok(env::env_choice(FUSE_BACKEND_ENV, CHOICES, EXPECTED)?
             .map(|i| Self::from_index(i).expect("env_choice returns an index into CHOICES")))
@@ -286,23 +333,77 @@ fn simd_backend() -> &'static SimdBackend {
     SIMD.get_or_init(SimdBackend::new)
 }
 
-/// Resolves a choice to its backend ([`BackendChoice::Auto`] → SIMD; the
-/// contract makes that safe on every platform).
+#[cfg(target_arch = "x86_64")]
+fn fma_backend() -> Option<&'static FmaBackend> {
+    static FMA: OnceLock<Option<FmaBackend>> = OnceLock::new();
+    FMA.get_or_init(FmaBackend::detect).as_ref()
+}
+
+/// Whether the relaxed AVX2+FMA backend is available on this host. When
+/// `false`, `FUSE_BACKEND=simd-fma` still parses but relaxed dispatch
+/// degrades to the exact SIMD backend (so relaxed-leg tests pass
+/// trivially on non-FMA hosts).
+pub fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        fma_backend().is_some()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Resolves a choice to its **exact-contract** backend
+/// ([`BackendChoice::Auto`] → SIMD; the contract makes that safe on every
+/// platform). [`BackendChoice::SimdFma`] is demoted to the exact SIMD
+/// backend here — exact-mode call sites can never run relaxed kernels.
 pub fn backend_for(choice: BackendChoice) -> &'static dyn KernelBackend {
     static SCALAR: ScalarBackend = ScalarBackend;
     match choice {
         BackendChoice::Scalar => &SCALAR,
-        BackendChoice::Simd | BackendChoice::Auto => simd_backend(),
+        BackendChoice::Simd | BackendChoice::Auto | BackendChoice::SimdFma => simd_backend(),
     }
 }
 
-/// The backend kernels dispatched from the current thread should use.
+/// Resolves a choice to its backend under **relaxed** dispatch:
+/// [`BackendChoice::SimdFma`] becomes the FMA backend when the host
+/// supports AVX2+FMA (exact SIMD otherwise); every other choice —
+/// including `auto` — resolves exactly as [`backend_for`] does, so `auto`
+/// never selects a relaxed level.
+pub fn relaxed_backend_for(choice: BackendChoice) -> &'static dyn KernelBackend {
+    match choice {
+        BackendChoice::SimdFma => {
+            #[cfg(target_arch = "x86_64")]
+            if let Some(be) = fma_backend() {
+                return be;
+            }
+            simd_backend()
+        }
+        other => backend_for(other),
+    }
+}
+
+/// The backend kernels dispatched from the current thread should use under
+/// the given [`ContractMode`]. Hot paths call this **once per kernel
+/// dispatch** (not per row) and pass the reference into their parallel
+/// tasks.
+pub fn active_for(mode: ContractMode) -> &'static dyn KernelBackend {
+    match mode {
+        ContractMode::Exact => backend_for(active_choice()),
+        ContractMode::Relaxed => relaxed_backend_for(active_choice()),
+    }
+}
+
+/// The **exact-contract** backend kernels dispatched from the current
+/// thread should use (shorthand for [`active_for`] with
+/// [`ContractMode::Exact`]).
 ///
 /// Hot paths call this **once per kernel dispatch** (not per row) and pass
 /// the reference into their parallel tasks — thread-local overrides do not
 /// cross into pool workers, the reference does.
 pub fn active() -> &'static dyn KernelBackend {
-    backend_for(active_choice())
+    active_for(ContractMode::Exact)
 }
 
 /// The SIMD instruction-set level this host resolved to (what `auto`/`simd`
@@ -495,9 +596,79 @@ mod tests {
         assert_eq!(BackendChoice::parse(" SIMD "), Some(BackendChoice::Simd));
         assert_eq!(BackendChoice::parse("scalar"), Some(BackendChoice::Scalar));
         assert_eq!(BackendChoice::parse("auto"), Some(BackendChoice::Auto));
+        assert_eq!(BackendChoice::parse("simd-fma"), Some(BackendChoice::SimdFma));
+        assert_eq!(BackendChoice::parse(" Simd-FMA "), Some(BackendChoice::SimdFma));
         assert_eq!(BackendChoice::parse("gpu"), None);
+        assert_eq!(BackendChoice::parse("fma"), None);
         assert_eq!(BackendChoice::Simd.to_string(), "simd");
+        assert_eq!(BackendChoice::SimdFma.to_string(), "simd-fma");
         assert_eq!(BackendChoice::default(), BackendChoice::Auto);
+    }
+
+    #[test]
+    fn auto_never_resolves_to_a_relaxed_level() {
+        // The satellite guarantee: `auto` is exact in *both* contract
+        // modes. Only an explicit `simd-fma` opt-in can reach relaxed
+        // kernels, and only through relaxed dispatch.
+        assert_eq!(backend_for(BackendChoice::Auto).name(), "simd");
+        assert_eq!(relaxed_backend_for(BackendChoice::Auto).name(), "simd");
+        for choice in [BackendChoice::Scalar, BackendChoice::Simd, BackendChoice::Auto] {
+            assert_ne!(relaxed_backend_for(choice).name(), "simd-fma", "{choice} must stay exact");
+        }
+    }
+
+    #[test]
+    fn exact_mode_demotes_simd_fma() {
+        // Exact-contract dispatch can never produce the FMA backend, even
+        // when the knob (or a per-thread override) selects it.
+        assert_eq!(backend_for(BackendChoice::SimdFma).name(), "simd");
+        with_backend(BackendChoice::SimdFma, || {
+            assert_eq!(active().name(), "simd");
+            assert_eq!(active_for(ContractMode::Exact).name(), "simd");
+        });
+    }
+
+    #[test]
+    fn relaxed_dispatch_honours_simd_fma_when_detected() {
+        let expected = if fma_available() { "simd-fma" } else { "simd" };
+        assert_eq!(relaxed_backend_for(BackendChoice::SimdFma).name(), expected);
+        with_backend(BackendChoice::SimdFma, || {
+            assert_eq!(active_for(ContractMode::Relaxed).name(), expected);
+        });
+        // Relaxed dispatch under a non-relaxed choice is identical to exact.
+        with_backend(BackendChoice::Scalar, || {
+            assert_eq!(active_for(ContractMode::Relaxed).name(), "scalar");
+        });
+    }
+
+    #[test]
+    fn fma_kernels_match_scalar_within_tolerance() {
+        if !fma_available() {
+            return; // Non-FMA host: relaxed dispatch is exact, nothing to compare.
+        }
+        let fma = relaxed_backend_for(BackendChoice::SimdFma);
+        let s = backend_for(BackendChoice::Scalar);
+        let (k, n, rows) = (33usize, 17usize, 5usize);
+        let a = data(rows * k, 1);
+        let b = data(k * n, 2);
+        let rel = |x: f32, y: f32| (x - y).abs() / x.abs().max(y.abs()).max(1e-6);
+
+        let mut out_f = vec![0.0f32; rows * n];
+        let mut out_s = vec![0.0f32; rows * n];
+        fma.gemm_rows(&a, &b, &mut out_f, k, n, false);
+        s.gemm_rows(&a, &b, &mut out_s, k, n, false);
+        for (f, r) in out_f.iter().zip(&out_s) {
+            assert!(rel(*f, *r) < 1e-4, "gemm_rows fma={f} scalar={r}");
+        }
+
+        let bt = data(n * k, 3);
+        let mut row_f = vec![0.0f32; n];
+        let mut row_s = vec![0.0f32; n];
+        fma.gemm_a_bt_row(&a[..k], &bt, &mut row_f, k);
+        s.gemm_a_bt_row(&a[..k], &bt, &mut row_s, k);
+        for (f, r) in row_f.iter().zip(&row_s) {
+            assert!(rel(*f, *r) < 1e-4, "gemm_a_bt_row fma={f} scalar={r}");
+        }
     }
 
     #[test]
@@ -538,7 +709,7 @@ mod tests {
         let err = fuse_parallel::env::env_choice("FUSE_TEST_BACKEND_KNOB", CHOICES, EXPECTED)
             .unwrap_err();
         assert_eq!(err.value, "fpga");
-        assert!(err.to_string().contains("scalar|simd|auto"));
+        assert!(err.to_string().contains("scalar|simd|auto|simd-fma"));
         std::env::remove_var("FUSE_TEST_BACKEND_KNOB");
     }
 }

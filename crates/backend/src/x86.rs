@@ -1,22 +1,70 @@
-//! x86_64 `std::arch` kernels (AVX2 and SSE lane widths).
+//! x86_64 `std::arch` kernels (AVX2 and SSE lane widths, plus the opt-in
+//! AVX2+FMA relaxed level).
 //!
-//! Every kernel here vectorises **across independent output elements** and
-//! performs each lane's arithmetic as a separate IEEE-754 multiply followed
-//! by a separate add (`mul_ps` + `add_ps`, never FMA — a fused
-//! multiply-add skips the intermediate rounding and would change bits).
-//! Because each output element still sees exactly the scalar reference's
-//! operation sequence, results are bit-identical to [`crate::scalar`] by
-//! construction; see `REPRODUCIBILITY.md`.
+//! The **exact-contract** levels (`avx2`, `sse`) vectorise **across
+//! independent output elements** and perform each lane's arithmetic as a
+//! separate IEEE-754 multiply followed by a separate add (`mul_ps` +
+//! `add_ps`, never FMA — a fused multiply-add skips the intermediate
+//! rounding and would change bits). Because each output element still sees
+//! exactly the scalar reference's operation sequence, results are
+//! bit-identical to [`crate::scalar`] by construction; see
+//! `REPRODUCIBILITY.md`.
 //!
-//! The two submodules are stamped from one macro and differ only in lane
-//! width and intrinsic set: `avx2` (8 lanes, requires runtime AVX2
-//! detection) and `sse` (4 lanes, part of the x86_64 baseline ABI).
+//! The `avx2fma` level is stamped from the same macro with the multiply-add
+//! helper swapped for `_mm256_fmadd_ps`: one fused rounding per term instead
+//! of two. That **breaks bit-identity on purpose** — it is only reachable
+//! through the relaxed contract mode ([`crate::ContractMode::Relaxed`]) and
+//! is compared against goldens by tolerance, never by bits.
+//!
+//! The submodules are stamped from one macro and differ only in lane width,
+//! intrinsic set and multiply-add composition: `avx2` (8 lanes, runtime AVX2
+//! detection), `sse` (4 lanes, part of the x86_64 baseline ABI) and
+//! `avx2fma` (8 lanes, runtime AVX2+FMA detection, fused).
 
 #![cfg(target_arch = "x86_64")]
 
+use std::arch::x86_64::{
+    __m128, __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_mul_ps, _mm_add_ps, _mm_mul_ps,
+};
+
+/// `a*b + c` with two separate IEEE-754 roundings — the exact-contract
+/// composition (256-bit lanes).
+///
+/// # Safety
+///
+/// Caller must ensure AVX is available (guaranteed inside the `avx2`
+/// module's `#[target_feature]` kernels).
+#[inline(always)]
+unsafe fn mul_then_add_256(a: __m256, b: __m256, c: __m256) -> __m256 {
+    _mm256_add_ps(_mm256_mul_ps(a, b), c)
+}
+
+/// `a*b + c` with two separate roundings (128-bit lanes).
+///
+/// # Safety
+///
+/// Caller must ensure SSE is available (baseline on x86_64).
+#[inline(always)]
+unsafe fn mul_then_add_128(a: __m128, b: __m128, c: __m128) -> __m128 {
+    _mm_add_ps(_mm_mul_ps(a, b), c)
+}
+
+/// `a*b + c` fused into a single rounding — the relaxed-contract
+/// composition. Bit-*different* from [`mul_then_add_256`] whenever the
+/// intermediate product is inexact.
+///
+/// # Safety
+///
+/// Caller must ensure FMA is available (guaranteed inside the `avx2fma`
+/// module's `#[target_feature]` kernels).
+#[inline(always)]
+unsafe fn fused_mul_add_256(a: __m256, b: __m256, c: __m256) -> __m256 {
+    _mm256_fmadd_ps(a, b, c)
+}
+
 macro_rules! simd_level {
     ($name:ident, $feature:literal, $lanes:literal,
-     $load:ident, $store:ident, $set1:ident, $mul:ident, $add:ident) => {
+     $load:ident, $store:ident, $set1:ident, $mul:ident, $add:ident, $muladd:ident) => {
         pub(crate) mod $name {
             use std::arch::x86_64::*;
 
@@ -35,7 +83,7 @@ macro_rules! simd_level {
                 while j + $lanes <= n {
                     let vx = $load(x.as_ptr().add(j));
                     let vy = $load(y.as_ptr().add(j));
-                    $store(y.as_mut_ptr().add(j), $add(vy, $mul(va, vx)));
+                    $store(y.as_mut_ptr().add(j), super::$muladd(va, vx, vy));
                     j += $lanes;
                 }
                 while j < n {
@@ -189,8 +237,8 @@ macro_rules! simd_level {
                                 let a_ip = a_rows[(r + i) * k + p];
                                 if a_ip != 0.0 {
                                     let va = $set1(a_ip);
-                                    a[0] = $add(a[0], $mul(va, vb0));
-                                    a[1] = $add(a[1], $mul(va, vb1));
+                                    a[0] = super::$muladd(va, vb0, a[0]);
+                                    a[1] = super::$muladd(va, vb1, a[1]);
                                 }
                             }
                         }
@@ -213,7 +261,7 @@ macro_rules! simd_level {
                             for (i, a) in acc.iter_mut().enumerate() {
                                 let a_ip = a_rows[(r + i) * k + p];
                                 if a_ip != 0.0 {
-                                    *a = $add(*a, $mul($set1(a_ip), vb));
+                                    *a = super::$muladd($set1(a_ip), vb, *a);
                                 }
                             }
                         }
@@ -291,6 +339,30 @@ simd_level!(
     _mm256_storeu_ps,
     _mm256_set1_ps,
     _mm256_mul_ps,
-    _mm256_add_ps
+    _mm256_add_ps,
+    mul_then_add_256
 );
-simd_level!(sse, "sse2", 4, _mm_loadu_ps, _mm_storeu_ps, _mm_set1_ps, _mm_mul_ps, _mm_add_ps);
+simd_level!(
+    sse,
+    "sse2",
+    4,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_set1_ps,
+    _mm_mul_ps,
+    _mm_add_ps,
+    mul_then_add_128
+);
+// The relaxed level: identical loop structure, fused multiply-add. Only
+// dispatched through `ContractMode::Relaxed` (see `crate::FmaBackend`).
+simd_level!(
+    avx2fma,
+    "avx2,fma",
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_mul_ps,
+    _mm256_add_ps,
+    fused_mul_add_256
+);

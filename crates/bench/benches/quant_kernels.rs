@@ -1,0 +1,116 @@
+//! Benchmarks of the int8 weight-quantized relaxed tier against the exact
+//! f32 SIMD kernels it shadows.
+//!
+//! The acceptance bar for the quantized fast tier is a **>= 1.5x** speedup
+//! of the int8 GEMM over the exact f32 SIMD kernel on the dominant MARS CNN
+//! workload (the 2048 -> 512 fully-connected layer at batch 64 — the same
+//! `fc_2048x512_batch64` geometry `micro_kernels.rs` pins). The
+//! `quant_serve_step` group measures the end effect: one full plan forward
+//! of the MARS CNN, float plan vs int8-quantized plan.
+//!
+//! Results feed the CI telemetry artifact (non-gating); outputs of the int8
+//! kernels are verified elsewhere by the tolerance harness, never here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fuse_backend::{with_backend, BackendChoice};
+use fuse_core::{build_mars_cnn, ModelConfig};
+use fuse_nn::LoweringRequest;
+use fuse_quant::{quantize_rows, DeviceMemory, HostDevice};
+use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_tensor::linalg;
+
+fn bench_int8_gemm(c: &mut Criterion) {
+    // The acceptance workload: 2048 -> 512 fully connected at batch 64.
+    let (batch, k, n) = (64usize, 2048usize, 512usize);
+    let input: Vec<f32> = (0..batch * k).map(|i| (i % 7) as f32 * 0.01).collect();
+    let weight: Vec<f32> = (0..n * k).map(|i| (i % 11) as f32 * 0.001).collect();
+    let bias = vec![0.0f32; n];
+    let mut out = vec![0.0f32; batch * n];
+
+    let mut group = c.benchmark_group("int8_gemm/fc_2048x512_batch64");
+    group.bench_function("f32_simd", |bench| {
+        with_backend(BackendChoice::Simd, || {
+            bench.iter(|| {
+                linalg::gemm_a_bt(black_box(&input), black_box(&weight), &mut out, batch, k, n);
+                black_box(&out);
+            })
+        })
+    });
+
+    let mut device = HostDevice::new();
+    let q = quantize_rows(&weight, k);
+    let wbuf = device.upload_i8(&q.values);
+    let sbuf = device.upload_f32(&q.scales);
+    group.bench_function("int8", |bench| {
+        bench.iter(|| {
+            device.gemm_i8(black_box(&input), wbuf, sbuf, &bias, &mut out, batch, k, n, false);
+            black_box(&out);
+        })
+    });
+    group.finish();
+}
+
+fn bench_quant_serve_step(c: &mut Criterion) {
+    // One full compiled-plan forward of the default MARS CNN at a serving
+    // micro-batch — the inference core of `ServeEngine::step` — float plan
+    // vs the int8 plan derived from it.
+    let batch = 8usize;
+    let model = build_mars_cnn(&ModelConfig::default(), 5).expect("model builds");
+    let graph = LoweringRequest::new(&model, &[5, 8, 8]).lower().expect("lowers");
+    let mut float_plan = graph.compile(batch).expect("compiles");
+    let mut quant_plan = float_plan.quantize().expect("quantizes");
+    let input: Vec<f32> = (0..batch * 5 * 8 * 8).map(|i| (i % 23) as f32 * 0.05).collect();
+
+    let mut group = c.benchmark_group("quant_serve_step/mars_batch8");
+    group.bench_function("float_plan", |bench| {
+        bench.iter(|| {
+            let out = float_plan.run(black_box(&input), batch).expect("runs");
+            black_box(out[0]);
+        })
+    });
+    group.bench_function("int8_plan", |bench| {
+        bench.iter(|| {
+            let out = quant_plan.run(black_box(&input), batch).expect("runs");
+            black_box(out[0]);
+        })
+    });
+    group.finish();
+
+    // The full engine step at the same micro-batch, int8 plan hot-swapped
+    // in: fusion + featurization + quantized inference per frame.
+    let dir = std::env::temp_dir().join("fuse_quant_serve_step_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mars-int8.fplan");
+    let donor = ServeEngine::new(
+        build_mars_cnn(&ModelConfig::default(), 5).expect("model builds"),
+        ServeConfig::default(),
+    )
+    .expect("engine builds");
+    donor.export_quantized_plan(&path).expect("export succeeds");
+    let mut engine = ServeEngine::new(
+        build_mars_cnn(&ModelConfig::default(), 5).expect("model builds"),
+        ServeConfig::default(),
+    )
+    .expect("engine builds");
+    engine.hot_swap_plan(&path).expect("swap succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let streams = fuse_bench::subject_streams(batch, 1);
+    for id in 0..batch as u64 {
+        engine.open_session(id).expect("session opens");
+    }
+    c.bench_function("quant_serve_step/engine_step_8_sessions", |bench| {
+        bench.iter(|| {
+            for (id, stream) in streams.iter().enumerate() {
+                engine.submit(id as u64, stream[0].clone()).expect("submit succeeds");
+            }
+            engine.step().expect("step succeeds");
+            black_box(engine.take_responses());
+        })
+    });
+}
+
+criterion_group!(benches, bench_int8_gemm, bench_quant_serve_step);
+criterion_main!(benches);

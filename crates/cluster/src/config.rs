@@ -264,7 +264,7 @@ mod tests {
             ClusterError::InvalidEnv {
                 name: "FUSE_BACKEND".into(),
                 value: "fpga".into(),
-                expected: "one of scalar|simd|auto",
+                expected: "one of scalar|simd|auto|simd-fma",
             }
         );
         assert_eq!(fuse_backend::active_choice(), pinned, "the cached choice must be untouched");

@@ -13,6 +13,12 @@
 //! artifact was exported from, on every backend × thread-count combination
 //! the reproducibility contract covers.
 //!
+//! The same session also loads `.fplan` **v2** artifacts carrying
+//! int8-quantized weights ([`fuse_graph::ExecPlan::quantize`] /
+//! `ServeEngine::export_quantized_plan`): those serve through the
+//! `fuse-quant` device seam under the relaxed contract, verified against
+//! float goldens by declared tolerance ([`EdgeSession::is_quantized`]).
+//!
 //! ```
 //! use fuse_edge::EdgeSession;
 //! use fuse_graph::{Graph, TensorMeta};
@@ -106,6 +112,14 @@ impl EdgeSession {
         self.plan.max_batch()
     }
 
+    /// Whether the artifact carries int8-quantized weights (a `.fplan` v2
+    /// relaxed-contract plan). Quantized sessions serve through the
+    /// `fuse-quant` device seam and are verified against float goldens by
+    /// declared tolerance instead of bit equality.
+    pub fn is_quantized(&self) -> bool {
+        self.plan.is_quantized()
+    }
+
     /// Unwraps the underlying execution plan.
     pub fn into_plan(self) -> ExecPlan {
         self.plan
@@ -149,6 +163,28 @@ mod tests {
                 session.infer(input.as_slice(), batch).unwrap(),
                 plan.run(input.as_slice(), batch).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn quantized_artifacts_serve_within_tolerance_of_the_float_plan() {
+        use fuse_quant::compare::{assert_close_ulp, top1, Tolerance};
+        let (_, float_plan) = artifact_bytes();
+        let bytes = float_plan.quantize().unwrap().to_bytes();
+        let mut session = EdgeSession::from_bytes(&bytes).unwrap();
+        assert!(session.is_quantized());
+        assert_eq!(session.signature(), float_plan.signature());
+
+        let mut float_plan = float_plan;
+        let budget = Tolerance { max_ulp: 0, max_abs: 5e-2, max_rel: 2e-2 };
+        for batch in 1..=4usize {
+            let input = Tensor::randn(&[batch, 2, 4, 4], 1.0, 90 + batch as u64);
+            let got = session.infer(input.as_slice(), batch).unwrap().to_vec();
+            let want = float_plan.run(input.as_slice(), batch).unwrap();
+            assert_close_ulp(want, &got, &budget, &format!("edge quantized batch {batch}"));
+            for (g, w) in got.chunks(5).zip(want.chunks(5)) {
+                assert_eq!(top1(g), top1(w), "top-1 agreement must hold per sample");
+            }
         }
     }
 

@@ -14,7 +14,11 @@
 //!
 //! All integers are little-endian; `f32` values are stored as the
 //! little-endian bytes of their IEEE-754 bit patterns, so a round trip is
-//! bit-exact (NaN payloads included). Every malformed input — wrong magic,
+//! bit-exact (NaN payloads included). Format v2 appends two length-prefixed
+//! tables after the f32 parameters — int8 quantized weights and per-channel
+//! f32 scales — and adds the quantized step tags; readers accept
+//! `v1..=v2`, decoding v1 artifacts to float plans with empty quantized
+//! sections. Every malformed input — wrong magic,
 //! unknown version, short file, corrupt payload, or a structurally valid
 //! payload describing an inconsistent plan — is a typed [`GraphError`];
 //! loading never panics, and a loaded plan's `run` is panic-free because all
@@ -35,12 +39,19 @@ use crate::Result;
 /// The four magic bytes opening every `.fplan` artifact.
 pub const FPLAN_MAGIC: [u8; 4] = *b"FPLN";
 
-/// The artifact format version this build writes and the only one it reads.
+/// The artifact format version this build writes. Readers accept
+/// `1..=FPLAN_VERSION`: v1 is the float-only layout, v2 appends the int8
+/// quantized-weight and per-channel scale tables (and may carry quantized
+/// step tags). A v1 artifact decodes to a float plan with empty quantized
+/// sections.
 ///
 /// Any change to the byte layout — new step tags included — must bump this;
-/// readers reject every other version with
+/// readers reject every newer or unknown version with
 /// [`GraphError::UnsupportedVersion`] rather than guessing.
-pub const FPLAN_VERSION: u32 = 1;
+pub const FPLAN_VERSION: u32 = 2;
+
+/// The oldest artifact format version this build still reads.
+pub const FPLAN_MIN_VERSION: u32 = 1;
 
 const HEADER_LEN: usize = 4 + 4 + 8;
 const CHECKSUM_LEN: usize = 8;
@@ -50,6 +61,9 @@ const TAG_CONV1X1: u8 = 1;
 const TAG_LINEAR: u8 = 2;
 const TAG_RELU: u8 = 3;
 const TAG_MAXPOOL2D: u8 = 4;
+// v2-only tags: quantized steps referencing the int8/scale tables.
+const TAG_QCONV2D: u8 = 5;
+const TAG_QLINEAR: u8 = 6;
 
 const SRC_INPUT: u8 = 0;
 const SRC_ARENA: u8 = 1;
@@ -91,6 +105,9 @@ impl Enc {
     }
     fn f32(&mut self, v: f32) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn i8s(&mut self, v: &[i8]) {
+        self.buf.extend(v.iter().map(|&x| x as u8));
     }
     fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
@@ -216,12 +233,66 @@ fn encode_payload(plan: &ExecPlan) -> Vec<u8> {
                 e.usize(*dst_offset);
                 e.usize(*dst_len);
             }
+            Step::QConv2d {
+                spec,
+                h,
+                w,
+                src,
+                src_len,
+                dst_offset,
+                dst_len,
+                weight,
+                scale,
+                bias,
+                relu,
+            } => {
+                e.u8(TAG_QCONV2D);
+                e.spec(spec);
+                e.usize(*h);
+                e.usize(*w);
+                e.src(src);
+                e.usize(*src_len);
+                e.usize(*dst_offset);
+                e.usize(*dst_len);
+                e.range(weight);
+                e.range(scale);
+                e.range(bias);
+                e.u8(u8::from(*relu));
+            }
+            Step::QLinear {
+                in_features,
+                out_features,
+                src,
+                dst_offset,
+                weight,
+                scale,
+                bias,
+                relu,
+            } => {
+                e.u8(TAG_QLINEAR);
+                e.usize(*in_features);
+                e.usize(*out_features);
+                e.src(src);
+                e.usize(*dst_offset);
+                e.range(weight);
+                e.range(scale);
+                e.range(bias);
+                e.u8(u8::from(*relu));
+            }
         }
     }
 
     e.usize(plan.params.len());
     for &p in &plan.params {
         e.f32(p);
+    }
+
+    // v2 quantized sections: length-prefixed int8 weights, then f32 scales.
+    e.usize(plan.qweights.len());
+    e.i8s(&plan.qweights);
+    e.usize(plan.qscales.len());
+    for &s in &plan.qscales {
+        e.f32(s);
     }
     e.buf
 }
@@ -261,6 +332,9 @@ impl<'a> Dec<'a> {
     }
     fn f32(&mut self) -> Result<f32> {
         Ok(f32::from_bits(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"))))
+    }
+    fn i8s(&mut self, n: usize) -> Result<Vec<i8>> {
+        Ok(self.take(n)?.iter().map(|&b| b as i8).collect())
     }
     fn str(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
@@ -309,7 +383,7 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Result<ExecPlan> {
+fn decode_payload(payload: &[u8], version: u32) -> Result<ExecPlan> {
     let mut d = Dec { bytes: payload, pos: 0 };
 
     let name_count = d.u32()? as usize;
@@ -378,6 +452,34 @@ fn decode_payload(payload: &[u8]) -> Result<ExecPlan> {
                 dst_offset: d.usize()?,
                 dst_len: d.usize()?,
             },
+            tag @ (TAG_QCONV2D | TAG_QLINEAR) if version < 2 => {
+                return Err(GraphError::Malformed(format!(
+                    "quantized step tag {tag} in a v{version} artifact"
+                )))
+            }
+            TAG_QCONV2D => Step::QConv2d {
+                spec: d.spec()?,
+                h: d.usize()?,
+                w: d.usize()?,
+                src: d.src()?,
+                src_len: d.usize()?,
+                dst_offset: d.usize()?,
+                dst_len: d.usize()?,
+                weight: d.range()?,
+                scale: d.range()?,
+                bias: d.range()?,
+                relu: d.u8()? != 0,
+            },
+            TAG_QLINEAR => Step::QLinear {
+                in_features: d.usize()?,
+                out_features: d.usize()?,
+                src: d.src()?,
+                dst_offset: d.usize()?,
+                weight: d.range()?,
+                scale: d.range()?,
+                bias: d.range()?,
+                relu: d.u8()? != 0,
+            },
             tag => return Err(GraphError::Malformed(format!("unknown step tag {tag}"))),
         };
         steps.push(step);
@@ -393,6 +495,31 @@ fn decode_payload(payload: &[u8]) -> Result<ExecPlan> {
     for _ in 0..param_count {
         params.push(d.f32()?);
     }
+
+    // v2 quantized sections; a v1 artifact simply has none.
+    let (qweights, qscales) = if version >= 2 {
+        let qweight_count = d.usize()?;
+        let available = payload.len() - d.pos;
+        if qweight_count > available {
+            return Err(GraphError::Truncated { needed: qweight_count, available });
+        }
+        let qweights = d.i8s(qweight_count)?;
+        let qscale_count = d.usize()?;
+        let available = payload.len() - d.pos;
+        if qscale_count.checked_mul(4).map(|need| need > available).unwrap_or(true) {
+            return Err(GraphError::Truncated {
+                needed: qscale_count.saturating_mul(4),
+                available,
+            });
+        }
+        let mut qscales = Vec::with_capacity(qscale_count);
+        for _ in 0..qscale_count {
+            qscales.push(d.f32()?);
+        }
+        (qweights, qscales)
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
     if d.pos != payload.len() {
         return Err(GraphError::Malformed(format!(
@@ -410,6 +537,9 @@ fn decode_payload(payload: &[u8]) -> Result<ExecPlan> {
         steps,
         arena: vec![0.0; arena_len],
         out_offset,
+        qweights,
+        qscales,
+        device: None,
     };
     validate(&plan)?;
     Ok(plan)
@@ -425,11 +555,38 @@ fn validate(plan: &ExecPlan) -> Result<()> {
     if mb == 0 {
         return Err(GraphError::Malformed("max_batch must be at least 1".into()));
     }
-    if plan.params.len() != plan.signature.param_len() {
+    // Each quantized weight replaces exactly one f32 parameter (biases stay
+    // f32; scales are extra metadata), so the signature's parameter count —
+    // the hot-swap identity — is conserved across quantization.
+    let quantized = plan.steps.iter().any(|s| s.is_quantized());
+    if quantized {
+        let total = plan.params.len().checked_add(plan.qweights.len());
+        if total != Some(plan.signature.param_len()) {
+            return Err(GraphError::Malformed(format!(
+                "parameter table ({}) plus quantized weights ({}) must equal the \
+                 signature's {} parameters",
+                plan.params.len(),
+                plan.qweights.len(),
+                plan.signature.param_len()
+            )));
+        }
+    } else {
+        if plan.params.len() != plan.signature.param_len() {
+            return Err(GraphError::Malformed(format!(
+                "parameter table holds {} values but the signature records {}",
+                plan.params.len(),
+                plan.signature.param_len()
+            )));
+        }
+        if !plan.qweights.is_empty() || !plan.qscales.is_empty() {
+            return Err(GraphError::Malformed(
+                "quantized tables present but no step references them".into(),
+            ));
+        }
+    }
+    if let Some(bad) = plan.qscales.iter().find(|s| !s.is_finite() || **s <= 0.0) {
         return Err(GraphError::Malformed(format!(
-            "parameter table holds {} values but the signature records {}",
-            plan.params.len(),
-            plan.signature.param_len()
+            "dequantization scale {bad} is not a positive finite value"
         )));
     }
     if plan.steps.is_empty() {
@@ -450,20 +607,29 @@ fn validate(plan: &ExecPlan) -> Result<()> {
         }
         Ok((offset, mb * per_sample))
     };
+    let table_range =
+        |what: &str, table: &str, len: usize, r: &Range<usize>, expected: usize| -> Result<()> {
+            if r.end > len {
+                return Err(GraphError::Malformed(format!(
+                    "{what} range {r:?} exceeds the {table} table ({len})"
+                )));
+            }
+            if r.len() != expected {
+                return Err(GraphError::Malformed(format!(
+                    "{what} range {r:?} holds {} values, geometry implies {expected}",
+                    r.len()
+                )));
+            }
+            Ok(())
+        };
     let params_range = |what: &str, r: &Range<usize>, expected: usize| -> Result<()> {
-        if r.end > plan.params.len() {
-            return Err(GraphError::Malformed(format!(
-                "{what} range {r:?} exceeds the parameter table ({})",
-                plan.params.len()
-            )));
-        }
-        if r.len() != expected {
-            return Err(GraphError::Malformed(format!(
-                "{what} range {r:?} holds {} values, geometry implies {expected}",
-                r.len()
-            )));
-        }
-        Ok(())
+        table_range(what, "parameter", plan.params.len(), r, expected)
+    };
+    let qweights_range = |what: &str, r: &Range<usize>, expected: usize| -> Result<()> {
+        table_range(what, "quantized-weight", plan.qweights.len(), r, expected)
+    };
+    let qscales_range = |what: &str, r: &Range<usize>, expected: usize| -> Result<()> {
+        table_range(what, "scale", plan.qscales.len(), r, expected)
     };
     let src_slot = |what: &str, src: &Src, per_sample: usize| -> Result<Option<(usize, usize)>> {
         match src {
@@ -592,6 +758,58 @@ fn validate(plan: &ExecPlan) -> Result<()> {
                 }
                 disjoint(&what, &regions)?;
             }
+            Step::QConv2d {
+                spec,
+                h,
+                w,
+                src,
+                src_len,
+                dst_offset,
+                dst_len,
+                weight,
+                scale,
+                bias,
+                ..
+            } => {
+                let what = format!("step {i} (qconv2d)");
+                let (out_h, out_w) = spec
+                    .output_size(*h, *w)
+                    .map_err(|e| GraphError::Malformed(format!("{what}: {e}")))?;
+                if *src_len != spec.in_channels * h * w {
+                    return Err(GraphError::Malformed(format!("{what}: src_len mismatch")));
+                }
+                if *dst_len != spec.out_channels * out_h * out_w {
+                    return Err(GraphError::Malformed(format!("{what}: dst_len mismatch")));
+                }
+                qweights_range(&what, weight, spec.weight_len())?;
+                qscales_range(&what, scale, spec.out_channels)?;
+                params_range(&what, bias, spec.out_channels)?;
+                let mut regions = vec![slot(&what, *dst_offset, *dst_len)?];
+                if let Some(r) = src_slot(&what, src, *src_len)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
+            Step::QLinear {
+                in_features,
+                out_features,
+                src,
+                dst_offset,
+                weight,
+                scale,
+                bias,
+                ..
+            } => {
+                let what = format!("step {i} (qlinear)");
+                qweights_range(&what, weight, in_features * out_features)?;
+                qscales_range(&what, scale, *out_features)?;
+                params_range(&what, bias, *out_features)?;
+                let mut regions = vec![slot(&what, *dst_offset, *out_features)?];
+                if let Some(r) = src_slot(&what, src, *in_features)? {
+                    regions.push(r);
+                }
+                disjoint(&what, &regions)?;
+            }
         }
     }
 
@@ -647,7 +865,7 @@ impl ExecPlan {
             return Err(GraphError::BadMagic { found: magic });
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != FPLAN_VERSION {
+        if !(FPLAN_MIN_VERSION..=FPLAN_VERSION).contains(&version) {
             return Err(GraphError::UnsupportedVersion {
                 found: version,
                 supported: FPLAN_VERSION,
@@ -677,7 +895,7 @@ impl ExecPlan {
         if stored != computed {
             return Err(GraphError::ChecksumMismatch { stored, computed });
         }
-        decode_payload(payload)
+        decode_payload(payload, version)
     }
 
     /// Writes the plan to `path` as a `.fplan` artifact.
@@ -780,6 +998,109 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(matches!(ExecPlan::from_bytes(&trailing), Err(GraphError::Malformed(_))));
+    }
+
+    /// Rebuilds a full artifact around a (possibly modified) payload,
+    /// re-stamping length and checksum so payload-level corruptions reach
+    /// the decoder instead of tripping the checksum.
+    fn reassemble(payload: &[u8], version: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&FPLAN_MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out
+    }
+
+    fn payload_of(bytes: &[u8]) -> Vec<u8> {
+        bytes[HEADER_LEN..bytes.len() - CHECKSUM_LEN].to_vec()
+    }
+
+    #[test]
+    fn quantized_plan_round_trips_at_v2() {
+        let plan = pooled_plan().quantize().unwrap();
+        let bytes = plan.to_bytes();
+        let mut loaded = ExecPlan::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.steps, plan.steps);
+        assert_eq!(loaded.qweights, plan.qweights);
+        let same_bits =
+            loaded.qscales.iter().zip(&plan.qscales).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "scales must survive bit-exactly");
+
+        let mut original = plan;
+        let input = Tensor::randn(&[2, 2, 4, 4], 1.0, 77);
+        assert_eq!(
+            loaded.run(input.as_slice(), 2).unwrap(),
+            original.run(input.as_slice(), 2).unwrap(),
+            "host-device execution of a loaded plan is deterministic"
+        );
+    }
+
+    #[test]
+    fn v1_artifacts_without_quantized_sections_still_decode() {
+        let plan = pooled_plan();
+        let bytes = plan.to_bytes();
+        // A float plan's v2 payload ends with the two empty quantized
+        // sections (8-byte zero counts each); stripping them yields the
+        // exact v1 payload layout.
+        let payload = payload_of(&bytes);
+        assert_eq!(&payload[payload.len() - 16..], &[0u8; 16]);
+        let v1 = reassemble(&payload[..payload.len() - 16], 1);
+        let mut loaded = ExecPlan::from_bytes(&v1).unwrap();
+        let input = Tensor::randn(&[1, 2, 4, 4], 1.0, 78);
+        let mut original = plan;
+        assert_eq!(
+            loaded.run(input.as_slice(), 1).unwrap(),
+            original.run(input.as_slice(), 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn quantized_tags_in_a_v1_artifact_are_malformed() {
+        let plan = pooled_plan().quantize().unwrap();
+        let payload = payload_of(&plan.to_bytes());
+        let v1 = reassemble(&payload, 1);
+        assert!(matches!(ExecPlan::from_bytes(&v1), Err(GraphError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_scale_table_is_a_typed_truncation() {
+        let plan = pooled_plan().quantize().unwrap();
+        let payload = payload_of(&plan.to_bytes());
+        // Cut into the trailing scale table: the count no longer fits.
+        let cut = reassemble(&payload[..payload.len() - 2], FPLAN_VERSION);
+        assert!(matches!(ExecPlan::from_bytes(&cut), Err(GraphError::Truncated { .. })));
+    }
+
+    #[test]
+    fn non_positive_or_non_finite_scales_are_malformed() {
+        let plan = pooled_plan().quantize().unwrap();
+        let bytes = plan.to_bytes();
+        for bad in [f32::NAN, 0.0, -1.0] {
+            let mut payload = payload_of(&bytes);
+            let n = payload.len();
+            payload[n - 4..].copy_from_slice(&bad.to_bits().to_le_bytes());
+            let forged = reassemble(&payload, FPLAN_VERSION);
+            match ExecPlan::from_bytes(&forged) {
+                Err(GraphError::Malformed(msg)) => {
+                    assert!(msg.contains("positive finite"), "unexpected message: {msg}")
+                }
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn versions_outside_the_supported_range_are_rejected() {
+        let payload = payload_of(&pooled_plan().to_bytes());
+        for bad in [0u32, FPLAN_VERSION + 1, 99] {
+            assert!(matches!(
+                ExecPlan::from_bytes(&reassemble(&payload, bad)),
+                Err(GraphError::UnsupportedVersion { found, supported: FPLAN_VERSION })
+                    if found == bad
+            ));
+        }
     }
 
     #[test]

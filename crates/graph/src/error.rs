@@ -41,7 +41,7 @@ pub enum GraphError {
     UnsupportedVersion {
         /// Version stamped in the artifact header.
         found: u32,
-        /// The single version this build supports.
+        /// The newest version this build supports (it reads `1..=supported`).
         supported: u32,
     },
     /// The artifact payload does not match its recorded checksum.
@@ -82,7 +82,7 @@ impl fmt::Display for GraphError {
             GraphError::UnsupportedVersion { found, supported } => {
                 write!(
                     f,
-                    "plan artifact format v{found} unsupported (this build reads v{supported})"
+                    "plan artifact format v{found} unsupported (this build reads v1..=v{supported})"
                 )
             }
             GraphError::ChecksumMismatch { stored, computed } => {

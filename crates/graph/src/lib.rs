@@ -27,8 +27,19 @@
 //! Plans dispatch through the same `fuse-tensor` / `fuse-backend` kernels as
 //! the legacy layer walk (same scalar/SIMD selection, same `FUSE_THREADS`
 //! parallelism, same per-element operation order), so plan output is
-//! bit-identical to the uncompiled pipeline — see `REPRODUCIBILITY.md` for
-//! the fusion-pass contract.
+//! bit-identical to the uncompiled pipeline under every exact-contract
+//! backend choice — see `REPRODUCIBILITY.md` for the fusion-pass contract.
+//!
+//! Plans are also the workspace's **relaxed-contract surface**: float steps
+//! route through the relaxed tensor entry points (fused-multiply-add kernels
+//! under an explicit `FUSE_BACKEND=simd-fma`, bit-identical to exact
+//! otherwise), and [`ExecPlan::quantize`] derives an int8 weight-quantized
+//! plan that executes through the `fuse-quant` [`DeviceMemory`] seam and
+//! ships in the same `.fplan` container (format v2). Relaxed outputs are
+//! verified against float goldens by declared tolerance, never byte
+//! equality.
+//!
+//! [`DeviceMemory`]: fuse_quant::DeviceMemory
 //!
 //! ```
 //! use fuse_graph::{Graph, TensorMeta};
@@ -58,7 +69,7 @@ pub mod op;
 mod passes;
 pub mod plan;
 
-pub use artifact::{FPLAN_MAGIC, FPLAN_VERSION};
+pub use artifact::{FPLAN_MAGIC, FPLAN_MIN_VERSION, FPLAN_VERSION};
 pub use error::GraphError;
 pub use graph::{Graph, ShapeSignature};
 pub use meta::{DType, TensorMeta};

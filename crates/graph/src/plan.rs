@@ -5,8 +5,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 
+use fuse_quant::{dequantize_rows, quantize_rows, BufferId, DeviceMemory, HostDevice};
 use fuse_tensor::{
-    conv1x1_forward_into, conv2d_forward_into, linalg, maxpool2d_forward_into, Conv2dSpec,
+    conv1x1_forward_into_relaxed, conv2d_forward_into_relaxed, linalg, maxpool2d_forward_into,
+    Conv2dSpec,
 };
 
 use crate::arena::ArenaPlanner;
@@ -86,6 +88,66 @@ pub(crate) enum Step {
         dst_offset: usize,
         dst_len: usize,
     },
+    /// Quantized conv2d (relaxed contract): int8 weights indexed into the
+    /// plan's `qweights`, one f32 scale per output channel in `qscales`,
+    /// f32 bias in `params`. Executes directly (no im2col scratch) through
+    /// the plan's [`DeviceMemory`].
+    QConv2d {
+        spec: Conv2dSpec,
+        h: usize,
+        w: usize,
+        src: Src,
+        src_len: usize,
+        dst_offset: usize,
+        dst_len: usize,
+        /// Range into `qweights` (int8).
+        weight: Range<usize>,
+        /// Range into `qscales` (one per output channel).
+        scale: Range<usize>,
+        /// Range into `params` (f32 bias).
+        bias: Range<usize>,
+        relu: bool,
+    },
+    /// Quantized fully-connected layer (relaxed contract); same storage
+    /// split as [`Step::QConv2d`].
+    QLinear {
+        in_features: usize,
+        out_features: usize,
+        src: Src,
+        dst_offset: usize,
+        /// Range into `qweights` (int8).
+        weight: Range<usize>,
+        /// Range into `qscales` (one per output feature).
+        scale: Range<usize>,
+        /// Range into `params` (f32 bias).
+        bias: Range<usize>,
+        relu: bool,
+    },
+}
+
+impl Step {
+    /// Whether this step executes int8 weights through the device seam.
+    pub(crate) fn is_quantized(&self) -> bool {
+        matches!(self, Step::QConv2d { .. } | Step::QLinear { .. })
+    }
+}
+
+/// Device-resident handles for one quantized step, in quantized-step order.
+///
+/// Handles live outside [`Step`] (which stays `PartialEq` and serializable);
+/// they are recomputed deterministically — upload per quantized step, in step
+/// order — whenever a device is (re)installed, so a plan loaded from an
+/// artifact binds to a device identically to the plan that wrote it.
+struct StepBuffers {
+    weight: BufferId,
+    scale: BufferId,
+}
+
+/// An installed execution device plus the per-step buffer handles uploaded
+/// to it.
+pub(crate) struct DeviceState {
+    mem: Box<dyn DeviceMemory>,
+    buffers: Vec<StepBuffers>,
 }
 
 /// A compiled, reusable execution plan.
@@ -94,9 +156,16 @@ pub(crate) enum Step {
 /// and a pre-sized arena holding every intermediate buffer, so steady-state
 /// [`ExecPlan::run`] performs **zero heap allocations** (the serial
 /// `FUSE_THREADS=1` guarantee the workspace's allocation gate pins; the
-/// thread pool may box tasks when a dispatch goes parallel). Output is
+/// thread pool may box tasks when a dispatch goes parallel). Under every
+/// exact-contract backend choice (`scalar`, `simd`, `auto`) output is
 /// bit-identical to executing the ops unfused, for every backend × thread
-/// combination — see `REPRODUCIBILITY.md`.
+/// combination — see `REPRODUCIBILITY.md`. Plans are the workspace's
+/// designated **relaxed-contract surface**: float steps dispatch through the
+/// relaxed tensor entry points, so explicitly opting into
+/// `FUSE_BACKEND=simd-fma` serves with fused-multiply-add kernels
+/// (tolerance-verified, not bit-reproducible), and [`ExecPlan::quantize`]
+/// derives an int8 weight-quantized plan executing through a
+/// [`DeviceMemory`].
 ///
 /// ```
 /// use fuse_graph::{Graph, TensorMeta};
@@ -119,6 +188,13 @@ pub struct ExecPlan {
     pub(crate) steps: Vec<Step>,
     pub(crate) arena: Vec<f32>,
     pub(crate) out_offset: usize,
+    /// Int8 weight storage for quantized steps (empty on float plans).
+    pub(crate) qweights: Vec<i8>,
+    /// Per-output-channel dequantization scales (empty on float plans).
+    pub(crate) qscales: Vec<f32>,
+    /// Installed execution device for quantized steps; `None` until first
+    /// run (which installs [`HostDevice`]) or [`ExecPlan::with_device`].
+    pub(crate) device: Option<DeviceState>,
 }
 
 impl Graph {
@@ -299,6 +375,9 @@ fn compile(graph: Graph, max_batch: usize) -> Result<ExecPlan> {
         steps,
         arena: vec![0.0; planner.total()],
         out_offset,
+        qweights: Vec::new(),
+        qscales: Vec::new(),
+        device: None,
     })
 }
 
@@ -321,6 +400,11 @@ impl ExecPlan {
     /// Steady state allocates nothing: every intermediate lives in the arena
     /// planned at compile time, and kernels dispatch through the same
     /// `fuse-backend` / `fuse-parallel` machinery as the unfused pipeline.
+    /// Float steps use the relaxed tensor entry points — identical to the
+    /// exact dispatch under `scalar`/`simd`/`auto`, fused-multiply-add under
+    /// an explicit `FUSE_BACKEND=simd-fma` — and quantized steps execute
+    /// through the installed [`DeviceMemory`] (a [`HostDevice`] is installed
+    /// on first run when none was supplied).
     ///
     /// # Errors
     ///
@@ -338,9 +422,12 @@ impl ExecPlan {
                 actual: input.len(),
             });
         }
+        self.ensure_device();
 
-        let ExecPlan { steps, arena, params, .. } = self;
+        let ExecPlan { steps, arena, params, device, .. } = self;
         let params: &[f32] = params;
+        let device = device.as_ref();
+        let mut qi = 0usize;
         for step in steps.iter() {
             match step {
                 Step::Conv2d {
@@ -364,7 +451,7 @@ impl ExecPlan {
                     match *src {
                         Src::Input => {
                             let [cols, dst, _] = split3_mut(arena, [cols_r, dst_r, 0..0]);
-                            conv2d_forward_into(
+                            conv2d_forward_into_relaxed(
                                 &input[..batch * *src_len],
                                 batch,
                                 *h,
@@ -380,7 +467,7 @@ impl ExecPlan {
                         Src::Arena { offset } => {
                             let src_r = offset..offset + batch * *src_len;
                             let [src_s, cols, dst] = split3_mut(arena, [src_r, cols_r, dst_r]);
-                            conv2d_forward_into(
+                            conv2d_forward_into_relaxed(
                                 src_s, batch, *h, *w, wgt, b, spec, cols, dst, *relu,
                             )?;
                         }
@@ -404,7 +491,7 @@ impl ExecPlan {
                     match *src {
                         Src::Input => {
                             let dst = &mut arena[dst_r];
-                            conv1x1_forward_into(
+                            conv1x1_forward_into_relaxed(
                                 &input[..batch * *src_len],
                                 batch,
                                 *h,
@@ -419,7 +506,9 @@ impl ExecPlan {
                         Src::Arena { offset } => {
                             let src_r = offset..offset + batch * *src_len;
                             let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
-                            conv1x1_forward_into(src_s, batch, *h, *w, wgt, b, spec, dst, *relu)?;
+                            conv1x1_forward_into_relaxed(
+                                src_s, batch, *h, *w, wgt, b, spec, dst, *relu,
+                            )?;
                         }
                     }
                 }
@@ -430,7 +519,7 @@ impl ExecPlan {
                     match *src {
                         Src::Input => {
                             let dst = &mut arena[dst_r];
-                            linalg::affine_a_bt(
+                            linalg::affine_a_bt_relaxed(
                                 &input[..batch * *in_features],
                                 wgt,
                                 b,
@@ -444,7 +533,7 @@ impl ExecPlan {
                         Src::Arena { offset } => {
                             let src_r = offset..offset + batch * *in_features;
                             let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
-                            linalg::affine_a_bt(
+                            linalg::affine_a_bt_relaxed(
                                 src_s,
                                 wgt,
                                 b,
@@ -498,6 +587,88 @@ impl ExecPlan {
                         }
                     }
                 }
+                Step::QConv2d {
+                    spec, h, w, src, src_len, dst_offset, dst_len, bias, relu, ..
+                } => {
+                    let dev = device.expect("quantized plan has a device installed");
+                    let bufs = &dev.buffers[qi];
+                    qi += 1;
+                    let b = &params[bias.clone()];
+                    let dst_r = *dst_offset..*dst_offset + batch * *dst_len;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            dev.mem.conv2d_i8(
+                                &input[..batch * *src_len],
+                                bufs.weight,
+                                bufs.scale,
+                                b,
+                                dst,
+                                batch,
+                                spec,
+                                *h,
+                                *w,
+                                *relu,
+                            );
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *src_len;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            dev.mem.conv2d_i8(
+                                src_s,
+                                bufs.weight,
+                                bufs.scale,
+                                b,
+                                dst,
+                                batch,
+                                spec,
+                                *h,
+                                *w,
+                                *relu,
+                            );
+                        }
+                    }
+                }
+                Step::QLinear {
+                    in_features, out_features, src, dst_offset, bias, relu, ..
+                } => {
+                    let dev = device.expect("quantized plan has a device installed");
+                    let bufs = &dev.buffers[qi];
+                    qi += 1;
+                    let b = &params[bias.clone()];
+                    let dst_r = *dst_offset..*dst_offset + batch * *out_features;
+                    match *src {
+                        Src::Input => {
+                            let dst = &mut arena[dst_r];
+                            dev.mem.gemm_i8(
+                                &input[..batch * *in_features],
+                                bufs.weight,
+                                bufs.scale,
+                                b,
+                                dst,
+                                batch,
+                                *in_features,
+                                *out_features,
+                                *relu,
+                            );
+                        }
+                        Src::Arena { offset } => {
+                            let src_r = offset..offset + batch * *in_features;
+                            let [src_s, dst, _] = split3_mut(arena, [src_r, dst_r, 0..0]);
+                            dev.mem.gemm_i8(
+                                src_s,
+                                bufs.weight,
+                                bufs.scale,
+                                b,
+                                dst,
+                                batch,
+                                *in_features,
+                                *out_features,
+                                *relu,
+                            );
+                        }
+                    }
+                }
             }
         }
 
@@ -543,9 +714,249 @@ impl ExecPlan {
     }
 
     /// The flat parameter snapshot baked into the plan at compile (or
-    /// artifact-load) time, in checkpoint order.
+    /// artifact-load) time, in checkpoint order. On a quantized plan this
+    /// holds only the f32 remainder (biases); the quantized weights live in
+    /// a separate int8 table.
     pub fn params(&self) -> &[f32] {
         &self.params
+    }
+
+    /// Whether any step executes int8 weights through the device seam.
+    pub fn is_quantized(&self) -> bool {
+        self.steps.iter().any(Step::is_quantized)
+    }
+
+    /// The parameter snapshot expanded to the signature's full f32 layout:
+    /// float plans return [`ExecPlan::params`] verbatim; quantized plans
+    /// reconstruct each step's dequantized weights followed by its f32 bias,
+    /// in step order — the push order for chain-lowered plans, i.e. the
+    /// checkpoint layout. This is how a quantized `.fplan` hot-swaps into an
+    /// engine whose base model stores f32: the swapped-in weights carry the
+    /// (bounded) quantization rounding.
+    pub fn dequantized_params(&self) -> Vec<f32> {
+        if !self.is_quantized() {
+            return self.params.clone();
+        }
+        let mut out = Vec::with_capacity(self.signature.param_len());
+        for step in &self.steps {
+            match step {
+                Step::QConv2d { spec, weight, scale, bias, .. } => {
+                    let row_len = spec.in_channels * spec.kernel * spec.kernel;
+                    let start = out.len();
+                    out.resize(start + weight.len(), 0.0);
+                    dequantize_rows(
+                        &self.qweights[weight.clone()],
+                        &self.qscales[scale.clone()],
+                        row_len,
+                        &mut out[start..],
+                    );
+                    out.extend_from_slice(&self.params[bias.clone()]);
+                }
+                Step::QLinear { in_features, weight, scale, bias, .. } => {
+                    let start = out.len();
+                    out.resize(start + weight.len(), 0.0);
+                    dequantize_rows(
+                        &self.qweights[weight.clone()],
+                        &self.qscales[scale.clone()],
+                        *in_features,
+                        &mut out[start..],
+                    );
+                    out.extend_from_slice(&self.params[bias.clone()]);
+                }
+                Step::Conv2d { weight, bias, .. }
+                | Step::Conv1x1 { weight, bias, .. }
+                | Step::Linear { weight, bias, .. } => {
+                    out.extend_from_slice(&self.params[weight.clone()]);
+                    out.extend_from_slice(&self.params[bias.clone()]);
+                }
+                Step::Relu { .. } | Step::MaxPool2d { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Number of int8 weights held by quantized steps (0 on float plans).
+    pub fn qweight_len(&self) -> usize {
+        self.qweights.len()
+    }
+
+    /// Derives a weight-quantized copy of this float plan: every conv and
+    /// linear step is rewritten to its int8 counterpart with per-channel
+    /// symmetric scales, biases stay f32, and the shape signature is kept
+    /// **identical** so the derived plan passes the same checkpoint /
+    /// hot-swap validation ladder as its float parent.
+    ///
+    /// The quantized plan runs under the relaxed contract: outputs are
+    /// tolerance-verified against the float golden, not bit-reproducible
+    /// (see `REPRODUCIBILITY.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Unsupported`] when the plan is already
+    /// quantized and [`GraphError::Malformed`] when a weight is non-finite
+    /// (quantizing NaN/∞ would silently poison the served model).
+    pub fn quantize(&self) -> Result<ExecPlan> {
+        if self.is_quantized() {
+            return Err(GraphError::Unsupported("plan is already quantized".into()));
+        }
+        let mut params = Vec::new();
+        let mut qweights: Vec<i8> = Vec::new();
+        let mut qscales: Vec<f32> = Vec::new();
+        let mut steps = Vec::with_capacity(self.steps.len());
+
+        let push_quantized = |weight: &Range<usize>,
+                              bias: &Range<usize>,
+                              row_len: usize,
+                              params: &mut Vec<f32>,
+                              qweights: &mut Vec<i8>,
+                              qscales: &mut Vec<f32>|
+         -> Result<(Range<usize>, Range<usize>, Range<usize>)> {
+            let w = &self.params[weight.clone()];
+            if let Some(bad) = w.iter().find(|v| !v.is_finite()) {
+                return Err(GraphError::Malformed(format!(
+                    "cannot quantize non-finite weight {bad}"
+                )));
+            }
+            let q = quantize_rows(w, row_len);
+            let w_start = qweights.len();
+            qweights.extend_from_slice(&q.values);
+            let s_start = qscales.len();
+            qscales.extend_from_slice(&q.scales);
+            let b_start = params.len();
+            params.extend_from_slice(&self.params[bias.clone()]);
+            Ok((w_start..qweights.len(), s_start..qscales.len(), b_start..params.len()))
+        };
+
+        for step in &self.steps {
+            let step = match step {
+                Step::Conv2d {
+                    spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    dst_offset,
+                    dst_len,
+                    weight,
+                    bias,
+                    relu,
+                    ..
+                }
+                | Step::Conv1x1 {
+                    spec,
+                    h,
+                    w,
+                    src,
+                    src_len,
+                    dst_offset,
+                    dst_len,
+                    weight,
+                    bias,
+                    relu,
+                } => {
+                    let row_len = spec.in_channels * spec.kernel * spec.kernel;
+                    let (weight, scale, bias) = push_quantized(
+                        weight,
+                        bias,
+                        row_len,
+                        &mut params,
+                        &mut qweights,
+                        &mut qscales,
+                    )?;
+                    Step::QConv2d {
+                        spec: *spec,
+                        h: *h,
+                        w: *w,
+                        src: *src,
+                        src_len: *src_len,
+                        dst_offset: *dst_offset,
+                        dst_len: *dst_len,
+                        weight,
+                        scale,
+                        bias,
+                        relu: *relu,
+                    }
+                }
+                Step::Linear { in_features, out_features, src, dst_offset, weight, bias, relu } => {
+                    let (weight, scale, bias) = push_quantized(
+                        weight,
+                        bias,
+                        *in_features,
+                        &mut params,
+                        &mut qweights,
+                        &mut qscales,
+                    )?;
+                    Step::QLinear {
+                        in_features: *in_features,
+                        out_features: *out_features,
+                        src: *src,
+                        dst_offset: *dst_offset,
+                        weight,
+                        scale,
+                        bias,
+                        relu: *relu,
+                    }
+                }
+                other => other.clone(),
+            };
+            steps.push(step);
+        }
+
+        Ok(ExecPlan {
+            signature: self.signature.clone(),
+            input: self.input.clone(),
+            output: self.output.clone(),
+            max_batch: self.max_batch,
+            params,
+            steps,
+            arena: vec![0.0; self.arena.len()],
+            out_offset: self.out_offset,
+            qweights,
+            qscales,
+            device: None,
+        })
+    }
+
+    /// Installs `mem` as the plan's execution device, uploading every
+    /// quantized step's weights and scales (batch-resident) in step order.
+    /// Replaces any previously installed device; a no-op seam on float
+    /// plans. This is the GPU slot-in point: `ServeEngine` and the cluster
+    /// never see anything below this call.
+    pub fn with_device(mut self, mem: Box<dyn DeviceMemory>) -> Self {
+        self.install_device(mem);
+        self
+    }
+
+    /// Short name of the installed device (`"host"`, …), or `None` while no
+    /// device is bound (float plans never bind one).
+    pub fn device_name(&self) -> Option<&'static str> {
+        self.device.as_ref().map(|d| d.mem.name())
+    }
+
+    /// Lazily installs a [`HostDevice`] on quantized plans; handles are
+    /// deterministic because uploads happen per quantized step in step
+    /// order.
+    fn ensure_device(&mut self) {
+        if self.device.is_none() && self.is_quantized() {
+            self.install_device(Box::new(HostDevice::new()));
+        }
+    }
+
+    fn install_device(&mut self, mut mem: Box<dyn DeviceMemory>) {
+        let mut buffers = Vec::new();
+        for step in &self.steps {
+            let (weight, scale) = match step {
+                Step::QConv2d { weight, scale, .. } | Step::QLinear { weight, scale, .. } => {
+                    (weight, scale)
+                }
+                _ => continue,
+            };
+            buffers.push(StepBuffers {
+                weight: mem.upload_i8(&self.qweights[weight.clone()]),
+                scale: mem.upload_f32(&self.qscales[scale.clone()]),
+            });
+        }
+        self.device = Some(DeviceState { mem, buffers });
     }
 }
 
@@ -558,6 +969,8 @@ impl fmt::Debug for ExecPlan {
             .field("steps", &self.steps.len())
             .field("arena_len", &self.arena.len())
             .field("param_len", &self.params.len())
+            .field("qweight_len", &self.qweights.len())
+            .field("device", &self.device_name())
             .finish()
     }
 }
@@ -775,6 +1188,58 @@ mod tests {
         maxpool2d_forward_into(input.as_slice(), 1, 2, 4, 4, 2, &mut pooled, None).unwrap();
         let expected: Vec<f32> = pooled.iter().map(|x| x.max(0.0)).collect();
         assert_eq!(plan.run(input.as_slice(), 1).unwrap(), &expected[..]);
+    }
+
+    #[test]
+    fn quantized_plan_tracks_the_float_plan_within_budget() {
+        let (g, input, ..) = build_case();
+        let mut float_plan = g.compile(8).unwrap();
+        let mut quant = float_plan.quantize().unwrap();
+        assert!(quant.is_quantized());
+        assert!(!float_plan.is_quantized());
+        // Quantization conserves the hot-swap identity: same signature, same
+        // dispatch count, and every f32 weight became exactly one i8.
+        assert_eq!(quant.signature(), float_plan.signature());
+        assert_eq!(quant.step_count(), float_plan.step_count());
+        assert_eq!(quant.param_len() + quant.qweight_len(), float_plan.signature().param_len());
+
+        let expected = float_plan.run(input.as_slice(), 3).unwrap().to_vec();
+        let actual = quant.run(input.as_slice(), 3).unwrap().to_vec();
+        assert_eq!(quant.device_name(), Some("host"), "first run installs the host device");
+        let tol = fuse_quant::Tolerance { max_ulp: 0, max_abs: 0.05, max_rel: 0.02 };
+        fuse_quant::compare::compare(&expected, &actual, &tol)
+            .expect("quantized serve must stay within the declared budget");
+        for (e_row, a_row) in expected.chunks_exact(4).zip(actual.chunks_exact(4)) {
+            assert_eq!(fuse_quant::top1(e_row), fuse_quant::top1(a_row), "top-1 must agree");
+        }
+    }
+
+    #[test]
+    fn quantizing_twice_is_rejected() {
+        let (g, ..) = build_case();
+        let quant = g.compile(2).unwrap().quantize().unwrap();
+        assert!(matches!(quant.quantize(), Err(GraphError::Unsupported(_))));
+    }
+
+    #[test]
+    fn float_plans_never_bind_a_device() {
+        let (g, input, ..) = build_case();
+        let mut plan = g.compile(4).unwrap();
+        plan.run(input.as_slice(), 3).unwrap();
+        assert_eq!(plan.device_name(), None);
+    }
+
+    #[test]
+    fn with_device_matches_the_lazily_installed_host_device() {
+        let (g, input, ..) = build_case();
+        let float_plan = g.compile(4).unwrap();
+        let mut auto = float_plan.quantize().unwrap();
+        let mut explicit = float_plan.quantize().unwrap().with_device(Box::new(HostDevice::new()));
+        assert_eq!(explicit.device_name(), Some("host"));
+        let two = &input.as_slice()[..2 * 32];
+        let a = auto.run(two, 2).unwrap().to_vec();
+        let b = explicit.run(two, 2).unwrap();
+        assert_eq!(b, &a[..], "upload order is deterministic, outputs identical");
     }
 
     #[test]

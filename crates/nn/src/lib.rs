@@ -52,16 +52,12 @@ pub mod serialize;
 pub use error::NnError;
 pub use layer::{Layer, LayerLowering};
 pub use loss::{HuberLoss, L1Loss, Loss, MseLoss};
-#[allow(deprecated)]
-pub use lowering::lower_for_inference;
 pub use lowering::{Compiled, FallbackPolicy, LoweringRequest};
 pub use metrics::{mae, mae_per_axis, AxisMae};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use pooling::MaxPool2d;
 pub use schedule::LrSchedule;
 pub use sequential::Sequential;
-#[allow(deprecated)]
-pub use serialize::{load_params_json, read_checkpoint_json, save_params_json};
 pub use serialize::{Checkpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 
 /// Convenience result alias used throughout the crate.

@@ -33,6 +33,10 @@ pub enum FallbackPolicy {
 }
 
 /// Outcome of [`LoweringRequest::compile`].
+// A `Compiled` is destructured immediately at the compile call site, never
+// stored or collected, so the size gap between the plan and the error
+// variant costs nothing — boxing the plan would only add churn for callers.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Compiled {
     /// The model compiled; serve through the plan.
@@ -164,17 +168,6 @@ impl<'m> LoweringRequest<'m> {
     }
 }
 
-/// Builds the inference op graph of `model` for per-sample inputs shaped
-/// `input_dims`, snapshotting the current parameters.
-///
-/// # Errors
-///
-/// See [`LoweringRequest::lower`].
-#[deprecated(note = "use LoweringRequest::new(model, input_dims).lower()")]
-pub fn lower_for_inference(model: &Sequential, input_dims: &[usize]) -> fuse_graph::Result<Graph> {
-    LoweringRequest::new(model, input_dims).lower()
-}
-
 #[cfg(test)]
 mod tests {
     use fuse_tensor::{Conv2dSpec, Tensor};
@@ -300,13 +293,5 @@ mod tests {
             }
             other => panic!("expected a fallback, got {other:?}"),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_lower_for_inference_forwards() {
-        let model = tiny_cnn();
-        let graph = lower_for_inference(&model, &[2, 4, 4]).unwrap();
-        assert_eq!(graph.signature().param_len(), model.param_len());
     }
 }

@@ -6,8 +6,6 @@
 //! binary container (`{to_binary, from_binary}`, roughly 10× smaller — f32s
 //! as 4 raw bytes instead of decimal text), and applies itself back to a
 //! model through one validated, typed error path ([`Checkpoint::apply_to`]).
-//! The free functions `save_params_json` / `read_checkpoint_json` /
-//! `load_params_json` from earlier revisions are deprecated forwarders.
 
 use std::fs;
 use std::path::Path;
@@ -309,41 +307,6 @@ fn take_str(payload: &[u8], pos: &mut usize) -> Result<String> {
         .map_err(|_| NnError::Serialization("checkpoint string is not valid UTF-8".into()))
 }
 
-/// Saves a model's parameters to a JSON file.
-///
-/// # Errors
-///
-/// Returns [`NnError::Serialization`] when the file cannot be written or the
-/// checkpoint cannot be encoded.
-#[deprecated(note = "use Checkpoint::capture(model, name).write_json(path)")]
-pub fn save_params_json(model: &Sequential, model_name: &str, path: &Path) -> Result<()> {
-    Checkpoint::capture(model, model_name).write_json(path)
-}
-
-/// Reads and decodes a checkpoint without validating it against any model.
-///
-/// # Errors
-///
-/// Returns [`NnError::Serialization`] when the file cannot be read or decoded
-/// (including truncated JSON).
-#[deprecated(note = "use Checkpoint::read(path)")]
-pub fn read_checkpoint_json(path: &Path) -> Result<Checkpoint> {
-    Checkpoint::read(path)
-}
-
-/// Loads parameters from a JSON checkpoint into an existing model with a
-/// matching architecture.
-///
-/// # Errors
-///
-/// See [`Checkpoint::read`] and [`Checkpoint::apply_to`].
-#[deprecated(note = "use Checkpoint::read(path) + Checkpoint::apply_to(model)")]
-pub fn load_params_json(model: &mut Sequential, path: &Path) -> Result<Checkpoint> {
-    let checkpoint = Checkpoint::read(path)?;
-    checkpoint.apply_to(model)?;
-    Ok(checkpoint)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,21 +420,5 @@ mod tests {
     fn read_errors_on_missing_file() {
         let err = Checkpoint::read(Path::new("/nonexistent/fuse-ckpt.json"));
         assert!(matches!(err, Err(NnError::Serialization(_))));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_forward_to_checkpoint() {
-        let dir = std::env::temp_dir().join("fuse_nn_serialize_deprecated");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
-        let original = model(21);
-        save_params_json(&original, "fwd", &path).unwrap();
-        let ckpt = read_checkpoint_json(&path).unwrap();
-        assert_eq!(ckpt.model_name, "fwd");
-        let mut restored = model(22);
-        load_params_json(&mut restored, &path).unwrap();
-        assert_eq!(restored.flat_params(), original.flat_params());
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,285 @@
+//! The tolerance comparator for relaxed-contract verification.
+//!
+//! Exact-contract goldens are compared byte-for-byte; relaxed-tier outputs
+//! (FMA, int8) are compared against the same float goldens within a
+//! **declared accuracy budget** — a [`Tolerance`] committed next to the
+//! golden it guards. A pair of values passes when *any* of the budget's
+//! criteria admits it:
+//!
+//! * bitwise equality (always passes, including equal non-finite bits),
+//! * absolute difference `<= max_abs`,
+//! * relative difference `<= max_rel` (denominator `max(|a|, |b|)`),
+//! * ULP distance `<= max_ulp` (see [`ulp_distance`]).
+//!
+//! Non-finite values anywhere in either slice are a hard, typed failure
+//! ([`CompareError::NonFinite`]) — a relaxed kernel that produces NaN or ∞
+//! is broken, not imprecise. The comparison never treats `NaN == NaN` as
+//! close.
+
+use std::fmt;
+
+/// A declared accuracy budget. Fields are OR-ed: a pair within *any*
+/// bound passes. Zero-valued fields disable that criterion (bitwise
+/// equality still always passes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum admitted ULP distance between expected and actual.
+    pub max_ulp: u64,
+    /// Maximum admitted absolute difference.
+    pub max_abs: f32,
+    /// Maximum admitted relative difference (`|a-b| / max(|a|,|b|)`).
+    pub max_rel: f32,
+}
+
+impl Tolerance {
+    /// A budget admitting only bitwise equality.
+    pub const EXACT: Tolerance = Tolerance { max_ulp: 0, max_abs: 0.0, max_rel: 0.0 };
+
+    /// Whether one `expected`/`actual` pair (both finite) is within budget.
+    pub fn admits(&self, expected: f32, actual: f32) -> bool {
+        if expected.to_bits() == actual.to_bits() {
+            return true;
+        }
+        let abs = (expected - actual).abs();
+        if abs <= self.max_abs {
+            return true;
+        }
+        let denom = expected.abs().max(actual.abs());
+        if denom > 0.0 && abs / denom <= self.max_rel {
+            return true;
+        }
+        ulp_distance(expected, actual) <= self.max_ulp
+    }
+}
+
+/// The worst deviations observed by a successful [`compare`] run — useful
+/// for reporting how much of a budget a path actually consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompareReport {
+    /// Largest absolute difference.
+    pub max_abs: f32,
+    /// Largest relative difference.
+    pub max_rel: f32,
+    /// Largest ULP distance.
+    pub max_ulp: u64,
+}
+
+/// A typed comparison failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The slices have different lengths.
+    LenMismatch {
+        /// Expected (golden) length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A non-finite value appeared in either slice.
+    NonFinite {
+        /// Element index.
+        index: usize,
+        /// The offending value.
+        value: f32,
+        /// Which side held it (`"expected"` or `"actual"`).
+        side: &'static str,
+    },
+    /// An element pair exceeded every criterion of the budget.
+    OutOfBudget {
+        /// Element index.
+        index: usize,
+        /// Golden value.
+        expected: f32,
+        /// Observed value.
+        actual: f32,
+        /// Absolute difference.
+        abs: f32,
+        /// Relative difference.
+        rel: f32,
+        /// ULP distance.
+        ulp: u64,
+    },
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::LenMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} values, got {actual}")
+            }
+            CompareError::NonFinite { index, value, side } => {
+                write!(f, "non-finite value {value} in {side} slice at index {index}")
+            }
+            CompareError::OutOfBudget { index, expected, actual, abs, rel, ulp } => write!(
+                f,
+                "index {index}: {actual} vs golden {expected} \
+                 (abs {abs:e}, rel {rel:e}, {ulp} ulp) exceeds the budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// The distance between two floats in units of last place, measured on the
+/// monotonic integer number line: each float maps to its sign-magnitude
+/// offset (negatives mirrored below zero), so the distance counts how many
+/// representable floats separate the two values. `+0` and `-0` are 0 apart;
+/// the mapping is total for finite inputs.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -((bits & 0x7fff_ffff) as i64)
+        } else {
+            bits as i64
+        }
+    }
+    (key(a) - key(b)).unsigned_abs()
+}
+
+/// Compares `actual` against the golden `expected` within `tol`, returning
+/// the worst observed deviations on success.
+///
+/// # Errors
+///
+/// Returns a typed [`CompareError`] on length mismatch, any non-finite
+/// value on either side, or the first element pair out of budget.
+pub fn compare(
+    expected: &[f32],
+    actual: &[f32],
+    tol: &Tolerance,
+) -> Result<CompareReport, CompareError> {
+    if expected.len() != actual.len() {
+        return Err(CompareError::LenMismatch { expected: expected.len(), actual: actual.len() });
+    }
+    let mut report = CompareReport::default();
+    for (index, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        if !e.is_finite() {
+            return Err(CompareError::NonFinite { index, value: e, side: "expected" });
+        }
+        if !a.is_finite() {
+            return Err(CompareError::NonFinite { index, value: a, side: "actual" });
+        }
+        let abs = (e - a).abs();
+        let denom = e.abs().max(a.abs());
+        let rel = if denom > 0.0 { abs / denom } else { 0.0 };
+        let ulp = ulp_distance(e, a);
+        if !tol.admits(e, a) {
+            return Err(CompareError::OutOfBudget { index, expected: e, actual: a, abs, rel, ulp });
+        }
+        report.max_abs = report.max_abs.max(abs);
+        report.max_rel = report.max_rel.max(rel);
+        report.max_ulp = report.max_ulp.max(ulp);
+    }
+    Ok(report)
+}
+
+/// Asserts `actual` is within `tol` of the golden `expected`, panicking
+/// with the typed failure rendered in `context` otherwise. The relaxed
+/// golden harness's workhorse.
+///
+/// # Panics
+///
+/// Panics when [`compare`] fails.
+pub fn assert_close_ulp(expected: &[f32], actual: &[f32], tol: &Tolerance, context: &str) {
+    if let Err(e) = compare(expected, actual, tol) {
+        panic!("{context}: {e}");
+    }
+}
+
+/// The first-maximum index of a logit slice (strict `>` scan from `-∞`,
+/// ignoring NaN — the same rule as the exact contract's `max_scan`), or
+/// `None` for empty/all-non-finite input. Top-1 agreement between a
+/// relaxed path and the float golden means these indices match.
+pub fn top1(logits: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best.map_or(f32::NEG_INFINITY, |(_, b)| b) {
+            best = Some((i, v));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // One step either side of zero: the smallest positive and negative
+        // subnormals are 1 ulp from zero and 2 from each other.
+        let tiny = f32::from_bits(1);
+        assert_eq!(ulp_distance(0.0, tiny), 1);
+        assert_eq!(ulp_distance(-tiny, tiny), 2);
+        // Distance grows with exponent gaps.
+        assert!(ulp_distance(1.0, 2.0) > 1_000_000);
+    }
+
+    #[test]
+    fn tolerance_admits_by_any_criterion() {
+        let tol = Tolerance { max_ulp: 4, max_abs: 1e-6, max_rel: 1e-5 };
+        assert!(tol.admits(1.0, 1.0));
+        assert!(tol.admits(1.0, f32::from_bits(1.0f32.to_bits() + 3))); // ulp
+        assert!(tol.admits(1e-8, 5e-7)); // abs
+        assert!(tol.admits(1000.0, 1000.005)); // rel
+        assert!(!tol.admits(1.0, 1.1));
+        assert!(!Tolerance::EXACT.admits(1.0, 1.0 + f32::EPSILON));
+        assert!(Tolerance::EXACT.admits(-0.5, -0.5));
+    }
+
+    #[test]
+    fn compare_reports_worst_deviations() {
+        let tol = Tolerance { max_ulp: 0, max_abs: 0.2, max_rel: 0.0 };
+        let report = compare(&[1.0, 2.0, 3.0], &[1.1, 2.0, 2.9], &tol).unwrap();
+        assert!((report.max_abs - 0.1).abs() < 1e-6);
+        assert!(report.max_ulp > 0);
+        assert!(report.max_rel > 0.0);
+    }
+
+    #[test]
+    fn compare_rejects_nan_and_infinity_with_typed_errors() {
+        let tol = Tolerance { max_ulp: u64::MAX, max_abs: f32::MAX, max_rel: 1.0 };
+        // A huge budget still never admits non-finite values...
+        let err = compare(&[1.0], &[f32::NAN], &tol).unwrap_err();
+        assert!(matches!(err, CompareError::NonFinite { side: "actual", .. }));
+        let err = compare(&[f32::INFINITY], &[1.0], &tol).unwrap_err();
+        assert!(matches!(err, CompareError::NonFinite { side: "expected", .. }));
+        // ...even as a NaN == NaN bit pair on the expected side.
+        let err = compare(&[f32::NAN], &[f32::NAN], &tol).unwrap_err();
+        assert!(matches!(err, CompareError::NonFinite { side: "expected", .. }));
+        let err = compare(&[1.0, 2.0], &[1.0], &tol).unwrap_err();
+        assert!(matches!(err, CompareError::LenMismatch { expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn compare_flags_the_first_out_of_budget_element() {
+        let tol = Tolerance { max_ulp: 0, max_abs: 1e-3, max_rel: 0.0 };
+        let err = compare(&[1.0, 2.0], &[1.0, 2.5], &tol).unwrap_err();
+        match err {
+            CompareError::OutOfBudget { index, expected, actual, .. } => {
+                assert_eq!((index, expected, actual), (1, 2.0, 2.5));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("exceeds the budget"));
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxed-golden: index 0")]
+    fn assert_close_ulp_panics_with_context() {
+        assert_close_ulp(&[1.0], &[2.0], &Tolerance::EXACT, "relaxed-golden");
+    }
+
+    #[test]
+    fn top1_matches_first_max_semantics() {
+        assert_eq!(top1(&[]), None);
+        assert_eq!(top1(&[f32::NAN, f32::NEG_INFINITY]), None);
+        assert_eq!(top1(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+        assert_eq!(top1(&[f32::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(top1(&[-3.0, -1.0, -2.0]), Some(1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-channel symmetric int8 quantization.
+//!
+//! A weight tensor is quantized one **output channel** (row) at a time: the
+//! scale for row `r` is `max|w[r]| / 127` (or `1.0` for an all-zero row, so
+//! dequantization is always well-defined), and every element is
+//! `round(w / scale)` clamped to `[-127, 127]`. `-128` is never produced —
+//! the symmetric range keeps `q * scale` representable without special
+//! cases.
+//!
+//! The scheme is exact for zeros and bounds the per-element round-trip
+//! error by `scale / 2`, i.e. `max|w[r]| / 254` — the property the crate's
+//! proptests pin.
+
+/// The maximum magnitude of a quantized value (symmetric range, `-128`
+/// unused).
+pub const QMAX: f32 = 127.0;
+
+/// A per-channel int8 quantization of a row-major weight matrix: `rows`
+/// rows of `row_len` int8 values plus one f32 scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRows {
+    /// Quantized values, row-major, same layout as the source weights.
+    pub values: Vec<i8>,
+    /// One dequantization scale per row (`w ≈ values * scale`).
+    pub scales: Vec<f32>,
+    /// Row length (the per-channel fan-in).
+    pub row_len: usize,
+}
+
+/// Quantizes a row-major weight matrix with one symmetric scale per row.
+///
+/// `weights.len()` must be a multiple of `row_len`; each chunk of
+/// `row_len` elements is one output channel.
+///
+/// # Panics
+///
+/// Panics when `row_len == 0` or `weights.len()` is not a multiple of
+/// `row_len`, or when a weight is non-finite (quantizing NaN/∞ would
+/// silently poison the served model).
+pub fn quantize_rows(weights: &[f32], row_len: usize) -> QuantizedRows {
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(weights.len() % row_len, 0, "weights must be whole rows of row_len");
+    let rows = weights.len() / row_len;
+    let mut values = Vec::with_capacity(weights.len());
+    let mut scales = Vec::with_capacity(rows);
+    for row in weights.chunks_exact(row_len) {
+        let mut max_abs = 0.0f32;
+        for &w in row {
+            assert!(w.is_finite(), "cannot quantize non-finite weight {w}");
+            max_abs = max_abs.max(w.abs());
+        }
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / QMAX };
+        scales.push(scale);
+        for &w in row {
+            let q = (w / scale).round().clamp(-QMAX, QMAX);
+            values.push(q as i8);
+        }
+    }
+    QuantizedRows { values, scales, row_len }
+}
+
+/// Dequantizes per-channel int8 rows back to f32 (`out[r][j] =
+/// values[r][j] * scales[r]`).
+///
+/// # Panics
+///
+/// Panics when the value/scale/output lengths disagree.
+pub fn dequantize_rows(values: &[i8], scales: &[f32], row_len: usize, out: &mut [f32]) {
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(values.len(), out.len(), "output length must match values");
+    assert_eq!(values.len(), scales.len() * row_len, "one scale per row of row_len");
+    for ((q_row, o_row), &scale) in
+        values.chunks_exact(row_len).zip(out.chunks_exact_mut(row_len)).zip(scales)
+    {
+        for (o, &q) in o_row.iter_mut().zip(q_row) {
+            *o = f32::from(q) * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded_by_half_scale() {
+        let weights: Vec<f32> = (0..64).map(|i| (i as f32 - 31.5) * 0.037).collect();
+        let q = quantize_rows(&weights, 16);
+        assert_eq!(q.scales.len(), 4);
+        let mut back = vec![0.0f32; weights.len()];
+        dequantize_rows(&q.values, &q.scales, 16, &mut back);
+        for (r, (w_row, b_row)) in weights.chunks_exact(16).zip(back.chunks_exact(16)).enumerate() {
+            let budget = q.scales[r] * 0.5 + 1e-6;
+            for (w, b) in w_row.iter().zip(b_row) {
+                assert!((w - b).abs() <= budget, "row {r}: {w} -> {b} exceeds {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_quantize_exactly_and_all_zero_rows_get_unit_scale() {
+        let q = quantize_rows(&[0.0; 8], 4);
+        assert_eq!(q.scales, vec![1.0, 1.0]);
+        assert!(q.values.iter().all(|&v| v == 0));
+        let mut back = vec![9.0f32; 8];
+        dequantize_rows(&q.values, &q.scales, 4, &mut back);
+        assert_eq!(back, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn extremes_hit_qmax_without_overflow() {
+        let q = quantize_rows(&[-3.0, 3.0, 1.5, 0.0], 4);
+        assert_eq!(q.values[0], -127);
+        assert_eq!(q.values[1], 127);
+        assert_eq!(q.scales[0], 3.0 / QMAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_weights_are_rejected() {
+        quantize_rows(&[1.0, f32::NAN], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_rows_are_rejected() {
+        quantize_rows(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fuse-quant
+//!
+//! The relaxed-contract quantization tier: per-channel symmetric int8
+//! weights, int8 compute kernels with f32 accumulate-and-dequantize, the
+//! [`DeviceMemory`] seam a GPU backend later slots into, and the tolerance
+//! comparator the relaxed tier is verified with.
+//!
+//! Everything in this crate lives **outside** the workspace's
+//! bit-reproducibility contract (`REPRODUCIBILITY.md`): quantized inference
+//! is lossy by construction, so its outputs are compared against the float
+//! goldens by *declared accuracy budget* ([`Tolerance`]), never by bits.
+//! The exact-contract surfaces — training, checkpointing, the float serve
+//! goldens — never touch this crate.
+//!
+//! ## Layers
+//!
+//! * [`int8`] — per-channel symmetric quantization: one scale per output
+//!   channel (`scale = max|w| / 127`), values rounded to `[-127, 127]`.
+//!   Round-trip error is bounded by `scale / 2` per element (property-
+//!   tested).
+//! * [`DeviceMemory`] — the device seam: weights are uploaded once into
+//!   batch-resident buffers identified by opaque [`BufferId`] handles; the
+//!   int8 gemm/conv entry points execute against handles, so a GPU
+//!   implementation replaces [`HostDevice`] without touching `ServeEngine`
+//!   or cluster callers.
+//! * [`HostDevice`] — the CPU implementation: AVX2+FMA convert-and-fmadd
+//!   kernels when the host supports them (runtime-detected), a portable
+//!   accumulator fallback otherwise, parallel across batch rows via
+//!   `fuse-parallel`.
+//! * [`compare`] — the tolerance harness: [`Tolerance`] budgets,
+//!   [`assert_close_ulp`], ULP distance, and the [`top1`] agreement check
+//!   used on the classification surface.
+//!
+//! ## Why weight-only int8
+//!
+//! The serve hot loop is bandwidth-bound on weights (`fc_2048x512` streams
+//! a 4 MB f32 weight matrix per batch; int8 streams 1 MB). Activations stay
+//! f32 end to end and accumulation is f32, so the only error source is the
+//! weight rounding — which the per-channel scales keep within a per-layer
+//! relative bound that the committed accuracy budgets assert.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod device;
+pub mod int8;
+
+pub use compare::{assert_close_ulp, top1, ulp_distance, CompareError, CompareReport, Tolerance};
+pub use device::{BufferId, DeviceMemory, HostDevice};
+pub use int8::{dequantize_rows, quantize_rows, QuantizedRows};

@@ -1,0 +1,107 @@
+//! Property tests for the int8 quantization scheme and the tolerance
+//! comparator: the round-trip error bound, scale well-definedness, and the
+//! ULP mapping's metric properties.
+
+use fuse_quant::{dequantize_rows, quantize_rows, ulp_distance, Tolerance};
+use proptest::prelude::*;
+
+/// Deterministic weight rows spanning signs, magnitudes and exact zeros.
+fn weight_rows(max_rows: usize, max_len: usize) -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..=max_rows, 1usize..=max_len, any::<u32>()).prop_map(|(rows, row_len, seed)| {
+        let weights = (0..rows * row_len)
+            .map(|i| {
+                let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(40503))
+                    % 4096) as f32;
+                if i % 11 == 0 {
+                    0.0
+                } else {
+                    (x * 1e-3 - 2.0) * 10f32.powi((i % 5) as i32 - 2)
+                }
+            })
+            .collect();
+        (weights, row_len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-element round-trip error never exceeds half the row's scale
+    /// (`max|w| / 254`), and zeros survive exactly.
+    #[test]
+    fn quantize_round_trip_error_is_within_half_scale(case in weight_rows(6, 40)) {
+        let (weights, row_len) = case;
+        let q = quantize_rows(&weights, row_len);
+        prop_assert_eq!(q.values.len(), weights.len());
+        prop_assert_eq!(q.scales.len(), weights.len() / row_len);
+        let mut back = vec![0.0f32; weights.len()];
+        dequantize_rows(&q.values, &q.scales, row_len, &mut back);
+        for (r, (w_row, b_row)) in
+            weights.chunks_exact(row_len).zip(back.chunks_exact(row_len)).enumerate()
+        {
+            let scale = q.scales[r];
+            prop_assert!(scale > 0.0, "scale must be positive, got {}", scale);
+            let budget = scale * 0.5 * (1.0 + 1e-5);
+            for (w, b) in w_row.iter().zip(b_row) {
+                prop_assert!((w - b).abs() <= budget,
+                    "row {}: {} -> {} exceeds half-scale {}", r, w, b, budget);
+                if *w == 0.0 {
+                    prop_assert_eq!(*b, 0.0, "zeros must round-trip exactly");
+                }
+            }
+        }
+    }
+
+    /// Quantized magnitudes never exceed 127 (symmetric range, -128 unused),
+    /// and every row's maximum magnitude lands on ±127 (the scale is tight).
+    #[test]
+    fn quantized_range_is_symmetric_and_tight(case in weight_rows(4, 24)) {
+        let (weights, row_len) = case;
+        let q = quantize_rows(&weights, row_len);
+        prop_assert!(q.values.iter().all(|&v| v != i8::MIN));
+        for (r, w_row) in weights.chunks_exact(row_len).enumerate() {
+            if w_row.iter().any(|w| *w != 0.0) {
+                let q_row = &q.values[r * row_len..(r + 1) * row_len];
+                let max_q = q_row.iter().map(|v| v.unsigned_abs()).max().unwrap();
+                prop_assert_eq!(max_q, 127, "row {} scale is not tight", r);
+            }
+        }
+    }
+
+    /// The ULP mapping is a metric on finite floats: symmetric, zero only
+    /// for bit-equal values (mod signed zero), and adjacent representable
+    /// floats are exactly 1 apart.
+    #[test]
+    fn ulp_distance_is_a_metric(bits_a in any::<u32>(), bits_b in any::<u32>()) {
+        // Clamp random bit patterns into the finite range (no prop_assume
+        // in the vendored stand-in): mask out exponent-all-ones patterns.
+        let finite = |bits: u32| {
+            let v = f32::from_bits(bits);
+            if v.is_finite() { v } else { f32::from_bits(bits & !0x7f80_0000) }
+        };
+        let (a, b) = (finite(bits_a), finite(bits_b));
+        prop_assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+        prop_assert_eq!(ulp_distance(a, a), 0);
+        if ulp_distance(a, b) == 0 {
+            prop_assert!(a == b, "0-ulp values must compare equal, got {} vs {}", a, b);
+        }
+        let next = f32::from_bits(if a >= 0.0 { a.to_bits() + 1 } else { a.to_bits() - 1 });
+        if next.is_finite() {
+            prop_assert_eq!(ulp_distance(a, next), 1);
+        }
+    }
+
+    /// A tolerance with a pure relative budget admits exactly the pairs
+    /// within that relative distance (for well-scaled finite values).
+    #[test]
+    fn relative_tolerance_admits_iff_within_budget(
+        mag in 1e-3f32..1e3,
+        rel in 0.0f32..0.5,
+    ) {
+        let tol = Tolerance { max_ulp: 0, max_abs: 0.0, max_rel: 1e-2 };
+        let a = mag;
+        let b = mag * (1.0 + rel);
+        let observed = (a - b).abs() / a.abs().max(b.abs());
+        prop_assert_eq!(tol.admits(a, b), observed <= 1e-2);
+    }
+}

@@ -36,6 +36,10 @@
 //!   [`ServeEngine::hot_swap_plan`] do the same with a serialized `.fplan`
 //!   compiled-plan artifact, which carries the schedule alongside the
 //!   weights and installs without recompiling.
+//!   [`ServeEngine::export_quantized_plan`] writes the int8 weight-quantized
+//!   variant (format v2); hot-swapping such an artifact installs the
+//!   quantized plan and applies its dequantized weights to the base model,
+//!   so the engine serves int8 end to end under the relaxed contract.
 //! * **Latency accounting** — fusion, featurization, inference and
 //!   submit-to-response totals are recorded per frame against the 100 ms
 //!   frame budget ([`crate::LatencyRecorder`]).
@@ -768,11 +772,17 @@ impl ServeEngine {
             ))
             .into());
         }
+        // `dequantized_params` is the full-signature f32 layout for float
+        // *and* quantized artifacts (a quantized plan's own `params` table
+        // holds only biases); the base model always stores f32, so a
+        // quantized swap applies the int8 weights' dequantized values —
+        // carrying the bounded rounding — while the installed plan itself
+        // executes the int8 tables.
         let checkpoint = Checkpoint {
             model_name: model_name.to_string(),
             param_len: signature.param_len(),
             layer_names: signature.layer_names().to_vec(),
-            params: plan.params().to_vec(),
+            params: plan.dequantized_params(),
         };
         Ok(PreparedSwap { candidate: None, checkpoint, plan: Some(plan) })
     }
@@ -871,6 +881,31 @@ impl ServeEngine {
             )
         })?;
         Ok(plan.write_plan(path)?)
+    }
+
+    /// Like [`ServeEngine::export_plan`], but derives an int8 weight-quantized
+    /// plan ([`ExecPlan::quantize`]) before writing, producing a `.fplan`
+    /// **v2** artifact roughly a quarter the size of the float export. The
+    /// engine itself keeps serving the float plan; the artifact is the
+    /// relaxed-contract deployable — an edge runtime or peer engine that
+    /// loads it serves int8 weights through the `fuse-quant` device seam and
+    /// is verified against float goldens by tolerance, not byte equality (see
+    /// `REPRODUCIBILITY.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fuse_graph::GraphError::Unsupported`] when the engine is
+    /// serving through the layer-walk fallback, propagates
+    /// [`ExecPlan::quantize`] errors (e.g. non-finite weights) and write
+    /// failures as [`ServeError::Graph`].
+    pub fn export_quantized_plan(&self, path: &Path) -> Result<()> {
+        let plan = self.base_plan.as_ref().ok_or_else(|| {
+            GraphError::Unsupported(
+                "the served model has no compiled plan to quantize (legacy layer-walk fallback)"
+                    .into(),
+            )
+        })?;
+        Ok(plan.quantize()?.write_plan(path)?)
     }
 
     /// Closes a session and packages everything a peer engine needs to
@@ -1393,6 +1428,90 @@ mod tests {
             "plan-artifact serving must match the donor bit for bit"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantized_export_hot_swaps_and_serves_within_budget() {
+        use fuse_quant::compare::{assert_close_ulp, top1, Tolerance};
+        let dir = std::env::temp_dir().join("fuse_serve_quant_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quantized.fplan");
+
+        let donor = ServeEngine::new(
+            build_mars_cnn(&ModelConfig::tiny(), 7).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        donor.export_quantized_plan(&path).unwrap();
+
+        // The quantized artifact is strictly smaller than the float export:
+        // every conv/linear weight shrinks from 4 bytes to 1 (+ one f32
+        // scale per output row).
+        let float_path = dir.join("float.fplan");
+        donor.export_plan(&float_path).unwrap();
+        let (qsize, fsize) = (
+            std::fs::metadata(&path).unwrap().len(),
+            std::fs::metadata(&float_path).unwrap().len(),
+        );
+        assert!(qsize * 2 < fsize, "quantized artifact {qsize}B vs float {fsize}B");
+
+        let mut engine = tiny_engine();
+        let checkpoint = engine.hot_swap_plan(&path).unwrap();
+        assert_eq!(checkpoint.model_name, "quantized");
+        assert_eq!(engine.model_version(), 1);
+        assert!(engine.plan().unwrap().is_quantized(), "the int8 plan itself is installed");
+        assert_eq!(
+            checkpoint.params.len(),
+            engine.base_model().param_len(),
+            "the base model receives the full-length dequantized snapshot"
+        );
+
+        // A multi-session stream served through the quantized plan must
+        // track the float donor's responses within the relaxed-contract
+        // budget and agree on every top-1 joint-coordinate index.
+        let mut float_engine = ServeEngine::new(
+            build_mars_cnn(&ModelConfig::tiny(), 7).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        let budget = Tolerance { max_ulp: 0, max_abs: 5e-2, max_rel: 2e-2 };
+        for id in [1u64, 2, 3] {
+            engine.open_session(id).unwrap();
+            float_engine.open_session(id).unwrap();
+        }
+        for step in 0..4u64 {
+            for id in [1u64, 2, 3] {
+                engine.submit(id, frame(id * 10 + step, 12)).unwrap();
+                float_engine.submit(id, frame(id * 10 + step, 12)).unwrap();
+            }
+            engine.step().unwrap();
+            float_engine.step().unwrap();
+            let (got, want) = (engine.take_responses(), float_engine.take_responses());
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.session_id, g.frame_index), (w.session_id, w.frame_index));
+                assert_close_ulp(
+                    &w.joints,
+                    &g.joints,
+                    &budget,
+                    &format!("session {} frame {}", g.session_id, g.frame_index),
+                );
+                assert_eq!(top1(&g.joints), top1(&w.joints), "top-1 agreement must hold");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_quantized_plan_requires_a_compiled_plan() {
+        use fuse_nn::layers::Linear;
+        let model = Sequential::new(vec![Box::new(Linear::new(10, 4, 1).unwrap())]);
+        let engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
+        assert!(engine.plan().is_none());
+        assert!(matches!(
+            engine.export_quantized_plan(Path::new("/nonexistent/out.fplan")).unwrap_err(),
+            ServeError::Graph(GraphError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -243,6 +243,60 @@ pub fn conv2d_forward_into(
     out: &mut [f32],
     relu: bool,
 ) -> Result<()> {
+    conv2d_forward_into_on(
+        fuse_backend::active(),
+        input,
+        n,
+        h,
+        w,
+        weight,
+        bias,
+        spec,
+        cols,
+        out,
+        relu,
+    )
+}
+
+/// [`conv2d_forward_into`] under **relaxed** dispatch: bit-identical to the
+/// exact entry point for `scalar`/`simd`/`auto`, fused FMA kernels under
+/// the opt-in `FUSE_BACKEND=simd-fma` on a capable host. Only the
+/// compiled-plan serve path calls this.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_forward_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_into_relaxed(
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    cols: &mut [f32],
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
+    let be = fuse_backend::active_for(fuse_backend::ContractMode::Relaxed);
+    conv2d_forward_into_on(be, input, n, h, w, weight, bias, spec, cols, out, relu)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_forward_into_on(
+    be: &'static dyn fuse_backend::KernelBackend,
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    cols: &mut [f32],
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
     let c = spec.in_channels;
     let (out_h, out_w) = spec.output_size(h, w)?;
     let col_rows = c * spec.kernel * spec.kernel;
@@ -262,11 +316,11 @@ pub fn conv2d_forward_into(
     // Same per-sample unit of work as `conv2d_forward`, with the scratch
     // column matrix carved out of the caller's slab instead of a fresh
     // allocation. `im2col` fully overwrites its scratch, so slab reuse
-    // cannot change any bit.
-    let be = fuse_backend::active();
+    // cannot change any bit. The backend was resolved once by the public
+    // wrapper (exact or relaxed) and governs the whole dispatch.
     let forward_sample = |s: usize, cols_s: &mut [f32], out_s: &mut [f32]| {
         im2col(be, &input[s * in_stride..(s + 1) * in_stride], c, h, w, spec, cols_s);
-        linalg::gemm(weight, cols_s, out_s, spec.out_channels, col_rows, n_cols);
+        linalg::gemm_on(be, weight, cols_s, out_s, spec.out_channels, col_rows, n_cols);
         for (oc, out_channel) in out_s.chunks_exact_mut(n_cols).enumerate() {
             be.add_scalar_assign(out_channel, bias[oc]);
         }
@@ -327,6 +381,44 @@ pub fn conv1x1_forward_into(
     out: &mut [f32],
     relu: bool,
 ) -> Result<()> {
+    conv1x1_forward_into_on(fuse_backend::active(), input, n, h, w, weight, bias, spec, out, relu)
+}
+
+/// [`conv1x1_forward_into`] under **relaxed** dispatch (see
+/// [`conv2d_forward_into_relaxed`] for the contract).
+///
+/// # Errors
+///
+/// Same conditions as [`conv1x1_forward_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv1x1_forward_into_relaxed(
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
+    let be = fuse_backend::active_for(fuse_backend::ContractMode::Relaxed);
+    conv1x1_forward_into_on(be, input, n, h, w, weight, bias, spec, out, relu)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv1x1_forward_into_on(
+    be: &'static dyn fuse_backend::KernelBackend,
+    input: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    relu: bool,
+) -> Result<()> {
     if spec.kernel != 1 || spec.stride != 1 || spec.padding != 0 {
         return Err(TensorError::InvalidConvolution(format!(
             "direct-gemm path requires a 1x1/stride-1/unpadded conv, got k={} s={} p={}",
@@ -344,9 +436,9 @@ pub fn conv1x1_forward_into(
     let out_stride = spec.out_channels * n_cols;
     let out = &mut out[..n * out_stride];
 
-    let be = fuse_backend::active();
     let forward_sample = |s: usize, out_s: &mut [f32]| {
-        linalg::gemm(
+        linalg::gemm_on(
+            be,
             weight,
             &input[s * in_stride..(s + 1) * in_stride],
             out_s,

@@ -28,8 +28,9 @@ pub mod stats;
 pub mod tensor;
 
 pub use conv::{
-    conv1x1_forward_into, conv2d_backward_input, conv2d_backward_weight, conv2d_forward,
-    conv2d_forward_into, Conv2dSpec,
+    conv1x1_forward_into, conv1x1_forward_into_relaxed, conv2d_backward_input,
+    conv2d_backward_weight, conv2d_forward, conv2d_forward_into, conv2d_forward_into_relaxed,
+    Conv2dSpec,
 };
 pub use error::TensorError;
 pub use pool::maxpool2d_forward_into;

@@ -17,7 +17,18 @@
 //! (`REPRODUCIBILITY.md`), so results are bit-identical for every
 //! `FUSE_THREADS` × `FUSE_BACKEND` combination — the invariant the
 //! workspace's seed-exact tests and the CI backend matrix rely on.
+//!
+//! ## Relaxed entry points
+//!
+//! The `*_relaxed` variants ([`affine_a_bt_relaxed`]) resolve the backend
+//! through [`fuse_backend::ContractMode::Relaxed`] instead of exact
+//! dispatch. Under `scalar`/`simd`/`auto` they are bit-identical to their
+//! exact twins (relaxed dispatch only differs for the opt-in `simd-fma`
+//! choice); under `FUSE_BACKEND=simd-fma` on an FMA host they run fused
+//! kernels and are verified by tolerance. Only the compiled-plan serve
+//! path calls them.
 
+use fuse_backend::ContractMode;
 use fuse_parallel as par;
 
 pub use fuse_backend::KernelBackend;
@@ -31,6 +42,20 @@ pub fn active_backend() -> &'static dyn KernelBackend {
 }
 
 fn gemm_dispatch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, acc: bool) {
+    gemm_dispatch_on(fuse_backend::active(), a, b, out, m, k, n, acc);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch_on(
+    be: &'static dyn KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(out.len() >= m * n, "output buffer too small");
@@ -45,7 +70,6 @@ fn gemm_dispatch(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
         return;
     }
     let (a, b) = (&a[..m * k], &b[..k * n]);
-    let be = fuse_backend::active();
     if m > 1 && par::parallel_beneficial(m * k * n) {
         // Contiguous row bands (one per thread) instead of per-row chunks:
         // the block-level backend kernel can then reuse `b` loads across
@@ -84,6 +108,20 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize)
 /// Panics if any slice is shorter than the dimensions imply.
 pub fn gemm_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     gemm_dispatch(a, b, out, m, k, n, true);
+}
+
+/// [`gemm`] on an explicit backend — the hook the conv forward path uses to
+/// run one resolved backend (exact or relaxed) across its whole dispatch.
+pub(crate) fn gemm_on(
+    be: &'static dyn KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_dispatch_on(be, a, b, out, m, k, n, false);
 }
 
 /// Matrix multiply with the left operand transposed: `out[m x n] = aᵀ * b`
@@ -126,6 +164,18 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: u
 ///
 /// Panics if any slice is shorter than the dimensions imply.
 pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_a_bt_on(fuse_backend::active(), a, b, out, m, k, n);
+}
+
+fn gemm_a_bt_on(
+    be: &'static dyn KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= n * k, "rhs buffer too small");
     assert!(out.len() >= m * n, "output buffer too small");
@@ -138,7 +188,6 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
         return;
     }
     let (a, b) = (&a[..m * k], &b[..n * k]);
-    let be = fuse_backend::active();
     if m > 1 && par::parallel_beneficial(m * k * n) {
         par::par_chunks_mut(out, n, |i, out_row| {
             be.gemm_a_bt_row(&a[i * k..(i + 1) * k], b, out_row, k);
@@ -174,8 +223,45 @@ pub fn affine_a_bt(
     n: usize,
     relu: bool,
 ) {
+    affine_a_bt_on(fuse_backend::active(), a, b, bias, out, m, k, n, relu);
+}
+
+/// [`affine_a_bt`] under **relaxed** dispatch: identical to the exact entry
+/// point for `scalar`/`simd`/`auto`, the fused FMA kernels under the opt-in
+/// `FUSE_BACKEND=simd-fma` on a capable host. The compiled-plan Linear step
+/// is the only caller — see `REPRODUCIBILITY.md` § relaxed contract.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than the dimensions imply.
+#[allow(clippy::too_many_arguments)]
+pub fn affine_a_bt_relaxed(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+) {
+    affine_a_bt_on(fuse_backend::active_for(ContractMode::Relaxed), a, b, bias, out, m, k, n, relu);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn affine_a_bt_on(
+    be: &'static dyn KernelBackend,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+) {
     assert!(bias.len() >= n, "bias buffer too small");
-    gemm_a_bt(a, b, out, m, k, n);
+    gemm_a_bt_on(be, a, b, out, m, k, n);
     for row in out[..m * n].chunks_exact_mut(n) {
         for (o, &bv) in row.iter_mut().zip(&bias[..n]) {
             *o += bv;
@@ -396,6 +482,48 @@ mod tests {
             })
         };
         assert_eq!(run(BackendChoice::Scalar), run(BackendChoice::Simd));
+    }
+
+    #[test]
+    fn relaxed_affine_is_bit_identical_under_exact_choices() {
+        use fuse_backend::{with_backend, BackendChoice};
+        let (m, k, n) = (3usize, 33usize, 7usize);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.21 - 1.0).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i % 17) as f32 * 0.13 - 1.1).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.05).collect();
+        for choice in [BackendChoice::Scalar, BackendChoice::Simd, BackendChoice::Auto] {
+            with_backend(choice, || {
+                let mut exact = vec![0.0f32; m * n];
+                let mut relaxed = vec![0.0f32; m * n];
+                affine_a_bt(&a, &b, &bias, &mut exact, m, k, n, true);
+                affine_a_bt_relaxed(&a, &b, &bias, &mut relaxed, m, k, n, true);
+                assert_eq!(exact, relaxed, "relaxed must be exact under {choice}");
+            });
+        }
+    }
+
+    #[test]
+    fn relaxed_affine_under_simd_fma_stays_within_tolerance() {
+        use fuse_backend::{with_backend, BackendChoice};
+        let (m, k, n) = (4usize, 40usize, 9usize);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.21 - 1.0).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i % 17) as f32 * 0.13 - 1.1).collect();
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.05 - 0.2).collect();
+        let mut exact = vec![0.0f32; m * n];
+        affine_a_bt(&a, &b, &bias, &mut exact, m, k, n, false);
+        with_backend(BackendChoice::SimdFma, || {
+            // Exact dispatch demotes simd-fma: still bit-identical.
+            let mut demoted = vec![0.0f32; m * n];
+            affine_a_bt(&a, &b, &bias, &mut demoted, m, k, n, false);
+            assert_eq!(exact, demoted, "exact dispatch must demote simd-fma");
+            // Relaxed dispatch may fuse, but stays within a tight budget.
+            let mut relaxed = vec![0.0f32; m * n];
+            affine_a_bt_relaxed(&a, &b, &bias, &mut relaxed, m, k, n, false);
+            for (e, r) in exact.iter().zip(&relaxed) {
+                let tol = 1e-4 * e.abs().max(1.0);
+                assert!((e - r).abs() <= tol, "relaxed {r} vs exact {e}");
+            }
+        });
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub const EXAMPLE_KNOBS: &[KnobDef] = &[
         description:
             "Concurrent subjects simulated by the cluster_serving and multi_host_serving examples",
     },
+    KnobDef {
+        name: "FUSE_QUANT_FRAMES",
+        default: "10",
+        accepts: "positive integer",
+        description: "Frames streamed per session by the quantized_serving example",
+    },
 ];
 
 /// An experiment profile small enough for an interactive example run

@@ -54,6 +54,7 @@ fn every_registry_contributes_and_no_knob_repeats() {
         "FUSE_SHARDS",
         "FUSE_EDGE_FRAMES",
         "FUSE_SESSIONS",
+        "FUSE_QUANT_FRAMES",
     ];
     for name in expected_names {
         assert_eq!(

@@ -13,7 +13,7 @@
 use fuse_backend::{with_backend, BackendChoice};
 use fuse_core::{build_pooled_mars_cnn, ModelConfig};
 use fuse_edge::EdgeSession;
-use fuse_graph::{ExecPlan, Graph, GraphError, TensorMeta, FPLAN_VERSION};
+use fuse_graph::{ExecPlan, Graph, GraphError, TensorMeta, FPLAN_MIN_VERSION, FPLAN_VERSION};
 use fuse_nn::{LoweringRequest, Sequential};
 use fuse_parallel::{with_min_parallel_work, with_threads};
 use fuse_serve::{ServeConfig, ServeEngine};
@@ -141,6 +141,58 @@ fn corrupted_artifacts_yield_typed_errors() {
     assert!(ExecPlan::from_bytes(&bytes).is_ok());
 }
 
+/// Rebuilds a complete artifact around `payload`, re-stamping the length
+/// field and FNV-1a-64 checksum so payload-level corruptions reach the
+/// decoder instead of tripping the checksum gate first.
+fn reassemble(payload: &[u8], version: u32) -> Vec<u8> {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(b"FPLN");
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&hash.to_le_bytes());
+    out
+}
+
+#[test]
+fn corrupted_quantized_artifacts_yield_typed_errors() {
+    let bytes = pooled_plan(2).quantize().unwrap().to_bytes();
+    let payload = &bytes[16..bytes.len() - 8];
+
+    // Cutting into the trailing int8 weight/scale tables and re-stamping the
+    // checksum must surface as typed truncation from the decoder itself.
+    for cut in [1usize, 3, 8] {
+        let short = reassemble(&payload[..payload.len() - cut], FPLAN_VERSION);
+        assert!(
+            matches!(ExecPlan::from_bytes(&short), Err(GraphError::Truncated { .. })),
+            "cutting {cut} bytes of the quantized tables must report truncation"
+        );
+    }
+
+    // A v2 payload carrying quantized step tags cannot be passed off as v1.
+    let downgraded = reassemble(payload, 1);
+    assert!(matches!(ExecPlan::from_bytes(&downgraded), Err(GraphError::Malformed(_))));
+
+    // Version bytes outside the supported window are refused in both
+    // directions: v0 predates the format, FPLAN_VERSION + 1 postdates it.
+    for bad in [FPLAN_MIN_VERSION - 1, FPLAN_VERSION + 1] {
+        let stamped = reassemble(payload, bad);
+        assert!(matches!(
+            ExecPlan::from_bytes(&stamped),
+            Err(GraphError::UnsupportedVersion { found, supported })
+                if found == bad && supported == FPLAN_VERSION
+        ));
+    }
+
+    // The untouched artifact still loads and is quantized.
+    assert!(ExecPlan::from_bytes(&bytes).unwrap().is_quantized());
+}
+
 /// The deterministic miniature plan behind the committed `tiny.fplan`
 /// fixture: conv → ReLU → max-pool → flatten → linear, all seeds fixed.
 fn fixture_plan() -> ExecPlan {
@@ -159,10 +211,12 @@ fn fixture_plan() -> ExecPlan {
 
 #[test]
 fn committed_fplan_fixture_stays_loadable_and_byte_stable() {
-    // The golden fixture gates cross-version loadability: artifacts written
-    // by an earlier build of format v1 must keep loading byte-for-byte. If
-    // the encoding changes, `FPLAN_VERSION` must be bumped and the fixture
-    // regenerated with `UPDATE_GOLDENS=1`.
+    // The golden fixture gates byte stability of the current format: an
+    // artifact written by an earlier build of the same `FPLAN_VERSION` must
+    // keep loading byte-for-byte. If the encoding changes, `FPLAN_VERSION`
+    // must be bumped and the fixture regenerated with `UPDATE_GOLDENS=1`
+    // (committing the previous fixture as `tiny_v<N>.fplan` to keep the
+    // backward-compatibility gate below honest).
     let path = goldens_dir().join("tiny.fplan");
     let bytes = fixture_plan().to_bytes();
     if update_requested() {
@@ -194,6 +248,30 @@ fn committed_fplan_fixture_stays_loadable_and_byte_stable() {
             session.infer(input.as_slice(), batch).unwrap(),
             fresh.run(input.as_slice(), batch).unwrap(),
             "committed artifact diverged from a fresh compile at batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn committed_v1_fixture_still_loads_under_the_v2_reader() {
+    // Backward compatibility is normative: artifacts written by v1 builds
+    // (before the quantized-weight sections) must keep decoding and serving
+    // bit-identically under every newer reader. `tiny_v1.fplan` is the
+    // byte-frozen v1 predecessor of `tiny.fplan` — never regenerate it.
+    let path = goldens_dir().join("tiny_v1.fplan");
+    let committed = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing frozen v1 fixture {} ({e})", path.display()));
+    assert_eq!(u32::from_le_bytes(committed[4..8].try_into().unwrap()), 1, "fixture must be v1");
+
+    let mut session = EdgeSession::from_bytes(&committed).unwrap();
+    assert!(!session.is_quantized(), "v1 artifacts predate quantized sections");
+    let mut fresh = fixture_plan();
+    for batch in 1..=2usize {
+        let input = Tensor::randn(&[batch, 2, 4, 4], 1.0, 510 + batch as u64);
+        assert_eq!(
+            session.infer(input.as_slice(), batch).unwrap(),
+            fresh.run(input.as_slice(), batch).unwrap(),
+            "v1 artifact diverged from a fresh compile at batch {batch}"
         );
     }
 }
