@@ -14,14 +14,14 @@ use std::hint::black_box;
 use fuse_bench::subject_streams;
 use fuse_cluster::{ClusterConfig, ClusterRouter};
 use fuse_core::prelude::*;
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 
 fn router_with_sessions(shards: usize, subjects: usize) -> ClusterRouter {
     let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
     let config = ClusterConfig { shards, ..ClusterConfig::default() };
     let mut router = ClusterRouter::new(model, config).expect("router builds");
     for s in 0..subjects {
-        router.open_session(s as u64).expect("session opens");
+        router.open_session(SessionConfig::new(s as u64)).expect("session opens");
     }
     router
 }

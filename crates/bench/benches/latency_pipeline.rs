@@ -15,7 +15,7 @@ use fuse_radar::{
     AdcCube, FastScatterModel, PointCloudFrame, PointCloudGenerator, RadarConfig, RangeDopplerMap,
     Scatterer, Scene,
 };
-use fuse_serve::{ServeConfig, ServeEngine, Session};
+use fuse_serve::{ServeConfig, ServeEngine, Session, SessionConfig};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 use fuse_tensor::Tensor;
 
@@ -61,7 +61,7 @@ fn bench_signal_chain_stages(c: &mut Criterion) {
 fn bench_preprocessing(c: &mut Criterion) {
     // Session-side preprocessing: fusion over the rolling history plus
     // feature-map construction, exactly as the serving engine performs it.
-    let mut session = Session::new(0, FrameFusion::default(), FeatureMapBuilder::default());
+    let mut session = Session::new(SessionConfig::new(0));
     for frame in frame_history(5) {
         session.push_frame(frame);
     }
@@ -90,7 +90,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let scatter = FastScatterModel::new(RadarConfig::iwr1443_indoor());
     let model = build_mars_cnn(&ModelConfig::default(), 4).expect("model builds");
     let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
-    engine.open_session(0).expect("session opens");
+    engine.open_session(SessionConfig::new(0)).expect("session opens");
     for frame in frame_history(3) {
         engine.submit(0, frame).expect("submit succeeds");
     }

@@ -12,13 +12,13 @@ use std::hint::black_box;
 
 use fuse_bench::subject_streams;
 use fuse_core::prelude::*;
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 
 fn engine_with_sessions(subjects: usize) -> ServeEngine {
     let model = build_mars_cnn(&ModelConfig::default(), 11).expect("model builds");
     let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
     for s in 0..subjects {
-        engine.open_session(s as u64).expect("session opens");
+        engine.open_session(SessionConfig::new(s as u64)).expect("session opens");
     }
     engine
 }

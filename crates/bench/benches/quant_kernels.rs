@@ -18,7 +18,7 @@ use fuse_backend::{with_backend, BackendChoice};
 use fuse_core::{build_mars_cnn, ModelConfig};
 use fuse_nn::LoweringRequest;
 use fuse_quant::{quantize_rows, DeviceMemory, HostDevice};
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 use fuse_tensor::linalg;
 
 fn bench_int8_gemm(c: &mut Criterion) {
@@ -99,7 +99,7 @@ fn bench_quant_serve_step(c: &mut Criterion) {
 
     let streams = fuse_bench::subject_streams(batch, 1);
     for id in 0..batch as u64 {
-        engine.open_session(id).expect("session opens");
+        engine.open_session(SessionConfig::new(id)).expect("session opens");
     }
     c.bench_function("quant_serve_step/engine_step_8_sessions", |bench| {
         bench.iter(|| {

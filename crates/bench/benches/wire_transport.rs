@@ -14,7 +14,7 @@ use std::thread;
 use std::time::Duration;
 
 use fuse_bench::subject_streams;
-use fuse_cluster::{ClusterConfig, ClusterRouter, HostShard, ShardSpec};
+use fuse_cluster::{ClusterConfig, ClusterRouter, HostShard, SessionConfig, ShardSpec};
 use fuse_core::prelude::*;
 use fuse_net::{
     decode_frame, encode_frame, sim_pair, FaultConfig, RpcClient, RpcServer, Transport, WireRequest,
@@ -87,7 +87,7 @@ fn remote_router(model_seed: u64) -> (ClusterRouter, thread::JoinHandle<()>) {
 
 fn bench_remote_serve_round(c: &mut Criterion) {
     let (mut router, host) = remote_router(21);
-    router.open_session(0).expect("session opens");
+    router.open_session(SessionConfig::new(0)).expect("session opens");
     let stream = subject_streams(1, 8).remove(0);
     let mut round = 0usize;
     c.bench_function("wire_remote_shard_serve_round", |b| {
@@ -104,7 +104,7 @@ fn bench_remote_serve_round(c: &mut Criterion) {
 
 fn bench_session_migration(c: &mut Criterion) {
     let (mut router, host) = remote_router(21);
-    router.open_session(0).expect("session opens");
+    router.open_session(SessionConfig::new(0)).expect("session opens");
     // Seed the session with fusion history so the migration moves real state.
     let stream = subject_streams(1, 4).remove(0);
     for frame in &stream {

@@ -1,0 +1,240 @@
+//! Adaptive backpressure: a deterministic hysteresis controller driving each
+//! SLO class's *effective* queue capacity from the cluster's observed p99.
+//!
+//! The controller is **off by default** (`FUSE_ADAPTIVE=0`): the committed
+//! golden traces pin the static per-class capacities, and adaptive mode may
+//! only change *when* backpressure kicks in — never the fused points, feature
+//! maps or joint outputs of the frames that are served (see
+//! `REPRODUCIBILITY.md`).
+//!
+//! Control law, applied per class on every [`AdaptiveController::observe`]
+//! call (the router feeds it the end-to-end p99 from
+//! [`crate::ClusterMetrics`]):
+//!
+//! * p99 **above** `budget_ms × high_fraction` → halve the class's capacity
+//!   (floored at `min_capacity`) — the cluster is missing its budget, shed
+//!   queueing headroom so the policy engages earlier;
+//! * p99 **below** `budget_ms × low_fraction` → grow the capacity by one
+//!   (capped at `max_capacity`) — there is slack, admit more buffering;
+//! * p99 **inside the band** → leave the capacity unchanged.
+//!
+//! The band between the two thresholds is the hysteresis that keeps the
+//! controller from oscillating when the p99 hovers near the budget. The law
+//! is a pure function of the observation sequence — no clocks, no RNG — so a
+//! replayed latency trace always produces the same capacity schedule (pinned
+//! by a unit test).
+
+use fuse_serve::SloClass;
+
+use crate::config::BackpressureSpec;
+
+/// Tuning of the [`AdaptiveController`] hysteresis band and capacity range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Per-frame latency budget the p99 is judged against, in milliseconds
+    /// (the router seeds this from `ServeConfig::budget_ms`).
+    pub budget_ms: f64,
+    /// Shrink threshold as a fraction of the budget: p99 above
+    /// `budget_ms × high_fraction` halves the capacity.
+    pub high_fraction: f64,
+    /// Grow threshold as a fraction of the budget: p99 below
+    /// `budget_ms × low_fraction` grows the capacity by one.
+    pub low_fraction: f64,
+    /// Floor the capacity can never shrink past (a zero capacity would
+    /// reject every frame).
+    pub min_capacity: usize,
+    /// Ceiling the capacity can never grow past.
+    pub max_capacity: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            budget_ms: fuse_serve::DEFAULT_BUDGET_MS,
+            high_fraction: 1.0,
+            low_fraction: 0.5,
+            min_capacity: 1,
+            max_capacity: 64,
+        }
+    }
+}
+
+/// One capacity decision from [`AdaptiveController::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityUpdate {
+    /// The class whose effective capacity changed.
+    pub class: SloClass,
+    /// The new effective queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// Deterministic hysteresis controller over the per-class effective queue
+/// capacities (see the module docs for the control law).
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    /// Effective capacity per class, indexed by `SloClass::ALL` order.
+    capacities: [usize; SloClass::ALL.len()],
+}
+
+impl AdaptiveController {
+    /// A controller seeded from the static spec: every class starts at the
+    /// capacity it would have without adaptation (override or preset).
+    pub fn new(spec: &BackpressureSpec, config: AdaptiveConfig) -> Self {
+        let mut capacities = [0; SloClass::ALL.len()];
+        for (slot, class) in capacities.iter_mut().zip(SloClass::ALL) {
+            *slot = spec.resolve(Some(class)).queue_capacity;
+        }
+        AdaptiveController { config, capacities }
+    }
+
+    /// The controller's tuning.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The current effective capacity of a class.
+    pub fn capacity(&self, class: SloClass) -> usize {
+        self.capacities[Self::index(class)]
+    }
+
+    /// Feeds one end-to-end p99 observation and returns the classes whose
+    /// effective capacity *changed* (in `SloClass::ALL` order), so the
+    /// router only fans out `SetCapacity` commands for real transitions.
+    /// An in-band p99 — or one that only re-derives the current value at a
+    /// floor/ceiling — produces no updates.
+    pub fn observe(&mut self, p99_ms: f64) -> Vec<CapacityUpdate> {
+        let high = self.config.budget_ms * self.config.high_fraction;
+        let low = self.config.budget_ms * self.config.low_fraction;
+        let mut updates = Vec::new();
+        for class in SloClass::ALL {
+            let current = self.capacities[Self::index(class)];
+            let next = if p99_ms > high {
+                (current / 2).max(self.config.min_capacity)
+            } else if p99_ms < low {
+                (current + 1).min(self.config.max_capacity)
+            } else {
+                current
+            };
+            if next != current {
+                self.capacities[Self::index(class)] = next;
+                updates.push(CapacityUpdate { class, queue_capacity: next });
+            }
+        }
+        updates
+    }
+
+    fn index(class: SloClass) -> usize {
+        SloClass::ALL.iter().position(|c| *c == class).expect("ALL covers every class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BackpressurePolicy, BackpressureSpec, ClassBackpressure};
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(
+            &BackpressureSpec::default(),
+            AdaptiveConfig { budget_ms: 100.0, ..AdaptiveConfig::default() },
+        )
+    }
+
+    #[test]
+    fn seeds_from_the_static_spec() {
+        let ctl = controller();
+        assert_eq!(ctl.capacity(SloClass::Clinical), 16);
+        assert_eq!(ctl.capacity(SloClass::Interactive), 8);
+        assert_eq!(ctl.capacity(SloClass::Dashboard), 4);
+
+        let spec = BackpressureSpec {
+            dashboard: Some(ClassBackpressure {
+                policy: BackpressurePolicy::DropOldest,
+                queue_capacity: 9,
+            }),
+            ..BackpressureSpec::default()
+        };
+        let ctl = AdaptiveController::new(&spec, AdaptiveConfig::default());
+        assert_eq!(ctl.capacity(SloClass::Dashboard), 9, "overrides seed the controller too");
+    }
+
+    #[test]
+    fn in_band_observations_change_nothing() {
+        let mut ctl = controller();
+        // Band is (50, 100] with the default fractions and a 100 ms budget.
+        for p99 in [50.0, 75.0, 100.0] {
+            assert!(ctl.observe(p99).is_empty(), "p99={p99} is inside the hysteresis band");
+        }
+        assert_eq!(ctl.capacity(SloClass::Clinical), 16);
+    }
+
+    #[test]
+    fn overload_halves_and_slack_grows_with_floor_and_ceiling() {
+        let mut ctl = controller();
+        // Overload: every class halves, floored at min_capacity.
+        let updates = ctl.observe(180.0);
+        assert_eq!(
+            updates,
+            vec![
+                CapacityUpdate { class: SloClass::Clinical, queue_capacity: 8 },
+                CapacityUpdate { class: SloClass::Interactive, queue_capacity: 4 },
+                CapacityUpdate { class: SloClass::Dashboard, queue_capacity: 2 },
+            ]
+        );
+        // Keep overloading until everything sits on the floor; further
+        // overload produces no updates (already clamped).
+        for _ in 0..8 {
+            ctl.observe(180.0);
+        }
+        assert_eq!(ctl.capacity(SloClass::Dashboard), 1);
+        assert!(ctl.observe(180.0).is_empty(), "floored capacities re-derive themselves");
+        // Slack: grow back one step at a time.
+        let updates = ctl.observe(10.0);
+        assert_eq!(updates.len(), 3);
+        assert!(updates.iter().all(|u| u.queue_capacity == 2));
+    }
+
+    #[test]
+    fn a_canned_latency_trace_replays_to_a_pinned_capacity_schedule() {
+        // The determinism contract for adaptive mode: the capacity schedule
+        // is a pure function of the observation sequence. This trace and its
+        // schedule are pinned; a control-law change must update this test
+        // (and the REPRODUCIBILITY.md rules) deliberately.
+        let trace = [60.0, 120.0, 130.0, 90.0, 40.0, 40.0, 105.0, 30.0];
+        let mut ctl = controller();
+        let schedule: Vec<[usize; 3]> = trace
+            .iter()
+            .map(|&p99| {
+                ctl.observe(p99);
+                [
+                    ctl.capacity(SloClass::Clinical),
+                    ctl.capacity(SloClass::Interactive),
+                    ctl.capacity(SloClass::Dashboard),
+                ]
+            })
+            .collect();
+        assert_eq!(
+            schedule,
+            vec![
+                [16, 8, 4], // 60 in band
+                [8, 4, 2],  // 120 over budget: halve
+                [4, 2, 1],  // 130 over budget: halve again
+                [4, 2, 1],  // 90 in band
+                [5, 3, 2],  // 40 under low: grow
+                [6, 4, 3],  // 40 under low: grow
+                [3, 2, 1],  // 105 over budget: halve
+                [4, 3, 2],  // 30 under low: grow
+            ]
+        );
+        // Bit-for-bit replay: a fresh controller fed the same trace lands on
+        // the same schedule.
+        let mut replay = controller();
+        for &p99 in &trace {
+            replay.observe(p99);
+        }
+        assert_eq!(replay.capacity(SloClass::Clinical), 4);
+        assert_eq!(replay.capacity(SloClass::Interactive), 3);
+        assert_eq!(replay.capacity(SloClass::Dashboard), 2);
+    }
+}

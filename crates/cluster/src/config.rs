@@ -1,13 +1,23 @@
-//! Cluster configuration: shard count, backpressure policy, and typed
+//! Cluster configuration: shard count, per-SLO-class backpressure, and typed
 //! environment-knob parsing.
 
-use fuse_serve::ServeConfig;
+use fuse_serve::{ServeConfig, SloClass};
 
 use crate::error::ClusterError;
 use crate::Result;
 
 /// Environment knob selecting the number of engine shards.
 pub const FUSE_SHARDS_ENV: &str = "FUSE_SHARDS";
+
+/// Environment knob enabling the adaptive backpressure controller
+/// ([`crate::AdaptiveController`]). Off (`0`) by default so the committed
+/// goldens pin the static capacities.
+pub const FUSE_ADAPTIVE_ENV: &str = "FUSE_ADAPTIVE";
+
+/// Environment knob assigning a default [`SloClass`] to sessions opened
+/// without one (`clinical` / `interactive` / `dashboard`). Unset sessions
+/// fall back to the cluster-default backpressure.
+pub const FUSE_SLO_DEFAULT_ENV: &str = "FUSE_SLO_DEFAULT";
 
 /// Hard ceiling on the shard count: one engine per core is the intended
 /// deployment shape, so anything past this is a configuration mistake.
@@ -16,12 +26,27 @@ pub const MAX_SHARDS: usize = 64;
 /// The environment knobs owned by `fuse-cluster` (see
 /// [`fuse_parallel::env::KnobDef`] for how these feed the generated
 /// `README.md` reference table).
-pub const CLUSTER_KNOBS: &[fuse_parallel::env::KnobDef] = &[fuse_parallel::env::KnobDef {
-    name: FUSE_SHARDS_ENV,
-    default: "1",
-    accepts: "positive integer (at most 64)",
-    description: "Engine shards the cluster router fans sessions out across",
-}];
+pub const CLUSTER_KNOBS: &[fuse_parallel::env::KnobDef] = &[
+    fuse_parallel::env::KnobDef {
+        name: FUSE_SHARDS_ENV,
+        default: "1",
+        accepts: "positive integer (at most 64)",
+        description: "Engine shards the cluster router fans sessions out across",
+    },
+    fuse_parallel::env::KnobDef {
+        name: FUSE_ADAPTIVE_ENV,
+        default: "0",
+        accepts: "0 or 1",
+        description:
+            "Adaptive backpressure: drive per-SLO-class queue capacity from the observed p99",
+    },
+    fuse_parallel::env::KnobDef {
+        name: FUSE_SLO_DEFAULT_ENV,
+        default: "unset (cluster-default backpressure)",
+        accepts: "one of clinical / interactive / dashboard",
+        description: "SLO class assigned to sessions opened without an explicit class",
+    },
+];
 
 /// Default per-session queue capacity: at the 10 Hz frame rate a session
 /// with more than [`DEFAULT_QUEUE_CAPACITY`] frames queued is already most of
@@ -77,6 +102,123 @@ impl std::fmt::Display for BackpressurePolicy {
     }
 }
 
+/// One class's backpressure behaviour: the policy and the per-session
+/// pending-frame capacity it kicks in at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassBackpressure {
+    /// What happens when a session's queue reaches capacity.
+    pub policy: BackpressurePolicy,
+    /// Per-session pending-frame capacity at which the policy applies.
+    pub queue_capacity: usize,
+}
+
+impl ClassBackpressure {
+    /// The built-in preset of an SLO class (used when the spec carries no
+    /// explicit override for it):
+    ///
+    /// | Class         | Policy        | Capacity |
+    /// |---------------|---------------|----------|
+    /// | `Clinical`    | `Block`       | 16       |
+    /// | `Interactive` | `MergeFrames` | 8        |
+    /// | `Dashboard`   | `DropOldest`  | 4        |
+    pub fn preset(class: SloClass) -> Self {
+        match class {
+            SloClass::Clinical => {
+                ClassBackpressure { policy: BackpressurePolicy::Block, queue_capacity: 16 }
+            }
+            SloClass::Interactive => {
+                ClassBackpressure { policy: BackpressurePolicy::MergeFrames, queue_capacity: 8 }
+            }
+            SloClass::Dashboard => {
+                ClassBackpressure { policy: BackpressurePolicy::DropOldest, queue_capacity: 4 }
+            }
+        }
+    }
+}
+
+impl Default for ClassBackpressure {
+    fn default() -> Self {
+        ClassBackpressure {
+            policy: BackpressurePolicy::default(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+/// The cluster's backpressure specification: one cluster-wide default (what
+/// the old flat `queue_capacity`/`policy` pair expressed) plus optional
+/// per-SLO-class overrides. Sessions opened *with* a class resolve to their
+/// class's override — or its built-in preset when no override is given;
+/// sessions without a class use the cluster default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackpressureSpec {
+    /// Behaviour of sessions without an SLO class.
+    pub default: ClassBackpressure,
+    /// Override for [`SloClass::Clinical`] sessions (preset otherwise).
+    pub clinical: Option<ClassBackpressure>,
+    /// Override for [`SloClass::Interactive`] sessions (preset otherwise).
+    pub interactive: Option<ClassBackpressure>,
+    /// Override for [`SloClass::Dashboard`] sessions (preset otherwise).
+    pub dashboard: Option<ClassBackpressure>,
+}
+
+impl BackpressureSpec {
+    /// A spec applying one policy/capacity pair to *every* session, classed
+    /// or not — the exact behaviour of the old flat cluster-wide knob.
+    pub fn uniform(policy: BackpressurePolicy, queue_capacity: usize) -> Self {
+        let class = ClassBackpressure { policy, queue_capacity };
+        BackpressureSpec {
+            default: class,
+            clinical: Some(class),
+            interactive: Some(class),
+            dashboard: Some(class),
+        }
+    }
+
+    /// The explicit override slot of a class.
+    pub fn override_for(&self, class: SloClass) -> Option<ClassBackpressure> {
+        match class {
+            SloClass::Clinical => self.clinical,
+            SloClass::Interactive => self.interactive,
+            SloClass::Dashboard => self.dashboard,
+        }
+    }
+
+    /// Resolves the backpressure a session is subject to: its class's
+    /// override, the class preset, or — for an unclassed session — the
+    /// cluster default.
+    pub fn resolve(&self, class: Option<SloClass>) -> ClassBackpressure {
+        match class {
+            None => self.default,
+            Some(c) => self.override_for(c).unwrap_or_else(|| ClassBackpressure::preset(c)),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] naming the offending class
+    /// when any capacity (default or override) is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.default.queue_capacity == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "backpressure.default.queue_capacity must be nonzero".into(),
+            ));
+        }
+        for class in SloClass::ALL {
+            if let Some(over) = self.override_for(class) {
+                if over.queue_capacity == 0 {
+                    return Err(ClusterError::InvalidConfig(format!(
+                        "backpressure.{class}.queue_capacity must be nonzero"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of a [`crate::ClusterRouter`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -85,13 +227,19 @@ pub struct ClusterConfig {
     /// Number of engine shards; sessions map to shards deterministically by
     /// `session_id % shards`.
     pub shards: usize,
-    /// Per-session pending-frame capacity at which the backpressure policy
-    /// applies.
-    pub queue_capacity: usize,
+    /// Per-session backpressure: a cluster default plus per-SLO-class
+    /// overrides (replacing the old flat `queue_capacity`/`policy` pair).
+    pub backpressure: BackpressureSpec,
+    /// SLO class assigned to sessions opened without one (`FUSE_SLO_DEFAULT`);
+    /// `None` leaves them on the cluster-default backpressure.
+    pub default_slo: Option<SloClass>,
+    /// When `true`, the router builds an [`crate::AdaptiveController`] and
+    /// [`crate::ClusterRouter::autotune`] drives each class's effective
+    /// queue capacity from the observed p99 (`FUSE_ADAPTIVE`). Off by
+    /// default: the committed goldens pin the static capacities.
+    pub adaptive: bool,
     /// Bound of each shard's submit channel.
     pub channel_capacity: usize,
-    /// Backpressure policy applied by every shard.
-    pub policy: BackpressurePolicy,
     /// When `true` (the default), shard workers run [`fuse_serve::ServeEngine::step`]
     /// whenever their command queue is idle, so responses appear without an
     /// explicit flush — the asynchronous serving mode. When `false`, engines
@@ -107,23 +255,25 @@ impl Default for ClusterConfig {
         ClusterConfig {
             serve: ServeConfig::default(),
             shards: 1,
-            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            backpressure: BackpressureSpec::default(),
+            default_slo: None,
+            adaptive: false,
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
-            policy: BackpressurePolicy::default(),
             auto_step: true,
         }
     }
 }
 
 impl ClusterConfig {
-    /// The default configuration with the shard count taken from
-    /// `FUSE_SHARDS` (when set).
+    /// The default configuration with the shard count, adaptive mode and
+    /// default SLO class taken from `FUSE_SHARDS` / `FUSE_ADAPTIVE` /
+    /// `FUSE_SLO_DEFAULT` (when set).
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidEnv`] when `FUSE_SHARDS` is set but is
-    /// not a positive integer, and [`ClusterError::InvalidConfig`] when it
-    /// exceeds [`MAX_SHARDS`].
+    /// Returns [`ClusterError::InvalidEnv`] when a knob is set but does not
+    /// parse, and [`ClusterError::InvalidConfig`] when `FUSE_SHARDS` exceeds
+    /// [`MAX_SHARDS`].
     pub fn from_env() -> Result<Self> {
         // The backend knob is read lazily by the kernels (where garbage can
         // only fail fast); validating it here instead surfaces a typo as the
@@ -136,6 +286,25 @@ impl ClusterConfig {
         let mut config = ClusterConfig::default();
         if let Some(shards) = env_usize(FUSE_SHARDS_ENV)? {
             config.shards = shards;
+        }
+        if let Some(choice) =
+            fuse_parallel::env::env_choice(FUSE_ADAPTIVE_ENV, &["0", "1"], "0 or 1").map_err(
+                |e| ClusterError::InvalidEnv { name: e.name, value: e.value, expected: e.expected },
+            )?
+        {
+            config.adaptive = choice == 1;
+        }
+        if let Ok(raw) = std::env::var(FUSE_SLO_DEFAULT_ENV) {
+            match SloClass::parse(&raw) {
+                Some(class) => config.default_slo = Some(class),
+                None => {
+                    return Err(ClusterError::InvalidEnv {
+                        name: FUSE_SLO_DEFAULT_ENV.to_string(),
+                        value: raw,
+                        expected: "one of clinical / interactive / dashboard",
+                    })
+                }
+            }
         }
         config.validate()?;
         Ok(config)
@@ -159,9 +328,7 @@ impl ClusterConfig {
                 self.shards
             )));
         }
-        if self.queue_capacity == 0 {
-            return Err(ClusterError::InvalidConfig("queue_capacity must be nonzero".into()));
-        }
+        self.backpressure.validate()?;
         if self.channel_capacity == 0 {
             return Err(ClusterError::InvalidConfig("channel_capacity must be nonzero".into()));
         }
@@ -216,11 +383,49 @@ mod tests {
         };
         assert!(matches!(bad(|c| c.shards = 0), Err(ClusterError::InvalidConfig(_))));
         assert!(matches!(bad(|c| c.shards = MAX_SHARDS + 1), Err(ClusterError::InvalidConfig(_))));
-        assert!(matches!(bad(|c| c.queue_capacity = 0), Err(ClusterError::InvalidConfig(_))));
+        assert!(matches!(
+            bad(|c| c.backpressure.default.queue_capacity = 0),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        let err = bad(|c| {
+            c.backpressure.dashboard = Some(ClassBackpressure {
+                policy: BackpressurePolicy::DropOldest,
+                queue_capacity: 0,
+            })
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("dashboard"), "the offending class must be named: {err}");
         assert!(matches!(bad(|c| c.channel_capacity = 0), Err(ClusterError::InvalidConfig(_))));
         let err = bad(|c| c.serve.max_batch = 0).unwrap_err();
         assert!(err.to_string().contains("max_batch"), "serve fields are validated here too");
         assert!(matches!(bad(|c| c.serve.budget_ms = -1.0), Err(ClusterError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn spec_resolution_prefers_override_then_preset_then_default() {
+        let mut spec = BackpressureSpec::default();
+        assert_eq!(spec.resolve(None), ClassBackpressure::default());
+        // No override: each class falls to its built-in preset.
+        assert_eq!(spec.resolve(Some(SloClass::Clinical)).policy, BackpressurePolicy::Block);
+        assert_eq!(spec.resolve(Some(SloClass::Clinical)).queue_capacity, 16);
+        assert_eq!(
+            spec.resolve(Some(SloClass::Interactive)).policy,
+            BackpressurePolicy::MergeFrames
+        );
+        assert_eq!(spec.resolve(Some(SloClass::Dashboard)).policy, BackpressurePolicy::DropOldest);
+        assert_eq!(spec.resolve(Some(SloClass::Dashboard)).queue_capacity, 4);
+        // An override wins over the preset.
+        let tight = ClassBackpressure { policy: BackpressurePolicy::Block, queue_capacity: 2 };
+        spec.dashboard = Some(tight);
+        assert_eq!(spec.resolve(Some(SloClass::Dashboard)), tight);
+        // `uniform` reproduces the old flat knob for every class.
+        let flat = BackpressureSpec::uniform(BackpressurePolicy::MergeFrames, 3);
+        for class in [None, Some(SloClass::Clinical), Some(SloClass::Dashboard)] {
+            assert_eq!(
+                flat.resolve(class),
+                ClassBackpressure { policy: BackpressurePolicy::MergeFrames, queue_capacity: 3 }
+            );
+        }
     }
 
     #[test]
@@ -268,6 +473,42 @@ mod tests {
             }
         );
         assert_eq!(fuse_backend::active_choice(), pinned, "the cached choice must be untouched");
+    }
+
+    #[test]
+    fn adaptive_and_slo_knobs_parse_with_typed_errors() {
+        // FUSE_ADAPTIVE: unset → off, "1" → on, garbage → typed error.
+        assert!(!ClusterConfig::from_env().unwrap().adaptive);
+        std::env::set_var(FUSE_ADAPTIVE_ENV, "1");
+        assert!(ClusterConfig::from_env().unwrap().adaptive);
+        std::env::set_var(FUSE_ADAPTIVE_ENV, "yes");
+        let err = ClusterConfig::from_env().unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::InvalidEnv {
+                name: FUSE_ADAPTIVE_ENV.into(),
+                value: "yes".into(),
+                expected: "0 or 1",
+            }
+        );
+        std::env::remove_var(FUSE_ADAPTIVE_ENV);
+
+        // FUSE_SLO_DEFAULT: unset → none, a class name → that class,
+        // garbage → typed error naming the accepted classes.
+        assert_eq!(ClusterConfig::from_env().unwrap().default_slo, None);
+        std::env::set_var(FUSE_SLO_DEFAULT_ENV, " Clinical ");
+        assert_eq!(ClusterConfig::from_env().unwrap().default_slo, Some(SloClass::Clinical));
+        std::env::set_var(FUSE_SLO_DEFAULT_ENV, "platinum");
+        let err = ClusterConfig::from_env().unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::InvalidEnv {
+                name: FUSE_SLO_DEFAULT_ENV.into(),
+                value: "platinum".into(),
+                expected: "one of clinical / interactive / dashboard",
+            }
+        );
+        std::env::remove_var(FUSE_SLO_DEFAULT_ENV);
     }
 
     #[test]

@@ -21,15 +21,22 @@
 //! * [`ClusterRouter`] — owns the shards, routes sessions deterministically
 //!   (`session_id % shards`), fans hot-swaps out atomically (validate on
 //!   every shard before committing on any) and re-sequences responses.
-//! * [`BackpressurePolicy`] — what a shard does when a session's queue
-//!   reaches [`ClusterConfig::queue_capacity`]: serve the backlog first
-//!   (`Block`), evict the oldest frame (`DropOldest`), or coalesce the burst
-//!   to its newest frame (`MergeFrames`). Every eviction is counted.
+//! * [`BackpressureSpec`] — per-session backpressure resolved by SLO class
+//!   ([`fuse_serve::SloClass`]): a cluster default plus per-class
+//!   `(policy, capacity)` overrides, with built-in presets (`Clinical` →
+//!   block at 16, `Interactive` → merge at 8, `Dashboard` → drop-oldest
+//!   at 4). [`BackpressurePolicy`] is what fires at capacity: serve the
+//!   backlog first (`Block`), evict the oldest frame (`DropOldest`), or
+//!   coalesce the burst to its newest frame (`MergeFrames`). Every eviction
+//!   is counted.
+//! * [`AdaptiveController`] — opt-in (`FUSE_ADAPTIVE=1`) deterministic
+//!   hysteresis controller driving each class's *effective* queue capacity
+//!   from the observed p99 ([`ClusterRouter::autotune`]).
 //! * [`ClusterMetrics`] — per-shard queue gauges and policy counters plus a
 //!   cluster-level latency aggregation over every shard's recorder.
 //! * [`ClusterError`] — typed errors end to end; bad env knobs
-//!   (`FUSE_SHARDS=...`) surface as [`ClusterError::InvalidEnv`], never as
-//!   panics.
+//!   (`FUSE_SHARDS=...`, `FUSE_ADAPTIVE=...`, `FUSE_SLO_DEFAULT=...`)
+//!   surface as [`ClusterError::InvalidEnv`], never as panics.
 //!
 //! **Determinism.** A session lives entirely on one shard, per-sample
 //! kernels are batch-composition independent, and [`ClusterRouter::drain`]
@@ -39,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod config;
 pub mod error;
 pub mod metrics;
@@ -46,11 +54,14 @@ pub mod remote;
 pub mod router;
 mod worker;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, CapacityUpdate};
 pub use config::{
-    env_usize, BackpressurePolicy, ClusterConfig, CLUSTER_KNOBS, DEFAULT_CHANNEL_CAPACITY,
-    DEFAULT_QUEUE_CAPACITY, FUSE_SHARDS_ENV, MAX_SHARDS,
+    env_usize, BackpressurePolicy, BackpressureSpec, ClassBackpressure, ClusterConfig,
+    CLUSTER_KNOBS, DEFAULT_CHANNEL_CAPACITY, DEFAULT_QUEUE_CAPACITY, FUSE_ADAPTIVE_ENV,
+    FUSE_SHARDS_ENV, FUSE_SLO_DEFAULT_ENV, MAX_SHARDS,
 };
 pub use error::ClusterError;
+pub use fuse_serve::{SessionConfig, SloClass};
 pub use metrics::{ClusterMetrics, ShardGauge};
 pub use remote::HostShard;
 pub use router::{ClosedSession, ClusterRouter, DrainReport, ShardSpec, SwapReport};
@@ -61,7 +72,10 @@ pub type Result<T> = std::result::Result<T, ClusterError>;
 /// Commonly used types for cluster call sites, alongside the serve-level
 /// pieces an embedder needs.
 pub mod prelude {
-    pub use crate::config::{BackpressurePolicy, ClusterConfig};
+    pub use crate::adaptive::{AdaptiveConfig, AdaptiveController, CapacityUpdate};
+    pub use crate::config::{
+        BackpressurePolicy, BackpressureSpec, ClassBackpressure, ClusterConfig,
+    };
     pub use crate::error::ClusterError;
     pub use crate::metrics::{ClusterMetrics, ShardGauge};
     pub use crate::router::{ClosedSession, ClusterRouter, DrainReport, SwapReport};
@@ -109,10 +123,13 @@ mod tests {
         assert_eq!(router.shards(), 3);
         for id in [0u64, 1, 2, 3, 7] {
             assert_eq!(router.shard_of(id), (id % 3) as usize);
-            router.open_session(id).unwrap();
+            router.open_session(SessionConfig::new(id)).unwrap();
         }
         assert_eq!(router.session_count(), 5);
-        assert_eq!(router.open_session(7), Err(ClusterError::DuplicateSession(7)));
+        assert_eq!(
+            router.open_session(SessionConfig::new(7)),
+            Err(ClusterError::DuplicateSession(7))
+        );
         assert_eq!(router.submit(99, frame(0, 4)), Err(ClusterError::UnknownSession(99)));
 
         for id in [0u64, 1, 2, 3, 7] {
@@ -139,7 +156,7 @@ mod tests {
         let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
         let config = ClusterConfig { shards: 2, auto_step: false, ..ClusterConfig::default() };
         let mut router = ClusterRouter::new(model, config).unwrap();
-        router.open_session(4).unwrap();
+        router.open_session(SessionConfig::new(4)).unwrap();
         for i in 0..3 {
             router.submit(4, frame(i, 8)).unwrap();
         }
@@ -152,8 +169,8 @@ mod tests {
     #[test]
     fn metrics_snapshot_covers_every_shard() {
         let mut router = tiny_router(2);
-        router.open_session(0).unwrap();
-        router.open_session(1).unwrap();
+        router.open_session(SessionConfig::new(0)).unwrap();
+        router.open_session(SessionConfig::new(1)).unwrap();
         router.submit(0, frame(0, 8)).unwrap();
         router.submit(1, frame(1, 8)).unwrap();
         router.drain().unwrap();

@@ -104,9 +104,9 @@ pub struct HostShard {
 
 impl HostShard {
     /// Prepares a host shard serving `model` under the cluster's shared
-    /// shard configuration (`config.serve`, queue capacity, backpressure
-    /// policy, auto-stepping — the fields every shard must agree on for the
-    /// cluster's output to be deterministic).
+    /// shard configuration (`config.serve`, the backpressure spec, the
+    /// default SLO class, auto-stepping — the fields every shard must agree
+    /// on for the cluster's output to be deterministic).
     ///
     /// # Errors
     ///
@@ -133,8 +133,8 @@ impl HostShard {
             0,
             engine,
             rx,
-            self.config.queue_capacity,
-            self.config.policy,
+            self.config.backpressure,
+            self.config.default_slo,
             self.config.auto_step,
             self.config.channel_capacity,
         );
@@ -205,9 +205,9 @@ impl HostShard {
         }
 
         Ok(match request {
-            WireRequest::Open { id } => {
+            WireRequest::Open { config } => {
                 let (ack_tx, ack_rx) = bounded(1);
-                send(tx, Command::Open { id, ack: ack_tx })?;
+                send(tx, Command::Open { config, ack: ack_tx })?;
                 reply(ack(&ack_rx)?, |()| WireResponse::Opened)
             }
             WireRequest::Close { id } => {
@@ -227,6 +227,26 @@ impl HostShard {
                 // as they do locally.
                 send(tx, Command::Submit { id, frame })?;
                 WireResponse::Submitted
+            }
+            WireRequest::Tick { id } => {
+                // Fire-and-forget like a submit: dropout ticks never make a
+                // lossy producer wait, and tick failures surface on the next
+                // flush exactly as submit failures do.
+                send(tx, Command::Tick { id })?;
+                WireResponse::Ticked
+            }
+            WireRequest::SetCapacity { class, queue_capacity } => {
+                let (ack_tx, ack_rx) = bounded(1);
+                send(
+                    tx,
+                    Command::SetCapacity {
+                        class,
+                        queue_capacity: queue_capacity as usize,
+                        ack: ack_tx,
+                    },
+                )?;
+                ack(&ack_rx)?;
+                WireResponse::CapacitySet
             }
             WireRequest::Adapt { id, data, config } => {
                 let (ack_tx, ack_rx) = bounded(1);
@@ -379,8 +399,8 @@ fn translate(
     }
 
     match command {
-        Command::Open { id, ack } => {
-            let response = call(client, &WireRequest::Open { id })?;
+        Command::Open { config, ack } => {
+            let response = call(client, &WireRequest::Open { config })?;
             fulfil(response, ack, |r| matches!(r, WireResponse::Opened).then_some(()));
         }
         Command::Close { id, ack } => {
@@ -401,6 +421,24 @@ fn translate(
                 // Nothing to deliver the mismatch to — treat as link-fatal.
                 let _ = protocol_error(&response);
                 return Err(NetError::Decode("unexpected submit response".into()));
+            }
+        }
+        Command::Tick { id } => {
+            // Fire-and-forget like a submit; the round-trip is only the
+            // retransmission anchor.
+            let response = call(client, &WireRequest::Tick { id })?;
+            if !matches!(response, WireResponse::Ticked) {
+                let _ = protocol_error(&response);
+                return Err(NetError::Decode("unexpected tick response".into()));
+            }
+        }
+        Command::SetCapacity { class, queue_capacity, ack } => {
+            let request = WireRequest::SetCapacity { class, queue_capacity: queue_capacity as u64 };
+            let response = call(client, &request)?;
+            if matches!(response, WireResponse::CapacitySet) {
+                let _ = ack.send(());
+            } else {
+                return Err(NetError::Decode("unexpected set-capacity response".into()));
             }
         }
         Command::Adapt { id, data, config, ack } => {

@@ -11,8 +11,12 @@ use fuse_net::Transport;
 use fuse_nn::{NnError, Sequential};
 use fuse_parallel::channel::{bounded, Sender};
 use fuse_radar::PointCloudFrame;
-use fuse_serve::{LatencyRecorder, ServeEngine, ServeError, ServeResponse, DEFAULT_SAMPLE_WINDOW};
+use fuse_serve::{
+    LatencyRecorder, ServeEngine, ServeError, ServeResponse, SessionConfig, Stage,
+    DEFAULT_SAMPLE_WINDOW,
+};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveController, CapacityUpdate};
 use crate::config::ClusterConfig;
 use crate::error::ClusterError;
 use crate::metrics::ClusterMetrics;
@@ -94,10 +98,13 @@ pub struct DrainReport {
 ///   shard's bounded command channel; inference happens on the worker
 ///   thread. Producers never block on the model (they block only when the
 ///   transport channel itself is full).
-/// * **Backpressure** — when a session's queue reaches the configured
-///   capacity, the shard applies the configured
-///   [`crate::BackpressurePolicy`]; drops and merges are counted and
-///   surfaced via [`ClusterRouter::metrics`] and [`DrainReport`].
+/// * **Per-class backpressure** — when a session's queue reaches its
+///   capacity, the shard applies the `(policy, capacity)` its SLO class
+///   resolves to in the cluster's [`crate::BackpressureSpec`]; drops and
+///   merges are counted and surfaced via [`ClusterRouter::metrics`] and
+///   [`DrainReport`]. With `adaptive` enabled, [`ClusterRouter::autotune`]
+///   feeds the observed end-to-end p99 to an [`AdaptiveController`] and
+///   pushes the resulting effective capacities to every shard.
 /// * **Atomic fan-out hot-swap** — [`ClusterRouter::hot_swap`] (a `fuse-nn`
 ///   checkpoint) and [`ClusterRouter::hot_swap_plan`] (a `.fplan`
 ///   compiled-plan artifact) validate the new weights on every shard before
@@ -110,15 +117,15 @@ pub struct DrainReport {
 ///   thread interleaving.
 ///
 /// ```
-/// use fuse_cluster::{ClusterConfig, ClusterRouter};
+/// use fuse_cluster::{ClusterConfig, ClusterRouter, SessionConfig, SloClass};
 /// use fuse_core::{build_mars_cnn, ModelConfig};
 /// use fuse_radar::{PointCloudFrame, RadarPoint};
 ///
 /// let model = build_mars_cnn(&ModelConfig::tiny(), 7)?;
 /// let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
 /// let mut router = ClusterRouter::new(model, config)?;
-/// router.open_session(0)?;
-/// router.open_session(1)?; // lands on the other shard (1 % 2)
+/// router.open_session(SessionConfig::new(0).slo(SloClass::Clinical))?;
+/// router.open_session(SessionConfig::new(1))?; // lands on the other shard (1 % 2)
 /// let frame = PointCloudFrame::new(0, 0.0, vec![RadarPoint::new(0.1, 2.0, 1.0, 0.0, 1.0)]);
 /// router.submit(0, frame.clone())?;
 /// router.submit(1, frame)?;
@@ -143,6 +150,9 @@ pub struct ClusterRouter {
     /// samples since the previous one; this recorder is where they
     /// accumulate across [`ClusterRouter::metrics`] calls.
     aggregate: LatencyRecorder,
+    /// The adaptive backpressure controller; present only when the config
+    /// enables it (`FUSE_ADAPTIVE=1`).
+    adaptive: Option<AdaptiveController>,
 }
 
 impl ClusterRouter {
@@ -202,8 +212,8 @@ impl ClusterRouter {
                         shard,
                         engine,
                         rx,
-                        config.queue_capacity,
-                        config.policy,
+                        config.backpressure,
+                        config.default_slo,
                         config.auto_step,
                         // Uncollected responses pause autonomous stepping at
                         // the transport bound, keeping an unpolled shard's
@@ -242,6 +252,12 @@ impl ClusterRouter {
         // report exists to expose.
         let aggregate = LatencyRecorder::new(config.serve.budget_ms)
             .with_sample_window(config.shards.max(1) * DEFAULT_SAMPLE_WINDOW);
+        let adaptive = config.adaptive.then(|| {
+            AdaptiveController::new(
+                &config.backpressure,
+                AdaptiveConfig { budget_ms: config.serve.budget_ms, ..AdaptiveConfig::default() },
+            )
+        });
         Ok(ClusterRouter {
             config,
             senders,
@@ -249,6 +265,7 @@ impl ClusterRouter {
             sessions: BTreeMap::new(),
             carry: DrainReport::default(),
             aggregate,
+            adaptive,
         })
     }
 
@@ -293,19 +310,25 @@ impl ClusterRouter {
         ack.recv().map_err(|_| ClusterError::ShardUnavailable { shard, during })
     }
 
-    /// Opens a session on its shard.
+    /// Opens a session on its shard from a typed [`SessionConfig`]: the id
+    /// picks the shard, the optional SLO class picks the backpressure the
+    /// session is served under (unset classes inherit the cluster's
+    /// `FUSE_SLO_DEFAULT`, when configured), and the optional fusion /
+    /// feature-map overrides configure its streaming ops.
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::DuplicateSession`] when the id is already open
-    /// anywhere in the cluster.
-    pub fn open_session(&mut self, id: u64) -> Result<()> {
+    /// anywhere in the cluster and propagates the engine's validation of the
+    /// config (e.g. a feature-map override with the wrong dimensions).
+    pub fn open_session(&mut self, config: SessionConfig) -> Result<()> {
+        let id = config.id();
         if self.sessions.contains_key(&id) {
             return Err(ClusterError::DuplicateSession(id));
         }
         let shard = self.shard_of(id);
         let (ack_tx, ack_rx) = bounded(1);
-        self.send(shard, Command::Open { id, ack: ack_tx }, "open_session")?;
+        self.send(shard, Command::Open { config, ack: ack_tx }, "open_session")?;
         self.recv_ack(shard, &ack_rx, "open_session")??;
         self.sessions.insert(id, shard);
         Ok(())
@@ -340,6 +363,20 @@ impl ClusterRouter {
     pub fn submit(&mut self, id: u64, frame: PointCloudFrame) -> Result<()> {
         let shard = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
         self.send(shard, Command::Submit { id, frame }, "submit")
+    }
+
+    /// Advances a session past a missing frame: the dropout becomes an
+    /// explicit, deterministic state transition of the session's streaming
+    /// ops instead of a silent gap. Fire-and-forget like
+    /// [`ClusterRouter::submit`] — a lossy producer never waits on its
+    /// dropouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownSession`] for an unopened id.
+    pub fn tick(&mut self, id: u64) -> Result<()> {
+        let shard = *self.sessions.get(&id).ok_or(ClusterError::UnknownSession(id))?;
+        self.send(shard, Command::Tick { id }, "tick")
     }
 
     /// Collects whatever responses are ready right now, without waiting for
@@ -600,6 +637,66 @@ impl ClusterRouter {
             shards.push(snapshot.gauge);
         }
         Ok(ClusterMetrics { report: self.aggregate.report(), shards })
+    }
+
+    /// Runs one adaptive-backpressure control step: snapshots the cluster
+    /// metrics, feeds the observed end-to-end p99 to the
+    /// [`AdaptiveController`], and fans any changed effective capacities out
+    /// to every shard (blocking until each shard acks, so the new
+    /// capacities are in force when this returns). Returns the updates that
+    /// were applied — empty when adaptation is disabled, when no end-to-end
+    /// samples were recorded yet, or when the p99 sits inside the
+    /// hysteresis band.
+    ///
+    /// The step is explicit (no background timer) and the controller is a
+    /// pure function of the observation sequence, so a given workload +
+    /// autotune schedule always produces the same capacity schedule — see
+    /// `REPRODUCIBILITY.md` for what adaptive mode may and may not change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ShardUnavailable`] when a worker is gone.
+    pub fn autotune(&mut self) -> Result<Vec<CapacityUpdate>> {
+        if self.adaptive.is_none() {
+            return Ok(Vec::new());
+        }
+        let metrics = self.metrics()?;
+        let p99 = metrics
+            .report
+            .stages
+            .iter()
+            .find(|(stage, _)| *stage == Stage::Total)
+            .map(|(_, stats)| stats.p99_ms);
+        let Some(p99) = p99 else { return Ok(Vec::new()) };
+        let controller = self.adaptive.as_mut().expect("checked above");
+        let updates = controller.observe(p99);
+        for update in &updates {
+            let mut acks = Vec::with_capacity(self.senders.len());
+            for shard in 0..self.senders.len() {
+                let (ack_tx, ack_rx) = bounded(1);
+                let command = Command::SetCapacity {
+                    class: update.class,
+                    queue_capacity: update.queue_capacity,
+                    ack: ack_tx,
+                };
+                self.send(shard, command, "autotune")?;
+                acks.push(ack_rx);
+            }
+            for (shard, ack) in acks.iter().enumerate() {
+                self.recv_ack(shard, ack, "autotune")?;
+            }
+        }
+        Ok(updates)
+    }
+
+    /// The current effective queue capacity of an SLO class: the adaptive
+    /// controller's value when adaptation is enabled, the static spec's
+    /// resolution otherwise.
+    pub fn effective_capacity(&self, class: fuse_serve::SloClass) -> usize {
+        match &self.adaptive {
+            Some(controller) => controller.capacity(class),
+            None => self.config.backpressure.resolve(Some(class)).queue_capacity,
+        }
     }
 
     /// Shuts the cluster down: closes every command channel and joins the

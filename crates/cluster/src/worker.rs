@@ -13,13 +13,18 @@
 //! until the router collects them with a `Poll` or `Flush`.
 //!
 //! **Backpressure** is applied here, when a submit is about to enqueue onto a
-//! session whose pending queue is at capacity: `Block` serves backlog first,
-//! `DropOldest` evicts the session's oldest pending frame, `MergeFrames`
-//! collapses the burst to its newest frame. Every eviction is logged (and
-//! surfaced through [`crate::ClusterMetrics`]); in a lockstep schedule the
-//! decisions are a pure function of the submit/drain sequence, which the
-//! backpressure golden tests pin.
+//! session whose pending queue is at capacity. The `(policy, capacity)` pair
+//! is resolved *per session* from the cluster's [`BackpressureSpec`] by the
+//! session's SLO class: `Block` serves backlog first, `DropOldest` evicts the
+//! session's oldest pending frame, `MergeFrames` collapses the burst to its
+//! newest frame. Every eviction is logged (and surfaced through
+//! [`crate::ClusterMetrics`]); in a lockstep schedule the decisions are a
+//! pure function of the submit/drain sequence, which the backpressure golden
+//! tests pin. When the adaptive controller is enabled, the router pushes
+//! `SetCapacity` commands that override a class's *effective* capacity on
+//! this shard (the policy never changes adaptively).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fuse_core::{FineTuneConfig, FineTuneResult};
@@ -27,9 +32,11 @@ use fuse_dataset::EncodedDataset;
 use fuse_nn::Checkpoint;
 use fuse_parallel::channel::{Receiver, Sender, TryRecvError};
 use fuse_radar::PointCloudFrame;
-use fuse_serve::{PreparedSwap, ServeEngine, ServeError, ServeResponse, SessionState};
+use fuse_serve::{
+    PreparedSwap, ServeEngine, ServeError, ServeResponse, SessionConfig, SessionState, SloClass,
+};
 
-use crate::config::BackpressurePolicy;
+use crate::config::{BackpressurePolicy, BackpressureSpec, ClassBackpressure};
 use crate::metrics::ShardGauge;
 
 /// Result alias for shard-level operations.
@@ -91,7 +98,7 @@ pub(crate) struct ShardSnapshot {
 /// Commands a router sends to a shard worker.
 pub(crate) enum Command {
     Open {
-        id: u64,
+        config: SessionConfig,
         ack: Sender<ShardResult<()>>,
     },
     Close {
@@ -101,6 +108,19 @@ pub(crate) enum Command {
     Submit {
         id: u64,
         frame: PointCloudFrame,
+    },
+    /// A missing-frame tick: advances the session's streaming-op state
+    /// deterministically without producing a response. Fire-and-forget like
+    /// `Submit`, so a lossy producer never waits on its dropouts.
+    Tick {
+        id: u64,
+    },
+    /// Override one SLO class's *effective* queue capacity on this shard
+    /// (pushed by the router's adaptive controller; the policy is fixed).
+    SetCapacity {
+        class: SloClass,
+        queue_capacity: usize,
+        ack: Sender<()>,
     },
     Adapt {
         id: u64,
@@ -143,8 +163,14 @@ pub(crate) struct ShardWorker {
     shard: usize,
     engine: ServeEngine,
     rx: Receiver<Command>,
-    queue_capacity: usize,
-    policy: BackpressurePolicy,
+    /// Static per-class backpressure (cluster default + overrides/presets).
+    spec: BackpressureSpec,
+    /// SLO class applied to sessions opened without one (`FUSE_SLO_DEFAULT`).
+    default_slo: Option<SloClass>,
+    /// Adaptive *effective* capacity per class, pushed by `SetCapacity`;
+    /// absent classes use the static spec. Only capacities adapt — the
+    /// policy always comes from the spec.
+    effective_capacity: BTreeMap<SloClass, usize>,
     auto_step: bool,
     /// Autonomous stepping pauses once this many responses sit uncollected
     /// in the engine's ready buffer: without the pause, a producer that
@@ -170,8 +196,8 @@ impl ShardWorker {
         shard: usize,
         engine: ServeEngine,
         rx: Receiver<Command>,
-        queue_capacity: usize,
-        policy: BackpressurePolicy,
+        spec: BackpressureSpec,
+        default_slo: Option<SloClass>,
         auto_step: bool,
         ready_limit: usize,
     ) -> Self {
@@ -179,8 +205,9 @@ impl ShardWorker {
             shard,
             engine,
             rx,
-            queue_capacity,
-            policy,
+            spec,
+            default_slo,
+            effective_capacity: BTreeMap::new(),
             auto_step,
             ready_limit,
             prepared: None,
@@ -235,21 +262,34 @@ impl ShardWorker {
         }
     }
 
-    /// Applies the backpressure policy for a frame about to join `id`'s
+    /// The backpressure a session is subject to on this shard: its SLO
+    /// class's spec entry (override → preset → cluster default), with the
+    /// capacity replaced by any adaptive `SetCapacity` push for the class.
+    fn backpressure_for(&self, id: u64) -> ClassBackpressure {
+        let class = self.engine.session(id).and_then(|s| s.slo_class());
+        let mut resolved = self.spec.resolve(class);
+        if let Some(class) = class {
+            if let Some(&capacity) = self.effective_capacity.get(&class) {
+                resolved.queue_capacity = capacity;
+            }
+        }
+        resolved
+    }
+
+    /// Applies the session's backpressure for a frame about to join `id`'s
     /// queue, then submits it.
     fn handle_submit(&mut self, id: u64, frame: PointCloudFrame) {
-        if self.engine.pending_for(id) >= self.queue_capacity {
-            match self.policy {
+        let ClassBackpressure { policy, queue_capacity } = self.backpressure_for(id);
+        if self.engine.pending_for(id) >= queue_capacity {
+            match policy {
                 BackpressurePolicy::Block => {
                     self.blocked_total += 1;
-                    while self.engine.pending_for(id) >= self.queue_capacity
-                        && self.failed.is_none()
-                    {
+                    while self.engine.pending_for(id) >= queue_capacity && self.failed.is_none() {
                         self.step_once();
                     }
                 }
                 BackpressurePolicy::DropOldest => {
-                    while self.engine.pending_for(id) >= self.queue_capacity {
+                    while self.engine.pending_for(id) >= queue_capacity {
                         match self.engine.drop_oldest_pending(id) {
                             Some(frame_index) => {
                                 self.dropped_total += 1;
@@ -295,8 +335,14 @@ impl ShardWorker {
 
     fn handle(&mut self, command: Command) {
         match command {
-            Command::Open { id, ack } => {
-                let result = self.engine.open_session(id).map(|_| ());
+            Command::Open { config, ack } => {
+                // Sessions opened without a class inherit the cluster's
+                // FUSE_SLO_DEFAULT (when set); an explicit class wins.
+                let config = match (config.slo_class(), self.default_slo) {
+                    (None, Some(class)) => config.slo(class),
+                    _ => config,
+                };
+                let result = self.engine.open_session(config).map(|_| ());
                 let _ = ack.send(result);
             }
             Command::Close { id, ack } => {
@@ -307,6 +353,15 @@ impl ShardWorker {
                 let _ = ack.send(result);
             }
             Command::Submit { id, frame } => self.handle_submit(id, frame),
+            Command::Tick { id } => {
+                if let Err(e) = self.engine.tick(id) {
+                    self.failed.get_or_insert(e);
+                }
+            }
+            Command::SetCapacity { class, queue_capacity, ack } => {
+                self.effective_capacity.insert(class, queue_capacity);
+                let _ = ack.send(());
+            }
             Command::Adapt { id, data, config, ack } => {
                 let _ = ack.send(self.engine.adapt_session(id, &data, &config));
             }

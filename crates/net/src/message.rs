@@ -16,9 +16,12 @@
 
 use fuse_core::{FineTuneConfig, FineTuneResult, FineTuneScope, PoseError};
 use fuse_dataset::{EncodedDataset, EncodedSample};
+use fuse_dataset::{FeatureMapBuilder, FrameFusion};
 use fuse_nn::{AxisMae, Checkpoint};
 use fuse_radar::{PointCloudFrame, RadarPoint};
-use fuse_serve::{LatencyRecorder, ServeError, ServeResponse, SessionState, Stage};
+use fuse_serve::{
+    LatencyRecorder, ServeError, ServeResponse, SessionConfig, SessionState, SloClass, Stage,
+};
 use fuse_skeleton::Movement;
 use fuse_tensor::{Normalizer, Tensor};
 
@@ -29,10 +32,11 @@ use crate::Result;
 /// A request from the cluster router to a host shard.
 #[derive(Debug, Clone)]
 pub enum WireRequest {
-    /// Open a session.
+    /// Open a session from its typed configuration (id, optional SLO class
+    /// and optional fusion / feature-map overrides).
     Open {
-        /// Session id.
-        id: u64,
+        /// The session's full configuration, bit-exact.
+        config: SessionConfig,
     },
     /// Close a session and report what it learned / left unserved.
     Close {
@@ -45,6 +49,20 @@ pub enum WireRequest {
         id: u64,
         /// The frame, bit-exact.
         frame: PointCloudFrame,
+    },
+    /// Advance a session past a missing frame (a deterministic dropout
+    /// tick of its streaming-op state).
+    Tick {
+        /// Session id.
+        id: u64,
+    },
+    /// Override one SLO class's effective queue capacity on the shard
+    /// (pushed by the router's adaptive backpressure controller).
+    SetCapacity {
+        /// The class whose capacity changes.
+        class: SloClass,
+        /// The new effective per-session queue capacity.
+        queue_capacity: u64,
     },
     /// Fine-tune a session's private model on encoded samples.
     Adapt {
@@ -100,6 +118,10 @@ pub enum WireResponse {
     Closed(WireCloseReport),
     /// The frame was accepted into the shard's queue.
     Submitted,
+    /// The dropout tick was accepted.
+    Ticked,
+    /// The effective capacity override is in force.
+    CapacitySet,
     /// Fine-tuning finished with these per-epoch errors.
     Adapted(FineTuneResult),
     /// The shard is idle; how much work the flush performed.
@@ -323,12 +345,83 @@ fn decode_checkpoint_opt(r: &mut Reader<'_>) -> Result<Option<Checkpoint>> {
     }
 }
 
+/// One byte for an optional SLO class: `0` = unset, then the classes in
+/// `SloClass::ALL` order. The mapping is part of the wire contract — a new
+/// class appends, never reorders.
+fn encode_slo_opt(w: &mut Writer, slo: Option<SloClass>) {
+    w.u8(match slo {
+        None => 0,
+        Some(SloClass::Clinical) => 1,
+        Some(SloClass::Interactive) => 2,
+        Some(SloClass::Dashboard) => 3,
+    });
+}
+
+fn decode_slo_opt(r: &mut Reader<'_>) -> Result<Option<SloClass>> {
+    Ok(match r.u8("slo class")? {
+        0 => None,
+        1 => Some(SloClass::Clinical),
+        2 => Some(SloClass::Interactive),
+        3 => Some(SloClass::Dashboard),
+        other => return Err(NetError::Decode(format!("bad slo class {other}"))),
+    })
+}
+
+fn encode_session_config(w: &mut Writer, c: &SessionConfig) {
+    w.u64(c.id());
+    encode_slo_opt(w, c.slo_class());
+    match c.fusion_override() {
+        None => w.u8(0),
+        Some(fusion) => {
+            w.u8(1);
+            w.u64(fusion.half_window() as u64);
+        }
+    }
+    match c.feature_map_override() {
+        None => w.u8(0),
+        Some(builder) => {
+            w.u8(1);
+            w.u64(builder.height() as u64);
+            w.u64(builder.width() as u64);
+        }
+    }
+}
+
+fn decode_session_config(r: &mut Reader<'_>) -> Result<SessionConfig> {
+    let mut config = SessionConfig::new(r.u64("session id")?);
+    if let Some(slo) = decode_slo_opt(r)? {
+        config = config.slo(slo);
+    }
+    match r.u8("fusion flag")? {
+        0 => {}
+        1 => config = config.fusion(FrameFusion::new(r.usize("fusion half window")?)),
+        other => return Err(NetError::Decode(format!("bad fusion flag {other}"))),
+    }
+    match r.u8("feature map flag")? {
+        0 => {}
+        1 => {
+            let height = r.usize("feature map height")?;
+            let width = r.usize("feature map width")?;
+            config = config.feature_map(FeatureMapBuilder::new(height, width));
+        }
+        other => return Err(NetError::Decode(format!("bad feature map flag {other}"))),
+    }
+    Ok(config)
+}
+
 fn encode_session_state(w: &mut Writer, s: &SessionState) {
     w.u64(s.id);
+    encode_slo_opt(w, s.slo);
+    w.u64(s.fusion.half_window() as u64);
     w.u64(s.frames_seen);
+    w.u64(s.ticks_seen);
     w.u64(s.history.len() as u64);
     for frame in &s.history {
         encode_frame_msg(w, frame);
+    }
+    w.u64(s.slot_mask.len() as u64);
+    for &occupied in &s.slot_mask {
+        w.u8(occupied as u8);
     }
     encode_checkpoint_opt(w, &s.checkpoint);
     w.u64(s.pending.len() as u64);
@@ -340,15 +433,36 @@ fn encode_session_state(w: &mut Writer, s: &SessionState) {
 
 fn decode_session_state(r: &mut Reader<'_>) -> Result<SessionState> {
     let id = r.u64("session id")?;
+    let slo = decode_slo_opt(r)?;
+    let fusion = FrameFusion::new(r.usize("fusion half window")?);
     let frames_seen = r.u64("frames seen")?;
+    let ticks_seen = r.u64("ticks seen")?;
     let n = r.len_prefix(20, "history length")?;
     let history = (0..n).map(|_| decode_frame_msg(r)).collect::<Result<_>>()?;
+    let n = r.len_prefix(1, "slot mask length")?;
+    let slot_mask = (0..n)
+        .map(|_| match r.u8("slot mask entry")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(NetError::Decode(format!("bad slot mask entry {other}"))),
+        })
+        .collect::<Result<_>>()?;
     let checkpoint = decode_checkpoint_opt(r)?;
     let n = r.len_prefix(8, "pending length")?;
     let pending = (0..n)
         .map(|_| Ok((r.u64("pending frame index")?, decode_tensor(r)?)))
         .collect::<Result<_>>()?;
-    Ok(SessionState { id, frames_seen, history, checkpoint, pending })
+    Ok(SessionState {
+        id,
+        slo,
+        fusion,
+        frames_seen,
+        ticks_seen,
+        history,
+        slot_mask,
+        checkpoint,
+        pending,
+    })
 }
 
 fn encode_dataset_msg(w: &mut Writer, data: &EncodedDataset) {
@@ -569,6 +683,8 @@ const REQ_ABORT_SWAP: u8 = 11;
 const REQ_EXPORT_SESSION: u8 = 12;
 const REQ_IMPORT_SESSION: u8 = 13;
 const REQ_SHUTDOWN: u8 = 14;
+const REQ_TICK: u8 = 15;
+const REQ_SET_CAPACITY: u8 = 16;
 
 const RESP_OPENED: u8 = 1;
 const RESP_CLOSED: u8 = 2;
@@ -584,15 +700,17 @@ const RESP_EXPORTED: u8 = 11;
 const RESP_IMPORTED: u8 = 12;
 const RESP_SHUTTING_DOWN: u8 = 13;
 const RESP_ERROR: u8 = 14;
+const RESP_TICKED: u8 = 15;
+const RESP_CAPACITY_SET: u8 = 16;
 
 impl WireRequest {
     /// Encodes the request as an RPC body.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            WireRequest::Open { id } => {
+            WireRequest::Open { config } => {
                 w.u8(REQ_OPEN);
-                w.u64(*id);
+                encode_session_config(&mut w, config);
             }
             WireRequest::Close { id } => {
                 w.u8(REQ_CLOSE);
@@ -602,6 +720,15 @@ impl WireRequest {
                 w.u8(REQ_SUBMIT);
                 w.u64(*id);
                 encode_frame_msg(&mut w, frame);
+            }
+            WireRequest::Tick { id } => {
+                w.u8(REQ_TICK);
+                w.u64(*id);
+            }
+            WireRequest::SetCapacity { class, queue_capacity } => {
+                w.u8(REQ_SET_CAPACITY);
+                encode_slo_opt(&mut w, Some(*class));
+                w.u64(*queue_capacity);
             }
             WireRequest::Adapt { id, data, config } => {
                 w.u8(REQ_ADAPT);
@@ -645,7 +772,7 @@ impl WireRequest {
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
         let req = match r.u8("request tag")? {
-            REQ_OPEN => WireRequest::Open { id: r.u64("session id")? },
+            REQ_OPEN => WireRequest::Open { config: decode_session_config(&mut r)? },
             REQ_CLOSE => WireRequest::Close { id: r.u64("session id")? },
             REQ_SUBMIT => {
                 WireRequest::Submit { id: r.u64("session id")?, frame: decode_frame_msg(&mut r)? }
@@ -671,6 +798,13 @@ impl WireRequest {
                 WireRequest::ImportSession { state: Box::new(decode_session_state(&mut r)?) }
             }
             REQ_SHUTDOWN => WireRequest::Shutdown,
+            REQ_TICK => WireRequest::Tick { id: r.u64("session id")? },
+            REQ_SET_CAPACITY => {
+                let class = decode_slo_opt(&mut r)?.ok_or_else(|| {
+                    NetError::Decode("set-capacity requires a concrete slo class".into())
+                })?;
+                WireRequest::SetCapacity { class, queue_capacity: r.u64("queue capacity")? }
+            }
             other => return Err(NetError::Decode(format!("bad request tag {other}"))),
         };
         r.finish()?;
@@ -693,6 +827,8 @@ impl WireResponse {
                 }
             }
             WireResponse::Submitted => w.u8(RESP_SUBMITTED),
+            WireResponse::Ticked => w.u8(RESP_TICKED),
+            WireResponse::CapacitySet => w.u8(RESP_CAPACITY_SET),
             WireResponse::Adapted(result) => {
                 w.u8(RESP_ADAPTED);
                 encode_finetune_result(&mut w, result);
@@ -763,6 +899,8 @@ impl WireResponse {
                 WireResponse::Closed(WireCloseReport { adapted, unserved })
             }
             RESP_SUBMITTED => WireResponse::Submitted,
+            RESP_TICKED => WireResponse::Ticked,
+            RESP_CAPACITY_SET => WireResponse::CapacitySet,
             RESP_ADAPTED => WireResponse::Adapted(decode_finetune_result(&mut r)?),
             RESP_FLUSHED => {
                 let n = r.len_prefix(29, "flush response count")?;
@@ -827,8 +965,10 @@ mod tests {
     #[test]
     fn simple_requests_round_trip() {
         for req in [
-            WireRequest::Open { id: 7 },
+            WireRequest::Open { config: SessionConfig::new(7) },
             WireRequest::Close { id: u64::MAX },
+            WireRequest::Tick { id: 12 },
+            WireRequest::SetCapacity { class: SloClass::Dashboard, queue_capacity: 3 },
             WireRequest::Flush,
             WireRequest::Poll,
             WireRequest::Snapshot,
@@ -843,6 +983,34 @@ mod tests {
             // payload-free / plain-bytes variants.
             assert_eq!(format!("{:?}", assert_request_round_trips(&req)), format!("{req:?}"));
         }
+    }
+
+    #[test]
+    fn open_round_trips_every_session_config_shape() {
+        // Every combination of set/unset options must survive the wire —
+        // the config IS the session's identity on a remote shard.
+        let configs = [
+            SessionConfig::new(0),
+            SessionConfig::new(1).slo(SloClass::Clinical),
+            SessionConfig::new(2).slo(SloClass::Interactive).fusion(FrameFusion::new(3)),
+            SessionConfig::new(3)
+                .slo(SloClass::Dashboard)
+                .fusion(FrameFusion::new(0))
+                .feature_map(FeatureMapBuilder::new(16, 12)),
+            SessionConfig::new(u64::MAX).feature_map(FeatureMapBuilder::new(8, 8)),
+        ];
+        for config in configs {
+            let WireRequest::Open { config: decoded } =
+                assert_request_round_trips(&WireRequest::Open { config: config.clone() })
+            else {
+                panic!("wrong variant");
+            };
+            assert_eq!(decoded, config);
+        }
+        // An out-of-range class byte is a typed decode error.
+        let mut bytes = WireRequest::Open { config: SessionConfig::new(9) }.encode();
+        bytes[9] = 200; // the slo byte sits right after tag + id
+        assert!(matches!(WireRequest::decode(&bytes), Err(NetError::Decode(_))));
     }
 
     #[test]
@@ -870,8 +1038,13 @@ mod tests {
         let model = Sequential::new(vec![Box::new(Linear::new(4, 3, 77).unwrap())]);
         let state = SessionState {
             id: 11,
+            slo: Some(SloClass::Interactive),
+            fusion: FrameFusion::new(2),
             frames_seen: 5,
+            ticks_seen: 7,
             history: vec![frame(3), frame(4)],
+            // Two retained frames with a dropout gap between them.
+            slot_mask: vec![true, false, true],
             checkpoint: Some(Checkpoint::capture(&model, "session-11")),
             pending: vec![(5, Tensor::from_vec(vec![1.0, -2.5, 3.25, 0.5], &[4]).unwrap())],
         };
@@ -883,8 +1056,12 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(decoded.id, state.id);
+        assert_eq!(decoded.slo, state.slo);
+        assert_eq!(decoded.fusion.half_window(), 2);
         assert_eq!(decoded.frames_seen, state.frames_seen);
+        assert_eq!(decoded.ticks_seen, state.ticks_seen);
         assert_eq!(decoded.history.len(), 2);
+        assert_eq!(decoded.slot_mask, state.slot_mask);
         let original_ckpt = state.checkpoint.unwrap();
         let decoded_ckpt = decoded.checkpoint.unwrap();
         assert_eq!(decoded_ckpt.to_binary(), original_ckpt.to_binary());
@@ -945,6 +1122,8 @@ mod tests {
             WireResponse::Opened,
             WireResponse::Closed(WireCloseReport { adapted: true, unserved: vec![2, 5] }),
             WireResponse::Submitted,
+            WireResponse::Ticked,
+            WireResponse::CapacitySet,
             WireResponse::Adapted(result),
             WireResponse::Flushed(WireFlushReport {
                 responses: vec![ServeResponse {

@@ -57,7 +57,7 @@ use fuse_tensor::Tensor;
 
 use crate::error::ServeError;
 use crate::latency::{LatencyRecorder, Stage, DEFAULT_BUDGET_MS};
-use crate::session::Session;
+use crate::session::{Session, SessionConfig, SloClass};
 use crate::Result;
 
 /// Engine-wide serving parameters.
@@ -202,12 +202,27 @@ impl PreparedSwap {
 pub struct SessionState {
     /// The session id.
     pub id: u64,
+    /// The session's service-level class, when one was configured (the
+    /// receiving cluster re-applies its backpressure preset).
+    pub slo: Option<SloClass>,
+    /// The session's fusion window. Overrides change which frames fuse, so
+    /// they must travel with the session for outputs to stay bit-identical.
+    pub fusion: FrameFusion,
     /// Lifetime frame count at export time; subsequent frames continue the
     /// index sequence exactly where the source host stopped.
     pub frames_seen: u64,
-    /// The retained fusion history, oldest frame first (at most the fusion
-    /// window's `M + 1` frames).
+    /// Lifetime cadence-slot count at export time (frames + missing-frame
+    /// ticks).
+    pub ticks_seen: u64,
+    /// The retained frames of the fusion delay line, oldest first (at most
+    /// the fusion window's `M + 1`; ticks excluded — see
+    /// [`SessionState::slot_mask`]).
     pub history: Vec<PointCloudFrame>,
+    /// One boolean per occupied delay-line slot, oldest first: `true` for a
+    /// retained frame (the next entry of [`SessionState::history`]), `false`
+    /// for a missing-frame tick. Replaying this mask rebuilds the delay line
+    /// bit-exactly, dropout gaps included.
+    pub slot_mask: Vec<bool>,
     /// The session's private fine-tuned weights as an `FCKP`-serializable
     /// checkpoint; `None` for a session serving the shared base model.
     pub checkpoint: Option<Checkpoint>,
@@ -380,21 +395,37 @@ impl ServeEngine {
         merged
     }
 
-    /// Opens a new session.
+    /// Opens a new session from its typed configuration
+    /// ([`SessionConfig::new`] builder). Unset options inherit the engine's
+    /// [`ServeConfig`]; a feature-map override must keep the engine's input
+    /// geometry (the compiled plans are shaped for it).
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::DuplicateSession`] when the id is already open.
-    pub fn open_session(&mut self, id: u64) -> Result<&mut Session> {
-        match self.sessions.entry(id) {
-            std::collections::btree_map::Entry::Occupied(_) => {
-                Err(ServeError::DuplicateSession(id))
+    /// Returns [`ServeError::DuplicateSession`] when the id is already open
+    /// and [`ServeError::InvalidConfig`] for a feature-map override whose
+    /// input dimensions disagree with the engine's.
+    pub fn open_session(&mut self, config: SessionConfig) -> Result<&mut Session> {
+        if let Some(builder) = config.feature_map_override() {
+            let expected = self.config.feature_map.input_dims();
+            if builder.input_dims() != expected {
+                return Err(ServeError::InvalidConfig(format!(
+                    "session {} feature-map override produces {:?} but the engine's \
+                     compiled plans expect {:?}",
+                    config.id(),
+                    builder.input_dims(),
+                    expected
+                )));
             }
-            std::collections::btree_map::Entry::Vacant(slot) => Ok(slot.insert(Session::new(
-                id,
-                self.config.fusion,
-                self.config.feature_map.clone(),
-            ))),
+        }
+        let config = config.with_defaults(self.config.fusion, &self.config.feature_map);
+        match self.sessions.entry(config.id()) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                Err(ServeError::DuplicateSession(config.id()))
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                Ok(slot.insert(Session::new(config)))
+            }
         }
     }
 
@@ -449,17 +480,38 @@ impl ServeEngine {
     /// Returns [`ServeError::UnknownSession`] for an unopened id and
     /// propagates featurization failures.
     pub fn submit(&mut self, session_id: u64, frame: PointCloudFrame) -> Result<u64> {
+        // Split borrows: the fused points borrow the session (they live in
+        // its incremental op state now) while the recorder and pending queue
+        // are separate fields.
+        let ServeEngine { sessions, pending, recorder, .. } = &mut *self;
         let session =
-            self.sessions.get_mut(&session_id).ok_or(ServeError::UnknownSession(session_id))?;
+            sessions.get_mut(&session_id).ok_or(ServeError::UnknownSession(session_id))?;
         let submitted = Instant::now();
         let frame_index = session.push_frame(frame);
         let points = session.fused_points();
-        self.recorder.record(Stage::Fuse, ms_since(submitted));
+        recorder.record(Stage::Fuse, ms_since(submitted));
         let featurize_start = Instant::now();
-        let features = session.feature_map().build(&points, None)?;
-        self.recorder.record(Stage::Featurize, ms_since(featurize_start));
-        self.pending.push(PendingFrame { session_id, frame_index, features, submitted });
+        let features = session.feature_map().build(points, None)?;
+        recorder.record(Stage::Featurize, ms_since(featurize_start));
+        pending.push(PendingFrame { session_id, frame_index, features, submitted });
         Ok(frame_index)
+    }
+
+    /// Advances a session's streaming-op state one cadence slot with *no*
+    /// frame: the oldest delay-line slot is evicted and nothing replaces it.
+    /// A variable-rate or lossy producer calls this for every dropped or
+    /// skipped frame so the fused window tracks wall-clock cadence
+    /// deterministically — two hosts replaying the same submit/tick pattern
+    /// hold bit-identical session state. No response is produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an unopened id.
+    pub fn tick(&mut self, session_id: u64) -> Result<()> {
+        let session =
+            self.sessions.get_mut(&session_id).ok_or(ServeError::UnknownSession(session_id))?;
+        session.tick_missing();
+        Ok(())
     }
 
     /// Runs one micro-batch: consumes up to `max_batch` pending frames
@@ -924,8 +976,12 @@ impl ServeEngine {
             session.model().map(|model| Checkpoint::capture(model, &format!("session-{id}")));
         Ok(SessionState {
             id,
+            slo: session.slo_class(),
+            fusion: *session.fusion(),
             frames_seen: session.frames_seen(),
+            ticks_seen: session.ticks_seen(),
             history: session.history().cloned().collect(),
+            slot_mask: session.slot_mask(),
             checkpoint,
             pending: unserved.into_iter().map(|p| (p.frame_index, p.features)).collect(),
         })
@@ -956,12 +1012,42 @@ impl ServeEngine {
         if self.sessions.contains_key(&state.id) {
             return Err(ServeError::DuplicateSession(state.id));
         }
-        let SessionState { id, frames_seen, history, checkpoint, pending } = state;
-        let mut session = Session::new(id, self.config.fusion, self.config.feature_map.clone());
-        for frame in history {
-            session.push_frame(frame);
+        let SessionState {
+            id,
+            slo,
+            fusion,
+            frames_seen,
+            ticks_seen,
+            history,
+            slot_mask,
+            checkpoint,
+            pending,
+        } = state;
+        let mut config = SessionConfig::new(id).fusion(fusion);
+        if let Some(slo) = slo {
+            config = config.slo(slo);
         }
-        session.set_frames_seen(frames_seen);
+        let mut session =
+            Session::new(config.with_defaults(self.config.fusion, &self.config.feature_map));
+        // Replay the delay line exactly: `true` slots consume the next
+        // retained frame, `false` slots replay the missing-frame ticks — so
+        // a session migrated mid-dropout fuses over the same gapped window
+        // the source host held.
+        let mut frames = history.into_iter();
+        for present in slot_mask {
+            if present {
+                let frame = frames.next().ok_or_else(|| {
+                    ServeError::InvalidConfig(format!(
+                        "session {id} state is inconsistent: slot mask marks more frames \
+                         than the history carries"
+                    ))
+                })?;
+                session.push_frame(frame);
+            } else {
+                session.tick_missing();
+            }
+        }
+        session.set_counters(frames_seen, ticks_seen);
         if let Some(ckpt) = checkpoint {
             let mut model = self.base.clone();
             ckpt.apply_to(&mut model)?;
@@ -1098,7 +1184,7 @@ mod tests {
     fn plan_responses_match_the_legacy_forward_bit_for_bit() {
         let mut engine = tiny_engine();
         assert!(engine.plan().is_some());
-        engine.open_session(1).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
         engine.submit(1, frame(2, 16)).unwrap();
         let features = engine.session(1).unwrap().featurize_latest().unwrap();
         let expected = {
@@ -1146,8 +1232,11 @@ mod tests {
     #[test]
     fn session_lifecycle_and_errors() {
         let mut engine = tiny_engine();
-        engine.open_session(1).unwrap();
-        assert!(matches!(engine.open_session(1), Err(ServeError::DuplicateSession(1))));
+        engine.open_session(SessionConfig::new(1)).unwrap();
+        assert!(matches!(
+            engine.open_session(SessionConfig::new(1)),
+            Err(ServeError::DuplicateSession(1))
+        ));
         assert!(matches!(engine.submit(9, frame(0, 4)), Err(ServeError::UnknownSession(9))));
         assert!(matches!(engine.close_session(9), Err(ServeError::UnknownSession(9))));
         engine.submit(1, frame(0, 4)).unwrap();
@@ -1168,7 +1257,7 @@ mod tests {
     #[test]
     fn streaming_produces_one_response_per_frame() {
         let mut engine = tiny_engine();
-        engine.open_session(5).unwrap();
+        engine.open_session(SessionConfig::new(5)).unwrap();
         for i in 0..4 {
             let index = engine.submit(5, frame(i, 16)).unwrap();
             assert_eq!(index, i);
@@ -1199,7 +1288,7 @@ mod tests {
         // pass produces bit-identical rows to running each frame alone.
         let mut batched = tiny_engine();
         for id in [2u64, 4, 8] {
-            batched.open_session(id).unwrap();
+            batched.open_session(SessionConfig::new(id)).unwrap();
             batched.submit(id, frame(id, 12)).unwrap();
         }
         assert_eq!(batched.step().unwrap(), 3);
@@ -1208,7 +1297,7 @@ mod tests {
 
         for (i, id) in [2u64, 4, 8].into_iter().enumerate() {
             let mut solo = tiny_engine();
-            solo.open_session(id).unwrap();
+            solo.open_session(SessionConfig::new(id)).unwrap();
             solo.submit(id, frame(id, 12)).unwrap();
             assert_eq!(solo.step().unwrap(), 1);
             let alone = solo.take_responses();
@@ -1224,8 +1313,8 @@ mod tests {
         let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
         let config = ServeConfig { max_batch: 4, ..ServeConfig::default() };
         let mut engine = ServeEngine::new(model, config).unwrap();
-        engine.open_session(0).unwrap();
-        engine.open_session(7).unwrap();
+        engine.open_session(SessionConfig::new(0)).unwrap();
+        engine.open_session(SessionConfig::new(7)).unwrap();
         for i in 0..10 {
             engine.submit(0, frame(i, 8)).unwrap();
         }
@@ -1247,12 +1336,12 @@ mod tests {
         let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
         let config = ServeConfig { max_batch: 4, ..ServeConfig::default() };
         let mut engine = ServeEngine::new(model, config).unwrap();
-        engine.open_session(0).unwrap();
+        engine.open_session(SessionConfig::new(0)).unwrap();
         for i in 0..20 {
             engine.submit(0, frame(i, 8)).unwrap();
             engine.step().unwrap();
         }
-        engine.open_session(7).unwrap();
+        engine.open_session(SessionConfig::new(7)).unwrap();
         for i in 0..10 {
             engine.submit(7, frame(i, 8)).unwrap();
         }
@@ -1272,7 +1361,7 @@ mod tests {
         let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
         let config = ServeConfig { max_batch: 2, ..ServeConfig::default() };
         let mut engine = ServeEngine::new(model, config).unwrap();
-        engine.open_session(1).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
         for i in 0..5 {
             engine.submit(1, frame(i, 8)).unwrap();
         }
@@ -1296,8 +1385,8 @@ mod tests {
             encode_dataset(&data, &FrameFusion::default(), &FeatureMapBuilder::default()).unwrap();
 
         let mut engine = tiny_engine();
-        engine.open_session(1).unwrap();
-        engine.open_session(2).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
+        engine.open_session(SessionConfig::new(2)).unwrap();
         let before = engine.base_model().flat_params();
         let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
         assert!(matches!(
@@ -1333,7 +1422,7 @@ mod tests {
         let path = dir.join("ckpt.json");
 
         let mut engine = tiny_engine();
-        engine.open_session(1).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
 
         // A differently-seeded model of the same architecture as "new weights".
         let other = build_mars_cnn(&ModelConfig::tiny(), 99).unwrap();
@@ -1400,7 +1489,7 @@ mod tests {
         donor.export_plan(&path).unwrap();
 
         let mut engine = tiny_engine();
-        engine.open_session(1).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
         let checkpoint = engine.hot_swap_plan(&path).unwrap();
         assert_eq!(checkpoint.model_name, "donor", "model name comes from the file stem");
         assert_eq!(engine.model_version(), 1);
@@ -1417,7 +1506,7 @@ mod tests {
             ServeConfig::default(),
         )
         .unwrap();
-        reference.open_session(1).unwrap();
+        reference.open_session(SessionConfig::new(1)).unwrap();
         engine.submit(1, frame(4, 16)).unwrap();
         reference.submit(1, frame(4, 16)).unwrap();
         engine.step().unwrap();
@@ -1476,8 +1565,8 @@ mod tests {
         .unwrap();
         let budget = Tolerance { max_ulp: 0, max_abs: 5e-2, max_rel: 2e-2 };
         for id in [1u64, 2, 3] {
-            engine.open_session(id).unwrap();
-            float_engine.open_session(id).unwrap();
+            engine.open_session(SessionConfig::new(id)).unwrap();
+            float_engine.open_session(SessionConfig::new(id)).unwrap();
         }
         for step in 0..4u64 {
             for id in [1u64, 2, 3] {
@@ -1569,7 +1658,7 @@ mod tests {
             ServeError::Graph(fuse_graph::GraphError::Unsupported(_))
         ));
         assert_eq!(engine.recorder().legacy_fallback_frames(), 0);
-        engine.open_session(1).unwrap();
+        engine.open_session(SessionConfig::new(1)).unwrap();
         engine.submit(1, frame(0, 8)).unwrap();
         // The forward itself fails (the layer rejects the stacked feature
         // map), but the frame was already routed to — and counted against —
@@ -1581,8 +1670,8 @@ mod tests {
     #[test]
     fn drop_oldest_pending_removes_exactly_the_oldest_frame() {
         let mut engine = tiny_engine();
-        engine.open_session(3).unwrap();
-        engine.open_session(9).unwrap();
+        engine.open_session(SessionConfig::new(3)).unwrap();
+        engine.open_session(SessionConfig::new(9)).unwrap();
         for i in 0..3 {
             engine.submit(3, frame(i, 8)).unwrap();
         }
@@ -1601,8 +1690,8 @@ mod tests {
     #[test]
     fn merge_pending_collapses_the_queue_to_its_newest_frame() {
         let mut engine = tiny_engine();
-        engine.open_session(5).unwrap();
-        engine.open_session(6).unwrap();
+        engine.open_session(SessionConfig::new(5)).unwrap();
+        engine.open_session(SessionConfig::new(6)).unwrap();
         for i in 0..4 {
             engine.submit(5, frame(i, 8)).unwrap();
         }

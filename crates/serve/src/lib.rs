@@ -5,8 +5,13 @@
 //! engine with per-session adaptation, micro-batching, checkpoint hot-swap
 //! and latency accounting against the 10 Hz radar's 100 ms frame budget.
 //!
-//! * [`Session`] — one client's rolling fusion history plus, once adapted
-//!   online, a private fine-tuned clone of the served model;
+//! * [`stream`] — stateful streaming operators: fusion as an incremental
+//!   delay line and featurization as an explicit per-session op state, with
+//!   deterministic missing-frame ticks for variable cadence and dropout;
+//! * [`Session`] — one client's streaming-op state plus, once adapted
+//!   online, a private fine-tuned clone of the served model; created from
+//!   the typed [`SessionConfig`] builder, optionally carrying a service
+//!   class ([`SloClass`]) the cluster layer maps to backpressure;
 //! * [`ServeEngine`] — owns the shared base model and the open sessions,
 //!   micro-batches pending frames across sessions into stacked forward
 //!   passes, and hot-swaps `fuse-nn` checkpoints without downtime;
@@ -18,7 +23,9 @@
 //! bit-reproducible for any `FUSE_THREADS` × `FUSE_BACKEND` combination
 //! (see `fuse-parallel`, `fuse-backend` and `REPRODUCIBILITY.md`), so a
 //! serving trace is bit-identical across thread counts, kernel backends and
-//! submission orders.
+//! submission orders. Dropout streams keep the same property: a missing
+//! frame is an explicit [`ServeEngine::tick`] that advances the session's
+//! op state deterministically.
 //!
 //! ## Deployment knobs
 //!
@@ -38,8 +45,10 @@
 //!
 //! let model = build_mars_cnn(&ModelConfig::default(), 11)?;
 //! let mut engine = ServeEngine::new(model, ServeConfig::default())?;
-//! engine.open_session(0)?;
-//! // engine.submit(0, frame)?; ... then, each frame period:
+//! engine.open_session(SessionConfig::new(0).slo(SloClass::Clinical))?;
+//! // engine.submit(0, frame)?; ... and for every dropped frame:
+//! engine.tick(0)?;
+//! // then, each frame period:
 //! engine.step()?;
 //! for response in engine.take_responses() {
 //!     assert_eq!(response.joints.len(), 57);
@@ -54,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod latency;
 pub mod session;
+pub mod stream;
 
 pub use engine::{
     PendingFrame, PreparedSwap, ServeConfig, ServeEngine, ServeResponse, SessionState,
@@ -63,7 +73,8 @@ pub use fuse_backend::{BackendChoice, FUSE_BACKEND_ENV};
 pub use latency::{
     LatencyRecorder, LatencyReport, Stage, StageStats, DEFAULT_BUDGET_MS, DEFAULT_SAMPLE_WINDOW,
 };
-pub use session::Session;
+pub use session::{Session, SessionConfig, SloClass};
+pub use stream::{FeaturizeOp, FeaturizeState, FusionOp, FusionState, StreamOp};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;
@@ -77,7 +88,8 @@ pub mod prelude {
     };
     pub use crate::error::ServeError;
     pub use crate::latency::{LatencyRecorder, LatencyReport, Stage, StageStats};
-    pub use crate::session::Session;
+    pub use crate::session::{Session, SessionConfig, SloClass};
+    pub use crate::stream::{FeaturizeOp, FusionOp, StreamOp};
     pub use fuse_core::{build_mars_cnn, FineTuneConfig, FineTuneScope, ModelConfig};
     pub use fuse_dataset::{FeatureMapBuilder, FrameFusion};
 }

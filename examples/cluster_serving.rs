@@ -84,15 +84,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     if std::env::var(fuse_cluster::FUSE_SHARDS_ENV).is_err() {
         config.shards = 2;
     }
-    config.policy = BackpressurePolicy::DropOldest;
+    config.backpressure =
+        BackpressureSpec::uniform(BackpressurePolicy::DropOldest, DEFAULT_QUEUE_CAPACITY);
     let model = build_mars_cnn(&ModelConfig::default(), 11)?;
     println!(
         "{} shards × {} sessions, policy {}, queue capacity {}",
-        config.shards, sessions, config.policy, DEFAULT_QUEUE_CAPACITY
+        config.shards,
+        sessions,
+        config.backpressure.default.policy,
+        config.backpressure.default.queue_capacity
     );
     let mut router = ClusterRouter::new(model, config)?;
     for s in 0..sessions as u64 {
-        router.open_session(s)?;
+        router.open_session(SessionConfig::new(s))?;
         println!("session {s} -> shard {}", router.shard_of(s));
     }
 
@@ -132,12 +136,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut lockstep = ClusterRouter::new(
         build_mars_cnn(&ModelConfig::default(), 11)?,
         ClusterConfig {
-            policy: BackpressurePolicy::DropOldest,
+            backpressure: BackpressureSpec::uniform(
+                BackpressurePolicy::DropOldest,
+                DEFAULT_QUEUE_CAPACITY,
+            ),
             auto_step: false,
             ..ClusterConfig::default()
         },
     )?;
-    lockstep.open_session(0)?;
+    lockstep.open_session(SessionConfig::new(0))?;
     let burst = 3 * DEFAULT_QUEUE_CAPACITY;
     for i in 0..burst {
         lockstep.submit(0, streams[0][i % frames].clone())?;

@@ -28,7 +28,7 @@ use fuse_core::{build_mars_cnn, ModelConfig};
 use fuse_edge::EdgeSession;
 use fuse_examples::print_header;
 use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 
 fn knob(name: &str, default: usize) -> usize {
@@ -102,7 +102,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The producer engine serves each frame through its in-memory plan; the
     // edge session serves the same fused features from the artifact. The
     // reproducibility contract says the two must agree bit for bit.
-    producer.open_session(0)?;
+    producer.open_session(SessionConfig::new(0))?;
     let mut identical = 0usize;
     for frame in frame_stream(frames) {
         producer.submit(0, frame)?;

@@ -107,7 +107,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .collect();
     let mut router = ClusterRouter::with_shards(model(), config, specs)?;
     for s in 0..sessions as u64 {
-        router.open_session(s)?;
+        router.open_session(SessionConfig::new(s))?;
         println!("session {s} -> host shard {}", router.shard_of(s));
     }
 

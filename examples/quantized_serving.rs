@@ -35,7 +35,7 @@ use fuse_edge::EdgeSession;
 use fuse_examples::print_header;
 use fuse_quant::compare::{compare, top1, CompareReport, Tolerance};
 use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 
 /// The committed serving budget for the int8 tier (see `REPRODUCIBILITY.md`).
@@ -128,8 +128,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     print_header(&format!("Streaming {frames} frames x 2 sessions through both engines"));
     let sessions = [(1u64, 0usize, Movement::Squat), (2u64, 1, Movement::BothUpperLimbExtension)];
     for (id, _, _) in sessions {
-        float_engine.open_session(id)?;
-        quant_engine.open_session(id)?;
+        float_engine.open_session(SessionConfig::new(id))?;
+        quant_engine.open_session(SessionConfig::new(id))?;
     }
     let streams: Vec<(u64, Vec<PointCloudFrame>)> = sessions
         .iter()

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut engine = ServeEngine::new(model, ServeConfig::default())?;
     let subject_id = 2u64;
-    engine.open_session(subject_id)?;
+    engine.open_session(SessionConfig::new(subject_id))?;
 
     let scatter = FastScatterModel::new(radar);
     let animator =

@@ -12,12 +12,14 @@
 //! (`auto_step: false`), where drops and merges are a pure function of the
 //! submit/drain schedule.
 
-use fuse_cluster::{BackpressurePolicy, ClusterConfig, ClusterError, ClusterRouter};
+use fuse_cluster::{
+    BackpressurePolicy, BackpressureSpec, ClusterConfig, ClusterError, ClusterRouter,
+};
 use fuse_core::prelude::*;
 use fuse_dataset::{encode_dataset, EncodedDataset};
 use fuse_parallel::{with_min_parallel_work, with_threads};
 use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig};
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 
 /// One response reduced to its deterministic observable key.
 type Observed = (u64, u64, bool, Vec<f32>);
@@ -68,7 +70,7 @@ fn cluster_stream(
     let config = ClusterConfig { shards, ..ClusterConfig::default() };
     let mut router = ClusterRouter::new(model, config).unwrap();
     for s in 0..streams.len() {
-        router.open_session(s as u64).unwrap();
+        router.open_session(SessionConfig::new(s as u64)).unwrap();
     }
     router.adapt_session(1, &encoded(), &quick_finetune()).unwrap();
 
@@ -94,7 +96,7 @@ fn engine_stream(streams: &[Vec<PointCloudFrame>]) -> Vec<Observed> {
     let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
     let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
     for s in 0..streams.len() {
-        engine.open_session(s as u64).unwrap();
+        engine.open_session(SessionConfig::new(s as u64)).unwrap();
     }
     engine.adapt_session(1, &encoded(), &quick_finetune()).unwrap();
 
@@ -150,13 +152,12 @@ fn backpressure_router(policy: BackpressurePolicy, queue_capacity: usize) -> Clu
     let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
     let config = ClusterConfig {
         shards: 2,
-        queue_capacity,
-        policy,
+        backpressure: BackpressureSpec::uniform(policy, queue_capacity),
         auto_step: false,
         ..ClusterConfig::default()
     };
     let mut router = ClusterRouter::new(model, config).unwrap();
-    router.open_session(1).unwrap();
+    router.open_session(SessionConfig::new(1)).unwrap();
     router
 }
 
@@ -240,13 +241,12 @@ fn backpressure_golden_cases_are_stable_across_shard_and_thread_counts() {
         let model = build_mars_cnn(&ModelConfig::tiny(), 7).unwrap();
         let config = ClusterConfig {
             shards,
-            queue_capacity: 3,
-            policy: BackpressurePolicy::DropOldest,
+            backpressure: BackpressureSpec::uniform(BackpressurePolicy::DropOldest, 3),
             auto_step: false,
             ..ClusterConfig::default()
         };
         let mut router = ClusterRouter::new(model, config).unwrap();
-        router.open_session(1).unwrap();
+        router.open_session(SessionConfig::new(1)).unwrap();
         flood(&mut router, &frames);
         let report = router.drain().unwrap();
         (observed(&report.responses), report.dropped)
@@ -277,7 +277,7 @@ fn fan_out_hot_swap_is_atomic_across_shards() {
     let config = ClusterConfig { shards: 4, ..ClusterConfig::default() };
     let mut router = ClusterRouter::new(model, config).unwrap();
     for id in 0..4u64 {
-        router.open_session(id).unwrap();
+        router.open_session(SessionConfig::new(id)).unwrap();
     }
 
     // A valid checkpoint commits on every shard, versions bumped together.
@@ -292,14 +292,14 @@ fn fan_out_hot_swap_is_atomic_across_shards() {
     // see the same frame, so equal joints prove no shard changed weights
     // (session ids only affect routing, never the prediction).
     let frames = session_streams(1, 1);
-    router.open_session(10).unwrap();
+    router.open_session(SessionConfig::new(10)).unwrap();
     router.submit(10, frames[0][0].clone()).unwrap();
     let before = router.drain().unwrap().responses;
     let err = router.hot_swap(&bad).unwrap_err();
     assert!(matches!(err, ClusterError::SwapAborted { .. }), "got {err:?}");
     let metrics = router.metrics().unwrap();
     assert!(metrics.shards.iter().all(|s| s.model_version == 1), "no shard committed");
-    router.open_session(11).unwrap();
+    router.open_session(SessionConfig::new(11)).unwrap();
     router.submit(11, frames[0][0].clone()).unwrap();
     let after = router.drain().unwrap().responses;
     assert_eq!(before[0].joints, after[0].joints, "an aborted swap must not change predictions");
@@ -328,8 +328,8 @@ fn fan_out_plan_artifact_swap_matches_the_donor_across_shards() {
     let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
     let mut router =
         ClusterRouter::new(build_mars_cnn(&ModelConfig::tiny(), 7).unwrap(), config).unwrap();
-    router.open_session(0).unwrap();
-    router.open_session(1).unwrap();
+    router.open_session(SessionConfig::new(0)).unwrap();
+    router.open_session(SessionConfig::new(1)).unwrap();
 
     // The artifact commits on every shard together, no recompilation.
     let swap = router.hot_swap_plan(&good).unwrap();
@@ -349,7 +349,7 @@ fn fan_out_plan_artifact_swap_matches_the_donor_across_shards() {
         ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
             .unwrap();
     for (i, id) in [0u64, 1].into_iter().enumerate() {
-        reference.open_session(id).unwrap();
+        reference.open_session(SessionConfig::new(id)).unwrap();
         reference.submit(id, frames[i][0].clone()).unwrap();
     }
     reference.step().unwrap();
@@ -390,8 +390,8 @@ fn adapted_sessions_keep_private_models_across_cluster_swaps() {
         let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
         let config = ClusterConfig { shards: 2, ..ClusterConfig::default() };
         let mut router = ClusterRouter::new(model, config).unwrap();
-        router.open_session(0).unwrap();
-        router.open_session(1).unwrap();
+        router.open_session(SessionConfig::new(0)).unwrap();
+        router.open_session(SessionConfig::new(1)).unwrap();
         router.adapt_session(1, &data, &quick_finetune()).unwrap();
         if swap {
             router.hot_swap(&path).unwrap();

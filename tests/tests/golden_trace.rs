@@ -23,7 +23,7 @@ use fuse_radar::{
     cfar_ca_2d, AdcCube, CfarConfig, FastScatterModel, PointCloudFrame, PointCloudGenerator,
     RadarConfig, RangeDopplerMap, Scatterer, Scene,
 };
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 use fuse_tensor::Tensor;
 use fuse_tests::golden::{check_or_update, StageDigest};
@@ -136,7 +136,7 @@ fn serve_session_stream_matches_golden() {
 
     let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
     let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
-    engine.open_session(0).expect("session opens");
+    engine.open_session(SessionConfig::new(0)).expect("session opens");
 
     let mut trace = ServeStreamTrace {
         points_per_frame: Vec::new(),
@@ -176,7 +176,7 @@ fn cluster_reproduces_the_serve_golden_stream_for_any_shard_count() {
     // `serve_session_stream_matches_golden` above.
     let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
     let mut engine = ServeEngine::new(model, ServeConfig::default()).expect("engine builds");
-    engine.open_session(0).expect("session opens");
+    engine.open_session(SessionConfig::new(0)).expect("session opens");
     let mut reference: Vec<Vec<f32>> = Vec::new();
     for frame in &frames {
         engine.submit(0, frame.clone()).expect("submit succeeds");
@@ -188,7 +188,7 @@ fn cluster_reproduces_the_serve_golden_stream_for_any_shard_count() {
         let model = build_mars_cnn(&ModelConfig::tiny(), 21).expect("model builds");
         let config = ClusterConfig { shards, ..ClusterConfig::default() };
         let mut router = ClusterRouter::new(model, config).expect("router builds");
-        router.open_session(0).expect("session opens");
+        router.open_session(SessionConfig::new(0)).expect("session opens");
         let mut responses: Vec<Vec<f32>> = Vec::new();
         for frame in &frames {
             router.submit(0, frame.clone()).expect("submit succeeds");

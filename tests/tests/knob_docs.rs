@@ -52,6 +52,8 @@ fn every_registry_contributes_and_no_knob_repeats() {
         "FUSE_PAR_MIN_WORK",
         "FUSE_BACKEND",
         "FUSE_SHARDS",
+        "FUSE_ADAPTIVE",
+        "FUSE_SLO_DEFAULT",
         "FUSE_EDGE_FRAMES",
         "FUSE_SESSIONS",
         "FUSE_QUANT_FRAMES",

@@ -16,7 +16,7 @@ use fuse_core::prelude::*;
 use fuse_dataset::{encode_dataset, EncodedDataset};
 use fuse_parallel::{with_min_parallel_work, with_threads};
 use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig};
-use fuse_serve::{ServeConfig, ServeEngine, ServeResponse};
+use fuse_serve::{ServeConfig, ServeEngine, ServeResponse, SessionConfig};
 
 fn encoded() -> EncodedDataset {
     let dataset = MarsSynthesizer::new(SynthesisConfig::tiny()).generate().unwrap();
@@ -124,7 +124,7 @@ fn serve_stream(streams: &[Vec<PointCloudFrame>], submit_order: &[usize]) -> Vec
     let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
     let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
     for s in 0..streams.len() {
-        engine.open_session(s as u64).unwrap();
+        engine.open_session(SessionConfig::new(s as u64)).unwrap();
     }
     // Adapt one session online so the private-model path is covered too.
     let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
@@ -179,8 +179,8 @@ fn serving_micro_batch_size_does_not_change_responses() {
 
     let model = build_mars_cnn(&ModelConfig::tiny(), 33).unwrap();
     let mut engine = ServeEngine::new(model, ServeConfig::default()).unwrap();
-    engine.open_session(0).unwrap();
-    engine.open_session(1).unwrap();
+    engine.open_session(SessionConfig::new(0)).unwrap();
+    engine.open_session(SessionConfig::new(1)).unwrap();
     let config = FineTuneConfig { epochs: 1, batch_size: 16, ..FineTuneConfig::default() };
     engine.adapt_session(1, &encoded(), &config).unwrap();
     for round in 0..3 {

@@ -21,7 +21,7 @@ use fuse_dataset::{encode_dataset, EncodedDataset};
 use fuse_net::{sim_pair, FaultConfig, FaultHandle, SimTransport};
 use fuse_parallel::{with_min_parallel_work, with_threads};
 use fuse_radar::{FastScatterModel, PointCloudFrame, RadarConfig, Scatterer, Scene};
-use fuse_serve::{ServeConfig, ServeEngine};
+use fuse_serve::{ServeConfig, ServeEngine, SessionConfig};
 use fuse_skeleton::{body_surface_points, Movement, MovementAnimator, Subject};
 use fuse_tests::golden::goldens_dir;
 
@@ -131,7 +131,7 @@ fn remote_shard_over_a_flaky_link_reproduces_the_committed_golden() {
         vec![ShardSpec::Remote(Box::new(router_end)), ShardSpec::Local],
     )
     .expect("router builds");
-    router.open_session(0).expect("session opens");
+    router.open_session(SessionConfig::new(0)).expect("session opens");
     let mut responses: Vec<Vec<f32>> = Vec::new();
     for frame in &frames {
         router.submit(0, frame.clone()).expect("submit succeeds");
@@ -174,7 +174,7 @@ fn migration_over_a_flaky_link_is_bit_identical_to_never_migrating() {
         // Never-migrated reference: a bare engine serving the same schedule.
         let mut engine =
             ServeEngine::new(golden_model(), ServeConfig::default()).expect("engine builds");
-        engine.open_session(0).expect("session opens");
+        engine.open_session(SessionConfig::new(0)).expect("session opens");
         let mut reference: Vec<Observed> = Vec::new();
         for (i, frame) in frames.iter().enumerate() {
             if i == 2 {
@@ -201,7 +201,7 @@ fn migration_over_a_flaky_link_is_bit_identical_to_never_migrating() {
             vec![ShardSpec::Local, ShardSpec::Remote(Box::new(router_end))],
         )
         .expect("router builds");
-        router.open_session(0).expect("session opens");
+        router.open_session(SessionConfig::new(0)).expect("session opens");
         assert_eq!(router.shard_of(0), 0, "session 0 starts on the local shard");
         let mut migrated: Vec<Observed> = Vec::new();
         for (i, frame) in frames.iter().enumerate() {
@@ -272,8 +272,8 @@ fn fan_out_hot_swap_commits_and_aborts_atomically_across_the_wire() {
         vec![ShardSpec::Remote(Box::new(router_end)), ShardSpec::Local],
     )
     .expect("router builds");
-    router.open_session(0).expect("remote-shard session opens");
-    router.open_session(1).expect("local-shard session opens");
+    router.open_session(SessionConfig::new(0)).expect("remote-shard session opens");
+    router.open_session(SessionConfig::new(1)).expect("local-shard session opens");
 
     // Phase one validates on both shards — one ack crossing the flaky wire —
     // before phase two commits anywhere.
@@ -294,7 +294,7 @@ fn fan_out_hot_swap_commits_and_aborts_atomically_across_the_wire() {
     let mut reference =
         ServeEngine::new(build_mars_cnn(&ModelConfig::tiny(), 99).unwrap(), ServeConfig::default())
             .unwrap();
-    reference.open_session(0).unwrap();
+    reference.open_session(SessionConfig::new(0)).unwrap();
     reference.submit(0, frames[0].clone()).unwrap();
     reference.step().unwrap();
     let expected = reference.take_responses();
@@ -316,7 +316,7 @@ fn fan_out_hot_swap_commits_and_aborts_atomically_across_the_wire() {
         metrics.shards.iter().all(|s| s.model_version == 1),
         "an aborted swap must not bump any shard's version"
     );
-    router.open_session(2).expect("probe session opens");
+    router.open_session(SessionConfig::new(2)).expect("probe session opens");
     router.submit(2, frames[0].clone()).expect("submit succeeds");
     let after = router.drain().expect("drain succeeds").responses;
     assert_eq!(
